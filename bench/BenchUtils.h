@@ -1,0 +1,64 @@
+//===--- BenchUtils.h - Shared helpers for the benchmark harness -*- C++ -*-===//
+#ifndef MCC_BENCH_BENCHUTILS_H
+#define MCC_BENCH_BENCHUTILS_H
+
+#include "driver/CompilerInstance.h"
+#include "interp/Interpreter.h"
+#include "runtime/KMPRuntime.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+namespace mcc::bench {
+
+/// Compiles MiniC source (aborting on diagnostics) and returns the
+/// instance.
+inline std::unique_ptr<CompilerInstance>
+compileOrDie(const std::string &Source, CompilerOptions Options = {}) {
+  auto CI = std::make_unique<CompilerInstance>(Options);
+  if (!CI->compileSource(Source)) {
+    fprintf(stderr, "benchmark input failed to compile:\n%s\n",
+            CI->renderDiagnostics().c_str());
+    abort();
+  }
+  return CI;
+}
+
+/// Compile + execute main() once; returns its value.
+inline std::int64_t runMain(const std::string &Source,
+                            CompilerOptions Options = {},
+                            int NumThreads = 4) {
+  auto CI = compileOrDie(Source, Options);
+  rt::OpenMPRuntime::get().setDefaultNumThreads(NumThreads);
+  interp::ExecutionEngine EE(*CI->getIRModule());
+  return EE.runFunction("main", {}).I;
+}
+
+/// Shared main: injects a short default --benchmark_min_time so the whole
+/// harness stays fast, while still honoring user overrides.
+inline int benchmarkMain(int argc, char **argv) {
+  std::vector<char *> Args(argv, argv + argc);
+  std::string MinTime = "--benchmark_min_time=0.05";
+  bool HasMinTime = false;
+  for (char *A : Args)
+    if (std::string(A).rfind("--benchmark_min_time", 0) == 0)
+      HasMinTime = true;
+  if (!HasMinTime)
+    Args.push_back(MinTime.data());
+  int NewArgc = static_cast<int>(Args.size());
+  ::benchmark::Initialize(&NewArgc, Args.data());
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+} // namespace mcc::bench
+
+#define MCC_BENCHMARK_MAIN()                                                   \
+  int main(int argc, char **argv) {                                           \
+    return mcc::bench::benchmarkMain(argc, argv);                             \
+  }
+
+#endif // MCC_BENCH_BENCHUTILS_H

@@ -1,0 +1,107 @@
+//===--- bench_ast_footprint.cpp - E8: the "36 vs 3" representation cost ---===//
+//
+// Quantifies the paper's central representational claim: OMPLoopDirective
+// needs "up to 30 shadow AST statements ... plus 6 for each loop in the
+// associated loop nest", while the OMPCanonicalLoop design reduces the
+// Sema-resolved meta-information to 3 entries (distance function, loop-var
+// function, loop-var reference).
+//
+// For worksharing nests of depth 1..4, prints per-representation:
+//   - shadow helper entries (legacy) vs meta-information entries (canon.)
+//   - total AST nodes allocated by Sema for the whole TU
+//   - ASTContext arena bytes
+//
+//===----------------------------------------------------------------------===//
+#include "ast/RecursiveASTVisitor.h"
+#include "driver/CompilerInstance.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace mcc;
+
+namespace {
+
+std::string makeNestSource(unsigned Depth) {
+  std::string S = "void body(int x);\nvoid f(int n) {\n";
+  S += "  #pragma omp for collapse(" + std::to_string(Depth) + ")\n";
+  std::string Idx;
+  for (unsigned K = 0; K < Depth; ++K) {
+    std::string V = "i" + std::to_string(K);
+    S += std::string(2 * (K + 1), ' ') + "for (int " + V + " = 0; " + V +
+         " < n; ++" + V + ")\n";
+    Idx += (K ? " + " : "") + V;
+  }
+  S += std::string(2 * (Depth + 1), ' ') + "body(" + Idx + ");\n}\n";
+  return S;
+}
+
+struct Footprint {
+  unsigned MetaEntries = 0; // shadow helpers resp. canonical meta-info
+  std::size_t TotalNodes = 0;
+  std::size_t ArenaBytes = 0;
+};
+
+Footprint measure(unsigned Depth, bool IRBuilderMode) {
+  CompilerOptions Options;
+  Options.LangOpts.OpenMPEnableIRBuilder = IRBuilderMode;
+  CompilerInstance CI(Options);
+  CI.addVirtualFile("x.c", makeNestSource(Depth));
+  if (!CI.parseToAST("x.c")) {
+    std::fprintf(stderr, "%s", CI.renderDiagnostics().c_str());
+    abort();
+  }
+
+  struct Finder : RecursiveASTVisitor<Finder> {
+    const OMPLoopDirective *Loop = nullptr;
+    unsigned CanonicalLoops = 0;
+    bool visitStmt(Stmt *S) {
+      if (auto *L = stmt_dyn_cast<OMPLoopDirective>(S))
+        Loop = L;
+      if (stmt_dyn_cast<OMPCanonicalLoop>(S))
+        ++CanonicalLoops;
+      return true;
+    }
+  } F;
+  for (Decl *D : CI.getTranslationUnit()->decls())
+    F.traverseDecl(D);
+
+  Footprint FP;
+  if (IRBuilderMode)
+    FP.MetaEntries = 3 * F.CanonicalLoops; // distance + loopvar + varref
+  else if (F.Loop)
+    FP.MetaEntries = F.Loop->getLoopHelpers().countShadowNodes();
+  FP.TotalNodes = CI.getASTContext().getNumNodes();
+  FP.ArenaBytes = CI.getASTContext().getTotalAllocatedBytes();
+  return FP;
+}
+
+} // namespace
+
+int main() {
+  std::printf(
+      "E8: AST footprint of the two representations (paper Section 3:\n"
+      "\"This is reduced from the 36 shadow AST nodes required by "
+      "OMPLoopDirective\")\n\n");
+  std::printf("%-6s | %-28s | %-28s\n", "", "legacy shadow AST",
+              "OMPCanonicalLoop");
+  std::printf("%-6s | %8s %8s %9s | %8s %8s %9s\n", "depth", "helpers",
+              "nodes", "arena[B]", "meta", "nodes", "arena[B]");
+  std::printf("-------+------------------------------+---------------------"
+              "---------\n");
+  for (unsigned Depth = 1; Depth <= 4; ++Depth) {
+    Footprint Legacy = measure(Depth, false);
+    Footprint Canonical = measure(Depth, true);
+    std::printf("%-6u | %8u %8zu %9zu | %8u %8zu %9zu\n", Depth,
+                Legacy.MetaEntries, Legacy.TotalNodes, Legacy.ArenaBytes,
+                Canonical.MetaEntries, Canonical.TotalNodes,
+                Canonical.ArenaBytes);
+  }
+  std::printf(
+      "\nReading: 'helpers' counts OMPLoopDirective's shadow helper\n"
+      "expressions (the paper's ~30 + 6/loop); 'meta' counts the canonical\n"
+      "representation's per-loop meta-information (3/loop). Node and arena\n"
+      "columns cover the whole translation unit, so they include the\n"
+      "canonical pipeline's CapturedStmt-encoded distance/loop-var bodies.\n");
+  return 0;
+}

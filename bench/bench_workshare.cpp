@@ -1,0 +1,95 @@
+//===--- bench_workshare.cpp - E11: scheduling policies under imbalance -----===//
+//
+// The worksharing-loop construct across schedules (static, static-chunked,
+// dynamic, guided) and thread counts, on a deliberately imbalanced body
+// (cost grows with the iteration number). The shape to observe: static
+// suffers from imbalance, dynamic/guided recover it at the cost of
+// dispatch overhead; more threads widen the gap.
+//
+//===----------------------------------------------------------------------===//
+#include "BenchUtils.h"
+
+using namespace mcc;
+using namespace mcc::bench;
+
+namespace {
+
+std::string makeImbalanced(const std::string &Schedule) {
+  // work(i) ~ i: late iterations are much more expensive.
+  return R"(
+long total = 0;
+int main() {
+  total = 0;
+  #pragma omp parallel for schedule()" +
+         Schedule + R"() reduction(+: total)
+  for (int i = 0; i < 256; ++i) {
+    long w = 0;
+    for (int k = 0; k < i * 4; ++k)
+      w += k;
+    total += w;
+  }
+  int out = total % 1000000;
+  return out;
+}
+)";
+}
+
+void runSchedule(benchmark::State &State, const std::string &Schedule) {
+  int Threads = static_cast<int>(State.range(0));
+  auto CI = compileOrDie(makeImbalanced(Schedule));
+  rt::OpenMPRuntime::get().setDefaultNumThreads(Threads);
+  interp::ExecutionEngine EE(*CI->getIRModule());
+
+  std::int64_t Expected = -1;
+  for (auto _ : State) {
+    std::int64_t R = EE.runFunction("main", {}).I;
+    if (Expected == -1)
+      Expected = R;
+    else if (R != Expected) {
+      State.SkipWithError("nondeterministic result");
+      return;
+    }
+  }
+  State.counters["threads"] = Threads;
+}
+
+void BM_ScheduleStatic(benchmark::State &State) {
+  runSchedule(State, "static");
+}
+void BM_ScheduleStaticChunk8(benchmark::State &State) {
+  runSchedule(State, "static, 8");
+}
+void BM_ScheduleDynamic8(benchmark::State &State) {
+  runSchedule(State, "dynamic, 8");
+}
+void BM_ScheduleGuided(benchmark::State &State) {
+  runSchedule(State, "guided");
+}
+
+#define WS_THREADS ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+BENCHMARK(BM_ScheduleStatic) WS_THREADS;
+BENCHMARK(BM_ScheduleStaticChunk8) WS_THREADS;
+BENCHMARK(BM_ScheduleDynamic8) WS_THREADS;
+BENCHMARK(BM_ScheduleGuided) WS_THREADS;
+
+// Fork/join overhead: an empty parallel region per team size.
+void BM_ForkJoinOverhead(benchmark::State &State) {
+  int Threads = static_cast<int>(State.range(0));
+  auto CI = compileOrDie(R"(
+int main() {
+  #pragma omp parallel
+  { ; }
+  return 0;
+}
+)");
+  rt::OpenMPRuntime::get().setDefaultNumThreads(Threads);
+  interp::ExecutionEngine EE(*CI->getIRModule());
+  for (auto _ : State)
+    EE.runFunction("main", {});
+  State.counters["threads"] = Threads;
+}
+BENCHMARK(BM_ForkJoinOverhead)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+} // namespace
+
+MCC_BENCHMARK_MAIN()

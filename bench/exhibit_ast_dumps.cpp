@@ -1,0 +1,183 @@
+//===--- exhibit_ast_dumps.cpp - Regenerates the paper's listings (E3-E7) ---===//
+//
+// Prints, with our own implementation, the exhibits of the paper:
+//
+//   astdump      Listing 3:  AST of "#pragma omp parallel for
+//                schedule(static)" incl. CapturedStmt machinery
+//   shadowast    Listing 6:  AST of stacked "unroll full" over
+//                "unroll partial(2)"
+//   transformed  Listing 8:  the shadow transformed AST of the partial
+//                unroll (strip-mined loop + LoopHintAttr)
+//   canonical    Listing 10: OMPCanonicalLoop with distance / loop-var
+//                functions (IRBuilder mode)
+//   skeleton     Fig. 9:     the IR loop skeleton emitted by
+//                OpenMPIRBuilder::createCanonicalLoop
+//
+//   $ ./exhibit_ast_dumps [--exhibit=NAME]     (default: all)
+//
+//===----------------------------------------------------------------------===//
+#include "ast/RecursiveASTVisitor.h"
+#include "driver/CompilerInstance.h"
+#include "irbuilder/OpenMPIRBuilder.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace mcc;
+
+namespace {
+
+template <typename T> T *findNode(TranslationUnitDecl *TU) {
+  struct Finder : RecursiveASTVisitor<Finder> {
+    T *Found = nullptr;
+    bool visitStmt(Stmt *S) {
+      if (auto *Node = stmt_dyn_cast<T>(S)) {
+        Found = Node;
+        return false;
+      }
+      return true;
+    }
+  } F;
+  for (Decl *D : TU->decls())
+    if (!F.traverseDecl(D))
+      break;
+  return F.Found;
+}
+
+void banner(const char *Title, const char *PaperRef) {
+  std::printf("\n=======================================================\n"
+              "Exhibit: %s   (%s)\n"
+              "=======================================================\n",
+              Title, PaperRef);
+}
+
+void exhibitAstDump() {
+  banner("astdump", "paper Listing 3 / Fig. 3");
+  const char *Source = R"(
+void body(int i);
+void f() {
+  #pragma omp parallel for schedule(static)
+  for (int i = 7; i < 17; i += 3)
+    body(i);
+}
+)";
+  std::printf("source:\n%s\nAST:\n", Source);
+  CompilerInstance CI;
+  CI.addVirtualFile("x.c", Source);
+  if (!CI.parseToAST("x.c"))
+    return;
+  auto *Dir = findNode<OMPParallelForDirective>(CI.getTranslationUnit());
+  std::printf("%s", dumpToString(Dir).c_str());
+}
+
+void exhibitShadowAst() {
+  banner("shadowast", "paper Listing 6");
+  const char *Source = R"(
+void body(int i);
+void f() {
+  #pragma omp unroll full
+  #pragma omp unroll partial(2)
+  for (int i = 7; i < 17; i += 3)
+    body(i);
+}
+)";
+  std::printf("source:\n%s\nAST:\n", Source);
+  CompilerInstance CI;
+  CI.addVirtualFile("x.c", Source);
+  if (!CI.parseToAST("x.c"))
+    return;
+  auto *Dir = findNode<OMPUnrollDirective>(CI.getTranslationUnit());
+  std::printf("%s", dumpToString(Dir).c_str());
+}
+
+void exhibitTransformed() {
+  banner("transformed", "paper Listing 8 (Fig. 8)");
+  const char *Source = R"(
+void body(int i);
+void f() {
+  #pragma omp unroll partial(2)
+  for (int i = 7; i < 17; i += 3)
+    body(i);
+}
+)";
+  std::printf("source:\n%s\nTransformed (shadow) AST of the unroll "
+              "directive:\n",
+              Source);
+  CompilerInstance CI;
+  CI.addVirtualFile("x.c", Source);
+  if (!CI.parseToAST("x.c"))
+    return;
+  auto *Dir = findNode<OMPUnrollDirective>(CI.getTranslationUnit());
+  if (Dir && Dir->getTransformedStmt())
+    std::printf("%s", dumpToString(Dir->getTransformedStmt()).c_str());
+}
+
+void exhibitCanonical() {
+  banner("canonical", "paper Listing 10");
+  const char *Source = R"(
+void body(int i);
+void f() {
+  #pragma omp unroll partial(2)
+  for (int i = 7; i < 17; i += 3)
+    body(i);
+}
+)";
+  std::printf("source (compiled with -fopenmp-enable-irbuilder):\n%s\nAST:\n",
+              Source);
+  CompilerOptions Options;
+  Options.LangOpts.OpenMPEnableIRBuilder = true;
+  CompilerInstance CI(Options);
+  CI.addVirtualFile("x.c", Source);
+  if (!CI.parseToAST("x.c"))
+    return;
+  auto *Dir = findNode<OMPUnrollDirective>(CI.getTranslationUnit());
+  std::printf("%s", dumpToString(Dir).c_str());
+}
+
+void exhibitSkeleton() {
+  banner("skeleton", "paper Fig. 9: createCanonicalLoop output");
+  ir::Module M;
+  ir::IRBuilder B(M);
+  ir::OpenMPIRBuilder OMPB(M);
+  ir::Function *F = M.createFunction("f", ir::IRType::getVoid(),
+                                     {ir::IRType::getI32()}, {"tripcount"});
+  ir::Function *Body =
+      M.getOrInsertFunction("body", ir::IRType::getVoid(),
+                            {ir::IRType::getI32()});
+  B.setInsertPoint(F->createBlock("entry"));
+  OMPB.createCanonicalLoop(
+      B, F->getArg(0),
+      [&](ir::IRBuilder &Bld, ir::Value *IV) { Bld.createCall(Body, {IV}); },
+      "omp_loop");
+  B.createRetVoid();
+  std::printf("%s", ir::printFunction(*F).c_str());
+  std::printf("\nCanonicalLoopInfo invariants: preheader/header/cond/body/"
+              "latch/exit/after present,\nIV = header phi over [0, "
+              "tripcount), trip count identifiable without "
+              "ScalarEvolution.\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Which = "all";
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--exhibit=", 0) == 0)
+      Which = Arg.substr(10);
+  }
+  bool All = Which == "all";
+  if (All || Which == "astdump")
+    exhibitAstDump();
+  if (All || Which == "shadowast")
+    exhibitShadowAst();
+  if (All || Which == "transformed")
+    exhibitTransformed();
+  if (All || Which == "canonical")
+    exhibitCanonical();
+  if (All || Which == "skeleton")
+    exhibitSkeleton();
+  std::printf("\n");
+  return 0;
+}

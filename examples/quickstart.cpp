@@ -1,0 +1,80 @@
+//===--- quickstart.cpp - Five-minute tour of the library -------------------===//
+//
+// Compiles a MiniC + OpenMP source with both of the paper's pipelines,
+// prints the AST and the IR, runs the mid-end, and executes the result on
+// real threads through the interpreter.
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+#include "driver/CompilerInstance.h"
+#include "interp/Interpreter.h"
+#include "runtime/KMPRuntime.h"
+
+#include <cstdio>
+
+using namespace mcc;
+
+namespace {
+
+const char *Program = R"(
+int sum = 0;
+
+int main() {
+  #pragma omp parallel for reduction(+: sum)
+  #pragma omp unroll partial(2)
+  for (int i = 0; i < 100; i += 1)
+    sum += i * i;
+  return sum;
+}
+)";
+
+void runPipeline(const char *Name, bool IRBuilderMode) {
+  std::printf("==========================================================\n");
+  std::printf("Pipeline: %s\n", Name);
+  std::printf("==========================================================\n");
+
+  CompilerOptions Options;
+  Options.LangOpts.OpenMPEnableIRBuilder = IRBuilderMode;
+  Options.RunMidend = true;
+
+  CompilerInstance CI(Options);
+  if (!CI.compileSource(Program)) {
+    std::fputs(CI.renderDiagnostics().c_str(), stderr);
+    return;
+  }
+
+  // 1. The AST, exactly as `minicc -ast-dump` would print it.
+  std::printf("--- AST (main) ---\n%s\n",
+              dumpToString(CI.getTranslationUnit()).c_str());
+
+  // 2. Mid-end statistics: the unroll deferral of the paper's Section 2.2
+  //    resolves here.
+  const midend::PipelineStats &MS = CI.getMidendStats();
+  std::printf("--- mid-end: %u loops unrolled, %u blocks simplified, %u "
+              "instructions DCEd ---\n\n",
+              MS.Unroll.LoopsUnrolled, MS.BlocksSimplified,
+              MS.InstructionsDCEd);
+
+  // 3. Execute on a real thread team.
+  rt::OpenMPRuntime::get().setDefaultNumThreads(4);
+  interp::ExecutionEngine EE(*CI.getIRModule());
+  interp::RTValue Result = EE.runFunction("main", {});
+  long long Expected = 0;
+  for (int I = 0; I < 100; ++I)
+    Expected += static_cast<long long>(I) * I;
+  std::printf("main() = %lld (expected %lld) — %s\n\n",
+              static_cast<long long>(Result.I), Expected,
+              Result.I == Expected ? "OK" : "MISMATCH");
+}
+
+} // namespace
+
+int main() {
+  std::printf("quickstart: '#pragma omp parallel for' over "
+              "'#pragma omp unroll partial(2)'\n"
+              "(the motivating composition of the paper's Section 1.1)\n\n");
+  runPipeline("legacy shadow AST (Section 2)", false);
+  runPipeline("OMPCanonicalLoop + OpenMPIRBuilder (Section 3)", true);
+  return 0;
+}

@@ -1,0 +1,148 @@
+//===--- unroll_composition.cpp - Section 1.1, end to end --------------------===//
+//
+// Reproduces the paper's motivating example: the separation of algorithm
+// and optimization. One algorithm (a dot-product-style reduction), three
+// optimization variants selected per "hardware target" via the
+// preprocessor — exactly the metadirective/preprocessor pattern the paper
+// describes — plus the demonstration that the directive version and the
+// manually-unrolled version are semantically equivalent.
+//
+//   $ ./unroll_composition
+//
+//===----------------------------------------------------------------------===//
+#include "ast/ASTDumper.h"
+#include "ast/RecursiveASTVisitor.h"
+#include "driver/CompilerInstance.h"
+#include "interp/Interpreter.h"
+#include "runtime/KMPRuntime.h"
+
+#include <cstdio>
+
+using namespace mcc;
+
+namespace {
+
+// One algorithm, optimization chosen by -DTARGET=n at "compile" time.
+const char *PortableSource = R"(
+long a[1024];
+long b[1024];
+long result = 0;
+
+int main() {
+  for (int k = 0; k < 1024; ++k) { a[k] = k % 7; b[k] = k % 5; }
+
+#if TARGET == 1
+  /* wide cores: unroll aggressively */
+  #pragma omp parallel for reduction(+: result)
+  #pragma omp unroll partial(8)
+  for (int i = 0; i < 1024; i += 1)
+    result += a[i] * b[i];
+#elif TARGET == 2
+  /* cache-sensitive: tile */
+  #pragma omp parallel for reduction(+: result)
+  #pragma omp tile sizes(64)
+  for (int i = 0; i < 1024; i += 1)
+    result += a[i] * b[i];
+#else
+  /* baseline */
+  #pragma omp parallel for reduction(+: result)
+  for (int i = 0; i < 1024; i += 1)
+    result += a[i] * b[i];
+#endif
+
+  int out = result % 1000000;
+  return out;
+}
+)";
+
+// The directive form vs the manual unrolling of the paper's Section 1.1.
+const char *DirectiveForm = R"(
+int N = 17;
+int sum = 0;
+void body(int i);
+int main() {
+  #pragma omp parallel for
+  #pragma omp unroll partial(2)
+  for (int i = 0; i < N; i += 1)
+    sum += i;
+  return sum;
+}
+)";
+
+const char *ManualForm = R"(
+int N = 17;
+int sum = 0;
+int main() {
+  #pragma omp parallel for
+  for (int i = 0; i < N; i += 2) {
+    sum += i;
+    if (i + 1 < N) sum += i + 1;
+  }
+  return sum;
+}
+)";
+
+long long runOnce(const char *Source, CompilerOptions Options) {
+  CompilerInstance CI(Options);
+  if (!CI.compileSource(Source)) {
+    std::fputs(CI.renderDiagnostics().c_str(), stderr);
+    std::exit(1);
+  }
+  rt::OpenMPRuntime::get().setDefaultNumThreads(4);
+  interp::ExecutionEngine EE(*CI.getIRModule());
+  return EE.runFunction("main", {}).I;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Part 1: one algorithm, per-target optimization via the "
+              "preprocessor\n");
+  std::printf("        (paper Section 1.1: \"different optimizations can "
+              "be chosen for\n         different hardware ... while using "
+              "the same source code\")\n\n");
+  for (int Target = 0; Target <= 2; ++Target) {
+    CompilerOptions Options;
+    Options.Defines.emplace_back("TARGET", std::to_string(Target));
+    long long R = runOnce(PortableSource, Options);
+    const char *Name = Target == 1   ? "TARGET=1 (unroll partial(8))"
+                       : Target == 2 ? "TARGET=2 (tile sizes(64))"
+                                     : "TARGET=0 (plain parallel for)";
+    std::printf("  %-32s -> %lld\n", Name, R);
+  }
+
+  std::printf("\nPart 2: '#pragma omp unroll partial(2)' under 'parallel "
+              "for' vs manual unrolling\n\n");
+  // Note: sum of 0..16 = 136. Run each form under both pipelines.
+  for (bool IRB : {false, true}) {
+    CompilerOptions Options;
+    Options.LangOpts.OpenMPEnableIRBuilder = IRB;
+    long long D = runOnce(DirectiveForm, Options);
+    long long M = runOnce(ManualForm, Options);
+    std::printf("  pipeline=%-9s directive=%lld manual=%lld  %s\n",
+                IRB ? "irbuilder" : "legacy", D, M,
+                D == M ? "EQUIVALENT" : "MISMATCH");
+  }
+
+  std::printf("\nPart 3: what the directive expands to (the shadow "
+              "transformed AST,\n        paper Listing 8)\n\n");
+  CompilerInstance CI;
+  CI.addVirtualFile("part3.c", DirectiveForm);
+  if (CI.parseToAST("part3.c")) {
+    // Find the inner unroll directive and print its shadow subtree.
+    struct Finder : RecursiveASTVisitor<Finder> {
+      OMPUnrollDirective *Found = nullptr;
+      bool visitStmt(Stmt *S) {
+        if (auto *U = stmt_dyn_cast<OMPUnrollDirective>(S))
+          Found = U;
+        return true;
+      }
+    } F;
+    for (Decl *D : CI.getTranslationUnit()->decls())
+      F.traverseDecl(D);
+    if (F.Found && F.Found->getTransformedStmt())
+      std::printf("%s\n",
+                  dumpToString(F.Found->getTransformedStmt()).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "ast/ASTContext.h"
+
+namespace mcc {
+
+ASTContext::ASTContext()
+    : VoidTy(BuiltinType::Kind::Void), BoolTy(BuiltinType::Kind::Bool),
+      CharTy(BuiltinType::Kind::Char), IntTy(BuiltinType::Kind::Int),
+      UIntTy(BuiltinType::Kind::UInt), LongTy(BuiltinType::Kind::Long),
+      ULongTy(BuiltinType::Kind::ULong), FloatTy(BuiltinType::Kind::Float),
+      DoubleTy(BuiltinType::Kind::Double) {}
+
+QualType ASTContext::getCorrespondingUnsignedType(QualType T) const {
+  const auto *BT = type_dyn_cast<BuiltinType>(T.getTypePtr());
+  if (!BT)
+    return getULongType(); // pointers etc. use the widest unsigned
+  switch (BT->getKind()) {
+  case BuiltinType::Kind::Char:
+  case BuiltinType::Kind::Bool:
+  case BuiltinType::Kind::Int:
+  case BuiltinType::Kind::UInt:
+    return getUIntType();
+  case BuiltinType::Kind::Long:
+  case BuiltinType::Kind::ULong:
+    return getULongType();
+  default:
+    return getULongType();
+  }
+}
+
+QualType ASTContext::getPointerType(QualType Pointee) {
+  // Note: uniquing ignores the pointee's const qualifier for simplicity;
+  // "const T *" and "T *" share a canonical node but QualType-level
+  // qualification on the pointer itself is preserved.
+  auto It = PointerTypes.find(Pointee.getTypePtr());
+  if (It != PointerTypes.end())
+    return QualType(It->second);
+  const auto *PT = Alloc.create<PointerType>(Pointee);
+  PointerTypes[Pointee.getTypePtr()] = PT;
+  return QualType(PT);
+}
+
+QualType ASTContext::getArrayType(QualType Element, std::uint64_t Size) {
+  auto Key = std::make_pair(Element.getTypePtr(), Size);
+  auto It = ArrayTypes.find(Key);
+  if (It != ArrayTypes.end())
+    return QualType(It->second);
+  const auto *AT = Alloc.create<ArrayType>(Element, Size);
+  ArrayTypes[Key] = AT;
+  return QualType(AT);
+}
+
+QualType ASTContext::getFunctionType(QualType Result,
+                                     const std::vector<QualType> &Params) {
+  for (const FunctionType *FT : FunctionTypes) {
+    if (FT->getResultType() != Result ||
+        FT->getNumParams() != Params.size())
+      continue;
+    bool Same = true;
+    for (unsigned I = 0; I < Params.size(); ++I)
+      if (FT->getParamTypes()[I] != Params[I]) {
+        Same = false;
+        break;
+      }
+    if (Same)
+      return QualType(FT);
+  }
+  std::span<QualType> Stored = allocateCopy(Params);
+  const auto *FT = Alloc.create<FunctionType>(
+      Result, std::span<const QualType>(Stored.data(), Stored.size()));
+  FunctionTypes.push_back(FT);
+  return QualType(FT);
+}
+
+} // namespace mcc

@@ -1,0 +1,103 @@
+//===--- ASTContext.h - AST allocation and type uniquing --------*- C++ -*-===//
+//
+// Owns all AST nodes (arena-allocated, never individually destroyed, like
+// Clang) and uniques types. Also interns identifier strings so AST nodes
+// can hold cheap string_views.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_AST_ASTCONTEXT_H
+#define MCC_AST_ASTCONTEXT_H
+
+#include "ast/Decl.h"
+#include "ast/Type.h"
+#include "support/Arena.h"
+
+#include <deque>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mcc {
+
+class ASTContext {
+public:
+  ASTContext();
+  ASTContext(const ASTContext &) = delete;
+  ASTContext &operator=(const ASTContext &) = delete;
+
+  // --- Node allocation ---
+
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    ++NumNodes;
+    return Alloc.create<T>(std::forward<Args>(As)...);
+  }
+
+  /// Copies a vector into arena storage and returns a stable span.
+  template <typename T> std::span<T> allocateCopy(const std::vector<T> &V) {
+    if (V.empty())
+      return {};
+    T *Mem = Alloc.allocateArray<T>(V.size());
+    for (std::size_t I = 0; I < V.size(); ++I)
+      ::new (static_cast<void *>(Mem + I)) T(V[I]);
+    return std::span<T>(Mem, V.size());
+  }
+
+  /// Interns a string; the result outlives the context's users.
+  std::string_view internString(std::string_view S) {
+    InternedStrings.emplace_back(S);
+    return InternedStrings.back();
+  }
+
+  // --- Builtin types ---
+
+  [[nodiscard]] QualType getVoidType() const { return QualType(&VoidTy); }
+  [[nodiscard]] QualType getBoolType() const { return QualType(&BoolTy); }
+  [[nodiscard]] QualType getCharType() const { return QualType(&CharTy); }
+  [[nodiscard]] QualType getIntType() const { return QualType(&IntTy); }
+  [[nodiscard]] QualType getUIntType() const { return QualType(&UIntTy); }
+  [[nodiscard]] QualType getLongType() const { return QualType(&LongTy); }
+  [[nodiscard]] QualType getULongType() const { return QualType(&ULongTy); }
+  [[nodiscard]] QualType getFloatType() const { return QualType(&FloatTy); }
+  [[nodiscard]] QualType getDoubleType() const { return QualType(&DoubleTy); }
+  /// size_t in this front-end (the paper's logical iteration counter uses
+  /// an unsigned type of sufficient width).
+  [[nodiscard]] QualType getSizeType() const { return getULongType(); }
+
+  /// The unsigned integer type with the same width as \p T (used for the
+  /// overflow-safe logical iteration counter, Section 3.1).
+  [[nodiscard]] QualType getCorrespondingUnsignedType(QualType T) const;
+
+  // --- Derived types (uniqued) ---
+
+  QualType getPointerType(QualType Pointee);
+  QualType getArrayType(QualType Element, std::uint64_t Size);
+  QualType getFunctionType(QualType Result,
+                           const std::vector<QualType> &Params);
+
+  // --- Statistics (E8 footprint experiment) ---
+
+  [[nodiscard]] std::size_t getNumNodes() const { return NumNodes; }
+  [[nodiscard]] std::size_t getTotalAllocatedBytes() const {
+    return Alloc.getTotalAllocated();
+  }
+
+  [[nodiscard]] Arena &getAllocator() { return Alloc; }
+
+private:
+  Arena Alloc;
+  std::deque<std::string> InternedStrings;
+  std::size_t NumNodes = 0;
+
+  BuiltinType VoidTy, BoolTy, CharTy, IntTy, UIntTy, LongTy, ULongTy, FloatTy,
+      DoubleTy;
+
+  std::map<const Type *, const PointerType *> PointerTypes;
+  std::map<std::pair<const Type *, std::uint64_t>, const ArrayType *>
+      ArrayTypes;
+  std::vector<const FunctionType *> FunctionTypes;
+};
+
+} // namespace mcc
+
+#endif // MCC_AST_ASTCONTEXT_H

@@ -1,0 +1,343 @@
+#include "ast/ASTDumper.h"
+
+#include <functional>
+#include <sstream>
+
+namespace mcc {
+
+/// A list of deferred child-printing actions, so the dumper knows which
+/// child is last (printed with "`-" and a blank continuation) versus
+/// intermediate ("|-" with a "| " continuation).
+struct ASTDumper::ChildList {
+  std::vector<std::function<void()>> Actions;
+
+  void add(std::function<void()> F) { Actions.push_back(std::move(F)); }
+};
+
+std::string ASTDumper::addr(const void *P) const {
+  if (!ShowAddresses)
+    return {};
+  std::ostringstream SS;
+  SS << ' ' << P;
+  return SS.str();
+}
+
+void ASTDumper::writeLine(const std::string &Label) {
+  OS += Prefix;
+  OS += Label;
+  OS += '\n';
+}
+
+void ASTDumper::withChildren(const std::string &Label, ChildList &Children) {
+  writeLine(Label);
+  std::string Saved = Prefix;
+  // Lines of child subtrees start where this node's connector was; for a
+  // root node the prefix is empty.
+  for (std::size_t I = 0; I < Children.Actions.size(); ++I) {
+    bool Last = I + 1 == Children.Actions.size();
+    Prefix = Saved;
+    // Replace this node's own connector with the continuation piece.
+    if (!Prefix.empty()) {
+      std::string Cont = Prefix.substr(0, Prefix.size() - 2);
+      Cont += (Prefix.substr(Prefix.size() - 2) == "`-") ? "  " : "| ";
+      Prefix = Cont;
+    }
+    Prefix += Last ? "`-" : "|-";
+    Children.Actions[I]();
+  }
+  Prefix = Saved;
+}
+
+std::string ASTDumper::clauseLabel(const OMPClause *C) {
+  std::string L = "OMP";
+  // Camel-case the clause name: "num_threads" -> "NumThreads".
+  std::string_view Name = C->getClauseName();
+  bool Upper = true;
+  for (char Ch : Name) {
+    if (Ch == '_') {
+      Upper = true;
+      continue;
+    }
+    L += Upper ? static_cast<char>(std::toupper(Ch)) : Ch;
+    Upper = false;
+  }
+  L += "Clause";
+  if (const auto *SC = clause_dyn_cast<OMPScheduleClause>(C)) {
+    L += " ";
+    L += getOpenMPScheduleKindName(SC->getScheduleKind());
+  }
+  if (const auto *RC = clause_dyn_cast<OMPReductionClause>(C)) {
+    L += " '";
+    L += getOpenMPReductionOpName(RC->getOperator());
+    L += "'";
+  }
+  return L;
+}
+
+void ASTDumper::dumpClause(const OMPClause *C) {
+  ChildList Children;
+  if (const auto *NT = clause_dyn_cast<OMPNumThreadsClause>(C))
+    Children.add([this, NT] { dumpStmt(NT->getNumThreads()); });
+  if (const auto *SC = clause_dyn_cast<OMPScheduleClause>(C))
+    if (SC->getChunkSize())
+      Children.add([this, SC] { dumpStmt(SC->getChunkSize()); });
+  if (const auto *CC = clause_dyn_cast<OMPCollapseClause>(C))
+    Children.add([this, CC] { dumpStmt(CC->getNumForLoops()); });
+  if (const auto *PC = clause_dyn_cast<OMPPartialClause>(C))
+    if (PC->getFactor())
+      Children.add([this, PC] { dumpStmt(PC->getFactor()); });
+  if (const auto *SZ = clause_dyn_cast<OMPSizesClause>(C))
+    for (ConstantExpr *E : SZ->getSizesRefs())
+      Children.add([this, E] { dumpStmt(E); });
+  if (const auto *VL = clause_dyn_cast<OMPVarListClause>(C))
+    for (DeclRefExpr *E : VL->getVarRefs())
+      Children.add([this, E] { dumpStmt(E); });
+  withChildren(clauseLabel(C), Children);
+}
+
+std::string ASTDumper::stmtLabel(const Stmt *S) {
+  std::string L = S->getStmtClassName();
+  L += addr(S);
+
+  if (const auto *E = stmt_dyn_cast<Expr>(S)) {
+    L += " '";
+    L += E->getType().getAsString();
+    L += "'";
+    if (E->isLValue())
+      L += " lvalue";
+  }
+
+  switch (S->getStmtClass()) {
+  case Stmt::StmtClass::IntegerLiteral:
+    L += " " + std::to_string(
+                   static_cast<std::int64_t>(
+                       stmt_cast<IntegerLiteral>(S)->getValue()));
+    break;
+  case Stmt::StmtClass::FloatingLiteral: {
+    std::ostringstream SS;
+    SS << ' ' << stmt_cast<FloatingLiteral>(S)->getValue();
+    L += SS.str();
+    break;
+  }
+  case Stmt::StmtClass::BoolLiteral:
+    L += stmt_cast<BoolLiteral>(S)->getValue() ? " true" : " false";
+    break;
+  case Stmt::StmtClass::StringLiteral:
+    L += " \"" + std::string(stmt_cast<StringLiteral>(S)->getValue()) + "\"";
+    break;
+  case Stmt::StmtClass::DeclRefExpr: {
+    const auto *DRE = stmt_cast<DeclRefExpr>(S);
+    const ValueDecl *D = DRE->getDecl();
+    L += " ";
+    // Clang prints the declaration kind without the "Decl" suffix: Var,
+    // ParmVar, Function, ...
+    std::string KindName = D->getDeclClassName();
+    if (KindName.size() > 4 && KindName.ends_with("Decl"))
+      KindName.resize(KindName.size() - 4);
+    L += KindName;
+    L += addr(D);
+    L += " '" + std::string(D->getName()) + "' '" +
+         D->getType().getAsString() + "'";
+    break;
+  }
+  case Stmt::StmtClass::ImplicitCastExpr:
+    L += " <";
+    L += getCastKindName(stmt_cast<ImplicitCastExpr>(S)->getCastKind());
+    L += ">";
+    break;
+  case Stmt::StmtClass::UnaryOperator: {
+    const auto *UO = stmt_cast<UnaryOperator>(S);
+    L += UO->isIncrementDecrementOp() && !UO->isPrefix() ? " postfix"
+                                                         : " prefix";
+    L += " '";
+    L += getUnaryOperatorSpelling(UO->getOpcode());
+    L += "'";
+    break;
+  }
+  case Stmt::StmtClass::BinaryOperator:
+    L += " '";
+    L += getBinaryOperatorSpelling(stmt_cast<BinaryOperator>(S)->getOpcode());
+    L += "'";
+    break;
+  default:
+    break;
+  }
+  return L;
+}
+
+void ASTDumper::dumpStmt(const Stmt *S) {
+  if (!S) {
+    writeLine("<<<NULL>>>");
+    return;
+  }
+
+  ChildList Children;
+
+  auto AddStmt = [this, &Children](const Stmt *Child) {
+    Children.add([this, Child] { dumpStmt(Child); });
+  };
+  auto AddDecl = [this, &Children](const Decl *Child) {
+    Children.add([this, Child] { dumpDecl(Child); });
+  };
+
+  switch (S->getStmtClass()) {
+  case Stmt::StmtClass::ForStmt: {
+    // Clang dumps all five slots including <<<NULL>>> placeholders.
+    const auto *F = stmt_cast<ForStmt>(S);
+    AddStmt(F->getInit());
+    AddStmt(F->getCond());
+    AddStmt(F->getInc());
+    AddStmt(F->getBody());
+    break;
+  }
+  case Stmt::StmtClass::IfStmt: {
+    const auto *I = stmt_cast<IfStmt>(S);
+    AddStmt(I->getCond());
+    AddStmt(I->getThen());
+    if (I->hasElse())
+      AddStmt(I->getElse());
+    break;
+  }
+  case Stmt::StmtClass::DeclStmt:
+    for (const VarDecl *D : stmt_cast<DeclStmt>(S)->decls())
+      AddDecl(D);
+    break;
+  case Stmt::StmtClass::CapturedStmt:
+    AddDecl(stmt_cast<CapturedStmt>(S)->getCapturedDecl());
+    break;
+  case Stmt::StmtClass::ConstantExpr: {
+    const auto *CE = stmt_cast<ConstantExpr>(S);
+    // Clang prints the cached value as a "value: Int N" line.
+    std::string ValueLine =
+        "value: Int " + std::to_string(CE->getResult());
+    Children.add([this, ValueLine] { writeLine(ValueLine); });
+    AddStmt(CE->getSubExpr());
+    break;
+  }
+  case Stmt::StmtClass::AttributedStmt: {
+    const auto *AS = stmt_cast<AttributedStmt>(S);
+    for (const Attr *A : AS->getAttrs()) {
+      const auto *LH = static_cast<const LoopHintAttr *>(A);
+      std::string AttrLabel = "LoopHintAttr";
+      if (LH->isImplicit())
+        AttrLabel += " Implicit";
+      AttrLabel += " loop ";
+      AttrLabel += LH->getOptionName();
+      if (LH->getValue()) {
+        AttrLabel += " Numeric";
+        const Expr *Value = LH->getValue();
+        Children.add([this, AttrLabel, Value] {
+          ChildList AttrChildren;
+          AttrChildren.add([this, Value] { dumpStmt(Value); });
+          withChildren(AttrLabel, AttrChildren);
+        });
+      } else {
+        Children.add([this, AttrLabel] { writeLine(AttrLabel); });
+      }
+    }
+    AddStmt(AS->getSubStmt());
+    break;
+  }
+  default: {
+    // OpenMP directives print their clauses first (via the specialized
+    // path, since children() does not include them), then the associated
+    // statement.
+    if (const auto *D = stmt_dyn_cast<OMPExecutableDirective>(S)) {
+      for (const OMPClause *C : D->clauses())
+        Children.add([this, C] { dumpClause(C); });
+      if (D->hasAssociatedStmt())
+        AddStmt(D->getAssociatedStmt());
+      if (ShowShadowAST) {
+        if (const auto *LT =
+                stmt_dyn_cast<OMPLoopTransformationDirective>(S)) {
+          if (const Stmt *PI = LT->getPreInits())
+            Children.add([this, PI] {
+              ChildList Sub;
+              Sub.add([this, PI] { dumpStmt(PI); });
+              withChildren("shadow: PreInits", Sub);
+            });
+          if (const Stmt *TS = LT->getTransformedStmt())
+            Children.add([this, TS] {
+              ChildList Sub;
+              Sub.add([this, TS] { dumpStmt(TS); });
+              withChildren("shadow: TransformedStmt", Sub);
+            });
+        }
+      }
+      break;
+    }
+    for (Stmt *Child : S->children())
+      AddStmt(Child);
+    break;
+  }
+  }
+
+  withChildren(stmtLabel(S), Children);
+}
+
+std::string ASTDumper::declLabel(const Decl *D) {
+  std::string L = D->getDeclClassName();
+  L += addr(D);
+  if (D->getDeclClass() == Decl::DeclClass::Captured) {
+    L += " nothrow";
+    return L;
+  }
+  if (const auto *ND = decl_dyn_cast<NamedDecl>(D)) {
+    if (D->isImplicit())
+      L += " implicit";
+    L += " " + std::string(ND->getName());
+  }
+  if (const auto *VD = decl_dyn_cast<ValueDecl>(D))
+    L += " '" + VD->getType().getAsString() + "'";
+  if (const auto *Var = decl_dyn_cast<VarDecl>(D))
+    if (Var->hasInit())
+      L += " cinit";
+  return L;
+}
+
+void ASTDumper::dumpDecl(const Decl *D) {
+  if (!D) {
+    writeLine("<<<NULL>>>");
+    return;
+  }
+
+  ChildList Children;
+  if (const auto *TU = decl_dyn_cast<TranslationUnitDecl>(D)) {
+    for (const Decl *Child : TU->decls())
+      Children.add([this, Child] { dumpDecl(Child); });
+  } else if (const auto *FD = decl_dyn_cast<FunctionDecl>(D)) {
+    for (const ParmVarDecl *P : FD->parameters())
+      Children.add([this, P] { dumpDecl(P); });
+    if (FD->hasBody())
+      Children.add([this, FD] { dumpStmt(FD->getBody()); });
+  } else if (const auto *CD = decl_dyn_cast<CapturedDecl>(D)) {
+    // Clang's order: the captured statement first, then the implicit
+    // parameters (see the paper's Listing 3).
+    Children.add([this, CD] { dumpStmt(CD->getBody()); });
+    for (const ImplicitParamDecl *P : CD->parameters())
+      Children.add([this, P] { dumpDecl(P); });
+  } else if (const auto *VD = decl_dyn_cast<VarDecl>(D)) {
+    if (VD->hasInit())
+      Children.add([this, VD] { dumpStmt(VD->getInit()); });
+  }
+
+  withChildren(declLabel(D), Children);
+}
+
+std::string dumpToString(const Stmt *S, bool ShowShadowAST) {
+  std::string Out;
+  ASTDumper D(Out);
+  D.setShowShadowAST(ShowShadowAST);
+  D.dumpStmt(S);
+  return Out;
+}
+
+std::string dumpToString(const Decl *D, bool ShowShadowAST) {
+  std::string Out;
+  ASTDumper Dumper(Out);
+  Dumper.setShowShadowAST(ShowShadowAST);
+  Dumper.dumpDecl(D);
+  return Out;
+}
+
+} // namespace mcc

@@ -1,0 +1,244 @@
+//===--- Decl.h - MiniC declaration AST nodes -------------------*- C++ -*-===//
+//
+// The Decl hierarchy. As in Clang, Decl is unrelated to Stmt in the class
+// hierarchy (there is no common AST-node base class); each hierarchy has its
+// own visitor.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_AST_DECL_H
+#define MCC_AST_DECL_H
+
+#include "ast/Type.h"
+#include "support/SourceLocation.h"
+
+#include <span>
+#include <string_view>
+
+namespace mcc {
+
+class Expr;
+class Stmt;
+class CompoundStmt;
+
+class Decl {
+public:
+  enum class DeclClass {
+    TranslationUnit,
+    Var,
+    ParmVar,
+    ImplicitParam,
+    Function,
+    Captured,
+  };
+
+  [[nodiscard]] DeclClass getDeclClass() const { return DC; }
+  [[nodiscard]] SourceLocation getLocation() const { return Loc; }
+
+  /// True for declarations synthesized by Sema rather than written in
+  /// source (implicit parameters, transformation-internal variables...).
+  [[nodiscard]] bool isImplicit() const { return Implicit; }
+  void setImplicit(bool V = true) { Implicit = V; }
+
+  [[nodiscard]] const char *getDeclClassName() const;
+
+protected:
+  Decl(DeclClass DC, SourceLocation Loc) : DC(DC), Loc(Loc) {}
+
+private:
+  DeclClass DC;
+  SourceLocation Loc;
+  bool Implicit = false;
+};
+
+class NamedDecl : public Decl {
+public:
+  /// Name storage is interned in the ASTContext and outlives the node.
+  [[nodiscard]] std::string_view getName() const { return Name; }
+
+  static bool classof(const Decl *D) {
+    return D->getDeclClass() != DeclClass::TranslationUnit &&
+           D->getDeclClass() != DeclClass::Captured;
+  }
+
+protected:
+  NamedDecl(DeclClass DC, SourceLocation Loc, std::string_view Name)
+      : Decl(DC, Loc), Name(Name) {}
+
+private:
+  std::string_view Name;
+};
+
+class ValueDecl : public NamedDecl {
+public:
+  [[nodiscard]] QualType getType() const { return Ty; }
+  void setType(QualType T) { Ty = T; }
+
+  static bool classof(const Decl *D) { return NamedDecl::classof(D); }
+
+protected:
+  ValueDecl(DeclClass DC, SourceLocation Loc, std::string_view Name,
+            QualType Ty)
+      : NamedDecl(DC, Loc, Name), Ty(Ty) {}
+
+private:
+  QualType Ty;
+};
+
+/// A variable declaration, possibly with an initializer.
+class VarDecl : public ValueDecl {
+public:
+  VarDecl(SourceLocation Loc, std::string_view Name, QualType Ty,
+          Expr *Init = nullptr)
+      : ValueDecl(DeclClass::Var, Loc, Name, Ty), Init(Init) {}
+
+  [[nodiscard]] Expr *getInit() const { return Init; }
+  void setInit(Expr *E) { Init = E; }
+  [[nodiscard]] bool hasInit() const { return Init != nullptr; }
+
+  /// File-scope variables become IR globals.
+  [[nodiscard]] bool isFileScope() const { return FileScope; }
+  void setFileScope(bool V = true) { FileScope = V; }
+
+  static bool classof(const Decl *D) {
+    return D->getDeclClass() == DeclClass::Var ||
+           D->getDeclClass() == DeclClass::ParmVar ||
+           D->getDeclClass() == DeclClass::ImplicitParam;
+  }
+
+protected:
+  VarDecl(DeclClass DC, SourceLocation Loc, std::string_view Name, QualType Ty)
+      : ValueDecl(DC, Loc, Name, Ty) {}
+
+private:
+  Expr *Init = nullptr;
+  bool FileScope = false;
+};
+
+/// A function parameter written in source.
+class ParmVarDecl final : public VarDecl {
+public:
+  ParmVarDecl(SourceLocation Loc, std::string_view Name, QualType Ty)
+      : VarDecl(DeclClass::ParmVar, Loc, Name, Ty) {}
+
+  static bool classof(const Decl *D) {
+    return D->getDeclClass() == DeclClass::ParmVar;
+  }
+};
+
+/// A parameter synthesized by Sema for a CapturedDecl, e.g. the
+/// ".global_tid." / ".bound_tid." / "__context" parameters the paper's
+/// Listing 3 shows, or the "Result" / logical-iteration parameters of the
+/// OMPCanonicalLoop distance and loop-variable functions.
+class ImplicitParamDecl final : public VarDecl {
+public:
+  ImplicitParamDecl(SourceLocation Loc, std::string_view Name, QualType Ty)
+      : VarDecl(DeclClass::ImplicitParam, Loc, Name, Ty) {
+    setImplicit();
+  }
+
+  static bool classof(const Decl *D) {
+    return D->getDeclClass() == DeclClass::ImplicitParam;
+  }
+};
+
+class FunctionDecl final : public ValueDecl {
+public:
+  FunctionDecl(SourceLocation Loc, std::string_view Name, QualType Ty,
+               std::span<ParmVarDecl *const> Params)
+      : ValueDecl(DeclClass::Function, Loc, Name, Ty), Params(Params) {}
+
+  [[nodiscard]] const FunctionType *getFunctionType() const {
+    return type_cast<FunctionType>(getType().getTypePtr());
+  }
+  [[nodiscard]] QualType getReturnType() const {
+    return getFunctionType()->getResultType();
+  }
+
+  [[nodiscard]] std::span<ParmVarDecl *const> parameters() const {
+    return Params;
+  }
+  [[nodiscard]] unsigned getNumParams() const {
+    return static_cast<unsigned>(Params.size());
+  }
+
+  [[nodiscard]] Stmt *getBody() const { return Body; }
+  void setBody(Stmt *B) { Body = B; }
+  [[nodiscard]] bool hasBody() const { return Body != nullptr; }
+
+  /// Functions without bodies are external (bound by the interpreter to
+  /// native implementations, e.g. the OpenMP runtime entry points).
+  [[nodiscard]] bool isExternal() const { return Body == nullptr; }
+
+  static bool classof(const Decl *D) {
+    return D->getDeclClass() == DeclClass::Function;
+  }
+
+private:
+  std::span<ParmVarDecl *const> Params;
+  Stmt *Body = nullptr;
+};
+
+/// The 'lambda function' definition carried by a CapturedStmt (see the
+/// paper's Listing 3): holds the captured statement and the implicit
+/// parameters of the outlined function.
+class CapturedDecl final : public Decl {
+public:
+  CapturedDecl(SourceLocation Loc, Stmt *Body,
+               std::span<ImplicitParamDecl *const> Params)
+      : Decl(DeclClass::Captured, Loc), Body(Body), Params(Params) {
+    setImplicit();
+  }
+
+  [[nodiscard]] Stmt *getBody() const { return Body; }
+  [[nodiscard]] std::span<ImplicitParamDecl *const> parameters() const {
+    return Params;
+  }
+  [[nodiscard]] unsigned getNumParams() const {
+    return static_cast<unsigned>(Params.size());
+  }
+  [[nodiscard]] ImplicitParamDecl *getParam(unsigned I) const {
+    return Params[I];
+  }
+
+  static bool classof(const Decl *D) {
+    return D->getDeclClass() == DeclClass::Captured;
+  }
+
+private:
+  Stmt *Body;
+  std::span<ImplicitParamDecl *const> Params;
+};
+
+class TranslationUnitDecl final : public Decl {
+public:
+  explicit TranslationUnitDecl(std::span<Decl *const> Decls)
+      : Decl(DeclClass::TranslationUnit, SourceLocation()), Decls(Decls) {}
+
+  [[nodiscard]] std::span<Decl *const> decls() const { return Decls; }
+
+  static bool classof(const Decl *D) {
+    return D->getDeclClass() == DeclClass::TranslationUnit;
+  }
+
+private:
+  std::span<Decl *const> Decls;
+};
+
+template <typename To> To *decl_dyn_cast(Decl *D) {
+  return (D && To::classof(D)) ? static_cast<To *>(D) : nullptr;
+}
+template <typename To> const To *decl_dyn_cast(const Decl *D) {
+  return (D && To::classof(D)) ? static_cast<const To *>(D) : nullptr;
+}
+template <typename To> To *decl_cast(Decl *D) {
+  assert(D && To::classof(D) && "bad decl_cast");
+  return static_cast<To *>(D);
+}
+template <typename To> const To *decl_cast(const Decl *D) {
+  assert(D && To::classof(D) && "bad decl_cast");
+  return static_cast<const To *>(D);
+}
+
+} // namespace mcc
+
+#endif // MCC_AST_DECL_H

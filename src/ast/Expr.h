@@ -1,0 +1,426 @@
+//===--- Expr.h - MiniC expression AST nodes --------------------*- C++ -*-===//
+//
+// Expressions. As in Clang, Expr derives from Stmt (an expression can be
+// used as a statement with its result ignored). Sema inserts
+// ImplicitCastExpr nodes so that every operator sees operands of its
+// computation type, and lvalue-to-rvalue conversions are explicit.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_AST_EXPR_H
+#define MCC_AST_EXPR_H
+
+#include "ast/Stmt.h"
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace mcc {
+
+class Expr : public Stmt {
+public:
+  [[nodiscard]] QualType getType() const { return Ty; }
+  void setType(QualType T) { Ty = T; }
+
+  [[nodiscard]] bool isLValue() const { return LValue; }
+  void setIsLValue(bool V) { LValue = V; }
+
+  /// Strips ParenExpr, ImplicitCastExpr and ConstantExpr wrappers.
+  [[nodiscard]] Expr *ignoreParenImpCasts();
+  [[nodiscard]] const Expr *ignoreParenImpCasts() const {
+    return const_cast<Expr *>(this)->ignoreParenImpCasts();
+  }
+  /// Strips ParenExpr wrappers only.
+  [[nodiscard]] Expr *ignoreParens();
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() >= StmtClass::firstExpr &&
+           S->getStmtClass() <= StmtClass::lastExpr;
+  }
+
+protected:
+  Expr(StmtClass SC, SourceRange Range, QualType Ty, bool LValue = false)
+      : Stmt(SC, Range), Ty(Ty), LValue(LValue) {}
+
+private:
+  QualType Ty;
+  bool LValue = false;
+};
+
+class IntegerLiteral final : public Expr {
+public:
+  IntegerLiteral(SourceLocation Loc, QualType Ty, std::uint64_t Value)
+      : Expr(StmtClass::IntegerLiteral, SourceRange(Loc), Ty), Value(Value) {}
+
+  [[nodiscard]] std::uint64_t getValue() const { return Value; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::IntegerLiteral;
+  }
+
+private:
+  std::uint64_t Value;
+};
+
+class FloatingLiteral final : public Expr {
+public:
+  FloatingLiteral(SourceLocation Loc, QualType Ty, double Value)
+      : Expr(StmtClass::FloatingLiteral, SourceRange(Loc), Ty), Value(Value) {}
+
+  [[nodiscard]] double getValue() const { return Value; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::FloatingLiteral;
+  }
+
+private:
+  double Value;
+};
+
+class BoolLiteral final : public Expr {
+public:
+  BoolLiteral(SourceLocation Loc, QualType Ty, bool Value)
+      : Expr(StmtClass::BoolLiteral, SourceRange(Loc), Ty), Value(Value) {}
+
+  [[nodiscard]] bool getValue() const { return Value; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::BoolLiteral;
+  }
+
+private:
+  bool Value;
+};
+
+class StringLiteral final : public Expr {
+public:
+  StringLiteral(SourceLocation Loc, QualType Ty, std::string_view Value)
+      : Expr(StmtClass::StringLiteral, SourceRange(Loc), Ty, /*LValue=*/true),
+        Value(Value) {}
+
+  [[nodiscard]] std::string_view getValue() const { return Value; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::StringLiteral;
+  }
+
+private:
+  std::string_view Value; // interned in ASTContext
+};
+
+/// A reference to a declared value (variable, parameter or function).
+class DeclRefExpr final : public Expr {
+public:
+  DeclRefExpr(SourceLocation Loc, ValueDecl *D, QualType Ty)
+      : Expr(StmtClass::DeclRefExpr, SourceRange(Loc), Ty, /*LValue=*/true),
+        D(D) {}
+
+  [[nodiscard]] ValueDecl *getDecl() const { return D; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::DeclRefExpr;
+  }
+
+private:
+  ValueDecl *D;
+};
+
+enum class CastKind {
+  LValueToRValue,
+  IntegralCast,
+  IntegralToBoolean,
+  IntegralToFloating,
+  FloatingToIntegral,
+  FloatingCast,
+  FloatingToBoolean,
+  PointerToBoolean,
+  ArrayToPointerDecay,
+  FunctionToPointerDecay,
+  NoOp,
+};
+
+const char *getCastKindName(CastKind CK);
+
+/// A conversion inserted by Sema (semantic-only node; the paper notes
+/// Clang's AST mixes such nodes with syntax-only ones in one tree).
+class ImplicitCastExpr final : public Expr {
+public:
+  ImplicitCastExpr(QualType Ty, CastKind CK, Expr *Op)
+      : Expr(StmtClass::ImplicitCastExpr, Op->getSourceRange(), Ty), CK(CK),
+        Op(Op) {}
+
+  [[nodiscard]] CastKind getCastKind() const { return CK; }
+  [[nodiscard]] Expr *getSubExpr() const { return Op; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::ImplicitCastExpr;
+  }
+
+private:
+  CastKind CK;
+  Expr *Op;
+};
+
+/// "(expr)" — a syntax-only node preserved for fidelity of the AST dump.
+class ParenExpr final : public Expr {
+public:
+  ParenExpr(SourceRange Range, Expr *Op)
+      : Expr(StmtClass::ParenExpr, Range, Op->getType(), Op->isLValue()),
+        Op(Op) {}
+
+  [[nodiscard]] Expr *getSubExpr() const { return Op; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::ParenExpr;
+  }
+
+private:
+  Expr *Op;
+};
+
+enum class UnaryOperatorKind {
+  PostInc,
+  PostDec,
+  PreInc,
+  PreDec,
+  Plus,
+  Minus,
+  LNot,
+  Not, // bitwise ~
+  Deref,
+  AddrOf,
+};
+
+const char *getUnaryOperatorSpelling(UnaryOperatorKind Op);
+
+class UnaryOperator final : public Expr {
+public:
+  UnaryOperator(SourceRange Range, UnaryOperatorKind Opc, QualType Ty,
+                Expr *Operand, bool LValue = false)
+      : Expr(StmtClass::UnaryOperator, Range, Ty, LValue), Opc(Opc),
+        Operand(Operand) {}
+
+  [[nodiscard]] UnaryOperatorKind getOpcode() const { return Opc; }
+  [[nodiscard]] Expr *getSubExpr() const { return Operand; }
+
+  [[nodiscard]] bool isIncrementDecrementOp() const {
+    return Opc == UnaryOperatorKind::PostInc ||
+           Opc == UnaryOperatorKind::PostDec ||
+           Opc == UnaryOperatorKind::PreInc ||
+           Opc == UnaryOperatorKind::PreDec;
+  }
+  [[nodiscard]] bool isIncrementOp() const {
+    return Opc == UnaryOperatorKind::PostInc ||
+           Opc == UnaryOperatorKind::PreInc;
+  }
+  [[nodiscard]] bool isPrefix() const {
+    return Opc == UnaryOperatorKind::PreInc ||
+           Opc == UnaryOperatorKind::PreDec;
+  }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::UnaryOperator;
+  }
+
+private:
+  UnaryOperatorKind Opc;
+  Expr *Operand;
+};
+
+enum class BinaryOperatorKind {
+  // Arithmetic / bitwise
+  Mul,
+  Div,
+  Rem,
+  Add,
+  Sub,
+  Shl,
+  Shr,
+  // Relational / equality
+  LT,
+  GT,
+  LE,
+  GE,
+  EQ,
+  NE,
+  // Bitwise
+  And,
+  Xor,
+  Or,
+  // Logical (short-circuit)
+  LAnd,
+  LOr,
+  // Assignment
+  Assign,
+  MulAssign,
+  DivAssign,
+  RemAssign,
+  AddAssign,
+  SubAssign,
+  AndAssign,
+  XorAssign,
+  OrAssign,
+  // Sequencing
+  Comma,
+};
+
+const char *getBinaryOperatorSpelling(BinaryOperatorKind Op);
+
+class BinaryOperator final : public Expr {
+public:
+  BinaryOperator(SourceRange Range, BinaryOperatorKind Opc, QualType Ty,
+                 Expr *LHS, Expr *RHS, bool LValue = false)
+      : Expr(StmtClass::BinaryOperator, Range, Ty, LValue), Opc(Opc), LHS(LHS),
+        RHS(RHS) {}
+
+  [[nodiscard]] BinaryOperatorKind getOpcode() const { return Opc; }
+  [[nodiscard]] Expr *getLHS() const { return LHS; }
+  [[nodiscard]] Expr *getRHS() const { return RHS; }
+
+  [[nodiscard]] bool isAssignmentOp() const {
+    return Opc >= BinaryOperatorKind::Assign &&
+           Opc <= BinaryOperatorKind::OrAssign;
+  }
+  [[nodiscard]] bool isCompoundAssignmentOp() const {
+    return Opc > BinaryOperatorKind::Assign &&
+           Opc <= BinaryOperatorKind::OrAssign;
+  }
+  [[nodiscard]] bool isRelationalOp() const {
+    return Opc >= BinaryOperatorKind::LT && Opc <= BinaryOperatorKind::GE;
+  }
+  [[nodiscard]] bool isEqualityOp() const {
+    return Opc == BinaryOperatorKind::EQ || Opc == BinaryOperatorKind::NE;
+  }
+  [[nodiscard]] bool isComparisonOp() const {
+    return isRelationalOp() || isEqualityOp();
+  }
+  [[nodiscard]] bool isAdditiveOp() const {
+    return Opc == BinaryOperatorKind::Add || Opc == BinaryOperatorKind::Sub;
+  }
+  [[nodiscard]] bool isLogicalOp() const {
+    return Opc == BinaryOperatorKind::LAnd || Opc == BinaryOperatorKind::LOr;
+  }
+
+  /// For compound assignments, the underlying arithmetic opcode
+  /// (AddAssign -> Add etc.).
+  [[nodiscard]] BinaryOperatorKind getCompoundOpcode() const {
+    switch (Opc) {
+    case BinaryOperatorKind::MulAssign:
+      return BinaryOperatorKind::Mul;
+    case BinaryOperatorKind::DivAssign:
+      return BinaryOperatorKind::Div;
+    case BinaryOperatorKind::RemAssign:
+      return BinaryOperatorKind::Rem;
+    case BinaryOperatorKind::AddAssign:
+      return BinaryOperatorKind::Add;
+    case BinaryOperatorKind::SubAssign:
+      return BinaryOperatorKind::Sub;
+    case BinaryOperatorKind::AndAssign:
+      return BinaryOperatorKind::And;
+    case BinaryOperatorKind::XorAssign:
+      return BinaryOperatorKind::Xor;
+    case BinaryOperatorKind::OrAssign:
+      return BinaryOperatorKind::Or;
+    default:
+      assert(false && "not a compound assignment");
+      return Opc;
+    }
+  }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::BinaryOperator;
+  }
+
+private:
+  BinaryOperatorKind Opc;
+  Expr *LHS;
+  Expr *RHS;
+};
+
+class ConditionalOperator final : public Expr {
+public:
+  ConditionalOperator(SourceRange Range, QualType Ty, Expr *Cond,
+                      Expr *TrueExpr, Expr *FalseExpr)
+      : Expr(StmtClass::ConditionalOperator, Range, Ty), Cond(Cond),
+        TrueExpr(TrueExpr), FalseExpr(FalseExpr) {}
+
+  [[nodiscard]] Expr *getCond() const { return Cond; }
+  [[nodiscard]] Expr *getTrueExpr() const { return TrueExpr; }
+  [[nodiscard]] Expr *getFalseExpr() const { return FalseExpr; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::ConditionalOperator;
+  }
+
+private:
+  Expr *Cond;
+  Expr *TrueExpr;
+  Expr *FalseExpr;
+};
+
+class CallExpr final : public Expr {
+public:
+  CallExpr(SourceRange Range, QualType Ty, Expr *Callee,
+           std::span<Expr *const> Args)
+      : Expr(StmtClass::CallExpr, Range, Ty), Callee(Callee), Args(Args) {}
+
+  [[nodiscard]] Expr *getCallee() const { return Callee; }
+  [[nodiscard]] std::span<Expr *const> arguments() const { return Args; }
+  [[nodiscard]] unsigned getNumArgs() const {
+    return static_cast<unsigned>(Args.size());
+  }
+
+  /// The FunctionDecl being called, if the callee is a direct reference.
+  [[nodiscard]] FunctionDecl *getDirectCallee() const;
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::CallExpr;
+  }
+
+private:
+  Expr *Callee;
+  std::span<Expr *const> Args;
+};
+
+class ArraySubscriptExpr final : public Expr {
+public:
+  ArraySubscriptExpr(SourceRange Range, QualType Ty, Expr *Base, Expr *Index)
+      : Expr(StmtClass::ArraySubscriptExpr, Range, Ty, /*LValue=*/true),
+        Base(Base), Index(Index) {}
+
+  [[nodiscard]] Expr *getBase() const { return Base; }
+  [[nodiscard]] Expr *getIndex() const { return Index; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::ArraySubscriptExpr;
+  }
+
+private:
+  Expr *Base;
+  Expr *Index;
+};
+
+/// Wraps an expression that Sema has evaluated as an integral constant,
+/// caching the value — the paper's Listing 6 shows this node wrapping the
+/// argument of OMPPartialClause ("ConstantExpr ... value: Int 2").
+class ConstantExpr final : public Expr {
+public:
+  ConstantExpr(Expr *Sub, std::int64_t Value)
+      : Expr(StmtClass::ConstantExpr, Sub->getSourceRange(), Sub->getType()),
+        Sub(Sub), Value(Value) {}
+
+  [[nodiscard]] Expr *getSubExpr() const { return Sub; }
+  [[nodiscard]] std::int64_t getResult() const { return Value; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::ConstantExpr;
+  }
+
+private:
+  Expr *Sub;
+  std::int64_t Value;
+};
+
+} // namespace mcc
+
+#endif // MCC_AST_EXPR_H

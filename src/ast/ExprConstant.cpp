@@ -1,0 +1,178 @@
+#include "ast/ExprConstant.h"
+
+namespace mcc {
+
+namespace {
+
+std::optional<std::int64_t> evalImpl(const Expr *E, bool ReadConstVars) {
+  switch (E->getStmtClass()) {
+  case Stmt::StmtClass::IntegerLiteral:
+    return static_cast<std::int64_t>(
+        stmt_cast<IntegerLiteral>(E)->getValue());
+  case Stmt::StmtClass::BoolLiteral:
+    return stmt_cast<BoolLiteral>(E)->getValue() ? 1 : 0;
+  case Stmt::StmtClass::ConstantExpr:
+    return stmt_cast<ConstantExpr>(E)->getResult();
+  case Stmt::StmtClass::ParenExpr:
+    return evalImpl(stmt_cast<ParenExpr>(E)->getSubExpr(), ReadConstVars);
+  case Stmt::StmtClass::ImplicitCastExpr: {
+    const auto *ICE = stmt_cast<ImplicitCastExpr>(E);
+    auto Sub = evalImpl(ICE->getSubExpr(), ReadConstVars);
+    if (!Sub)
+      return std::nullopt;
+    switch (ICE->getCastKind()) {
+    case CastKind::LValueToRValue:
+    case CastKind::NoOp:
+      return Sub;
+    case CastKind::IntegralToBoolean:
+      return *Sub != 0 ? 1 : 0;
+    case CastKind::IntegralCast: {
+      // Truncate / extend to the destination width and signedness.
+      const Type *T = ICE->getType().getTypePtr();
+      unsigned Bytes = T->getSizeInBytes();
+      if (Bytes >= 8)
+        return Sub;
+      std::uint64_t Mask = (1ULL << (Bytes * 8)) - 1;
+      std::uint64_t Truncated = static_cast<std::uint64_t>(*Sub) & Mask;
+      if (T->isSignedIntegerType()) {
+        std::uint64_t SignBit = 1ULL << (Bytes * 8 - 1);
+        if (Truncated & SignBit)
+          Truncated |= ~Mask;
+      }
+      return static_cast<std::int64_t>(Truncated);
+    }
+    default:
+      return std::nullopt; // floating casts are not integral constants
+    }
+  }
+  case Stmt::StmtClass::DeclRefExpr: {
+    if (!ReadConstVars)
+      return std::nullopt;
+    const auto *DRE = stmt_cast<DeclRefExpr>(E);
+    const auto *VD = decl_dyn_cast<VarDecl>(DRE->getDecl());
+    if (!VD || !VD->getType().isConstQualified() || !VD->hasInit())
+      return std::nullopt;
+    return evalImpl(VD->getInit(), ReadConstVars);
+  }
+  case Stmt::StmtClass::UnaryOperator: {
+    const auto *UO = stmt_cast<UnaryOperator>(E);
+    auto Sub = evalImpl(UO->getSubExpr(), ReadConstVars);
+    if (!Sub)
+      return std::nullopt;
+    switch (UO->getOpcode()) {
+    case UnaryOperatorKind::Plus:
+      return Sub;
+    case UnaryOperatorKind::Minus:
+      return -*Sub;
+    case UnaryOperatorKind::LNot:
+      return *Sub == 0 ? 1 : 0;
+    case UnaryOperatorKind::Not:
+      return ~*Sub;
+    default:
+      return std::nullopt; // ++/--/deref/addrof are not constants
+    }
+  }
+  case Stmt::StmtClass::BinaryOperator: {
+    const auto *BO = stmt_cast<BinaryOperator>(E);
+    if (BO->isAssignmentOp())
+      return std::nullopt;
+    auto L = evalImpl(BO->getLHS(), ReadConstVars);
+    if (!L)
+      return std::nullopt;
+    // Short-circuit operators may be constant even with a non-constant RHS.
+    if (BO->getOpcode() == BinaryOperatorKind::LAnd && *L == 0)
+      return 0;
+    if (BO->getOpcode() == BinaryOperatorKind::LOr && *L != 0)
+      return 1;
+    auto R = evalImpl(BO->getRHS(), ReadConstVars);
+    if (!R)
+      return std::nullopt;
+    bool IsUnsigned = BO->getLHS()->getType()->isUnsignedIntegerType();
+    switch (BO->getOpcode()) {
+    case BinaryOperatorKind::Mul:
+      return *L * *R;
+    case BinaryOperatorKind::Div:
+      if (*R == 0)
+        return std::nullopt;
+      if (IsUnsigned)
+        return static_cast<std::int64_t>(static_cast<std::uint64_t>(*L) /
+                                         static_cast<std::uint64_t>(*R));
+      return *L / *R;
+    case BinaryOperatorKind::Rem:
+      if (*R == 0)
+        return std::nullopt;
+      if (IsUnsigned)
+        return static_cast<std::int64_t>(static_cast<std::uint64_t>(*L) %
+                                         static_cast<std::uint64_t>(*R));
+      return *L % *R;
+    case BinaryOperatorKind::Add:
+      return *L + *R;
+    case BinaryOperatorKind::Sub:
+      return *L - *R;
+    case BinaryOperatorKind::Shl:
+      return *L << (*R & 63);
+    case BinaryOperatorKind::Shr:
+      if (IsUnsigned)
+        return static_cast<std::int64_t>(static_cast<std::uint64_t>(*L) >>
+                                         (*R & 63));
+      return *L >> (*R & 63);
+    case BinaryOperatorKind::LT:
+      return IsUnsigned ? (static_cast<std::uint64_t>(*L) <
+                           static_cast<std::uint64_t>(*R))
+                        : (*L < *R);
+    case BinaryOperatorKind::GT:
+      return IsUnsigned ? (static_cast<std::uint64_t>(*L) >
+                           static_cast<std::uint64_t>(*R))
+                        : (*L > *R);
+    case BinaryOperatorKind::LE:
+      return IsUnsigned ? (static_cast<std::uint64_t>(*L) <=
+                           static_cast<std::uint64_t>(*R))
+                        : (*L <= *R);
+    case BinaryOperatorKind::GE:
+      return IsUnsigned ? (static_cast<std::uint64_t>(*L) >=
+                           static_cast<std::uint64_t>(*R))
+                        : (*L >= *R);
+    case BinaryOperatorKind::EQ:
+      return *L == *R;
+    case BinaryOperatorKind::NE:
+      return *L != *R;
+    case BinaryOperatorKind::And:
+      return *L & *R;
+    case BinaryOperatorKind::Xor:
+      return *L ^ *R;
+    case BinaryOperatorKind::Or:
+      return *L | *R;
+    case BinaryOperatorKind::LAnd:
+      return (*L != 0 && *R != 0) ? 1 : 0;
+    case BinaryOperatorKind::LOr:
+      return (*L != 0 || *R != 0) ? 1 : 0;
+    case BinaryOperatorKind::Comma:
+      return R;
+    default:
+      return std::nullopt;
+    }
+  }
+  case Stmt::StmtClass::ConditionalOperator: {
+    const auto *CO = stmt_cast<ConditionalOperator>(E);
+    auto C = evalImpl(CO->getCond(), ReadConstVars);
+    if (!C)
+      return std::nullopt;
+    return evalImpl(*C ? CO->getTrueExpr() : CO->getFalseExpr(),
+                    ReadConstVars);
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+} // namespace
+
+std::optional<std::int64_t> evaluateInteger(const Expr *E) {
+  return evalImpl(E, /*ReadConstVars=*/false);
+}
+
+std::optional<std::int64_t> evaluateIntegerWithConstVars(const Expr *E) {
+  return evalImpl(E, /*ReadConstVars=*/true);
+}
+
+} // namespace mcc

@@ -1,0 +1,30 @@
+//===--- ExprConstant.h - Integral constant expression evaluation -*- C++ -*-===//
+//
+// Compile-time evaluation of integral constant expressions (Clang's
+// Expr::EvaluateAsInt analogue). Used by Sema to validate clause arguments
+// (tile sizes, unroll factors, collapse counts), to fold trip counts of
+// loops with constant bounds, and by the shadow-AST transformations.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_AST_EXPRCONSTANT_H
+#define MCC_AST_EXPRCONSTANT_H
+
+#include "ast/Expr.h"
+
+#include <optional>
+
+namespace mcc {
+
+/// Evaluates \p E as an integral constant. Returns std::nullopt if the
+/// expression is not a constant (references non-const variables, calls
+/// functions, divides by zero, ...). Signedness follows the expression's
+/// type; the returned value is the sign-extended representation.
+std::optional<std::int64_t> evaluateInteger(const Expr *E);
+
+/// Like evaluateInteger but also reads through const-qualified variables
+/// with constant initializers.
+std::optional<std::int64_t> evaluateIntegerWithConstVars(const Expr *E);
+
+} // namespace mcc
+
+#endif // MCC_AST_EXPRCONSTANT_H

@@ -1,0 +1,242 @@
+//===--- OpenMPClause.h - OpenMP clause AST nodes ---------------*- C++ -*-===//
+//
+// The OMPClause hierarchy (paper Fig. 6). Clauses are AST nodes but, like in
+// Clang, are unrelated to Stmt/Decl/Type in the class hierarchy — they have
+// their own base class and their own visitor. In particular they are not
+// enumerated by Stmt::children() (see the footnote in Section 1.2 of the
+// paper).
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_AST_OPENMPCLAUSE_H
+#define MCC_AST_OPENMPCLAUSE_H
+
+#include "ast/Expr.h"
+#include "ast/OpenMPKinds.h"
+
+#include <span>
+
+namespace mcc {
+
+class OMPClause {
+public:
+  [[nodiscard]] OpenMPClauseKind getClauseKind() const { return Kind; }
+  [[nodiscard]] SourceLocation getBeginLoc() const {
+    return Range.getBegin();
+  }
+  [[nodiscard]] SourceRange getSourceRange() const { return Range; }
+
+  [[nodiscard]] std::string_view getClauseName() const {
+    return getOpenMPClauseName(Kind);
+  }
+
+protected:
+  OMPClause(OpenMPClauseKind Kind, SourceRange Range)
+      : Kind(Kind), Range(Range) {}
+
+private:
+  OpenMPClauseKind Kind;
+  SourceRange Range;
+};
+
+template <typename To> const To *clause_dyn_cast(const OMPClause *C) {
+  return (C && To::classof(C)) ? static_cast<const To *>(C) : nullptr;
+}
+template <typename To> const To *clause_cast(const OMPClause *C) {
+  assert(C && To::classof(C) && "bad clause_cast");
+  return static_cast<const To *>(C);
+}
+
+/// num_threads(expr)
+class OMPNumThreadsClause final : public OMPClause {
+public:
+  OMPNumThreadsClause(SourceRange Range, Expr *NumThreads)
+      : OMPClause(OpenMPClauseKind::NumThreads, Range),
+        NumThreads(NumThreads) {}
+
+  [[nodiscard]] Expr *getNumThreads() const { return NumThreads; }
+
+  static bool classof(const OMPClause *C) {
+    return C->getClauseKind() == OpenMPClauseKind::NumThreads;
+  }
+
+private:
+  Expr *NumThreads;
+};
+
+/// schedule(kind[, chunk])
+class OMPScheduleClause final : public OMPClause {
+public:
+  OMPScheduleClause(SourceRange Range, OpenMPScheduleKind Kind, Expr *Chunk)
+      : OMPClause(OpenMPClauseKind::Schedule, Range), Kind(Kind),
+        Chunk(Chunk) {}
+
+  [[nodiscard]] OpenMPScheduleKind getScheduleKind() const { return Kind; }
+  [[nodiscard]] Expr *getChunkSize() const { return Chunk; }
+
+  static bool classof(const OMPClause *C) {
+    return C->getClauseKind() == OpenMPClauseKind::Schedule;
+  }
+
+private:
+  OpenMPScheduleKind Kind;
+  Expr *Chunk; // may be null
+};
+
+/// collapse(n) — n must be a constant positive integer.
+class OMPCollapseClause final : public OMPClause {
+public:
+  OMPCollapseClause(SourceRange Range, ConstantExpr *Num)
+      : OMPClause(OpenMPClauseKind::Collapse, Range), Num(Num) {}
+
+  [[nodiscard]] ConstantExpr *getNumForLoops() const { return Num; }
+  [[nodiscard]] unsigned getCollapseCount() const {
+    return static_cast<unsigned>(Num->getResult());
+  }
+
+  static bool classof(const OMPClause *C) {
+    return C->getClauseKind() == OpenMPClauseKind::Collapse;
+  }
+
+private:
+  ConstantExpr *Num;
+};
+
+/// full — request complete unrolling (paper Fig. 6, green).
+class OMPFullClause final : public OMPClause {
+public:
+  explicit OMPFullClause(SourceRange Range)
+      : OMPClause(OpenMPClauseKind::Full, Range) {}
+
+  static bool classof(const OMPClause *C) {
+    return C->getClauseKind() == OpenMPClauseKind::Full;
+  }
+};
+
+/// partial(k) — request partial unrolling with factor k (paper Fig. 6).
+/// The factor may be omitted, in which case the implementation chooses.
+class OMPPartialClause final : public OMPClause {
+public:
+  OMPPartialClause(SourceRange Range, ConstantExpr *Factor)
+      : OMPClause(OpenMPClauseKind::Partial, Range), Factor(Factor) {}
+
+  /// Null when "partial" was written without an argument.
+  [[nodiscard]] ConstantExpr *getFactor() const { return Factor; }
+
+  static bool classof(const OMPClause *C) {
+    return C->getClauseKind() == OpenMPClauseKind::Partial;
+  }
+
+private:
+  ConstantExpr *Factor;
+};
+
+/// sizes(s1, ..., sn) — tile sizes (paper Fig. 6).
+class OMPSizesClause final : public OMPClause {
+public:
+  OMPSizesClause(SourceRange Range, std::span<ConstantExpr *const> Sizes)
+      : OMPClause(OpenMPClauseKind::Sizes, Range), Sizes(Sizes) {}
+
+  [[nodiscard]] std::span<ConstantExpr *const> getSizesRefs() const {
+    return Sizes;
+  }
+  [[nodiscard]] unsigned getNumSizes() const {
+    return static_cast<unsigned>(Sizes.size());
+  }
+  [[nodiscard]] std::int64_t getSize(unsigned I) const {
+    return Sizes[I]->getResult();
+  }
+
+  static bool classof(const OMPClause *C) {
+    return C->getClauseKind() == OpenMPClauseKind::Sizes;
+  }
+
+private:
+  std::span<ConstantExpr *const> Sizes;
+};
+
+/// Base for clauses carrying a list of variables.
+class OMPVarListClause : public OMPClause {
+public:
+  [[nodiscard]] std::span<DeclRefExpr *const> getVarRefs() const {
+    return Vars;
+  }
+  [[nodiscard]] unsigned getNumVars() const {
+    return static_cast<unsigned>(Vars.size());
+  }
+
+  static bool classof(const OMPClause *C) {
+    OpenMPClauseKind K = C->getClauseKind();
+    return K == OpenMPClauseKind::Private ||
+           K == OpenMPClauseKind::FirstPrivate ||
+           K == OpenMPClauseKind::Shared ||
+           K == OpenMPClauseKind::Reduction;
+  }
+
+protected:
+  OMPVarListClause(OpenMPClauseKind Kind, SourceRange Range,
+                   std::span<DeclRefExpr *const> Vars)
+      : OMPClause(Kind, Range), Vars(Vars) {}
+
+private:
+  std::span<DeclRefExpr *const> Vars;
+};
+
+class OMPPrivateClause final : public OMPVarListClause {
+public:
+  OMPPrivateClause(SourceRange Range, std::span<DeclRefExpr *const> Vars)
+      : OMPVarListClause(OpenMPClauseKind::Private, Range, Vars) {}
+
+  static bool classof(const OMPClause *C) {
+    return C->getClauseKind() == OpenMPClauseKind::Private;
+  }
+};
+
+class OMPFirstPrivateClause final : public OMPVarListClause {
+public:
+  OMPFirstPrivateClause(SourceRange Range, std::span<DeclRefExpr *const> Vars)
+      : OMPVarListClause(OpenMPClauseKind::FirstPrivate, Range, Vars) {}
+
+  static bool classof(const OMPClause *C) {
+    return C->getClauseKind() == OpenMPClauseKind::FirstPrivate;
+  }
+};
+
+class OMPSharedClause final : public OMPVarListClause {
+public:
+  OMPSharedClause(SourceRange Range, std::span<DeclRefExpr *const> Vars)
+      : OMPVarListClause(OpenMPClauseKind::Shared, Range, Vars) {}
+
+  static bool classof(const OMPClause *C) {
+    return C->getClauseKind() == OpenMPClauseKind::Shared;
+  }
+};
+
+class OMPReductionClause final : public OMPVarListClause {
+public:
+  OMPReductionClause(SourceRange Range, OpenMPReductionOp Op,
+                     std::span<DeclRefExpr *const> Vars)
+      : OMPVarListClause(OpenMPClauseKind::Reduction, Range, Vars), Op(Op) {}
+
+  [[nodiscard]] OpenMPReductionOp getOperator() const { return Op; }
+
+  static bool classof(const OMPClause *C) {
+    return C->getClauseKind() == OpenMPClauseKind::Reduction;
+  }
+
+private:
+  OpenMPReductionOp Op;
+};
+
+class OMPNoWaitClause final : public OMPClause {
+public:
+  explicit OMPNoWaitClause(SourceRange Range)
+      : OMPClause(OpenMPClauseKind::NoWait, Range) {}
+
+  static bool classof(const OMPClause *C) {
+    return C->getClauseKind() == OpenMPClauseKind::NoWait;
+  }
+};
+
+} // namespace mcc
+
+#endif // MCC_AST_OPENMPCLAUSE_H

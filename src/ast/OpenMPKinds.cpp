@@ -1,0 +1,238 @@
+#include "ast/OpenMPKinds.h"
+
+namespace mcc {
+
+std::string_view getOpenMPDirectiveName(OpenMPDirectiveKind Kind) {
+  switch (Kind) {
+  case OpenMPDirectiveKind::Unknown:
+    return "unknown";
+  case OpenMPDirectiveKind::Parallel:
+    return "parallel";
+  case OpenMPDirectiveKind::For:
+    return "for";
+  case OpenMPDirectiveKind::ParallelFor:
+    return "parallel for";
+  case OpenMPDirectiveKind::Simd:
+    return "simd";
+  case OpenMPDirectiveKind::ForSimd:
+    return "for simd";
+  case OpenMPDirectiveKind::Tile:
+    return "tile";
+  case OpenMPDirectiveKind::Unroll:
+    return "unroll";
+  case OpenMPDirectiveKind::Barrier:
+    return "barrier";
+  case OpenMPDirectiveKind::Critical:
+    return "critical";
+  case OpenMPDirectiveKind::Single:
+    return "single";
+  case OpenMPDirectiveKind::Master:
+    return "master";
+  }
+  return "unknown";
+}
+
+OpenMPDirectiveKind parseOpenMPDirectiveKind(std::string_view Name) {
+  if (Name == "parallel")
+    return OpenMPDirectiveKind::Parallel;
+  if (Name == "for")
+    return OpenMPDirectiveKind::For;
+  if (Name == "simd")
+    return OpenMPDirectiveKind::Simd;
+  if (Name == "tile")
+    return OpenMPDirectiveKind::Tile;
+  if (Name == "unroll")
+    return OpenMPDirectiveKind::Unroll;
+  if (Name == "barrier")
+    return OpenMPDirectiveKind::Barrier;
+  if (Name == "critical")
+    return OpenMPDirectiveKind::Critical;
+  if (Name == "single")
+    return OpenMPDirectiveKind::Single;
+  if (Name == "master")
+    return OpenMPDirectiveKind::Master;
+  return OpenMPDirectiveKind::Unknown;
+}
+
+std::string_view getOpenMPClauseName(OpenMPClauseKind Kind) {
+  switch (Kind) {
+  case OpenMPClauseKind::Unknown:
+    return "unknown";
+  case OpenMPClauseKind::NumThreads:
+    return "num_threads";
+  case OpenMPClauseKind::Schedule:
+    return "schedule";
+  case OpenMPClauseKind::Collapse:
+    return "collapse";
+  case OpenMPClauseKind::Full:
+    return "full";
+  case OpenMPClauseKind::Partial:
+    return "partial";
+  case OpenMPClauseKind::Sizes:
+    return "sizes";
+  case OpenMPClauseKind::Private:
+    return "private";
+  case OpenMPClauseKind::FirstPrivate:
+    return "firstprivate";
+  case OpenMPClauseKind::Shared:
+    return "shared";
+  case OpenMPClauseKind::Reduction:
+    return "reduction";
+  case OpenMPClauseKind::NoWait:
+    return "nowait";
+  }
+  return "unknown";
+}
+
+OpenMPClauseKind parseOpenMPClauseKind(std::string_view Name) {
+  if (Name == "num_threads")
+    return OpenMPClauseKind::NumThreads;
+  if (Name == "schedule")
+    return OpenMPClauseKind::Schedule;
+  if (Name == "collapse")
+    return OpenMPClauseKind::Collapse;
+  if (Name == "full")
+    return OpenMPClauseKind::Full;
+  if (Name == "partial")
+    return OpenMPClauseKind::Partial;
+  if (Name == "sizes")
+    return OpenMPClauseKind::Sizes;
+  if (Name == "private")
+    return OpenMPClauseKind::Private;
+  if (Name == "firstprivate")
+    return OpenMPClauseKind::FirstPrivate;
+  if (Name == "shared")
+    return OpenMPClauseKind::Shared;
+  if (Name == "reduction")
+    return OpenMPClauseKind::Reduction;
+  if (Name == "nowait")
+    return OpenMPClauseKind::NoWait;
+  return OpenMPClauseKind::Unknown;
+}
+
+std::string_view getOpenMPScheduleKindName(OpenMPScheduleKind Kind) {
+  switch (Kind) {
+  case OpenMPScheduleKind::Unknown:
+    return "unknown";
+  case OpenMPScheduleKind::Static:
+    return "static";
+  case OpenMPScheduleKind::Dynamic:
+    return "dynamic";
+  case OpenMPScheduleKind::Guided:
+    return "guided";
+  case OpenMPScheduleKind::Auto:
+    return "auto";
+  case OpenMPScheduleKind::Runtime:
+    return "runtime";
+  }
+  return "unknown";
+}
+
+OpenMPScheduleKind parseOpenMPScheduleKind(std::string_view Name) {
+  if (Name == "static")
+    return OpenMPScheduleKind::Static;
+  if (Name == "dynamic")
+    return OpenMPScheduleKind::Dynamic;
+  if (Name == "guided")
+    return OpenMPScheduleKind::Guided;
+  if (Name == "auto")
+    return OpenMPScheduleKind::Auto;
+  if (Name == "runtime")
+    return OpenMPScheduleKind::Runtime;
+  return OpenMPScheduleKind::Unknown;
+}
+
+std::string_view getOpenMPReductionOpName(OpenMPReductionOp Op) {
+  switch (Op) {
+  case OpenMPReductionOp::Add:
+    return "+";
+  case OpenMPReductionOp::Mul:
+    return "*";
+  case OpenMPReductionOp::Min:
+    return "min";
+  case OpenMPReductionOp::Max:
+    return "max";
+  case OpenMPReductionOp::BitAnd:
+    return "&";
+  case OpenMPReductionOp::BitOr:
+    return "|";
+  case OpenMPReductionOp::BitXor:
+    return "^";
+  case OpenMPReductionOp::LogAnd:
+    return "&&";
+  case OpenMPReductionOp::LogOr:
+    return "||";
+  }
+  return "?";
+}
+
+bool isOpenMPLoopAssociatedDirective(OpenMPDirectiveKind Kind) {
+  switch (Kind) {
+  case OpenMPDirectiveKind::For:
+  case OpenMPDirectiveKind::ParallelFor:
+  case OpenMPDirectiveKind::Simd:
+  case OpenMPDirectiveKind::ForSimd:
+  case OpenMPDirectiveKind::Tile:
+  case OpenMPDirectiveKind::Unroll:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isOpenMPLoopTransformationDirective(OpenMPDirectiveKind Kind) {
+  return Kind == OpenMPDirectiveKind::Tile ||
+         Kind == OpenMPDirectiveKind::Unroll;
+}
+
+bool isOpenMPParallelDirective(OpenMPDirectiveKind Kind) {
+  return Kind == OpenMPDirectiveKind::Parallel ||
+         Kind == OpenMPDirectiveKind::ParallelFor;
+}
+
+bool isOpenMPWorksharingDirective(OpenMPDirectiveKind Kind) {
+  return Kind == OpenMPDirectiveKind::For ||
+         Kind == OpenMPDirectiveKind::ParallelFor ||
+         Kind == OpenMPDirectiveKind::ForSimd;
+}
+
+bool isAllowedClauseForDirective(OpenMPDirectiveKind Directive,
+                                 OpenMPClauseKind Clause) {
+  using D = OpenMPDirectiveKind;
+  using C = OpenMPClauseKind;
+  switch (Directive) {
+  case D::Parallel:
+    return Clause == C::NumThreads || Clause == C::Private ||
+           Clause == C::FirstPrivate || Clause == C::Shared ||
+           Clause == C::Reduction;
+  case D::For:
+    return Clause == C::Schedule || Clause == C::Collapse ||
+           Clause == C::Private || Clause == C::FirstPrivate ||
+           Clause == C::Reduction || Clause == C::NoWait;
+  case D::ParallelFor:
+    return Clause == C::NumThreads || Clause == C::Schedule ||
+           Clause == C::Collapse || Clause == C::Private ||
+           Clause == C::FirstPrivate || Clause == C::Shared ||
+           Clause == C::Reduction;
+  case D::Simd:
+  case D::ForSimd:
+    return Clause == C::Collapse || Clause == C::Private ||
+           Clause == C::Reduction;
+  case D::Tile:
+    return Clause == C::Sizes;
+  case D::Unroll:
+    return Clause == C::Full || Clause == C::Partial;
+  case D::Single:
+    return Clause == C::Private || Clause == C::FirstPrivate ||
+           Clause == C::NoWait;
+  case D::Barrier:
+  case D::Critical:
+  case D::Master:
+    return false;
+  case D::Unknown:
+    return false;
+  }
+  return false;
+}
+
+} // namespace mcc

@@ -1,0 +1,96 @@
+//===--- OpenMPKinds.h - OpenMP directive and clause kinds ------*- C++ -*-===//
+//
+// Enumerations for the OpenMP 5.1 subset this front-end implements:
+// the loop-associated constructs plus the loop *transformation* constructs
+// (tile, unroll) that are the subject of the paper.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_AST_OPENMPKINDS_H
+#define MCC_AST_OPENMPKINDS_H
+
+#include <string_view>
+
+namespace mcc {
+
+enum class OpenMPDirectiveKind {
+  Unknown,
+  Parallel,    // #pragma omp parallel
+  For,         // #pragma omp for
+  ParallelFor, // #pragma omp parallel for (combined)
+  Simd,        // #pragma omp simd
+  ForSimd,     // #pragma omp for simd (composite)
+  Tile,        // #pragma omp tile   (OpenMP 5.1 loop transformation)
+  Unroll,      // #pragma omp unroll (OpenMP 5.1 loop transformation)
+  Barrier,     // #pragma omp barrier
+  Critical,    // #pragma omp critical
+  Single,      // #pragma omp single
+  Master,      // #pragma omp master
+};
+
+enum class OpenMPClauseKind {
+  Unknown,
+  NumThreads,
+  Schedule,
+  Collapse,
+  Full,    // unroll full
+  Partial, // unroll partial(k)
+  Sizes,   // tile sizes(s1, ..., sn)
+  Private,
+  FirstPrivate,
+  Shared,
+  Reduction,
+  NoWait,
+};
+
+enum class OpenMPScheduleKind {
+  Unknown,
+  Static,
+  Dynamic,
+  Guided,
+  Auto,
+  Runtime,
+};
+
+enum class OpenMPReductionOp {
+  Add,
+  Mul,
+  Min,
+  Max,
+  BitAnd,
+  BitOr,
+  BitXor,
+  LogAnd,
+  LogOr,
+};
+
+std::string_view getOpenMPDirectiveName(OpenMPDirectiveKind Kind);
+OpenMPDirectiveKind parseOpenMPDirectiveKind(std::string_view Name);
+
+std::string_view getOpenMPClauseName(OpenMPClauseKind Kind);
+OpenMPClauseKind parseOpenMPClauseKind(std::string_view Name);
+
+std::string_view getOpenMPScheduleKindName(OpenMPScheduleKind Kind);
+OpenMPScheduleKind parseOpenMPScheduleKind(std::string_view Name);
+
+std::string_view getOpenMPReductionOpName(OpenMPReductionOp Op);
+
+/// True for directives that are associated with a canonical loop nest
+/// (anything derived from OMPLoopBasedDirective in the class hierarchy).
+bool isOpenMPLoopAssociatedDirective(OpenMPDirectiveKind Kind);
+
+/// True for the OpenMP 5.1 loop transformation constructs.
+bool isOpenMPLoopTransformationDirective(OpenMPDirectiveKind Kind);
+
+/// True for directives containing a 'parallel' region (outlining required).
+bool isOpenMPParallelDirective(OpenMPDirectiveKind Kind);
+
+/// True for directives with a worksharing-loop region.
+bool isOpenMPWorksharingDirective(OpenMPDirectiveKind Kind);
+
+/// True if clause \p Clause may appear on directive \p Directive.
+bool isAllowedClauseForDirective(OpenMPDirectiveKind Directive,
+                                 OpenMPClauseKind Clause);
+
+} // namespace mcc
+
+#endif // MCC_AST_OPENMPKINDS_H

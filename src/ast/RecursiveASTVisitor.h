@@ -1,0 +1,81 @@
+//===--- RecursiveASTVisitor.h - Depth-first AST traversal ------*- C++ -*-===//
+//
+// A simplified analogue of Clang's RecursiveASTVisitor: walks the syntactic
+// children() of every statement depth-first, calling a per-node callback.
+// Shadow AST subtrees are not traversed unless explicitly enabled, matching
+// the visibility rules discussed in the paper.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_AST_RECURSIVEASTVISITOR_H
+#define MCC_AST_RECURSIVEASTVISITOR_H
+
+#include "ast/StmtOpenMP.h"
+
+namespace mcc {
+
+template <typename Derived> class RecursiveASTVisitor {
+public:
+  /// Traverse into shadow AST (transformed statements of loop
+  /// transformations, loop directive helpers) as well.
+  bool ShouldVisitShadowAST = false;
+
+  /// Walks \p S depth-first. Returns false if the traversal was aborted by
+  /// a callback returning false.
+  bool traverseStmt(Stmt *S) {
+    if (!S)
+      return true;
+    if (!getDerived().visitStmt(S))
+      return false;
+    for (Stmt *Child : S->children())
+      if (!traverseStmt(Child))
+        return false;
+    if (ShouldVisitShadowAST) {
+      if (auto *LT = stmt_dyn_cast<OMPLoopTransformationDirective>(S)) {
+        if (!traverseStmt(LT->getPreInits()))
+          return false;
+        if (!traverseStmt(LT->getTransformedStmt()))
+          return false;
+      }
+    }
+    return true;
+  }
+
+  bool traverseDecl(Decl *D) {
+    if (!D)
+      return true;
+    if (!getDerived().visitDecl(D))
+      return false;
+    if (auto *TU = decl_dyn_cast<TranslationUnitDecl>(D)) {
+      for (Decl *Child : TU->decls())
+        if (!traverseDecl(Child))
+          return false;
+    } else if (auto *FD = decl_dyn_cast<FunctionDecl>(D)) {
+      for (ParmVarDecl *P : FD->parameters())
+        if (!traverseDecl(P))
+          return false;
+      if (!traverseStmt(FD->getBody()))
+        return false;
+    } else if (auto *VD = decl_dyn_cast<VarDecl>(D)) {
+      if (!traverseStmt(VD->getInit()))
+        return false;
+    } else if (auto *CD = decl_dyn_cast<CapturedDecl>(D)) {
+      for (ImplicitParamDecl *P : CD->parameters())
+        if (!traverseDecl(P))
+          return false;
+      if (!traverseStmt(CD->getBody()))
+        return false;
+    }
+    return true;
+  }
+
+  // Default callbacks: continue traversal.
+  bool visitStmt(Stmt *) { return true; }
+  bool visitDecl(Decl *) { return true; }
+
+private:
+  Derived &getDerived() { return *static_cast<Derived *>(this); }
+};
+
+} // namespace mcc
+
+#endif // MCC_AST_RECURSIVEASTVISITOR_H

@@ -1,0 +1,358 @@
+//===--- Stmt.h - MiniC statement AST nodes ---------------------*- C++ -*-===//
+//
+// The Stmt hierarchy. Mirrors Clang's design decisions that the paper
+// discusses: nodes are immutable once built (with narrow exceptions used by
+// Sema during construction), Expr derives from Stmt, and OpenMP directives
+// keep *shadow AST* children that children() deliberately does not
+// enumerate.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_AST_STMT_H
+#define MCC_AST_STMT_H
+
+#include "ast/Decl.h"
+#include "support/SourceLocation.h"
+
+#include <span>
+#include <vector>
+
+namespace mcc {
+
+class Expr;
+class Attr;
+
+class Stmt {
+public:
+  enum class StmtClass {
+#define STMT(Class) Class,
+#include "ast/StmtNodes.def"
+    NUM_STMT_CLASSES,
+    // Range markers for classof range checks.
+    firstExpr = IntegerLiteral,
+    lastExpr = ConstantExpr,
+    firstOMPExecutable = OMPParallelDirective,
+    lastOMPExecutable = OMPUnrollDirective,
+    firstOMPLoopBased = OMPForDirective,
+    lastOMPLoopBased = OMPUnrollDirective,
+    firstOMPLoop = OMPForDirective,
+    lastOMPLoop = OMPForSimdDirective,
+  };
+
+  [[nodiscard]] StmtClass getStmtClass() const { return SC; }
+  [[nodiscard]] const char *getStmtClassName() const;
+
+  [[nodiscard]] SourceLocation getBeginLoc() const { return Range.getBegin(); }
+  [[nodiscard]] SourceLocation getEndLoc() const { return Range.getEnd(); }
+  [[nodiscard]] SourceRange getSourceRange() const { return Range; }
+
+  /// The syntactic children of this node. Per the paper (Section 1.2),
+  /// OpenMP directives have additional *shadow* children that are NOT
+  /// returned here; they are reachable only through dedicated accessors
+  /// such as OMPUnrollDirective::getTransformedStmt().
+  [[nodiscard]] std::vector<Stmt *> children() const;
+
+protected:
+  Stmt(StmtClass SC, SourceRange Range) : SC(SC), Range(Range) {}
+
+private:
+  StmtClass SC;
+  SourceRange Range;
+};
+
+template <typename To> To *stmt_dyn_cast(Stmt *S) {
+  return (S && To::classof(S)) ? static_cast<To *>(S) : nullptr;
+}
+template <typename To> const To *stmt_dyn_cast(const Stmt *S) {
+  return (S && To::classof(S)) ? static_cast<const To *>(S) : nullptr;
+}
+template <typename To> To *stmt_cast(Stmt *S) {
+  assert(S && To::classof(S) && "bad stmt_cast");
+  return static_cast<To *>(S);
+}
+template <typename To> const To *stmt_cast(const Stmt *S) {
+  assert(S && To::classof(S) && "bad stmt_cast");
+  return static_cast<const To *>(S);
+}
+
+/// ";" with no effect.
+class NullStmt final : public Stmt {
+public:
+  explicit NullStmt(SourceLocation Loc)
+      : Stmt(StmtClass::NullStmt, SourceRange(Loc)) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::NullStmt;
+  }
+};
+
+/// "{ stmt... }"
+class CompoundStmt final : public Stmt {
+public:
+  CompoundStmt(SourceRange Range, std::span<Stmt *const> Body)
+      : Stmt(StmtClass::CompoundStmt, Range), Body(Body) {}
+
+  [[nodiscard]] std::span<Stmt *const> body() const { return Body; }
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(Body.size());
+  }
+  [[nodiscard]] bool isEmpty() const { return Body.empty(); }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::CompoundStmt;
+  }
+
+private:
+  std::span<Stmt *const> Body;
+};
+
+/// A statement declaring one or more variables.
+class DeclStmt final : public Stmt {
+public:
+  DeclStmt(SourceRange Range, std::span<VarDecl *const> Decls)
+      : Stmt(StmtClass::DeclStmt, Range), Decls(Decls) {}
+
+  [[nodiscard]] std::span<VarDecl *const> decls() const { return Decls; }
+  [[nodiscard]] bool isSingleDecl() const { return Decls.size() == 1; }
+  [[nodiscard]] VarDecl *getSingleDecl() const {
+    assert(isSingleDecl());
+    return Decls[0];
+  }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::DeclStmt;
+  }
+
+private:
+  std::span<VarDecl *const> Decls;
+};
+
+class IfStmt final : public Stmt {
+public:
+  IfStmt(SourceRange Range, Expr *Cond, Stmt *Then, Stmt *Else)
+      : Stmt(StmtClass::IfStmt, Range), Cond(Cond), Then(Then), Else(Else) {}
+
+  [[nodiscard]] Expr *getCond() const { return Cond; }
+  [[nodiscard]] Stmt *getThen() const { return Then; }
+  [[nodiscard]] Stmt *getElse() const { return Else; }
+  [[nodiscard]] bool hasElse() const { return Else != nullptr; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::IfStmt;
+  }
+
+private:
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else;
+};
+
+class WhileStmt final : public Stmt {
+public:
+  WhileStmt(SourceRange Range, Expr *Cond, Stmt *Body)
+      : Stmt(StmtClass::WhileStmt, Range), Cond(Cond), Body(Body) {}
+
+  [[nodiscard]] Expr *getCond() const { return Cond; }
+  [[nodiscard]] Stmt *getBody() const { return Body; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::WhileStmt;
+  }
+
+private:
+  Expr *Cond;
+  Stmt *Body;
+};
+
+class DoStmt final : public Stmt {
+public:
+  DoStmt(SourceRange Range, Stmt *Body, Expr *Cond)
+      : Stmt(StmtClass::DoStmt, Range), Body(Body), Cond(Cond) {}
+
+  [[nodiscard]] Stmt *getBody() const { return Body; }
+  [[nodiscard]] Expr *getCond() const { return Cond; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::DoStmt;
+  }
+
+private:
+  Stmt *Body;
+  Expr *Cond;
+};
+
+/// A C for-loop. Init may be a DeclStmt or an expression statement (or
+/// null); Cond and Inc may be null. This is the node loop-transformation
+/// analysis consumes; it is the same node whether or not an OpenMP
+/// directive is associated with it (paper Section 1.2).
+class ForStmt final : public Stmt {
+public:
+  ForStmt(SourceRange Range, Stmt *Init, Expr *Cond, Expr *Inc, Stmt *Body)
+      : Stmt(StmtClass::ForStmt, Range), Init(Init), Cond(Cond), Inc(Inc),
+        Body(Body) {}
+
+  [[nodiscard]] Stmt *getInit() const { return Init; }
+  [[nodiscard]] Expr *getCond() const { return Cond; }
+  [[nodiscard]] Expr *getInc() const { return Inc; }
+  [[nodiscard]] Stmt *getBody() const { return Body; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::ForStmt;
+  }
+
+private:
+  Stmt *Init;
+  Expr *Cond;
+  Expr *Inc;
+  Stmt *Body;
+};
+
+class ReturnStmt final : public Stmt {
+public:
+  ReturnStmt(SourceRange Range, Expr *Value)
+      : Stmt(StmtClass::ReturnStmt, Range), Value(Value) {}
+
+  [[nodiscard]] Expr *getValue() const { return Value; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::ReturnStmt;
+  }
+
+private:
+  Expr *Value;
+};
+
+class BreakStmt final : public Stmt {
+public:
+  explicit BreakStmt(SourceLocation Loc)
+      : Stmt(StmtClass::BreakStmt, SourceRange(Loc)) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::BreakStmt;
+  }
+};
+
+class ContinueStmt final : public Stmt {
+public:
+  explicit ContinueStmt(SourceLocation Loc)
+      : Stmt(StmtClass::ContinueStmt, SourceRange(Loc)) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::ContinueStmt;
+  }
+};
+
+/// Attribute attached to a statement by AttributedStmt. The only attribute
+/// this front-end needs is the loop hint that the shadow-AST unroll
+/// implementation uses to defer unrolling to the mid-end LoopUnroll pass
+/// (paper Fig. 8: "LoopHintAttr Implicit loop UnrollCount Numeric").
+class Attr {
+public:
+  enum class Kind { LoopHint };
+
+  [[nodiscard]] Kind getKind() const { return K; }
+
+protected:
+  explicit Attr(Kind K) : K(K) {}
+
+private:
+  Kind K;
+};
+
+class LoopHintAttr final : public Attr {
+public:
+  enum class OptionKind {
+    UnrollCount,  // llvm.loop.unroll.count(N)
+    UnrollEnable, // llvm.loop.unroll.enable (heuristic)
+    UnrollFull,   // llvm.loop.unroll.full
+    Vectorize,    // llvm.loop.vectorize.enable (simd)
+  };
+
+  LoopHintAttr(OptionKind Option, Expr *Value, bool Implicit)
+      : Attr(Kind::LoopHint), Option(Option), Value(Value),
+        Implicit(Implicit) {}
+
+  [[nodiscard]] OptionKind getOption() const { return Option; }
+  [[nodiscard]] Expr *getValue() const { return Value; }
+  /// True when synthesized by a loop transformation rather than written via
+  /// "#pragma clang loop ...".
+  [[nodiscard]] bool isImplicit() const { return Implicit; }
+
+  [[nodiscard]] const char *getOptionName() const {
+    switch (Option) {
+    case OptionKind::UnrollCount:
+      return "UnrollCount";
+    case OptionKind::UnrollEnable:
+      return "UnrollEnable";
+    case OptionKind::UnrollFull:
+      return "UnrollFull";
+    case OptionKind::Vectorize:
+      return "Vectorize";
+    }
+    return "?";
+  }
+
+  static bool classof(const Attr *A) { return A->getKind() == Kind::LoopHint; }
+
+private:
+  OptionKind Option;
+  Expr *Value;
+  bool Implicit;
+};
+
+class AttributedStmt final : public Stmt {
+public:
+  AttributedStmt(SourceRange Range, std::span<const Attr *const> Attrs,
+                 Stmt *SubStmt)
+      : Stmt(StmtClass::AttributedStmt, Range), Attrs(Attrs),
+        SubStmt(SubStmt) {}
+
+  [[nodiscard]] std::span<const Attr *const> getAttrs() const { return Attrs; }
+  [[nodiscard]] Stmt *getSubStmt() const { return SubStmt; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::AttributedStmt;
+  }
+
+private:
+  std::span<const Attr *const> Attrs;
+  Stmt *SubStmt;
+};
+
+/// Borrowing from the lambda/block implementation (paper Section 1.2):
+/// represents a statement whose execution is outlined into a separate
+/// 'captured' function so it can be called from other threads. Tracks which
+/// variables cross the boundary.
+class CapturedStmt final : public Stmt {
+public:
+  struct Capture {
+    VarDecl *Var;
+    bool ByRef; // false: by-copy (e.g. __begin in the loop-var function)
+  };
+
+  CapturedStmt(SourceRange Range, CapturedDecl *CD,
+               std::span<const Capture> Captures)
+      : Stmt(StmtClass::CapturedStmt, Range), CDecl(CD), Captures(Captures) {}
+
+  [[nodiscard]] CapturedDecl *getCapturedDecl() const { return CDecl; }
+  [[nodiscard]] Stmt *getCapturedStmt() const { return CDecl->getBody(); }
+  [[nodiscard]] std::span<const Capture> captures() const { return Captures; }
+
+  [[nodiscard]] bool capturesVariable(const VarDecl *V) const {
+    for (const Capture &C : Captures)
+      if (C.Var == V)
+        return true;
+    return false;
+  }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::CapturedStmt;
+  }
+
+private:
+  CapturedDecl *CDecl;
+  std::span<const Capture> Captures;
+};
+
+} // namespace mcc
+
+#endif // MCC_AST_STMT_H

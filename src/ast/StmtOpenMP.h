@@ -1,0 +1,440 @@
+//===--- StmtOpenMP.h - OpenMP directive AST nodes --------------*- C++ -*-===//
+//
+// Reproduces the class hierarchy of the paper's Figures 4 and 5:
+//
+//   Stmt
+//    `- OMPExecutableDirective
+//        |- OMPParallelDirective, OMPBarrierDirective, ...
+//        `- OMPLoopBasedDirective              (new in the paper, red)
+//            |- OMPLoopDirective
+//            |   |- OMPForDirective
+//            |   |- OMPParallelForDirective
+//            |   `- ...
+//            |- OMPTileDirective               (new, green)
+//            `- OMPUnrollDirective             (new, green)
+//
+// and the OMPCanonicalLoop meta node of Section 3 (declared in Stmt.h's
+// StmtClass enum; class below).
+//
+// Shadow AST: OMPLoopDirective carries up to ~30 whole-nest helper
+// expressions plus 6 per associated loop that represent pre-computed pieces
+// of code generation (Section 1.2). OMPTileDirective/OMPUnrollDirective
+// carry the *transformed statement*. None of these are enumerated by
+// children() — exactly like Clang, they are reachable only through the
+// dedicated accessors and are hidden from the default AST dump.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_AST_STMTOPENMP_H
+#define MCC_AST_STMTOPENMP_H
+
+#include "ast/Expr.h"
+#include "ast/OpenMPClause.h"
+#include "ast/OpenMPKinds.h"
+#include "ast/Stmt.h"
+
+namespace mcc {
+
+/// Base class for all OpenMP directives that may appear wherever a base
+/// language statement can appear.
+class OMPExecutableDirective : public Stmt {
+public:
+  [[nodiscard]] OpenMPDirectiveKind getDirectiveKind() const { return DKind; }
+
+  [[nodiscard]] std::span<OMPClause *const> clauses() const { return Clauses; }
+  [[nodiscard]] unsigned getNumClauses() const {
+    return static_cast<unsigned>(Clauses.size());
+  }
+
+  /// The first clause of the given kind, or null.
+  template <typename ClauseT>
+  [[nodiscard]] const ClauseT *getSingleClause() const {
+    for (const OMPClause *C : Clauses)
+      if (const auto *Typed = clause_dyn_cast<ClauseT>(C))
+        return Typed;
+    return nullptr;
+  }
+
+  /// The statement the directive is associated with (may be null for
+  /// standalone directives like barrier). For directives that outline, this
+  /// is a CapturedStmt; for the OpenMPIRBuilder path of loop directives it
+  /// is (or contains) an OMPCanonicalLoop.
+  [[nodiscard]] Stmt *getAssociatedStmt() const { return AssociatedStmt; }
+  [[nodiscard]] bool hasAssociatedStmt() const {
+    return AssociatedStmt != nullptr;
+  }
+
+  /// Strips CapturedStmt wrappers to reach the innermost associated
+  /// statement (e.g. the loop of a worksharing directive).
+  [[nodiscard]] Stmt *getInnermostAssociatedStmt() const;
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() >= StmtClass::firstOMPExecutable &&
+           S->getStmtClass() <= StmtClass::lastOMPExecutable;
+  }
+
+protected:
+  OMPExecutableDirective(StmtClass SC, SourceRange Range,
+                         OpenMPDirectiveKind DKind,
+                         std::span<OMPClause *const> Clauses,
+                         Stmt *AssociatedStmt)
+      : Stmt(SC, Range), DKind(DKind), Clauses(Clauses),
+        AssociatedStmt(AssociatedStmt) {}
+
+private:
+  OpenMPDirectiveKind DKind;
+  std::span<OMPClause *const> Clauses;
+  Stmt *AssociatedStmt;
+};
+
+/// #pragma omp parallel
+class OMPParallelDirective final : public OMPExecutableDirective {
+public:
+  OMPParallelDirective(SourceRange Range, std::span<OMPClause *const> Clauses,
+                       Stmt *AssociatedStmt)
+      : OMPExecutableDirective(StmtClass::OMPParallelDirective, Range,
+                               OpenMPDirectiveKind::Parallel, Clauses,
+                               AssociatedStmt) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::OMPParallelDirective;
+  }
+};
+
+/// #pragma omp barrier (standalone)
+class OMPBarrierDirective final : public OMPExecutableDirective {
+public:
+  explicit OMPBarrierDirective(SourceRange Range)
+      : OMPExecutableDirective(StmtClass::OMPBarrierDirective, Range,
+                               OpenMPDirectiveKind::Barrier, {}, nullptr) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::OMPBarrierDirective;
+  }
+};
+
+/// #pragma omp critical
+class OMPCriticalDirective final : public OMPExecutableDirective {
+public:
+  OMPCriticalDirective(SourceRange Range, Stmt *AssociatedStmt)
+      : OMPExecutableDirective(StmtClass::OMPCriticalDirective, Range,
+                               OpenMPDirectiveKind::Critical, {},
+                               AssociatedStmt) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::OMPCriticalDirective;
+  }
+};
+
+/// #pragma omp single
+class OMPSingleDirective final : public OMPExecutableDirective {
+public:
+  OMPSingleDirective(SourceRange Range, std::span<OMPClause *const> Clauses,
+                     Stmt *AssociatedStmt)
+      : OMPExecutableDirective(StmtClass::OMPSingleDirective, Range,
+                               OpenMPDirectiveKind::Single, Clauses,
+                               AssociatedStmt) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::OMPSingleDirective;
+  }
+};
+
+/// #pragma omp master
+class OMPMasterDirective final : public OMPExecutableDirective {
+public:
+  OMPMasterDirective(SourceRange Range, Stmt *AssociatedStmt)
+      : OMPExecutableDirective(StmtClass::OMPMasterDirective, Range,
+                               OpenMPDirectiveKind::Master, {},
+                               AssociatedStmt) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::OMPMasterDirective;
+  }
+};
+
+/// The class the paper's Fig. 5 introduces (in red) between
+/// OMPExecutableDirective and OMPLoopDirective: base of everything
+/// associated with a canonical loop nest, *without* committing to the ~36
+/// shadow helper expressions that OMPLoopDirective carries.
+class OMPLoopBasedDirective : public OMPExecutableDirective {
+public:
+  /// Number of associated loops, as determined by the collapse clause /
+  /// sizes clause ("the directive's association depth").
+  [[nodiscard]] unsigned getLoopsNumber() const { return NumAssociatedLoops; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() >= StmtClass::firstOMPLoopBased &&
+           S->getStmtClass() <= StmtClass::lastOMPLoopBased;
+  }
+
+protected:
+  OMPLoopBasedDirective(StmtClass SC, SourceRange Range,
+                        OpenMPDirectiveKind DKind,
+                        std::span<OMPClause *const> Clauses,
+                        Stmt *AssociatedStmt, unsigned NumAssociatedLoops)
+      : OMPExecutableDirective(SC, Range, DKind, Clauses, AssociatedStmt),
+        NumAssociatedLoops(NumAssociatedLoops) {}
+
+private:
+  unsigned NumAssociatedLoops;
+};
+
+/// The shadow helper expressions of OMPLoopDirective. Sema (legacy
+/// pipeline) pre-computes these; CodeGen consumes them. The paper counts
+/// "up to 30 shadow AST statements ... plus 6 for each loop in the
+/// associated loop nest"; countShadowNodes() reproduces that accounting for
+/// the E8 footprint experiment.
+struct OMPLoopHelperExprs {
+  // --- Whole-nest helpers (logical iteration space, normalized to
+  //     0 .. NumIterations-1 with the IV's unsigned type) ---
+  VarDecl *IterationVar = nullptr; //  1: .omp.iv
+  Expr *IterationVarRef = nullptr; //  2
+  Expr *LastIteration = nullptr;   //  3: NumIterations - 1
+  Expr *NumIterations = nullptr;   //  4: total trip count
+  Expr *CalcLastIteration = nullptr; // 5: assignment computing (3)
+  Expr *PreCond = nullptr;         //  6: "is there at least one iteration"
+  Expr *Init = nullptr;            //  7: .omp.iv = .omp.lb
+  Expr *Cond = nullptr;            //  8: .omp.iv <= .omp.ub
+  Expr *Inc = nullptr;             //  9: ++.omp.iv
+  VarDecl *LowerBoundVar = nullptr;  // 10: .omp.lb
+  VarDecl *UpperBoundVar = nullptr;  // 11: .omp.ub
+  VarDecl *StrideVar = nullptr;      // 12: .omp.stride
+  VarDecl *IsLastIterVar = nullptr;  // 13: .omp.is_last
+  Expr *LowerBoundRef = nullptr;   // 14
+  Expr *UpperBoundRef = nullptr;   // 15
+  Expr *StrideRef = nullptr;       // 16
+  Expr *IsLastIterRef = nullptr;   // 17
+  Expr *EnsureUpperBound = nullptr; // 18: ub = min(ub, last-iteration)
+  Expr *NextLowerBound = nullptr;  // 19: lb += stride (static chunked)
+  Expr *NextUpperBound = nullptr;  // 20: ub += stride
+  Stmt *PreInits = nullptr;        // 21: decls evaluated before the loop
+  Expr *DistCond = nullptr;        // 22: distribute-loop condition
+
+  // --- Per-loop helpers (6 per associated loop) ---
+  struct LoopData {
+    VarDecl *CounterVar = nullptr;  // 1: the (privatized) original IV
+    Expr *CounterRef = nullptr;     // 2
+    Expr *CounterInit = nullptr;    // 3: lower-bound expression
+    Expr *CounterStep = nullptr;    // 4: step expression
+    Expr *CounterUpdate = nullptr;  // 5: i = lb + iv*step (de-normalize)
+    Expr *NumIterationsExpr = nullptr; // 6: this loop's own trip count
+  };
+  std::span<LoopData> Loops;
+
+  /// The innermost loop body to execute per logical iteration. Not counted
+  /// as a shadow node (it is shared with the syntactic AST, not
+  /// synthesized).
+  Stmt *Body = nullptr;
+
+  /// Number of non-null shadow AST entries (for the E8 experiment).
+  [[nodiscard]] unsigned countShadowNodes() const {
+    unsigned N = 0;
+    const Expr *WholeNest[] = {IterationVarRef, LastIteration, NumIterations,
+                               CalcLastIteration, PreCond, Init, Cond, Inc,
+                               LowerBoundRef, UpperBoundRef, StrideRef,
+                               IsLastIterRef, EnsureUpperBound, NextLowerBound,
+                               NextUpperBound, DistCond};
+    for (const Expr *E : WholeNest)
+      N += E != nullptr;
+    const void *Vars[] = {IterationVar, LowerBoundVar, UpperBoundVar,
+                          StrideVar, IsLastIterVar, PreInits};
+    for (const void *V : Vars)
+      N += V != nullptr;
+    for (const LoopData &L : Loops) {
+      const void *PerLoop[] = {L.CounterVar,    L.CounterRef,
+                               L.CounterInit,   L.CounterStep,
+                               L.CounterUpdate, L.NumIterationsExpr};
+      for (const void *P : PerLoop)
+        N += P != nullptr;
+    }
+    return N;
+  }
+};
+
+/// Base class of all loop *worksharing/simd* directives, carrying the full
+/// shadow helper set ("a significant portion of the code generation already
+/// takes place when creating the AST", Section 1.2).
+class OMPLoopDirective : public OMPLoopBasedDirective {
+public:
+  [[nodiscard]] const OMPLoopHelperExprs &getLoopHelpers() const {
+    return Helpers;
+  }
+  /// Sema fills the helpers in after construction (the one sanctioned
+  /// mutation, mirroring Clang's setters on OMPLoopDirective).
+  void setLoopHelpers(const OMPLoopHelperExprs &H) { Helpers = H; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() >= StmtClass::firstOMPLoop &&
+           S->getStmtClass() <= StmtClass::lastOMPLoop;
+  }
+
+protected:
+  using OMPLoopBasedDirective::OMPLoopBasedDirective;
+
+private:
+  OMPLoopHelperExprs Helpers;
+};
+
+/// #pragma omp for
+class OMPForDirective final : public OMPLoopDirective {
+public:
+  OMPForDirective(SourceRange Range, std::span<OMPClause *const> Clauses,
+                  Stmt *AssociatedStmt, unsigned NumLoops)
+      : OMPLoopDirective(StmtClass::OMPForDirective, Range,
+                         OpenMPDirectiveKind::For, Clauses, AssociatedStmt,
+                         NumLoops) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::OMPForDirective;
+  }
+};
+
+/// #pragma omp parallel for (combined directive)
+class OMPParallelForDirective final : public OMPLoopDirective {
+public:
+  OMPParallelForDirective(SourceRange Range,
+                          std::span<OMPClause *const> Clauses,
+                          Stmt *AssociatedStmt, unsigned NumLoops)
+      : OMPLoopDirective(StmtClass::OMPParallelForDirective, Range,
+                         OpenMPDirectiveKind::ParallelFor, Clauses,
+                         AssociatedStmt, NumLoops) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::OMPParallelForDirective;
+  }
+};
+
+/// #pragma omp simd
+class OMPSimdDirective final : public OMPLoopDirective {
+public:
+  OMPSimdDirective(SourceRange Range, std::span<OMPClause *const> Clauses,
+                   Stmt *AssociatedStmt, unsigned NumLoops)
+      : OMPLoopDirective(StmtClass::OMPSimdDirective, Range,
+                         OpenMPDirectiveKind::Simd, Clauses, AssociatedStmt,
+                         NumLoops) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::OMPSimdDirective;
+  }
+};
+
+/// #pragma omp for simd (composite directive)
+class OMPForSimdDirective final : public OMPLoopDirective {
+public:
+  OMPForSimdDirective(SourceRange Range, std::span<OMPClause *const> Clauses,
+                      Stmt *AssociatedStmt, unsigned NumLoops)
+      : OMPLoopDirective(StmtClass::OMPForSimdDirective, Range,
+                         OpenMPDirectiveKind::ForSimd, Clauses, AssociatedStmt,
+                         NumLoops) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::OMPForSimdDirective;
+  }
+};
+
+/// Common base of the loop transformation directives: they carry the
+/// *transformed statement* shadow AST (Section 2) that consuming directives
+/// re-analyze via getTransformedStmt().
+class OMPLoopTransformationDirective : public OMPLoopBasedDirective {
+public:
+  /// The loop nest that semantically replaces this directive, or null if
+  /// no replacement was generated (e.g. full unroll, heuristic unroll not
+  /// consumed by another directive). This is a *shadow* child: it is not
+  /// part of children() and hidden from the default AST dump.
+  [[nodiscard]] Stmt *getTransformedStmt() const { return TransformedStmt; }
+  void setTransformedStmt(Stmt *S) { TransformedStmt = S; }
+
+  /// Declarations that must be emitted before the transformed statement
+  /// (e.g. variables holding computed trip counts). Also shadow AST.
+  [[nodiscard]] Stmt *getPreInits() const { return PreInits; }
+  void setPreInits(Stmt *S) { PreInits = S; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::OMPTileDirective ||
+           S->getStmtClass() == StmtClass::OMPUnrollDirective;
+  }
+
+protected:
+  using OMPLoopBasedDirective::OMPLoopBasedDirective;
+
+private:
+  Stmt *TransformedStmt = nullptr;
+  Stmt *PreInits = nullptr;
+};
+
+/// #pragma omp tile sizes(...)
+class OMPTileDirective final : public OMPLoopTransformationDirective {
+public:
+  OMPTileDirective(SourceRange Range, std::span<OMPClause *const> Clauses,
+                   Stmt *AssociatedStmt, unsigned NumLoops)
+      : OMPLoopTransformationDirective(StmtClass::OMPTileDirective, Range,
+                                       OpenMPDirectiveKind::Tile, Clauses,
+                                       AssociatedStmt, NumLoops) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::OMPTileDirective;
+  }
+};
+
+/// #pragma omp unroll [full | partial(k)]
+class OMPUnrollDirective final : public OMPLoopTransformationDirective {
+public:
+  OMPUnrollDirective(SourceRange Range, std::span<OMPClause *const> Clauses,
+                     Stmt *AssociatedStmt)
+      : OMPLoopTransformationDirective(StmtClass::OMPUnrollDirective, Range,
+                                       OpenMPDirectiveKind::Unroll, Clauses,
+                                       AssociatedStmt, /*NumLoops=*/1) {}
+
+  [[nodiscard]] bool hasFullClause() const {
+    return getSingleClause<OMPFullClause>() != nullptr;
+  }
+  [[nodiscard]] bool hasPartialClause() const {
+    return getSingleClause<OMPPartialClause>() != nullptr;
+  }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::OMPUnrollDirective;
+  }
+};
+
+/// The meta AST node of the paper's Section 3: wraps a literal loop
+/// (ForStmt) and guarantees that the OpenMP canonical-loop semantic
+/// requirements are met. Can be losslessly removed again. Carries the
+/// three pieces of meta-information that must be resolved in Sema:
+///   1. the distance function  (trip count),
+///   2. the loop user-variable function (logical iteration -> value),
+///   3. the loop user-variable reference.
+class OMPCanonicalLoop final : public Stmt {
+public:
+  OMPCanonicalLoop(Stmt *LoopStmt, CapturedStmt *DistanceFunc,
+                   CapturedStmt *LoopVarFunc, DeclRefExpr *LoopVarRef)
+      : Stmt(StmtClass::OMPCanonicalLoop, LoopStmt->getSourceRange()),
+        LoopStmt(LoopStmt), DistanceFunc(DistanceFunc),
+        LoopVarFunc(LoopVarFunc), LoopVarRef(LoopVarRef) {}
+
+  /// The wrapped ForStmt; unwrapping is lossless.
+  [[nodiscard]] Stmt *getLoopStmt() const { return LoopStmt; }
+
+  /// "[&](LogicalTy &Result) { Result = <trip count>; }"
+  [[nodiscard]] CapturedStmt *getDistanceFunc() const { return DistanceFunc; }
+
+  /// "[&, __begin](T &Result, LogicalTy I) { Result = __begin + I * step; }"
+  [[nodiscard]] CapturedStmt *getLoopVarFunc() const { return LoopVarFunc; }
+
+  /// The user-visible variable updated before each body execution.
+  [[nodiscard]] DeclRefExpr *getLoopVarRef() const { return LoopVarRef; }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::OMPCanonicalLoop;
+  }
+
+private:
+  Stmt *LoopStmt;
+  CapturedStmt *DistanceFunc;
+  CapturedStmt *LoopVarFunc;
+  DeclRefExpr *LoopVarRef;
+};
+
+} // namespace mcc
+
+#endif // MCC_AST_STMTOPENMP_H

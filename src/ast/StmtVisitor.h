@@ -1,0 +1,154 @@
+//===--- StmtVisitor.h - Visitor pattern for the Stmt hierarchy -*- C++ -*-===//
+//
+// As the paper notes, each of Clang's AST hierarchies (Stmt, Decl, Type,
+// OMPClause) needs its own visitor because they share no common base.
+// These are CRTP dispatchers, like Clang's.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_AST_STMTVISITOR_H
+#define MCC_AST_STMTVISITOR_H
+
+#include "ast/StmtOpenMP.h"
+
+namespace mcc {
+
+/// CRTP visitor over the Stmt hierarchy. Derive and implement
+/// visit<Class>(Class *) for the node classes of interest; unhandled
+/// classes fall back up the class hierarchy to visitStmt.
+template <typename Derived, typename RetTy = void> class StmtVisitor {
+public:
+  RetTy visit(Stmt *S) {
+    switch (S->getStmtClass()) {
+#define STMT(Class)                                                            \
+  case Stmt::StmtClass::Class:                                                 \
+    return getDerived().visit##Class(static_cast<Class *>(S));
+#include "ast/StmtNodes.def"
+    default:
+      return getDerived().visitStmt(S);
+    }
+  }
+
+  // Fallbacks follow the class hierarchy.
+  RetTy visitStmt(Stmt *) { return RetTy(); }
+  RetTy visitExpr(Expr *E) { return getDerived().visitStmt(E); }
+  RetTy visitOMPExecutableDirective(OMPExecutableDirective *S) {
+    return getDerived().visitStmt(S);
+  }
+  RetTy visitOMPLoopBasedDirective(OMPLoopBasedDirective *S) {
+    return getDerived().visitOMPExecutableDirective(S);
+  }
+  RetTy visitOMPLoopDirective(OMPLoopDirective *S) {
+    return getDerived().visitOMPLoopBasedDirective(S);
+  }
+  RetTy visitOMPLoopTransformationDirective(OMPLoopTransformationDirective *S) {
+    return getDerived().visitOMPLoopBasedDirective(S);
+  }
+
+  // Per-class defaults delegating to the base class handler.
+#define DELEGATE(Class, Base)                                                  \
+  RetTy visit##Class(Class *S) { return getDerived().visit##Base(S); }
+
+  DELEGATE(NullStmt, Stmt)
+  DELEGATE(CompoundStmt, Stmt)
+  DELEGATE(DeclStmt, Stmt)
+  DELEGATE(IfStmt, Stmt)
+  DELEGATE(WhileStmt, Stmt)
+  DELEGATE(DoStmt, Stmt)
+  DELEGATE(ForStmt, Stmt)
+  DELEGATE(ReturnStmt, Stmt)
+  DELEGATE(BreakStmt, Stmt)
+  DELEGATE(ContinueStmt, Stmt)
+  DELEGATE(AttributedStmt, Stmt)
+  DELEGATE(CapturedStmt, Stmt)
+  DELEGATE(OMPCanonicalLoop, Stmt)
+  DELEGATE(IntegerLiteral, Expr)
+  DELEGATE(FloatingLiteral, Expr)
+  DELEGATE(BoolLiteral, Expr)
+  DELEGATE(StringLiteral, Expr)
+  DELEGATE(DeclRefExpr, Expr)
+  DELEGATE(ImplicitCastExpr, Expr)
+  DELEGATE(ParenExpr, Expr)
+  DELEGATE(UnaryOperator, Expr)
+  DELEGATE(BinaryOperator, Expr)
+  DELEGATE(ConditionalOperator, Expr)
+  DELEGATE(CallExpr, Expr)
+  DELEGATE(ArraySubscriptExpr, Expr)
+  DELEGATE(ConstantExpr, Expr)
+  DELEGATE(OMPParallelDirective, OMPExecutableDirective)
+  DELEGATE(OMPBarrierDirective, OMPExecutableDirective)
+  DELEGATE(OMPCriticalDirective, OMPExecutableDirective)
+  DELEGATE(OMPSingleDirective, OMPExecutableDirective)
+  DELEGATE(OMPMasterDirective, OMPExecutableDirective)
+  DELEGATE(OMPForDirective, OMPLoopDirective)
+  DELEGATE(OMPParallelForDirective, OMPLoopDirective)
+  DELEGATE(OMPSimdDirective, OMPLoopDirective)
+  DELEGATE(OMPForSimdDirective, OMPLoopDirective)
+  DELEGATE(OMPTileDirective, OMPLoopTransformationDirective)
+  DELEGATE(OMPUnrollDirective, OMPLoopTransformationDirective)
+#undef DELEGATE
+
+private:
+  Derived &getDerived() { return *static_cast<Derived *>(this); }
+};
+
+/// Visitor over the OMPClause hierarchy.
+template <typename Derived, typename RetTy = void> class OMPClauseVisitor {
+public:
+  RetTy visit(const OMPClause *C) {
+    switch (C->getClauseKind()) {
+    case OpenMPClauseKind::NumThreads:
+      return getDerived().visitNumThreadsClause(
+          clause_cast<OMPNumThreadsClause>(C));
+    case OpenMPClauseKind::Schedule:
+      return getDerived().visitScheduleClause(
+          clause_cast<OMPScheduleClause>(C));
+    case OpenMPClauseKind::Collapse:
+      return getDerived().visitCollapseClause(
+          clause_cast<OMPCollapseClause>(C));
+    case OpenMPClauseKind::Full:
+      return getDerived().visitFullClause(clause_cast<OMPFullClause>(C));
+    case OpenMPClauseKind::Partial:
+      return getDerived().visitPartialClause(clause_cast<OMPPartialClause>(C));
+    case OpenMPClauseKind::Sizes:
+      return getDerived().visitSizesClause(clause_cast<OMPSizesClause>(C));
+    case OpenMPClauseKind::Private:
+      return getDerived().visitPrivateClause(clause_cast<OMPPrivateClause>(C));
+    case OpenMPClauseKind::FirstPrivate:
+      return getDerived().visitFirstPrivateClause(
+          clause_cast<OMPFirstPrivateClause>(C));
+    case OpenMPClauseKind::Shared:
+      return getDerived().visitSharedClause(clause_cast<OMPSharedClause>(C));
+    case OpenMPClauseKind::Reduction:
+      return getDerived().visitReductionClause(
+          clause_cast<OMPReductionClause>(C));
+    case OpenMPClauseKind::NoWait:
+      return getDerived().visitNoWaitClause(clause_cast<OMPNoWaitClause>(C));
+    case OpenMPClauseKind::Unknown:
+      break;
+    }
+    return getDerived().visitClause(C);
+  }
+
+  RetTy visitClause(const OMPClause *) { return RetTy(); }
+#define DELEGATE(Name, Class)                                                  \
+  RetTy visit##Name(const Class *C) { return getDerived().visitClause(C); }
+  DELEGATE(NumThreadsClause, OMPNumThreadsClause)
+  DELEGATE(ScheduleClause, OMPScheduleClause)
+  DELEGATE(CollapseClause, OMPCollapseClause)
+  DELEGATE(FullClause, OMPFullClause)
+  DELEGATE(PartialClause, OMPPartialClause)
+  DELEGATE(SizesClause, OMPSizesClause)
+  DELEGATE(PrivateClause, OMPPrivateClause)
+  DELEGATE(FirstPrivateClause, OMPFirstPrivateClause)
+  DELEGATE(SharedClause, OMPSharedClause)
+  DELEGATE(ReductionClause, OMPReductionClause)
+  DELEGATE(NoWaitClause, OMPNoWaitClause)
+#undef DELEGATE
+
+private:
+  Derived &getDerived() { return *static_cast<Derived *>(this); }
+};
+
+} // namespace mcc
+
+#endif // MCC_AST_STMTVISITOR_H

@@ -1,0 +1,306 @@
+#include "ast/TreeTransform.h"
+
+namespace mcc {
+
+VarDecl *TreeTransform::transformOwnedVarDecl(VarDecl *D) {
+  Expr *NewInit = D->getInit() ? transformExpr(D->getInit()) : nullptr;
+  VarDecl *NewD;
+  switch (D->getDeclClass()) {
+  case Decl::DeclClass::ParmVar:
+    NewD = Ctx.create<ParmVarDecl>(D->getLocation(), D->getName(),
+                                   D->getType());
+    break;
+  case Decl::DeclClass::ImplicitParam:
+    NewD = Ctx.create<ImplicitParamDecl>(D->getLocation(), D->getName(),
+                                         D->getType());
+    break;
+  default:
+    NewD = Ctx.create<VarDecl>(D->getLocation(), D->getName(), D->getType(),
+                               NewInit);
+    break;
+  }
+  if (D->isImplicit())
+    NewD->setImplicit();
+  addDeclSubstitution(D, NewD);
+  return NewD;
+}
+
+Expr *TreeTransform::transformExpr(Expr *E) {
+  if (!E)
+    return nullptr;
+  return static_cast<Expr *>(transformStmt(E));
+}
+
+OMPClause *TreeTransform::transformClause(OMPClause *C) {
+  // Clauses referencing variables must be re-built so private/reduction
+  // lists follow declaration substitutions; value clauses are immutable and
+  // contain only constant expressions, which we clone for ownership
+  // consistency.
+  switch (C->getClauseKind()) {
+  case OpenMPClauseKind::Private:
+  case OpenMPClauseKind::FirstPrivate:
+  case OpenMPClauseKind::Shared:
+  case OpenMPClauseKind::Reduction: {
+    const auto *VL = clause_cast<OMPVarListClause>(C);
+    std::vector<DeclRefExpr *> NewVars;
+    for (DeclRefExpr *Ref : VL->getVarRefs())
+      NewVars.push_back(static_cast<DeclRefExpr *>(transformExpr(Ref)));
+    auto Stored = Ctx.allocateCopy(NewVars);
+    std::span<DeclRefExpr *const> Span(Stored.data(), Stored.size());
+    switch (C->getClauseKind()) {
+    case OpenMPClauseKind::Private:
+      return Ctx.create<OMPPrivateClause>(C->getSourceRange(), Span);
+    case OpenMPClauseKind::FirstPrivate:
+      return Ctx.create<OMPFirstPrivateClause>(C->getSourceRange(), Span);
+    case OpenMPClauseKind::Shared:
+      return Ctx.create<OMPSharedClause>(C->getSourceRange(), Span);
+    default:
+      return Ctx.create<OMPReductionClause>(
+          C->getSourceRange(),
+          clause_cast<OMPReductionClause>(C)->getOperator(), Span);
+    }
+  }
+  default:
+    return C; // value clauses hold no decl references
+  }
+}
+
+Stmt *TreeTransform::transformStmt(Stmt *S) {
+  if (!S)
+    return nullptr;
+
+  SourceRange R = S->getSourceRange();
+  switch (S->getStmtClass()) {
+  case Stmt::StmtClass::NullStmt:
+    return Ctx.create<NullStmt>(R.getBegin());
+  case Stmt::StmtClass::BreakStmt:
+    return Ctx.create<BreakStmt>(R.getBegin());
+  case Stmt::StmtClass::ContinueStmt:
+    return Ctx.create<ContinueStmt>(R.getBegin());
+  case Stmt::StmtClass::CompoundStmt: {
+    const auto *CS = stmt_cast<CompoundStmt>(S);
+    std::vector<Stmt *> Body;
+    for (Stmt *Child : CS->body())
+      Body.push_back(transformStmt(Child));
+    auto Stored = Ctx.allocateCopy(Body);
+    return Ctx.create<CompoundStmt>(
+        R, std::span<Stmt *const>(Stored.data(), Stored.size()));
+  }
+  case Stmt::StmtClass::DeclStmt: {
+    const auto *DS = stmt_cast<DeclStmt>(S);
+    std::vector<VarDecl *> NewDecls;
+    for (VarDecl *D : DS->decls())
+      NewDecls.push_back(transformOwnedVarDecl(D));
+    auto Stored = Ctx.allocateCopy(NewDecls);
+    return Ctx.create<DeclStmt>(
+        R, std::span<VarDecl *const>(Stored.data(), Stored.size()));
+  }
+  case Stmt::StmtClass::IfStmt: {
+    const auto *IS = stmt_cast<IfStmt>(S);
+    return Ctx.create<IfStmt>(R, transformExpr(IS->getCond()),
+                              transformStmt(IS->getThen()),
+                              transformStmt(IS->getElse()));
+  }
+  case Stmt::StmtClass::WhileStmt: {
+    const auto *WS = stmt_cast<WhileStmt>(S);
+    return Ctx.create<WhileStmt>(R, transformExpr(WS->getCond()),
+                                 transformStmt(WS->getBody()));
+  }
+  case Stmt::StmtClass::DoStmt: {
+    const auto *DS = stmt_cast<DoStmt>(S);
+    return Ctx.create<DoStmt>(R, transformStmt(DS->getBody()),
+                              transformExpr(DS->getCond()));
+  }
+  case Stmt::StmtClass::ForStmt: {
+    const auto *FS = stmt_cast<ForStmt>(S);
+    // Explicit sequencing: the init statement may declare the iteration
+    // variable, and its substitution must be registered before the
+    // condition/increment/body are transformed (function argument
+    // evaluation order is unspecified).
+    Stmt *NewInit = transformStmt(FS->getInit());
+    Expr *NewCond = transformExpr(FS->getCond());
+    Expr *NewInc = transformExpr(FS->getInc());
+    Stmt *NewBody = transformStmt(FS->getBody());
+    return Ctx.create<ForStmt>(R, NewInit, NewCond, NewInc, NewBody);
+  }
+  case Stmt::StmtClass::ReturnStmt:
+    return Ctx.create<ReturnStmt>(
+        R, transformExpr(stmt_cast<ReturnStmt>(S)->getValue()));
+  case Stmt::StmtClass::AttributedStmt: {
+    const auto *AS = stmt_cast<AttributedStmt>(S);
+    return Ctx.create<AttributedStmt>(R, AS->getAttrs(),
+                                      transformStmt(AS->getSubStmt()));
+  }
+  case Stmt::StmtClass::CapturedStmt: {
+    const auto *CS = stmt_cast<CapturedStmt>(S);
+    CapturedDecl *CD = CS->getCapturedDecl();
+    std::vector<ImplicitParamDecl *> NewParams;
+    for (ImplicitParamDecl *P : CD->parameters())
+      NewParams.push_back(
+          static_cast<ImplicitParamDecl *>(transformOwnedVarDecl(P)));
+    Stmt *NewBody = transformStmt(CD->getBody());
+    auto StoredParams = Ctx.allocateCopy(NewParams);
+    auto *NewCD = Ctx.create<CapturedDecl>(
+        CD->getLocation(), NewBody,
+        std::span<ImplicitParamDecl *const>(StoredParams.data(),
+                                            StoredParams.size()));
+    std::vector<CapturedStmt::Capture> NewCaptures;
+    for (const CapturedStmt::Capture &Cap : CS->captures()) {
+      ValueDecl *Mapped = transformDecl(Cap.Var);
+      NewCaptures.push_back(
+          {static_cast<VarDecl *>(Mapped), Cap.ByRef});
+    }
+    auto StoredCaps = Ctx.allocateCopy(NewCaptures);
+    return Ctx.create<CapturedStmt>(
+        R, NewCD,
+        std::span<const CapturedStmt::Capture>(StoredCaps.data(),
+                                               StoredCaps.size()));
+  }
+  case Stmt::StmtClass::OMPCanonicalLoop: {
+    const auto *CL = stmt_cast<OMPCanonicalLoop>(S);
+    return Ctx.create<OMPCanonicalLoop>(
+        transformStmt(CL->getLoopStmt()),
+        static_cast<CapturedStmt *>(transformStmt(CL->getDistanceFunc())),
+        static_cast<CapturedStmt *>(transformStmt(CL->getLoopVarFunc())),
+        static_cast<DeclRefExpr *>(transformExpr(CL->getLoopVarRef())));
+  }
+
+  // --- Expressions ---
+  case Stmt::StmtClass::IntegerLiteral: {
+    const auto *E = stmt_cast<IntegerLiteral>(S);
+    return Ctx.create<IntegerLiteral>(R.getBegin(), E->getType(),
+                                      E->getValue());
+  }
+  case Stmt::StmtClass::FloatingLiteral: {
+    const auto *E = stmt_cast<FloatingLiteral>(S);
+    return Ctx.create<FloatingLiteral>(R.getBegin(), E->getType(),
+                                       E->getValue());
+  }
+  case Stmt::StmtClass::BoolLiteral: {
+    const auto *E = stmt_cast<BoolLiteral>(S);
+    return Ctx.create<BoolLiteral>(R.getBegin(), E->getType(), E->getValue());
+  }
+  case Stmt::StmtClass::StringLiteral: {
+    const auto *E = stmt_cast<StringLiteral>(S);
+    return Ctx.create<StringLiteral>(R.getBegin(), E->getType(),
+                                     E->getValue());
+  }
+  case Stmt::StmtClass::DeclRefExpr: {
+    const auto *E = stmt_cast<DeclRefExpr>(S);
+    ValueDecl *NewD = transformDecl(E->getDecl());
+    return Ctx.create<DeclRefExpr>(R.getBegin(), NewD, NewD->getType());
+  }
+  case Stmt::StmtClass::ImplicitCastExpr: {
+    const auto *E = stmt_cast<ImplicitCastExpr>(S);
+    return Ctx.create<ImplicitCastExpr>(E->getType(), E->getCastKind(),
+                                        transformExpr(E->getSubExpr()));
+  }
+  case Stmt::StmtClass::ParenExpr:
+    return Ctx.create<ParenExpr>(
+        R, transformExpr(stmt_cast<ParenExpr>(S)->getSubExpr()));
+  case Stmt::StmtClass::UnaryOperator: {
+    const auto *E = stmt_cast<UnaryOperator>(S);
+    return Ctx.create<UnaryOperator>(R, E->getOpcode(), E->getType(),
+                                     transformExpr(E->getSubExpr()),
+                                     E->isLValue());
+  }
+  case Stmt::StmtClass::BinaryOperator: {
+    const auto *E = stmt_cast<BinaryOperator>(S);
+    return Ctx.create<BinaryOperator>(R, E->getOpcode(), E->getType(),
+                                      transformExpr(E->getLHS()),
+                                      transformExpr(E->getRHS()),
+                                      E->isLValue());
+  }
+  case Stmt::StmtClass::ConditionalOperator: {
+    const auto *E = stmt_cast<ConditionalOperator>(S);
+    return Ctx.create<ConditionalOperator>(
+        R, E->getType(), transformExpr(E->getCond()),
+        transformExpr(E->getTrueExpr()), transformExpr(E->getFalseExpr()));
+  }
+  case Stmt::StmtClass::CallExpr: {
+    const auto *E = stmt_cast<CallExpr>(S);
+    std::vector<Expr *> Args;
+    for (Expr *A : E->arguments())
+      Args.push_back(transformExpr(A));
+    auto Stored = Ctx.allocateCopy(Args);
+    return Ctx.create<CallExpr>(
+        R, E->getType(), transformExpr(E->getCallee()),
+        std::span<Expr *const>(Stored.data(), Stored.size()));
+  }
+  case Stmt::StmtClass::ArraySubscriptExpr: {
+    const auto *E = stmt_cast<ArraySubscriptExpr>(S);
+    return Ctx.create<ArraySubscriptExpr>(R, E->getType(),
+                                          transformExpr(E->getBase()),
+                                          transformExpr(E->getIndex()));
+  }
+  case Stmt::StmtClass::ConstantExpr: {
+    const auto *E = stmt_cast<ConstantExpr>(S);
+    return Ctx.create<ConstantExpr>(transformExpr(E->getSubExpr()),
+                                    E->getResult());
+  }
+
+  // --- OpenMP directives ---
+  default: {
+    const auto *D = stmt_cast<OMPExecutableDirective>(S);
+    std::vector<OMPClause *> NewClauses;
+    for (OMPClause *C : D->clauses())
+      NewClauses.push_back(transformClause(C));
+    auto StoredClauses = Ctx.allocateCopy(NewClauses);
+    std::span<OMPClause *const> ClauseSpan(StoredClauses.data(),
+                                           StoredClauses.size());
+    Stmt *NewAssoc = transformStmt(D->getAssociatedStmt());
+    switch (S->getStmtClass()) {
+    case Stmt::StmtClass::OMPParallelDirective:
+      return Ctx.create<OMPParallelDirective>(R, ClauseSpan, NewAssoc);
+    case Stmt::StmtClass::OMPBarrierDirective:
+      return Ctx.create<OMPBarrierDirective>(R);
+    case Stmt::StmtClass::OMPCriticalDirective:
+      return Ctx.create<OMPCriticalDirective>(R, NewAssoc);
+    case Stmt::StmtClass::OMPSingleDirective:
+      return Ctx.create<OMPSingleDirective>(R, ClauseSpan, NewAssoc);
+    case Stmt::StmtClass::OMPMasterDirective:
+      return Ctx.create<OMPMasterDirective>(R, NewAssoc);
+    case Stmt::StmtClass::OMPForDirective: {
+      const auto *LD = stmt_cast<OMPLoopBasedDirective>(S);
+      return Ctx.create<OMPForDirective>(R, ClauseSpan, NewAssoc,
+                                         LD->getLoopsNumber());
+    }
+    case Stmt::StmtClass::OMPParallelForDirective: {
+      const auto *LD = stmt_cast<OMPLoopBasedDirective>(S);
+      return Ctx.create<OMPParallelForDirective>(R, ClauseSpan, NewAssoc,
+                                                 LD->getLoopsNumber());
+    }
+    case Stmt::StmtClass::OMPSimdDirective: {
+      const auto *LD = stmt_cast<OMPLoopBasedDirective>(S);
+      return Ctx.create<OMPSimdDirective>(R, ClauseSpan, NewAssoc,
+                                          LD->getLoopsNumber());
+    }
+    case Stmt::StmtClass::OMPForSimdDirective: {
+      const auto *LD = stmt_cast<OMPLoopBasedDirective>(S);
+      return Ctx.create<OMPForSimdDirective>(R, ClauseSpan, NewAssoc,
+                                             LD->getLoopsNumber());
+    }
+    case Stmt::StmtClass::OMPTileDirective: {
+      const auto *LD = stmt_cast<OMPTileDirective>(S);
+      auto *NewD = Ctx.create<OMPTileDirective>(R, ClauseSpan, NewAssoc,
+                                                LD->getLoopsNumber());
+      NewD->setTransformedStmt(transformStmt(LD->getTransformedStmt()));
+      NewD->setPreInits(transformStmt(LD->getPreInits()));
+      return NewD;
+    }
+    case Stmt::StmtClass::OMPUnrollDirective: {
+      const auto *LD = stmt_cast<OMPUnrollDirective>(S);
+      auto *NewD = Ctx.create<OMPUnrollDirective>(R, ClauseSpan, NewAssoc);
+      NewD->setTransformedStmt(transformStmt(LD->getTransformedStmt()));
+      NewD->setPreInits(transformStmt(LD->getPreInits()));
+      return NewD;
+    }
+    default:
+      assert(false && "unhandled statement class in TreeTransform");
+      return nullptr;
+    }
+  }
+  }
+}
+
+} // namespace mcc

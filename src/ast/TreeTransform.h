@@ -1,0 +1,65 @@
+//===--- TreeTransform.h - AST subtree cloning with substitution -*- C++ -*-===//
+//
+// Because the AST is immutable, transformations produce *copies* of
+// subtrees with changes applied — Clang's TreeTransform (paper Section 1.3,
+// primarily used for template instantiation there). Our uses:
+//
+//   * shadow-AST construction for tile/unroll: the original loop body is
+//     cloned into the transformed loop nest, with references to the
+//     original iteration variable rebound to the transformation's
+//     materialized copy;
+//   * privatization: cloning bodies with variables remapped to private
+//     copies.
+//
+// Variables declared *inside* the cloned subtree are re-declared so the
+// clone never aliases declarations of the original (a requirement for
+// correctness when the clone is instantiated multiple times, e.g. by
+// unrolling).
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_AST_TREETRANSFORM_H
+#define MCC_AST_TREETRANSFORM_H
+
+#include "ast/ASTContext.h"
+#include "ast/StmtOpenMP.h"
+
+#include <map>
+
+namespace mcc {
+
+class TreeTransform {
+public:
+  explicit TreeTransform(ASTContext &Ctx) : Ctx(Ctx) {}
+  virtual ~TreeTransform() = default;
+
+  /// Registers a substitution: references to \p Old are rebound to \p New.
+  void addDeclSubstitution(const ValueDecl *Old, ValueDecl *New) {
+    DeclMap[Old] = New;
+  }
+
+  /// Deep-clones \p S applying all substitutions.
+  Stmt *transformStmt(Stmt *S);
+  Expr *transformExpr(Expr *E);
+
+protected:
+  /// Maps a referenced declaration. Default: apply the substitution map;
+  /// unmapped declarations are shared with the original tree (they are
+  /// declared outside the cloned subtree).
+  virtual ValueDecl *transformDecl(ValueDecl *D) {
+    auto It = DeclMap.find(D);
+    return It == DeclMap.end() ? D : It->second;
+  }
+
+  /// Clones a VarDecl declared inside the transformed subtree and records
+  /// the mapping so later references rebind.
+  VarDecl *transformOwnedVarDecl(VarDecl *D);
+
+  OMPClause *transformClause(OMPClause *C);
+
+  ASTContext &Ctx;
+  std::map<const ValueDecl *, ValueDecl *> DeclMap;
+};
+
+} // namespace mcc
+
+#endif // MCC_AST_TREETRANSFORM_H

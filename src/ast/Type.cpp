@@ -1,0 +1,125 @@
+#include "ast/Type.h"
+
+namespace mcc {
+
+bool Type::isIntegerType() const {
+  if (const auto *BT = type_dyn_cast<BuiltinType>(this))
+    return BT->isInteger();
+  return false;
+}
+
+bool Type::isSignedIntegerType() const {
+  if (const auto *BT = type_dyn_cast<BuiltinType>(this))
+    return BT->isSignedInteger();
+  return false;
+}
+
+bool Type::isUnsignedIntegerType() const {
+  if (const auto *BT = type_dyn_cast<BuiltinType>(this))
+    return BT->isUnsignedInteger();
+  return false;
+}
+
+bool Type::isFloatingType() const {
+  if (const auto *BT = type_dyn_cast<BuiltinType>(this))
+    return BT->isFloating();
+  return false;
+}
+
+bool Type::isBooleanType() const {
+  if (const auto *BT = type_dyn_cast<BuiltinType>(this))
+    return BT->getKind() == BuiltinType::Kind::Bool;
+  return false;
+}
+
+bool Type::isVoidType() const {
+  if (const auto *BT = type_dyn_cast<BuiltinType>(this))
+    return BT->getKind() == BuiltinType::Kind::Void;
+  return false;
+}
+
+unsigned Type::getSizeInBytes() const {
+  switch (TC) {
+  case TypeClass::Builtin:
+    return type_cast<BuiltinType>(this)->getSizeInBytes();
+  case TypeClass::Pointer:
+    return 8;
+  case TypeClass::Array: {
+    const auto *AT = type_cast<ArrayType>(this);
+    return static_cast<unsigned>(AT->getNumElements() *
+                                 AT->getElementType()->getSizeInBytes());
+  }
+  case TypeClass::Function:
+    return 8; // decays to a pointer
+  }
+  return 0;
+}
+
+std::string Type::getAsString() const {
+  switch (TC) {
+  case TypeClass::Builtin:
+    switch (type_cast<BuiltinType>(this)->getKind()) {
+    case BuiltinType::Kind::Void:
+      return "void";
+    case BuiltinType::Kind::Bool:
+      return "bool";
+    case BuiltinType::Kind::Char:
+      return "char";
+    case BuiltinType::Kind::Int:
+      return "int";
+    case BuiltinType::Kind::UInt:
+      return "unsigned int";
+    case BuiltinType::Kind::Long:
+      return "long";
+    case BuiltinType::Kind::ULong:
+      return "unsigned long";
+    case BuiltinType::Kind::Float:
+      return "float";
+    case BuiltinType::Kind::Double:
+      return "double";
+    }
+    return "?";
+  case TypeClass::Pointer: {
+    QualType Pointee = type_cast<PointerType>(this)->getPointeeType();
+    std::string S = Pointee.getAsString();
+    S += " *";
+    return S;
+  }
+  case TypeClass::Array: {
+    // C convention: outermost dimension first ("int[4][8]").
+    const Type *T = this;
+    std::string Dims;
+    while (const auto *AT = type_dyn_cast<ArrayType>(T)) {
+      Dims += "[" + std::to_string(AT->getNumElements()) + "]";
+      T = AT->getElementType().getTypePtr();
+    }
+    return T->getAsString() + Dims;
+  }
+  case TypeClass::Function: {
+    const auto *FT = type_cast<FunctionType>(this);
+    std::string S = FT->getResultType().getAsString() + " (";
+    bool First = true;
+    for (QualType P : FT->getParamTypes()) {
+      if (!First)
+        S += ", ";
+      S += P.getAsString();
+      First = false;
+    }
+    S += ")";
+    return S;
+  }
+  }
+  return "?";
+}
+
+std::string QualType::getAsString() const {
+  if (!Ty)
+    return "<null>";
+  std::string S;
+  if (Const)
+    S += "const ";
+  S += Ty->getAsString();
+  return S;
+}
+
+} // namespace mcc

@@ -1,0 +1,219 @@
+//===--- Type.h - MiniC type system -----------------------------*- C++ -*-===//
+//
+// A small, ASTContext-uniqued type system: builtin scalar types, pointers,
+// constant-size arrays and function types. QualType carries a const
+// qualifier bit next to the canonical Type pointer, like Clang.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_AST_TYPE_H
+#define MCC_AST_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace mcc {
+
+class Type;
+
+/// A (possibly const-qualified) reference to a canonical type.
+class QualType {
+public:
+  QualType() = default;
+  QualType(const Type *Ty, bool Const = false) : Ty(Ty), Const(Const) {}
+
+  [[nodiscard]] const Type *getTypePtr() const { return Ty; }
+  [[nodiscard]] bool isConstQualified() const { return Const; }
+  [[nodiscard]] bool isNull() const { return Ty == nullptr; }
+
+  [[nodiscard]] QualType withConst() const { return QualType(Ty, true); }
+  [[nodiscard]] QualType withoutConst() const { return QualType(Ty, false); }
+
+  const Type *operator->() const { return Ty; }
+  const Type &operator*() const { return *Ty; }
+
+  friend bool operator==(QualType A, QualType B) {
+    return A.Ty == B.Ty && A.Const == B.Const;
+  }
+  friend bool operator!=(QualType A, QualType B) { return !(A == B); }
+
+  /// Type equality ignoring qualifiers.
+  [[nodiscard]] bool hasSameTypeAs(QualType Other) const {
+    return Ty == Other.Ty;
+  }
+
+  [[nodiscard]] std::string getAsString() const;
+
+private:
+  const Type *Ty = nullptr;
+  bool Const = false;
+};
+
+class Type {
+public:
+  enum class TypeClass { Builtin, Pointer, Array, Function };
+
+  [[nodiscard]] TypeClass getTypeClass() const { return TC; }
+
+  [[nodiscard]] bool isBuiltinType() const {
+    return TC == TypeClass::Builtin;
+  }
+  [[nodiscard]] bool isPointerType() const {
+    return TC == TypeClass::Pointer;
+  }
+  [[nodiscard]] bool isArrayType() const { return TC == TypeClass::Array; }
+  [[nodiscard]] bool isFunctionType() const {
+    return TC == TypeClass::Function;
+  }
+
+  [[nodiscard]] bool isIntegerType() const;
+  [[nodiscard]] bool isSignedIntegerType() const;
+  [[nodiscard]] bool isUnsignedIntegerType() const;
+  [[nodiscard]] bool isFloatingType() const;
+  [[nodiscard]] bool isArithmeticType() const {
+    return isIntegerType() || isFloatingType();
+  }
+  [[nodiscard]] bool isBooleanType() const;
+  [[nodiscard]] bool isVoidType() const;
+  /// Integer, floating-point or pointer.
+  [[nodiscard]] bool isScalarType() const {
+    return isArithmeticType() || isPointerType();
+  }
+
+  /// Size in bytes (asserts for void/function types).
+  [[nodiscard]] unsigned getSizeInBytes() const;
+
+  [[nodiscard]] std::string getAsString() const;
+
+protected:
+  explicit Type(TypeClass TC) : TC(TC) {}
+
+private:
+  TypeClass TC;
+};
+
+class BuiltinType final : public Type {
+public:
+  enum class Kind { Void, Bool, Char, Int, UInt, Long, ULong, Float, Double };
+
+  explicit BuiltinType(Kind K) : Type(TypeClass::Builtin), K(K) {}
+
+  [[nodiscard]] Kind getKind() const { return K; }
+
+  [[nodiscard]] bool isSignedInteger() const {
+    return K == Kind::Char || K == Kind::Int || K == Kind::Long;
+  }
+  [[nodiscard]] bool isUnsignedInteger() const {
+    return K == Kind::Bool || K == Kind::UInt || K == Kind::ULong;
+  }
+  [[nodiscard]] bool isInteger() const {
+    return isSignedInteger() || isUnsignedInteger();
+  }
+  [[nodiscard]] bool isFloating() const {
+    return K == Kind::Float || K == Kind::Double;
+  }
+
+  [[nodiscard]] unsigned getSizeInBytes() const {
+    switch (K) {
+    case Kind::Void:
+      return 0;
+    case Kind::Bool:
+    case Kind::Char:
+      return 1;
+    case Kind::Int:
+    case Kind::UInt:
+    case Kind::Float:
+      return 4;
+    case Kind::Long:
+    case Kind::ULong:
+    case Kind::Double:
+      return 8;
+    }
+    return 0;
+  }
+
+  /// Integer conversion rank for the usual arithmetic conversions.
+  [[nodiscard]] unsigned getIntegerRank() const {
+    switch (K) {
+    case Kind::Bool:
+      return 1;
+    case Kind::Char:
+      return 2;
+    case Kind::Int:
+    case Kind::UInt:
+      return 4;
+    case Kind::Long:
+    case Kind::ULong:
+      return 5;
+    default:
+      return 0;
+    }
+  }
+
+  static bool classof(const Type *T) { return T->isBuiltinType(); }
+
+private:
+  Kind K;
+};
+
+class PointerType final : public Type {
+public:
+  explicit PointerType(QualType Pointee)
+      : Type(TypeClass::Pointer), Pointee(Pointee) {}
+
+  [[nodiscard]] QualType getPointeeType() const { return Pointee; }
+
+  static bool classof(const Type *T) { return T->isPointerType(); }
+
+private:
+  QualType Pointee;
+};
+
+class ArrayType final : public Type {
+public:
+  ArrayType(QualType Element, std::uint64_t Size)
+      : Type(TypeClass::Array), Element(Element), Size(Size) {}
+
+  [[nodiscard]] QualType getElementType() const { return Element; }
+  [[nodiscard]] std::uint64_t getNumElements() const { return Size; }
+
+  static bool classof(const Type *T) { return T->isArrayType(); }
+
+private:
+  QualType Element;
+  std::uint64_t Size;
+};
+
+class FunctionType final : public Type {
+public:
+  FunctionType(QualType Result, std::span<const QualType> Params)
+      : Type(TypeClass::Function), Result(Result), Params(Params) {}
+
+  [[nodiscard]] QualType getResultType() const { return Result; }
+  [[nodiscard]] std::span<const QualType> getParamTypes() const {
+    return Params;
+  }
+  [[nodiscard]] unsigned getNumParams() const {
+    return static_cast<unsigned>(Params.size());
+  }
+
+  static bool classof(const Type *T) { return T->isFunctionType(); }
+
+private:
+  QualType Result;
+  std::span<const QualType> Params; // storage owned by ASTContext
+};
+
+/// LLVM-style dyn_cast helpers specialized for our tiny hierarchy.
+template <typename To> const To *type_dyn_cast(const Type *T) {
+  return (T && To::classof(T)) ? static_cast<const To *>(T) : nullptr;
+}
+template <typename To> const To *type_cast(const Type *T) {
+  assert(T && To::classof(T) && "bad type_cast");
+  return static_cast<const To *>(T);
+}
+
+} // namespace mcc
+
+#endif // MCC_AST_TYPE_H

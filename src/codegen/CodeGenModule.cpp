@@ -1,0 +1,110 @@
+#include "codegen/CodeGenModule.h"
+
+#include "codegen/CodeGenFunction.h"
+
+#include "ast/ExprConstant.h"
+
+namespace mcc {
+
+using namespace ir;
+
+const IRType *CodeGenModule::convertType(QualType T) const {
+  const Type *Ty = T.getTypePtr();
+  switch (Ty->getTypeClass()) {
+  case Type::TypeClass::Builtin:
+    switch (type_cast<BuiltinType>(Ty)->getKind()) {
+    case BuiltinType::Kind::Void:
+      return IRType::getVoid();
+    case BuiltinType::Kind::Bool:
+    case BuiltinType::Kind::Char:
+      return IRType::getI8();
+    case BuiltinType::Kind::Int:
+    case BuiltinType::Kind::UInt:
+      return IRType::getI32();
+    case BuiltinType::Kind::Long:
+    case BuiltinType::Kind::ULong:
+      return IRType::getI64();
+    case BuiltinType::Kind::Float:
+    case BuiltinType::Kind::Double:
+      // The IR has a single floating-point type; 'float' is computed in
+      // double precision (documented substitution).
+      return IRType::getDouble();
+    }
+    return IRType::getVoid();
+  case Type::TypeClass::Pointer:
+  case Type::TypeClass::Array: // decays in value position
+  case Type::TypeClass::Function:
+    return IRType::getPtr();
+  }
+  return IRType::getVoid();
+}
+
+std::pair<const IRType *, std::uint64_t>
+CodeGenModule::convertTypeForMem(QualType T) const {
+  std::uint64_t Count = 1;
+  const Type *Ty = T.getTypePtr();
+  while (const auto *AT = type_dyn_cast<ArrayType>(Ty)) {
+    Count *= AT->getNumElements();
+    Ty = AT->getElementType().getTypePtr();
+  }
+  return {convertType(QualType(Ty)), Count};
+}
+
+ir::Function *CodeGenModule::getOrCreateFunction(const FunctionDecl *FD) {
+  auto It = FunctionMap.find(FD);
+  if (It != FunctionMap.end())
+    return It->second;
+  std::vector<const IRType *> ParamTys;
+  std::vector<std::string> ParamNames;
+  for (const ParmVarDecl *P : FD->parameters()) {
+    ParamTys.push_back(convertType(P->getType()));
+    ParamNames.emplace_back(P->getName());
+  }
+  ir::Function *F =
+      M.createFunction(std::string(FD->getName()),
+                       convertType(FD->getReturnType()), std::move(ParamTys),
+                       std::move(ParamNames));
+  FunctionMap[FD] = F;
+  return F;
+}
+
+ir::GlobalVariable *CodeGenModule::getOrCreateGlobal(const VarDecl *VD) {
+  auto It = GlobalMap.find(VD);
+  if (It != GlobalMap.end())
+    return It->second;
+  auto [ElemTy, Count] = convertTypeForMem(VD->getType());
+  ir::GlobalVariable *G =
+      M.createGlobal(std::string(VD->getName()), ElemTy, Count);
+  if (VD->hasInit()) {
+    if (auto V = evaluateIntegerWithConstVars(VD->getInit())) {
+      if (ElemTy->isDouble())
+        G->FPInit.push_back(static_cast<double>(*V));
+      else
+        G->IntInit.push_back(*V);
+    } else if (const auto *FL = stmt_dyn_cast<FloatingLiteral>(
+                   VD->getInit()->ignoreParenImpCasts())) {
+      G->FPInit.push_back(FL->getValue());
+    }
+  }
+  GlobalMap[VD] = G;
+  return G;
+}
+
+void CodeGenModule::emitTranslationUnit(const TranslationUnitDecl *TU) {
+  // Create globals and function declarations first so forward references
+  // resolve.
+  for (const Decl *D : TU->decls()) {
+    if (const auto *VD = decl_dyn_cast<VarDecl>(D))
+      getOrCreateGlobal(VD);
+    else if (const auto *FD = decl_dyn_cast<FunctionDecl>(D))
+      getOrCreateFunction(FD);
+  }
+  for (const Decl *D : TU->decls())
+    if (const auto *FD = decl_dyn_cast<FunctionDecl>(D))
+      if (FD->hasBody()) {
+        CodeGenFunction CGF(*this);
+        CGF.emitFunction(FD);
+      }
+}
+
+} // namespace mcc

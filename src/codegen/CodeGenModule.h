@@ -1,0 +1,69 @@
+//===--- CodeGenModule.h - Per-module AST -> IR state -----------*- C++ -*-===//
+//
+// The CodeGen layer of the paper's Fig. 1. Maps declarations to IR
+// entities, drives per-function emission, and owns the OpenMPIRBuilder.
+// OpenMP lowering runs in one of two modes matching the paper:
+//
+//   LegacyShadowAST (default): early outlining in the front-end; loop
+//   directives are emitted from the pre-computed shadow helper expressions
+//   of OMPLoopDirective; tile/unroll emit their transformed statement, or
+//   only loop metadata (Section 2).
+//
+//   IRBuilder mode (-fopenmp-enable-irbuilder): OMPCanonicalLoop nodes are
+//   lowered through OpenMPIRBuilder::createCanonicalLoop; directives are
+//   applied as CanonicalLoopInfo transformations (Section 3).
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_CODEGEN_CODEGENMODULE_H
+#define MCC_CODEGEN_CODEGENMODULE_H
+
+#include "ast/ASTContext.h"
+#include "ast/StmtOpenMP.h"
+#include "irbuilder/OpenMPIRBuilder.h"
+#include "sema/LangOptions.h"
+
+#include <map>
+
+namespace mcc {
+
+class CodeGenModule {
+public:
+  CodeGenModule(ASTContext &Ctx, const LangOptions &Opts, ir::Module &M)
+      : Ctx(Ctx), Opts(Opts), M(M), OMPBuilder(M) {}
+
+  /// Emits every function and global of the translation unit.
+  void emitTranslationUnit(const TranslationUnitDecl *TU);
+
+  [[nodiscard]] ASTContext &getASTContext() { return Ctx; }
+  [[nodiscard]] const LangOptions &getLangOpts() const { return Opts; }
+  [[nodiscard]] ir::Module &getModule() { return M; }
+  [[nodiscard]] ir::OpenMPIRBuilder &getOMPBuilder() { return OMPBuilder; }
+
+  /// AST type -> IR type. Arrays and functions lower to ptr in value
+  /// position; use convertTypeForMem for storage layout.
+  const ir::IRType *convertType(QualType T) const;
+  /// Element type and count for a declaration's storage.
+  std::pair<const ir::IRType *, std::uint64_t>
+  convertTypeForMem(QualType T) const;
+
+  ir::Function *getOrCreateFunction(const FunctionDecl *FD);
+  ir::GlobalVariable *getOrCreateGlobal(const VarDecl *VD);
+
+  /// Unique name for an outlined function.
+  std::string makeOutlinedName(const std::string &Base) {
+    return Base + ".omp_outlined." + std::to_string(OutlinedCounter++);
+  }
+
+private:
+  ASTContext &Ctx;
+  LangOptions Opts;
+  ir::Module &M;
+  ir::OpenMPIRBuilder OMPBuilder;
+  std::map<const FunctionDecl *, ir::Function *> FunctionMap;
+  std::map<const VarDecl *, ir::GlobalVariable *> GlobalMap;
+  unsigned OutlinedCounter = 0;
+};
+
+} // namespace mcc
+
+#endif // MCC_CODEGEN_CODEGENMODULE_H

@@ -1,0 +1,73 @@
+#include "driver/CompilerInstance.h"
+
+namespace mcc {
+
+CompilerInstance::CompilerInstance(CompilerOptions Opts)
+    : Options(std::move(Opts)), Diags(&DiagStore) {}
+
+CompilerInstance::~CompilerInstance() = default;
+
+void CompilerInstance::addVirtualFile(const std::string &Path,
+                                      std::string_view Contents) {
+  FM.addVirtualFile(Path, Contents);
+}
+
+bool CompilerInstance::parseToAST(const std::string &MainFile) {
+  PP = std::make_unique<Preprocessor>(FM, SM, Diags);
+  PP->setOpenMPEnabled(Options.LangOpts.OpenMP);
+  for (const auto &[Name, Value] : Options.Defines)
+    PP->defineCommandLineMacro(Name, Value);
+  for (const std::string &Dir : Options.IncludeDirs)
+    PP->addIncludeDir(Dir);
+  if (!PP->enterMainFile(MainFile)) {
+    Diags.report(SourceLocation(), diag::err_pp_file_not_found) << MainFile;
+    return false;
+  }
+  Actions = std::make_unique<Sema>(Ctx, Diags, Options.LangOpts);
+  Parser P(*PP, *Actions);
+  TU = P.parseTranslationUnit();
+  return !Diags.hasErrorOccurred();
+}
+
+bool CompilerInstance::emitIR() {
+  assert(TU && "parseToAST must succeed first");
+  IRModule = std::make_unique<ir::Module>("main");
+  CodeGenModule CGM(Ctx, Options.LangOpts, *IRModule);
+  CGM.emitTranslationUnit(TU);
+
+  if (Options.RunVerifier) {
+    std::string Err = ir::verifyModule(*IRModule);
+    if (!Err.empty()) {
+      Diags.report(SourceLocation(), diag::err_codegen_unsupported)
+          << ("invalid IR produced:\n" + Err);
+      return false;
+    }
+  }
+  if (Options.RunMidend) {
+    MidendStats = midend::runDefaultPipeline(*IRModule, Options.UnrollOpts);
+    if (Options.RunVerifier) {
+      std::string Err = ir::verifyModule(*IRModule);
+      if (!Err.empty()) {
+        Diags.report(SourceLocation(), diag::err_codegen_unsupported)
+            << ("mid-end produced invalid IR:\n" + Err);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool CompilerInstance::compileSource(std::string_view Source) {
+  addVirtualFile("input.c", Source);
+  return parseToAST("input.c") && emitIR();
+}
+
+std::string CompilerInstance::renderDiagnostics() const {
+  std::string Out;
+  TextDiagnosticPrinter Printer(Out, &SM);
+  for (const Diagnostic &D : DiagStore.getDiagnostics())
+    Printer.handleDiagnostic(D);
+  return Out;
+}
+
+} // namespace mcc

@@ -1,0 +1,90 @@
+//===--- CompilerInstance.h - Whole-pipeline orchestration ------*- C++ -*-===//
+//
+// Owns every layer of the paper's Fig. 1 and drives source -> tokens ->
+// AST -> IR (-> mid-end). The library entry point used by the minicc
+// driver, the examples, the tests and the benchmarks.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_DRIVER_COMPILERINSTANCE_H
+#define MCC_DRIVER_COMPILERINSTANCE_H
+
+#include "ast/ASTDumper.h"
+#include "codegen/CodeGenModule.h"
+#include "lex/Preprocessor.h"
+#include "midend/Passes.h"
+#include "parse/Parser.h"
+#include "sema/Sema.h"
+
+#include <memory>
+#include <string>
+
+namespace mcc {
+
+struct CompilerOptions {
+  LangOptions LangOpts;
+  bool RunVerifier = true;
+  bool RunMidend = false; // -O1: LoopUnroll + SimplifyCFG + DCE
+  midend::LoopUnrollOptions UnrollOpts;
+  std::vector<std::pair<std::string, std::string>> Defines; // -DNAME=VAL
+  std::vector<std::string> IncludeDirs;
+};
+
+class CompilerInstance {
+public:
+  explicit CompilerInstance(CompilerOptions Options = {});
+  ~CompilerInstance();
+
+  /// Registers an in-memory file (tests, examples).
+  void addVirtualFile(const std::string &Path, std::string_view Contents);
+
+  /// Front-end only: source -> AST. Returns false on any error.
+  bool parseToAST(const std::string &MainFile);
+
+  /// AST -> IR (and the mid-end pipeline when enabled). parseToAST must
+  /// have succeeded. Returns false if the verifier rejects the module.
+  bool emitIR();
+
+  /// Convenience: full pipeline over in-memory source.
+  bool compileSource(std::string_view Source);
+
+  // --- Results ---
+  [[nodiscard]] TranslationUnitDecl *getTranslationUnit() { return TU; }
+  [[nodiscard]] ir::Module *getIRModule() { return IRModule.get(); }
+  [[nodiscard]] ASTContext &getASTContext() { return Ctx; }
+  [[nodiscard]] Sema &getSema() { return *Actions; }
+  [[nodiscard]] DiagnosticsEngine &getDiagnostics() { return Diags; }
+  [[nodiscard]] const StoringDiagnosticConsumer &getDiagStore() const {
+    return DiagStore;
+  }
+  [[nodiscard]] SourceManager &getSourceManager() { return SM; }
+
+  /// Rendered diagnostics (file:line:col: severity: message + caret).
+  [[nodiscard]] std::string renderDiagnostics() const;
+
+  [[nodiscard]] std::string getIRText() const {
+    return IRModule ? ir::printModule(*IRModule) : std::string();
+  }
+
+  [[nodiscard]] const midend::PipelineStats &getMidendStats() const {
+    return MidendStats;
+  }
+
+  [[nodiscard]] const CompilerOptions &getOptions() const { return Options; }
+
+private:
+  CompilerOptions Options;
+  FileManager FM;
+  SourceManager SM;
+  StoringDiagnosticConsumer DiagStore;
+  DiagnosticsEngine Diags;
+  ASTContext Ctx;
+  std::unique_ptr<Preprocessor> PP;
+  std::unique_ptr<Sema> Actions;
+  TranslationUnitDecl *TU = nullptr;
+  std::unique_ptr<ir::Module> IRModule;
+  midend::PipelineStats MidendStats;
+};
+
+} // namespace mcc
+
+#endif // MCC_DRIVER_COMPILERINSTANCE_H

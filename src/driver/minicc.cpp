@@ -1,0 +1,152 @@
+//===--- minicc.cpp - Command-line compiler driver --------------------------===//
+//
+// A clang-flavored driver for the MiniC + OpenMP front-end:
+//
+//   minicc [options] file.c
+//     -fopenmp / -fno-openmp       enable/disable OpenMP pragma handling
+//     -fopenmp-enable-irbuilder    use the OMPCanonicalLoop/OpenMPIRBuilder
+//                                  pipeline (paper Section 3)
+//     -ast-dump                    print the AST (clang style)
+//     -ast-dump-shadow             ... including shadow AST subtrees
+//     -emit-ir                     print the generated IR
+//     -O1                          run the mid-end (LoopUnroll, SimplifyCFG,
+//                                  DCE) before printing/running
+//     -run [args...]               interpret main() and print its result
+//     -syntax-only                 stop after semantic analysis
+//     -DNAME[=VALUE]               predefine a macro
+//     -I <dir>                     add an include search directory
+//     -num-threads N               default OpenMP thread count
+//
+//===----------------------------------------------------------------------===//
+#include "driver/CompilerInstance.h"
+#include "interp/Interpreter.h"
+#include "runtime/KMPRuntime.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace mcc;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: minicc [options] file.c\n"
+      "  -fopenmp | -fno-openmp      OpenMP pragma handling (default on)\n"
+      "  -fopenmp-enable-irbuilder   OMPCanonicalLoop/OpenMPIRBuilder "
+      "pipeline\n"
+      "  -ast-dump                   print the AST\n"
+      "  -ast-dump-shadow            print the AST incl. shadow subtrees\n"
+      "  -emit-ir                    print generated IR\n"
+      "  -O1                         run the mid-end pipeline\n"
+      "  -run                        interpret main()\n"
+      "  -syntax-only                stop after Sema\n"
+      "  -DNAME[=VALUE]              define macro\n"
+      "  -I <dir>                    include search directory\n"
+      "  -num-threads N              default OpenMP thread count\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CompilerOptions Options;
+  bool ASTDump = false, ASTDumpShadow = false, EmitIR = false, Run = false,
+       SyntaxOnly = false;
+  std::string InputFile;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-fopenmp")
+      Options.LangOpts.OpenMP = true;
+    else if (Arg == "-fno-openmp")
+      Options.LangOpts.OpenMP = false;
+    else if (Arg == "-fopenmp-enable-irbuilder")
+      Options.LangOpts.OpenMPEnableIRBuilder = true;
+    else if (Arg == "-ast-dump")
+      ASTDump = true;
+    else if (Arg == "-ast-dump-shadow")
+      ASTDump = ASTDumpShadow = true;
+    else if (Arg == "-emit-ir")
+      EmitIR = true;
+    else if (Arg == "-O1")
+      Options.RunMidend = true;
+    else if (Arg == "-run")
+      Run = true;
+    else if (Arg == "-syntax-only")
+      SyntaxOnly = true;
+    else if (Arg == "-num-threads" && I + 1 < argc)
+      Options.LangOpts.OpenMPDefaultNumThreads =
+          static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (Arg.rfind("-D", 0) == 0) {
+      std::string Def = Arg.substr(2);
+      auto Eq = Def.find('=');
+      if (Eq == std::string::npos)
+        Options.Defines.emplace_back(Def, "1");
+      else
+        Options.Defines.emplace_back(Def.substr(0, Eq), Def.substr(Eq + 1));
+    } else if (Arg == "-I" && I + 1 < argc)
+      Options.IncludeDirs.emplace_back(argv[++I]);
+    else if (Arg == "-h" || Arg == "--help") {
+      printUsage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "minicc: unknown argument: '%s'\n", Arg.c_str());
+      return 1;
+    } else {
+      InputFile = Arg;
+    }
+  }
+
+  if (InputFile.empty()) {
+    std::fprintf(stderr, "minicc: error: no input files\n");
+    printUsage();
+    return 1;
+  }
+
+  CompilerInstance CI(Options);
+  bool FrontendOK = CI.parseToAST(InputFile);
+  std::string DiagText = CI.renderDiagnostics();
+  if (!DiagText.empty())
+    std::fputs(DiagText.c_str(), stderr);
+  if (!FrontendOK)
+    return 1;
+
+  if (ASTDump) {
+    std::string Out = dumpToString(CI.getTranslationUnit(), ASTDumpShadow);
+    std::fputs(Out.c_str(), stdout);
+  }
+  if (SyntaxOnly)
+    return 0;
+
+  if (!CI.emitIR()) {
+    std::fputs(CI.renderDiagnostics().c_str(), stderr);
+    return 1;
+  }
+
+  if (EmitIR)
+    std::fputs(CI.getIRText().c_str(), stdout);
+
+  if (Run) {
+    rt::OpenMPRuntime::get().setDefaultNumThreads(
+        Options.LangOpts.OpenMPDefaultNumThreads);
+    interp::ExecutionEngine EE(*CI.getIRModule());
+    const ir::Function *Main = CI.getIRModule()->getFunction("main");
+    if (!Main || Main->isDeclaration()) {
+      std::fprintf(stderr, "minicc: error: no main() to run\n");
+      return 1;
+    }
+    try {
+      interp::RTValue Result = EE.runFunction(Main, {});
+      if (!Main->getReturnType()->isVoid())
+        std::printf("main returned %lld\n",
+                    static_cast<long long>(Result.I));
+    } catch (const std::exception &Ex) {
+      std::fprintf(stderr, "minicc: runtime error: %s\n", Ex.what());
+      return 1;
+    }
+  }
+  return 0;
+}

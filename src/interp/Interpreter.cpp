@@ -1,0 +1,615 @@
+//===--- Interpreter.cpp - IR execution engine ------------------------------===//
+#include "interp/Interpreter.h"
+
+#include "runtime/KMPRuntime.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace mcc::interp {
+
+using namespace ir;
+
+namespace {
+
+std::int64_t signExtend(std::int64_t V, unsigned Bits) {
+  if (Bits >= 64)
+    return V;
+  std::uint64_t Mask = (1ULL << Bits) - 1;
+  std::uint64_t U = static_cast<std::uint64_t>(V) & Mask;
+  if (U & (1ULL << (Bits - 1)))
+    U |= ~Mask;
+  return static_cast<std::int64_t>(U);
+}
+
+std::uint64_t zeroExtend(std::int64_t V, unsigned Bits) {
+  if (Bits >= 64)
+    return static_cast<std::uint64_t>(V);
+  return static_cast<std::uint64_t>(V) & ((1ULL << Bits) - 1);
+}
+
+} // namespace
+
+ExecutionEngine::ExecutionEngine(const ir::Module &M) : M(M) {
+  // Allocate and initialize global storage.
+  for (const auto &G : M.globals()) {
+    std::size_t Size = static_cast<std::size_t>(G->getSizeInBytes());
+    void *Mem = ::operator new(Size < 1 ? 1 : Size);
+    std::memset(Mem, 0, Size);
+    if (!G->IntInit.empty() || !G->FPInit.empty()) {
+      unsigned ElemSize = G->getElementType()->getSizeInBytes();
+      char *P = static_cast<char *>(Mem);
+      if (G->getElementType()->isDouble()) {
+        for (std::size_t I = 0; I < G->FPInit.size(); ++I)
+          std::memcpy(P + I * ElemSize, &G->FPInit[I], sizeof(double));
+      } else {
+        for (std::size_t I = 0; I < G->IntInit.size(); ++I) {
+          std::int64_t V = G->IntInit[I];
+          std::memcpy(P + I * ElemSize, &V, ElemSize);
+        }
+      }
+    }
+    GlobalStorage[G.get()] = Mem;
+  }
+
+  // Precompute slot numbering for every defined function (the module is
+  // immutable afterwards, so this map can be read concurrently).
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    FunctionInfo Info;
+    for (unsigned I = 0; I < F->getNumArgs(); ++I)
+      Info.Slots[F->getArg(I)] = Info.NumSlots++;
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions())
+        if (!I->getType()->isVoid())
+          Info.Slots[I.get()] = Info.NumSlots++;
+    Infos[F.get()] = std::move(Info);
+  }
+
+  // Default externals: debugging prints.
+  Externals["print_i64"] = [](std::span<const RTValue> Args) {
+    std::printf("%lld\n", static_cast<long long>(Args[0].I));
+    return RTValue{};
+  };
+  Externals["print_f64"] = [](std::span<const RTValue> Args) {
+    std::printf("%g\n", Args[0].D);
+    return RTValue{};
+  };
+}
+
+ExecutionEngine::~ExecutionEngine() {
+  for (auto &[G, Mem] : GlobalStorage)
+    ::operator delete(Mem);
+}
+
+void ExecutionEngine::bindExternal(const std::string &Name, ExternalFn Fn) {
+  Externals[Name] = std::move(Fn);
+}
+
+void *ExecutionEngine::getGlobalAddress(const std::string &Name) const {
+  const GlobalVariable *G = M.getGlobal(Name);
+  if (!G)
+    return nullptr;
+  auto It = GlobalStorage.find(G);
+  return It == GlobalStorage.end() ? nullptr : It->second;
+}
+
+const ExecutionEngine::FunctionInfo &
+ExecutionEngine::getInfo(const ir::Function *F) {
+  auto It = Infos.find(F);
+  assert(It != Infos.end() && "function not prepared");
+  return It->second;
+}
+
+RTValue ExecutionEngine::runFunction(const std::string &Name,
+                                     std::vector<RTValue> Args) {
+  const Function *F = M.getFunction(Name);
+  if (!F)
+    throw std::runtime_error("no such function: " + Name);
+  return runFunction(F, std::move(Args));
+}
+
+RTValue ExecutionEngine::runFunction(const ir::Function *F,
+                                     std::vector<RTValue> Args) {
+  return interpret(F, Args);
+}
+
+RTValue ExecutionEngine::callRuntime(const std::string &Name,
+                                     std::span<const RTValue> Args) {
+  rt::OpenMPRuntime &RT = rt::OpenMPRuntime::get();
+
+  if (Name == "__kmpc_fork_call") {
+    const auto *Outlined =
+        static_cast<const Function *>(Args[0].asPtr());
+    // Args[1] = number of captured pointers (context layout), Args[2] =
+    // context (array of capture addresses), Args[3] = requested threads.
+    void *Context = Args[2].asPtr();
+    int NumThreads = static_cast<int>(Args[3].I);
+    RT.forkCall(
+        [this, Outlined, Context](int Tid) {
+          std::int32_t TidLocal = Tid;
+          std::vector<RTValue> OutlinedArgs = {
+              RTValue::ofPtr(&TidLocal), RTValue::ofPtr(&TidLocal),
+              RTValue::ofPtr(Context)};
+          interpret(Outlined, OutlinedArgs);
+        },
+        NumThreads);
+    return RTValue{};
+  }
+  if (Name == "__kmpc_global_thread_num" || Name == "omp_get_thread_num")
+    return RTValue::ofInt(RT.getThreadNum());
+  if (Name == "omp_get_num_threads")
+    return RTValue::ofInt(RT.getNumThreads());
+  if (Name == "__kmpc_for_static_init") {
+    RT.forStaticInit(static_cast<std::int32_t>(Args[1].I),
+                     static_cast<std::int32_t *>(Args[2].asPtr()),
+                     static_cast<std::int64_t *>(Args[3].asPtr()),
+                     static_cast<std::int64_t *>(Args[4].asPtr()),
+                     static_cast<std::int64_t *>(Args[5].asPtr()), Args[6].I,
+                     Args[7].I);
+    return RTValue{};
+  }
+  if (Name == "__kmpc_for_static_fini") {
+    RT.forStaticFini();
+    return RTValue{};
+  }
+  if (Name == "__kmpc_dispatch_init") {
+    RT.dispatchInit(static_cast<std::int32_t>(Args[1].I), Args[2].I,
+                    Args[3].I, Args[4].I);
+    return RTValue{};
+  }
+  if (Name == "__kmpc_dispatch_next") {
+    bool More =
+        RT.dispatchNext(static_cast<std::int32_t *>(Args[1].asPtr()),
+                        static_cast<std::int64_t *>(Args[2].asPtr()),
+                        static_cast<std::int64_t *>(Args[3].asPtr()));
+    return RTValue::ofInt(More ? 1 : 0);
+  }
+  if (Name == "__kmpc_barrier") {
+    RT.barrier();
+    return RTValue{};
+  }
+  if (Name == "__kmpc_critical") {
+    RT.critical();
+    return RTValue{};
+  }
+  if (Name == "__kmpc_end_critical") {
+    RT.endCritical();
+    return RTValue{};
+  }
+
+  auto It = Externals.find(Name);
+  if (It == Externals.end())
+    throw std::runtime_error("call to unbound external function: " + Name);
+  return It->second(Args);
+}
+
+RTValue ExecutionEngine::interpret(const ir::Function *F,
+                                   std::span<const RTValue> Args) {
+  assert(!F->isDeclaration() && "cannot interpret a declaration");
+  const FunctionInfo &Info = getInfo(F);
+
+  std::vector<RTValue> Frame(Info.NumSlots);
+  std::vector<void *> FrameAllocas;
+  std::uint64_t LocalCount = 0;
+
+  for (unsigned I = 0; I < F->getNumArgs(); ++I)
+    Frame[Info.Slots.at(F->getArg(I))] = Args[I];
+
+  auto Eval = [&](const Value *V) -> RTValue {
+    switch (V->getValueKind()) {
+    case Value::ValueKind::ConstantInt:
+      return RTValue::ofInt(ir_cast<ConstantInt>(V)->getValue());
+    case Value::ValueKind::ConstantFP:
+      return RTValue::ofDouble(ir_cast<ConstantFP>(V)->getValue());
+    case Value::ValueKind::ConstantNull:
+      return RTValue::ofInt(0);
+    case Value::ValueKind::Global:
+      return RTValue::ofPtr(
+          GlobalStorage.at(ir_cast<GlobalVariable>(V)));
+    case Value::ValueKind::Function:
+      return RTValue::ofPtr(
+          const_cast<Function *>(ir_cast<Function>(V)));
+    default:
+      return Frame[Info.Slots.at(V)];
+    }
+  };
+
+  auto Cleanup = [&] {
+    for (void *P : FrameAllocas)
+      ::operator delete(P);
+    InstructionsExecuted.fetch_add(LocalCount, std::memory_order_relaxed);
+  };
+
+  const BasicBlock *Block = F->getEntryBlock();
+  const BasicBlock *PrevBlock = nullptr;
+  RTValue ReturnValue{};
+
+  while (true) {
+    // Phis first: evaluate them all against the *old* frame before
+    // writing, to honor parallel-copy semantics.
+    std::size_t InstIdx = 0;
+    {
+      std::vector<std::pair<unsigned, RTValue>> PhiWrites;
+      while (InstIdx < Block->size() &&
+             Block->instructions()[InstIdx]->getOpcode() == Opcode::Phi) {
+        const Instruction &Phi = *Block->instructions()[InstIdx];
+        bool Found = false;
+        for (unsigned P = 0; P < Phi.getNumIncoming(); ++P)
+          if (Phi.getIncomingBlock(P) == PrevBlock) {
+            PhiWrites.emplace_back(Info.Slots.at(&Phi),
+                                   Eval(Phi.getIncomingValue(P)));
+            Found = true;
+            break;
+          }
+        if (!Found)
+          throw std::runtime_error("phi has no incoming for predecessor");
+        ++InstIdx;
+        ++LocalCount;
+      }
+      for (auto &[Slot, V] : PhiWrites)
+        Frame[Slot] = V;
+    }
+
+    for (; InstIdx < Block->size(); ++InstIdx) {
+      const Instruction &I = *Block->instructions()[InstIdx];
+      ++LocalCount;
+      unsigned Bits = I.getType()->getBitWidth();
+
+      switch (I.getOpcode()) {
+      case Opcode::Alloca: {
+        std::int64_t N = Eval(I.getOperand(0)).I;
+        std::size_t Size = static_cast<std::size_t>(N) *
+                           I.ElemTy->getSizeInBytes();
+        void *Mem = ::operator new(Size < 1 ? 1 : Size);
+        std::memset(Mem, 0, Size);
+        FrameAllocas.push_back(Mem);
+        Frame[Info.Slots.at(&I)] = RTValue::ofPtr(Mem);
+        break;
+      }
+      case Opcode::Load: {
+        void *P = Eval(I.getOperand(0)).asPtr();
+        RTValue R{};
+        switch (I.ElemTy->getKind()) {
+        case TypeKind::I1:
+        case TypeKind::I8: {
+          std::int8_t V;
+          std::memcpy(&V, P, 1);
+          R.I = V;
+          break;
+        }
+        case TypeKind::I32: {
+          std::int32_t V;
+          std::memcpy(&V, P, 4);
+          R.I = V;
+          break;
+        }
+        case TypeKind::I64:
+        case TypeKind::Ptr: {
+          std::int64_t V;
+          std::memcpy(&V, P, 8);
+          R.I = V;
+          break;
+        }
+        case TypeKind::Double: {
+          std::memcpy(&R.D, P, 8);
+          break;
+        }
+        case TypeKind::Void:
+          break;
+        }
+        Frame[Info.Slots.at(&I)] = R;
+        break;
+      }
+      case Opcode::Store: {
+        RTValue V = Eval(I.getOperand(0));
+        void *P = Eval(I.getOperand(1)).asPtr();
+        const IRType *Ty = I.getOperand(0)->getType();
+        switch (Ty->getKind()) {
+        case TypeKind::I1:
+        case TypeKind::I8: {
+          std::int8_t B = static_cast<std::int8_t>(V.I);
+          std::memcpy(P, &B, 1);
+          break;
+        }
+        case TypeKind::I32: {
+          std::int32_t W = static_cast<std::int32_t>(V.I);
+          std::memcpy(P, &W, 4);
+          break;
+        }
+        case TypeKind::I64:
+        case TypeKind::Ptr:
+          std::memcpy(P, &V.I, 8);
+          break;
+        case TypeKind::Double:
+          std::memcpy(P, &V.D, 8);
+          break;
+        case TypeKind::Void:
+          break;
+        }
+        break;
+      }
+      case Opcode::GEP: {
+        char *Base = static_cast<char *>(Eval(I.getOperand(0)).asPtr());
+        std::int64_t Index = Eval(I.getOperand(1)).I;
+        Frame[Info.Slots.at(&I)] =
+            RTValue::ofPtr(Base + Index * I.ElemTy->getSizeInBytes());
+        break;
+      }
+
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::SDiv:
+      case Opcode::UDiv:
+      case Opcode::SRem:
+      case Opcode::URem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::AShr:
+      case Opcode::LShr: {
+        std::int64_t A = Eval(I.getOperand(0)).I;
+        std::int64_t B = Eval(I.getOperand(1)).I;
+        std::int64_t R = 0;
+        switch (I.getOpcode()) {
+        case Opcode::Add:
+          R = A + B;
+          break;
+        case Opcode::Sub:
+          R = A - B;
+          break;
+        case Opcode::Mul:
+          R = A * B;
+          break;
+        case Opcode::SDiv:
+          if (B == 0)
+            throw std::runtime_error("integer division by zero");
+          R = (A == INT64_MIN && B == -1) ? A : A / B;
+          break;
+        case Opcode::UDiv:
+          if (B == 0)
+            throw std::runtime_error("integer division by zero");
+          R = static_cast<std::int64_t>(zeroExtend(A, Bits) /
+                                        zeroExtend(B, Bits));
+          break;
+        case Opcode::SRem:
+          if (B == 0)
+            throw std::runtime_error("integer remainder by zero");
+          R = (A == INT64_MIN && B == -1) ? 0 : A % B;
+          break;
+        case Opcode::URem:
+          if (B == 0)
+            throw std::runtime_error("integer remainder by zero");
+          R = static_cast<std::int64_t>(zeroExtend(A, Bits) %
+                                        zeroExtend(B, Bits));
+          break;
+        case Opcode::And:
+          R = A & B;
+          break;
+        case Opcode::Or:
+          R = A | B;
+          break;
+        case Opcode::Xor:
+          R = A ^ B;
+          break;
+        case Opcode::Shl:
+          R = A << (B & (Bits - 1));
+          break;
+        case Opcode::AShr:
+          R = signExtend(A, Bits) >> (B & (Bits - 1));
+          break;
+        case Opcode::LShr:
+          R = static_cast<std::int64_t>(zeroExtend(A, Bits) >>
+                                        (B & (Bits - 1)));
+          break;
+        default:
+          break;
+        }
+        Frame[Info.Slots.at(&I)] = RTValue::ofInt(signExtend(R, Bits));
+        break;
+      }
+
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv: {
+        double A = Eval(I.getOperand(0)).D;
+        double B = Eval(I.getOperand(1)).D;
+        double R = 0;
+        switch (I.getOpcode()) {
+        case Opcode::FAdd:
+          R = A + B;
+          break;
+        case Opcode::FSub:
+          R = A - B;
+          break;
+        case Opcode::FMul:
+          R = A * B;
+          break;
+        case Opcode::FDiv:
+          R = A / B;
+          break;
+        default:
+          break;
+        }
+        Frame[Info.Slots.at(&I)] = RTValue::ofDouble(R);
+        break;
+      }
+      case Opcode::FNeg:
+        Frame[Info.Slots.at(&I)] =
+            RTValue::ofDouble(-Eval(I.getOperand(0)).D);
+        break;
+
+      case Opcode::ICmp: {
+        unsigned OpBits = I.getOperand(0)->getType()->getBitWidth();
+        std::int64_t A = Eval(I.getOperand(0)).I;
+        std::int64_t B = Eval(I.getOperand(1)).I;
+        std::int64_t SA = signExtend(A, OpBits), SB = signExtend(B, OpBits);
+        std::uint64_t UA = zeroExtend(A, OpBits), UB = zeroExtend(B, OpBits);
+        bool R = false;
+        switch (I.Pred) {
+        case CmpPred::EQ:
+          R = UA == UB;
+          break;
+        case CmpPred::NE:
+          R = UA != UB;
+          break;
+        case CmpPred::SLT:
+          R = SA < SB;
+          break;
+        case CmpPred::SLE:
+          R = SA <= SB;
+          break;
+        case CmpPred::SGT:
+          R = SA > SB;
+          break;
+        case CmpPred::SGE:
+          R = SA >= SB;
+          break;
+        case CmpPred::ULT:
+          R = UA < UB;
+          break;
+        case CmpPred::ULE:
+          R = UA <= UB;
+          break;
+        case CmpPred::UGT:
+          R = UA > UB;
+          break;
+        case CmpPred::UGE:
+          R = UA >= UB;
+          break;
+        default:
+          break;
+        }
+        Frame[Info.Slots.at(&I)] = RTValue::ofInt(R ? 1 : 0);
+        break;
+      }
+      case Opcode::FCmp: {
+        double A = Eval(I.getOperand(0)).D;
+        double B = Eval(I.getOperand(1)).D;
+        bool R = false;
+        switch (I.Pred) {
+        case CmpPred::OEQ:
+          R = A == B;
+          break;
+        case CmpPred::ONE:
+          R = A != B;
+          break;
+        case CmpPred::OLT:
+          R = A < B;
+          break;
+        case CmpPred::OLE:
+          R = A <= B;
+          break;
+        case CmpPred::OGT:
+          R = A > B;
+          break;
+        case CmpPred::OGE:
+          R = A >= B;
+          break;
+        default:
+          break;
+        }
+        Frame[Info.Slots.at(&I)] = RTValue::ofInt(R ? 1 : 0);
+        break;
+      }
+
+      case Opcode::ZExt:
+        Frame[Info.Slots.at(&I)] = RTValue::ofInt(static_cast<std::int64_t>(
+            zeroExtend(Eval(I.getOperand(0)).I,
+                       I.getOperand(0)->getType()->getBitWidth())));
+        break;
+      case Opcode::SExt:
+        Frame[Info.Slots.at(&I)] = RTValue::ofInt(
+            signExtend(Eval(I.getOperand(0)).I,
+                       I.getOperand(0)->getType()->getBitWidth()));
+        break;
+      case Opcode::Trunc:
+        Frame[Info.Slots.at(&I)] =
+            RTValue::ofInt(signExtend(Eval(I.getOperand(0)).I, Bits));
+        break;
+      case Opcode::SIToFP:
+        Frame[Info.Slots.at(&I)] = RTValue::ofDouble(
+            static_cast<double>(signExtend(Eval(I.getOperand(0)).I,
+                                           I.getOperand(0)->getType()
+                                               ->getBitWidth())));
+        break;
+      case Opcode::UIToFP:
+        Frame[Info.Slots.at(&I)] = RTValue::ofDouble(
+            static_cast<double>(zeroExtend(Eval(I.getOperand(0)).I,
+                                           I.getOperand(0)->getType()
+                                               ->getBitWidth())));
+        break;
+      case Opcode::FPToSI:
+        Frame[Info.Slots.at(&I)] = RTValue::ofInt(
+            signExtend(static_cast<std::int64_t>(Eval(I.getOperand(0)).D),
+                       Bits));
+        break;
+      case Opcode::FPToUI:
+        Frame[Info.Slots.at(&I)] = RTValue::ofInt(static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(Eval(I.getOperand(0)).D)));
+        break;
+      case Opcode::FPExt:
+        Frame[Info.Slots.at(&I)] = Eval(I.getOperand(0));
+        break;
+
+      case Opcode::Select: {
+        RTValue C = Eval(I.getOperand(0));
+        Frame[Info.Slots.at(&I)] =
+            C.I ? Eval(I.getOperand(1)) : Eval(I.getOperand(2));
+        break;
+      }
+
+      case Opcode::Call: {
+        const auto *Callee = ir_cast<Function>(I.getOperand(0));
+        std::vector<RTValue> CallArgs;
+        CallArgs.reserve(I.getNumOperands() - 1);
+        for (unsigned A = 1; A < I.getNumOperands(); ++A)
+          CallArgs.push_back(Eval(I.getOperand(A)));
+        RTValue R;
+        if (Callee->isDeclaration())
+          R = callRuntime(Callee->getName(), CallArgs);
+        else
+          R = interpret(Callee, CallArgs);
+        if (!I.getType()->isVoid())
+          Frame[Info.Slots.at(&I)] = R;
+        break;
+      }
+
+      case Opcode::Br: {
+        if (I.isConditionalBr()) {
+          RTValue C = Eval(I.getOperand(0));
+          PrevBlock = Block;
+          Block = I.getSuccessor(C.I ? 0 : 1);
+        } else {
+          PrevBlock = Block;
+          Block = I.getSuccessor(0);
+        }
+        goto NextBlock;
+      }
+      case Opcode::Ret:
+        if (I.getNumOperands() > 0)
+          ReturnValue = Eval(I.getOperand(0));
+        Cleanup();
+        return ReturnValue;
+      case Opcode::Unreachable:
+        Cleanup();
+        throw std::runtime_error("executed 'unreachable'");
+      case Opcode::Phi:
+        throw std::runtime_error("phi after non-phi instruction");
+      }
+    }
+    // Falling off a block without a terminator is a verifier error.
+    Cleanup();
+    throw std::runtime_error("block without terminator executed");
+
+  NextBlock:;
+  }
+}
+
+} // namespace mcc::interp

@@ -1,0 +1,102 @@
+//===--- Interpreter.h - IR execution engine --------------------*- C++ -*-===//
+//
+// Executes the mini-IR directly, so that generated code — including the
+// outlined parallel regions calling into the OpenMP runtime — actually
+// runs, on real threads. This is the testbed substitute that lets every
+// transformation be validated end-to-end (DESIGN.md substitution #4).
+//
+// Memory model: allocas and globals live in host memory; IR 'ptr' values
+// are host addresses. Runtime entry points (__kmpc_*) are bound natively to
+// the mini-kmp runtime; additional externals (e.g. a test's "body"
+// recorder) can be registered per engine.
+//
+// Thread safety: after construction the engine is immutable except for
+// statistics; runFunction may be called concurrently from team threads.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_INTERP_INTERPRETER_H
+#define MCC_INTERP_INTERPRETER_H
+
+#include "ir/IR.h"
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mcc::interp {
+
+/// A runtime value: integers & pointers in I (pointers as host addresses),
+/// doubles in D. The static IR type decides which field is meaningful.
+struct RTValue {
+  std::int64_t I = 0;
+  double D = 0.0;
+
+  static RTValue ofInt(std::int64_t V) {
+    RTValue R;
+    R.I = V;
+    return R;
+  }
+  static RTValue ofDouble(double V) {
+    RTValue R;
+    R.D = V;
+    return R;
+  }
+  static RTValue ofPtr(void *P) {
+    return ofInt(static_cast<std::int64_t>(reinterpret_cast<std::intptr_t>(P)));
+  }
+  [[nodiscard]] void *asPtr() const {
+    return reinterpret_cast<void *>(static_cast<std::intptr_t>(I));
+  }
+};
+
+using ExternalFn = std::function<RTValue(std::span<const RTValue>)>;
+
+class ExecutionEngine {
+public:
+  explicit ExecutionEngine(const ir::Module &M);
+  ~ExecutionEngine();
+  ExecutionEngine(const ExecutionEngine &) = delete;
+  ExecutionEngine &operator=(const ExecutionEngine &) = delete;
+
+  /// Binds a declared (body-less) function to a host implementation.
+  /// Must be called before any runFunction.
+  void bindExternal(const std::string &Name, ExternalFn Fn);
+
+  RTValue runFunction(const ir::Function *F, std::vector<RTValue> Args);
+  RTValue runFunction(const std::string &Name, std::vector<RTValue> Args);
+
+  /// Host address of a global variable's storage.
+  [[nodiscard]] void *getGlobalAddress(const std::string &Name) const;
+
+  /// Total instructions interpreted (across all threads).
+  [[nodiscard]] std::uint64_t getInstructionsExecuted() const {
+    return InstructionsExecuted.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const ir::Module &getModule() const { return M; }
+
+private:
+  struct FunctionInfo {
+    // Slot indices for arguments and instructions producing values.
+    std::map<const ir::Value *, unsigned> Slots;
+    unsigned NumSlots = 0;
+  };
+
+  const FunctionInfo &getInfo(const ir::Function *F);
+  RTValue interpret(const ir::Function *F, std::span<const RTValue> Args);
+  RTValue callRuntime(const std::string &Name,
+                      std::span<const RTValue> Args);
+
+  const ir::Module &M;
+  std::map<const ir::Function *, FunctionInfo> Infos;
+  std::map<std::string, ExternalFn> Externals;
+  std::map<const ir::GlobalVariable *, void *> GlobalStorage;
+  std::atomic<std::uint64_t> InstructionsExecuted{0};
+};
+
+} // namespace mcc::interp
+
+#endif // MCC_INTERP_INTERPRETER_H

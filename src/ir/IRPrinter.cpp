@@ -1,0 +1,235 @@
+//===--- IRPrinter.cpp - LLVM-flavored textual IR output -------------------===//
+#include "ir/IR.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace mcc::ir {
+
+namespace {
+
+/// Assigns %N names to unnamed values within a function.
+class ValueNamer {
+public:
+  explicit ValueNamer(const Function &F) {
+    for (unsigned I = 0; I < F.getNumArgs(); ++I)
+      nameOf(F.getArg(I));
+    for (const auto &BB : F.blocks()) {
+      BlockNames[BB.get()] = BB->getName();
+      for (const auto &I : BB->instructions())
+        if (!I->getType()->isVoid())
+          nameOf(I.get());
+    }
+  }
+
+  std::string operator()(const Value *V) {
+    if (const auto *CI = ir_dyn_cast<ConstantInt>(V))
+      return std::to_string(CI->getValue());
+    if (const auto *CF = ir_dyn_cast<ConstantFP>(V)) {
+      std::ostringstream SS;
+      SS << CF->getValue();
+      std::string S = SS.str();
+      if (S.find('.') == std::string::npos &&
+          S.find('e') == std::string::npos &&
+          S.find("inf") == std::string::npos &&
+          S.find("nan") == std::string::npos)
+        S += ".0";
+      return S;
+    }
+    if (ir_dyn_cast<ConstantNull>(V))
+      return "null";
+    if (const auto *BB = ir_dyn_cast<BasicBlock>(V))
+      return "%" + BB->getName();
+    if (const auto *F = ir_dyn_cast<Function>(V))
+      return "@" + F->getName();
+    if (const auto *G = ir_dyn_cast<GlobalVariable>(V))
+      return "@" + G->getName();
+    return "%" + nameOf(V);
+  }
+
+private:
+  std::string nameOf(const Value *V) {
+    auto It = Names.find(V);
+    if (It != Names.end())
+      return It->second;
+    std::string Name =
+        V->getName().empty() ? std::to_string(NextId++) : V->getName();
+    // Disambiguate duplicate explicit names.
+    while (UsedNames.count(Name))
+      Name += "." + std::to_string(NextId++);
+    UsedNames.insert(Name);
+    Names[V] = Name;
+    return Name;
+  }
+
+  std::map<const Value *, std::string> Names;
+  std::map<const BasicBlock *, std::string> BlockNames;
+  std::set<std::string> UsedNames;
+  unsigned NextId = 0;
+};
+
+std::string typedName(ValueNamer &N, const Value *V) {
+  return std::string(V->getType()->getName()) + " " + N(V);
+}
+
+void printInstruction(std::ostringstream &OS, ValueNamer &N,
+                      const Instruction &I) {
+  OS << "  ";
+  if (!I.getType()->isVoid())
+    OS << N(&I) << " = ";
+
+  switch (I.getOpcode()) {
+  case Opcode::Alloca:
+    OS << "alloca " << I.ElemTy->getName();
+    if (const auto *CI = ir_dyn_cast<ConstantInt>(I.getOperand(0));
+        !CI || CI->getValue() != 1)
+      OS << ", i64 " << N(I.getOperand(0));
+    break;
+  case Opcode::Load:
+    OS << "load " << I.getType()->getName() << ", ptr "
+       << N(I.getOperand(0));
+    break;
+  case Opcode::Store:
+    OS << "store " << typedName(N, I.getOperand(0)) << ", ptr "
+       << N(I.getOperand(1));
+    break;
+  case Opcode::GEP:
+    OS << "getelementptr " << I.ElemTy->getName() << ", ptr "
+       << N(I.getOperand(0)) << ", " << typedName(N, I.getOperand(1));
+    break;
+  case Opcode::ICmp:
+  case Opcode::FCmp:
+    OS << getOpcodeName(I.getOpcode()) << " " << getPredName(I.Pred) << " "
+       << typedName(N, I.getOperand(0)) << ", " << N(I.getOperand(1));
+    break;
+  case Opcode::ZExt:
+  case Opcode::SExt:
+  case Opcode::Trunc:
+  case Opcode::SIToFP:
+  case Opcode::UIToFP:
+  case Opcode::FPToSI:
+  case Opcode::FPToUI:
+  case Opcode::FPExt:
+    OS << getOpcodeName(I.getOpcode()) << " " << typedName(N, I.getOperand(0))
+       << " to " << I.getType()->getName();
+    break;
+  case Opcode::Br:
+    if (I.isConditionalBr())
+      OS << "br i1 " << N(I.getOperand(0)) << ", label "
+         << N(I.getOperand(1)) << ", label " << N(I.getOperand(2));
+    else
+      OS << "br label " << N(I.getOperand(0));
+    if (I.LoopMD.any()) {
+      OS << "  ; !llvm.loop";
+      if (I.LoopMD.UnrollFull)
+        OS << " !unroll.full";
+      if (I.LoopMD.UnrollCount)
+        OS << " !unroll.count(" << I.LoopMD.UnrollCount << ")";
+      if (I.LoopMD.UnrollEnable)
+        OS << " !unroll.enable";
+      if (I.LoopMD.Vectorize)
+        OS << " !vectorize.enable";
+      if (I.LoopMD.UnrollDisable)
+        OS << " !unroll.disable";
+    }
+    break;
+  case Opcode::Ret:
+    OS << "ret";
+    if (I.getNumOperands() > 0)
+      OS << " " << typedName(N, I.getOperand(0));
+    else
+      OS << " void";
+    break;
+  case Opcode::Call: {
+    const auto *Callee = ir_cast<Function>(I.getOperand(0));
+    OS << "call " << Callee->getReturnType()->getName() << " @"
+       << Callee->getName() << "(";
+    for (unsigned A = 1; A < I.getNumOperands(); ++A) {
+      if (A > 1)
+        OS << ", ";
+      OS << typedName(N, I.getOperand(A));
+    }
+    OS << ")";
+    break;
+  }
+  case Opcode::Select:
+    OS << "select i1 " << N(I.getOperand(0)) << ", "
+       << typedName(N, I.getOperand(1)) << ", "
+       << typedName(N, I.getOperand(2));
+    break;
+  case Opcode::Phi: {
+    OS << "phi " << I.getType()->getName() << " ";
+    for (unsigned P = 0; P < I.getNumIncoming(); ++P) {
+      if (P > 0)
+        OS << ", ";
+      OS << "[ " << N(I.getIncomingValue(P)) << ", "
+         << N(I.getIncomingBlock(P)) << " ]";
+    }
+    break;
+  }
+  case Opcode::Unreachable:
+    OS << "unreachable";
+    break;
+  default: // binary arithmetic
+    OS << getOpcodeName(I.getOpcode()) << " "
+       << typedName(N, I.getOperand(0)) << ", " << N(I.getOperand(1));
+    break;
+  }
+  OS << "\n";
+}
+
+void printFunctionImpl(std::ostringstream &OS, const Function &F) {
+  ValueNamer N(F);
+  OS << (F.isDeclaration() ? "declare " : "define ")
+     << F.getReturnType()->getName() << " @" << F.getName() << "(";
+  for (unsigned I = 0; I < F.getNumArgs(); ++I) {
+    if (I > 0)
+      OS << ", ";
+    OS << F.getArg(I)->getType()->getName() << " " << N(F.getArg(I));
+  }
+  OS << ")";
+  if (F.isDeclaration()) {
+    OS << "\n";
+    return;
+  }
+  OS << " {\n";
+  bool FirstBlock = true;
+  for (const auto &BB : F.blocks()) {
+    if (!FirstBlock)
+      OS << "\n";
+    FirstBlock = false;
+    OS << BB->getName() << ":\n";
+    for (const auto &I : BB->instructions())
+      printInstruction(OS, N, *I);
+  }
+  OS << "}\n";
+}
+
+} // namespace
+
+std::string printFunction(const Function &F) {
+  std::ostringstream OS;
+  printFunctionImpl(OS, F);
+  return OS.str();
+}
+
+std::string printModule(const Module &M) {
+  std::ostringstream OS;
+  OS << "; ModuleID = '" << M.getName() << "'\n";
+  for (const auto &G : M.globals()) {
+    OS << "@" << G->getName() << " = global " << G->getElementType()->getName();
+    if (G->getNumElements() != 1)
+      OS << " x " << G->getNumElements();
+    OS << " zeroinitializer\n";
+  }
+  if (!M.globals().empty())
+    OS << "\n";
+  for (const auto &F : M.functions()) {
+    printFunctionImpl(OS, *F);
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+} // namespace mcc::ir

@@ -1,0 +1,433 @@
+#include "irbuilder/IRBuilder.h"
+
+namespace mcc::ir {
+
+namespace {
+
+std::int64_t truncToWidth(std::int64_t V, unsigned Bits, bool Signed) {
+  if (Bits >= 64)
+    return V;
+  std::uint64_t Mask = (1ULL << Bits) - 1;
+  std::uint64_t U = static_cast<std::uint64_t>(V) & Mask;
+  if (Signed && (U & (1ULL << (Bits - 1))))
+    U |= ~Mask;
+  return static_cast<std::int64_t>(U);
+}
+
+} // namespace
+
+Value *IRBuilder::createBinOp(Opcode Op, Value *L, Value *R,
+                              const std::string &Name) {
+  if (Fold) {
+    auto *LC = ir_dyn_cast<ConstantInt>(L);
+    auto *RC = ir_dyn_cast<ConstantInt>(R);
+    auto *LF = ir_dyn_cast<ConstantFP>(L);
+    auto *RF = ir_dyn_cast<ConstantFP>(R);
+    unsigned Bits = L->getType()->getBitWidth();
+
+    // Constant folding.
+    if (LC && RC) {
+      std::int64_t A = LC->getValue(), B = RC->getValue();
+      std::uint64_t UA = LC->getZExtValue(), UB = RC->getZExtValue();
+      bool Known = true;
+      std::int64_t Result = 0;
+      switch (Op) {
+      case Opcode::Add:
+        Result = A + B;
+        break;
+      case Opcode::Sub:
+        Result = A - B;
+        break;
+      case Opcode::Mul:
+        Result = A * B;
+        break;
+      case Opcode::SDiv:
+        if (B == 0 || (A == INT64_MIN && B == -1))
+          Known = false;
+        else
+          Result = A / B;
+        break;
+      case Opcode::UDiv:
+        if (UB == 0)
+          Known = false;
+        else
+          Result = static_cast<std::int64_t>(UA / UB);
+        break;
+      case Opcode::SRem:
+        if (B == 0 || (A == INT64_MIN && B == -1))
+          Known = false;
+        else
+          Result = A % B;
+        break;
+      case Opcode::URem:
+        if (UB == 0)
+          Known = false;
+        else
+          Result = static_cast<std::int64_t>(UA % UB);
+        break;
+      case Opcode::And:
+        Result = A & B;
+        break;
+      case Opcode::Or:
+        Result = A | B;
+        break;
+      case Opcode::Xor:
+        Result = A ^ B;
+        break;
+      case Opcode::Shl:
+        Result = A << (UB & 63);
+        break;
+      case Opcode::AShr:
+        Result = A >> (UB & 63);
+        break;
+      case Opcode::LShr:
+        Result = static_cast<std::int64_t>(UA >> (UB & 63));
+        break;
+      default:
+        Known = false;
+        break;
+      }
+      if (Known) {
+        ++NumFolds;
+        return getInt(L->getType(),
+                      truncToWidth(Result, Bits, /*Signed=*/true));
+      }
+    }
+    if (LF && RF) {
+      double A = LF->getValue(), B = RF->getValue();
+      switch (Op) {
+      case Opcode::FAdd:
+        ++NumFolds;
+        return getDouble(A + B);
+      case Opcode::FSub:
+        ++NumFolds;
+        return getDouble(A - B);
+      case Opcode::FMul:
+        ++NumFolds;
+        return getDouble(A * B);
+      case Opcode::FDiv:
+        ++NumFolds;
+        return getDouble(A / B);
+      default:
+        break;
+      }
+    }
+
+    // Algebraic identities (Section 1.3's "simplifies expressions
+    // on-the-fly").
+    auto IsZero = [](Value *V) {
+      auto *C = ir_dyn_cast<ConstantInt>(V);
+      return C && C->getValue() == 0;
+    };
+    auto IsOne = [](Value *V) {
+      auto *C = ir_dyn_cast<ConstantInt>(V);
+      return C && C->getValue() == 1;
+    };
+    switch (Op) {
+    case Opcode::Add:
+      if (IsZero(R)) {
+        ++NumFolds;
+        return L;
+      }
+      if (IsZero(L)) {
+        ++NumFolds;
+        return R;
+      }
+      break;
+    case Opcode::Sub:
+      if (IsZero(R)) {
+        ++NumFolds;
+        return L;
+      }
+      break;
+    case Opcode::Mul:
+      if (IsOne(R)) {
+        ++NumFolds;
+        return L;
+      }
+      if (IsOne(L)) {
+        ++NumFolds;
+        return R;
+      }
+      if (IsZero(R) || IsZero(L)) {
+        ++NumFolds;
+        return getInt(L->getType(), 0);
+      }
+      break;
+    case Opcode::SDiv:
+    case Opcode::UDiv:
+      if (IsOne(R)) {
+        ++NumFolds;
+        return L;
+      }
+      break;
+    case Opcode::Shl:
+    case Opcode::AShr:
+    case Opcode::LShr:
+      if (IsZero(R)) {
+        ++NumFolds;
+        return L;
+      }
+      break;
+    default:
+      break;
+    }
+  }
+
+  return insert(std::make_unique<Instruction>(
+      Op, L->getType(), std::vector<Value *>{L, R}, Name));
+}
+
+Value *IRBuilder::createPtrDiff(Value *L, Value *R, unsigned ElemSize,
+                                const std::string &Name) {
+  // Both operands are 64-bit pointers; the byte difference is computed as
+  // an i64 subtraction, then scaled to elements.
+  auto Diff = std::make_unique<Instruction>(
+      Opcode::Sub, IRType::getI64(), std::vector<Value *>{L, R},
+      Name + ".bytes");
+  Value *Bytes = insert(std::move(Diff));
+  return createSDiv(Bytes, getI64(ElemSize), Name);
+}
+
+Value *IRBuilder::createICmp(CmpPred Pred, Value *L, Value *R,
+                             const std::string &Name) {
+  if (Fold) {
+    auto *LC = ir_dyn_cast<ConstantInt>(L);
+    auto *RC = ir_dyn_cast<ConstantInt>(R);
+    if (LC && RC) {
+      std::int64_t A = LC->getValue(), B = RC->getValue();
+      std::uint64_t UA = LC->getZExtValue(), UB = RC->getZExtValue();
+      bool V = false;
+      switch (Pred) {
+      case CmpPred::EQ:
+        V = A == B;
+        break;
+      case CmpPred::NE:
+        V = A != B;
+        break;
+      case CmpPred::SLT:
+        V = A < B;
+        break;
+      case CmpPred::SLE:
+        V = A <= B;
+        break;
+      case CmpPred::SGT:
+        V = A > B;
+        break;
+      case CmpPred::SGE:
+        V = A >= B;
+        break;
+      case CmpPred::ULT:
+        V = UA < UB;
+        break;
+      case CmpPred::ULE:
+        V = UA <= UB;
+        break;
+      case CmpPred::UGT:
+        V = UA > UB;
+        break;
+      case CmpPred::UGE:
+        V = UA >= UB;
+        break;
+      default:
+        break;
+      }
+      ++NumFolds;
+      return getI1(V);
+    }
+  }
+  auto I = std::make_unique<Instruction>(Opcode::ICmp, IRType::getI1(),
+                                         std::vector<Value *>{L, R}, Name);
+  I->Pred = Pred;
+  return insert(std::move(I));
+}
+
+Value *IRBuilder::createFCmp(CmpPred Pred, Value *L, Value *R,
+                             const std::string &Name) {
+  auto I = std::make_unique<Instruction>(Opcode::FCmp, IRType::getI1(),
+                                         std::vector<Value *>{L, R}, Name);
+  I->Pred = Pred;
+  return insert(std::move(I));
+}
+
+Value *IRBuilder::createCast(Opcode Op, Value *V, const IRType *To,
+                             const std::string &Name) {
+  if (V->getType() == To)
+    return V;
+  if (Fold) {
+    if (auto *C = ir_dyn_cast<ConstantInt>(V)) {
+      switch (Op) {
+      case Opcode::ZExt:
+        ++NumFolds;
+        return getInt(To, static_cast<std::int64_t>(C->getZExtValue()));
+      case Opcode::SExt:
+        ++NumFolds;
+        return getInt(To, truncToWidth(C->getValue(),
+                                       V->getType()->getBitWidth(), true));
+      case Opcode::Trunc:
+        ++NumFolds;
+        return getInt(To,
+                      truncToWidth(C->getValue(), To->getBitWidth(), true));
+      case Opcode::SIToFP:
+        ++NumFolds;
+        return getDouble(static_cast<double>(C->getValue()));
+      case Opcode::UIToFP:
+        ++NumFolds;
+        return getDouble(static_cast<double>(C->getZExtValue()));
+      default:
+        break;
+      }
+    }
+    if (auto *C = ir_dyn_cast<ConstantFP>(V)) {
+      switch (Op) {
+      case Opcode::FPToSI:
+        ++NumFolds;
+        return getInt(To, static_cast<std::int64_t>(C->getValue()));
+      case Opcode::FPToUI:
+        ++NumFolds;
+        return getInt(To, static_cast<std::int64_t>(
+                              static_cast<std::uint64_t>(C->getValue())));
+      default:
+        break;
+      }
+    }
+  }
+  return insert(std::make_unique<Instruction>(Op, To,
+                                              std::vector<Value *>{V}, Name));
+}
+
+Value *IRBuilder::createIntCast(Value *V, const IRType *To, bool Signed,
+                                const std::string &Name) {
+  if (V->getType() == To)
+    return V;
+  unsigned From = V->getType()->getBitWidth();
+  unsigned ToBits = To->getBitWidth();
+  if (From == ToBits)
+    return V; // same width (i64 vs ptr-sized) — no-op in this IR
+  if (From > ToBits)
+    return createCast(Opcode::Trunc, V, To, Name);
+  return createCast(Signed ? Opcode::SExt : Opcode::ZExt, V, To, Name);
+}
+
+Instruction *IRBuilder::createAlloca(const IRType *ElemTy, Value *NumElems,
+                                     const std::string &Name) {
+  if (!NumElems)
+    NumElems = getI64(1);
+  auto I = std::make_unique<Instruction>(Opcode::Alloca, IRType::getPtr(),
+                                         std::vector<Value *>{NumElems},
+                                         Name);
+  I->ElemTy = ElemTy;
+  return insert(std::move(I));
+}
+
+Instruction *IRBuilder::createAllocaInEntry(const IRType *ElemTy,
+                                            std::uint64_t NumElems,
+                                            const std::string &Name) {
+  Function *F = getFunction();
+  assert(F && F->getEntryBlock());
+  auto I = std::make_unique<Instruction>(
+      Opcode::Alloca, IRType::getPtr(),
+      std::vector<Value *>{getI64(static_cast<std::int64_t>(NumElems))},
+      Name);
+  I->ElemTy = ElemTy;
+  ++NumCreated;
+  // Insert after any existing leading allocas, before everything else.
+  BasicBlock *Entry = F->getEntryBlock();
+  std::size_t Pos = 0;
+  while (Pos < Entry->size() &&
+         Entry->instructions()[Pos]->getOpcode() == Opcode::Alloca)
+    ++Pos;
+  return Entry->insertAt(Pos, std::move(I));
+}
+
+Value *IRBuilder::createLoad(const IRType *Ty, Value *Ptr,
+                             const std::string &Name) {
+  auto I = std::make_unique<Instruction>(Opcode::Load, Ty,
+                                         std::vector<Value *>{Ptr}, Name);
+  I->ElemTy = Ty;
+  return insert(std::move(I));
+}
+
+Instruction *IRBuilder::createStore(Value *V, Value *Ptr) {
+  return insert(std::make_unique<Instruction>(
+      Opcode::Store, IRType::getVoid(), std::vector<Value *>{V, Ptr}));
+}
+
+Value *IRBuilder::createGEP(const IRType *ElemTy, Value *Ptr, Value *Index,
+                            const std::string &Name) {
+  if (Fold)
+    if (auto *C = ir_dyn_cast<ConstantInt>(Index); C && C->getValue() == 0) {
+      ++NumFolds;
+      return Ptr;
+    }
+  auto I = std::make_unique<Instruction>(Opcode::GEP, IRType::getPtr(),
+                                         std::vector<Value *>{Ptr, Index},
+                                         Name);
+  I->ElemTy = ElemTy;
+  return insert(std::move(I));
+}
+
+Instruction *IRBuilder::createBr(BasicBlock *Target) {
+  return insert(std::make_unique<Instruction>(
+      Opcode::Br, IRType::getVoid(), std::vector<Value *>{Target}));
+}
+
+Instruction *IRBuilder::createCondBr(Value *Cond, BasicBlock *True,
+                                     BasicBlock *False) {
+  return insert(std::make_unique<Instruction>(
+      Opcode::Br, IRType::getVoid(),
+      std::vector<Value *>{Cond, True, False}));
+}
+
+Instruction *IRBuilder::createRet(Value *V) {
+  return insert(std::make_unique<Instruction>(Opcode::Ret, IRType::getVoid(),
+                                              std::vector<Value *>{V}));
+}
+
+Instruction *IRBuilder::createRetVoid() {
+  return insert(std::make_unique<Instruction>(Opcode::Ret, IRType::getVoid(),
+                                              std::vector<Value *>{}));
+}
+
+Value *IRBuilder::createCall(Function *Callee, std::vector<Value *> Args,
+                             const std::string &Name) {
+  std::vector<Value *> Ops;
+  Ops.push_back(Callee);
+  for (Value *A : Args)
+    Ops.push_back(A);
+  return insert(std::make_unique<Instruction>(
+      Opcode::Call, Callee->getReturnType(), std::move(Ops),
+      Callee->getReturnType()->isVoid() ? "" : Name));
+}
+
+Value *IRBuilder::createSelect(Value *Cond, Value *True, Value *False,
+                               const std::string &Name) {
+  if (Fold)
+    if (auto *C = ir_dyn_cast<ConstantInt>(Cond)) {
+      ++NumFolds;
+      return C->getValue() ? True : False;
+    }
+  return insert(std::make_unique<Instruction>(
+      Opcode::Select, True->getType(),
+      std::vector<Value *>{Cond, True, False}, Name));
+}
+
+Instruction *IRBuilder::createPhi(const IRType *Ty, const std::string &Name) {
+  // Phis must precede all non-phi instructions in their block.
+  assert(InsertBB && "no insertion point");
+  auto I = std::make_unique<Instruction>(Opcode::Phi, Ty,
+                                         std::vector<Value *>{}, Name);
+  ++NumCreated;
+  std::size_t Pos = 0;
+  while (Pos < InsertBB->size() &&
+         InsertBB->instructions()[Pos]->getOpcode() == Opcode::Phi)
+    ++Pos;
+  return InsertBB->insertAt(Pos, std::move(I));
+}
+
+Instruction *IRBuilder::createUnreachable() {
+  return insert(std::make_unique<Instruction>(
+      Opcode::Unreachable, IRType::getVoid(), std::vector<Value *>{}));
+}
+
+} // namespace mcc::ir

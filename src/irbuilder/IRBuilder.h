@@ -1,0 +1,131 @@
+//===--- IRBuilder.h - Convenience IR construction --------------*- C++ -*-===//
+//
+// The IRBuilder of the paper's Fig. 1: creates instructions at an insertion
+// point, and "simplifies expressions (e.g. algebraic simplifications)
+// on-the-fly which avoids creating instructions that would later be
+// optimized away anyway" (Section 1.3). Folding can be disabled to measure
+// its effect (bench_compile_modes ablation).
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_IRBUILDER_IRBUILDER_H
+#define MCC_IRBUILDER_IRBUILDER_H
+
+#include "ir/IR.h"
+
+#include <functional>
+
+namespace mcc::ir {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M, bool FoldConstants = true)
+      : M(M), Fold(FoldConstants) {}
+
+  [[nodiscard]] Module &getModule() { return M; }
+
+  // --- Insertion point ---
+  void setInsertPoint(BasicBlock *BB) { InsertBB = BB; }
+  [[nodiscard]] BasicBlock *getInsertBlock() const { return InsertBB; }
+  [[nodiscard]] Function *getFunction() const {
+    return InsertBB ? InsertBB->getParent() : nullptr;
+  }
+  /// True when the current block already has a terminator (no more
+  /// instructions may be appended; used after return statements).
+  [[nodiscard]] bool isBlockTerminated() const {
+    return InsertBB && InsertBB->getTerminator() != nullptr;
+  }
+
+  // --- Constants ---
+  ConstantInt *getInt(const IRType *Ty, std::int64_t V) {
+    return M.getInt(Ty, V);
+  }
+  ConstantInt *getI1(bool V) { return M.getI1(V); }
+  ConstantInt *getI32(std::int32_t V) { return M.getI32(V); }
+  ConstantInt *getI64(std::int64_t V) { return M.getI64(V); }
+  ConstantFP *getDouble(double V) { return M.getDouble(V); }
+
+  // --- Arithmetic (with on-the-fly simplification) ---
+  Value *createBinOp(Opcode Op, Value *L, Value *R, const std::string &Name);
+  Value *createAdd(Value *L, Value *R, const std::string &Name = "add") {
+    return createBinOp(Opcode::Add, L, R, Name);
+  }
+  Value *createSub(Value *L, Value *R, const std::string &Name = "sub") {
+    return createBinOp(Opcode::Sub, L, R, Name);
+  }
+  Value *createMul(Value *L, Value *R, const std::string &Name = "mul") {
+    return createBinOp(Opcode::Mul, L, R, Name);
+  }
+  Value *createSDiv(Value *L, Value *R, const std::string &Name = "sdiv") {
+    return createBinOp(Opcode::SDiv, L, R, Name);
+  }
+  Value *createUDiv(Value *L, Value *R, const std::string &Name = "udiv") {
+    return createBinOp(Opcode::UDiv, L, R, Name);
+  }
+  Value *createURem(Value *L, Value *R, const std::string &Name = "urem") {
+    return createBinOp(Opcode::URem, L, R, Name);
+  }
+
+  /// Pointer difference in elements: (L - R) / ElemSize, typed i64.
+  Value *createPtrDiff(Value *L, Value *R, unsigned ElemSize,
+                       const std::string &Name = "ptrdiff");
+
+  Value *createICmp(CmpPred Pred, Value *L, Value *R,
+                    const std::string &Name = "cmp");
+  Value *createFCmp(CmpPred Pred, Value *L, Value *R,
+                    const std::string &Name = "fcmp");
+
+  Value *createCast(Opcode Op, Value *V, const IRType *To,
+                    const std::string &Name = "cast");
+  /// Integer width/signedness adaptation helper.
+  Value *createIntCast(Value *V, const IRType *To, bool Signed,
+                       const std::string &Name = "conv");
+
+  // --- Memory ---
+  Instruction *createAlloca(const IRType *ElemTy, Value *NumElems = nullptr,
+                            const std::string &Name = "alloca");
+  /// Creates the alloca in the function's entry block (Clang's convention).
+  Instruction *createAllocaInEntry(const IRType *ElemTy,
+                                   std::uint64_t NumElems = 1,
+                                   const std::string &Name = "alloca");
+  Value *createLoad(const IRType *Ty, Value *Ptr,
+                    const std::string &Name = "load");
+  Instruction *createStore(Value *V, Value *Ptr);
+  Value *createGEP(const IRType *ElemTy, Value *Ptr, Value *Index,
+                   const std::string &Name = "gep");
+
+  // --- Control flow ---
+  Instruction *createBr(BasicBlock *Target);
+  Instruction *createCondBr(Value *Cond, BasicBlock *True, BasicBlock *False);
+  Instruction *createRet(Value *V);
+  Instruction *createRetVoid();
+  Value *createCall(Function *Callee, std::vector<Value *> Args,
+                    const std::string &Name = "call");
+  Value *createSelect(Value *Cond, Value *True, Value *False,
+                      const std::string &Name = "sel");
+  Instruction *createPhi(const IRType *Ty, const std::string &Name = "phi");
+  Instruction *createUnreachable();
+
+  /// Number of instructions materialized (excludes folded ones); used by
+  /// the folding ablation bench.
+  [[nodiscard]] std::size_t getNumInstructionsCreated() const {
+    return NumCreated;
+  }
+  [[nodiscard]] std::size_t getNumFolds() const { return NumFolds; }
+
+private:
+  Instruction *insert(std::unique_ptr<Instruction> I) {
+    assert(InsertBB && "no insertion point");
+    ++NumCreated;
+    return InsertBB->append(std::move(I));
+  }
+
+  Module &M;
+  BasicBlock *InsertBB = nullptr;
+  bool Fold;
+  std::size_t NumCreated = 0;
+  std::size_t NumFolds = 0;
+};
+
+} // namespace mcc::ir
+
+#endif // MCC_IRBUILDER_IRBUILDER_H

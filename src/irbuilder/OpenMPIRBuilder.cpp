@@ -1,0 +1,637 @@
+//===--- OpenMPIRBuilder.cpp - OpenMP loop skeletons and transformations ---===//
+#include "irbuilder/OpenMPIRBuilder.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace mcc::ir {
+
+// ===------------------- CanonicalLoopInfo invariants ------------------=== //
+
+std::string CanonicalLoopInfo::validate() const {
+  std::ostringstream Err;
+  auto Check = [&](bool Cond, const char *Msg) {
+    if (!Cond)
+      Err << "CanonicalLoopInfo: " << Msg << "\n";
+  };
+
+  Check(Preheader && Header && Cond && Body && Latch && Exit && After,
+        "missing skeleton block");
+  if (!Preheader || !Header || !Cond || !Body || !Latch || !Exit || !After)
+    return Err.str();
+
+  // Preheader falls through to the header.
+  Instruction *PreTerm = Preheader->getTerminator();
+  Check(PreTerm && PreTerm->getOpcode() == Opcode::Br &&
+            !PreTerm->isConditionalBr() && PreTerm->getSuccessor(0) == Header,
+        "preheader must branch unconditionally to the header");
+
+  // Header: the IV phi, then an unconditional branch to cond.
+  Check(IndVar && IndVar->getOpcode() == Opcode::Phi &&
+            IndVar->getParent() == Header,
+        "induction variable must be a phi in the header");
+  Instruction *HeadTerm = Header->getTerminator();
+  Check(HeadTerm && HeadTerm->getOpcode() == Opcode::Br &&
+            !HeadTerm->isConditionalBr() && HeadTerm->getSuccessor(0) == Cond,
+        "header must branch unconditionally to the cond block");
+
+  // Cond: a comparison against the trip count, conditional branch to body
+  // or exit.
+  Instruction *CondTerm = Cond->getTerminator();
+  Check(CondTerm && CondTerm->isConditionalBr(),
+        "cond block must end in a conditional branch");
+  if (CondTerm && CondTerm->isConditionalBr()) {
+    Check(CondTerm->getSuccessor(0) == Body,
+          "cond true-successor must be the body");
+    Check(CondTerm->getSuccessor(1) == Exit,
+          "cond false-successor must be the exit");
+  }
+  Check(TripCount != nullptr, "trip count must be identifiable");
+
+  // IV phi: exactly two incomings, from preheader and latch.
+  if (IndVar && IndVar->getOpcode() == Opcode::Phi) {
+    Check(IndVar->getNumIncoming() == 2,
+          "induction variable must have exactly two incoming values");
+    if (IndVar->getNumIncoming() == 2) {
+      bool FromPre = IndVar->getIncomingBlock(0) == Preheader ||
+                     IndVar->getIncomingBlock(1) == Preheader;
+      bool FromLatch = IndVar->getIncomingBlock(0) == Latch ||
+                       IndVar->getIncomingBlock(1) == Latch;
+      Check(FromPre, "IV must have an incoming value from the preheader");
+      Check(FromLatch, "IV must have an incoming value from the latch");
+    }
+  }
+
+  // Latch: increments the IV and branches back to the header.
+  Instruction *LatchTerm = Latch->getTerminator();
+  Check(LatchTerm && LatchTerm->getOpcode() == Opcode::Br &&
+            !LatchTerm->isConditionalBr() &&
+            LatchTerm->getSuccessor(0) == Header,
+        "latch must branch unconditionally to the header");
+
+  // Exit falls through to after.
+  Instruction *ExitTerm = Exit->getTerminator();
+  Check(ExitTerm && ExitTerm->getOpcode() == Opcode::Br &&
+            !ExitTerm->isConditionalBr(),
+        "exit must branch unconditionally");
+
+  return Err.str();
+}
+
+void CanonicalLoopInfo::assertOK() const {
+#ifndef NDEBUG
+  std::string Err = validate();
+  if (!Err.empty()) {
+    fprintf(stderr, "%s", Err.c_str());
+    assert(false && "CanonicalLoopInfo invariants violated");
+  }
+#endif
+}
+
+// ===------------------------- Helpers --------------------------------=== //
+
+void OpenMPIRBuilder::replaceAllUsesIn(Function &F, Value *Old, Value *New) {
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      for (unsigned OpIdx = 0; OpIdx < I->getNumOperands(); ++OpIdx)
+        if (I->getOperand(OpIdx) == Old)
+          I->setOperand(OpIdx, New);
+}
+
+void OpenMPIRBuilder::reopenBlock(IRBuilder &B, BasicBlock *BB,
+                                  const std::function<void()> &Fn) {
+  assert(BB->getTerminator() && "block must be terminated");
+  std::unique_ptr<Instruction> Term = BB->take(BB->size() - 1);
+  BasicBlock *Saved = B.getInsertBlock();
+  B.setInsertPoint(BB);
+  Fn();
+  BB->append(std::move(Term));
+  B.setInsertPoint(Saved);
+}
+
+Function *OpenMPIRBuilder::getOrCreateRuntimeFunction(const std::string &Name) {
+  const IRType *I32 = IRType::getI32();
+  const IRType *I64 = IRType::getI64();
+  const IRType *Ptr = IRType::getPtr();
+  const IRType *Void = IRType::getVoid();
+
+  if (Name == "__kmpc_global_thread_num")
+    return M.getOrInsertFunction(Name, I32, {});
+  if (Name == "__kmpc_for_static_init")
+    // (gtid, schedtype, plastiter, plower, pupper, pstride, incr, chunk)
+    return M.getOrInsertFunction(Name, Void,
+                                 {I32, I32, Ptr, Ptr, Ptr, Ptr, I64, I64});
+  if (Name == "__kmpc_for_static_fini")
+    return M.getOrInsertFunction(Name, Void, {I32});
+  if (Name == "__kmpc_dispatch_init")
+    // (gtid, schedtype, lb, ub, chunk)
+    return M.getOrInsertFunction(Name, Void, {I32, I32, I64, I64, I64});
+  if (Name == "__kmpc_dispatch_next")
+    // (gtid, plastiter, plower, pupper) -> i32 (0 = done)
+    return M.getOrInsertFunction(Name, I32, {I32, Ptr, Ptr, Ptr});
+  if (Name == "__kmpc_barrier")
+    return M.getOrInsertFunction(Name, Void, {I32});
+  if (Name == "__kmpc_critical")
+    return M.getOrInsertFunction(Name, Void, {I32});
+  if (Name == "__kmpc_end_critical")
+    return M.getOrInsertFunction(Name, Void, {I32});
+  if (Name == "__kmpc_fork_call")
+    // (outlined fn, nargs, argv, num_threads)
+    return M.getOrInsertFunction(Name, Void, {Ptr, I32, Ptr, I32});
+  if (Name == "omp_get_thread_num")
+    return M.getOrInsertFunction(Name, I32, {});
+  if (Name == "omp_get_num_threads")
+    return M.getOrInsertFunction(Name, I32, {});
+  assert(false && "unknown runtime function");
+  return nullptr;
+}
+
+// ===------------------------ Loop skeleton ---------------------------=== //
+
+CanonicalLoopInfo *OpenMPIRBuilder::createLoopSkeleton(
+    IRBuilder &B, Value *TripCount, BasicBlock *InsertAfter,
+    const std::string &Name) {
+  Function *F = InsertAfter->getParent();
+  const IRType *IVTy = TripCount->getType();
+
+  BasicBlock *Preheader =
+      F->createBlockAfter(InsertAfter, Name + ".preheader");
+  BasicBlock *Header = F->createBlockAfter(Preheader, Name + ".header");
+  BasicBlock *Cond = F->createBlockAfter(Header, Name + ".cond");
+  BasicBlock *Body = F->createBlockAfter(Cond, Name + ".body");
+  BasicBlock *Latch = F->createBlockAfter(Body, Name + ".inc");
+  BasicBlock *Exit = F->createBlockAfter(Latch, Name + ".exit");
+  BasicBlock *After = F->createBlockAfter(Exit, Name + ".after");
+
+  BasicBlock *Saved = B.getInsertBlock();
+
+  // preheader -> header
+  B.setInsertPoint(Preheader);
+  B.createBr(Header);
+
+  // header: iv = phi [0, preheader], [iv.next, latch]; br cond
+  B.setInsertPoint(Header);
+  Instruction *IV = B.createPhi(IVTy, Name + ".iv");
+  B.createBr(Cond);
+
+  // cond: cmp = icmp ult iv, tripcount; br cmp, body, exit
+  B.setInsertPoint(Cond);
+  Value *Cmp = B.createICmp(CmpPred::ULT, IV, TripCount, Name + ".cmp");
+  B.createCondBr(Cmp, Body, Exit);
+
+  // latch: iv.next = iv + 1; br header
+  B.setInsertPoint(Latch);
+  Value *IVNext = B.createAdd(IV, B.getInt(IVTy, 1), Name + ".next");
+  B.createBr(Header);
+
+  IV->addIncoming(B.getInt(IVTy, 0), Preheader);
+  IV->addIncoming(IVNext, Latch);
+
+  // exit -> after
+  B.setInsertPoint(Exit);
+  B.createBr(After);
+
+  B.setInsertPoint(Saved);
+
+  LoopInfos.push_back(std::make_unique<CanonicalLoopInfo>());
+  CanonicalLoopInfo *CLI = LoopInfos.back().get();
+  CLI->Preheader = Preheader;
+  CLI->Header = Header;
+  CLI->Cond = Cond;
+  CLI->Body = Body;
+  CLI->Latch = Latch;
+  CLI->Exit = Exit;
+  CLI->After = After;
+  CLI->IndVar = IV;
+  CLI->TripCount = TripCount;
+  return CLI;
+}
+
+CanonicalLoopInfo *
+OpenMPIRBuilder::createCanonicalLoop(IRBuilder &B, Value *TripCount,
+                                     const BodyGenCallbackTy &BodyGen,
+                                     const std::string &Name) {
+  BasicBlock *Cur = B.getInsertBlock();
+  assert(Cur && "builder must have an insertion point");
+  CanonicalLoopInfo *CLI = createLoopSkeleton(B, TripCount, Cur, Name);
+
+  // Wire the current block into the skeleton.
+  assert(!Cur->getTerminator() && "insertion block already terminated");
+  B.createBr(CLI->getPreheader());
+
+  // Emit the body.
+  B.setInsertPoint(CLI->getBody());
+  if (BodyGen)
+    BodyGen(B, CLI->getIndVar());
+  B.createBr(CLI->getLatch());
+
+  B.setInsertPoint(CLI->getAfter());
+  CLI->assertOK();
+  return CLI;
+}
+
+// ===------------------------ Transformations -------------------------=== //
+
+std::vector<CanonicalLoopInfo *>
+OpenMPIRBuilder::tileLoops(std::vector<CanonicalLoopInfo *> Loops,
+                           std::vector<Value *> TileSizes) {
+  assert(!Loops.empty() && Loops.size() == TileSizes.size());
+  const unsigned N = static_cast<unsigned>(Loops.size());
+  Function *F = Loops[0]->getFunction();
+  IRBuilder B(M);
+
+  BasicBlock *OuterPreheader = Loops[0]->getPreheader();
+  BasicBlock *OuterAfter = Loops[0]->getAfter();
+  BasicBlock *UserEntry = Loops[N - 1]->getBody();
+  BasicBlock *OldInnerLatch = Loops[N - 1]->getLatch();
+
+  // 1. Compute the floor trip counts ceil(trip / size) in the outermost
+  //    preheader (requires trip counts to dominate it; the front-end
+  //    hoists the distance computations of a transformed nest).
+  std::unique_ptr<Instruction> PreTerm =
+      OuterPreheader->take(OuterPreheader->size() - 1);
+  B.setInsertPoint(OuterPreheader);
+  std::vector<Value *> FloorCounts(N), SizeVals(N);
+  for (unsigned K = 0; K < N; ++K) {
+    Value *Trip = Loops[K]->getTripCount();
+    Value *Size = B.createIntCast(TileSizes[K], Trip->getType(),
+                                  /*Signed=*/false, "tilesize");
+    SizeVals[K] = Size;
+    Value *Adjusted =
+        B.createAdd(Trip, B.createSub(Size, B.getInt(Trip->getType(), 1)),
+                    "tile.adj");
+    FloorCounts[K] = B.createUDiv(Adjusted, Size, "floor.tripcount");
+  }
+
+  // 2. Build the 2n new skeletons, nesting floor_0 .. floor_{n-1},
+  //    tile_0 .. tile_{n-1}. The outermost preheader is re-used as the
+  //    entry block of the new nest.
+  std::vector<CanonicalLoopInfo *> News;
+  BasicBlock *CurBlock = OuterPreheader; // unterminated
+  BasicBlock *InsertPoint = OuterPreheader;
+  std::vector<Value *> TileTrips(N);
+  for (unsigned K = 0; K < 2 * N; ++K) {
+    bool IsTile = K >= N;
+    unsigned Idx = IsTile ? K - N : K;
+    Value *Trip;
+    if (!IsTile) {
+      Trip = FloorCounts[Idx];
+    } else {
+      // Trip of the tile loop: min(size, trip - floorIV * size), handling
+      // the partial tile at the boundary.
+      B.setInsertPoint(CurBlock);
+      Value *FloorIV = News[Idx]->getIndVar();
+      Value *Used = B.createMul(FloorIV, SizeVals[Idx], "tile.used");
+      Value *Remaining = B.createSub(Loops[Idx]->getTripCount(), Used,
+                                     "tile.remaining");
+      Value *IsPartial = B.createICmp(CmpPred::ULT, Remaining, SizeVals[Idx],
+                                      "tile.ispartial");
+      Trip = B.createSelect(IsPartial, Remaining, SizeVals[Idx],
+                            "tile.tripcount");
+    }
+    CanonicalLoopInfo *CLI = createLoopSkeleton(
+        B, Trip, InsertPoint, IsTile ? "tile" : "floor");
+    // Chain: the current (unterminated) block branches into the preheader.
+    B.setInsertPoint(CurBlock);
+    B.createBr(CLI->getPreheader());
+    News.push_back(CLI);
+    CurBlock = CLI->getBody(); // unterminated; next skeleton nests here
+    InsertPoint = CLI->getBody();
+  }
+
+  // 3. Innermost tile body: reconstruct each original logical iteration
+  //    number and rebind the old induction variables.
+  B.setInsertPoint(CurBlock);
+  for (unsigned K = 0; K < N; ++K) {
+    Value *Orig = B.createAdd(
+        B.createMul(News[K]->getIndVar(), SizeVals[K], "tile.scaled"),
+        News[N + K]->getIndVar(), "tile.origiv");
+    replaceAllUsesIn(*F, Loops[K]->getIndVar(), Orig);
+  }
+  B.createBr(UserEntry);
+
+  // 4. The user region's back edge now targets the innermost tile latch.
+  for (const auto &BB : F->blocks()) {
+    Instruction *Term = BB->getTerminator();
+    if (!Term || Term->getOpcode() != Opcode::Br)
+      continue;
+    if (BB.get() == Loops[N - 1]->getHeader() ||
+        BB.get() == Loops[N - 1]->getCond())
+      continue; // dead old skeleton edges
+    for (unsigned S = 0; S < Term->getNumSuccessors(); ++S)
+      if (Term->getSuccessor(S) == OldInnerLatch)
+        Term->setSuccessor(S, News[2 * N - 1]->getLatch());
+  }
+
+  // 5. Wire the After chain: each inner After branches to the enclosing
+  //    latch; the outermost After continues to the old loop's After.
+  for (unsigned K = 2 * N; K-- > 0;) {
+    B.setInsertPoint(News[K]->getAfter());
+    if (K == 0)
+      B.createBr(OuterAfter);
+    else
+      B.createBr(News[K - 1]->getLatch());
+  }
+  PreTerm.reset(); // old "br header" of the outer preheader is gone
+
+  // 6. Delete the dead blocks of the original skeletons.
+  for (unsigned K = 0; K < N; ++K) {
+    CanonicalLoopInfo *L = Loops[K];
+    std::vector<BasicBlock *> Dead = {L->getHeader(), L->getCond(),
+                                      L->getLatch(), L->getExit()};
+    if (K > 0) {
+      Dead.push_back(L->getPreheader());
+      Dead.push_back(L->getAfter());
+    }
+    if (K < N - 1)
+      Dead.push_back(L->getBody()); // pure chain block of a perfect nest
+    for (BasicBlock *BB : Dead)
+      F->eraseBlock(BB);
+    L->invalidate();
+  }
+
+  for (CanonicalLoopInfo *CLI : News)
+    CLI->assertOK();
+  return News;
+}
+
+CanonicalLoopInfo *
+OpenMPIRBuilder::collapseLoops(std::vector<CanonicalLoopInfo *> Loops) {
+  assert(!Loops.empty());
+  const unsigned N = static_cast<unsigned>(Loops.size());
+  if (N == 1)
+    return Loops[0];
+  Function *F = Loops[0]->getFunction();
+  IRBuilder B(M);
+
+  BasicBlock *OuterPreheader = Loops[0]->getPreheader();
+  BasicBlock *OuterAfter = Loops[0]->getAfter();
+  BasicBlock *UserEntry = Loops[N - 1]->getBody();
+  BasicBlock *OldInnerLatch = Loops[N - 1]->getLatch();
+  const IRType *IVTy = IRType::getI64();
+
+  // Combined trip count: the product, computed in the outer preheader.
+  std::unique_ptr<Instruction> PreTerm =
+      OuterPreheader->take(OuterPreheader->size() - 1);
+  B.setInsertPoint(OuterPreheader);
+  std::vector<Value *> Trips(N);
+  Value *Total = nullptr;
+  for (unsigned K = 0; K < N; ++K) {
+    Trips[K] = B.createIntCast(Loops[K]->getTripCount(), IVTy,
+                               /*Signed=*/false, "collapse.trip");
+    Total = Total ? B.createMul(Total, Trips[K], "collapse.total") : Trips[K];
+  }
+
+  CanonicalLoopInfo *CLI =
+      createLoopSkeleton(B, Total, OuterPreheader, "collapsed");
+  B.setInsertPoint(OuterPreheader);
+  B.createBr(CLI->getPreheader());
+  PreTerm.reset();
+
+  // Body: de-linearize the combined IV into the member IVs and rebind.
+  B.setInsertPoint(CLI->getBody());
+  for (unsigned K = 0; K < N; ++K) {
+    Value *Scaled = CLI->getIndVar();
+    for (unsigned J = K + 1; J < N; ++J)
+      Scaled = B.createUDiv(Scaled, Trips[J], "collapse.div");
+    if (K > 0)
+      Scaled = B.createURem(Scaled, Trips[K], "collapse.rem");
+    Value *Orig = B.createIntCast(
+        Scaled, Loops[K]->getIndVar()->getType(), false, "collapse.iv");
+    replaceAllUsesIn(*F, Loops[K]->getIndVar(), Orig);
+  }
+  B.createBr(UserEntry);
+
+  // Rewire the user region's back edge and the after chain.
+  for (const auto &BB : F->blocks()) {
+    Instruction *Term = BB->getTerminator();
+    if (!Term || Term->getOpcode() != Opcode::Br)
+      continue;
+    if (BB.get() == Loops[N - 1]->getHeader() ||
+        BB.get() == Loops[N - 1]->getCond())
+      continue;
+    for (unsigned S = 0; S < Term->getNumSuccessors(); ++S)
+      if (Term->getSuccessor(S) == OldInnerLatch)
+        Term->setSuccessor(S, CLI->getLatch());
+  }
+  B.setInsertPoint(CLI->getAfter());
+  B.createBr(OuterAfter);
+
+  for (unsigned K = 0; K < N; ++K) {
+    CanonicalLoopInfo *L = Loops[K];
+    std::vector<BasicBlock *> Dead = {L->getHeader(), L->getCond(),
+                                      L->getLatch(), L->getExit()};
+    if (K > 0) {
+      Dead.push_back(L->getPreheader());
+      Dead.push_back(L->getAfter());
+    }
+    if (K < N - 1)
+      Dead.push_back(L->getBody());
+    for (BasicBlock *BB : Dead)
+      F->eraseBlock(BB);
+    L->invalidate();
+  }
+
+  CLI->assertOK();
+  return CLI;
+}
+
+void OpenMPIRBuilder::unrollLoopFull(CanonicalLoopInfo *Loop) {
+  Loop->assertOK();
+  Instruction *LatchBr = Loop->getLatch()->getTerminator();
+  LatchBr->LoopMD.UnrollFull = true;
+}
+
+void OpenMPIRBuilder::unrollLoopHeuristic(CanonicalLoopInfo *Loop) {
+  Loop->assertOK();
+  Instruction *LatchBr = Loop->getLatch()->getTerminator();
+  LatchBr->LoopMD.UnrollEnable = true;
+}
+
+void OpenMPIRBuilder::unrollLoopPartial(CanonicalLoopInfo *Loop,
+                                        unsigned Factor,
+                                        CanonicalLoopInfo **UnrolledCLI) {
+  Loop->assertOK();
+  assert(Factor > 0);
+  // Like the real implementation: tile by the unroll factor and let the
+  // mid-end LoopUnroll pass duplicate the inner (tile) loop's body.
+  Value *FactorVal =
+      M.getInt(Loop->getTripCount()->getType(),
+               static_cast<std::int64_t>(Factor));
+  std::vector<CanonicalLoopInfo *> Tiled =
+      tileLoops({Loop}, {FactorVal});
+  assert(Tiled.size() == 2);
+  Instruction *InnerLatchBr = Tiled[1]->getLatch()->getTerminator();
+  InnerLatchBr->LoopMD.UnrollCount = Factor;
+  if (UnrolledCLI)
+    *UnrolledCLI = Tiled[0];
+}
+
+void OpenMPIRBuilder::applySimd(CanonicalLoopInfo *Loop) {
+  Loop->assertOK();
+  Loop->getLatch()->getTerminator()->LoopMD.Vectorize = true;
+}
+
+void OpenMPIRBuilder::createBarrier(IRBuilder &B) {
+  Value *Gtid = B.createCall(
+      getOrCreateRuntimeFunction("__kmpc_global_thread_num"), {}, "gtid");
+  B.createCall(getOrCreateRuntimeFunction("__kmpc_barrier"),
+               {Gtid});
+}
+
+void OpenMPIRBuilder::createCritical(IRBuilder &B,
+                                     const std::function<void()> &Body) {
+  Value *Gtid = B.createCall(
+      getOrCreateRuntimeFunction("__kmpc_global_thread_num"), {}, "gtid");
+  B.createCall(getOrCreateRuntimeFunction("__kmpc_critical"), {Gtid});
+  Body();
+  Value *Gtid2 = B.createCall(
+      getOrCreateRuntimeFunction("__kmpc_global_thread_num"), {}, "gtid");
+  B.createCall(getOrCreateRuntimeFunction("__kmpc_end_critical"), {Gtid2});
+}
+
+void OpenMPIRBuilder::applyWorkshareLoop(CanonicalLoopInfo *Loop,
+                                         OMPScheduleType Schedule,
+                                         Value *ChunkSize, bool NoWait) {
+  Loop->assertOK();
+  IRBuilder B(M);
+  const IRType *IVTy = Loop->getIndVar()->getType();
+  const IRType *I64 = IRType::getI64();
+  Function *StaticInit =
+      getOrCreateRuntimeFunction("__kmpc_for_static_init");
+  Function *StaticFini =
+      getOrCreateRuntimeFunction("__kmpc_for_static_fini");
+  Function *GtidFn = getOrCreateRuntimeFunction("__kmpc_global_thread_num");
+  Function *Barrier = getOrCreateRuntimeFunction("__kmpc_barrier");
+
+  // The runtime works on the i64 logical iteration space [0, trip).
+  // schedule(static) assigns one balanced contiguous chunk per thread via
+  // __kmpc_for_static_init; chunked and dynamic schedules go through the
+  // dispatcher (__kmpc_dispatch_*), where schedule(static, chunk) becomes a
+  // deterministic round-robin chunk assignment.
+  bool IsStatic = Schedule == OMPScheduleType::Static;
+
+  // The cond block's comparison, to be retargeted at the per-thread (or
+  // per-chunk) upper bound.
+  Instruction *Cmp = nullptr;
+  for (const auto &I : Loop->getCond()->instructions())
+    if (I->getOpcode() == Opcode::ICmp)
+      Cmp = I.get();
+  assert(Cmp && "canonical loop cond must contain the trip comparison");
+
+  if (IsStatic) {
+    reopenBlock(B, Loop->getPreheader(), [&] {
+      Value *Gtid = B.createCall(GtidFn, {}, "gtid");
+      Instruction *PLast = B.createAllocaInEntry(IRType::getI32(), 1,
+                                                 "p.lastiter");
+      Instruction *PLower = B.createAllocaInEntry(I64, 1, "p.lowerbound");
+      Instruction *PUpper = B.createAllocaInEntry(I64, 1, "p.upperbound");
+      Instruction *PStride = B.createAllocaInEntry(I64, 1, "p.stride");
+      Value *Trip64 = B.createIntCast(Loop->getTripCount(), I64, false,
+                                      "trip64");
+      B.createStore(B.getI32(0), PLast);
+      B.createStore(B.getI64(0), PLower);
+      B.createStore(B.createSub(Trip64, B.getI64(1), "lastiter"), PUpper);
+      B.createStore(B.getI64(1), PStride);
+      Value *Chunk = ChunkSize
+                         ? B.createIntCast(ChunkSize, I64, true, "chunk64")
+                         : B.getI64(0);
+      B.createCall(StaticInit,
+                   {Gtid, B.getI32(static_cast<std::int32_t>(Schedule)),
+                    PLast, PLower, PUpper, PStride, B.getI64(1), Chunk});
+      Value *LB64 = B.createLoad(I64, PLower, "omp.lb");
+      Value *UB64 = B.createLoad(I64, PUpper, "omp.ub");
+      Value *LB = B.createIntCast(LB64, IVTy, false, "omp.lb.t");
+      Value *UB = B.createIntCast(UB64, IVTy, false, "omp.ub.t");
+      // Retarget the skeleton: IV starts at lb, runs while iv <= ub.
+      for (unsigned P = 0; P < Loop->getIndVar()->getNumIncoming(); ++P)
+        if (Loop->getIndVar()->getIncomingBlock(P) == Loop->getPreheader())
+          Loop->getIndVar()->setOperand(2 * P, LB);
+      Cmp->Pred = CmpPred::ULE;
+      Cmp->setOperand(1, UB);
+    });
+    // fini + implied barrier on the way out.
+    reopenBlock(B, Loop->getExit(), [&] {
+      Value *Gtid = B.createCall(GtidFn, {}, "gtid");
+      B.createCall(StaticFini, {Gtid});
+      if (!NoWait) {
+        Value *Gtid2 = B.createCall(GtidFn, {}, "gtid");
+        B.createCall(Barrier, {Gtid2});
+      }
+    });
+    Loop->assertOK();
+    return;
+  }
+
+  // Dynamic / guided: a dispatch loop around the canonical loop.
+  Function *DispInit = getOrCreateRuntimeFunction("__kmpc_dispatch_init");
+  Function *DispNext = getOrCreateRuntimeFunction("__kmpc_dispatch_next");
+  Function *F = Loop->getFunction();
+
+  BasicBlock *DispHeader =
+      F->createBlockAfter(Loop->getPreheader(), "omp.dispatch.header");
+  BasicBlock *DispBody =
+      F->createBlockAfter(DispHeader, "omp.dispatch.body");
+
+  Instruction *PLast = nullptr, *PLower = nullptr, *PUpper = nullptr;
+  reopenBlock(B, Loop->getPreheader(), [&] {
+    Value *Gtid = B.createCall(GtidFn, {}, "gtid");
+    PLast = B.createAllocaInEntry(IRType::getI32(), 1, "p.lastiter");
+    PLower = B.createAllocaInEntry(I64, 1, "p.lowerbound");
+    PUpper = B.createAllocaInEntry(I64, 1, "p.upperbound");
+    Value *Trip64 =
+        B.createIntCast(Loop->getTripCount(), I64, false, "trip64");
+    Value *Chunk =
+        ChunkSize ? B.createIntCast(ChunkSize, I64, true, "chunk64")
+                  : B.getI64(1);
+    B.createCall(DispInit,
+                 {Gtid, B.getI32(static_cast<std::int32_t>(Schedule)),
+                  B.getI64(0), B.createSub(Trip64, B.getI64(1), "lastiter"),
+                  Chunk});
+  });
+  // preheader now branches to the dispatch header instead of the loop.
+  Loop->getPreheader()->getTerminator()->setSuccessor(0, DispHeader);
+
+  B.setInsertPoint(DispHeader);
+  Value *Gtid = B.createCall(GtidFn, {}, "gtid");
+  Value *More = B.createCall(DispNext, {Gtid, PLast, PLower, PUpper},
+                             "dispatch.more");
+  Value *HasChunk =
+      B.createICmp(CmpPred::NE, More, B.getI32(0), "dispatch.haschunk");
+  B.createCondBr(HasChunk, DispBody, Loop->getAfter());
+
+  B.setInsertPoint(DispBody);
+  Value *LB64 = B.createLoad(I64, PLower, "omp.lb");
+  Value *UB64 = B.createLoad(I64, PUpper, "omp.ub");
+  Value *LB = B.createIntCast(LB64, IVTy, false, "omp.lb.t");
+  Value *UB = B.createIntCast(UB64, IVTy, false, "omp.ub.t");
+  B.createBr(Loop->getHeader());
+
+  // The loop now iterates [lb, ub] per chunk and loops back to the
+  // dispatcher.
+  Instruction *IV = Loop->getIndVar();
+  for (unsigned P = 0; P < IV->getNumIncoming(); ++P)
+    if (IV->getIncomingBlock(P) == Loop->getPreheader()) {
+      IV->setOperand(2 * P, LB);
+      IV->replaceIncomingBlock(Loop->getPreheader(), DispBody);
+    }
+  Cmp->Pred = CmpPred::ULE;
+  Cmp->setOperand(1, UB);
+  Loop->getExit()->getTerminator()->setSuccessor(0, DispHeader);
+
+  // Implied barrier after all chunks are done.
+  if (!NoWait) {
+    B.setInsertPoint(Loop->getAfter());
+    // Insert at the top of After (it may already hold continuation code).
+    auto GtidCall = std::make_unique<Instruction>(
+        Opcode::Call, IRType::getI32(),
+        std::vector<Value *>{GtidFn}, "gtid");
+    auto BarrierCall = std::make_unique<Instruction>(
+        Opcode::Call, IRType::getVoid(),
+        std::vector<Value *>{Barrier, GtidCall.get()});
+    Loop->getAfter()->insertAt(0, std::move(GtidCall));
+    Loop->getAfter()->insertAt(1, std::move(BarrierCall));
+  }
+}
+
+} // namespace mcc::ir

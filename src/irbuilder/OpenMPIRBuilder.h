@@ -1,0 +1,176 @@
+//===--- OpenMPIRBuilder.h - Base-language-independent OpenMP lowering -*- C++ -*-===//
+//
+// Reproduces the OpenMPIRBuilder of the paper's Section 3: the front-end
+// independent portion of OpenMP lowering, designed to be shared between
+// front-ends (Clang, Flang/MLIR). It provides:
+//
+//   * createCanonicalLoop — emits the loop skeleton of Fig. 9 (preheader /
+//     header / cond / body / latch / exit / after) and returns a
+//     CanonicalLoopInfo handle;
+//   * tileLoops, collapseLoops — loop transformations that consume and
+//     produce CanonicalLoopInfo handles;
+//   * unrollLoopFull / unrollLoopPartial / unrollLoopHeuristic — unrolling,
+//     deferring the actual body duplication to the mid-end LoopUnroll pass
+//     via llvm.loop.unroll.* metadata (unrollLoopPartial tiles first and
+//     annotates the inner loop, exactly like the real implementation);
+//   * applyWorkshareLoop — the worksharing-loop construct on top of the
+//     __kmpc_for_static_init / __kmpc_dispatch_* runtime entry points;
+//   * applySimd — vectorization hint metadata.
+//
+// Returned loops always re-establish the loop-skeleton invariants the
+// paper lists: explicit blocks for every role, an identifiable induction
+// variable, and an identifiable trip count without needing ScalarEvolution
+// (validated by CanonicalLoopInfo::assertOK).
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_IRBUILDER_OPENMPIRBUILDER_H
+#define MCC_IRBUILDER_OPENMPIRBUILDER_H
+
+#include "irbuilder/IRBuilder.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mcc::ir {
+
+/// Scheduling types passed to the runtime (values follow libomp's
+/// sched_type flavor).
+enum class OMPScheduleType : std::int32_t {
+  StaticChunked = 33,
+  Static = 34, // balanced chunks, one per thread
+  DynamicChunked = 35,
+  GuidedChunked = 36,
+};
+
+/// Represents a canonical loop in the IR and its current state; the handle
+/// type that OpenMPIRBuilder transformations consume and produce.
+class CanonicalLoopInfo {
+public:
+  [[nodiscard]] bool isValid() const { return Header != nullptr; }
+
+  [[nodiscard]] Function *getFunction() const {
+    return Header->getParent();
+  }
+  [[nodiscard]] BasicBlock *getPreheader() const { return Preheader; }
+  [[nodiscard]] BasicBlock *getHeader() const { return Header; }
+  [[nodiscard]] BasicBlock *getCond() const { return Cond; }
+  [[nodiscard]] BasicBlock *getBody() const { return Body; }
+  [[nodiscard]] BasicBlock *getLatch() const { return Latch; }
+  [[nodiscard]] BasicBlock *getExit() const { return Exit; }
+  [[nodiscard]] BasicBlock *getAfter() const { return After; }
+
+  /// The induction variable: a phi in the header over the *logical
+  /// iteration space* [0, TripCount).
+  [[nodiscard]] Instruction *getIndVar() const { return IndVar; }
+  /// The trip count — identifiable directly, "without requiring analysis
+  /// by ScalarEvolution".
+  [[nodiscard]] Value *getTripCount() const { return TripCount; }
+
+  /// Validates the loop skeleton invariants; asserts on violation.
+  void assertOK() const;
+  /// Like assertOK but returns a diagnostic string (empty = valid), for
+  /// tests.
+  [[nodiscard]] std::string validate() const;
+
+private:
+  friend class OpenMPIRBuilder;
+  void invalidate() { *this = CanonicalLoopInfo(); }
+
+  BasicBlock *Preheader = nullptr;
+  BasicBlock *Header = nullptr;
+  BasicBlock *Cond = nullptr;
+  BasicBlock *Body = nullptr;
+  BasicBlock *Latch = nullptr;
+  BasicBlock *Exit = nullptr;
+  BasicBlock *After = nullptr;
+  Instruction *IndVar = nullptr;
+  Value *TripCount = nullptr;
+};
+
+class OpenMPIRBuilder {
+public:
+  explicit OpenMPIRBuilder(Module &M) : M(M) {}
+  OpenMPIRBuilder(const OpenMPIRBuilder &) = delete;
+  OpenMPIRBuilder &operator=(const OpenMPIRBuilder &) = delete;
+
+  /// Callback emitting the loop body. Receives a builder positioned at the
+  /// body insertion point and the induction variable (the logical
+  /// iteration number). May create additional blocks; must leave the
+  /// builder at the block that falls through to the latch.
+  using BodyGenCallbackTy = std::function<void(IRBuilder &, Value *IndVar)>;
+
+  /// Creates the loop skeleton of the paper's Fig. 9 at \p B's insertion
+  /// point (the current block becomes the predecessor of the preheader).
+  /// \p TripCount is the number of logical iterations (an integer Value).
+  /// On return, \p B is positioned in the after-block.
+  CanonicalLoopInfo *createCanonicalLoop(IRBuilder &B, Value *TripCount,
+                                         const BodyGenCallbackTy &BodyGen,
+                                         const std::string &Name = "omp_loop");
+
+  /// Tiles a perfect nest of canonical loops with the given tile sizes.
+  /// Returns the 2n generated loops: n floor loops followed by n tile
+  /// loops. The input handles are invalidated.
+  std::vector<CanonicalLoopInfo *>
+  tileLoops(std::vector<CanonicalLoopInfo *> Loops,
+            std::vector<Value *> TileSizes);
+
+  /// Collapses a perfect nest into a single canonical loop over the
+  /// product iteration space. Input handles are invalidated.
+  CanonicalLoopInfo *collapseLoops(std::vector<CanonicalLoopInfo *> Loops);
+
+  /// Fully unrolls the loop by attaching llvm.loop.unroll.full metadata
+  /// for the mid-end LoopUnroll pass.
+  void unrollLoopFull(CanonicalLoopInfo *Loop);
+
+  /// Heuristic unrolling: llvm.loop.unroll.enable metadata; the mid-end
+  /// chooses the factor (or not to unroll).
+  void unrollLoopHeuristic(CanonicalLoopInfo *Loop);
+
+  /// Partial unrolling with a known factor: tiles the loop by \p Factor
+  /// and marks the inner (tile) loop with llvm.loop.unroll.count metadata.
+  /// If \p UnrolledCLI is non-null it receives the outer (floor) loop —
+  /// the "generated loop" that an enclosing directive may consume.
+  void unrollLoopPartial(CanonicalLoopInfo *Loop, unsigned Factor,
+                         CanonicalLoopInfo **UnrolledCLI);
+
+  /// Lowers \p Loop into a worksharing-loop using the runtime: static
+  /// schedules via __kmpc_for_static_init, dynamic/guided via
+  /// __kmpc_dispatch_*. Adds the implied barrier unless \p NoWait.
+  void applyWorkshareLoop(CanonicalLoopInfo *Loop, OMPScheduleType Schedule,
+                          Value *ChunkSize, bool NoWait);
+
+  /// Attaches llvm.loop.vectorize.enable metadata (simd construct).
+  void applySimd(CanonicalLoopInfo *Loop);
+
+  /// Emits a "#pragma omp barrier".
+  void createBarrier(IRBuilder &B);
+  /// Emits entry/exit of a critical region around code emitted by \p Body.
+  void createCritical(IRBuilder &B, const std::function<void()> &Body);
+
+  // --- Runtime function declarations (created on first use) ---
+  Function *getOrCreateRuntimeFunction(const std::string &Name);
+
+  /// Replaces every use of \p Old with \p New within \p F.
+  static void replaceAllUsesIn(Function &F, Value *Old, Value *New);
+
+private:
+  /// Creates the 7-block skeleton after \p B's block, terminating that
+  /// block into the preheader. Body and After are left unterminated for
+  /// the caller to wire. Does not move \p B.
+  CanonicalLoopInfo *createLoopSkeleton(IRBuilder &B, Value *TripCount,
+                                        BasicBlock *InsertAfter,
+                                        const std::string &Name);
+
+  /// Runs \p Fn with \p B positioned at \p BB with its terminator
+  /// temporarily removed, then restores the terminator.
+  static void reopenBlock(IRBuilder &B, BasicBlock *BB,
+                          const std::function<void()> &Fn);
+
+  Module &M;
+  std::vector<std::unique_ptr<CanonicalLoopInfo>> LoopInfos;
+};
+
+} // namespace mcc::ir
+
+#endif // MCC_IRBUILDER_OPENMPIRBUILDER_H

@@ -1,0 +1,297 @@
+#include "lex/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace mcc {
+
+namespace tok {
+
+const char *getTokenName(TokenKind Kind) {
+  switch (Kind) {
+#define TOK(X)                                                                 \
+  case X:                                                                      \
+    return #X;
+#include "lex/TokenKinds.def"
+  default:
+    return "<unknown>";
+  }
+}
+
+const char *getPunctuatorSpelling(TokenKind Kind) {
+  switch (Kind) {
+#define PUNCT(X, Y)                                                            \
+  case X:                                                                      \
+    return Y;
+#define TOK(X)
+#include "lex/TokenKinds.def"
+  default:
+    return nullptr;
+  }
+}
+
+} // namespace tok
+
+tok::TokenKind Lexer::getKeywordKind(std::string_view Text) {
+  static const std::unordered_map<std::string_view, tok::TokenKind> Keywords =
+      {
+#define KEYWORD(X) {#X, tok::kw_##X},
+#define TOK(X)
+#include "lex/TokenKinds.def"
+      };
+  auto It = Keywords.find(Text);
+  return It == Keywords.end() ? tok::identifier : It->second;
+}
+
+Lexer::Lexer(FileID FID, const SourceManager &SM, DiagnosticsEngine &Diags)
+    : FID(FID), SM(SM), Diags(Diags) {
+  const MemoryBuffer *Buf = SM.getBuffer(FID);
+  BufferStart = Buf->getBufferStart();
+  BufferEnd = Buf->getBufferEnd();
+  Ptr = BufferStart;
+}
+
+void Lexer::formToken(Token &Result, const char *TokStart, const char *TokEnd,
+                      tok::TokenKind Kind) {
+  Result.startToken();
+  Result.setKind(Kind);
+  Result.setLocation(getLoc(TokStart));
+  Result.setText(std::string_view(TokStart,
+                                  static_cast<std::size_t>(TokEnd - TokStart)));
+  Result.setAtStartOfLine(AtStartOfLine);
+  Result.setHasLeadingSpace(HasLeadingSpace);
+  AtStartOfLine = false;
+  HasLeadingSpace = false;
+  Ptr = TokEnd;
+}
+
+void Lexer::skipLineComment() {
+  while (Ptr != BufferEnd && *Ptr != '\n')
+    ++Ptr;
+}
+
+bool Lexer::skipBlockComment() {
+  // Ptr points after the "/*".
+  while (Ptr + 1 < BufferEnd) {
+    if (Ptr[0] == '*' && Ptr[1] == '/') {
+      Ptr += 2;
+      return true;
+    }
+    ++Ptr;
+  }
+  Ptr = BufferEnd;
+  return false;
+}
+
+void Lexer::lexNumericConstant(Token &Result, const char *TokStart) {
+  const char *P = Ptr;
+  bool SeenDot = false;
+  bool SeenExp = false;
+  // Hex literals.
+  if (P[-1] == '0' && P != BufferEnd && (*P == 'x' || *P == 'X')) {
+    ++P;
+    while (P != BufferEnd && std::isxdigit(static_cast<unsigned char>(*P)))
+      ++P;
+  } else {
+    while (P != BufferEnd) {
+      char C = *P;
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        ++P;
+      } else if (C == '.' && !SeenDot && !SeenExp) {
+        SeenDot = true;
+        ++P;
+      } else if ((C == 'e' || C == 'E') && !SeenExp) {
+        SeenExp = true;
+        ++P;
+        if (P != BufferEnd && (*P == '+' || *P == '-'))
+          ++P;
+      } else {
+        break;
+      }
+    }
+  }
+  // Suffixes: u, U, l, L, ul, lu, f, F (order-insensitive, at most two).
+  while (P != BufferEnd && (*P == 'u' || *P == 'U' || *P == 'l' || *P == 'L' ||
+                            *P == 'f' || *P == 'F'))
+    ++P;
+  formToken(Result, TokStart, P, tok::numeric_constant);
+}
+
+void Lexer::lexIdentifier(Token &Result, const char *TokStart) {
+  const char *P = Ptr;
+  while (P != BufferEnd &&
+         (std::isalnum(static_cast<unsigned char>(*P)) || *P == '_' ||
+          *P == '.')) {
+    // '.' only continues an identifier for internal names like
+    // '.capture_expr.' that Sema synthesizes; real source cannot contain
+    // them because '.' never *starts* an identifier here.
+    if (*P == '.' && TokStart[0] != '.')
+      break;
+    ++P;
+  }
+  formToken(Result, TokStart, P, tok::identifier);
+  tok::TokenKind KW = getKeywordKind(Result.getText());
+  if (KW != tok::identifier)
+    Result.setKind(KW);
+}
+
+void Lexer::lexStringLiteral(Token &Result, const char *TokStart,
+                             char Terminator) {
+  const char *P = Ptr;
+  while (P != BufferEnd && *P != Terminator && *P != '\n') {
+    if (*P == '\\' && P + 1 != BufferEnd)
+      ++P; // skip escaped char
+    ++P;
+  }
+  if (P == BufferEnd || *P == '\n') {
+    Diags.report(getLoc(TokStart), Terminator == '"'
+                                       ? diag::err_unterminated_string
+                                       : diag::err_unterminated_char);
+    formToken(Result, TokStart, P, tok::unknown);
+    return;
+  }
+  ++P; // consume terminator
+  formToken(Result, TokStart, P,
+            Terminator == '"' ? tok::string_literal : tok::char_constant);
+}
+
+bool Lexer::lex(Token &Result) {
+  // Skip whitespace and comments.
+  while (true) {
+    if (Ptr == BufferEnd) {
+      formToken(Result, Ptr, Ptr, LexingDirective ? tok::eod : tok::eof);
+      return false;
+    }
+    char C = *Ptr;
+    if (C == '\n') {
+      if (LexingDirective) {
+        formToken(Result, Ptr, Ptr + 1, tok::eod);
+        AtStartOfLine = true;
+        return true;
+      }
+      ++Ptr;
+      AtStartOfLine = true;
+      HasLeadingSpace = false;
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\v' || C == '\f') {
+      ++Ptr;
+      HasLeadingSpace = true;
+      continue;
+    }
+    if (C == '\\' && Ptr + 1 != BufferEnd && Ptr[1] == '\n') {
+      Ptr += 2; // line continuation
+      continue;
+    }
+    if (C == '/' && Ptr + 1 != BufferEnd) {
+      if (Ptr[1] == '/') {
+        Ptr += 2;
+        skipLineComment();
+        HasLeadingSpace = true;
+        continue;
+      }
+      if (Ptr[1] == '*') {
+        const char *CommentStart = Ptr;
+        Ptr += 2;
+        if (!skipBlockComment())
+          Diags.report(getLoc(CommentStart), diag::err_unterminated_comment);
+        HasLeadingSpace = true;
+        continue;
+      }
+    }
+    break;
+  }
+
+  const char *TokStart = Ptr;
+  char C = *Ptr++;
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    lexNumericConstant(Result, TokStart);
+    return true;
+  }
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    lexIdentifier(Result, TokStart);
+    return true;
+  }
+
+  auto Peek = [&](char Want) {
+    if (Ptr != BufferEnd && *Ptr == Want) {
+      ++Ptr;
+      return true;
+    }
+    return false;
+  };
+
+  tok::TokenKind Kind = tok::unknown;
+  switch (C) {
+  case '(': Kind = tok::l_paren; break;
+  case ')': Kind = tok::r_paren; break;
+  case '{': Kind = tok::l_brace; break;
+  case '}': Kind = tok::r_brace; break;
+  case '[': Kind = tok::l_square; break;
+  case ']': Kind = tok::r_square; break;
+  case ';': Kind = tok::semi; break;
+  case ',': Kind = tok::comma; break;
+  case '?': Kind = tok::question; break;
+  case ':': Kind = tok::colon; break;
+  case '~': Kind = tok::tilde; break;
+  case '#': Kind = tok::hash; break;
+  case '+':
+    Kind = Peek('+') ? tok::plusplus : Peek('=') ? tok::plusequal : tok::plus;
+    break;
+  case '-':
+    Kind = Peek('-')   ? tok::minusminus
+           : Peek('=') ? tok::minusequal
+           : Peek('>') ? tok::arrow
+                       : tok::minus;
+    break;
+  case '*':
+    Kind = Peek('=') ? tok::starequal : tok::star;
+    break;
+  case '/':
+    Kind = Peek('=') ? tok::slashequal : tok::slash;
+    break;
+  case '%':
+    Kind = Peek('=') ? tok::percentequal : tok::percent;
+    break;
+  case '=':
+    Kind = Peek('=') ? tok::equalequal : tok::equal;
+    break;
+  case '!':
+    Kind = Peek('=') ? tok::exclaimequal : tok::exclaim;
+    break;
+  case '<':
+    Kind = Peek('=') ? tok::lessequal : Peek('<') ? tok::lessless : tok::less;
+    break;
+  case '>':
+    Kind = Peek('=')   ? tok::greaterequal
+           : Peek('>') ? tok::greatergreater
+                       : tok::greater;
+    break;
+  case '&':
+    Kind = Peek('&') ? tok::ampamp : Peek('=') ? tok::ampequal : tok::amp;
+    break;
+  case '|':
+    Kind = Peek('|') ? tok::pipepipe : Peek('=') ? tok::pipeequal : tok::pipe;
+    break;
+  case '^':
+    Kind = Peek('=') ? tok::caretequal : tok::caret;
+    break;
+  case '.': Kind = tok::period; break;
+  case '"':
+    lexStringLiteral(Result, TokStart, '"');
+    return true;
+  case '\'':
+    lexStringLiteral(Result, TokStart, '\'');
+    return true;
+  default:
+    Diags.report(getLoc(TokStart), diag::err_invalid_character)
+        << std::string(1, C);
+    Kind = tok::unknown;
+    break;
+  }
+  formToken(Result, TokStart, Ptr, Kind);
+  return true;
+}
+
+} // namespace mcc

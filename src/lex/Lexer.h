@@ -1,0 +1,67 @@
+//===--- Lexer.h - Character stream -> token stream -------------*- C++ -*-===//
+//
+// The Lexer layer of the paper's Fig. 1. A raw lexer over one MemoryBuffer:
+// it knows nothing about the preprocessor; directives and pragma handling
+// live one layer up (Preprocessor).
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_LEX_LEXER_H
+#define MCC_LEX_LEXER_H
+
+#include "lex/Token.h"
+#include "support/Diagnostic.h"
+#include "support/SourceManager.h"
+
+namespace mcc {
+
+class Lexer {
+public:
+  /// Lexes the content of \p FID. Diagnostics (bad characters, unterminated
+  /// comments/strings) are reported to \p Diags.
+  Lexer(FileID FID, const SourceManager &SM, DiagnosticsEngine &Diags);
+
+  Lexer(const Lexer &) = delete;
+  Lexer &operator=(const Lexer &) = delete;
+
+  /// Lexes the next token into \p Result. Returns false once (and forever
+  /// after) the end of the buffer is reached, with Result set to tok::eof.
+  bool lex(Token &Result);
+
+  /// When true, a newline terminates the current "line context" and is
+  /// reported as a tok::eod token (used while lexing preprocessor
+  /// directives); otherwise newlines are plain whitespace.
+  void setParsingPreprocessorDirective(bool V) { LexingDirective = V; }
+
+  [[nodiscard]] FileID getFileID() const { return FID; }
+
+  /// Maps an identifier's text to its keyword token kind, or
+  /// tok::identifier if it is not a keyword.
+  static tok::TokenKind getKeywordKind(std::string_view Text);
+
+private:
+  SourceLocation getLoc(const char *Ptr) const {
+    return SM.getLoc(FID, static_cast<unsigned>(Ptr - BufferStart));
+  }
+
+  void formToken(Token &Result, const char *TokStart, const char *TokEnd,
+                 tok::TokenKind Kind);
+  void skipLineComment();
+  bool skipBlockComment(); // false if unterminated
+  void lexNumericConstant(Token &Result, const char *TokStart);
+  void lexIdentifier(Token &Result, const char *TokStart);
+  void lexStringLiteral(Token &Result, const char *TokStart, char Terminator);
+
+  FileID FID;
+  const SourceManager &SM;
+  DiagnosticsEngine &Diags;
+  const char *BufferStart;
+  const char *BufferEnd;
+  const char *Ptr;
+  bool AtStartOfLine = true;
+  bool HasLeadingSpace = false;
+  bool LexingDirective = false;
+};
+
+} // namespace mcc
+
+#endif // MCC_LEX_LEXER_H

@@ -1,0 +1,83 @@
+//===--- Token.h - MiniC token representation -------------------*- C++ -*-===//
+#ifndef MCC_LEX_TOKEN_H
+#define MCC_LEX_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <string_view>
+
+namespace mcc {
+
+namespace tok {
+enum TokenKind : unsigned short {
+#define TOK(X) X,
+#include "lex/TokenKinds.def"
+  NUM_TOKENS
+};
+
+/// Returns the constant spelling of a punctuator/keyword, or the generic
+/// name ("identifier", "numeric constant", ...) for variable-spelling kinds.
+const char *getTokenName(TokenKind Kind);
+const char *getPunctuatorSpelling(TokenKind Kind);
+} // namespace tok
+
+/// A lexed token: kind, location, and the exact source text it covers.
+/// Tokens are value types and cheap to copy.
+class Token {
+public:
+  void startToken() {
+    Kind = tok::unknown;
+    Loc = SourceLocation();
+    Text = {};
+    Flags = 0;
+  }
+
+  [[nodiscard]] tok::TokenKind getKind() const { return Kind; }
+  void setKind(tok::TokenKind K) { Kind = K; }
+
+  [[nodiscard]] bool is(tok::TokenKind K) const { return Kind == K; }
+  [[nodiscard]] bool isNot(tok::TokenKind K) const { return Kind != K; }
+  template <typename... Ts> [[nodiscard]] bool isOneOf(Ts... Ks) const {
+    return (is(Ks) || ...);
+  }
+
+  [[nodiscard]] SourceLocation getLocation() const { return Loc; }
+  void setLocation(SourceLocation L) { Loc = L; }
+  [[nodiscard]] SourceLocation getEndLoc() const {
+    return Loc.getLocWithOffset(static_cast<std::int32_t>(Text.size()));
+  }
+
+  [[nodiscard]] std::string_view getText() const { return Text; }
+  void setText(std::string_view T) { Text = T; }
+  [[nodiscard]] unsigned getLength() const {
+    return static_cast<unsigned>(Text.size());
+  }
+
+  /// True if this token was the first on its line (needed to recognize
+  /// preprocessor directives).
+  [[nodiscard]] bool isAtStartOfLine() const { return Flags & StartOfLine; }
+  void setAtStartOfLine(bool V) {
+    Flags = V ? (Flags | StartOfLine) : (Flags & ~StartOfLine);
+  }
+
+  [[nodiscard]] bool hasLeadingSpace() const { return Flags & LeadingSpace; }
+  void setHasLeadingSpace(bool V) {
+    Flags = V ? (Flags | LeadingSpace) : (Flags & ~LeadingSpace);
+  }
+
+  [[nodiscard]] bool isIdentifierNamed(std::string_view Name) const {
+    return Kind == tok::identifier && Text == Name;
+  }
+
+private:
+  enum TokenFlags : unsigned { StartOfLine = 1, LeadingSpace = 2 };
+
+  tok::TokenKind Kind = tok::unknown;
+  SourceLocation Loc;
+  std::string_view Text;
+  unsigned Flags = 0;
+};
+
+} // namespace mcc
+
+#endif // MCC_LEX_TOKEN_H

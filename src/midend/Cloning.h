@@ -1,0 +1,33 @@
+//===--- Cloning.h - Block cloning with value remapping ---------*- C++ -*-===//
+#ifndef MCC_MIDEND_CLONING_H
+#define MCC_MIDEND_CLONING_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <vector>
+
+namespace mcc::midend {
+
+using ValueMap = std::map<ir::Value *, ir::Value *>;
+
+/// Looks \p V up in \p VMap, returning \p V itself when unmapped.
+inline ir::Value *remap(const ValueMap &VMap, ir::Value *V) {
+  auto It = VMap.find(V);
+  return It == VMap.end() ? V : It->second;
+}
+
+/// Clones \p Blocks (instructions and intra-set branch targets remapped
+/// through \p VMap; externally-defined operands left alone). Pre-seeded
+/// entries of \p VMap take precedence — callers use this to substitute
+/// header phis with concrete values, in which case phi instructions that
+/// are pre-mapped are not cloned at all. New blocks are appended after
+/// \p InsertAfter in order. On return \p VMap contains the full mapping.
+std::vector<ir::BasicBlock *>
+cloneBlocks(ir::Function &F, const std::vector<ir::BasicBlock *> &Blocks,
+            ValueMap &VMap, ir::BasicBlock *InsertAfter,
+            const std::string &Suffix);
+
+} // namespace mcc::midend
+
+#endif // MCC_MIDEND_CLONING_H

@@ -1,0 +1,122 @@
+#include "midend/Passes.h"
+
+#include <map>
+#include <set>
+
+namespace mcc::midend {
+
+using namespace ir;
+
+namespace {
+
+/// Removes phi-incoming entries whose block died.
+void prunePhis(BasicBlock *BB, const std::set<BasicBlock *> &Alive) {
+  for (const auto &I : BB->instructions()) {
+    if (I->getOpcode() != Opcode::Phi)
+      break;
+    // Rebuild the operand list without dead incoming blocks.
+    std::vector<Value *> Kept;
+    for (unsigned P = 0; P < I->getNumIncoming(); ++P)
+      if (Alive.count(I->getIncomingBlock(P))) {
+        Kept.push_back(I->getIncomingValue(P));
+        Kept.push_back(I->getIncomingBlock(P));
+      }
+    if (Kept.size() != I->getNumOperands())
+      I->setOperands(std::move(Kept));
+    (void)BB;
+  }
+}
+
+unsigned removeUnreachable(Function &F) {
+  if (F.isDeclaration())
+    return 0;
+  std::set<BasicBlock *> Reachable;
+  std::vector<BasicBlock *> Work = {F.getEntryBlock()};
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    if (!Reachable.insert(BB).second)
+      continue;
+    if (Instruction *Term = BB->getTerminator())
+      for (unsigned S = 0; S < Term->getNumSuccessors(); ++S)
+        Work.push_back(Term->getSuccessor(S));
+  }
+  std::vector<BasicBlock *> Dead;
+  for (const auto &BB : F.blocks())
+    if (!Reachable.count(BB.get()))
+      Dead.push_back(BB.get());
+  for (BasicBlock *BB : Reachable)
+    prunePhis(BB, Reachable);
+  for (BasicBlock *BB : Dead)
+    F.eraseBlock(BB);
+  return static_cast<unsigned>(Dead.size());
+}
+
+bool hasSideEffects(const Instruction &I) {
+  switch (I.getOpcode()) {
+  case Opcode::Store:
+  case Opcode::Call:
+  case Opcode::Br:
+  case Opcode::Ret:
+  case Opcode::Unreachable:
+    return true;
+  case Opcode::SDiv:
+  case Opcode::UDiv:
+  case Opcode::SRem:
+  case Opcode::URem:
+    return true; // may trap
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+unsigned runSimplifyCFG(Module &M) {
+  unsigned Removed = 0;
+  for (const auto &F : M.functions())
+    Removed += removeUnreachable(*F);
+  return Removed;
+}
+
+unsigned runDCE(Module &M) {
+  unsigned Removed = 0;
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      // Count uses.
+      std::map<const Value *, unsigned> Uses;
+      for (const auto &BB : F->blocks())
+        for (const auto &I : BB->instructions())
+          for (const Value *Op : I->operands())
+            ++Uses[Op];
+      for (const auto &BB : F->blocks()) {
+        for (std::size_t Idx = BB->size(); Idx-- > 0;) {
+          const Instruction *I = BB->instructions()[Idx].get();
+          if (hasSideEffects(*I) || I->getType()->isVoid())
+            continue;
+          if (Uses[I] == 0) {
+            BB->erase(Idx);
+            ++Removed;
+            Changed = true;
+          }
+        }
+      }
+    }
+  }
+  return Removed;
+}
+
+PipelineStats runDefaultPipeline(Module &M,
+                                 const LoopUnrollOptions &UnrollOpts) {
+  PipelineStats Stats;
+  Stats.Unroll = runLoopUnroll(M, UnrollOpts);
+  Stats.BlocksSimplified = runSimplifyCFG(M);
+  Stats.InstructionsDCEd = runDCE(M);
+  return Stats;
+}
+
+} // namespace mcc::midend

@@ -1,0 +1,29 @@
+//===--- Passes.h - Mid-end cleanup passes and pipeline ---------*- C++ -*-===//
+#ifndef MCC_MIDEND_PASSES_H
+#define MCC_MIDEND_PASSES_H
+
+#include "midend/LoopUnroll.h"
+
+namespace mcc::midend {
+
+/// Removes blocks unreachable from the entry and merges trivial
+/// single-predecessor chains. Returns the number of blocks removed/merged.
+unsigned runSimplifyCFG(ir::Module &M);
+
+/// Removes side-effect-free instructions without uses. Returns the number
+/// of instructions removed.
+unsigned runDCE(ir::Module &M);
+
+struct PipelineStats {
+  LoopUnrollStats Unroll;
+  unsigned BlocksSimplified = 0;
+  unsigned InstructionsDCEd = 0;
+};
+
+/// The default -O1 pipeline: LoopUnroll, then CFG simplification and DCE.
+PipelineStats runDefaultPipeline(ir::Module &M,
+                                 const LoopUnrollOptions &UnrollOpts = {});
+
+} // namespace mcc::midend
+
+#endif // MCC_MIDEND_PASSES_H

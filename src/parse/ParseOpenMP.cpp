@@ -1,0 +1,293 @@
+//===--- ParseOpenMP.cpp - Parsing of OpenMP directives and clauses --------===//
+//
+// Parses the annot_pragma_openmp ... annot_pragma_openmp_end token
+// sequences the preprocessor injects. Stacked pragmas (the free
+// composability that OpenMP 5.1 loop transformations introduced, Section
+// 1.1 of the paper) fall out of the grammar naturally: the statement
+// associated with a directive may itself start with a pragma, and
+// directives apply in reverse order of their appearance.
+//
+//===----------------------------------------------------------------------===//
+#include "parse/Parser.h"
+
+namespace mcc {
+
+Stmt *Parser::parseOpenMPDeclarativeOrExecutableDirective() {
+  SourceLocation PragmaLoc = Tok.getLocation();
+  consumeToken(); // annot_pragma_openmp
+
+  // Directive name: possibly multiple tokens ("parallel for", "for simd").
+  // Note that "for" arrives as the keyword token, not an identifier.
+  auto DirectiveWord = [this]() -> std::string_view {
+    if (Tok.is(tok::identifier))
+      return Tok.getText();
+    if (Tok.is(tok::kw_for))
+      return "for";
+    return {};
+  };
+
+  std::string_view First = DirectiveWord();
+  if (First.empty()) {
+    diags().report(Tok.getLocation(), diag::err_omp_unknown_directive)
+        << std::string(Tok.getText());
+    skipToEndOfPragma();
+    return nullptr;
+  }
+
+  OpenMPDirectiveKind DKind = OpenMPDirectiveKind::Unknown;
+  if (First == "parallel") {
+    consumeToken();
+    if (DirectiveWord() == "for") {
+      consumeToken();
+      DKind = OpenMPDirectiveKind::ParallelFor;
+    } else {
+      DKind = OpenMPDirectiveKind::Parallel;
+    }
+  } else if (First == "for") {
+    consumeToken();
+    if (DirectiveWord() == "simd") {
+      consumeToken();
+      DKind = OpenMPDirectiveKind::ForSimd;
+    } else {
+      DKind = OpenMPDirectiveKind::For;
+    }
+  } else {
+    DKind = parseOpenMPDirectiveKind(First);
+    if (DKind == OpenMPDirectiveKind::Unknown) {
+      diags().report(Tok.getLocation(), diag::err_omp_unknown_directive)
+          << std::string(First);
+      skipToEndOfPragma();
+      return nullptr;
+    }
+    consumeToken();
+  }
+
+  // Clauses.
+  std::vector<OMPClause *> Clauses;
+  bool ClauseError = false;
+  while (!Tok.is(tok::annot_pragma_openmp_end) && !Tok.is(tok::eof)) {
+    tryConsume(tok::comma); // clauses may be comma-separated
+    if (Tok.is(tok::annot_pragma_openmp_end))
+      break;
+    OMPClause *C = parseOpenMPClause(DKind);
+    if (!C)
+      ClauseError = true;
+    Clauses.push_back(C);
+  }
+  if (Tok.is(tok::annot_pragma_openmp_end))
+    consumeToken();
+
+  // Associated statement (standalone directives have none).
+  Stmt *AStmt = nullptr;
+  bool IsStandalone = DKind == OpenMPDirectiveKind::Barrier;
+  if (!IsStandalone) {
+    Actions.pushScope();
+    AStmt = parseStatement();
+    Actions.popScope();
+    if (!AStmt)
+      return nullptr;
+  }
+
+  if (ClauseError)
+    return nullptr;
+  return Actions.ActOnOpenMPExecutableDirective(
+      DKind, std::move(Clauses), AStmt,
+      SourceRange(PragmaLoc, AStmt ? AStmt->getEndLoc() : PragmaLoc));
+}
+
+bool Parser::parseOpenMPVarList(std::vector<Expr *> &Vars) {
+  if (!expectAndConsume(tok::l_paren, "'('"))
+    return false;
+  while (true) {
+    if (!Tok.is(tok::identifier)) {
+      diags().report(Tok.getLocation(), diag::err_expected_identifier);
+      skipToEndOfPragma();
+      return false;
+    }
+    Vars.push_back(
+        Actions.ActOnIdExpression(Tok.getLocation(), Tok.getText()));
+    consumeToken();
+    if (!tryConsume(tok::comma))
+      break;
+  }
+  return expectAndConsume(tok::r_paren, "')'");
+}
+
+OMPClause *Parser::parseOpenMPClause(OpenMPDirectiveKind DKind) {
+  if (!Tok.is(tok::identifier)) {
+    diags().report(Tok.getLocation(), diag::err_omp_unknown_clause)
+        << std::string(Tok.getText())
+        << std::string(getOpenMPDirectiveName(DKind));
+    skipToEndOfPragma();
+    return nullptr;
+  }
+
+  SourceLocation ClauseLoc = Tok.getLocation();
+  std::string Name(Tok.getText());
+  OpenMPClauseKind CKind = parseOpenMPClauseKind(Name);
+  if (CKind == OpenMPClauseKind::Unknown ||
+      !isAllowedClauseForDirective(DKind, CKind)) {
+    diags().report(ClauseLoc, diag::err_omp_unknown_clause)
+        << Name << std::string(getOpenMPDirectiveName(DKind));
+    skipToEndOfPragma();
+    return nullptr;
+  }
+  consumeToken();
+
+  auto ParseParenExpr = [this](Expr *&Out) -> bool {
+    if (!expectAndConsume(tok::l_paren, "'('"))
+      return false;
+    Out = parseAssignmentExpression();
+    return expectAndConsume(tok::r_paren, "')'") && Out;
+  };
+
+  SourceLocation EndLoc = Tok.getLocation();
+  switch (CKind) {
+  case OpenMPClauseKind::NumThreads: {
+    Expr *E = nullptr;
+    if (!ParseParenExpr(E))
+      return nullptr;
+    return Actions.ActOnOpenMPNumThreadsClause(SourceRange(ClauseLoc, EndLoc),
+                                               E);
+  }
+  case OpenMPClauseKind::Collapse: {
+    Expr *E = nullptr;
+    if (!ParseParenExpr(E))
+      return nullptr;
+    return Actions.ActOnOpenMPCollapseClause(SourceRange(ClauseLoc, EndLoc),
+                                             E);
+  }
+  case OpenMPClauseKind::Partial: {
+    // The argument is optional: "partial" or "partial(k)".
+    Expr *E = nullptr;
+    if (Tok.is(tok::l_paren)) {
+      if (!ParseParenExpr(E))
+        return nullptr;
+    }
+    return Actions.ActOnOpenMPPartialClause(SourceRange(ClauseLoc, EndLoc),
+                                            E);
+  }
+  case OpenMPClauseKind::Full:
+    return Actions.ActOnOpenMPFullClause(SourceRange(ClauseLoc, EndLoc));
+  case OpenMPClauseKind::NoWait:
+    return Actions.ActOnOpenMPNoWaitClause(SourceRange(ClauseLoc, EndLoc));
+  case OpenMPClauseKind::Sizes: {
+    if (!expectAndConsume(tok::l_paren, "'('"))
+      return nullptr;
+    std::vector<Expr *> Sizes;
+    while (true) {
+      Expr *E = parseAssignmentExpression();
+      if (!E) {
+        skipToEndOfPragma();
+        return nullptr;
+      }
+      Sizes.push_back(E);
+      if (!tryConsume(tok::comma))
+        break;
+    }
+    if (!expectAndConsume(tok::r_paren, "')'"))
+      return nullptr;
+    return Actions.ActOnOpenMPSizesClause(SourceRange(ClauseLoc, EndLoc),
+                                          std::move(Sizes));
+  }
+  case OpenMPClauseKind::Schedule: {
+    if (!expectAndConsume(tok::l_paren, "'('"))
+      return nullptr;
+    // "static" is a keyword token; the other schedule kinds are plain
+    // identifiers.
+    if (!Tok.is(tok::identifier) && !Tok.is(tok::kw_static)) {
+      diags().report(Tok.getLocation(), diag::err_omp_invalid_schedule_kind)
+          << std::string(Tok.getText());
+      skipToEndOfPragma();
+      return nullptr;
+    }
+    OpenMPScheduleKind SKind = parseOpenMPScheduleKind(Tok.getText());
+    if (SKind == OpenMPScheduleKind::Unknown) {
+      diags().report(Tok.getLocation(), diag::err_omp_invalid_schedule_kind)
+          << std::string(Tok.getText());
+      skipToEndOfPragma();
+      return nullptr;
+    }
+    consumeToken();
+    Expr *Chunk = nullptr;
+    if (tryConsume(tok::comma)) {
+      Chunk = parseAssignmentExpression();
+      if (!Chunk) {
+        skipToEndOfPragma();
+        return nullptr;
+      }
+    }
+    if (!expectAndConsume(tok::r_paren, "')'"))
+      return nullptr;
+    return Actions.ActOnOpenMPScheduleClause(SourceRange(ClauseLoc, EndLoc),
+                                             SKind, Chunk);
+  }
+  case OpenMPClauseKind::Private:
+  case OpenMPClauseKind::FirstPrivate:
+  case OpenMPClauseKind::Shared: {
+    std::vector<Expr *> Vars;
+    if (!parseOpenMPVarList(Vars))
+      return nullptr;
+    return Actions.ActOnOpenMPVarListClause(CKind,
+                                            SourceRange(ClauseLoc, EndLoc),
+                                            std::move(Vars),
+                                            OpenMPReductionOp::Add);
+  }
+  case OpenMPClauseKind::Reduction: {
+    if (!expectAndConsume(tok::l_paren, "'('"))
+      return nullptr;
+    OpenMPReductionOp Op;
+    if (Tok.is(tok::plus))
+      Op = OpenMPReductionOp::Add;
+    else if (Tok.is(tok::star))
+      Op = OpenMPReductionOp::Mul;
+    else if (Tok.is(tok::amp))
+      Op = OpenMPReductionOp::BitAnd;
+    else if (Tok.is(tok::pipe))
+      Op = OpenMPReductionOp::BitOr;
+    else if (Tok.is(tok::caret))
+      Op = OpenMPReductionOp::BitXor;
+    else if (Tok.is(tok::ampamp))
+      Op = OpenMPReductionOp::LogAnd;
+    else if (Tok.is(tok::pipepipe))
+      Op = OpenMPReductionOp::LogOr;
+    else if (Tok.isIdentifierNamed("min"))
+      Op = OpenMPReductionOp::Min;
+    else if (Tok.isIdentifierNamed("max"))
+      Op = OpenMPReductionOp::Max;
+    else {
+      diags().report(Tok.getLocation(), diag::err_unexpected_token)
+          << std::string(Tok.getText());
+      skipToEndOfPragma();
+      return nullptr;
+    }
+    consumeToken();
+    if (!expectAndConsume(tok::colon, "':'"))
+      return nullptr;
+    std::vector<Expr *> Vars;
+    while (true) {
+      if (!Tok.is(tok::identifier)) {
+        diags().report(Tok.getLocation(), diag::err_expected_identifier);
+        skipToEndOfPragma();
+        return nullptr;
+      }
+      Vars.push_back(
+          Actions.ActOnIdExpression(Tok.getLocation(), Tok.getText()));
+      consumeToken();
+      if (!tryConsume(tok::comma))
+        break;
+    }
+    if (!expectAndConsume(tok::r_paren, "')'"))
+      return nullptr;
+    return Actions.ActOnOpenMPVarListClause(
+        CKind, SourceRange(ClauseLoc, EndLoc), std::move(Vars), Op);
+  }
+  default:
+    diags().report(ClauseLoc, diag::err_omp_unknown_clause)
+        << Name << std::string(getOpenMPDirectiveName(DKind));
+    skipToEndOfPragma();
+    return nullptr;
+  }
+}
+
+} // namespace mcc

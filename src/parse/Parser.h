@@ -1,0 +1,91 @@
+//===--- Parser.h - MiniC recursive-descent parser --------------*- C++ -*-===//
+//
+// The Parser layer of the paper's Fig. 1: pulls preprocessed tokens from
+// the Preprocessor and pushes syntactic elements to Sema, which builds the
+// AST. OpenMP directives arrive as annot_pragma_openmp token sequences
+// (exactly like Clang) and are parsed by the ParseOpenMP.cpp part.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_PARSE_PARSER_H
+#define MCC_PARSE_PARSER_H
+
+#include "lex/Preprocessor.h"
+#include "sema/Sema.h"
+
+#include <deque>
+
+namespace mcc {
+
+class Parser {
+public:
+  Parser(Preprocessor &PP, Sema &Actions);
+
+  /// Parses the whole translation unit. Returns the TU even if errors were
+  /// reported (check the DiagnosticsEngine for error counts).
+  TranslationUnitDecl *parseTranslationUnit();
+
+private:
+  // --- Token stream management ---
+  void consumeToken();
+  const Token &peekAhead(unsigned N); // N=1: next token after Tok
+  bool tryConsume(tok::TokenKind K) {
+    if (Tok.is(K)) {
+      consumeToken();
+      return true;
+    }
+    return false;
+  }
+  /// Consumes \p K or diagnoses "expected %0".
+  bool expectAndConsume(tok::TokenKind K, const char *What);
+  void skipUntil(tok::TokenKind K, bool ConsumeIt);
+  void skipToEndOfPragma();
+
+  DiagnosticsEngine &diags() { return Actions.getDiagnostics(); }
+
+  // --- Types ---
+  bool isTypeSpecifierStart() const;
+  /// Parses decl-specifiers (const + builtin type keywords). Returns a
+  /// null QualType on error.
+  QualType parseDeclSpecifiers();
+  /// Parses "*"* name "[N]"*; fills Name/NameLoc and derives the full type.
+  bool parseDeclarator(QualType &Ty, std::string &Name,
+                       SourceLocation &NameLoc);
+
+  // --- Declarations ---
+  Decl *parseExternalDeclaration();
+  FunctionDecl *parseFunctionDefinition(QualType RetTy, std::string Name,
+                                        SourceLocation NameLoc);
+  Stmt *parseDeclarationStatement();
+
+  // --- Statements ---
+  Stmt *parseStatement();
+  Stmt *parseCompoundStatement();
+  Stmt *parseIfStatement();
+  Stmt *parseWhileStatement();
+  Stmt *parseDoStatement();
+  Stmt *parseForStatement();
+  Stmt *parseReturnStatement();
+
+  // --- Expressions ---
+  Expr *parseExpression(); // assignment-expression (no comma operator)
+  Expr *parseAssignmentExpression();
+  Expr *parseConditionalExpression();
+  Expr *parseBinaryExpression(unsigned MinPrec);
+  Expr *parseUnaryExpression();
+  Expr *parsePostfixExpressionSuffix(Expr *LHS);
+  Expr *parsePrimaryExpression();
+
+  // --- OpenMP (ParseOpenMP.cpp) ---
+  Stmt *parseOpenMPDeclarativeOrExecutableDirective();
+  OMPClause *parseOpenMPClause(OpenMPDirectiveKind DKind);
+  bool parseOpenMPVarList(std::vector<Expr *> &Vars);
+
+  Preprocessor &PP;
+  Sema &Actions;
+  Token Tok;
+  std::deque<Token> LookAhead;
+};
+
+} // namespace mcc
+
+#endif // MCC_PARSE_PARSER_H

@@ -1,0 +1,218 @@
+#include "runtime/KMPRuntime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+namespace mcc::rt {
+
+namespace {
+struct ThreadContext {
+  ThreadTeam *Team = nullptr;
+  int Tid = 0;
+};
+thread_local ThreadContext CurrentContext;
+} // namespace
+
+// ===--------------------------- ThreadTeam ---------------------------=== //
+
+ThreadTeam::ThreadTeam(int NumThreads) : NumThreads(NumThreads) {
+  Dispatch.PerThreadIndex.resize(static_cast<std::size_t>(NumThreads), 0);
+}
+
+void ThreadTeam::barrier() {
+  std::unique_lock<std::mutex> Lock(BarrierMutex);
+  std::uint64_t Gen = BarrierGeneration;
+  if (++BarrierArrived == NumThreads) {
+    BarrierArrived = 0;
+    ++BarrierGeneration;
+    BarrierCV.notify_all();
+    return;
+  }
+  BarrierCV.wait(Lock, [&] { return BarrierGeneration != Gen; });
+}
+
+void ThreadTeam::dispatchInit(int Tid, std::int32_t Sched, std::int64_t Lb,
+                              std::int64_t Ub, std::int64_t Chunk) {
+  (void)Tid;
+  std::lock_guard<std::mutex> Lock(DispatchMutex);
+  // Every team member calls dispatch_init; the first arrival of an epoch
+  // initializes the shared state.
+  if (DispatchInitCount == 0) {
+    Dispatch.Sched = Sched;
+    Dispatch.Lb = Lb;
+    Dispatch.Ub = Ub;
+    Dispatch.Chunk = std::max<std::int64_t>(Chunk, 1);
+    Dispatch.Next.store(Lb);
+    Dispatch.Remaining.store(Ub >= Lb ? Ub - Lb + 1 : 0);
+    std::fill(Dispatch.PerThreadIndex.begin(),
+              Dispatch.PerThreadIndex.end(), 0);
+    ++Dispatch.Epoch;
+  }
+  DispatchInitCount = (DispatchInitCount + 1) % NumThreads;
+}
+
+bool ThreadTeam::dispatchNext(int Tid, std::int32_t *PLast,
+                              std::int64_t *PLower, std::int64_t *PUpper) {
+  switch (Dispatch.Sched) {
+  case SchedStaticChunked: {
+    // Deterministic round-robin: thread t takes chunks t, t+T, t+2T, ...
+    std::int64_t ChunkIndex =
+        Dispatch.PerThreadIndex[static_cast<std::size_t>(Tid)];
+    std::int64_t Start =
+        Dispatch.Lb + (ChunkIndex * NumThreads + Tid) * Dispatch.Chunk;
+    if (Start > Dispatch.Ub)
+      return false;
+    Dispatch.PerThreadIndex[static_cast<std::size_t>(Tid)] = ChunkIndex + 1;
+    std::int64_t End = std::min(Start + Dispatch.Chunk - 1, Dispatch.Ub);
+    *PLower = Start;
+    *PUpper = End;
+    *PLast = End == Dispatch.Ub;
+    return true;
+  }
+  case SchedGuided: {
+    std::lock_guard<std::mutex> Lock(DispatchMutex);
+    std::int64_t Next = Dispatch.Next.load(std::memory_order_relaxed);
+    if (Next > Dispatch.Ub)
+      return false;
+    std::int64_t Remaining = Dispatch.Ub - Next + 1;
+    // Guided: proportional chunks, never below the minimum chunk size.
+    std::int64_t Size =
+        std::max<std::int64_t>(Remaining / (2 * NumThreads), Dispatch.Chunk);
+    Size = std::min(Size, Remaining);
+    Dispatch.Next.store(Next + Size, std::memory_order_relaxed);
+    *PLower = Next;
+    *PUpper = Next + Size - 1;
+    *PLast = *PUpper == Dispatch.Ub;
+    return true;
+  }
+  case SchedDynamic:
+  default: {
+    std::int64_t Start =
+        Dispatch.Next.fetch_add(Dispatch.Chunk, std::memory_order_relaxed);
+    if (Start > Dispatch.Ub)
+      return false;
+    std::int64_t End = std::min(Start + Dispatch.Chunk - 1, Dispatch.Ub);
+    *PLower = Start;
+    *PUpper = End;
+    *PLast = End == Dispatch.Ub;
+    return true;
+  }
+  }
+}
+
+// ===-------------------------- OpenMPRuntime -------------------------=== //
+
+OpenMPRuntime &OpenMPRuntime::get() {
+  static OpenMPRuntime Instance;
+  return Instance;
+}
+
+int OpenMPRuntime::getThreadNum() const { return CurrentContext.Tid; }
+
+int OpenMPRuntime::getNumThreads() const {
+  return CurrentContext.Team ? CurrentContext.Team->getNumThreads() : 1;
+}
+
+ThreadTeam *OpenMPRuntime::getCurrentTeam() const {
+  return CurrentContext.Team;
+}
+
+void OpenMPRuntime::forkCall(const std::function<void(int)> &Outlined,
+                             int NumThreads) {
+  int N = NumThreads > 0 ? NumThreads : DefaultNumThreads;
+  ++NumForkJoins;
+
+  ThreadTeam Team(N);
+  ThreadContext SavedContext = CurrentContext;
+
+  std::vector<std::thread> Workers;
+  Workers.reserve(static_cast<std::size_t>(N - 1));
+  for (int Tid = 1; Tid < N; ++Tid) {
+    Workers.emplace_back([&Team, &Outlined, Tid] {
+      CurrentContext.Team = &Team;
+      CurrentContext.Tid = Tid;
+      Outlined(Tid);
+      CurrentContext = ThreadContext{};
+    });
+  }
+  // The encountering thread becomes thread 0 of the team.
+  CurrentContext.Team = &Team;
+  CurrentContext.Tid = 0;
+  Outlined(0);
+  CurrentContext = SavedContext;
+
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void OpenMPRuntime::forStaticInit(std::int32_t Sched, std::int32_t *PLast,
+                                  std::int64_t *PLower, std::int64_t *PUpper,
+                                  std::int64_t *PStride, std::int64_t Incr,
+                                  std::int64_t Chunk) const {
+  (void)Sched;
+  (void)Chunk;
+  assert(Incr == 1 && "logical iteration space uses unit increments");
+  (void)Incr;
+  int NumThreads = getNumThreads();
+  int Tid = getThreadNum();
+  std::int64_t Lb = *PLower;
+  std::int64_t Ub = *PUpper;
+  std::int64_t Total = Ub >= Lb ? Ub - Lb + 1 : 0;
+
+  // schedule(static) without a chunk: one balanced contiguous chunk per
+  // thread, the first (Total % NumThreads) threads get one extra item.
+  std::int64_t Base = Total / NumThreads;
+  std::int64_t Extra = Total % NumThreads;
+  std::int64_t MyCount = Base + (Tid < Extra ? 1 : 0);
+  std::int64_t MyStart =
+      Lb + Tid * Base + std::min<std::int64_t>(Tid, Extra);
+  if (MyCount == 0) {
+    // Empty range: lb > ub signals no iterations.
+    *PLower = 1;
+    *PUpper = 0;
+    *PLast = 0;
+  } else {
+    *PLower = MyStart;
+    *PUpper = MyStart + MyCount - 1;
+    *PLast = (*PUpper == Ub) ? 1 : 0;
+  }
+  *PStride = Total;
+}
+
+void OpenMPRuntime::dispatchInit(std::int32_t Sched, std::int64_t Lb,
+                                 std::int64_t Ub, std::int64_t Chunk) const {
+  ThreadTeam *Team = getCurrentTeam();
+  if (Team) {
+    Team->dispatchInit(getThreadNum(), Sched, Lb, Ub, Chunk);
+    return;
+  }
+  // Outside a parallel region: serial team of one.
+  static thread_local ThreadTeam SerialTeam(1);
+  CurrentContext.Team = &SerialTeam;
+  SerialTeam.dispatchInit(0, Sched, Lb, Ub, Chunk);
+}
+
+bool OpenMPRuntime::dispatchNext(std::int32_t *PLast, std::int64_t *PLower,
+                                 std::int64_t *PUpper) const {
+  ThreadTeam *Team = getCurrentTeam();
+  assert(Team && "dispatch_next outside a worksharing loop");
+  return Team->dispatchNext(getThreadNum(), PLast, PLower, PUpper);
+}
+
+void OpenMPRuntime::barrier() const {
+  if (ThreadTeam *Team = getCurrentTeam())
+    Team->barrier();
+}
+
+void OpenMPRuntime::critical() const {
+  if (ThreadTeam *Team = getCurrentTeam())
+    Team->CriticalMutex.lock();
+}
+
+void OpenMPRuntime::endCritical() const {
+  if (ThreadTeam *Team = getCurrentTeam())
+    Team->CriticalMutex.unlock();
+}
+
+} // namespace mcc::rt

@@ -1,0 +1,123 @@
+//===--- KMPRuntime.h - Miniature OpenMP runtime ----------------*- C++ -*-===//
+//
+// The runtime the "early outlining" lowering targets (paper Section 1):
+// generated IR contains no OpenMP constructs, only calls to these entry
+// points. A miniature libomp built on std::thread:
+//
+//   * fork/join thread teams (__kmpc_fork_call),
+//   * static worksharing-loop chunking (__kmpc_for_static_init),
+//   * dynamic / guided / static-chunked dispatching (__kmpc_dispatch_*),
+//   * barriers and critical sections.
+//
+// All loop bookkeeping operates on the *logical iteration space* as i64
+// bounds, matching the paper's normalized-iteration-counter design.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_RUNTIME_KMPRUNTIME_H
+#define MCC_RUNTIME_KMPRUNTIME_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace mcc::rt {
+
+/// Schedule identifiers shared with OpenMPIRBuilder (libomp-flavored).
+enum ScheduleType : std::int32_t {
+  SchedStaticChunked = 33,
+  SchedStatic = 34,
+  SchedDynamic = 35,
+  SchedGuided = 36,
+};
+
+/// One fork/join region's team of threads.
+class ThreadTeam {
+public:
+  explicit ThreadTeam(int NumThreads);
+
+  [[nodiscard]] int getNumThreads() const { return NumThreads; }
+
+  /// Blocks until every team member arrived (reusable).
+  void barrier();
+
+  // --- Dispatcher state (one worksharing loop at a time per team) ---
+  void dispatchInit(int Tid, std::int32_t Sched, std::int64_t Lb,
+                    std::int64_t Ub, std::int64_t Chunk);
+  /// Fetches the next chunk for \p Tid; returns false when exhausted.
+  bool dispatchNext(int Tid, std::int32_t *PLast, std::int64_t *PLower,
+                    std::int64_t *PUpper);
+
+  std::mutex CriticalMutex;
+
+private:
+  int NumThreads;
+
+  // Barrier (generation-counting).
+  std::mutex BarrierMutex;
+  std::condition_variable BarrierCV;
+  int BarrierArrived = 0;
+  std::uint64_t BarrierGeneration = 0;
+
+  // Dispatch.
+  struct DispatchState {
+    std::int32_t Sched = SchedDynamic;
+    std::int64_t Lb = 0, Ub = -1, Chunk = 1;
+    std::atomic<std::int64_t> Next{0};
+    std::atomic<std::int64_t> Remaining{0};
+    // Per-thread chunk index for static-chunked round-robin.
+    std::vector<std::int64_t> PerThreadIndex;
+    std::uint64_t Epoch = 0;
+  };
+  std::mutex DispatchMutex;
+  DispatchState Dispatch;
+  int DispatchInitCount = 0; // counts arrivals so init runs once per team
+};
+
+/// Process-wide runtime: owns default settings and the per-thread context.
+class OpenMPRuntime {
+public:
+  static OpenMPRuntime &get();
+
+  void setDefaultNumThreads(int N) { DefaultNumThreads = N; }
+  [[nodiscard]] int getDefaultNumThreads() const { return DefaultNumThreads; }
+
+  /// Executes \p Outlined on a fresh team. \p NumThreads <= 0 selects the
+  /// default. Thread 0 runs on the calling thread; the call returns after
+  /// the join (fork/join semantics of "#pragma omp parallel").
+  void forkCall(const std::function<void(int Tid)> &Outlined,
+                int NumThreads);
+
+  // --- Entry points used while inside (or outside) a team ---
+  [[nodiscard]] int getThreadNum() const;
+  [[nodiscard]] int getNumThreads() const;
+  [[nodiscard]] ThreadTeam *getCurrentTeam() const;
+
+  void forStaticInit(std::int32_t Sched, std::int32_t *PLast,
+                     std::int64_t *PLower, std::int64_t *PUpper,
+                     std::int64_t *PStride, std::int64_t Incr,
+                     std::int64_t Chunk) const;
+  void forStaticFini() const {}
+
+  void dispatchInit(std::int32_t Sched, std::int64_t Lb, std::int64_t Ub,
+                    std::int64_t Chunk) const;
+  bool dispatchNext(std::int32_t *PLast, std::int64_t *PLower,
+                    std::int64_t *PUpper) const;
+
+  void barrier() const;
+  void critical() const;
+  void endCritical() const;
+
+  /// Number of fork/join regions executed (observability for tests).
+  std::atomic<std::uint64_t> NumForkJoins{0};
+
+private:
+  OpenMPRuntime() = default;
+  int DefaultNumThreads = 4;
+};
+
+} // namespace mcc::rt
+
+#endif // MCC_RUNTIME_KMPRUNTIME_H

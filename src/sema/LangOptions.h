@@ -1,0 +1,27 @@
+//===--- LangOptions.h - Language / pipeline options ------------*- C++ -*-===//
+#ifndef MCC_SEMA_LANGOPTIONS_H
+#define MCC_SEMA_LANGOPTIONS_H
+
+namespace mcc {
+
+struct LangOptions {
+  /// -fopenmp: recognize OpenMP pragmas.
+  bool OpenMP = true;
+
+  /// -fopenmp-enable-irbuilder: use the OMPCanonicalLoop + OpenMPIRBuilder
+  /// pipeline (the paper's Section 3) instead of the shadow-AST pipeline
+  /// (Section 2).
+  bool OpenMPEnableIRBuilder = false;
+
+  /// Default number of threads for parallel regions without num_threads.
+  unsigned OpenMPDefaultNumThreads = 4;
+
+  /// Unroll factor assumed when a heuristic "#pragma omp unroll" (no
+  /// full/partial clause) is consumed by an enclosing directive. The paper
+  /// documents that the current implementation uses two.
+  unsigned HeuristicUnrollFactor = 2;
+};
+
+} // namespace mcc
+
+#endif // MCC_SEMA_LANGOPTIONS_H

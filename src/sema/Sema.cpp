@@ -1,0 +1,707 @@
+//===--- Sema.cpp - Core semantic analysis ---------------------------------===//
+#include "sema/Sema.h"
+
+#include <charconv>
+
+namespace mcc {
+
+Sema::Sema(ASTContext &Ctx, DiagnosticsEngine &Diags, const LangOptions &Opts)
+    : Ctx(Ctx), Diags(Diags), Opts(Opts) {
+  pushScope(); // translation-unit scope
+}
+
+Sema::~Sema() = default;
+
+void Sema::pushScope() {
+  ScopeStorage.push_back(std::make_unique<Scope>(CurScope));
+  CurScope = ScopeStorage.back().get();
+}
+
+void Sema::popScope() {
+  assert(CurScope && "scope underflow");
+  CurScope = CurScope->getParent();
+}
+
+// ===------------------------------------------------------------------=== //
+// Declarations
+// ===------------------------------------------------------------------=== //
+
+VarDecl *Sema::ActOnVarDecl(SourceLocation Loc, std::string_view Name,
+                            QualType Ty, Expr *Init, bool FileScope) {
+  if (NamedDecl *Prev = CurScope->lookupLocal(Name)) {
+    Diags.report(Loc, diag::err_redefinition) << std::string(Name);
+    Diags.report(Prev->getLocation(), diag::note_previous_definition);
+    return nullptr;
+  }
+  if (Init) {
+    // Initializing an array from a scalar is rejected; everything else is
+    // converted to the declared type.
+    if (!Ty->isArrayType())
+      Init = convertTo(Init, Ty.withoutConst(), Loc);
+  }
+  auto *VD =
+      Ctx.create<VarDecl>(Loc, Ctx.internString(Name), Ty, Init);
+  VD->setFileScope(FileScope);
+  CurScope->addDecl(VD);
+  return VD;
+}
+
+ParmVarDecl *Sema::ActOnParamDecl(SourceLocation Loc, std::string_view Name,
+                                  QualType Ty) {
+  // Arrays in parameter position decay to pointers, as in C.
+  if (const auto *AT = type_dyn_cast<ArrayType>(Ty.getTypePtr()))
+    Ty = Ctx.getPointerType(AT->getElementType());
+  return Ctx.create<ParmVarDecl>(Loc, Ctx.internString(Name), Ty);
+}
+
+FunctionDecl *Sema::ActOnFunctionDecl(SourceLocation Loc,
+                                      std::string_view Name, QualType RetTy,
+                                      std::vector<ParmVarDecl *> Params) {
+  std::vector<QualType> ParamTys;
+  ParamTys.reserve(Params.size());
+  for (const ParmVarDecl *P : Params)
+    ParamTys.push_back(P->getType());
+  QualType FnTy = Ctx.getFunctionType(RetTy, ParamTys);
+
+  if (NamedDecl *Prev = CurScope->lookupLocal(Name)) {
+    auto *PrevFn = decl_dyn_cast<FunctionDecl>(Prev);
+    if (PrevFn && PrevFn->getType() == FnTy && !PrevFn->hasBody()) {
+      // Redeclaration of a prototype: reuse the original (parameter decls
+      // of the definition take effect when the body starts).
+      return PrevFn;
+    }
+    Diags.report(Loc, diag::err_redefinition) << std::string(Name);
+    Diags.report(Prev->getLocation(), diag::note_previous_definition);
+    return nullptr;
+  }
+
+  auto StoredParams = Ctx.allocateCopy(Params);
+  auto *FD = Ctx.create<FunctionDecl>(
+      Loc, Ctx.internString(Name), FnTy,
+      std::span<ParmVarDecl *const>(StoredParams.data(), StoredParams.size()));
+  CurScope->addDecl(FD);
+  return FD;
+}
+
+void Sema::ActOnStartFunctionBody(FunctionDecl *FD) {
+  CurFunction = FD;
+  pushScope();
+  for (ParmVarDecl *P : FD->parameters())
+    CurScope->addDecl(P);
+}
+
+void Sema::ActOnFinishFunctionBody(FunctionDecl *FD, Stmt *Body) {
+  FD->setBody(Body);
+  popScope();
+  CurFunction = nullptr;
+}
+
+TranslationUnitDecl *
+Sema::ActOnEndOfTranslationUnit(std::vector<Decl *> Decls) {
+  auto Stored = Ctx.allocateCopy(Decls);
+  return Ctx.create<TranslationUnitDecl>(
+      std::span<Decl *const>(Stored.data(), Stored.size()));
+}
+
+// ===------------------------------------------------------------------=== //
+// Conversions
+// ===------------------------------------------------------------------=== //
+
+Expr *Sema::defaultFunctionArrayLvalueConversion(Expr *E) {
+  if (!E)
+    return nullptr;
+  QualType Ty = E->getType();
+  if (const auto *AT = type_dyn_cast<ArrayType>(Ty.getTypePtr())) {
+    QualType PtrTy = Ctx.getPointerType(AT->getElementType());
+    return Ctx.create<ImplicitCastExpr>(PtrTy, CastKind::ArrayToPointerDecay,
+                                        E);
+  }
+  if (Ty->isFunctionType()) {
+    QualType PtrTy = Ctx.getPointerType(Ty);
+    return Ctx.create<ImplicitCastExpr>(
+        PtrTy, CastKind::FunctionToPointerDecay, E);
+  }
+  if (E->isLValue())
+    return Ctx.create<ImplicitCastExpr>(Ty.withoutConst(),
+                                        CastKind::LValueToRValue, E);
+  return E;
+}
+
+Expr *Sema::convertToBoolean(Expr *E) {
+  if (!E)
+    return nullptr;
+  E = defaultFunctionArrayLvalueConversion(E);
+  QualType Ty = E->getType();
+  if (Ty->isBooleanType())
+    return E;
+  if (Ty->isIntegerType())
+    return Ctx.create<ImplicitCastExpr>(Ctx.getBoolType(),
+                                        CastKind::IntegralToBoolean, E);
+  if (Ty->isFloatingType())
+    return Ctx.create<ImplicitCastExpr>(Ctx.getBoolType(),
+                                        CastKind::FloatingToBoolean, E);
+  if (Ty->isPointerType())
+    return Ctx.create<ImplicitCastExpr>(Ctx.getBoolType(),
+                                        CastKind::PointerToBoolean, E);
+  Diags.report(E->getBeginLoc(), diag::err_incompatible_types)
+      << Ty.getAsString() << "bool";
+  return E;
+}
+
+Expr *Sema::convertTo(Expr *E, QualType Ty, SourceLocation Loc) {
+  if (!E)
+    return nullptr;
+  E = defaultFunctionArrayLvalueConversion(E);
+  QualType From = E->getType();
+  if (From.hasSameTypeAs(Ty))
+    return E;
+
+  const Type *FromTy = From.getTypePtr();
+  const Type *ToTy = Ty.getTypePtr();
+
+  if (ToTy->isBooleanType())
+    return convertToBoolean(E);
+  if (FromTy->isIntegerType() && ToTy->isIntegerType())
+    return Ctx.create<ImplicitCastExpr>(Ty.withoutConst(),
+                                        CastKind::IntegralCast, E);
+  if (FromTy->isIntegerType() && ToTy->isFloatingType())
+    return Ctx.create<ImplicitCastExpr>(Ty.withoutConst(),
+                                        CastKind::IntegralToFloating, E);
+  if (FromTy->isFloatingType() && ToTy->isIntegerType())
+    return Ctx.create<ImplicitCastExpr>(Ty.withoutConst(),
+                                        CastKind::FloatingToIntegral, E);
+  if (FromTy->isFloatingType() && ToTy->isFloatingType())
+    return Ctx.create<ImplicitCastExpr>(Ty.withoutConst(),
+                                        CastKind::FloatingCast, E);
+  if (FromTy->isPointerType() && ToTy->isPointerType()) {
+    // Permit conversions between pointer types that differ only in
+    // qualification of the pointee; anything else is diagnosed.
+    const auto *FP = type_cast<PointerType>(FromTy);
+    const auto *TP = type_cast<PointerType>(ToTy);
+    if (FP->getPointeeType().hasSameTypeAs(TP->getPointeeType()) ||
+        TP->getPointeeType()->isVoidType() ||
+        FP->getPointeeType()->isVoidType())
+      return Ctx.create<ImplicitCastExpr>(Ty.withoutConst(), CastKind::NoOp,
+                                          E);
+  }
+
+  Diags.report(Loc.isValid() ? Loc : E->getBeginLoc(),
+               diag::err_incompatible_types)
+      << From.getAsString() << Ty.getAsString();
+  return E;
+}
+
+QualType Sema::usualArithmeticConversions(Expr *&LHS, Expr *&RHS) {
+  LHS = defaultFunctionArrayLvalueConversion(LHS);
+  RHS = defaultFunctionArrayLvalueConversion(RHS);
+
+  QualType L = LHS->getType();
+  QualType R = RHS->getType();
+  if (L.hasSameTypeAs(R) && !L->isBooleanType() &&
+      L->getSizeInBytes() >= 4)
+    return L;
+
+  auto Rank = [](QualType T) -> int {
+    if (T->isFloatingType())
+      return T->getSizeInBytes() == 8 ? 100 : 99;
+    const auto *BT = type_cast<BuiltinType>(T.getTypePtr());
+    return static_cast<int>(BT->getIntegerRank());
+  };
+
+  QualType Common;
+  if (L->isFloatingType() || R->isFloatingType()) {
+    Common = Rank(L) >= Rank(R) ? L : R;
+    if (!Common->isFloatingType())
+      Common = Rank(L) >= Rank(R) ? L : R; // unreachable safety
+  } else {
+    // Integer promotions: everything below int promotes to int.
+    QualType PL = Rank(L) < 4 ? Ctx.getIntType() : L;
+    QualType PR = Rank(R) < 4 ? Ctx.getIntType() : R;
+    if (PL.hasSameTypeAs(PR))
+      Common = PL;
+    else if (Rank(PL) != Rank(PR))
+      Common = Rank(PL) > Rank(PR) ? PL : PR;
+    else
+      // Same rank, different signedness: unsigned wins.
+      Common = PL->isUnsignedIntegerType() ? PL : PR;
+  }
+  Common = Common.withoutConst();
+  LHS = convertTo(LHS, Common, LHS->getBeginLoc());
+  RHS = convertTo(RHS, Common, RHS->getBeginLoc());
+  return Common;
+}
+
+// ===------------------------------------------------------------------=== //
+// Expressions
+// ===------------------------------------------------------------------=== //
+
+Expr *Sema::ActOnIntegerLiteral(const Token &Tok) {
+  std::string Text(Tok.getText());
+  bool IsUnsigned = false, IsLong = false;
+  while (!Text.empty()) {
+    char C = Text.back();
+    if (C == 'u' || C == 'U') {
+      IsUnsigned = true;
+      Text.pop_back();
+    } else if (C == 'l' || C == 'L') {
+      IsLong = true;
+      Text.pop_back();
+    } else {
+      break;
+    }
+  }
+  std::uint64_t Value = 0;
+  int Base = 10;
+  const char *Begin = Text.data();
+  const char *End = Text.data() + Text.size();
+  if (Text.size() > 2 && Text[0] == '0' && (Text[1] == 'x' || Text[1] == 'X')) {
+    Base = 16;
+    Begin += 2;
+  }
+  auto [Ptr, Ec] = std::from_chars(Begin, End, Value, Base);
+  if (Ec != std::errc() || Ptr != End) {
+    Diags.report(Tok.getLocation(), diag::err_invalid_number)
+        << std::string(Tok.getText());
+    Value = 0;
+  }
+
+  QualType Ty;
+  if (IsLong)
+    Ty = IsUnsigned ? Ctx.getULongType() : Ctx.getLongType();
+  else if (IsUnsigned)
+    Ty = Value <= 0xFFFFFFFFull ? Ctx.getUIntType() : Ctx.getULongType();
+  else if (Value <= 0x7FFFFFFFull)
+    Ty = Ctx.getIntType();
+  else
+    Ty = Ctx.getLongType();
+  return Ctx.create<IntegerLiteral>(Tok.getLocation(), Ty, Value);
+}
+
+Expr *Sema::ActOnFloatingLiteral(const Token &Tok) {
+  std::string Text(Tok.getText());
+  bool IsFloat = false;
+  while (!Text.empty() && (Text.back() == 'f' || Text.back() == 'F')) {
+    IsFloat = true;
+    Text.pop_back();
+  }
+  double Value = 0;
+  try {
+    Value = std::stod(Text);
+  } catch (...) {
+    Diags.report(Tok.getLocation(), diag::err_invalid_number)
+        << std::string(Tok.getText());
+  }
+  return Ctx.create<FloatingLiteral>(
+      Tok.getLocation(), IsFloat ? Ctx.getFloatType() : Ctx.getDoubleType(),
+      Value);
+}
+
+Expr *Sema::ActOnBoolLiteral(SourceLocation Loc, bool Value) {
+  return Ctx.create<BoolLiteral>(Loc, Ctx.getBoolType(), Value);
+}
+
+Expr *Sema::ActOnIdExpression(SourceLocation Loc, std::string_view Name) {
+  NamedDecl *D = CurScope->lookup(Name);
+  if (!D) {
+    Diags.report(Loc, diag::err_undeclared_identifier) << std::string(Name);
+    return nullptr;
+  }
+  auto *VD = decl_cast<ValueDecl>(D);
+  return Ctx.create<DeclRefExpr>(Loc, VD, VD->getType());
+}
+
+Expr *Sema::ActOnParenExpr(SourceRange R, Expr *Sub) {
+  if (!Sub)
+    return nullptr;
+  return Ctx.create<ParenExpr>(R, Sub);
+}
+
+Expr *Sema::ActOnUnaryOp(SourceLocation OpLoc, UnaryOperatorKind Opc,
+                         Expr *Sub) {
+  if (!Sub)
+    return nullptr;
+  SourceRange R(OpLoc, Sub->getEndLoc());
+  switch (Opc) {
+  case UnaryOperatorKind::Plus:
+  case UnaryOperatorKind::Minus: {
+    Sub = defaultFunctionArrayLvalueConversion(Sub);
+    QualType Ty = Sub->getType();
+    if (!Ty->isArithmeticType()) {
+      Diags.report(OpLoc, diag::err_invalid_operands)
+          << Ty.getAsString() << Ty.getAsString();
+      return nullptr;
+    }
+    if (Ty->isIntegerType() && Ty->getSizeInBytes() < 4) {
+      Sub = convertTo(Sub, Ctx.getIntType(), OpLoc);
+      Ty = Ctx.getIntType();
+    }
+    return Ctx.create<UnaryOperator>(R, Opc, Ty, Sub);
+  }
+  case UnaryOperatorKind::LNot:
+    Sub = convertToBoolean(Sub);
+    return Ctx.create<UnaryOperator>(R, Opc, Ctx.getBoolType(), Sub);
+  case UnaryOperatorKind::Not: {
+    Sub = defaultFunctionArrayLvalueConversion(Sub);
+    if (!Sub->getType()->isIntegerType()) {
+      Diags.report(OpLoc, diag::err_invalid_operands)
+          << Sub->getType().getAsString() << Sub->getType().getAsString();
+      return nullptr;
+    }
+    return Ctx.create<UnaryOperator>(R, Opc, Sub->getType(), Sub);
+  }
+  case UnaryOperatorKind::Deref: {
+    Sub = defaultFunctionArrayLvalueConversion(Sub);
+    const auto *PT = type_dyn_cast<PointerType>(Sub->getType().getTypePtr());
+    if (!PT) {
+      Diags.report(OpLoc, diag::err_deref_non_pointer)
+          << Sub->getType().getAsString();
+      return nullptr;
+    }
+    return Ctx.create<UnaryOperator>(R, Opc, PT->getPointeeType(), Sub,
+                                     /*LValue=*/true);
+  }
+  case UnaryOperatorKind::AddrOf: {
+    if (!Sub->isLValue()) {
+      Diags.report(OpLoc, diag::err_not_assignable);
+      return nullptr;
+    }
+    QualType PtrTy = Ctx.getPointerType(Sub->getType());
+    return Ctx.create<UnaryOperator>(R, Opc, PtrTy, Sub);
+  }
+  case UnaryOperatorKind::PreInc:
+  case UnaryOperatorKind::PreDec:
+  case UnaryOperatorKind::PostInc:
+  case UnaryOperatorKind::PostDec: {
+    if (!Sub->isLValue() || Sub->getType().isConstQualified()) {
+      Diags.report(OpLoc, diag::err_not_assignable);
+      return nullptr;
+    }
+    return Ctx.create<UnaryOperator>(R, Opc, Sub->getType().withoutConst(),
+                                     Sub);
+  }
+  }
+  return nullptr;
+}
+
+Expr *Sema::ActOnBinaryOp(SourceLocation OpLoc, BinaryOperatorKind Opc,
+                          Expr *LHS, Expr *RHS) {
+  if (!LHS || !RHS)
+    return nullptr;
+  SourceRange R(LHS->getBeginLoc(), RHS->getEndLoc());
+
+  // Assignments.
+  if (Opc == BinaryOperatorKind::Assign ||
+      (Opc >= BinaryOperatorKind::MulAssign &&
+       Opc <= BinaryOperatorKind::OrAssign)) {
+    if (!LHS->isLValue() || LHS->getType().isConstQualified()) {
+      Diags.report(OpLoc, diag::err_not_assignable);
+      return nullptr;
+    }
+    QualType LTy = LHS->getType().withoutConst();
+    // Pointer arithmetic compound assignments keep an integer RHS.
+    if (LTy->isPointerType() && (Opc == BinaryOperatorKind::AddAssign ||
+                                 Opc == BinaryOperatorKind::SubAssign)) {
+      RHS = defaultFunctionArrayLvalueConversion(RHS);
+      if (!RHS->getType()->isIntegerType()) {
+        Diags.report(OpLoc, diag::err_invalid_operands)
+            << LTy.getAsString() << RHS->getType().getAsString();
+        return nullptr;
+      }
+      return Ctx.create<BinaryOperator>(R, Opc, LTy, LHS, RHS);
+    }
+    RHS = convertTo(RHS, LTy, OpLoc);
+    return Ctx.create<BinaryOperator>(R, Opc, LTy, LHS, RHS);
+  }
+
+  switch (Opc) {
+  case BinaryOperatorKind::Add:
+  case BinaryOperatorKind::Sub: {
+    Expr *L = defaultFunctionArrayLvalueConversion(LHS);
+    Expr *RR = defaultFunctionArrayLvalueConversion(RHS);
+    bool LPtr = L->getType()->isPointerType();
+    bool RPtr = RR->getType()->isPointerType();
+    if (LPtr && RPtr && Opc == BinaryOperatorKind::Sub)
+      return Ctx.create<BinaryOperator>(R, Opc, Ctx.getLongType(), L, RR);
+    if (LPtr && RR->getType()->isIntegerType())
+      return Ctx.create<BinaryOperator>(R, Opc, L->getType(), L, RR);
+    if (RPtr && L->getType()->isIntegerType() &&
+        Opc == BinaryOperatorKind::Add)
+      return Ctx.create<BinaryOperator>(R, Opc, RR->getType(), L, RR);
+    if (LPtr || RPtr) {
+      Diags.report(OpLoc, diag::err_invalid_operands)
+          << L->getType().getAsString() << RR->getType().getAsString();
+      return nullptr;
+    }
+    LHS = L;
+    RHS = RR;
+    QualType Common = usualArithmeticConversions(LHS, RHS);
+    return Ctx.create<BinaryOperator>(R, Opc, Common, LHS, RHS);
+  }
+  case BinaryOperatorKind::Mul:
+  case BinaryOperatorKind::Div: {
+    QualType Common = usualArithmeticConversions(LHS, RHS);
+    if (!Common->isArithmeticType()) {
+      Diags.report(OpLoc, diag::err_invalid_operands)
+          << LHS->getType().getAsString() << RHS->getType().getAsString();
+      return nullptr;
+    }
+    return Ctx.create<BinaryOperator>(R, Opc, Common, LHS, RHS);
+  }
+  case BinaryOperatorKind::Rem:
+  case BinaryOperatorKind::And:
+  case BinaryOperatorKind::Xor:
+  case BinaryOperatorKind::Or: {
+    QualType Common = usualArithmeticConversions(LHS, RHS);
+    if (!Common->isIntegerType()) {
+      Diags.report(OpLoc, diag::err_invalid_operands)
+          << LHS->getType().getAsString() << RHS->getType().getAsString();
+      return nullptr;
+    }
+    return Ctx.create<BinaryOperator>(R, Opc, Common, LHS, RHS);
+  }
+  case BinaryOperatorKind::Shl:
+  case BinaryOperatorKind::Shr: {
+    LHS = defaultFunctionArrayLvalueConversion(LHS);
+    RHS = defaultFunctionArrayLvalueConversion(RHS);
+    if (!LHS->getType()->isIntegerType() ||
+        !RHS->getType()->isIntegerType()) {
+      Diags.report(OpLoc, diag::err_invalid_operands)
+          << LHS->getType().getAsString() << RHS->getType().getAsString();
+      return nullptr;
+    }
+    return Ctx.create<BinaryOperator>(R, Opc, LHS->getType(), LHS, RHS);
+  }
+  case BinaryOperatorKind::LT:
+  case BinaryOperatorKind::GT:
+  case BinaryOperatorKind::LE:
+  case BinaryOperatorKind::GE:
+  case BinaryOperatorKind::EQ:
+  case BinaryOperatorKind::NE: {
+    Expr *L = defaultFunctionArrayLvalueConversion(LHS);
+    Expr *RR = defaultFunctionArrayLvalueConversion(RHS);
+    if (L->getType()->isPointerType() && RR->getType()->isPointerType())
+      return Ctx.create<BinaryOperator>(R, Opc, Ctx.getBoolType(), L, RR);
+    LHS = L;
+    RHS = RR;
+    QualType Common = usualArithmeticConversions(LHS, RHS);
+    if (!Common->isArithmeticType()) {
+      Diags.report(OpLoc, diag::err_invalid_operands)
+          << LHS->getType().getAsString() << RHS->getType().getAsString();
+      return nullptr;
+    }
+    return Ctx.create<BinaryOperator>(R, Opc, Ctx.getBoolType(), LHS, RHS);
+  }
+  case BinaryOperatorKind::LAnd:
+  case BinaryOperatorKind::LOr:
+    LHS = convertToBoolean(LHS);
+    RHS = convertToBoolean(RHS);
+    return Ctx.create<BinaryOperator>(R, Opc, Ctx.getBoolType(), LHS, RHS);
+  case BinaryOperatorKind::Comma:
+    LHS = defaultFunctionArrayLvalueConversion(LHS);
+    RHS = defaultFunctionArrayLvalueConversion(RHS);
+    return Ctx.create<BinaryOperator>(R, Opc, RHS->getType(), LHS, RHS);
+  default:
+    return nullptr;
+  }
+}
+
+Expr *Sema::ActOnConditionalOp(SourceLocation QLoc, Expr *Cond, Expr *TrueE,
+                               Expr *FalseE) {
+  if (!Cond || !TrueE || !FalseE)
+    return nullptr;
+  Cond = convertToBoolean(Cond);
+  SourceRange R(Cond->getBeginLoc(), FalseE->getEndLoc());
+  TrueE = defaultFunctionArrayLvalueConversion(TrueE);
+  FalseE = defaultFunctionArrayLvalueConversion(FalseE);
+  QualType Ty;
+  if (TrueE->getType().hasSameTypeAs(FalseE->getType()))
+    Ty = TrueE->getType();
+  else if (TrueE->getType()->isArithmeticType() &&
+           FalseE->getType()->isArithmeticType())
+    Ty = usualArithmeticConversions(TrueE, FalseE);
+  else {
+    Diags.report(QLoc, diag::err_incompatible_types)
+        << TrueE->getType().getAsString() << FalseE->getType().getAsString();
+    return nullptr;
+  }
+  return Ctx.create<ConditionalOperator>(R, Ty, Cond, TrueE, FalseE);
+}
+
+Expr *Sema::ActOnCallExpr(SourceRange R, Expr *Callee,
+                          std::vector<Expr *> Args) {
+  if (!Callee)
+    return nullptr;
+  const FunctionType *FT = nullptr;
+  QualType CalleeTy = Callee->getType();
+  if (CalleeTy->isFunctionType())
+    FT = type_cast<FunctionType>(CalleeTy.getTypePtr());
+  else if (const auto *PT =
+               type_dyn_cast<PointerType>(CalleeTy.getTypePtr()))
+    FT = type_dyn_cast<FunctionType>(PT->getPointeeType().getTypePtr());
+  if (!FT) {
+    std::string Name = "<expression>";
+    if (const auto *DRE =
+            stmt_dyn_cast<DeclRefExpr>(Callee->ignoreParenImpCasts()))
+      Name = std::string(DRE->getDecl()->getName());
+    Diags.report(R.getBegin(), diag::err_not_a_function) << Name;
+    return nullptr;
+  }
+  if (Args.size() != FT->getNumParams()) {
+    std::string Name = "<function>";
+    if (const auto *DRE =
+            stmt_dyn_cast<DeclRefExpr>(Callee->ignoreParenImpCasts()))
+      Name = std::string(DRE->getDecl()->getName());
+    Diags.report(R.getBegin(), diag::err_wrong_arg_count)
+        << Name << FT->getNumParams()
+        << static_cast<unsigned>(Args.size());
+    return nullptr;
+  }
+  for (unsigned I = 0; I < Args.size(); ++I) {
+    if (!Args[I])
+      return nullptr;
+    Args[I] = convertTo(Args[I], FT->getParamTypes()[I],
+                        Args[I]->getBeginLoc());
+  }
+  auto Stored = Ctx.allocateCopy(Args);
+  return Ctx.create<CallExpr>(
+      R, FT->getResultType(), Callee,
+      std::span<Expr *const>(Stored.data(), Stored.size()));
+}
+
+Expr *Sema::ActOnArraySubscript(SourceRange R, Expr *Base, Expr *Index) {
+  if (!Base || !Index)
+    return nullptr;
+  Base = defaultFunctionArrayLvalueConversion(Base);
+  const auto *PT = type_dyn_cast<PointerType>(Base->getType().getTypePtr());
+  if (!PT) {
+    Diags.report(R.getBegin(), diag::err_subscript_non_pointer);
+    return nullptr;
+  }
+  Index = defaultFunctionArrayLvalueConversion(Index);
+  if (!Index->getType()->isIntegerType()) {
+    Diags.report(Index->getBeginLoc(), diag::err_incompatible_types)
+        << Index->getType().getAsString() << "integer";
+    return nullptr;
+  }
+  return Ctx.create<ArraySubscriptExpr>(R, PT->getPointeeType(), Base,
+                                        Index);
+}
+
+// ===------------------------------------------------------------------=== //
+// Statements
+// ===------------------------------------------------------------------=== //
+
+Stmt *Sema::ActOnNullStmt(SourceLocation Loc) {
+  return Ctx.create<NullStmt>(Loc);
+}
+
+Stmt *Sema::ActOnCompoundStmt(SourceRange R, std::vector<Stmt *> Body) {
+  // Drop statements that failed to build (error recovery).
+  std::erase(Body, nullptr);
+  auto Stored = Ctx.allocateCopy(Body);
+  return Ctx.create<CompoundStmt>(
+      R, std::span<Stmt *const>(Stored.data(), Stored.size()));
+}
+
+Stmt *Sema::ActOnDeclStmt(SourceRange R, std::vector<VarDecl *> Decls) {
+  std::erase(Decls, nullptr);
+  auto Stored = Ctx.allocateCopy(Decls);
+  return Ctx.create<DeclStmt>(
+      R, std::span<VarDecl *const>(Stored.data(), Stored.size()));
+}
+
+Stmt *Sema::ActOnExprStmt(Expr *E) { return E; }
+
+Stmt *Sema::ActOnIfStmt(SourceRange R, Expr *Cond, Stmt *Then, Stmt *Else) {
+  if (!Cond || !Then)
+    return nullptr;
+  return Ctx.create<IfStmt>(R, convertToBoolean(Cond), Then, Else);
+}
+
+Stmt *Sema::ActOnWhileStmt(SourceRange R, Expr *Cond, Stmt *Body) {
+  if (!Cond || !Body)
+    return nullptr;
+  return Ctx.create<WhileStmt>(R, convertToBoolean(Cond), Body);
+}
+
+Stmt *Sema::ActOnDoStmt(SourceRange R, Stmt *Body, Expr *Cond) {
+  if (!Cond || !Body)
+    return nullptr;
+  return Ctx.create<DoStmt>(R, Body, convertToBoolean(Cond));
+}
+
+Stmt *Sema::ActOnForStmt(SourceRange R, Stmt *Init, Expr *Cond, Expr *Inc,
+                         Stmt *Body) {
+  if (!Body)
+    return nullptr;
+  if (Cond)
+    Cond = convertToBoolean(Cond);
+  return Ctx.create<ForStmt>(R, Init, Cond, Inc, Body);
+}
+
+Stmt *Sema::ActOnReturnStmt(SourceRange R, Expr *Value) {
+  QualType RetTy =
+      CurFunction ? CurFunction->getReturnType() : Ctx.getIntType();
+  if (Value) {
+    if (RetTy->isVoidType()) {
+      Diags.report(R.getBegin(), diag::err_return_type_mismatch)
+          << Value->getType().getAsString() << "void";
+      return nullptr;
+    }
+    Value = convertTo(Value, RetTy, R.getBegin());
+  } else if (!RetTy->isVoidType()) {
+    Diags.report(R.getBegin(), diag::err_return_missing_value);
+    return nullptr;
+  }
+  return Ctx.create<ReturnStmt>(R, Value);
+}
+
+Stmt *Sema::ActOnBreakStmt(SourceLocation Loc) {
+  if (LoopDepth == 0) {
+    Diags.report(Loc, diag::err_break_outside_loop);
+    return nullptr;
+  }
+  return Ctx.create<BreakStmt>(Loc);
+}
+
+Stmt *Sema::ActOnContinueStmt(SourceLocation Loc) {
+  if (LoopDepth == 0) {
+    Diags.report(Loc, diag::err_continue_outside_loop);
+    return nullptr;
+  }
+  return Ctx.create<ContinueStmt>(Loc);
+}
+
+// ===------------------------------------------------------------------=== //
+// Synthesized-AST helpers
+// ===------------------------------------------------------------------=== //
+
+IntegerLiteral *Sema::buildIntLiteral(std::uint64_t Value, QualType Ty) {
+  return Ctx.create<IntegerLiteral>(SourceLocation(), Ty, Value);
+}
+
+DeclRefExpr *Sema::buildDeclRef(ValueDecl *D) {
+  return Ctx.create<DeclRefExpr>(D->getLocation(), D, D->getType());
+}
+
+Expr *Sema::buildRValueRef(ValueDecl *D) {
+  return defaultFunctionArrayLvalueConversion(buildDeclRef(D));
+}
+
+Expr *Sema::buildBinOp(BinaryOperatorKind Opc, Expr *LHS, Expr *RHS) {
+  return ActOnBinaryOp(SourceLocation(), Opc, LHS, RHS);
+}
+
+VarDecl *Sema::buildInternalVar(std::string_view Name, QualType Ty,
+                                Expr *Init) {
+  std::string Unique(Name);
+  if (Init)
+    Init = convertTo(Init, Ty.withoutConst(), SourceLocation());
+  auto *VD =
+      Ctx.create<VarDecl>(SourceLocation(), Ctx.internString(Unique), Ty,
+                          Init);
+  VD->setImplicit();
+  return VD;
+}
+
+} // namespace mcc

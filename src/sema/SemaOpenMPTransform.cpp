@@ -1,0 +1,733 @@
+//===--- SemaOpenMPTransform.cpp - Shadow-AST & canonical loop building ---===//
+//
+// Implements both representations of the paper:
+//
+//  Section 2 (shadow AST): buildUnrollPartialTransformation and
+//  buildTileTransformation construct the *transformed statement* — a loop
+//  nest over the logical iteration space whose innermost body materializes
+//  the original iteration variables and re-uses (a clone of) the original
+//  body. buildLoopDirectiveHelpers constructs the ~30+6n helper expressions
+//  of OMPLoopDirective.
+//
+//  Section 3 (canonical loop): buildOMPCanonicalLoop wraps a literal loop
+//  with the three pieces of meta-information (distance function, loop-
+//  user-variable function, loop-variable reference), each a CapturedStmt.
+//
+//===----------------------------------------------------------------------===//
+#include "sema/Sema.h"
+
+namespace mcc {
+
+namespace {
+
+/// Clones an expression (the AST is immutable; reusing a node in two
+/// places would create a DAG).
+Expr *cloneExpr(ASTContext &Ctx, Expr *E) {
+  if (!E)
+    return nullptr;
+  TreeTransform TT(Ctx);
+  return TT.transformExpr(E);
+}
+
+/// Builds the de-normalized loop-variable *value* for a logical iteration:
+///   lb + counter * step   (or lb - counter * step for decreasing loops).
+Expr *buildCounterValue(Sema &S, const OMPLoopInfo &Info, Expr *CounterRV) {
+  ASTContext &Ctx = S.getASTContext();
+  QualType LT = Info.LogicalType;
+
+  Expr *StepU = S.convertTo(cloneExpr(Ctx, Info.Step), LT, SourceLocation());
+  Expr *Prod = S.buildBinOp(BinaryOperatorKind::Mul,
+                            S.convertTo(CounterRV, LT, SourceLocation()),
+                            StepU);
+  BinaryOperatorKind AddOp =
+      Info.Decreasing ? BinaryOperatorKind::Sub : BinaryOperatorKind::Add;
+
+  Expr *LB = S.defaultFunctionArrayLvalueConversion(
+      cloneExpr(Ctx, Info.LowerBound));
+  if (Info.IVType->isPointerType()) {
+    // Pointer arithmetic: the offset operand must be a (signed) integer.
+    Expr *Offset =
+        S.convertTo(Prod, Ctx.getLongType(), SourceLocation());
+    return S.buildBinOp(AddOp, LB, Offset);
+  }
+  Expr *Value = S.buildBinOp(
+      AddOp, S.convertTo(LB, LT, SourceLocation()), Prod);
+  return S.convertTo(Value, Info.IVType.withoutConst(), SourceLocation());
+}
+
+} // namespace
+
+Expr *Sema::buildNumIterationsExpr(const OMPLoopInfo &Info) {
+  QualType LT = Info.LogicalType;
+
+  if (Info.ConstantTripCount)
+    return buildIntLiteral(*Info.ConstantTripCount, LT);
+
+  // Distance, computed with unsigned wrap-around so the full value range
+  // of the iteration variable is supported (Section 3.1).
+  Expr *Range;
+  Expr *Lo = defaultFunctionArrayLvalueConversion(
+      cloneExpr(Ctx, Info.LowerBound));
+  Expr *Hi = defaultFunctionArrayLvalueConversion(
+      cloneExpr(Ctx, Info.UpperBound));
+  if (Info.Decreasing)
+    std::swap(Lo, Hi);
+  if (Info.IVType->isPointerType()) {
+    Expr *Diff = buildBinOp(BinaryOperatorKind::Sub, Hi, Lo); // long
+    Range = convertTo(Diff, LT, SourceLocation());
+  } else {
+    Range = buildBinOp(BinaryOperatorKind::Sub,
+                       convertTo(Hi, LT, SourceLocation()),
+                       convertTo(Lo, LT, SourceLocation()));
+  }
+  if (Info.InclusiveBound)
+    Range = buildBinOp(BinaryOperatorKind::Add, Range,
+                       buildIntLiteral(1, LT));
+
+  Expr *Count = Range;
+  auto StepConst = evaluateInteger(Info.Step);
+  if (!(StepConst && *StepConst == 1)) {
+    // ceil(range / step) == (range + step - 1) / step
+    Expr *StepU =
+        convertTo(cloneExpr(Ctx, Info.Step), LT, SourceLocation());
+    Expr *Adjust = buildBinOp(BinaryOperatorKind::Sub, StepU,
+                              buildIntLiteral(1, LT));
+    Expr *Sum = buildBinOp(BinaryOperatorKind::Add, Range, Adjust);
+    Count = buildBinOp(
+        BinaryOperatorKind::Div, Sum,
+        convertTo(cloneExpr(Ctx, Info.Step), LT, SourceLocation()));
+  }
+
+  // Guard against zero-trip loops: (lb REL ub) ? count : 0. Without the
+  // guard the unsigned subtraction would wrap to a huge value.
+  BinaryOperatorKind PreRel;
+  if (!Info.Decreasing)
+    PreRel = Info.InclusiveBound ? BinaryOperatorKind::LE
+                                 : BinaryOperatorKind::LT;
+  else
+    PreRel = Info.InclusiveBound ? BinaryOperatorKind::GE
+                                 : BinaryOperatorKind::GT;
+  Expr *PreCond = buildBinOp(
+      PreRel,
+      defaultFunctionArrayLvalueConversion(cloneExpr(Ctx, Info.LowerBound)),
+      defaultFunctionArrayLvalueConversion(cloneExpr(Ctx, Info.UpperBound)));
+  return ActOnConditionalOp(SourceLocation(), PreCond, Count,
+                            buildIntLiteral(0, LT));
+}
+
+Expr *Sema::buildCounterUpdate(const OMPLoopInfo &Info, Expr *CounterRValue) {
+  Expr *Value = buildCounterValue(*this, Info, CounterRValue);
+  return buildBinOp(BinaryOperatorKind::Assign, buildDeclRef(Info.IterVar),
+                    Value);
+}
+
+// ===------------------------------------------------------------------=== //
+// Section 2: shadow-AST transformations
+// ===------------------------------------------------------------------=== //
+
+Stmt *Sema::buildUnrollPartialTransformation(OMPUnrollDirective *Dir,
+                                             const OMPLoopInfo &Info,
+                                             unsigned Factor) {
+  (void)Dir;
+  QualType LT = Info.LogicalType;
+  std::string BaseName(Info.IterVar->getName());
+
+  // Outer (strip-mined) loop over the logical iteration space:
+  //   for (LT unrolled.iv.NAME = 0; unrolled.iv < N; unrolled.iv += F)
+  VarDecl *OuterIV = buildInternalVar(
+      Ctx.internString("unrolled.iv." + BaseName), LT,
+      buildIntLiteral(0, LT));
+  std::vector<VarDecl *> OuterDecls{OuterIV};
+  auto OuterStored = Ctx.allocateCopy(OuterDecls);
+  Stmt *OuterInit = Ctx.create<DeclStmt>(
+      SourceRange(), std::span<VarDecl *const>(OuterStored.data(), 1));
+  Expr *OuterCond = buildBinOp(BinaryOperatorKind::LT,
+                               buildRValueRef(OuterIV),
+                               buildNumIterationsExpr(Info));
+  Expr *OuterInc =
+      buildBinOp(BinaryOperatorKind::AddAssign, buildDeclRef(OuterIV),
+                 buildIntLiteral(Factor, LT));
+
+  // Inner loop: kept as a loop annotated with a LoopHintAttr (paper Fig. 8)
+  // instead of duplicating the body; the mid-end LoopUnroll pass performs
+  // the duplication.
+  //   for (LT unroll_inner.iv = unrolled.iv;
+  //        unroll_inner.iv < unrolled.iv + F && unroll_inner.iv < N;
+  //        ++unroll_inner.iv)
+  VarDecl *InnerIV = buildInternalVar(
+      Ctx.internString("unroll_inner.iv." + BaseName), LT,
+      buildRValueRef(OuterIV));
+  std::vector<VarDecl *> InnerDecls{InnerIV};
+  auto InnerStored = Ctx.allocateCopy(InnerDecls);
+  Stmt *InnerInit = Ctx.create<DeclStmt>(
+      SourceRange(), std::span<VarDecl *const>(InnerStored.data(), 1));
+  Expr *TileEnd =
+      buildBinOp(BinaryOperatorKind::Add, buildRValueRef(OuterIV),
+                 buildIntLiteral(Factor, LT));
+  Expr *InnerCond = buildBinOp(
+      BinaryOperatorKind::LAnd,
+      buildBinOp(BinaryOperatorKind::LT, buildRValueRef(InnerIV), TileEnd),
+      buildBinOp(BinaryOperatorKind::LT, buildRValueRef(InnerIV),
+                 buildNumIterationsExpr(Info)));
+  Expr *InnerInc = ActOnUnaryOp(SourceLocation(), UnaryOperatorKind::PreInc,
+                                buildDeclRef(InnerIV));
+
+  // Innermost body: materialize the original iteration variable from the
+  // logical iteration number, then the (cloned, re-bound) original body.
+  VarDecl *UserIV = Ctx.create<VarDecl>(
+      Info.IterVar->getLocation(), Info.IterVar->getName(), Info.IVType,
+      buildCounterValue(*this, Info, buildRValueRef(InnerIV)));
+  std::vector<VarDecl *> UserDecls{UserIV};
+  auto UserStored = Ctx.allocateCopy(UserDecls);
+  Stmt *UserInit = Ctx.create<DeclStmt>(
+      SourceRange(), std::span<VarDecl *const>(UserStored.data(), 1));
+
+  TreeTransform BodyClone(Ctx);
+  BodyClone.addDeclSubstitution(Info.IterVar, UserIV);
+  Stmt *ClonedBody = BodyClone.transformStmt(Info.Loop->getBody());
+
+  std::vector<Stmt *> BodyStmts{UserInit, ClonedBody};
+  auto BodyStored = Ctx.allocateCopy(BodyStmts);
+  Stmt *InnerBody = Ctx.create<CompoundStmt>(
+      Info.Loop->getBody()->getSourceRange(),
+      std::span<Stmt *const>(BodyStored.data(), BodyStored.size()));
+
+  Stmt *InnerLoop = Ctx.create<ForStmt>(Info.Loop->getSourceRange(),
+                                        InnerInit, InnerCond, InnerInc,
+                                        InnerBody);
+
+  const Attr *Hint = Ctx.create<LoopHintAttr>(
+      LoopHintAttr::OptionKind::UnrollCount,
+      buildIntLiteral(Factor, Ctx.getIntType()), /*Implicit=*/true);
+  std::vector<const Attr *> Attrs{Hint};
+  auto AttrStored = Ctx.allocateCopy(Attrs);
+  Stmt *Attributed = Ctx.create<AttributedStmt>(
+      Info.Loop->getSourceRange(),
+      std::span<const Attr *const>(AttrStored.data(), AttrStored.size()),
+      InnerLoop);
+
+  return Ctx.create<ForStmt>(Info.Loop->getSourceRange(), OuterInit,
+                             OuterCond, OuterInc, Attributed);
+}
+
+Stmt *Sema::buildTileTransformation(OMPTileDirective *Dir,
+                                    const std::vector<OMPLoopInfo> &Infos) {
+  const auto *Sizes = Dir->getSingleClause<OMPSizesClause>();
+  assert(Sizes && Sizes->getNumSizes() == Infos.size());
+  unsigned N = static_cast<unsigned>(Infos.size());
+
+  // Build the 2n loops inside-out: first the innermost body (original IV
+  // materialization + cloned original body), then tile loops n-1..0, then
+  // floor loops n-1..0.
+  std::vector<VarDecl *> FloorIVs(N), TileIVs(N);
+  for (unsigned K = 0; K < N; ++K) {
+    std::string BaseName(Infos[K].IterVar->getName());
+    QualType LT = Infos[K].LogicalType;
+    FloorIVs[K] = buildInternalVar(
+        Ctx.internString(".floor." + std::to_string(K) + ".iv." + BaseName),
+        LT, buildIntLiteral(0, LT));
+    TileIVs[K] = buildInternalVar(
+        Ctx.internString(".tile." + std::to_string(K) + ".iv." + BaseName),
+        LT, buildRValueRef(FloorIVs[K]));
+  }
+
+  // Innermost: materialize user IVs and clone the body.
+  TreeTransform BodyClone(Ctx);
+  std::vector<Stmt *> BodyStmts;
+  for (unsigned K = 0; K < N; ++K) {
+    VarDecl *UserIV = Ctx.create<VarDecl>(
+        Infos[K].IterVar->getLocation(), Infos[K].IterVar->getName(),
+        Infos[K].IVType,
+        buildCounterValue(*this, Infos[K], buildRValueRef(TileIVs[K])));
+    BodyClone.addDeclSubstitution(Infos[K].IterVar, UserIV);
+    std::vector<VarDecl *> Decls{UserIV};
+    auto Stored = Ctx.allocateCopy(Decls);
+    BodyStmts.push_back(Ctx.create<DeclStmt>(
+        SourceRange(), std::span<VarDecl *const>(Stored.data(), 1)));
+  }
+  BodyStmts.push_back(
+      BodyClone.transformStmt(Infos[N - 1].Loop->getBody()));
+  auto BodyStored = Ctx.allocateCopy(BodyStmts);
+  Stmt *Inner = Ctx.create<CompoundStmt>(
+      Infos[N - 1].Loop->getBody()->getSourceRange(),
+      std::span<Stmt *const>(BodyStored.data(), BodyStored.size()));
+
+  // Tile loops, innermost first.
+  for (unsigned K = N; K-- > 0;) {
+    QualType LT = Infos[K].LogicalType;
+    std::int64_t TileSize = Sizes->getSize(K);
+    std::vector<VarDecl *> Decls{TileIVs[K]};
+    auto Stored = Ctx.allocateCopy(Decls);
+    Stmt *Init = Ctx.create<DeclStmt>(
+        SourceRange(), std::span<VarDecl *const>(Stored.data(), 1));
+    Expr *TileEnd = buildBinOp(
+        BinaryOperatorKind::Add, buildRValueRef(FloorIVs[K]),
+        buildIntLiteral(static_cast<std::uint64_t>(TileSize), LT));
+    Expr *Cond = buildBinOp(
+        BinaryOperatorKind::LAnd,
+        buildBinOp(BinaryOperatorKind::LT, buildRValueRef(TileIVs[K]),
+                   TileEnd),
+        buildBinOp(BinaryOperatorKind::LT, buildRValueRef(TileIVs[K]),
+                   buildNumIterationsExpr(Infos[K])));
+    Expr *Inc = ActOnUnaryOp(SourceLocation(), UnaryOperatorKind::PreInc,
+                             buildDeclRef(TileIVs[K]));
+    Inner = Ctx.create<ForStmt>(Infos[K].Loop->getSourceRange(), Init, Cond,
+                                Inc, Inner);
+  }
+
+  // Floor loops, innermost first.
+  for (unsigned K = N; K-- > 0;) {
+    QualType LT = Infos[K].LogicalType;
+    std::int64_t TileSize = Sizes->getSize(K);
+    std::vector<VarDecl *> Decls{FloorIVs[K]};
+    auto Stored = Ctx.allocateCopy(Decls);
+    Stmt *Init = Ctx.create<DeclStmt>(
+        SourceRange(), std::span<VarDecl *const>(Stored.data(), 1));
+    Expr *Cond =
+        buildBinOp(BinaryOperatorKind::LT, buildRValueRef(FloorIVs[K]),
+                   buildNumIterationsExpr(Infos[K]));
+    Expr *Inc = buildBinOp(
+        BinaryOperatorKind::AddAssign, buildDeclRef(FloorIVs[K]),
+        buildIntLiteral(static_cast<std::uint64_t>(TileSize), LT));
+    Inner = Ctx.create<ForStmt>(Infos[K].Loop->getSourceRange(), Init, Cond,
+                                Inc, Inner);
+  }
+
+  return Inner;
+}
+
+void Sema::buildLoopDirectiveHelpers(OMPLoopDirective *Dir,
+                                     const std::vector<OMPLoopInfo> &Infos,
+                                     Stmt *ExtraPreInits) {
+  unsigned N = static_cast<unsigned>(Infos.size());
+
+  // The logical iteration space of the (possibly collapsed) nest uses the
+  // widest unsigned type: collapse products can exceed 32 bits, and the
+  // runtime's loop bookkeeping ABI (__kmpc_for_static_init et al.) works
+  // on 64-bit logical bounds.
+  QualType LT = Ctx.getULongType();
+
+  OMPLoopHelperExprs H;
+
+  // PreInits: capture each loop's trip count once ('.capture_expr.', the
+  // internal naming the paper quotes in its diagnostics discussion).
+  std::vector<Stmt *> PreInitStmts;
+  if (ExtraPreInits)
+    PreInitStmts.push_back(ExtraPreInits);
+  std::vector<VarDecl *> TripCountVars(N);
+  std::vector<OMPLoopHelperExprs::LoopData> LoopData(N);
+  for (unsigned K = 0; K < N; ++K) {
+    Expr *NumIterK =
+        convertTo(buildNumIterationsExpr(Infos[K]), LT, SourceLocation());
+    TripCountVars[K] = buildInternalVar(
+        Ctx.internString(".capture_expr.n" + std::to_string(K)), LT,
+        NumIterK);
+    std::vector<VarDecl *> Decls{TripCountVars[K]};
+    auto Stored = Ctx.allocateCopy(Decls);
+    PreInitStmts.push_back(Ctx.create<DeclStmt>(
+        SourceRange(), std::span<VarDecl *const>(Stored.data(), 1)));
+  }
+  auto PreStored = Ctx.allocateCopy(PreInitStmts);
+  H.PreInits = Ctx.create<CompoundStmt>(
+      SourceRange(),
+      std::span<Stmt *const>(PreStored.data(), PreStored.size()));
+
+  // Whole-nest iteration count: the product of the member counts.
+  auto BuildNumIterations = [&]() {
+    Expr *Total = buildRValueRef(TripCountVars[0]);
+    for (unsigned K = 1; K < N; ++K)
+      Total = buildBinOp(BinaryOperatorKind::Mul, Total,
+                         buildRValueRef(TripCountVars[K]));
+    return Total;
+  };
+  H.NumIterations = BuildNumIterations();
+  H.LastIteration = buildBinOp(BinaryOperatorKind::Sub, BuildNumIterations(),
+                               buildIntLiteral(1, LT));
+  H.PreCond = buildBinOp(BinaryOperatorKind::GT, BuildNumIterations(),
+                         buildIntLiteral(0, LT));
+
+  // Normalized loop control variables.
+  H.IterationVar =
+      buildInternalVar(Ctx.internString(".omp.iv"), LT, nullptr);
+  H.IterationVarRef = buildRValueRef(H.IterationVar);
+  H.LowerBoundVar = buildInternalVar(Ctx.internString(".omp.lb"), LT,
+                                     buildIntLiteral(0, LT));
+  H.UpperBoundVar =
+      buildInternalVar(Ctx.internString(".omp.ub"), LT,
+                       buildBinOp(BinaryOperatorKind::Sub,
+                                  BuildNumIterations(),
+                                  buildIntLiteral(1, LT)));
+  H.StrideVar = buildInternalVar(Ctx.internString(".omp.stride"), LT,
+                                 buildIntLiteral(1, LT));
+  H.IsLastIterVar =
+      buildInternalVar(Ctx.internString(".omp.is_last"), Ctx.getIntType(),
+                       buildIntLiteral(0, Ctx.getIntType()));
+  H.LowerBoundRef = buildRValueRef(H.LowerBoundVar);
+  H.UpperBoundRef = buildRValueRef(H.UpperBoundVar);
+  H.StrideRef = buildRValueRef(H.StrideVar);
+  H.IsLastIterRef = buildRValueRef(H.IsLastIterVar);
+
+  // iv = lb; iv <= ub; ++iv
+  H.Init = buildBinOp(BinaryOperatorKind::Assign,
+                      buildDeclRef(H.IterationVar),
+                      buildRValueRef(H.LowerBoundVar));
+  H.Cond = buildBinOp(BinaryOperatorKind::LE, buildRValueRef(H.IterationVar),
+                      buildRValueRef(H.UpperBoundVar));
+  H.Inc = ActOnUnaryOp(SourceLocation(), UnaryOperatorKind::PreInc,
+                       buildDeclRef(H.IterationVar));
+
+  // ub = min(ub, last-iteration): after the runtime assigned a chunk, clamp
+  // to the global bound.
+  H.EnsureUpperBound = buildBinOp(
+      BinaryOperatorKind::Assign, buildDeclRef(H.UpperBoundVar),
+      ActOnConditionalOp(
+          SourceLocation(),
+          buildBinOp(BinaryOperatorKind::GT,
+                     buildRValueRef(H.UpperBoundVar),
+                     buildBinOp(BinaryOperatorKind::Sub,
+                                BuildNumIterations(),
+                                buildIntLiteral(1, LT))),
+          buildBinOp(BinaryOperatorKind::Sub, BuildNumIterations(),
+                     buildIntLiteral(1, LT)),
+          buildRValueRef(H.UpperBoundVar)));
+
+  // lb += stride; ub += stride (chunked static schedules).
+  H.NextLowerBound =
+      buildBinOp(BinaryOperatorKind::AddAssign, buildDeclRef(H.LowerBoundVar),
+                 buildRValueRef(H.StrideVar));
+  H.NextUpperBound =
+      buildBinOp(BinaryOperatorKind::AddAssign, buildDeclRef(H.UpperBoundVar),
+                 buildRValueRef(H.StrideVar));
+
+  // Per-loop: de-normalization "i_k = lb_k + ((iv / prod(n_{k+1..})) % n_k)
+  // * step_k".
+  for (unsigned K = 0; K < N; ++K) {
+    OMPLoopHelperExprs::LoopData &L = LoopData[K];
+    L.CounterVar = Infos[K].IterVar;
+    L.CounterRef = buildDeclRef(Infos[K].IterVar);
+    L.CounterInit = defaultFunctionArrayLvalueConversion(
+        cloneExpr(Ctx, Infos[K].LowerBound));
+    L.CounterStep = defaultFunctionArrayLvalueConversion(
+        cloneExpr(Ctx, Infos[K].Step));
+    L.NumIterationsExpr = buildRValueRef(TripCountVars[K]);
+
+    Expr *Scaled = buildRValueRef(H.IterationVar);
+    for (unsigned J = K + 1; J < N; ++J)
+      Scaled = buildBinOp(BinaryOperatorKind::Div, Scaled,
+                          buildRValueRef(TripCountVars[J]));
+    if (K > 0)
+      Scaled = buildBinOp(BinaryOperatorKind::Rem, Scaled,
+                          buildRValueRef(TripCountVars[K]));
+    L.CounterUpdate = buildCounterUpdate(Infos[K], Scaled);
+  }
+  auto LoopStored = Ctx.allocateCopy(LoopData);
+  H.Loops = std::span<OMPLoopHelperExprs::LoopData>(LoopStored.data(),
+                                                    LoopStored.size());
+  H.Body = Infos[N - 1].Loop->getBody();
+
+  Dir->setLoopHelpers(H);
+}
+
+// ===------------------------------------------------------------------=== //
+// Section 3: OMPCanonicalLoop construction
+// ===------------------------------------------------------------------=== //
+
+OMPCanonicalLoop *Sema::buildOMPCanonicalLoop(const OMPLoopInfo &Info) {
+  QualType LT = Info.LogicalType;
+
+  auto MakeCaptured = [&](Stmt *Body,
+                          std::vector<ImplicitParamDecl *> Params)
+      -> CapturedStmt * {
+    auto StoredParams = Ctx.allocateCopy(Params);
+    auto *CD = Ctx.create<CapturedDecl>(
+        Body->getBeginLoc(), Body,
+        std::span<ImplicitParamDecl *const>(StoredParams.data(),
+                                            StoredParams.size()));
+    // Everything referenced from outside is captured by reference; the
+    // by-value __begin capture of the paper is only needed for C++
+    // iterators whose value mutates, which MiniC loop bounds cannot.
+    std::vector<VarDecl *> Caps = computeCaptures(Body);
+    std::vector<CapturedStmt::Capture> Captures;
+    for (VarDecl *V : Caps) {
+      bool IsParam = false;
+      for (ImplicitParamDecl *P : Params)
+        if (P == V)
+          IsParam = true;
+      if (!IsParam)
+        Captures.push_back({V, /*ByRef=*/true});
+    }
+    auto StoredCaps = Ctx.allocateCopy(Captures);
+    return Ctx.create<CapturedStmt>(
+        Body->getSourceRange(), CD,
+        std::span<const CapturedStmt::Capture>(StoredCaps.data(),
+                                               StoredCaps.size()));
+  };
+
+  // Distance function: "[&](LogicalTy &Result) { Result = <trip count>; }".
+  // MiniC has no references, so Result is pointer-typed and assigned
+  // through a dereference.
+  auto *DistResult = Ctx.create<ImplicitParamDecl>(
+      SourceLocation(), Ctx.internString("Result"),
+      Ctx.getPointerType(LT));
+  Expr *DistAssign = buildBinOp(
+      BinaryOperatorKind::Assign,
+      ActOnUnaryOp(SourceLocation(), UnaryOperatorKind::Deref,
+                   buildRValueRef(DistResult)),
+      buildNumIterationsExpr(Info));
+  CapturedStmt *DistanceFunc = MakeCaptured(DistAssign, {DistResult});
+
+  // Loop-variable function:
+  // "[&](T &Result, LogicalTy Logical) { Result = lb + Logical * step; }".
+  auto *LVResult = Ctx.create<ImplicitParamDecl>(
+      SourceLocation(), Ctx.internString("Result"),
+      Ctx.getPointerType(Info.IVType.withoutConst()));
+  auto *LVLogical = Ctx.create<ImplicitParamDecl>(
+      SourceLocation(), Ctx.internString("Logical"), LT);
+  Expr *LVAssign = buildBinOp(
+      BinaryOperatorKind::Assign,
+      ActOnUnaryOp(SourceLocation(), UnaryOperatorKind::Deref,
+                   buildRValueRef(LVResult)),
+      buildCounterValue(*this, Info, buildRValueRef(LVLogical)));
+  CapturedStmt *LoopVarFunc = MakeCaptured(LVAssign, {LVResult, LVLogical});
+
+  return Ctx.create<OMPCanonicalLoop>(Info.Loop, DistanceFunc, LoopVarFunc,
+                                      buildDeclRef(Info.IterVar));
+}
+
+// ===------------------------------------------------------------------=== //
+// Directive construction
+// ===------------------------------------------------------------------=== //
+
+namespace {
+
+/// Replaces the (unique) occurrence of \p Target within \p S, rebuilding
+/// enclosing CompoundStmts as needed. Used to wrap inner loops of a nest in
+/// OMPCanonicalLoop nodes.
+Stmt *replaceStmt(ASTContext &Ctx, Stmt *S, Stmt *Target, Stmt *Replacement) {
+  if (S == Target)
+    return Replacement;
+  if (auto *CS = stmt_dyn_cast<CompoundStmt>(S)) {
+    std::vector<Stmt *> NewBody;
+    bool Changed = false;
+    for (Stmt *Child : CS->body()) {
+      Stmt *NewChild = replaceStmt(Ctx, Child, Target, Replacement);
+      Changed |= NewChild != Child;
+      NewBody.push_back(NewChild);
+    }
+    if (!Changed)
+      return S;
+    auto Stored = Ctx.allocateCopy(NewBody);
+    return Ctx.create<CompoundStmt>(
+        CS->getSourceRange(),
+        std::span<Stmt *const>(Stored.data(), Stored.size()));
+  }
+  return S;
+}
+
+} // namespace
+
+Stmt *Sema::buildLoopDirective(OpenMPDirectiveKind Kind,
+                               std::vector<OMPClause *> Clauses, Stmt *AStmt,
+                               SourceRange R) {
+  if (!AStmt)
+    return nullptr;
+  unsigned NumLoops = 1;
+  for (const OMPClause *C : Clauses)
+    if (const auto *CC = clause_dyn_cast<OMPCollapseClause>(C))
+      NumLoops = CC->getCollapseCount();
+
+  std::vector<OMPLoopInfo> Infos;
+  std::vector<Stmt *> TransformPreInits;
+  if (!analyzeLoopNest(AStmt, Kind, NumLoops, Infos, TransformPreInits))
+    return nullptr;
+
+  Stmt *Assoc = AStmt;
+  bool ConsumesIRBuilderTransform =
+      Opts.OpenMPEnableIRBuilder && Infos.size() < NumLoops;
+
+  if (Opts.OpenMPEnableIRBuilder && !ConsumesIRBuilderTransform) {
+    // Wrap every member loop of the nest in an OMPCanonicalLoop,
+    // innermost first (outer loops are rebuilt so their bodies point at
+    // the wrapped inner loops).
+    Stmt *Wrapped = nullptr;
+    for (unsigned K = static_cast<unsigned>(Infos.size()); K-- > 0;) {
+      ForStmt *Loop = Infos[K].Loop;
+      Stmt *NewLoop = Loop;
+      if (Wrapped) {
+        Stmt *NewBody =
+            replaceStmt(Ctx, Loop->getBody(), Infos[K + 1].Loop, Wrapped);
+        NewLoop = Ctx.create<ForStmt>(Loop->getSourceRange(),
+                                      Loop->getInit(), Loop->getCond(),
+                                      Loop->getInc(), NewBody);
+      }
+      OMPLoopInfo WrapInfo = Infos[K];
+      WrapInfo.Loop = stmt_cast<ForStmt>(NewLoop);
+      Wrapped = buildOMPCanonicalLoop(WrapInfo);
+    }
+    Assoc = Wrapped;
+  }
+
+  if (isOpenMPParallelDirective(Kind))
+    Assoc = buildCaptureForOutlining(Assoc, {});
+
+  auto Stored = Ctx.allocateCopy(Clauses);
+  std::span<OMPClause *const> ClauseSpan(Stored.data(), Stored.size());
+
+  OMPLoopDirective *Dir = nullptr;
+  switch (Kind) {
+  case OpenMPDirectiveKind::For:
+    Dir = Ctx.create<OMPForDirective>(R, ClauseSpan, Assoc, NumLoops);
+    break;
+  case OpenMPDirectiveKind::ParallelFor:
+    Dir = Ctx.create<OMPParallelForDirective>(R, ClauseSpan, Assoc, NumLoops);
+    break;
+  case OpenMPDirectiveKind::Simd:
+    Dir = Ctx.create<OMPSimdDirective>(R, ClauseSpan, Assoc, NumLoops);
+    break;
+  case OpenMPDirectiveKind::ForSimd:
+    Dir = Ctx.create<OMPForSimdDirective>(R, ClauseSpan, Assoc, NumLoops);
+    break;
+  default:
+    return nullptr;
+  }
+
+  if (!Opts.OpenMPEnableIRBuilder) {
+    Stmt *ExtraPreInits = nullptr;
+    if (!TransformPreInits.empty()) {
+      auto PreStored = Ctx.allocateCopy(TransformPreInits);
+      ExtraPreInits = Ctx.create<CompoundStmt>(
+          SourceRange(),
+          std::span<Stmt *const>(PreStored.data(), PreStored.size()));
+    }
+    buildLoopDirectiveHelpers(Dir, Infos, ExtraPreInits);
+  }
+  return Dir;
+}
+
+Stmt *Sema::buildTileDirective(std::vector<OMPClause *> Clauses, Stmt *AStmt,
+                               SourceRange R) {
+  if (!AStmt)
+    return nullptr;
+  const OMPSizesClause *Sizes = nullptr;
+  for (const OMPClause *C : Clauses)
+    if (const auto *SC = clause_dyn_cast<OMPSizesClause>(C))
+      Sizes = SC;
+  if (!Sizes) {
+    Diags.report(R.getBegin(), diag::err_omp_tile_requires_sizes);
+    return nullptr;
+  }
+  unsigned NumLoops = Sizes->getNumSizes();
+
+  std::vector<OMPLoopInfo> Infos;
+  std::vector<Stmt *> TransformPreInits;
+  if (!analyzeLoopNest(AStmt, OpenMPDirectiveKind::Tile, NumLoops, Infos,
+                       TransformPreInits))
+    return nullptr;
+
+  Stmt *Assoc = AStmt;
+  bool ConsumesIRBuilderTransform =
+      Opts.OpenMPEnableIRBuilder && Infos.size() < NumLoops;
+  if (Opts.OpenMPEnableIRBuilder && !ConsumesIRBuilderTransform) {
+    // Tile in IRBuilder mode supports a perfect nest of literal loops;
+    // wrap each member loop.
+    Stmt *Wrapped = nullptr;
+    for (unsigned K = static_cast<unsigned>(Infos.size()); K-- > 0;) {
+      ForStmt *Loop = Infos[K].Loop;
+      Stmt *NewLoop = Loop;
+      if (Wrapped) {
+        Stmt *NewBody =
+            replaceStmt(Ctx, Loop->getBody(), Infos[K + 1].Loop, Wrapped);
+        NewLoop = Ctx.create<ForStmt>(Loop->getSourceRange(),
+                                      Loop->getInit(), Loop->getCond(),
+                                      Loop->getInc(), NewBody);
+      }
+      OMPLoopInfo WrapInfo = Infos[K];
+      WrapInfo.Loop = stmt_cast<ForStmt>(NewLoop);
+      Wrapped = buildOMPCanonicalLoop(WrapInfo);
+    }
+    Assoc = Wrapped;
+  }
+
+  auto Stored = Ctx.allocateCopy(Clauses);
+  auto *Dir = Ctx.create<OMPTileDirective>(
+      R, std::span<OMPClause *const>(Stored.data(), Stored.size()), Assoc,
+      NumLoops);
+
+  if (!Opts.OpenMPEnableIRBuilder) {
+    Dir->setTransformedStmt(buildTileTransformation(Dir, Infos));
+    if (!TransformPreInits.empty()) {
+      auto PreStored = Ctx.allocateCopy(TransformPreInits);
+      Dir->setPreInits(Ctx.create<CompoundStmt>(
+          SourceRange(),
+          std::span<Stmt *const>(PreStored.data(), PreStored.size())));
+    }
+  }
+  return Dir;
+}
+
+Stmt *Sema::buildUnrollDirective(std::vector<OMPClause *> Clauses,
+                                 Stmt *AStmt, SourceRange R) {
+  if (!AStmt)
+    return nullptr;
+
+  const OMPFullClause *Full = nullptr;
+  const OMPPartialClause *Partial = nullptr;
+  for (const OMPClause *C : Clauses) {
+    if (const auto *FC = clause_dyn_cast<OMPFullClause>(C))
+      Full = FC;
+    if (const auto *PC = clause_dyn_cast<OMPPartialClause>(C))
+      Partial = PC;
+  }
+  if (Full && Partial) {
+    Diags.report(R.getBegin(), diag::err_omp_unroll_full_with_partial);
+    return nullptr;
+  }
+
+  std::vector<OMPLoopInfo> Infos;
+  std::vector<Stmt *> TransformPreInits;
+  if (!analyzeLoopNest(AStmt, OpenMPDirectiveKind::Unroll, 1, Infos,
+                       TransformPreInits))
+    return nullptr;
+
+  bool ConsumesIRBuilderTransform =
+      Opts.OpenMPEnableIRBuilder && Infos.empty();
+
+  if (Full && !ConsumesIRBuilderTransform &&
+      !Infos.front().ConstantTripCount) {
+    Diags.report(Infos.front().Loop->getBeginLoc(),
+                 diag::err_omp_unroll_full_variable_trip_count);
+    return nullptr;
+  }
+
+  Stmt *Assoc = AStmt;
+  if (Opts.OpenMPEnableIRBuilder && !ConsumesIRBuilderTransform)
+    Assoc = buildOMPCanonicalLoop(Infos.front());
+
+  auto Stored = Ctx.allocateCopy(Clauses);
+  auto *Dir = Ctx.create<OMPUnrollDirective>(
+      R, std::span<OMPClause *const>(Stored.data(), Stored.size()), Assoc);
+
+  if (!Opts.OpenMPEnableIRBuilder) {
+    // A transformed AST is only necessary if the replacement can be
+    // associated with another directive, which OpenMP only permits when
+    // the partial clause is present. Full/heuristic unrolling is deferred
+    // to the mid-end via loop metadata instead (Section 2.2).
+    if (Partial) {
+      unsigned Factor = Partial->getFactor()
+                            ? static_cast<unsigned>(
+                                  Partial->getFactor()->getResult())
+                            : Opts.HeuristicUnrollFactor;
+      Dir->setTransformedStmt(
+          buildUnrollPartialTransformation(Dir, Infos.front(), Factor));
+    }
+    if (!TransformPreInits.empty()) {
+      auto PreStored = Ctx.allocateCopy(TransformPreInits);
+      Dir->setPreInits(Ctx.create<CompoundStmt>(
+          SourceRange(),
+          std::span<Stmt *const>(PreStored.data(), PreStored.size())));
+    }
+  }
+  return Dir;
+}
+
+} // namespace mcc

@@ -1,0 +1,72 @@
+//===--- Arena.h - Bump-pointer allocator for AST nodes ---------*- C++ -*-===//
+//
+// Clang allocates its (mostly immutable) AST out of the ASTContext's bump
+// allocator and never runs destructors; we mirror that. Objects allocated
+// here must therefore be trivially destructible or have destructors whose
+// omission is benign (all our AST nodes qualify: they only reference other
+// arena objects or ASTContext-interned data).
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_SUPPORT_ARENA_H
+#define MCC_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace mcc {
+
+class Arena {
+public:
+  explicit Arena(std::size_t SlabSize = 64 * 1024) : SlabSize(SlabSize) {}
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  void *allocate(std::size_t Size, std::size_t Align) {
+    std::size_t Adjust = (Align - (CurPtr % Align)) % Align;
+    if (Size + Adjust > CurEnd - CurPtr) {
+      newSlab(Size + Align);
+      Adjust = (Align - (CurPtr % Align)) % Align;
+    }
+    CurPtr += Adjust;
+    void *Result = reinterpret_cast<void *>(CurPtr);
+    CurPtr += Size;
+    TotalAllocated += Size + Adjust;
+    return Result;
+  }
+
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    return ::new (Mem) T(std::forward<Args>(As)...);
+  }
+
+  /// Allocates an uninitialized array of \p N objects of type T.
+  template <typename T> T *allocateArray(std::size_t N) {
+    return static_cast<T *>(allocate(sizeof(T) * N, alignof(T)));
+  }
+
+  [[nodiscard]] std::size_t getTotalAllocated() const {
+    return TotalAllocated;
+  }
+  [[nodiscard]] std::size_t getNumSlabs() const { return Slabs.size(); }
+
+private:
+  void newSlab(std::size_t MinSize) {
+    std::size_t Size = MinSize > SlabSize ? MinSize : SlabSize;
+    Slabs.push_back(std::make_unique<std::byte[]>(Size));
+    CurPtr = reinterpret_cast<std::uintptr_t>(Slabs.back().get());
+    CurEnd = CurPtr + Size;
+  }
+
+  std::size_t SlabSize;
+  std::vector<std::unique_ptr<std::byte[]>> Slabs;
+  std::uintptr_t CurPtr = 0;
+  std::uintptr_t CurEnd = 0;
+  std::size_t TotalAllocated = 0;
+};
+
+} // namespace mcc
+
+#endif // MCC_SUPPORT_ARENA_H

@@ -1,0 +1,36 @@
+#include "support/FileManager.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace mcc {
+
+void FileManager::addVirtualFile(std::string Path, std::string_view Contents) {
+  VirtualFiles[Path] = MemoryBuffer::getMemBuffer(Contents, Path);
+}
+
+const MemoryBuffer *FileManager::getBuffer(const std::string &Path) {
+  if (auto It = VirtualFiles.find(Path); It != VirtualFiles.end())
+    return It->second.get();
+  if (auto It = DiskCache.find(Path); It != DiskCache.end())
+    return It->second.get();
+
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return nullptr;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  auto Buf = MemoryBuffer::getMemBuffer(SS.str(), Path);
+  const MemoryBuffer *Raw = Buf.get();
+  DiskCache[Path] = std::move(Buf);
+  return Raw;
+}
+
+bool FileManager::exists(const std::string &Path) const {
+  if (VirtualFiles.count(Path) || DiskCache.count(Path))
+    return true;
+  std::ifstream In(Path, std::ios::binary);
+  return static_cast<bool>(In);
+}
+
+} // namespace mcc

@@ -1,0 +1,50 @@
+//===--- FileManager.h - Virtual & on-disk file access ---------*- C++ -*-===//
+//
+// The bottom layer of the paper's Fig. 1. Supports an in-memory virtual file
+// system (used heavily by tests and by #include resolution) and fallback to
+// the real file system.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_SUPPORT_FILEMANAGER_H
+#define MCC_SUPPORT_FILEMANAGER_H
+
+#include "support/MemoryBuffer.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mcc {
+
+/// Owns the contents of every file the compiler reads. Files registered via
+/// addVirtualFile shadow the real file system, which makes hermetic tests and
+/// the #include machinery trivial to exercise.
+class FileManager {
+public:
+  FileManager() = default;
+  FileManager(const FileManager &) = delete;
+  FileManager &operator=(const FileManager &) = delete;
+
+  /// Registers (or replaces) an in-memory file.
+  void addVirtualFile(std::string Path, std::string_view Contents);
+
+  /// Returns the buffer for \p Path, reading from the virtual FS first and
+  /// the real FS second. Returns nullptr if the file does not exist. The
+  /// FileManager retains ownership; buffers live as long as the manager.
+  const MemoryBuffer *getBuffer(const std::string &Path);
+
+  [[nodiscard]] bool exists(const std::string &Path) const;
+
+  [[nodiscard]] std::size_t getNumVirtualFiles() const {
+    return VirtualFiles.size();
+  }
+
+private:
+  std::map<std::string, std::unique_ptr<MemoryBuffer>> VirtualFiles;
+  std::map<std::string, std::unique_ptr<MemoryBuffer>> DiskCache;
+};
+
+} // namespace mcc
+
+#endif // MCC_SUPPORT_FILEMANAGER_H

@@ -1,0 +1,45 @@
+//===--- MemoryBuffer.h - Immutable owned text buffers ---------*- C++ -*-===//
+//
+// The FileManager hands out MemoryBuffers, mirroring the data flow in the
+// paper's Fig. 1 (FileManager -> SourceManager -> Lexer).
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_SUPPORT_MEMORYBUFFER_H
+#define MCC_SUPPORT_MEMORYBUFFER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mcc {
+
+/// An immutable, named chunk of source text. The buffer is guaranteed to be
+/// NUL-terminated one past getSize() so lexers can scan without bounds checks.
+class MemoryBuffer {
+public:
+  static std::unique_ptr<MemoryBuffer> getMemBuffer(std::string_view Text,
+                                                    std::string Name) {
+    return std::unique_ptr<MemoryBuffer>(
+        new MemoryBuffer(std::string(Text), std::move(Name)));
+  }
+
+  [[nodiscard]] const char *getBufferStart() const { return Data.data(); }
+  [[nodiscard]] const char *getBufferEnd() const {
+    return Data.data() + Data.size();
+  }
+  [[nodiscard]] std::size_t getSize() const { return Data.size(); }
+  [[nodiscard]] std::string_view getBuffer() const { return Data; }
+  [[nodiscard]] const std::string &getName() const { return Name; }
+
+private:
+  MemoryBuffer(std::string D, std::string N)
+      : Data(std::move(D)), Name(std::move(N)) {}
+
+  std::string Data; // std::string guarantees a trailing NUL.
+  std::string Name;
+};
+
+} // namespace mcc
+
+#endif // MCC_SUPPORT_MEMORYBUFFER_H

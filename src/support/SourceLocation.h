@@ -1,0 +1,106 @@
+//===--- SourceLocation.h - Compact source position handles ----*- C++ -*-===//
+//
+// Part of the miniclang-omp-loops project: a reproduction of the front-end
+// infrastructure described in "Loop Transformations using Clang's Abstract
+// Syntax Tree" (Kruse, 2021).
+//
+// A SourceLocation is an opaque 32-bit handle into the SourceManager's global
+// offset space, exactly like Clang's. Location 0 is the invalid location.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_SUPPORT_SOURCELOCATION_H
+#define MCC_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <functional>
+
+namespace mcc {
+
+class SourceManager;
+
+/// An opaque, cheap-to-copy handle identifying a position in some file
+/// managed by a SourceManager. The raw encoding is a 1-based offset into the
+/// SourceManager's concatenated buffer space; 0 means "invalid/unknown".
+class SourceLocation {
+public:
+  SourceLocation() = default;
+
+  [[nodiscard]] bool isValid() const { return Raw != 0; }
+  [[nodiscard]] bool isInvalid() const { return Raw == 0; }
+
+  /// Raw encoding accessors, for use by SourceManager only.
+  [[nodiscard]] std::uint32_t getRawEncoding() const { return Raw; }
+  static SourceLocation getFromRawEncoding(std::uint32_t Enc) {
+    SourceLocation L;
+    L.Raw = Enc;
+    return L;
+  }
+
+  /// Returns a location \p Delta characters after this one (same file).
+  [[nodiscard]] SourceLocation getLocWithOffset(std::int32_t Delta) const {
+    if (isInvalid())
+      return {};
+    return getFromRawEncoding(Raw + static_cast<std::uint32_t>(Delta));
+  }
+
+  friend bool operator==(SourceLocation A, SourceLocation B) {
+    return A.Raw == B.Raw;
+  }
+  friend bool operator!=(SourceLocation A, SourceLocation B) {
+    return A.Raw != B.Raw;
+  }
+  friend bool operator<(SourceLocation A, SourceLocation B) {
+    return A.Raw < B.Raw;
+  }
+  friend bool operator<=(SourceLocation A, SourceLocation B) {
+    return A.Raw <= B.Raw;
+  }
+
+private:
+  std::uint32_t Raw = 0;
+};
+
+/// A half-open pair of source locations delimiting a region of text.
+class SourceRange {
+public:
+  SourceRange() = default;
+  SourceRange(SourceLocation Loc) : Begin(Loc), End(Loc) {}
+  SourceRange(SourceLocation B, SourceLocation E) : Begin(B), End(E) {}
+
+  [[nodiscard]] SourceLocation getBegin() const { return Begin; }
+  [[nodiscard]] SourceLocation getEnd() const { return End; }
+  void setBegin(SourceLocation L) { Begin = L; }
+  void setEnd(SourceLocation L) { End = L; }
+
+  [[nodiscard]] bool isValid() const {
+    return Begin.isValid() && End.isValid();
+  }
+
+  friend bool operator==(SourceRange A, SourceRange B) {
+    return A.Begin == B.Begin && A.End == B.End;
+  }
+
+private:
+  SourceLocation Begin;
+  SourceLocation End;
+};
+
+/// A file/line/column triple produced by decomposing a SourceLocation.
+/// Lines and columns are 1-based; an invalid location decomposes to 0/0.
+struct PresumedLoc {
+  const char *Filename = "<invalid>";
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  [[nodiscard]] bool isValid() const { return Line != 0; }
+};
+
+} // namespace mcc
+
+template <> struct std::hash<mcc::SourceLocation> {
+  std::size_t operator()(mcc::SourceLocation L) const noexcept {
+    return std::hash<std::uint32_t>()(L.getRawEncoding());
+  }
+};
+
+#endif // MCC_SUPPORT_SOURCELOCATION_H

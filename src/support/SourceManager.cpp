@@ -1,0 +1,101 @@
+#include "support/SourceManager.h"
+
+#include <algorithm>
+
+namespace mcc {
+
+FileID SourceManager::createFileID(const MemoryBuffer *Buf) {
+  assert(Buf && "null buffer");
+  Entry E;
+  E.Buffer = Buf;
+  E.StartOffset = NextOffset;
+  NextOffset += static_cast<unsigned>(Buf->getSize()) + 1; // +1: EOF location
+  Entries.push_back(std::move(E));
+  FileID FID(static_cast<unsigned>(Entries.size()));
+  if (!MainFile.isValid())
+    MainFile = FID;
+  return FID;
+}
+
+SourceLocation SourceManager::getLocForStartOfFile(FileID FID) const {
+  return SourceLocation::getFromRawEncoding(getEntry(FID).StartOffset);
+}
+
+SourceLocation SourceManager::getLoc(FileID FID, unsigned Offset) const {
+  const Entry &E = getEntry(FID);
+  assert(Offset <= E.Buffer->getSize() && "offset past end of buffer");
+  return SourceLocation::getFromRawEncoding(E.StartOffset + Offset);
+}
+
+const MemoryBuffer *SourceManager::getBuffer(FileID FID) const {
+  return getEntry(FID).Buffer;
+}
+
+std::pair<FileID, unsigned>
+SourceManager::getDecomposedLoc(SourceLocation Loc) const {
+  if (Loc.isInvalid() || Entries.empty())
+    return {FileID(), 0};
+  std::uint32_t Raw = Loc.getRawEncoding();
+  // Binary search for the last entry whose StartOffset <= Raw.
+  auto It = std::upper_bound(
+      Entries.begin(), Entries.end(), Raw,
+      [](std::uint32_t R, const Entry &E) { return R < E.StartOffset; });
+  if (It == Entries.begin())
+    return {FileID(), 0};
+  --It;
+  unsigned Index = static_cast<unsigned>(It - Entries.begin());
+  unsigned Offset = Raw - It->StartOffset;
+  if (Offset > It->Buffer->getSize())
+    return {FileID(), 0};
+  return {FileID(Index + 1), Offset};
+}
+
+void SourceManager::buildLineTable(const Entry &E) {
+  if (!E.LineStarts.empty())
+    return;
+  E.LineStarts.push_back(0);
+  std::string_view Text = E.Buffer->getBuffer();
+  for (unsigned I = 0; I < Text.size(); ++I)
+    if (Text[I] == '\n')
+      E.LineStarts.push_back(I + 1);
+}
+
+PresumedLoc SourceManager::getPresumedLoc(SourceLocation Loc) const {
+  auto [FID, Offset] = getDecomposedLoc(Loc);
+  if (!FID.isValid())
+    return {};
+  const Entry &E = getEntry(FID);
+  buildLineTable(E);
+  auto It = std::upper_bound(E.LineStarts.begin(), E.LineStarts.end(), Offset);
+  unsigned Line = static_cast<unsigned>(It - E.LineStarts.begin()); // 1-based
+  unsigned LineStart = E.LineStarts[Line - 1];
+  PresumedLoc P;
+  P.Filename = E.Buffer->getName().c_str();
+  P.Line = Line;
+  P.Column = Offset - LineStart + 1;
+  return P;
+}
+
+std::string_view SourceManager::getLineText(SourceLocation Loc) const {
+  auto [FID, Offset] = getDecomposedLoc(Loc);
+  if (!FID.isValid())
+    return {};
+  const Entry &E = getEntry(FID);
+  buildLineTable(E);
+  auto It = std::upper_bound(E.LineStarts.begin(), E.LineStarts.end(), Offset);
+  unsigned Line = static_cast<unsigned>(It - E.LineStarts.begin());
+  unsigned Start = E.LineStarts[Line - 1];
+  unsigned End = (Line < E.LineStarts.size())
+                     ? E.LineStarts[Line] - 1 // drop the '\n'
+                     : static_cast<unsigned>(E.Buffer->getSize());
+  return E.Buffer->getBuffer().substr(Start, End - Start);
+}
+
+const char *SourceManager::getCharacterData(SourceLocation Loc) const {
+  auto [FID, Offset] = getDecomposedLoc(Loc);
+  if (!FID.isValid())
+    return nullptr;
+  return getEntry(FID).Buffer->getBufferStart() + Offset;
+}
+
+} // namespace mcc

@@ -1,0 +1,111 @@
+//===--- SourceManager.h - Global offset space over buffers ----*- C++ -*-===//
+//
+// Maps SourceLocations (opaque 32-bit offsets) back to buffers, lines and
+// columns, mirroring Clang's SourceManager (Fig. 1 of the paper).
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_SUPPORT_SOURCEMANAGER_H
+#define MCC_SUPPORT_SOURCEMANAGER_H
+
+#include "support/MemoryBuffer.h"
+#include "support/SourceLocation.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace mcc {
+
+/// Identifies one buffer registered with the SourceManager.
+class FileID {
+public:
+  FileID() = default;
+
+  [[nodiscard]] bool isValid() const { return Id != 0; }
+  [[nodiscard]] unsigned getOpaqueValue() const { return Id; }
+
+  friend bool operator==(FileID A, FileID B) { return A.Id == B.Id; }
+  friend bool operator!=(FileID A, FileID B) { return A.Id != B.Id; }
+
+private:
+  friend class SourceManager;
+  explicit FileID(unsigned V) : Id(V) {}
+  unsigned Id = 0; // 1-based index into SourceManager::Entries.
+};
+
+/// Assigns each registered MemoryBuffer a contiguous, non-overlapping range
+/// in a single global offset space (offset 0 is reserved for the invalid
+/// location). Provides O(log n) decomposition of a SourceLocation into
+/// (FileID, offset) and lazily-built line tables for line/column lookup.
+class SourceManager {
+public:
+  SourceManager() = default;
+  SourceManager(const SourceManager &) = delete;
+  SourceManager &operator=(const SourceManager &) = delete;
+
+  /// Registers \p Buf (not owned; must outlive the SourceManager) and
+  /// returns its FileID. The first registered buffer becomes the main file.
+  FileID createFileID(const MemoryBuffer *Buf);
+
+  [[nodiscard]] FileID getMainFileID() const { return MainFile; }
+
+  /// Location of the first character of \p FID.
+  [[nodiscard]] SourceLocation getLocForStartOfFile(FileID FID) const;
+
+  /// Location \p Offset characters into \p FID.
+  [[nodiscard]] SourceLocation getLoc(FileID FID, unsigned Offset) const;
+
+  [[nodiscard]] const MemoryBuffer *getBuffer(FileID FID) const;
+
+  /// Decomposes \p Loc into its owning file and offset therein.
+  [[nodiscard]] std::pair<FileID, unsigned>
+  getDecomposedLoc(SourceLocation Loc) const;
+
+  [[nodiscard]] FileID getFileID(SourceLocation Loc) const {
+    return getDecomposedLoc(Loc).first;
+  }
+
+  /// Full filename/line/column decomposition; 1-based line and column.
+  [[nodiscard]] PresumedLoc getPresumedLoc(SourceLocation Loc) const;
+
+  [[nodiscard]] unsigned getLineNumber(SourceLocation Loc) const {
+    return getPresumedLoc(Loc).Line;
+  }
+  [[nodiscard]] unsigned getColumnNumber(SourceLocation Loc) const {
+    return getPresumedLoc(Loc).Column;
+  }
+
+  /// The text of the line containing \p Loc (without the newline), used for
+  /// caret diagnostics.
+  [[nodiscard]] std::string_view getLineText(SourceLocation Loc) const;
+
+  /// Character data starting at \p Loc.
+  [[nodiscard]] const char *getCharacterData(SourceLocation Loc) const;
+
+  [[nodiscard]] unsigned getNumFiles() const {
+    return static_cast<unsigned>(Entries.size());
+  }
+
+private:
+  struct Entry {
+    const MemoryBuffer *Buffer = nullptr;
+    unsigned StartOffset = 0; // global offset of the buffer's first char
+    // Lazily computed offsets (within the buffer) of each line start.
+    mutable std::vector<unsigned> LineStarts;
+  };
+
+  const Entry &getEntry(FileID FID) const {
+    assert(FID.isValid() && FID.Id <= Entries.size() && "invalid FileID");
+    return Entries[FID.Id - 1];
+  }
+
+  static void buildLineTable(const Entry &E);
+
+  std::vector<Entry> Entries;
+  unsigned NextOffset = 1; // 0 reserved for the invalid location
+  FileID MainFile;
+};
+
+} // namespace mcc
+
+#endif // MCC_SUPPORT_SOURCEMANAGER_H

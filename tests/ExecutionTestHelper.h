@@ -1,0 +1,98 @@
+//===--- ExecutionTestHelper.h - Compile & execute MiniC in tests -*- C++ -*-===//
+#ifndef MCC_TESTS_EXECUTIONTESTHELPER_H
+#define MCC_TESTS_EXECUTIONTESTHELPER_H
+
+#include "driver/CompilerInstance.h"
+#include "interp/Interpreter.h"
+#include "runtime/KMPRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mcc::test {
+
+/// Compiles MiniC source and runs it through the interpreter. The source
+/// may declare `void record(long v);` to append values to Recorded
+/// (thread-safe), giving tests an observable side-effect channel.
+struct Execution {
+  CompilerOptions Options;
+  std::unique_ptr<CompilerInstance> CI;
+  std::unique_ptr<interp::ExecutionEngine> EE;
+  std::vector<std::int64_t> Recorded;
+  std::mutex RecordMutex;
+  bool CompiledOK = false;
+
+  explicit Execution(std::string_view Source, CompilerOptions Opts = {}) {
+    Options = Opts;
+    CI = std::make_unique<CompilerInstance>(Options);
+    CompiledOK = CI->compileSource(Source);
+    if (!CompiledOK)
+      return;
+    rt::OpenMPRuntime::get().setDefaultNumThreads(
+        Options.LangOpts.OpenMPDefaultNumThreads);
+    EE = std::make_unique<interp::ExecutionEngine>(*CI->getIRModule());
+    EE->bindExternal("record", [this](std::span<const interp::RTValue> Args) {
+      std::lock_guard<std::mutex> Lock(RecordMutex);
+      Recorded.push_back(Args[0].I);
+      return interp::RTValue{};
+    });
+  }
+
+  std::int64_t runMain() {
+    EXPECT_TRUE(CompiledOK) << CI->renderDiagnostics();
+    if (!CompiledOK)
+      return INT64_MIN;
+    return EE->runFunction("main", {}).I;
+  }
+
+  [[nodiscard]] std::string diagnostics() const {
+    return CI->renderDiagnostics();
+  }
+};
+
+inline CompilerOptions irBuilderOpts() {
+  CompilerOptions O;
+  O.LangOpts.OpenMPEnableIRBuilder = true;
+  return O;
+}
+
+inline CompilerOptions midendOpts(bool IRBuilderMode = false) {
+  CompilerOptions O;
+  O.LangOpts.OpenMPEnableIRBuilder = IRBuilderMode;
+  O.RunMidend = true;
+  return O;
+}
+
+/// Runs \p Source under every pipeline configuration and checks that main
+/// returns \p Expected in all of them (the E9 equivalence property).
+inline void expectAllPipelinesReturn(const std::string &Source,
+                                     std::int64_t Expected) {
+  struct Config {
+    const char *Name;
+    CompilerOptions Opts;
+  };
+  CompilerOptions Legacy, LegacyO1, IRB, IRBO1;
+  LegacyO1.RunMidend = true;
+  IRB.LangOpts.OpenMPEnableIRBuilder = true;
+  IRBO1.LangOpts.OpenMPEnableIRBuilder = true;
+  IRBO1.RunMidend = true;
+  const Config Configs[] = {
+      {"legacy", Legacy},
+      {"legacy+O1", LegacyO1},
+      {"irbuilder", IRB},
+      {"irbuilder+O1", IRBO1},
+  };
+  for (const Config &C : Configs) {
+    Execution E(Source, C.Opts);
+    ASSERT_TRUE(E.CompiledOK) << C.Name << ":\n" << E.diagnostics();
+    EXPECT_EQ(E.runMain(), Expected) << "pipeline: " << C.Name;
+  }
+}
+
+} // namespace mcc::test
+
+#endif // MCC_TESTS_EXECUTIONTESTHELPER_H

@@ -1,0 +1,118 @@
+//===--- FrontendTestHelper.h - Shared test harness --------------*- C++ -*-===//
+//
+// Drives the full front-end pipeline (FileManager -> SourceManager ->
+// Lexer -> Preprocessor -> Parser -> Sema) over in-memory source and hands
+// tests the resulting AST plus collected diagnostics.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_TESTS_FRONTENDTESTHELPER_H
+#define MCC_TESTS_FRONTENDTESTHELPER_H
+
+#include "ast/ASTDumper.h"
+#include "ast/RecursiveASTVisitor.h"
+#include "lex/Preprocessor.h"
+#include "parse/Parser.h"
+#include "sema/Sema.h"
+
+#include <memory>
+#include <string>
+
+namespace mcc::test {
+
+struct Frontend {
+  FileManager FM;
+  SourceManager SM;
+  StoringDiagnosticConsumer Consumer;
+  DiagnosticsEngine Diags{&Consumer};
+  ASTContext Ctx;
+  LangOptions Opts;
+  std::unique_ptr<Preprocessor> PP;
+  std::unique_ptr<Sema> Actions;
+  TranslationUnitDecl *TU = nullptr;
+
+  explicit Frontend(std::string_view Source, LangOptions LO = {}) : Opts(LO) {
+    FM.addVirtualFile("test.c", Source);
+    PP = std::make_unique<Preprocessor>(FM, SM, Diags);
+    PP->setOpenMPEnabled(Opts.OpenMP);
+    Actions = std::make_unique<Sema>(Ctx, Diags, Opts);
+    PP->enterMainFile("test.c");
+    Parser P(*PP, *Actions);
+    TU = P.parseTranslationUnit();
+  }
+
+  [[nodiscard]] unsigned errors() const { return Diags.getNumErrors(); }
+  [[nodiscard]] unsigned warnings() const { return Diags.getNumWarnings(); }
+
+  /// All diagnostics with the given ID.
+  [[nodiscard]] std::vector<Diagnostic> diagsWithID(diag::DiagID ID) const {
+    std::vector<Diagnostic> Out;
+    for (const Diagnostic &D : Consumer.getDiagnostics())
+      if (D.ID == ID)
+        Out.push_back(D);
+    return Out;
+  }
+
+  [[nodiscard]] bool hasDiag(diag::DiagID ID) const {
+    return !diagsWithID(ID).empty();
+  }
+
+  [[nodiscard]] std::string diagMessages() const {
+    std::string Out;
+    for (const Diagnostic &D : Consumer.getDiagnostics()) {
+      Out += D.Message;
+      Out += '\n';
+    }
+    return Out;
+  }
+
+  /// The first function named \p Name, or nullptr.
+  [[nodiscard]] FunctionDecl *getFunction(std::string_view Name) const {
+    if (!TU)
+      return nullptr;
+    for (Decl *D : TU->decls())
+      if (auto *FD = decl_dyn_cast<FunctionDecl>(D))
+        if (FD->getName() == Name)
+          return FD;
+    return nullptr;
+  }
+
+  /// First statement of the given class anywhere in \p Name's body
+  /// (searches the syntactic tree only, not shadow AST).
+  template <typename T> [[nodiscard]] T *findStmt(std::string_view Name) const {
+    FunctionDecl *FD = getFunction(Name);
+    if (!FD || !FD->hasBody())
+      return nullptr;
+    struct Finder : RecursiveASTVisitor<Finder> {
+      T *Found = nullptr;
+      bool visitStmt(Stmt *S) {
+        if (auto *Typed = stmt_dyn_cast<T>(S)) {
+          Found = Typed;
+          return false;
+        }
+        return true;
+      }
+    } F;
+    F.traverseStmt(FD->getBody());
+    return F.Found;
+  }
+};
+
+/// Counts nodes of class T in a subtree (optionally including shadow AST).
+template <typename T>
+unsigned countStmts(Stmt *Root, bool IncludeShadow = false) {
+  struct Counter : RecursiveASTVisitor<Counter> {
+    unsigned N = 0;
+    bool visitStmt(Stmt *S) {
+      if (stmt_dyn_cast<T>(S))
+        ++N;
+      return true;
+    }
+  } C;
+  C.ShouldVisitShadowAST = IncludeShadow;
+  C.traverseStmt(Root);
+  return C.N;
+}
+
+} // namespace mcc::test
+
+#endif // MCC_TESTS_FRONTENDTESTHELPER_H

@@ -1,0 +1,236 @@
+//===--- astdump_test.cpp - AST dump fidelity (exhibits E3-E6) ------------===//
+//
+// Checks that our -ast-dump output reproduces the structure of the paper's
+// listings: Listing 3 (parallel for + CapturedStmt), Listing 6 (stacked
+// unroll), Listing 8 (the shadow transformed AST), and Listing 10
+// (OMPCanonicalLoop).
+//
+//===----------------------------------------------------------------------===//
+#include "FrontendTestHelper.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace mcc;
+using namespace mcc::test;
+
+namespace {
+
+bool containsInOrder(const std::string &Text,
+                     std::initializer_list<const char *> Needles) {
+  std::size_t Pos = 0;
+  for (const char *N : Needles) {
+    Pos = Text.find(N, Pos);
+    if (Pos == std::string::npos) {
+      ADD_FAILURE() << "missing (in order): " << N << "\nin:\n" << Text;
+      return false;
+    }
+    Pos += std::strlen(N);
+  }
+  return true;
+}
+
+// The paper's Listing 3: "#pragma omp parallel for schedule(static)".
+TEST(ASTDumpTest, ParallelForWithCapturedStmt) {
+  Frontend F(R"(
+    void body(int x);
+    void f() {
+      #pragma omp parallel for schedule(static)
+      for (int i = 7; i < 17; i += 3)
+        body(i);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  std::string Dump = dumpToString(F.findStmt<OMPParallelForDirective>("f"));
+
+  EXPECT_TRUE(containsInOrder(
+      Dump, {
+                "OMPParallelForDirective",
+                "OMPScheduleClause static",
+                "CapturedStmt",
+                "CapturedDecl nothrow",
+                "ForStmt",
+                "DeclStmt",
+                "VarDecl", "i 'int' cinit",
+                "IntegerLiteral 'int' 7",
+                "CallExpr 'void'",
+                "ImplicitParamDecl implicit .global_tid.",
+                "ImplicitParamDecl implicit .bound_tid.",
+                "ImplicitParamDecl implicit __context",
+            }));
+  // Shadow helper expressions are NOT in the default dump.
+  EXPECT_EQ(Dump.find(".omp.iv"), std::string::npos);
+  EXPECT_EQ(Dump.find(".capture_expr."), std::string::npos);
+}
+
+// The paper's Listing 6: stacked "unroll full" over "unroll partial(2)".
+TEST(ASTDumpTest, StackedUnrollDirectives) {
+  Frontend F(R"(
+    void body(int x);
+    void f() {
+      #pragma omp unroll full
+      #pragma omp unroll partial(2)
+      for (int i = 7; i < 17; i += 3)
+        body(i);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  auto *Outer = F.findStmt<OMPUnrollDirective>("f");
+  std::string Dump = dumpToString(Outer);
+
+  EXPECT_TRUE(containsInOrder(Dump, {
+                                        "OMPUnrollDirective",
+                                        "OMPFullClause",
+                                        "OMPUnrollDirective",
+                                        "OMPPartialClause",
+                                        "ConstantExpr 'int'",
+                                        "value: Int 2",
+                                        "IntegerLiteral 'int' 2",
+                                        "ForStmt",
+                                        "VarDecl", "i 'int' cinit",
+                                        "IntegerLiteral 'int' 7",
+                                        "CallExpr 'void'",
+                                    }));
+  // No CapturedStmt for loop transformations (Section 2.1) and no shadow
+  // AST in the default dump.
+  EXPECT_EQ(Dump.find("CapturedStmt"), std::string::npos);
+  EXPECT_EQ(Dump.find("unrolled.iv"), std::string::npos);
+}
+
+// The paper's Listing 8: the transformed (shadow) AST of unroll partial(2).
+TEST(ASTDumpTest, TransformedUnrollAST) {
+  Frontend F(R"(
+    void body(int x);
+    void f() {
+      #pragma omp unroll partial(2)
+      for (int i = 7; i < 17; i += 3)
+        body(i);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  auto *Unroll = F.findStmt<OMPUnrollDirective>("f");
+  ASSERT_NE(Unroll->getTransformedStmt(), nullptr);
+  std::string Dump = dumpToString(Unroll->getTransformedStmt());
+
+  EXPECT_TRUE(containsInOrder(Dump, {
+                                        "ForStmt",
+                                        "unrolled.iv.i",
+                                        "AttributedStmt",
+                                        "LoopHintAttr Implicit loop "
+                                        "UnrollCount Numeric",
+                                        "IntegerLiteral 'int' 2",
+                                        "ForStmt",
+                                        "unroll_inner.iv.i",
+                                    }));
+  // The trip count folded to the constant 4 (i = 7, 10, 13, 16).
+  EXPECT_NE(Dump.find("IntegerLiteral 'unsigned int' 4"),
+            std::string::npos)
+      << Dump;
+
+  // -ast-dump-shadow reveals the transformed statement under the
+  // directive.
+  std::string ShadowDump = dumpToString(Unroll, /*ShowShadowAST=*/true);
+  EXPECT_NE(ShadowDump.find("shadow: TransformedStmt"), std::string::npos);
+  EXPECT_NE(ShadowDump.find("unrolled.iv.i"), std::string::npos);
+}
+
+// The paper's Listing 10: OMPCanonicalLoop with its meta-functions.
+TEST(ASTDumpTest, OMPCanonicalLoopStructure) {
+  LangOptions LO;
+  LO.OpenMPEnableIRBuilder = true;
+  Frontend F(R"(
+    void body(int x);
+    void f() {
+      #pragma omp unroll partial(2)
+      for (int i = 7; i < 17; i += 3)
+        body(i);
+    }
+  )",
+             LO);
+  ASSERT_EQ(F.errors(), 0u);
+  std::string Dump = dumpToString(F.findStmt<OMPUnrollDirective>("f"));
+
+  EXPECT_TRUE(containsInOrder(Dump, {
+                                        "OMPUnrollDirective",
+                                        "OMPPartialClause",
+                                        "OMPCanonicalLoop",
+                                        "ForStmt",
+                                        "CallExpr 'void'",
+                                        "CapturedStmt", // distance function
+                                        "CapturedStmt", // loop-var function
+                                        "DeclRefExpr 'int' lvalue Var 'i'",
+                                    }));
+  // The distance function's Result parameter.
+  EXPECT_NE(Dump.find("ImplicitParamDecl implicit Result"),
+            std::string::npos);
+  // The loop-var function has the logical iteration parameter.
+  EXPECT_NE(Dump.find("ImplicitParamDecl implicit Logical"),
+            std::string::npos);
+}
+
+TEST(ASTDumpTest, TreePrefixesWellFormed) {
+  Frontend F("int main() { if (1 < 2) return 3; return 4; }");
+  std::string Dump = dumpToString(F.getFunction("main")->getBody());
+  // Lines use the clang connector glyphs.
+  EXPECT_NE(Dump.find("|-"), std::string::npos);
+  EXPECT_NE(Dump.find("`-"), std::string::npos);
+  // No line starts with a stray space-only prefix before a connector gap.
+  std::size_t Start = 0;
+  int Lines = 0;
+  while (Start < Dump.size()) {
+    std::size_t End = Dump.find('\n', Start);
+    if (End == std::string::npos)
+      break;
+    ++Lines;
+    Start = End + 1;
+  }
+  EXPECT_GT(Lines, 5);
+}
+
+TEST(ASTDumpTest, ForStmtNullSlotsPrinted) {
+  Frontend F("void f() { for (;;) { break; } }");
+  std::string Dump = dumpToString(F.findStmt<ForStmt>("f"));
+  // Clang prints <<<NULL>>> placeholders for missing init/cond/inc.
+  unsigned Nulls = 0;
+  std::size_t Pos = 0;
+  while ((Pos = Dump.find("<<<NULL>>>", Pos)) != std::string::npos) {
+    ++Nulls;
+    Pos += 10;
+  }
+  EXPECT_EQ(Nulls, 3u);
+}
+
+TEST(ASTDumpTest, AddressesOptional) {
+  Frontend F("int x = 1;");
+  std::string NoAddr = dumpToString(F.TU);
+  EXPECT_EQ(NoAddr.find("0x"), std::string::npos);
+
+  std::string WithAddr;
+  ASTDumper D(WithAddr);
+  D.setShowAddresses(true);
+  D.dumpDecl(F.TU);
+  EXPECT_NE(WithAddr.find("0x"), std::string::npos);
+}
+
+TEST(ASTDumpTest, LoopDirectiveShadowHelpersHiddenButCountable) {
+  // Section 1.2's footnote: shadow children are not enumerated by
+  // children() and not dumped, but they exist (countShadowNodes sees
+  // them).
+  Frontend F(R"(
+    void body(int x);
+    void f(int N) {
+      #pragma omp for
+      for (int i = 0; i < N; ++i)
+        body(i);
+    }
+  )");
+  auto *Dir = F.findStmt<OMPForDirective>("f");
+  ASSERT_NE(Dir, nullptr);
+  EXPECT_GE(Dir->getLoopHelpers().countShadowNodes(), 20u);
+  std::string Dump = dumpToString(Dir);
+  EXPECT_EQ(Dump.find(".omp.iv"), std::string::npos);
+  EXPECT_EQ(Dump.find(".omp.lb"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+//===--- exec_sweep_test.cpp - Loop-shape × transformation × pipeline sweep ===//
+//
+// The broadest equivalence property in the suite: for a grid of canonical
+// loop shapes (bounds, direction, step, comparison) and transformation
+// stacks, the executed iteration sum must equal the host-computed
+// reference under all four pipeline configurations. This is the E9
+// property pushed across the whole loop-shape space.
+//
+//===----------------------------------------------------------------------===//
+#include "ExecutionTestHelper.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcc;
+using namespace mcc::test;
+
+namespace {
+
+struct LoopShapeCase {
+  int Lb, Ub, Step;       // step sign encodes direction
+  const char *Rel;        // <, <=, >, >=
+  const char *Pragmas;    // directive stack (may be "")
+};
+
+std::int64_t reference(const LoopShapeCase &C) {
+  std::int64_t Sum = 0;
+  auto Test = [&](long long I) {
+    std::string R = C.Rel;
+    if (R == "<")
+      return I < C.Ub;
+    if (R == "<=")
+      return I <= C.Ub;
+    if (R == ">")
+      return I > C.Ub;
+    return I >= C.Ub;
+  };
+  for (long long I = C.Lb; Test(I); I += C.Step)
+    Sum += I;
+  return Sum;
+}
+
+class LoopShapeSweep : public ::testing::TestWithParam<LoopShapeCase> {};
+
+TEST_P(LoopShapeSweep, SumMatchesReferenceInAllPipelines) {
+  const LoopShapeCase &C = GetParam();
+  std::string Source = "long sum = 0;\nint main() {\n" +
+                       std::string(C.Pragmas) + "  for (int i = " +
+                       std::to_string(C.Lb) + "; i " + C.Rel + " " +
+                       std::to_string(C.Ub) + "; i += " +
+                       std::to_string(C.Step) +
+                       ")\n    sum += i;\n"
+                       "  int out = sum % 100000;\n  return out;\n}\n";
+  std::int64_t Expected = reference(C) % 100000;
+  expectAllPipelinesReturn(Source, Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plain, LoopShapeSweep,
+    ::testing::Values(
+        LoopShapeCase{0, 100, 1, "<", ""},
+        LoopShapeCase{-50, 49, 7, "<=", ""},
+        LoopShapeCase{100, 0, -3, ">", ""},
+        LoopShapeCase{99, -1, -1, ">=", ""},
+        LoopShapeCase{5, 5, 1, "<", ""},   // zero-trip
+        LoopShapeCase{7, 17, 3, "<", ""}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Unrolled, LoopShapeSweep,
+    ::testing::Values(
+        LoopShapeCase{0, 100, 1, "<", "  #pragma omp unroll partial(4)\n"},
+        LoopShapeCase{-50, 49, 7, "<=",
+                      "  #pragma omp unroll partial(3)\n"},
+        LoopShapeCase{100, 0, -3, ">",
+                      "  #pragma omp unroll partial(2)\n"},
+        LoopShapeCase{5, 5, 1, "<", "  #pragma omp unroll partial(8)\n"},
+        LoopShapeCase{0, 7, 1, "<", "  #pragma omp unroll partial(16)\n"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Tiled, LoopShapeSweep,
+    ::testing::Values(
+        LoopShapeCase{0, 100, 1, "<", "  #pragma omp tile sizes(8)\n"},
+        LoopShapeCase{-50, 49, 7, "<=", "  #pragma omp tile sizes(3)\n"},
+        LoopShapeCase{100, 0, -3, ">", "  #pragma omp tile sizes(5)\n"},
+        LoopShapeCase{99, -1, -1, ">=", "  #pragma omp tile sizes(64)\n"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ParallelStacked, LoopShapeSweep,
+    ::testing::Values(
+        LoopShapeCase{0, 101, 1, "<",
+                      "  #pragma omp parallel for reduction(+: sum)\n"
+                      "  #pragma omp unroll partial(4)\n"},
+        LoopShapeCase{-30, 70, 4, "<=",
+                      "  #pragma omp parallel for reduction(+: sum)\n"
+                      "  #pragma omp tile sizes(8)\n"},
+        LoopShapeCase{200, 3, -7, ">",
+                      "  #pragma omp parallel for reduction(+: sum)\n"},
+        LoopShapeCase{0, 64, 2, "<",
+                      "  #pragma omp parallel for reduction(+: sum)\n"
+                      "  #pragma omp tile sizes(4)\n"
+                      "  #pragma omp unroll partial(2)\n"}));
+
+// Every schedule over a strided downward loop — the least-covered corner
+// of the logical-iteration normalization.
+class ScheduleShapeSweep : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ScheduleShapeSweep, StridedDownwardLoop) {
+  std::string Source = R"(
+long sum = 0;
+int main() {
+  sum = 0;
+  #pragma omp parallel for reduction(+: sum) schedule()" +
+                       std::string(GetParam()) + R"()
+  for (int i = 83; i >= -20; i -= 9)
+    sum += i * 2;
+  int out = sum % 100000;
+  return out;
+}
+)";
+  std::int64_t Expected = 0;
+  for (int I = 83; I >= -20; I -= 9)
+    Expected += I * 2;
+  expectAllPipelinesReturn(Source, Expected % 100000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScheduleShapeSweep,
+                         ::testing::Values("static", "static, 2",
+                                           "dynamic, 3", "guided"));
+
+} // namespace

@@ -1,0 +1,391 @@
+//===--- interp_test.cpp - Execution engine unit tests --------------------===//
+#include "interp/Interpreter.h"
+#include "irbuilder/OpenMPIRBuilder.h"
+#include "runtime/KMPRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+using namespace mcc::ir;
+using namespace mcc::interp;
+
+namespace {
+
+TEST(InterpTest, ReturnsConstant) {
+  Module M;
+  Function *F = M.createFunction("f", IRType::getI32(), {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createRet(M.getI32(42));
+
+  ExecutionEngine EE(M);
+  EXPECT_EQ(EE.runFunction("f", {}).I, 42);
+}
+
+TEST(InterpTest, Arithmetic) {
+  Module M;
+  Function *F = M.createFunction("f", IRType::getI64(),
+                                 {IRType::getI64(), IRType::getI64()});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *Sum = B.createAdd(F->getArg(0), F->getArg(1));
+  Value *Prod = B.createMul(Sum, M.getI64(3));
+  B.createRet(Prod);
+
+  ExecutionEngine EE(M);
+  EXPECT_EQ(EE.runFunction("f", {RTValue::ofInt(4), RTValue::ofInt(6)}).I,
+            30);
+}
+
+TEST(InterpTest, SignedVsUnsignedDivision) {
+  Module M;
+  IRBuilder B(M);
+  Function *S = M.createFunction("s", IRType::getI32(),
+                                 {IRType::getI32(), IRType::getI32()});
+  B.setInsertPoint(S->createBlock("entry"));
+  B.createRet(B.createBinOp(Opcode::SDiv, S->getArg(0), S->getArg(1), "d"));
+  Function *U = M.createFunction("u", IRType::getI32(),
+                                 {IRType::getI32(), IRType::getI32()});
+  B.setInsertPoint(U->createBlock("entry"));
+  B.createRet(B.createBinOp(Opcode::UDiv, U->getArg(0), U->getArg(1), "d"));
+
+  ExecutionEngine EE(M);
+  EXPECT_EQ(EE.runFunction("s", {RTValue::ofInt(-6), RTValue::ofInt(2)}).I,
+            -3);
+  // -6 as u32 is 0xFFFFFFFA; udiv by 2 = 0x7FFFFFFD.
+  EXPECT_EQ(EE.runFunction("u", {RTValue::ofInt(-6), RTValue::ofInt(2)}).I,
+            0x7FFFFFFD);
+}
+
+TEST(InterpTest, MemoryOperations) {
+  Module M;
+  Function *F = M.createFunction("f", IRType::getI32(), {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  Instruction *Slot = B.createAlloca(IRType::getI32());
+  B.createStore(M.getI32(7), Slot);
+  Value *L = B.createLoad(IRType::getI32(), Slot);
+  Value *Doubled = B.createAdd(L, L);
+  B.createStore(Doubled, Slot);
+  B.createRet(B.createLoad(IRType::getI32(), Slot));
+
+  ExecutionEngine EE(M);
+  EXPECT_EQ(EE.runFunction("f", {}).I, 14);
+}
+
+TEST(InterpTest, GEPIndexing) {
+  Module M;
+  Function *F = M.createFunction("f", IRType::getI64(), {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  Instruction *Arr = B.createAlloca(IRType::getI64(), M.getI64(4));
+  for (int I = 0; I < 4; ++I) {
+    Value *P = B.createGEP(IRType::getI64(), Arr, M.getI64(I));
+    B.createStore(M.getI64(10 * I), P);
+  }
+  Value *P2 = B.createGEP(IRType::getI64(), Arr, M.getI64(2));
+  B.createRet(B.createLoad(IRType::getI64(), P2));
+
+  ExecutionEngine EE(M);
+  EXPECT_EQ(EE.runFunction("f", {}).I, 20);
+}
+
+TEST(InterpTest, GlobalVariables) {
+  Module M;
+  GlobalVariable *G = M.createGlobal("counter", IRType::getI64(), 1);
+  G->IntInit = {100};
+  Function *F = M.createFunction("bump", IRType::getI64(), {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *V = B.createLoad(IRType::getI64(), G);
+  Value *Inc = B.createAdd(V, M.getI64(1));
+  B.createStore(Inc, G);
+  B.createRet(Inc);
+
+  ExecutionEngine EE(M);
+  EXPECT_EQ(EE.runFunction("bump", {}).I, 101);
+  EXPECT_EQ(EE.runFunction("bump", {}).I, 102);
+  auto *Raw = static_cast<std::int64_t *>(EE.getGlobalAddress("counter"));
+  EXPECT_EQ(*Raw, 102);
+}
+
+TEST(InterpTest, ControlFlowAndPhi) {
+  // abs(x) via phi join.
+  Module M;
+  Function *F = M.createFunction("abs", IRType::getI64(),
+                                 {IRType::getI64()});
+  IRBuilder B(M);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Neg = F->createBlock("neg");
+  BasicBlock *Join = F->createBlock("join");
+  B.setInsertPoint(Entry);
+  Value *IsNeg = B.createICmp(CmpPred::SLT, F->getArg(0), M.getI64(0));
+  B.createCondBr(IsNeg, Neg, Join);
+  B.setInsertPoint(Neg);
+  Value *Negated = B.createSub(M.getI64(0), F->getArg(0));
+  B.createBr(Join);
+  B.setInsertPoint(Join);
+  Instruction *Phi = B.createPhi(IRType::getI64(), "res");
+  Phi->addIncoming(F->getArg(0), Entry);
+  Phi->addIncoming(Negated, Neg);
+  B.createRet(Phi);
+
+  ExecutionEngine EE(M);
+  EXPECT_EQ(EE.runFunction("abs", {RTValue::ofInt(-9)}).I, 9);
+  EXPECT_EQ(EE.runFunction("abs", {RTValue::ofInt(9)}).I, 9);
+}
+
+TEST(InterpTest, RecursiveCalls) {
+  // fib(n)
+  Module M;
+  Function *F = M.createFunction("fib", IRType::getI64(),
+                                 {IRType::getI64()});
+  IRBuilder B(M);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Base = F->createBlock("base");
+  BasicBlock *Rec = F->createBlock("rec");
+  B.setInsertPoint(Entry);
+  Value *IsBase = B.createICmp(CmpPred::SLT, F->getArg(0), M.getI64(2));
+  B.createCondBr(IsBase, Base, Rec);
+  B.setInsertPoint(Base);
+  B.createRet(F->getArg(0));
+  B.setInsertPoint(Rec);
+  Value *A = B.createCall(F, {B.createSub(F->getArg(0), M.getI64(1))});
+  Value *C = B.createCall(F, {B.createSub(F->getArg(0), M.getI64(2))});
+  B.createRet(B.createAdd(A, C));
+
+  ExecutionEngine EE(M);
+  EXPECT_EQ(EE.runFunction("fib", {RTValue::ofInt(10)}).I, 55);
+}
+
+TEST(InterpTest, DoubleArithmetic) {
+  Module M;
+  Function *F = M.createFunction("f", IRType::getDouble(),
+                                 {IRType::getDouble()});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *Sq = B.createBinOp(Opcode::FMul, F->getArg(0), F->getArg(0), "sq");
+  B.createRet(B.createBinOp(Opcode::FAdd, Sq, M.getDouble(0.5), "r"));
+
+  ExecutionEngine EE(M);
+  EXPECT_DOUBLE_EQ(EE.runFunction("f", {RTValue::ofDouble(3.0)}).D, 9.5);
+}
+
+TEST(InterpTest, ExternalBinding) {
+  Module M;
+  Function *Ext = M.createFunction("magic", IRType::getI64(),
+                                   {IRType::getI64()});
+  Function *F = M.createFunction("f", IRType::getI64(), {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createRet(B.createCall(Ext, {M.getI64(5)}));
+
+  ExecutionEngine EE(M);
+  EE.bindExternal("magic", [](std::span<const RTValue> Args) {
+    return RTValue::ofInt(Args[0].I * 100);
+  });
+  EXPECT_EQ(EE.runFunction("f", {}).I, 500);
+}
+
+TEST(InterpTest, UnboundExternalThrows) {
+  Module M;
+  Function *Ext = M.createFunction("missing", IRType::getVoid(), {});
+  Function *F = M.createFunction("f", IRType::getVoid(), {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createCall(Ext, {});
+  B.createRetVoid();
+
+  ExecutionEngine EE(M);
+  EXPECT_THROW(EE.runFunction("f", {}), std::runtime_error);
+}
+
+TEST(InterpTest, DivisionByZeroThrows) {
+  Module M;
+  Function *F = M.createFunction("f", IRType::getI32(),
+                                 {IRType::getI32()});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createRet(B.createSDiv(M.getI32(1), F->getArg(0)));
+  ExecutionEngine EE(M);
+  EXPECT_THROW(EE.runFunction("f", {RTValue::ofInt(0)}), std::runtime_error);
+}
+
+TEST(InterpTest, CountsInstructions) {
+  Module M;
+  Function *F = M.createFunction("f", IRType::getI32(), {});
+  IRBuilder B(M, /*FoldConstants=*/false);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *V = B.createAdd(M.getI32(1), M.getI32(2));
+  B.createRet(V);
+  ExecutionEngine EE(M);
+  EE.runFunction("f", {});
+  EXPECT_EQ(EE.getInstructionsExecuted(), 2u);
+}
+
+// --- Runtime integration: real threads through the interpreter ---
+
+TEST(RuntimeInterpTest, ForkCallRunsAllThreads) {
+  // Outlined function: context[0] is a pointer to an i64 array indexed by
+  // thread id; each thread writes its id + 1.
+  Module M;
+  Function *Outlined = M.createFunction(
+      "outlined", IRType::getVoid(),
+      {IRType::getPtr(), IRType::getPtr(), IRType::getPtr()},
+      {".global_tid.", ".bound_tid.", "__context"});
+  Function *GetTid =
+      M.getOrInsertFunction("omp_get_thread_num", IRType::getI32(), {});
+  IRBuilder B(M);
+  B.setInsertPoint(Outlined->createBlock("entry"));
+  // arr = *(ptr*)context
+  Value *ArrPtr = B.createLoad(IRType::getPtr(), Outlined->getArg(2));
+  Value *Tid = B.createCall(GetTid, {}, "tid");
+  Value *Tid64 = B.createCast(Opcode::SExt, Tid, IRType::getI64(), "tid64");
+  Value *Slot = B.createGEP(IRType::getI64(), ArrPtr, Tid64);
+  B.createStore(B.createAdd(Tid64, B.getI64(1)), Slot);
+  B.createRetVoid();
+
+  // Driver: allocate the array, build the context, fork.
+  Function *ForkFn = M.getOrInsertFunction(
+      "__kmpc_fork_call", IRType::getVoid(),
+      {IRType::getPtr(), IRType::getI32(), IRType::getPtr(),
+       IRType::getI32()});
+  Function *Main = M.createFunction("main", IRType::getI64(), {});
+  B.setInsertPoint(Main->createBlock("entry"));
+  Instruction *Arr = B.createAlloca(IRType::getI64(), M.getI64(8), "arr");
+  Instruction *Ctx = B.createAlloca(IRType::getPtr(), M.getI64(1), "ctx");
+  B.createStore(Arr, Ctx);
+  B.createCall(ForkFn, {Outlined, B.getI32(1), Ctx, B.getI32(4)});
+  // Sum the array.
+  Value *Sum = M.getI64(0);
+  for (int I = 0; I < 4; ++I) {
+    Value *P = B.createGEP(IRType::getI64(), Arr, M.getI64(I));
+    Sum = B.createAdd(Sum, B.createLoad(IRType::getI64(), P));
+  }
+  B.createRet(Sum);
+
+  ASSERT_EQ(verifyModule(M), "");
+  ExecutionEngine EE(M);
+  // Threads 0..3 wrote 1..4 -> sum 10.
+  EXPECT_EQ(EE.runFunction("main", {}).I, 10);
+}
+
+TEST(RuntimeTest, StaticInitPartitionsDisjointlyAndCompletely) {
+  using namespace mcc::rt;
+  // Property sweep over (tripcount, nthreads): the static schedule must
+  // partition [0, trip) disjointly and completely.
+  for (std::int64_t Trip : {0, 1, 5, 16, 17, 100, 101}) {
+    for (int Threads : {1, 2, 3, 4, 8}) {
+      std::vector<char> Covered(static_cast<std::size_t>(Trip), 0);
+      OpenMPRuntime &RT = OpenMPRuntime::get();
+      std::mutex Mx;
+      bool Overlap = false;
+      RT.forkCall(
+          [&](int) {
+            std::int32_t Last = 0;
+            std::int64_t Lb = 0, Ub = Trip - 1, Stride = 1;
+            RT.forStaticInit(SchedStatic, &Last, &Lb, &Ub, &Stride, 1, 0);
+            std::lock_guard<std::mutex> Lock(Mx);
+            for (std::int64_t I = Lb; I <= Ub; ++I) {
+              if (I < 0 || I >= Trip || Covered[static_cast<std::size_t>(I)])
+                Overlap = true;
+              else
+                Covered[static_cast<std::size_t>(I)] = 1;
+            }
+          },
+          Threads);
+      EXPECT_FALSE(Overlap) << "trip=" << Trip << " threads=" << Threads;
+      EXPECT_EQ(std::count(Covered.begin(), Covered.end(), 1),
+                static_cast<std::ptrdiff_t>(Trip))
+          << "trip=" << Trip << " threads=" << Threads;
+    }
+  }
+}
+
+TEST(RuntimeTest, DynamicDispatchCoversRange) {
+  using namespace mcc::rt;
+  OpenMPRuntime &RT = OpenMPRuntime::get();
+  for (std::int32_t Sched :
+       {SchedDynamic, SchedGuided, SchedStaticChunked}) {
+    constexpr std::int64_t Trip = 1000;
+    std::vector<std::atomic<int>> Hits(Trip);
+    RT.forkCall(
+        [&](int) {
+          RT.dispatchInit(Sched, 0, Trip - 1, 7);
+          std::int32_t Last;
+          std::int64_t Lb, Ub;
+          while (RT.dispatchNext(&Last, &Lb, &Ub))
+            for (std::int64_t I = Lb; I <= Ub; ++I)
+              Hits[static_cast<std::size_t>(I)]++;
+        },
+        4);
+    for (std::int64_t I = 0; I < Trip; ++I)
+      ASSERT_EQ(Hits[static_cast<std::size_t>(I)].load(), 1)
+          << "sched=" << Sched << " i=" << I;
+  }
+}
+
+TEST(RuntimeTest, BarrierSynchronizes) {
+  using namespace mcc::rt;
+  OpenMPRuntime &RT = OpenMPRuntime::get();
+  std::atomic<int> Before{0};
+  std::atomic<bool> Violation{false};
+  RT.forkCall(
+      [&](int) {
+        Before.fetch_add(1);
+        RT.barrier();
+        // After the barrier every thread must observe all arrivals.
+        if (Before.load() != 8)
+          Violation = true;
+      },
+      8);
+  EXPECT_FALSE(Violation.load());
+}
+
+TEST(RuntimeTest, CriticalSectionIsExclusive) {
+  using namespace mcc::rt;
+  OpenMPRuntime &RT = OpenMPRuntime::get();
+  long long Counter = 0; // unguarded except by the critical section
+  RT.forkCall(
+      [&](int) {
+        for (int I = 0; I < 10000; ++I) {
+          RT.critical();
+          ++Counter;
+          RT.endCritical();
+        }
+      },
+      4);
+  EXPECT_EQ(Counter, 40000);
+}
+
+TEST(RuntimeTest, NestedForkJoin) {
+  using namespace mcc::rt;
+  OpenMPRuntime &RT = OpenMPRuntime::get();
+  std::atomic<int> Count{0};
+  RT.forkCall(
+      [&](int) {
+        RT.forkCall([&](int) { Count.fetch_add(1); }, 2);
+      },
+      2);
+  EXPECT_EQ(Count.load(), 4);
+}
+
+TEST(RuntimeTest, ThreadNumbersAreDense) {
+  using namespace mcc::rt;
+  OpenMPRuntime &RT = OpenMPRuntime::get();
+  std::set<int> Seen;
+  std::mutex Mx;
+  RT.forkCall(
+      [&](int Tid) {
+        std::lock_guard<std::mutex> Lock(Mx);
+        EXPECT_EQ(RT.getThreadNum(), Tid);
+        EXPECT_EQ(RT.getNumThreads(), 5);
+        Seen.insert(Tid);
+      },
+      5);
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+} // namespace

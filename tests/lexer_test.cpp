@@ -1,0 +1,247 @@
+//===--- lexer_test.cpp - Unit tests for the Lexer layer ------------------===//
+#include "lex/Lexer.h"
+#include "support/FileManager.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace mcc;
+
+namespace {
+
+struct LexResult {
+  std::vector<Token> Tokens;
+  unsigned NumErrors = 0;
+};
+
+LexResult lexAll(std::string_view Source) {
+  static FileManager FM; // keeps buffers alive for the returned tokens
+  static unsigned Counter = 0;
+  std::string Name = "lex" + std::to_string(Counter++) + ".c";
+  FM.addVirtualFile(Name, Source);
+  static SourceManager SM;
+  FileID F = SM.createFileID(FM.getBuffer(Name));
+  StoringDiagnosticConsumer Consumer;
+  DiagnosticsEngine Diags(&Consumer);
+  Lexer L(F, SM, Diags);
+  LexResult R;
+  Token Tok;
+  while (L.lex(Tok))
+    R.Tokens.push_back(Tok);
+  R.NumErrors = Diags.getNumErrors();
+  return R;
+}
+
+std::vector<tok::TokenKind> kindsOf(const LexResult &R) {
+  std::vector<tok::TokenKind> Kinds;
+  for (const Token &T : R.Tokens)
+    Kinds.push_back(T.getKind());
+  return Kinds;
+}
+
+TEST(LexerTest, EmptyBuffer) {
+  LexResult R = lexAll("");
+  EXPECT_TRUE(R.Tokens.empty());
+  EXPECT_EQ(R.NumErrors, 0u);
+}
+
+TEST(LexerTest, Identifiers) {
+  LexResult R = lexAll("foo _bar baz42 _");
+  ASSERT_EQ(R.Tokens.size(), 4u);
+  for (const Token &T : R.Tokens)
+    EXPECT_EQ(T.getKind(), tok::identifier);
+  EXPECT_EQ(R.Tokens[0].getText(), "foo");
+  EXPECT_EQ(R.Tokens[1].getText(), "_bar");
+  EXPECT_EQ(R.Tokens[2].getText(), "baz42");
+}
+
+TEST(LexerTest, Keywords) {
+  LexResult R = lexAll("int for while if else return double unsigned");
+  auto K = kindsOf(R);
+  EXPECT_EQ(K, (std::vector<tok::TokenKind>{
+                   tok::kw_int, tok::kw_for, tok::kw_while, tok::kw_if,
+                   tok::kw_else, tok::kw_return, tok::kw_double,
+                   tok::kw_unsigned}));
+}
+
+TEST(LexerTest, KeywordLookupIsExact) {
+  LexResult R = lexAll("inty forkForward");
+  for (const Token &T : R.Tokens)
+    EXPECT_EQ(T.getKind(), tok::identifier);
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  LexResult R = lexAll("0 42 0x1F 100u 100l 100ul");
+  ASSERT_EQ(R.Tokens.size(), 6u);
+  for (const Token &T : R.Tokens)
+    EXPECT_EQ(T.getKind(), tok::numeric_constant);
+  EXPECT_EQ(R.Tokens[2].getText(), "0x1F");
+  EXPECT_EQ(R.Tokens[5].getText(), "100ul");
+}
+
+TEST(LexerTest, FloatingLiterals) {
+  LexResult R = lexAll("1.5 0.25 1e10 2.5e-3 3.f");
+  ASSERT_EQ(R.Tokens.size(), 5u);
+  for (const Token &T : R.Tokens)
+    EXPECT_EQ(T.getKind(), tok::numeric_constant);
+  EXPECT_EQ(R.Tokens[3].getText(), "2.5e-3");
+}
+
+TEST(LexerTest, Punctuators) {
+  LexResult R = lexAll("( ) { } [ ] ; , ? : ~");
+  auto K = kindsOf(R);
+  EXPECT_EQ(K, (std::vector<tok::TokenKind>{
+                   tok::l_paren, tok::r_paren, tok::l_brace, tok::r_brace,
+                   tok::l_square, tok::r_square, tok::semi, tok::comma,
+                   tok::question, tok::colon, tok::tilde}));
+}
+
+TEST(LexerTest, MaximalMunchOperators) {
+  LexResult R = lexAll("++ += + -- -= -> - == = <= << < >= >> > && & || |");
+  auto K = kindsOf(R);
+  EXPECT_EQ(K, (std::vector<tok::TokenKind>{
+                   tok::plusplus, tok::plusequal, tok::plus, tok::minusminus,
+                   tok::minusequal, tok::arrow, tok::minus, tok::equalequal,
+                   tok::equal, tok::lessequal, tok::lessless, tok::less,
+                   tok::greaterequal, tok::greatergreater, tok::greater,
+                   tok::ampamp, tok::amp, tok::pipepipe, tok::pipe}));
+}
+
+TEST(LexerTest, CompoundAssignOperators) {
+  LexResult R = lexAll("*= /= %= &= |= ^= !=");
+  auto K = kindsOf(R);
+  EXPECT_EQ(K, (std::vector<tok::TokenKind>{
+                   tok::starequal, tok::slashequal, tok::percentequal,
+                   tok::ampequal, tok::pipeequal, tok::caretequal,
+                   tok::exclaimequal}));
+}
+
+TEST(LexerTest, AdjacentOperatorsNoSpaces) {
+  LexResult R = lexAll("i+=1;i<N;++i");
+  auto K = kindsOf(R);
+  EXPECT_EQ(K, (std::vector<tok::TokenKind>{
+                   tok::identifier, tok::plusequal, tok::numeric_constant,
+                   tok::semi, tok::identifier, tok::less, tok::identifier,
+                   tok::semi, tok::plusplus, tok::identifier}));
+}
+
+TEST(LexerTest, LineComments) {
+  LexResult R = lexAll("a // comment with * tokens + 42\nb");
+  ASSERT_EQ(R.Tokens.size(), 2u);
+  EXPECT_EQ(R.Tokens[0].getText(), "a");
+  EXPECT_EQ(R.Tokens[1].getText(), "b");
+}
+
+TEST(LexerTest, BlockComments) {
+  LexResult R = lexAll("a /* multi\nline\ncomment */ b");
+  ASSERT_EQ(R.Tokens.size(), 2u);
+  EXPECT_EQ(R.Tokens[1].getText(), "b");
+  EXPECT_EQ(R.NumErrors, 0u);
+}
+
+TEST(LexerTest, UnterminatedBlockComment) {
+  LexResult R = lexAll("a /* never closed");
+  EXPECT_EQ(R.NumErrors, 1u);
+}
+
+TEST(LexerTest, StringAndCharLiterals) {
+  LexResult R = lexAll(R"("hello" 'c' "with \" escape")");
+  ASSERT_EQ(R.Tokens.size(), 3u);
+  EXPECT_EQ(R.Tokens[0].getKind(), tok::string_literal);
+  EXPECT_EQ(R.Tokens[1].getKind(), tok::char_constant);
+  EXPECT_EQ(R.Tokens[2].getKind(), tok::string_literal);
+  EXPECT_EQ(R.Tokens[2].getText(), "\"with \\\" escape\"");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  LexResult R = lexAll("\"no end");
+  EXPECT_EQ(R.NumErrors, 1u);
+}
+
+TEST(LexerTest, StartOfLineFlag) {
+  LexResult R = lexAll("a b\nc d");
+  ASSERT_EQ(R.Tokens.size(), 4u);
+  EXPECT_TRUE(R.Tokens[0].isAtStartOfLine());
+  EXPECT_FALSE(R.Tokens[1].isAtStartOfLine());
+  EXPECT_TRUE(R.Tokens[2].isAtStartOfLine());
+  EXPECT_FALSE(R.Tokens[3].isAtStartOfLine());
+}
+
+TEST(LexerTest, LeadingSpaceFlag) {
+  LexResult R = lexAll("a b(c");
+  ASSERT_EQ(R.Tokens.size(), 4u);
+  EXPECT_TRUE(R.Tokens[1].hasLeadingSpace());  // b
+  EXPECT_FALSE(R.Tokens[2].hasLeadingSpace()); // (
+}
+
+TEST(LexerTest, LineContinuation) {
+  LexResult R = lexAll("ab\\\ncd");
+  // A line continuation inside whitespace doesn't join identifiers in our
+  // lexer (it is whitespace-level), so we expect two identifiers.
+  ASSERT_EQ(R.Tokens.size(), 2u);
+}
+
+TEST(LexerTest, InvalidCharacter) {
+  LexResult R = lexAll("a @ b");
+  EXPECT_EQ(R.NumErrors, 1u);
+  ASSERT_EQ(R.Tokens.size(), 3u);
+  EXPECT_EQ(R.Tokens[1].getKind(), tok::unknown);
+}
+
+TEST(LexerTest, TokenLocationsPointIntoSource) {
+  FileManager FM;
+  FM.addVirtualFile("loc.c", "int  foo;\nbar");
+  SourceManager SM;
+  FileID F = SM.createFileID(FM.getBuffer("loc.c"));
+  StoringDiagnosticConsumer Consumer;
+  DiagnosticsEngine Diags(&Consumer);
+  Lexer L(F, SM, Diags);
+
+  Token Tok;
+  L.lex(Tok); // int
+  EXPECT_EQ(SM.getPresumedLoc(Tok.getLocation()).Column, 1u);
+  L.lex(Tok); // foo
+  EXPECT_EQ(SM.getPresumedLoc(Tok.getLocation()).Column, 6u);
+  L.lex(Tok); // ;
+  L.lex(Tok); // bar
+  PresumedLoc P = SM.getPresumedLoc(Tok.getLocation());
+  EXPECT_EQ(P.Line, 2u);
+  EXPECT_EQ(P.Column, 1u);
+}
+
+TEST(LexerTest, EodModeInDirectives) {
+  FileManager FM;
+  FM.addVirtualFile("d.c", "a b\nc");
+  SourceManager SM;
+  FileID F = SM.createFileID(FM.getBuffer("d.c"));
+  StoringDiagnosticConsumer Consumer;
+  DiagnosticsEngine Diags(&Consumer);
+  Lexer L(F, SM, Diags);
+  L.setParsingPreprocessorDirective(true);
+  Token Tok;
+  L.lex(Tok);
+  EXPECT_EQ(Tok.getKind(), tok::identifier);
+  L.lex(Tok);
+  EXPECT_EQ(Tok.getKind(), tok::identifier);
+  L.lex(Tok);
+  EXPECT_EQ(Tok.getKind(), tok::eod); // newline reported in directive mode
+  L.setParsingPreprocessorDirective(false);
+  L.lex(Tok);
+  EXPECT_EQ(Tok.getKind(), tok::identifier);
+  EXPECT_EQ(Tok.getText(), "c");
+}
+
+TEST(LexerTest, PaperExampleLoopHeader) {
+  // The exact loop from the paper's Listing 3.
+  LexResult R = lexAll("for (int i = 7; i < 17; i += 3)");
+  auto K = kindsOf(R);
+  EXPECT_EQ(K, (std::vector<tok::TokenKind>{
+                   tok::kw_for, tok::l_paren, tok::kw_int, tok::identifier,
+                   tok::equal, tok::numeric_constant, tok::semi,
+                   tok::identifier, tok::less, tok::numeric_constant,
+                   tok::semi, tok::identifier, tok::plusequal,
+                   tok::numeric_constant, tok::r_paren}));
+}
+
+} // namespace

@@ -1,0 +1,257 @@
+//===--- midend_test.cpp - LoopUnroll / SimplifyCFG / DCE unit tests ------===//
+#include "ExecutionTestHelper.h"
+#include "midend/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcc;
+using namespace mcc::test;
+
+namespace {
+
+/// Compiles, optionally unrolls with explicit options, executes, and also
+/// returns structural facts for assertions.
+struct UnrollHarness {
+  std::unique_ptr<CompilerInstance> CI;
+  midend::LoopUnrollStats Stats;
+
+  UnrollHarness(const std::string &Source,
+                midend::LoopUnrollOptions Opts,
+                bool IRBuilderMode = false) {
+    CompilerOptions O;
+    O.LangOpts.OpenMPEnableIRBuilder = IRBuilderMode;
+    CI = std::make_unique<CompilerInstance>(O);
+    EXPECT_TRUE(CI->compileSource(Source)) << CI->renderDiagnostics();
+    Stats = midend::runLoopUnroll(*CI->getIRModule(), Opts);
+    midend::runSimplifyCFG(*CI->getIRModule());
+    midend::runDCE(*CI->getIRModule());
+    EXPECT_EQ(ir::verifyModule(*CI->getIRModule()), "")
+        << ir::printModule(*CI->getIRModule());
+  }
+
+  std::int64_t runMain() {
+    interp::ExecutionEngine EE(*CI->getIRModule());
+    return EE.runFunction("main", {}).I;
+  }
+
+  /// Occurrences of a substring in the IR text (e.g. body markers).
+  unsigned countInIR(const std::string &Needle) {
+    std::string Text = CI->getIRText();
+    unsigned N = 0;
+    std::size_t Pos = 0;
+    while ((Pos = Text.find(Needle, Pos)) != std::string::npos) {
+      ++N;
+      Pos += Needle.size();
+    }
+    return N;
+  }
+};
+
+const char *UnrollPartial4 = R"(
+  int acc = 0;
+  int main() {
+    #pragma omp unroll partial(4)
+    for (int i = 0; i < 10; ++i)
+      acc += i * 3;
+    return acc;
+  }
+)";
+
+TEST(LoopUnrollTest, ConditionalExitStrategyCorrect) {
+  midend::LoopUnrollOptions Opts;
+  Opts.Strat = midend::LoopUnrollOptions::Strategy::ConditionalExit;
+  UnrollHarness H(UnrollPartial4, Opts);
+  EXPECT_EQ(H.runMain(), 135); // 3 * 45
+  EXPECT_GE(H.Stats.LoopsUnrolled, 1u);
+  // The multiplication by 3 appears once per replicated body copy.
+  EXPECT_GE(H.countInIR("mul i32"), 4u);
+}
+
+TEST(LoopUnrollTest, RemainderStrategyCorrect) {
+  midend::LoopUnrollOptions Opts;
+  Opts.Strat = midend::LoopUnrollOptions::Strategy::Remainder;
+  // The remainder strategy needs the canonical skeleton: IRBuilder mode.
+  UnrollHarness H(UnrollPartial4, Opts, /*IRBuilderMode=*/true);
+  EXPECT_EQ(H.runMain(), 135);
+  EXPECT_GE(H.Stats.LoopsWithRemainder, 1u);
+  // The paper's Listing 2 structure: a separate remainder loop exists.
+  EXPECT_GE(H.countInIR(".remainder"), 1u);
+}
+
+struct UnrollCase {
+  int Trip;
+  int Factor;
+};
+
+class UnrollSweep
+    : public ::testing::TestWithParam<std::tuple<UnrollCase, int, int>> {};
+
+TEST_P(UnrollSweep, SemanticsPreservedForAllFactorsAndTrips) {
+  auto [C, StratIdx, Mode] = GetParam();
+  std::string Source = "int acc = 0;\nint main() {\n#pragma omp unroll "
+                       "partial(" +
+                       std::to_string(C.Factor) +
+                       ")\nfor (int i = 0; i < " + std::to_string(C.Trip) +
+                       "; ++i)\n  acc += i + 1;\nreturn acc;\n}\n";
+  midend::LoopUnrollOptions Opts;
+  Opts.Strat = StratIdx == 0
+                   ? midend::LoopUnrollOptions::Strategy::ConditionalExit
+                   : midend::LoopUnrollOptions::Strategy::Remainder;
+  UnrollHarness H(Source, Opts, /*IRBuilderMode=*/Mode == 1);
+  std::int64_t Expected = static_cast<std::int64_t>(C.Trip) * (C.Trip + 1) / 2;
+  EXPECT_EQ(H.runMain(), Expected)
+      << "trip=" << C.Trip << " factor=" << C.Factor
+      << " strat=" << StratIdx << " irbuilder=" << Mode;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UnrollSweep,
+    ::testing::Combine(
+        ::testing::Values(UnrollCase{0, 2}, UnrollCase{1, 4},
+                          UnrollCase{7, 2}, UnrollCase{8, 2},
+                          UnrollCase{9, 2}, UnrollCase{100, 8},
+                          UnrollCase{13, 5}, UnrollCase{64, 16}),
+        ::testing::Values(0, 1),   // strategy
+        ::testing::Values(0, 1))); // pipeline mode
+
+TEST(LoopUnrollTest, FullUnrollEliminatesBackEdgeTraffic) {
+  const char *Source = R"(
+    int acc = 0;
+    int main() {
+      #pragma omp unroll full
+      for (int i = 0; i < 6; ++i)
+        acc += i * i;
+      return acc;
+    }
+  )";
+  midend::LoopUnrollOptions Opts;
+  UnrollHarness H(Source, Opts, /*IRBuilderMode=*/true);
+  EXPECT_EQ(H.runMain(), 55);
+  EXPECT_EQ(H.Stats.LoopsFullyUnrolled, 1u);
+}
+
+TEST(LoopUnrollTest, FullUnrollOverLimitFallsBack) {
+  const char *Source = R"(
+    int acc = 0;
+    int main() {
+      #pragma omp unroll full
+      for (int i = 0; i < 100; ++i)
+        acc += 1;
+      return acc;
+    }
+  )";
+  midend::LoopUnrollOptions Opts;
+  Opts.FullUnrollMax = 16; // force the fallback path
+  UnrollHarness H(Source, Opts, /*IRBuilderMode=*/true);
+  EXPECT_EQ(H.runMain(), 100);
+  EXPECT_EQ(H.Stats.LoopsFullyUnrolled, 0u);
+  EXPECT_GE(H.Stats.LoopsUnrolled, 1u);
+}
+
+TEST(LoopUnrollTest, HeuristicRespectsSizeLimit) {
+  const char *Source = R"(
+    int acc = 0;
+    int main() {
+      #pragma omp unroll
+      for (int i = 0; i < 10; ++i)
+        acc += i;
+      return acc;
+    }
+  )";
+  {
+    midend::LoopUnrollOptions Opts;
+    Opts.HeuristicSizeLimit = 1; // too small: skip
+    UnrollHarness H(Source, Opts);
+    EXPECT_EQ(H.Stats.LoopsSkipped, 1u);
+    EXPECT_EQ(H.runMain(), 45);
+  }
+  {
+    midend::LoopUnrollOptions Opts; // default: unroll
+    UnrollHarness H(Source, Opts);
+    EXPECT_GE(H.Stats.LoopsUnrolled, 1u);
+    EXPECT_EQ(H.runMain(), 45);
+  }
+}
+
+TEST(LoopUnrollTest, MetadataClearedAfterProcessing) {
+  midend::LoopUnrollOptions Opts;
+  UnrollHarness H(UnrollPartial4, Opts);
+  // Re-running the pass must be a no-op.
+  midend::LoopUnrollStats Again =
+      midend::runLoopUnroll(*H.CI->getIRModule(), Opts);
+  EXPECT_EQ(Again.LoopsUnrolled, 0u);
+}
+
+TEST(LoopUnrollTest, VectorizeOnlyMetadataIgnored) {
+  const char *Source = R"(
+    int acc = 0;
+    int main() {
+      #pragma omp simd
+      for (int i = 0; i < 10; ++i)
+        acc += i;
+      return acc;
+    }
+  )";
+  midend::LoopUnrollOptions Opts;
+  UnrollHarness H(Source, Opts);
+  EXPECT_EQ(H.Stats.LoopsUnrolled, 0u);
+  EXPECT_EQ(H.runMain(), 45);
+}
+
+TEST(SimplifyCFGTest, RemovesUnreachableBlocks) {
+  ir::Module M;
+  ir::Function *F = M.createFunction("f", ir::IRType::getI32(), {});
+  ir::IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createRet(M.getI32(1));
+  ir::BasicBlock *Dead = F->createBlock("dead");
+  B.setInsertPoint(Dead);
+  B.createRet(M.getI32(2));
+  EXPECT_EQ(F->blocks().size(), 2u);
+  EXPECT_EQ(midend::runSimplifyCFG(M), 1u);
+  EXPECT_EQ(F->blocks().size(), 1u);
+  EXPECT_EQ(ir::verifyModule(M), "");
+}
+
+TEST(SimplifyCFGTest, PrunesPhisOfRemovedPredecessors) {
+  ir::Module M;
+  ir::Function *F = M.createFunction("f", ir::IRType::getI32(), {});
+  ir::IRBuilder B(M);
+  ir::BasicBlock *Entry = F->createBlock("entry");
+  ir::BasicBlock *Dead = F->createBlock("dead");
+  ir::BasicBlock *Join = F->createBlock("join");
+  B.setInsertPoint(Entry);
+  B.createBr(Join);
+  B.setInsertPoint(Dead);
+  B.createBr(Join);
+  B.setInsertPoint(Join);
+  ir::Instruction *Phi = B.createPhi(ir::IRType::getI32(), "p");
+  Phi->addIncoming(M.getI32(1), Entry);
+  Phi->addIncoming(M.getI32(2), Dead);
+  B.createRet(Phi);
+
+  EXPECT_EQ(midend::runSimplifyCFG(M), 1u);
+  EXPECT_EQ(Phi->getNumIncoming(), 1u);
+  EXPECT_EQ(ir::verifyModule(M), "");
+
+  interp::ExecutionEngine EE(M);
+  EXPECT_EQ(EE.runFunction("f", {}).I, 1);
+}
+
+TEST(PipelineTest, FullPipelineOnParallelTiledUnrolledLoop) {
+  // The whole stack at once, checked for semantics.
+  const char *Source = R"(
+    int sum = 0;
+    int main() {
+      #pragma omp parallel for reduction(+: sum)
+      #pragma omp tile sizes(8)
+      #pragma omp unroll partial(2)
+      for (int i = 0; i < 100; ++i)
+        sum += i;
+      return sum;
+    }
+  )";
+  expectAllPipelinesReturn(Source, 4950);
+}
+
+} // namespace

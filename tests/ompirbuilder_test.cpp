@@ -1,0 +1,507 @@
+//===--- ompirbuilder_test.cpp - OpenMPIRBuilder unit tests ---------------===//
+//
+// Exercises createCanonicalLoop (the Fig. 9 skeleton + CanonicalLoopInfo
+// invariants), tileLoops, collapseLoops, unrollLoop*, and
+// applyWorkshareLoop — executing the produced IR through the interpreter
+// (with real threads for the worksharing tests).
+//
+//===----------------------------------------------------------------------===//
+#include "interp/Interpreter.h"
+#include "irbuilder/OpenMPIRBuilder.h"
+#include "runtime/KMPRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <vector>
+
+using namespace mcc::ir;
+using namespace mcc::interp;
+
+namespace {
+
+/// Builds "void f()" whose body records every visited logical iteration by
+/// calling the external "record" function. Returns the function; the
+/// BodyGen passed in emits the loop(s).
+struct LoopHarness {
+  Module M;
+  IRBuilder B{M};
+  OpenMPIRBuilder OMPB{M};
+  Function *F = nullptr;
+  Function *Record = nullptr;
+
+  LoopHarness() {
+    Record = M.getOrInsertFunction("record", IRType::getVoid(),
+                                   {IRType::getI64()});
+    F = M.createFunction("f", IRType::getVoid(), {});
+    B.setInsertPoint(F->createBlock("entry"));
+  }
+
+  void finish() {
+    B.createRetVoid();
+    ASSERT_EQ(verifyModule(M), "") << printModule(M);
+  }
+
+  std::vector<std::int64_t> run() {
+    ExecutionEngine EE(M);
+    std::vector<std::int64_t> Recorded;
+    std::mutex Mx;
+    EE.bindExternal("record", [&](std::span<const RTValue> Args) {
+      std::lock_guard<std::mutex> Lock(Mx);
+      Recorded.push_back(Args[0].I);
+      return RTValue{};
+    });
+    EE.runFunction("f", {});
+    return Recorded;
+  }
+
+  void recordValue(Value *V) {
+    B.createCall(Record,
+                 {B.createIntCast(V, IRType::getI64(), false, "rec")});
+  }
+};
+
+TEST(OMPIRBuilderTest, SkeletonHasAllSevenBlocks) {
+  LoopHarness H;
+  CanonicalLoopInfo *CLI = H.OMPB.createCanonicalLoop(
+      H.B, H.M.getI64(10), [](IRBuilder &, Value *) {}, "loop");
+  H.finish();
+
+  // The paper's Fig. 9 block roles.
+  ASSERT_NE(CLI->getPreheader(), nullptr);
+  ASSERT_NE(CLI->getHeader(), nullptr);
+  ASSERT_NE(CLI->getCond(), nullptr);
+  ASSERT_NE(CLI->getBody(), nullptr);
+  ASSERT_NE(CLI->getLatch(), nullptr);
+  ASSERT_NE(CLI->getExit(), nullptr);
+  ASSERT_NE(CLI->getAfter(), nullptr);
+  EXPECT_EQ(CLI->validate(), "");
+
+  // Identifiable IV (a header phi) and trip count, "without requiring
+  // analysis by ScalarEvolution".
+  EXPECT_EQ(CLI->getIndVar()->getOpcode(), Opcode::Phi);
+  EXPECT_EQ(CLI->getIndVar()->getParent(), CLI->getHeader());
+  auto *TC = ir_dyn_cast<ConstantInt>(CLI->getTripCount());
+  ASSERT_NE(TC, nullptr);
+  EXPECT_EQ(TC->getValue(), 10);
+
+  std::string Text = printFunction(*H.F);
+  EXPECT_NE(Text.find("loop.preheader"), std::string::npos);
+  EXPECT_NE(Text.find("loop.header"), std::string::npos);
+  EXPECT_NE(Text.find("loop.inc"), std::string::npos);
+  EXPECT_NE(Text.find("loop.after"), std::string::npos);
+}
+
+TEST(OMPIRBuilderTest, CanonicalLoopIteratesLogicalSpace) {
+  LoopHarness H;
+  H.OMPB.createCanonicalLoop(
+      H.B, H.M.getI64(5),
+      [&](IRBuilder &, Value *IV) { H.recordValue(IV); }, "loop");
+  H.finish();
+  EXPECT_EQ(H.run(), (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(OMPIRBuilderTest, ZeroTripLoopBodyNeverRuns) {
+  LoopHarness H;
+  H.OMPB.createCanonicalLoop(
+      H.B, H.M.getI64(0),
+      [&](IRBuilder &, Value *IV) { H.recordValue(IV); }, "loop");
+  H.finish();
+  EXPECT_TRUE(H.run().empty());
+}
+
+TEST(OMPIRBuilderTest, RuntimeTripCount) {
+  Module M;
+  IRBuilder B(M);
+  OpenMPIRBuilder OMPB(M);
+  Function *Record =
+      M.getOrInsertFunction("record", IRType::getVoid(), {IRType::getI64()});
+  Function *F = M.createFunction("f", IRType::getVoid(), {IRType::getI64()});
+  B.setInsertPoint(F->createBlock("entry"));
+  OMPB.createCanonicalLoop(
+      B, F->getArg(0),
+      [&](IRBuilder &Bld, Value *IV) { Bld.createCall(Record, {IV}); },
+      "loop");
+  B.createRetVoid();
+  ASSERT_EQ(verifyModule(M), "");
+
+  ExecutionEngine EE(M);
+  int Count = 0;
+  EE.bindExternal("record", [&](std::span<const RTValue>) {
+    ++Count;
+    return RTValue{};
+  });
+  EE.runFunction("f", {RTValue::ofInt(123)});
+  EXPECT_EQ(Count, 123);
+}
+
+TEST(OMPIRBuilderTest, NestedLoops) {
+  LoopHarness H;
+  Value *TripOuter = H.M.getI64(3);
+  Value *TripInner = H.M.getI64(4);
+  H.OMPB.createCanonicalLoop(
+      H.B, TripOuter,
+      [&](IRBuilder &Bld, Value *I) {
+        H.OMPB.createCanonicalLoop(
+            Bld, TripInner,
+            [&](IRBuilder &Bld2, Value *J) {
+              Value *Lin = Bld2.createAdd(
+                  Bld2.createMul(I, H.M.getI64(10), "i10"), J, "lin");
+              H.recordValue(Lin);
+            },
+            "inner");
+      },
+      "outer");
+  H.finish();
+  std::vector<std::int64_t> Expected;
+  for (int I = 0; I < 3; ++I)
+    for (int J = 0; J < 4; ++J)
+      Expected.push_back(10 * I + J);
+  EXPECT_EQ(H.run(), Expected);
+}
+
+// --- tileLoops ---
+
+/// Builds a perfect 2-nest with hoisted trip counts and records
+/// (i * 100 + j); returns the two CLIs.
+std::vector<CanonicalLoopInfo *> buildPerfectNest(LoopHarness &H,
+                                                  std::int64_t TripI,
+                                                  std::int64_t TripJ) {
+  std::vector<CanonicalLoopInfo *> Loops(2);
+  Value *TI = H.M.getI64(TripI);
+  Value *TJ = H.M.getI64(TripJ);
+  Loops[0] = H.OMPB.createCanonicalLoop(
+      H.B, TI,
+      [&](IRBuilder &Bld, Value *I) {
+        Loops[1] = H.OMPB.createCanonicalLoop(
+            Bld, TJ,
+            [&](IRBuilder &Bld2, Value *J) {
+              Value *Lin = Bld2.createAdd(
+                  Bld2.createMul(I, H.M.getI64(100), "i100"), J, "lin");
+              H.recordValue(Lin);
+            },
+            "j");
+      },
+      "i");
+  return Loops;
+}
+
+TEST(OMPIRBuilderTest, TileLoopsProducesTwiceAsMany) {
+  LoopHarness H;
+  auto Loops = buildPerfectNest(H, 8, 8);
+  std::vector<CanonicalLoopInfo *> Tiled =
+      H.OMPB.tileLoops(Loops, {H.M.getI64(4), H.M.getI64(2)});
+  H.finish();
+  ASSERT_EQ(Tiled.size(), 4u);
+  for (CanonicalLoopInfo *CLI : Tiled)
+    EXPECT_EQ(CLI->validate(), "");
+  // Floor loops first: trips ceil(8/4)=2 and ceil(8/2)=4.
+  auto *FC0 = ir_dyn_cast<ConstantInt>(Tiled[0]->getTripCount());
+  ASSERT_NE(FC0, nullptr);
+  EXPECT_EQ(FC0->getValue(), 2);
+  auto *FC1 = ir_dyn_cast<ConstantInt>(Tiled[1]->getTripCount());
+  ASSERT_NE(FC1, nullptr);
+  EXPECT_EQ(FC1->getValue(), 4);
+}
+
+struct TileCase {
+  std::int64_t TripI, TripJ, SizeI, SizeJ;
+};
+
+class TileSweep : public ::testing::TestWithParam<TileCase> {};
+
+TEST_P(TileSweep, VisitsEveryIterationExactlyOnce) {
+  const TileCase &C = GetParam();
+  LoopHarness H;
+  auto Loops = buildPerfectNest(H, C.TripI, C.TripJ);
+  H.OMPB.tileLoops(Loops, {H.M.getI64(C.SizeI), H.M.getI64(C.SizeJ)});
+  H.finish();
+
+  std::vector<std::int64_t> Visited = H.run();
+  // Same multiset of iterations as the untiled nest.
+  std::multiset<std::int64_t> Got(Visited.begin(), Visited.end());
+  std::multiset<std::int64_t> Expected;
+  for (std::int64_t I = 0; I < C.TripI; ++I)
+    for (std::int64_t J = 0; J < C.TripJ; ++J)
+      Expected.insert(I * 100 + J);
+  EXPECT_EQ(Got, Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TileSweep,
+    ::testing::Values(TileCase{8, 8, 4, 2},    // even division
+                      TileCase{7, 5, 3, 2},    // boundary tiles
+                      TileCase{1, 1, 4, 4},    // tiles larger than space
+                      TileCase{16, 1, 4, 1},   // degenerate inner
+                      TileCase{5, 9, 5, 9},    // tile == whole space
+                      TileCase{10, 10, 1, 1}, // unit tiles
+                      TileCase{13, 17, 7, 3}));
+
+TEST(OMPIRBuilderTest, TiledLoopVisitsTilesInOrder) {
+  // For trip 4 tile 2 over one loop, the visit order must be
+  // 0,1 (tile 0), 2,3 (tile 1).
+  LoopHarness H;
+  CanonicalLoopInfo *CLI = H.OMPB.createCanonicalLoop(
+      H.B, H.M.getI64(4),
+      [&](IRBuilder &, Value *IV) { H.recordValue(IV); }, "loop");
+  H.OMPB.tileLoops({CLI}, {H.M.getI64(2)});
+  H.finish();
+  EXPECT_EQ(H.run(), (std::vector<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(OMPIRBuilderTest, TileInvalidatesInputHandles) {
+  LoopHarness H;
+  CanonicalLoopInfo *CLI = H.OMPB.createCanonicalLoop(
+      H.B, H.M.getI64(4), [](IRBuilder &, Value *) {}, "loop");
+  EXPECT_TRUE(CLI->isValid());
+  H.OMPB.tileLoops({CLI}, {H.M.getI64(2)});
+  EXPECT_FALSE(CLI->isValid());
+}
+
+// --- collapseLoops ---
+
+TEST(OMPIRBuilderTest, CollapseLoopsCombinesIterationSpace) {
+  LoopHarness H;
+  auto Loops = buildPerfectNest(H, 3, 5);
+  CanonicalLoopInfo *Collapsed = H.OMPB.collapseLoops(Loops);
+  H.finish();
+  EXPECT_EQ(Collapsed->validate(), "");
+  auto *TC = ir_dyn_cast<ConstantInt>(Collapsed->getTripCount());
+  ASSERT_NE(TC, nullptr);
+  EXPECT_EQ(TC->getValue(), 15);
+
+  std::vector<std::int64_t> Expected;
+  for (std::int64_t I = 0; I < 3; ++I)
+    for (std::int64_t J = 0; J < 5; ++J)
+      Expected.push_back(I * 100 + J);
+  EXPECT_EQ(H.run(), Expected); // order preserved by de-linearization
+}
+
+// --- unrolling metadata ---
+
+TEST(OMPIRBuilderTest, UnrollFullAttachesMetadata) {
+  LoopHarness H;
+  CanonicalLoopInfo *CLI = H.OMPB.createCanonicalLoop(
+      H.B, H.M.getI64(8), [](IRBuilder &, Value *) {}, "loop");
+  H.OMPB.unrollLoopFull(CLI);
+  H.finish();
+  EXPECT_TRUE(CLI->getLatch()->getTerminator()->LoopMD.UnrollFull);
+}
+
+TEST(OMPIRBuilderTest, UnrollHeuristicAttachesMetadata) {
+  LoopHarness H;
+  CanonicalLoopInfo *CLI = H.OMPB.createCanonicalLoop(
+      H.B, H.M.getI64(8), [](IRBuilder &, Value *) {}, "loop");
+  H.OMPB.unrollLoopHeuristic(CLI);
+  H.finish();
+  EXPECT_TRUE(CLI->getLatch()->getTerminator()->LoopMD.UnrollEnable);
+}
+
+TEST(OMPIRBuilderTest, UnrollPartialTilesAndAnnotates) {
+  // "unrollLoopPartial tiles the loop and lets the mid-end unroll the
+  // inner loop" — the generated (outer) loop handle must be returned for
+  // consumption by enclosing directives.
+  LoopHarness H;
+  CanonicalLoopInfo *CLI = H.OMPB.createCanonicalLoop(
+      H.B, H.M.getI64(10),
+      [&](IRBuilder &, Value *IV) { H.recordValue(IV); }, "loop");
+  CanonicalLoopInfo *Unrolled = nullptr;
+  H.OMPB.unrollLoopPartial(CLI, 4, &Unrolled);
+  H.finish();
+
+  ASSERT_NE(Unrolled, nullptr);
+  EXPECT_EQ(Unrolled->validate(), "");
+  // ceil(10/4) = 3 outer iterations.
+  auto *TC = ir_dyn_cast<ConstantInt>(Unrolled->getTripCount());
+  ASSERT_NE(TC, nullptr);
+  EXPECT_EQ(TC->getValue(), 3);
+
+  // Semantics unchanged even before the mid-end runs (metadata only).
+  EXPECT_EQ(H.run(), (std::vector<std::int64_t>{0, 1, 2, 3, 4, 5, 6, 7, 8,
+                                                9}));
+}
+
+// --- worksharing ---
+
+struct WorkshareCase {
+  std::int64_t Trip;
+  int Threads;
+  OMPScheduleType Sched;
+  std::int64_t Chunk; // 0 = none
+};
+
+class WorkshareSweep : public ::testing::TestWithParam<WorkshareCase> {};
+
+TEST_P(WorkshareSweep, AllIterationsExecutedExactlyOnce) {
+  const WorkshareCase &C = GetParam();
+  mcc::rt::OpenMPRuntime::get().setDefaultNumThreads(C.Threads);
+
+  // Build: outlined(gtid, btid, ctx) { workshare-loop { hits[iv]++ } }
+  // and f() { fork_call(outlined) }. hits is a global of Trip slots;
+  // increments are racy only if the schedule hands an iteration to two
+  // threads, which is exactly what the test checks.
+  Module M;
+  IRBuilder B(M);
+  OpenMPIRBuilder OMPB(M);
+  GlobalVariable *Hits = M.createGlobal(
+      "hits", IRType::getI64(), static_cast<std::uint64_t>(C.Trip));
+
+  Function *Outlined = M.createFunction(
+      "outlined", IRType::getVoid(),
+      {IRType::getPtr(), IRType::getPtr(), IRType::getPtr()});
+  B.setInsertPoint(Outlined->createBlock("entry"));
+  CanonicalLoopInfo *CLI = OMPB.createCanonicalLoop(
+      B, M.getI64(C.Trip),
+      [&](IRBuilder &Bld, Value *IV) {
+        Value *Slot = Bld.createGEP(IRType::getI64(), Hits, IV);
+        Value *Old = Bld.createLoad(IRType::getI64(), Slot);
+        Bld.createStore(Bld.createAdd(Old, M.getI64(1)), Slot);
+      },
+      "wsloop");
+  OMPB.applyWorkshareLoop(CLI, C.Sched,
+                          C.Chunk ? M.getI64(C.Chunk) : nullptr,
+                          /*NoWait=*/false);
+  B.createRetVoid();
+
+  Function *ForkFn = OMPB.getOrCreateRuntimeFunction("__kmpc_fork_call");
+  Function *F = M.createFunction("f", IRType::getVoid(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  Instruction *Ctx = B.createAlloca(IRType::getPtr(), M.getI64(1), "ctx");
+  B.createCall(ForkFn, {Outlined, B.getI32(0), Ctx, B.getI32(C.Threads)});
+  B.createRetVoid();
+
+  ASSERT_EQ(verifyModule(M), "") << printModule(M);
+  ExecutionEngine EE(M);
+  EE.runFunction("f", {});
+
+  auto *Raw = static_cast<std::int64_t *>(EE.getGlobalAddress("hits"));
+  for (std::int64_t I = 0; I < C.Trip; ++I)
+    ASSERT_EQ(Raw[I], 1) << "iteration " << I << " trip=" << C.Trip
+                         << " threads=" << C.Threads
+                         << " sched=" << static_cast<int>(C.Sched);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WorkshareSweep,
+    ::testing::Values(
+        WorkshareCase{100, 4, OMPScheduleType::Static, 0},
+        WorkshareCase{7, 4, OMPScheduleType::Static, 0},
+        WorkshareCase{1, 4, OMPScheduleType::Static, 0},
+        WorkshareCase{101, 3, OMPScheduleType::Static, 0},
+        WorkshareCase{100, 4, OMPScheduleType::StaticChunked, 8},
+        WorkshareCase{100, 4, OMPScheduleType::DynamicChunked, 8},
+        WorkshareCase{97, 3, OMPScheduleType::DynamicChunked, 5},
+        WorkshareCase{100, 4, OMPScheduleType::GuidedChunked, 4},
+        WorkshareCase{1000, 8, OMPScheduleType::DynamicChunked, 1}));
+
+TEST(OMPIRBuilderTest, WorkshareStaticPartitionsContiguously) {
+  // With schedule(static), thread t gets one contiguous range; verify via
+  // per-thread recording.
+  mcc::rt::OpenMPRuntime::get().setDefaultNumThreads(4);
+  Module M;
+  IRBuilder B(M);
+  OpenMPIRBuilder OMPB(M);
+  Function *Record = M.getOrInsertFunction(
+      "record2", IRType::getVoid(), {IRType::getI32(), IRType::getI64()});
+  Function *GetTid =
+      M.getOrInsertFunction("omp_get_thread_num", IRType::getI32(), {});
+
+  Function *Outlined = M.createFunction(
+      "outlined", IRType::getVoid(),
+      {IRType::getPtr(), IRType::getPtr(), IRType::getPtr()});
+  B.setInsertPoint(Outlined->createBlock("entry"));
+  CanonicalLoopInfo *CLI = OMPB.createCanonicalLoop(
+      B, M.getI64(16),
+      [&](IRBuilder &Bld, Value *IV) {
+        Value *Tid = Bld.createCall(GetTid, {}, "tid");
+        Bld.createCall(Record, {Tid, IV});
+      },
+      "wsloop");
+  OMPB.applyWorkshareLoop(CLI, OMPScheduleType::Static, nullptr, false);
+  B.createRetVoid();
+
+  Function *ForkFn = OMPB.getOrCreateRuntimeFunction("__kmpc_fork_call");
+  Function *F = M.createFunction("f", IRType::getVoid(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  Instruction *Ctx = B.createAlloca(IRType::getPtr(), M.getI64(1), "ctx");
+  B.createCall(ForkFn, {Outlined, B.getI32(0), Ctx, B.getI32(4)});
+  B.createRetVoid();
+  ASSERT_EQ(verifyModule(M), "");
+
+  ExecutionEngine EE(M);
+  std::mutex Mx;
+  std::map<int, std::vector<std::int64_t>> PerThread;
+  EE.bindExternal("record2", [&](std::span<const RTValue> Args) {
+    std::lock_guard<std::mutex> Lock(Mx);
+    PerThread[static_cast<int>(Args[0].I)].push_back(Args[1].I);
+    return RTValue{};
+  });
+  EE.runFunction("f", {});
+
+  ASSERT_EQ(PerThread.size(), 4u);
+  for (auto &[Tid, Iters] : PerThread) {
+    ASSERT_EQ(Iters.size(), 4u) << "thread " << Tid;
+    // Contiguous ascending range 4*tid .. 4*tid+3.
+    for (std::size_t K = 0; K < Iters.size(); ++K)
+      EXPECT_EQ(Iters[K], 4 * Tid + static_cast<std::int64_t>(K));
+  }
+}
+
+TEST(OMPIRBuilderTest, SimdAttachesVectorizeMetadata) {
+  LoopHarness H;
+  CanonicalLoopInfo *CLI = H.OMPB.createCanonicalLoop(
+      H.B, H.M.getI64(8), [](IRBuilder &, Value *) {}, "loop");
+  H.OMPB.applySimd(CLI);
+  H.finish();
+  EXPECT_TRUE(CLI->getLatch()->getTerminator()->LoopMD.Vectorize);
+}
+
+TEST(OMPIRBuilderTest, TileComposesWithWorkshare) {
+  // tile a loop, then workshare the floor loop — the OpenMP 6.0-bound
+  // composition the paper's conclusion describes.
+  mcc::rt::OpenMPRuntime::get().setDefaultNumThreads(3);
+  Module M;
+  IRBuilder B(M);
+  OpenMPIRBuilder OMPB(M);
+  GlobalVariable *Hits = M.createGlobal("hits", IRType::getI64(), 50);
+
+  Function *Outlined = M.createFunction(
+      "outlined", IRType::getVoid(),
+      {IRType::getPtr(), IRType::getPtr(), IRType::getPtr()});
+  B.setInsertPoint(Outlined->createBlock("entry"));
+  CanonicalLoopInfo *CLI = OMPB.createCanonicalLoop(
+      B, M.getI64(50),
+      [&](IRBuilder &Bld, Value *IV) {
+        Value *Slot = Bld.createGEP(IRType::getI64(), Hits, IV);
+        Value *Old = Bld.createLoad(IRType::getI64(), Slot);
+        Bld.createStore(Bld.createAdd(Old, M.getI64(1)), Slot);
+      },
+      "loop");
+  auto Tiled = OMPB.tileLoops({CLI}, {M.getI64(8)});
+  // The paper's conclusion's OpenMP 6.0 example: worksharing on the outer
+  // (floor) loop, simd on the inner (tile) loop.
+  OMPB.applyWorkshareLoop(Tiled[0], OMPScheduleType::Static, nullptr,
+                          false);
+  OMPB.applySimd(Tiled[1]);
+  B.createRetVoid();
+
+  Function *ForkFn = OMPB.getOrCreateRuntimeFunction("__kmpc_fork_call");
+  Function *F = M.createFunction("f", IRType::getVoid(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  Instruction *Ctx = B.createAlloca(IRType::getPtr(), M.getI64(1), "ctx");
+  B.createCall(ForkFn, {Outlined, B.getI32(0), Ctx, B.getI32(3)});
+  B.createRetVoid();
+  ASSERT_EQ(verifyModule(M), "") << printModule(M);
+
+  ExecutionEngine EE(M);
+  EE.runFunction("f", {});
+  auto *Raw = static_cast<std::int64_t *>(EE.getGlobalAddress("hits"));
+  for (int I = 0; I < 50; ++I)
+    ASSERT_EQ(Raw[I], 1) << "iteration " << I;
+}
+
+} // namespace

@@ -1,0 +1,632 @@
+//===--- openmp_sema_test.cpp - OpenMP directive construction tests -------===//
+//
+// Verifies the AST-level design points of the paper:
+//   * class hierarchy (Fig. 4/5/6) and clause attachment
+//   * shadow AST hidden from children() (Section 1.2 footnote)
+//   * transformed statement construction for tile / unroll (Section 2)
+//   * OMPCanonicalLoop construction in IRBuilder mode (Section 3)
+//   * the 36-vs-3 meta-information reduction (E8)
+//
+//===----------------------------------------------------------------------===//
+#include "FrontendTestHelper.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcc;
+using namespace mcc::test;
+
+namespace {
+
+LangOptions irBuilderMode() {
+  LangOptions LO;
+  LO.OpenMPEnableIRBuilder = true;
+  return LO;
+}
+
+const char *UnrollPartial2 = R"(
+  void body(int x);
+  void f(int N) {
+    #pragma omp unroll partial(2)
+    for (int i = 7; i < 17; i += 3)
+      body(i);
+  }
+)";
+
+TEST(OpenMPSemaTest, ParallelForDirective) {
+  Frontend F(R"(
+    void body(int x);
+    void f(int N) {
+      #pragma omp parallel for schedule(static)
+      for (int i = 7; i < 17; i += 3)
+        body(i);
+    }
+  )");
+  EXPECT_EQ(F.errors(), 0u);
+  auto *Dir = F.findStmt<OMPParallelForDirective>("f");
+  ASSERT_NE(Dir, nullptr);
+  EXPECT_EQ(Dir->getDirectiveKind(), OpenMPDirectiveKind::ParallelFor);
+  EXPECT_EQ(Dir->getNumClauses(), 1u);
+  const auto *Sched = Dir->getSingleClause<OMPScheduleClause>();
+  ASSERT_NE(Sched, nullptr);
+  EXPECT_EQ(Sched->getScheduleKind(), OpenMPScheduleKind::Static);
+
+  // The associated statement is wrapped in a CapturedStmt borrowing from
+  // the lambda/block implementation (Section 1.2).
+  auto *CS = stmt_dyn_cast<CapturedStmt>(Dir->getAssociatedStmt());
+  ASSERT_NE(CS, nullptr);
+  EXPECT_EQ(CS->getCapturedDecl()->getNumParams(), 3u);
+  EXPECT_EQ(CS->getCapturedDecl()->getParam(0)->getName(), ".global_tid.");
+  EXPECT_EQ(CS->getCapturedDecl()->getParam(1)->getName(), ".bound_tid.");
+  EXPECT_EQ(CS->getCapturedDecl()->getParam(2)->getName(), "__context");
+  // All bounds are constants and 'i' is declared inside: nothing crosses
+  // the outlining boundary.
+  EXPECT_EQ(CS->captures().size(), 0u);
+
+  // The loop is an ordinary ForStmt, same node as without OpenMP.
+  EXPECT_NE(stmt_dyn_cast<ForStmt>(Dir->getInnermostAssociatedStmt()),
+            nullptr);
+
+  // Legacy pipeline: the shadow helper expressions exist...
+  const OMPLoopHelperExprs &H =
+      stmt_cast<OMPLoopDirective>(Dir)->getLoopHelpers();
+  EXPECT_GE(H.countShadowNodes(), 20u);
+  EXPECT_NE(H.IterationVar, nullptr);
+  EXPECT_EQ(std::string(H.IterationVar->getName()), ".omp.iv");
+  ASSERT_EQ(H.Loops.size(), 1u);
+  EXPECT_EQ(H.Loops[0].CounterVar->getName(), "i");
+
+  // ...but are NOT enumerated by children() (Section 1.2 footnote).
+  std::vector<Stmt *> Children = Dir->children();
+  ASSERT_EQ(Children.size(), 1u);
+  EXPECT_EQ(Children[0], Dir->getAssociatedStmt());
+}
+
+TEST(OpenMPSemaTest, CapturesVariablesCrossingTheOutliningBoundary) {
+  Frontend F(R"(
+    void use(int x);
+    void f(int N) {
+      int scale = 3;
+      int local = 0;
+      #pragma omp parallel for
+      for (int i = 0; i < N; ++i)
+        use(i * scale + local);
+    }
+  )");
+  EXPECT_EQ(F.errors(), 0u);
+  auto *Dir = F.findStmt<OMPParallelForDirective>("f");
+  ASSERT_NE(Dir, nullptr);
+  auto *CS = stmt_dyn_cast<CapturedStmt>(Dir->getAssociatedStmt());
+  ASSERT_NE(CS, nullptr);
+  // N (bound), scale and local (body) are declared outside -> captured.
+  std::vector<std::string> Names;
+  for (const CapturedStmt::Capture &C : CS->captures())
+    Names.emplace_back(C.Var->getName());
+  EXPECT_EQ(Names.size(), 3u);
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "N"), Names.end());
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "scale"), Names.end());
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "local"), Names.end());
+}
+
+TEST(OpenMPSemaTest, GlobalsAreNotCaptured) {
+  Frontend F(R"(
+    int g = 0;
+    void f(int N) {
+      #pragma omp parallel for
+      for (int i = 0; i < N; ++i)
+        g = g < i ? i : g;
+    }
+  )");
+  // Note: the unsynchronized write to g races at runtime; capture analysis
+  // is what is under test here.
+  EXPECT_EQ(F.errors(), 0u);
+  auto *Dir = F.findStmt<OMPParallelForDirective>("f");
+  auto *CS = stmt_dyn_cast<CapturedStmt>(Dir->getAssociatedStmt());
+  ASSERT_NE(CS, nullptr);
+  for (const CapturedStmt::Capture &C : CS->captures())
+    EXPECT_NE(C.Var->getName(), "g");
+}
+
+TEST(OpenMPSemaTest, ClassHierarchy) {
+  Frontend F(R"(
+    void f(int N) {
+      #pragma omp tile sizes(4)
+      for (int i = 0; i < N; ++i) ;
+    }
+  )");
+  EXPECT_EQ(F.errors(), 0u);
+  auto *Tile = F.findStmt<OMPTileDirective>("f");
+  ASSERT_NE(Tile, nullptr);
+  // Fig. 5: OMPTileDirective is an OMPLoopBasedDirective (and transitively
+  // an OMPExecutableDirective) but NOT an OMPLoopDirective.
+  EXPECT_TRUE(OMPLoopBasedDirective::classof(Tile));
+  EXPECT_TRUE(OMPExecutableDirective::classof(Tile));
+  EXPECT_TRUE(OMPLoopTransformationDirective::classof(Tile));
+  EXPECT_FALSE(OMPLoopDirective::classof(Tile));
+}
+
+TEST(OpenMPSemaTest, UnrollPartialBuildsTransformedStmt) {
+  Frontend F(UnrollPartial2);
+  EXPECT_EQ(F.errors(), 0u);
+  auto *Unroll = F.findStmt<OMPUnrollDirective>("f");
+  ASSERT_NE(Unroll, nullptr);
+  EXPECT_TRUE(Unroll->hasPartialClause());
+  ASSERT_NE(Unroll->getTransformedStmt(), nullptr);
+
+  // Paper Fig. 8: the transformed AST is a strip-mined outer loop whose
+  // body is an AttributedStmt carrying an implicit LoopHintAttr
+  // UnrollCount(2) on the kept inner loop — no body duplication.
+  auto *Outer = stmt_dyn_cast<ForStmt>(Unroll->getTransformedStmt());
+  ASSERT_NE(Outer, nullptr);
+  auto *OuterInit = stmt_dyn_cast<DeclStmt>(Outer->getInit());
+  ASSERT_NE(OuterInit, nullptr);
+  EXPECT_EQ(OuterInit->getSingleDecl()->getName(), "unrolled.iv.i");
+  EXPECT_TRUE(OuterInit->getSingleDecl()->isImplicit());
+
+  auto *Attributed = stmt_dyn_cast<AttributedStmt>(Outer->getBody());
+  ASSERT_NE(Attributed, nullptr);
+  ASSERT_EQ(Attributed->getAttrs().size(), 1u);
+  const auto *Hint =
+      static_cast<const LoopHintAttr *>(Attributed->getAttrs()[0]);
+  EXPECT_EQ(Hint->getOption(), LoopHintAttr::OptionKind::UnrollCount);
+  EXPECT_TRUE(Hint->isImplicit());
+  EXPECT_EQ(*evaluateInteger(Hint->getValue()), 2);
+
+  auto *Inner = stmt_dyn_cast<ForStmt>(Attributed->getSubStmt());
+  ASSERT_NE(Inner, nullptr);
+  auto *InnerInit = stmt_dyn_cast<DeclStmt>(Inner->getInit());
+  ASSERT_NE(InnerInit, nullptr);
+  EXPECT_EQ(InnerInit->getSingleDecl()->getName(), "unroll_inner.iv.i");
+
+  // The shadow AST is not reachable through children().
+  std::vector<Stmt *> Children = Unroll->children();
+  ASSERT_EQ(Children.size(), 1u);
+  EXPECT_NE(Children[0], Unroll->getTransformedStmt());
+}
+
+TEST(OpenMPSemaTest, UnrollFullHasNoTransformedStmt) {
+  Frontend F(R"(
+    void body(int x);
+    void f() {
+      #pragma omp unroll full
+      for (int i = 0; i < 8; ++i)
+        body(i);
+    }
+  )");
+  EXPECT_EQ(F.errors(), 0u);
+  auto *Unroll = F.findStmt<OMPUnrollDirective>("f");
+  ASSERT_NE(Unroll, nullptr);
+  EXPECT_TRUE(Unroll->hasFullClause());
+  // Full unrolling produces no generated loop; CodeGen defers to the
+  // mid-end LoopUnroll pass via metadata (Section 2.2).
+  EXPECT_EQ(Unroll->getTransformedStmt(), nullptr);
+}
+
+TEST(OpenMPSemaTest, UnrollFullRequiresConstantTripCount) {
+  Frontend F(R"(
+    void f(int N) {
+      #pragma omp unroll full
+      for (int i = 0; i < N; ++i) ;
+    }
+  )");
+  EXPECT_TRUE(F.hasDiag(diag::err_omp_unroll_full_variable_trip_count));
+}
+
+TEST(OpenMPSemaTest, UnrollFullAndPartialMutuallyExclusive) {
+  Frontend F(R"(
+    void f() {
+      #pragma omp unroll full partial(2)
+      for (int i = 0; i < 8; ++i) ;
+    }
+  )");
+  EXPECT_TRUE(F.hasDiag(diag::err_omp_unroll_full_with_partial));
+}
+
+TEST(OpenMPSemaTest, UnrollHeuristicHasNoTransformedStmt) {
+  Frontend F(R"(
+    void f(int N) {
+      #pragma omp unroll
+      for (int i = 0; i < N; ++i) ;
+    }
+  )");
+  EXPECT_EQ(F.errors(), 0u);
+  auto *Unroll = F.findStmt<OMPUnrollDirective>("f");
+  ASSERT_NE(Unroll, nullptr);
+  EXPECT_EQ(Unroll->getTransformedStmt(), nullptr);
+}
+
+TEST(OpenMPSemaTest, StackedUnrollDirectives) {
+  // The paper's Listing 6: unroll full applied to the loop generated by
+  // unroll partial(2).
+  Frontend F(R"(
+    void body(int x);
+    void f() {
+      #pragma omp unroll full
+      #pragma omp unroll partial(2)
+      for (int i = 7; i < 17; i += 3)
+        body(i);
+    }
+  )");
+  EXPECT_EQ(F.errors(), 0u);
+  auto *OuterUnroll = F.findStmt<OMPUnrollDirective>("f");
+  ASSERT_NE(OuterUnroll, nullptr);
+  EXPECT_TRUE(OuterUnroll->hasFullClause());
+  // Its associated statement is the inner unroll directive.
+  auto *InnerUnroll =
+      stmt_dyn_cast<OMPUnrollDirective>(OuterUnroll->getAssociatedStmt());
+  ASSERT_NE(InnerUnroll, nullptr);
+  EXPECT_TRUE(InnerUnroll->hasPartialClause());
+  ASSERT_NE(InnerUnroll->getTransformedStmt(), nullptr);
+}
+
+TEST(OpenMPSemaTest, ParallelForConsumesUnrollPartial) {
+  // Section 1.1's motivating example.
+  Frontend F(R"(
+    void body(int x);
+    void f(int N) {
+      #pragma omp parallel for
+      #pragma omp unroll partial(2)
+      for (int i = 0; i < N; i += 1)
+        body(i);
+    }
+  )");
+  EXPECT_EQ(F.errors(), 0u);
+  auto *PF = F.findStmt<OMPParallelForDirective>("f");
+  ASSERT_NE(PF, nullptr);
+  // The worksharing loop's helper expressions analyze the *generated*
+  // (transformed) loop, whose iteration variable is the strip-mine
+  // counter.
+  const OMPLoopHelperExprs &H = PF->getLoopHelpers();
+  ASSERT_EQ(H.Loops.size(), 1u);
+  EXPECT_EQ(H.Loops[0].CounterVar->getName(), "unrolled.iv.i");
+}
+
+TEST(OpenMPSemaTest, ConsumingFullUnrollIsAnError) {
+  Frontend F(R"(
+    void f() {
+      #pragma omp parallel for
+      #pragma omp unroll full
+      for (int i = 0; i < 8; ++i) ;
+    }
+  )");
+  EXPECT_TRUE(F.hasDiag(diag::err_omp_directive_needs_loop_result));
+}
+
+TEST(OpenMPSemaTest, ConsumingHeuristicUnrollForcesFactor) {
+  Frontend F(R"(
+    void f(int N) {
+      #pragma omp parallel for
+      #pragma omp unroll
+      for (int i = 0; i < N; ++i) ;
+    }
+  )");
+  EXPECT_EQ(F.errors(), 0u);
+  // The paper: "The current implementation uses the unroll factor of two
+  // in this case."
+  EXPECT_TRUE(F.hasDiag(diag::warn_omp_unroll_factor_forced));
+  auto *Unroll = F.findStmt<OMPUnrollDirective>("f");
+  ASSERT_NE(Unroll, nullptr);
+  EXPECT_NE(Unroll->getTransformedStmt(), nullptr); // materialized lazily
+}
+
+TEST(OpenMPSemaTest, TileBuildsTwiceAsManyLoops) {
+  Frontend F(R"(
+    void body(int x);
+    void f(int N, int M) {
+      #pragma omp tile sizes(4, 8)
+      for (int i = 0; i < N; ++i)
+        for (int j = 0; j < M; ++j)
+          body(i + j);
+    }
+  )");
+  EXPECT_EQ(F.errors(), 0u);
+  auto *Tile = F.findStmt<OMPTileDirective>("f");
+  ASSERT_NE(Tile, nullptr);
+  EXPECT_EQ(Tile->getLoopsNumber(), 2u);
+  ASSERT_NE(Tile->getTransformedStmt(), nullptr);
+
+  // "Tiling applies to multiple loops nested inside each other and
+  // generates twice as many loops" (Section 1.1).
+  unsigned LoopCount = 0;
+  Stmt *Cur = Tile->getTransformedStmt();
+  std::vector<std::string> IVNames;
+  while (auto *For = stmt_dyn_cast<ForStmt>(Cur)) {
+    ++LoopCount;
+    if (auto *DS = stmt_dyn_cast<DeclStmt>(For->getInit()))
+      IVNames.emplace_back(DS->getSingleDecl()->getName());
+    Cur = For->getBody();
+    while (auto *CS = stmt_dyn_cast<CompoundStmt>(Cur)) {
+      if (CS->size() >= 1 && stmt_dyn_cast<ForStmt>(CS->body()[0]))
+        Cur = CS->body()[0];
+      else
+        break;
+    }
+  }
+  EXPECT_EQ(LoopCount, 4u);
+  ASSERT_EQ(IVNames.size(), 4u);
+  EXPECT_EQ(IVNames[0], ".floor.0.iv.i");
+  EXPECT_EQ(IVNames[1], ".floor.1.iv.j");
+  EXPECT_EQ(IVNames[2], ".tile.0.iv.i");
+  EXPECT_EQ(IVNames[3], ".tile.1.iv.j");
+}
+
+TEST(OpenMPSemaTest, TileRequiresSizes) {
+  Frontend F(R"(
+    void f(int N) {
+      #pragma omp tile
+      for (int i = 0; i < N; ++i) ;
+    }
+  )");
+  EXPECT_TRUE(F.hasDiag(diag::err_omp_tile_requires_sizes));
+}
+
+TEST(OpenMPSemaTest, TileSizesMustBePositive) {
+  Frontend F(R"(
+    void f(int N) {
+      #pragma omp tile sizes(0)
+      for (int i = 0; i < N; ++i) ;
+    }
+  )");
+  EXPECT_TRUE(F.hasDiag(diag::err_omp_sizes_requires_positive));
+}
+
+TEST(OpenMPSemaTest, TileNeedsDeepEnoughNest) {
+  Frontend F(R"(
+    void g(int x);
+    void f(int N) {
+      #pragma omp tile sizes(4, 4)
+      for (int i = 0; i < N; ++i)
+        g(i);
+    }
+  )");
+  EXPECT_GE(F.errors(), 1u);
+}
+
+TEST(OpenMPSemaTest, ForConsumesTileOuterLoop) {
+  Frontend F(R"(
+    void body(int x);
+    void f(int N) {
+      #pragma omp for
+      #pragma omp tile sizes(16)
+      for (int i = 0; i < N; ++i)
+        body(i);
+    }
+  )");
+  EXPECT_EQ(F.errors(), 0u);
+  auto *For = F.findStmt<OMPForDirective>("f");
+  ASSERT_NE(For, nullptr);
+  const OMPLoopHelperExprs &H = For->getLoopHelpers();
+  ASSERT_EQ(H.Loops.size(), 1u);
+  EXPECT_EQ(H.Loops[0].CounterVar->getName(), ".floor.0.iv.i");
+}
+
+TEST(OpenMPSemaTest, CollapseOverTileConsumesGeneratedLoops) {
+  // After tiling, worksharing may apply to the generated floor loops.
+  Frontend F(R"(
+    void body(int x);
+    void f(int N, int M) {
+      #pragma omp for collapse(2)
+      #pragma omp tile sizes(4, 4)
+      for (int i = 0; i < N; ++i)
+        for (int j = 0; j < M; ++j)
+          body(i + j);
+    }
+  )");
+  EXPECT_EQ(F.errors(), 0u);
+  auto *For = F.findStmt<OMPForDirective>("f");
+  ASSERT_NE(For, nullptr);
+  const OMPLoopHelperExprs &H = For->getLoopHelpers();
+  ASSERT_EQ(H.Loops.size(), 2u);
+  EXPECT_EQ(H.Loops[0].CounterVar->getName(), ".floor.0.iv.i");
+  EXPECT_EQ(H.Loops[1].CounterVar->getName(), ".floor.1.iv.j");
+}
+
+TEST(OpenMPSemaTest, CollapseBuildsPerLoopHelpers) {
+  Frontend F(R"(
+    void body(int x);
+    void f(int N, int M) {
+      #pragma omp for collapse(2)
+      for (int i = 0; i < N; ++i)
+        for (int j = 0; j < M; ++j)
+          body(i + j);
+    }
+  )");
+  EXPECT_EQ(F.errors(), 0u);
+  auto *For = F.findStmt<OMPForDirective>("f");
+  ASSERT_NE(For, nullptr);
+  const OMPLoopHelperExprs &H = For->getLoopHelpers();
+  EXPECT_EQ(H.Loops.size(), 2u);
+  // 6 per-loop helpers for each of the two loops.
+  EXPECT_GE(H.countShadowNodes(), 20u + 12u);
+}
+
+TEST(OpenMPSemaTest, DuplicateClauseDiagnosed) {
+  Frontend F(R"(
+    void f(int N) {
+      #pragma omp for schedule(static) schedule(dynamic)
+      for (int i = 0; i < N; ++i) ;
+    }
+  )");
+  EXPECT_TRUE(F.hasDiag(diag::err_omp_duplicate_clause));
+}
+
+TEST(OpenMPSemaTest, WrongClauseForDirective) {
+  Frontend F(R"(
+    void f(int N) {
+      #pragma omp unroll sizes(4)
+      for (int i = 0; i < N; ++i) ;
+    }
+  )");
+  EXPECT_TRUE(F.hasDiag(diag::err_omp_unknown_clause));
+}
+
+TEST(OpenMPSemaTest, UnknownDirective) {
+  Frontend F("void f() {\n#pragma omp frobnicate\n ; }");
+  EXPECT_TRUE(F.hasDiag(diag::err_omp_unknown_directive));
+}
+
+TEST(OpenMPSemaTest, DirectiveNeedsForLoop) {
+  Frontend F(R"(
+    void f() {
+      #pragma omp for
+      { }
+    }
+  )");
+  EXPECT_TRUE(F.hasDiag(diag::err_omp_not_for));
+}
+
+TEST(OpenMPSemaTest, BarrierIsStandalone) {
+  Frontend F("void f() {\n#pragma omp barrier\n}");
+  EXPECT_EQ(F.errors(), 0u);
+  auto *B = F.findStmt<OMPBarrierDirective>("f");
+  ASSERT_NE(B, nullptr);
+  EXPECT_FALSE(B->hasAssociatedStmt());
+}
+
+// ===--------------------- IRBuilder mode (Section 3) -----------------=== //
+
+TEST(OpenMPIRBuilderModeTest, UnrollWrapsOMPCanonicalLoop) {
+  Frontend F(UnrollPartial2, irBuilderMode());
+  EXPECT_EQ(F.errors(), 0u);
+  auto *Unroll = F.findStmt<OMPUnrollDirective>("f");
+  ASSERT_NE(Unroll, nullptr);
+
+  // Paper Listing 10: OMPUnrollDirective -> OMPCanonicalLoop -> {ForStmt,
+  // distance CapturedStmt, loop-var CapturedStmt, DeclRefExpr}.
+  auto *CL = stmt_dyn_cast<OMPCanonicalLoop>(Unroll->getAssociatedStmt());
+  ASSERT_NE(CL, nullptr);
+  EXPECT_NE(stmt_dyn_cast<ForStmt>(CL->getLoopStmt()), nullptr);
+  ASSERT_NE(CL->getDistanceFunc(), nullptr);
+  ASSERT_NE(CL->getLoopVarFunc(), nullptr);
+  ASSERT_NE(CL->getLoopVarRef(), nullptr);
+  EXPECT_EQ(CL->getLoopVarRef()->getDecl()->getName(), "i");
+
+  // Distance function: one Result parameter.
+  CapturedDecl *DistCD = CL->getDistanceFunc()->getCapturedDecl();
+  ASSERT_EQ(DistCD->getNumParams(), 1u);
+  EXPECT_EQ(DistCD->getParam(0)->getName(), "Result");
+  // Loop-var function: Result + the logical iteration number.
+  CapturedDecl *LVCD = CL->getLoopVarFunc()->getCapturedDecl();
+  ASSERT_EQ(LVCD->getNumParams(), 2u);
+  EXPECT_EQ(LVCD->getParam(0)->getName(), "Result");
+  EXPECT_EQ(LVCD->getParam(1)->getName(), "Logical");
+
+  // No shadow transformed statement in this mode.
+  EXPECT_EQ(Unroll->getTransformedStmt(), nullptr);
+
+  // children() DOES enumerate the canonical loop's meta-functions (they
+  // are regular children, not shadow AST).
+  EXPECT_EQ(CL->children().size(), 4u);
+}
+
+TEST(OpenMPIRBuilderModeTest, CanonicalLoopIsLosslesslyUnwrappable) {
+  Frontend F(UnrollPartial2, irBuilderMode());
+  auto *Unroll = F.findStmt<OMPUnrollDirective>("f");
+  ASSERT_NE(Unroll, nullptr);
+  auto *CL = stmt_dyn_cast<OMPCanonicalLoop>(Unroll->getAssociatedStmt());
+  ASSERT_NE(CL, nullptr);
+  // Re-analysis of the wrapped loop must succeed as if it were literal.
+  OMPLoopInfo Info;
+  EXPECT_TRUE(F.Actions->checkOpenMPCanonicalLoop(
+      CL, OpenMPDirectiveKind::Unroll, Info));
+  EXPECT_EQ(Info.IterVar->getName(), "i");
+  EXPECT_EQ(*Info.ConstantTripCount, 4u);
+}
+
+TEST(OpenMPIRBuilderModeTest, LoopDirectiveHasNoShadowHelpers) {
+  Frontend F(R"(
+    void body(int x);
+    void f(int N) {
+      #pragma omp for
+      for (int i = 0; i < N; ++i)
+        body(i);
+    }
+  )",
+             irBuilderMode());
+  EXPECT_EQ(F.errors(), 0u);
+  auto *For = F.findStmt<OMPForDirective>("f");
+  ASSERT_NE(For, nullptr);
+  // The reduction the paper claims: from ~36 shadow nodes to the 3 pieces
+  // of meta-information carried by OMPCanonicalLoop.
+  EXPECT_EQ(For->getLoopHelpers().countShadowNodes(), 0u);
+  auto *CL = stmt_dyn_cast<OMPCanonicalLoop>(For->getAssociatedStmt());
+  ASSERT_NE(CL, nullptr);
+}
+
+TEST(OpenMPIRBuilderModeTest, ParallelForStillUsesCapturedStmt) {
+  // "While the OMPUnrollDirective does not wrap its associated code into a
+  // CapturedStmt, other directives such as OMPParallelForDirective still
+  // may." (Section 3.1)
+  Frontend F(R"(
+    void body(int x);
+    void f(int N) {
+      #pragma omp parallel for
+      for (int i = 0; i < N; ++i)
+        body(i);
+    }
+  )",
+             irBuilderMode());
+  EXPECT_EQ(F.errors(), 0u);
+  auto *PF = F.findStmt<OMPParallelForDirective>("f");
+  ASSERT_NE(PF, nullptr);
+  auto *CS = stmt_dyn_cast<CapturedStmt>(PF->getAssociatedStmt());
+  ASSERT_NE(CS, nullptr);
+  EXPECT_NE(stmt_dyn_cast<OMPCanonicalLoop>(CS->getCapturedStmt()), nullptr);
+}
+
+TEST(OpenMPIRBuilderModeTest, CollapseWrapsEveryMemberLoop) {
+  Frontend F(R"(
+    void body(int x);
+    void f(int N, int M) {
+      #pragma omp for collapse(2)
+      for (int i = 0; i < N; ++i)
+        for (int j = 0; j < M; ++j)
+          body(i + j);
+    }
+  )",
+             irBuilderMode());
+  EXPECT_EQ(F.errors(), 0u);
+  auto *For = F.findStmt<OMPForDirective>("f");
+  ASSERT_NE(For, nullptr);
+  auto *OuterCL = stmt_dyn_cast<OMPCanonicalLoop>(For->getAssociatedStmt());
+  ASSERT_NE(OuterCL, nullptr);
+  // The inner loop is wrapped too.
+  auto *OuterFor = stmt_cast<ForStmt>(OuterCL->getLoopStmt());
+  Stmt *Body = OuterFor->getBody();
+  while (auto *CS = stmt_dyn_cast<CompoundStmt>(Body))
+    Body = CS->body()[0];
+  EXPECT_NE(stmt_dyn_cast<OMPCanonicalLoop>(Body), nullptr);
+}
+
+// E8: the footprint comparison, asserted at the level the paper states.
+TEST(FootprintTest, ShadowHelpersVsCanonicalMetaInfo) {
+  const char *Source = R"(
+    void body(int x);
+    void f(int N) {
+      #pragma omp for
+      for (int i = 0; i < N; ++i)
+        body(i);
+    }
+  )";
+  Frontend Legacy(Source);
+  Frontend IRB(Source, irBuilderMode());
+  ASSERT_EQ(Legacy.errors(), 0u);
+  ASSERT_EQ(IRB.errors(), 0u);
+
+  auto *LegacyFor = Legacy.findStmt<OMPForDirective>("f");
+  unsigned ShadowCount = LegacyFor->getLoopHelpers().countShadowNodes();
+  // Paper: "up to 30 shadow AST statements ... plus 6 for each loop".
+  EXPECT_GE(ShadowCount, 24u);
+  EXPECT_LE(ShadowCount, 36u);
+
+  // Canonical loop: 3 pieces of meta-information.
+  auto *IRBFor = IRB.findStmt<OMPForDirective>("f");
+  auto *CL = stmt_dyn_cast<OMPCanonicalLoop>(IRBFor->getAssociatedStmt());
+  ASSERT_NE(CL, nullptr);
+  unsigned MetaInfo = (CL->getDistanceFunc() != nullptr) +
+                      (CL->getLoopVarFunc() != nullptr) +
+                      (CL->getLoopVarRef() != nullptr);
+  EXPECT_EQ(MetaInfo, 3u);
+  EXPECT_EQ(IRBFor->getLoopHelpers().countShadowNodes(), 0u);
+}
+
+} // namespace

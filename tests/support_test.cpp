@@ -1,0 +1,285 @@
+//===--- support_test.cpp - Unit tests for the support layer --------------===//
+//
+// Covers SourceLocation/SourceRange arithmetic, SourceManager decomposition
+// and line tables, FileManager virtual files, the Arena allocator, and the
+// DiagnosticsEngine including the transformed-AST location remapping policy
+// from Section 2 of the paper.
+//
+//===----------------------------------------------------------------------===//
+#include "support/Arena.h"
+#include "support/Diagnostic.h"
+#include "support/FileManager.h"
+#include "support/SourceManager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace mcc;
+
+namespace {
+
+TEST(SourceLocationTest, DefaultIsInvalid) {
+  SourceLocation Loc;
+  EXPECT_TRUE(Loc.isInvalid());
+  EXPECT_FALSE(Loc.isValid());
+  EXPECT_EQ(Loc.getRawEncoding(), 0u);
+}
+
+TEST(SourceLocationTest, OffsetArithmetic) {
+  SourceLocation L = SourceLocation::getFromRawEncoding(100);
+  EXPECT_EQ(L.getLocWithOffset(5).getRawEncoding(), 105u);
+  EXPECT_EQ(L.getLocWithOffset(-5).getRawEncoding(), 95u);
+  // Offsetting an invalid location stays invalid.
+  EXPECT_TRUE(SourceLocation().getLocWithOffset(10).isInvalid());
+}
+
+TEST(SourceLocationTest, Ordering) {
+  SourceLocation A = SourceLocation::getFromRawEncoding(10);
+  SourceLocation B = SourceLocation::getFromRawEncoding(20);
+  EXPECT_LT(A, B);
+  EXPECT_TRUE(A <= A);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(A, SourceLocation::getFromRawEncoding(10));
+}
+
+TEST(SourceRangeTest, Basics) {
+  SourceLocation A = SourceLocation::getFromRawEncoding(10);
+  SourceLocation B = SourceLocation::getFromRawEncoding(20);
+  SourceRange R(A, B);
+  EXPECT_EQ(R.getBegin(), A);
+  EXPECT_EQ(R.getEnd(), B);
+  EXPECT_TRUE(R.isValid());
+  EXPECT_FALSE(SourceRange().isValid());
+  SourceRange Single(A);
+  EXPECT_EQ(Single.getBegin(), Single.getEnd());
+}
+
+TEST(MemoryBufferTest, NulTerminatedAndNamed) {
+  auto Buf = MemoryBuffer::getMemBuffer("hello", "file.c");
+  EXPECT_EQ(Buf->getSize(), 5u);
+  EXPECT_EQ(Buf->getBuffer(), "hello");
+  EXPECT_EQ(*Buf->getBufferEnd(), '\0');
+  EXPECT_EQ(Buf->getName(), "file.c");
+}
+
+TEST(FileManagerTest, VirtualFilesShadow) {
+  FileManager FM;
+  FM.addVirtualFile("a.c", "int x;");
+  EXPECT_TRUE(FM.exists("a.c"));
+  const MemoryBuffer *Buf = FM.getBuffer("a.c");
+  ASSERT_NE(Buf, nullptr);
+  EXPECT_EQ(Buf->getBuffer(), "int x;");
+  // Replacing a virtual file changes the content.
+  FM.addVirtualFile("a.c", "int y;");
+  EXPECT_EQ(FM.getBuffer("a.c")->getBuffer(), "int y;");
+}
+
+TEST(FileManagerTest, MissingFile) {
+  FileManager FM;
+  EXPECT_FALSE(FM.exists("/definitely/not/here.c"));
+  EXPECT_EQ(FM.getBuffer("/definitely/not/here.c"), nullptr);
+}
+
+TEST(SourceManagerTest, DecomposeRoundTrip) {
+  FileManager FM;
+  FM.addVirtualFile("a.c", "line1\nline2\nline3\n");
+  FM.addVirtualFile("b.c", "other\n");
+  SourceManager SM;
+  FileID FA = SM.createFileID(FM.getBuffer("a.c"));
+  FileID FB = SM.createFileID(FM.getBuffer("b.c"));
+  EXPECT_EQ(SM.getMainFileID(), FA);
+
+  SourceLocation L = SM.getLoc(FA, 7); // 'i' of line2
+  auto [FID, Off] = SM.getDecomposedLoc(L);
+  EXPECT_EQ(FID, FA);
+  EXPECT_EQ(Off, 7u);
+
+  SourceLocation LB = SM.getLoc(FB, 0);
+  EXPECT_EQ(SM.getFileID(LB), FB);
+}
+
+TEST(SourceManagerTest, LineAndColumn) {
+  FileManager FM;
+  FM.addVirtualFile("a.c", "line1\nline2\nline3");
+  SourceManager SM;
+  FileID F = SM.createFileID(FM.getBuffer("a.c"));
+
+  PresumedLoc P = SM.getPresumedLoc(SM.getLoc(F, 0));
+  EXPECT_EQ(P.Line, 1u);
+  EXPECT_EQ(P.Column, 1u);
+  EXPECT_STREQ(P.Filename, "a.c");
+
+  P = SM.getPresumedLoc(SM.getLoc(F, 6)); // first char of line2
+  EXPECT_EQ(P.Line, 2u);
+  EXPECT_EQ(P.Column, 1u);
+
+  P = SM.getPresumedLoc(SM.getLoc(F, 9)); // 'e' in line2
+  EXPECT_EQ(P.Line, 2u);
+  EXPECT_EQ(P.Column, 4u);
+
+  P = SM.getPresumedLoc(SM.getLoc(F, 16)); // last char
+  EXPECT_EQ(P.Line, 3u);
+  EXPECT_EQ(P.Column, 5u);
+}
+
+TEST(SourceManagerTest, LineText) {
+  FileManager FM;
+  FM.addVirtualFile("a.c", "first\nsecond\nthird");
+  SourceManager SM;
+  FileID F = SM.createFileID(FM.getBuffer("a.c"));
+  EXPECT_EQ(SM.getLineText(SM.getLoc(F, 8)), "second");
+  EXPECT_EQ(SM.getLineText(SM.getLoc(F, 0)), "first");
+  EXPECT_EQ(SM.getLineText(SM.getLoc(F, 15)), "third");
+}
+
+TEST(SourceManagerTest, InvalidLocationDecomposesGracefully) {
+  SourceManager SM;
+  EXPECT_FALSE(SM.getPresumedLoc(SourceLocation()).isValid());
+  auto [FID, Off] = SM.getDecomposedLoc(SourceLocation());
+  EXPECT_FALSE(FID.isValid());
+  EXPECT_EQ(Off, 0u);
+}
+
+TEST(SourceManagerTest, MultipleFilesDoNotOverlap) {
+  FileManager FM;
+  FM.addVirtualFile("a.c", "aaa");
+  FM.addVirtualFile("b.c", "bbb");
+  SourceManager SM;
+  FileID FA = SM.createFileID(FM.getBuffer("a.c"));
+  FileID FB = SM.createFileID(FM.getBuffer("b.c"));
+  // Last location of A (the EOF position) differs from first of B.
+  SourceLocation EndA = SM.getLoc(FA, 3);
+  SourceLocation StartB = SM.getLoc(FB, 0);
+  EXPECT_NE(EndA, StartB);
+  EXPECT_EQ(SM.getFileID(EndA), FA);
+  EXPECT_EQ(SM.getFileID(StartB), FB);
+}
+
+TEST(ArenaTest, AllocatesAlignedMemory) {
+  Arena A;
+  void *P1 = A.allocate(1, 1);
+  void *P8 = A.allocate(8, 8);
+  void *P16 = A.allocate(16, 16);
+  EXPECT_NE(P1, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(P8) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(P16) % 16, 0u);
+}
+
+TEST(ArenaTest, CreateConstructsObjects) {
+  Arena A;
+  struct Point {
+    int X, Y;
+  };
+  Point *P = A.create<Point>(3, 4);
+  EXPECT_EQ(P->X, 3);
+  EXPECT_EQ(P->Y, 4);
+}
+
+TEST(ArenaTest, GrowsAcrossSlabs) {
+  Arena A(/*SlabSize=*/128);
+  for (int I = 0; I < 100; ++I) {
+    void *P = A.allocate(64, 8);
+    ASSERT_NE(P, nullptr);
+    std::memset(P, 0xAB, 64); // must be writable
+  }
+  EXPECT_GT(A.getNumSlabs(), 1u);
+  EXPECT_GE(A.getTotalAllocated(), 6400u);
+}
+
+TEST(ArenaTest, OversizedAllocation) {
+  Arena A(/*SlabSize=*/64);
+  void *P = A.allocate(1024, 16);
+  ASSERT_NE(P, nullptr);
+  std::memset(P, 0, 1024);
+}
+
+TEST(DiagnosticsTest, SeverityTable) {
+  EXPECT_EQ(diag::getSeverity(diag::err_expected), diag::Severity::Error);
+  EXPECT_EQ(diag::getSeverity(diag::warn_unused_value),
+            diag::Severity::Warning);
+  EXPECT_EQ(diag::getSeverity(diag::note_previous_definition),
+            diag::Severity::Note);
+}
+
+TEST(DiagnosticsTest, CountsAndFormatting) {
+  StoringDiagnosticConsumer Consumer;
+  DiagnosticsEngine Diags(&Consumer);
+  Diags.report(SourceLocation(), diag::err_undeclared_identifier) << "foo";
+  Diags.report(SourceLocation(), diag::warn_unused_value);
+  EXPECT_EQ(Diags.getNumErrors(), 1u);
+  EXPECT_EQ(Diags.getNumWarnings(), 1u);
+  EXPECT_TRUE(Diags.hasErrorOccurred());
+  ASSERT_EQ(Consumer.getDiagnostics().size(), 2u);
+  EXPECT_EQ(Consumer.getDiagnostics()[0].Message,
+            "use of undeclared identifier 'foo'");
+}
+
+TEST(DiagnosticsTest, MultiArgSubstitution) {
+  StoringDiagnosticConsumer Consumer;
+  DiagnosticsEngine Diags(&Consumer);
+  Diags.report(SourceLocation(), diag::err_wrong_arg_count)
+      << "f" << 2 << 3;
+  EXPECT_EQ(Consumer.getDiagnostics()[0].Message,
+            "call to 'f' expects 2 arguments, but 3 were provided");
+}
+
+TEST(DiagnosticsTest, NotesDoNotCountAsErrors) {
+  StoringDiagnosticConsumer Consumer;
+  DiagnosticsEngine Diags(&Consumer);
+  Diags.report(SourceLocation(), diag::note_previous_definition);
+  EXPECT_EQ(Diags.getNumErrors(), 0u);
+  EXPECT_EQ(Diags.getNumWarnings(), 0u);
+}
+
+// The paper (Section 2): diagnostics emitted while analyzing a *transformed*
+// (shadow) AST should point at a representative location of the literal loop
+// and explain the transformation history with a note.
+TEST(DiagnosticsTest, TransformRemapPolicy) {
+  StoringDiagnosticConsumer Consumer;
+  DiagnosticsEngine Diags(&Consumer);
+
+  SourceLocation LoopLoc = SourceLocation::getFromRawEncoding(42);
+  Diags.pushTransformRemap(LoopLoc, "unroll");
+  // A diagnostic with no usable location (as happens for synthesized shadow
+  // nodes) is retargeted and followed by a history note.
+  Diags.report(SourceLocation(), diag::err_omp_loop_zero_step);
+  Diags.popTransformRemap();
+
+  ASSERT_EQ(Consumer.getDiagnostics().size(), 2u);
+  EXPECT_EQ(Consumer.getDiagnostics()[0].Loc, LoopLoc);
+  EXPECT_EQ(Consumer.getDiagnostics()[1].ID, diag::note_omp_transformed_here);
+  EXPECT_EQ(Consumer.getDiagnostics()[1].Message,
+            "within the loop generated by '#pragma omp unroll' here");
+}
+
+TEST(DiagnosticsTest, RemapLeavesRealLocationsAlone) {
+  StoringDiagnosticConsumer Consumer;
+  DiagnosticsEngine Diags(&Consumer);
+  SourceLocation Rep = SourceLocation::getFromRawEncoding(42);
+  SourceLocation Real = SourceLocation::getFromRawEncoding(99);
+  Diags.pushTransformRemap(Rep, "tile");
+  Diags.report(Real, diag::err_omp_loop_zero_step);
+  Diags.popTransformRemap();
+  ASSERT_EQ(Consumer.getDiagnostics().size(), 1u);
+  EXPECT_EQ(Consumer.getDiagnostics()[0].Loc, Real);
+}
+
+TEST(DiagnosticsTest, TextPrinterRendersCaret) {
+  FileManager FM;
+  FM.addVirtualFile("t.c", "int x = y;\n");
+  SourceManager SM;
+  FileID F = SM.createFileID(FM.getBuffer("t.c"));
+
+  std::string Out;
+  TextDiagnosticPrinter Printer(Out, &SM);
+  DiagnosticsEngine Diags(&Printer);
+  Diags.report(SM.getLoc(F, 8), diag::err_undeclared_identifier) << "y";
+
+  EXPECT_NE(Out.find("t.c:1:9: error: use of undeclared identifier 'y'"),
+            std::string::npos);
+  EXPECT_NE(Out.find("int x = y;"), std::string::npos);
+  EXPECT_NE(Out.find("        ^"), std::string::npos);
+}
+
+} // namespace
