@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ast_footprint.dir/bench_ast_footprint.cpp.o"
+  "CMakeFiles/bench_ast_footprint.dir/bench_ast_footprint.cpp.o.d"
+  "bench_ast_footprint"
+  "bench_ast_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ast_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compile_modes.dir/bench_compile_modes.cpp.o"
+  "CMakeFiles/bench_compile_modes.dir/bench_compile_modes.cpp.o.d"
+  "bench_compile_modes"
+  "bench_compile_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compile_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exec_transforms.dir/bench_exec_transforms.cpp.o"
+  "CMakeFiles/bench_exec_transforms.dir/bench_exec_transforms.cpp.o.d"
+  "bench_exec_transforms"
+  "bench_exec_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exec_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

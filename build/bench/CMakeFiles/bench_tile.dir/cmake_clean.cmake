@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tile.dir/bench_tile.cpp.o"
+  "CMakeFiles/bench_tile.dir/bench_tile.cpp.o.d"
+  "bench_tile"
+  "bench_tile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

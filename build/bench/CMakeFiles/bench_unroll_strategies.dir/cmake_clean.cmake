@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unroll_strategies.dir/bench_unroll_strategies.cpp.o"
+  "CMakeFiles/bench_unroll_strategies.dir/bench_unroll_strategies.cpp.o.d"
+  "bench_unroll_strategies"
+  "bench_unroll_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unroll_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_unroll_strategies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workshare.dir/bench_workshare.cpp.o"
+  "CMakeFiles/bench_workshare.dir/bench_workshare.cpp.o.d"
+  "bench_workshare"
+  "bench_workshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhibit_ast_dumps.dir/exhibit_ast_dumps.cpp.o"
+  "CMakeFiles/exhibit_ast_dumps.dir/exhibit_ast_dumps.cpp.o.d"
+  "exhibit_ast_dumps"
+  "exhibit_ast_dumps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhibit_ast_dumps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exhibit_ast_dumps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ast_explorer.dir/ast_explorer.cpp.o"
+  "CMakeFiles/ast_explorer.dir/ast_explorer.cpp.o.d"
+  "ast_explorer"
+  "ast_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ast_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

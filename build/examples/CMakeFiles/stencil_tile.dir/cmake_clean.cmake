@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_tile.dir/stencil_tile.cpp.o"
+  "CMakeFiles/stencil_tile.dir/stencil_tile.cpp.o.d"
+  "stencil_tile"
+  "stencil_tile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_tile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unroll_composition.dir/unroll_composition.cpp.o"
+  "CMakeFiles/unroll_composition.dir/unroll_composition.cpp.o.d"
+  "unroll_composition"
+  "unroll_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unroll_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

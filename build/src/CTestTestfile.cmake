@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lex")
+subdirs("ast")
+subdirs("parse")
+subdirs("sema")
+subdirs("ir")
+subdirs("irbuilder")
+subdirs("runtime")
+subdirs("interp")
+subdirs("midend")
+subdirs("codegen")
+subdirs("driver")

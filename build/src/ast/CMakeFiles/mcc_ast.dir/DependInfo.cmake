@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/ASTContext.cpp" "src/ast/CMakeFiles/mcc_ast.dir/ASTContext.cpp.o" "gcc" "src/ast/CMakeFiles/mcc_ast.dir/ASTContext.cpp.o.d"
+  "/root/repo/src/ast/ASTDumper.cpp" "src/ast/CMakeFiles/mcc_ast.dir/ASTDumper.cpp.o" "gcc" "src/ast/CMakeFiles/mcc_ast.dir/ASTDumper.cpp.o.d"
+  "/root/repo/src/ast/ExprConstant.cpp" "src/ast/CMakeFiles/mcc_ast.dir/ExprConstant.cpp.o" "gcc" "src/ast/CMakeFiles/mcc_ast.dir/ExprConstant.cpp.o.d"
+  "/root/repo/src/ast/OpenMPKinds.cpp" "src/ast/CMakeFiles/mcc_ast.dir/OpenMPKinds.cpp.o" "gcc" "src/ast/CMakeFiles/mcc_ast.dir/OpenMPKinds.cpp.o.d"
+  "/root/repo/src/ast/Stmt.cpp" "src/ast/CMakeFiles/mcc_ast.dir/Stmt.cpp.o" "gcc" "src/ast/CMakeFiles/mcc_ast.dir/Stmt.cpp.o.d"
+  "/root/repo/src/ast/TreeTransform.cpp" "src/ast/CMakeFiles/mcc_ast.dir/TreeTransform.cpp.o" "gcc" "src/ast/CMakeFiles/mcc_ast.dir/TreeTransform.cpp.o.d"
+  "/root/repo/src/ast/Type.cpp" "src/ast/CMakeFiles/mcc_ast.dir/Type.cpp.o" "gcc" "src/ast/CMakeFiles/mcc_ast.dir/Type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcc_ast.dir/ASTContext.cpp.o"
+  "CMakeFiles/mcc_ast.dir/ASTContext.cpp.o.d"
+  "CMakeFiles/mcc_ast.dir/ASTDumper.cpp.o"
+  "CMakeFiles/mcc_ast.dir/ASTDumper.cpp.o.d"
+  "CMakeFiles/mcc_ast.dir/ExprConstant.cpp.o"
+  "CMakeFiles/mcc_ast.dir/ExprConstant.cpp.o.d"
+  "CMakeFiles/mcc_ast.dir/OpenMPKinds.cpp.o"
+  "CMakeFiles/mcc_ast.dir/OpenMPKinds.cpp.o.d"
+  "CMakeFiles/mcc_ast.dir/Stmt.cpp.o"
+  "CMakeFiles/mcc_ast.dir/Stmt.cpp.o.d"
+  "CMakeFiles/mcc_ast.dir/TreeTransform.cpp.o"
+  "CMakeFiles/mcc_ast.dir/TreeTransform.cpp.o.d"
+  "CMakeFiles/mcc_ast.dir/Type.cpp.o"
+  "CMakeFiles/mcc_ast.dir/Type.cpp.o.d"
+  "libmcc_ast.a"
+  "libmcc_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcc_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcc_codegen.dir/CGOpenMP.cpp.o"
+  "CMakeFiles/mcc_codegen.dir/CGOpenMP.cpp.o.d"
+  "CMakeFiles/mcc_codegen.dir/CodeGenFunction.cpp.o"
+  "CMakeFiles/mcc_codegen.dir/CodeGenFunction.cpp.o.d"
+  "CMakeFiles/mcc_codegen.dir/CodeGenModule.cpp.o"
+  "CMakeFiles/mcc_codegen.dir/CodeGenModule.cpp.o.d"
+  "libmcc_codegen.a"
+  "libmcc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

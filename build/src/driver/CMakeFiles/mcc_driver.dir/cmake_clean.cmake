@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcc_driver.dir/CompilerInstance.cpp.o"
+  "CMakeFiles/mcc_driver.dir/CompilerInstance.cpp.o.d"
+  "libmcc_driver.a"
+  "libmcc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcc_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/mcc_interp.dir/Interpreter.cpp.o.d"
+  "libmcc_interp.a"
+  "libmcc_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcc_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

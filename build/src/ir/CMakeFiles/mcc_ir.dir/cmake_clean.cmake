@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcc_ir.dir/IR.cpp.o"
+  "CMakeFiles/mcc_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/mcc_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/mcc_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/mcc_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/mcc_ir.dir/Verifier.cpp.o.d"
+  "libmcc_ir.a"
+  "libmcc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/irbuilder/IRBuilder.cpp" "src/irbuilder/CMakeFiles/mcc_irbuilder.dir/IRBuilder.cpp.o" "gcc" "src/irbuilder/CMakeFiles/mcc_irbuilder.dir/IRBuilder.cpp.o.d"
+  "/root/repo/src/irbuilder/OpenMPIRBuilder.cpp" "src/irbuilder/CMakeFiles/mcc_irbuilder.dir/OpenMPIRBuilder.cpp.o" "gcc" "src/irbuilder/CMakeFiles/mcc_irbuilder.dir/OpenMPIRBuilder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/mcc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcc_irbuilder.dir/IRBuilder.cpp.o"
+  "CMakeFiles/mcc_irbuilder.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/mcc_irbuilder.dir/OpenMPIRBuilder.cpp.o"
+  "CMakeFiles/mcc_irbuilder.dir/OpenMPIRBuilder.cpp.o.d"
+  "libmcc_irbuilder.a"
+  "libmcc_irbuilder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcc_irbuilder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcc_lex.dir/Lexer.cpp.o"
+  "CMakeFiles/mcc_lex.dir/Lexer.cpp.o.d"
+  "CMakeFiles/mcc_lex.dir/Preprocessor.cpp.o"
+  "CMakeFiles/mcc_lex.dir/Preprocessor.cpp.o.d"
+  "libmcc_lex.a"
+  "libmcc_lex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcc_lex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

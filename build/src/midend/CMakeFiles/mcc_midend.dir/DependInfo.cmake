@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/midend/Cloning.cpp" "src/midend/CMakeFiles/mcc_midend.dir/Cloning.cpp.o" "gcc" "src/midend/CMakeFiles/mcc_midend.dir/Cloning.cpp.o.d"
+  "/root/repo/src/midend/LoopUnroll.cpp" "src/midend/CMakeFiles/mcc_midend.dir/LoopUnroll.cpp.o" "gcc" "src/midend/CMakeFiles/mcc_midend.dir/LoopUnroll.cpp.o.d"
+  "/root/repo/src/midend/Passes.cpp" "src/midend/CMakeFiles/mcc_midend.dir/Passes.cpp.o" "gcc" "src/midend/CMakeFiles/mcc_midend.dir/Passes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/mcc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcc_midend.dir/Cloning.cpp.o"
+  "CMakeFiles/mcc_midend.dir/Cloning.cpp.o.d"
+  "CMakeFiles/mcc_midend.dir/LoopUnroll.cpp.o"
+  "CMakeFiles/mcc_midend.dir/LoopUnroll.cpp.o.d"
+  "CMakeFiles/mcc_midend.dir/Passes.cpp.o"
+  "CMakeFiles/mcc_midend.dir/Passes.cpp.o.d"
+  "libmcc_midend.a"
+  "libmcc_midend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcc_midend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

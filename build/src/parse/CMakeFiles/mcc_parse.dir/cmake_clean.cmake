@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcc_parse.dir/ParseOpenMP.cpp.o"
+  "CMakeFiles/mcc_parse.dir/ParseOpenMP.cpp.o.d"
+  "CMakeFiles/mcc_parse.dir/Parser.cpp.o"
+  "CMakeFiles/mcc_parse.dir/Parser.cpp.o.d"
+  "libmcc_parse.a"
+  "libmcc_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcc_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcc_runtime.dir/KMPRuntime.cpp.o"
+  "CMakeFiles/mcc_runtime.dir/KMPRuntime.cpp.o.d"
+  "libmcc_runtime.a"
+  "libmcc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

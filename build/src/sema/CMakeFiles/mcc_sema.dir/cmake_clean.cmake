@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcc_sema.dir/Sema.cpp.o"
+  "CMakeFiles/mcc_sema.dir/Sema.cpp.o.d"
+  "CMakeFiles/mcc_sema.dir/SemaOpenMP.cpp.o"
+  "CMakeFiles/mcc_sema.dir/SemaOpenMP.cpp.o.d"
+  "CMakeFiles/mcc_sema.dir/SemaOpenMPTransform.cpp.o"
+  "CMakeFiles/mcc_sema.dir/SemaOpenMPTransform.cpp.o.d"
+  "libmcc_sema.a"
+  "libmcc_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcc_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

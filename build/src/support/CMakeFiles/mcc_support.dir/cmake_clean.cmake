@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcc_support.dir/Diagnostic.cpp.o"
+  "CMakeFiles/mcc_support.dir/Diagnostic.cpp.o.d"
+  "CMakeFiles/mcc_support.dir/FileManager.cpp.o"
+  "CMakeFiles/mcc_support.dir/FileManager.cpp.o.d"
+  "CMakeFiles/mcc_support.dir/SourceManager.cpp.o"
+  "CMakeFiles/mcc_support.dir/SourceManager.cpp.o.d"
+  "libmcc_support.a"
+  "libmcc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

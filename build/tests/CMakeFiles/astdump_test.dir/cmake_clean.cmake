@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astdump_test.dir/astdump_test.cpp.o"
+  "CMakeFiles/astdump_test.dir/astdump_test.cpp.o.d"
+  "astdump_test"
+  "astdump_test.pdb"
+  "astdump_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astdump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midend_test.dir/midend_test.cpp.o"
+  "CMakeFiles/midend_test.dir/midend_test.cpp.o.d"
+  "midend_test"
+  "midend_test.pdb"
+  "midend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

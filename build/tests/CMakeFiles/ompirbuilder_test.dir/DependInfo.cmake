@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ompirbuilder_test.cpp" "tests/CMakeFiles/ompirbuilder_test.dir/ompirbuilder_test.cpp.o" "gcc" "tests/CMakeFiles/ompirbuilder_test.dir/ompirbuilder_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/mcc_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/irbuilder/CMakeFiles/mcc_irbuilder.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mcc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mcc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompirbuilder_test.dir/ompirbuilder_test.cpp.o"
+  "CMakeFiles/ompirbuilder_test.dir/ompirbuilder_test.cpp.o.d"
+  "ompirbuilder_test"
+  "ompirbuilder_test.pdb"
+  "ompirbuilder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompirbuilder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openmp_sema_test.dir/openmp_sema_test.cpp.o"
+  "CMakeFiles/openmp_sema_test.dir/openmp_sema_test.cpp.o.d"
+  "openmp_sema_test"
+  "openmp_sema_test.pdb"
+  "openmp_sema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openmp_sema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
