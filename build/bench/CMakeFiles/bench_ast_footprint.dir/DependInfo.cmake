@@ -18,11 +18,12 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/codegen/CMakeFiles/mcc_codegen.dir/DependInfo.cmake"
   "/root/repo/build/src/sema/CMakeFiles/mcc_sema.dir/DependInfo.cmake"
   "/root/repo/build/src/lex/CMakeFiles/mcc_lex.dir/DependInfo.cmake"
-  "/root/repo/build/src/ast/CMakeFiles/mcc_ast.dir/DependInfo.cmake"
-  "/root/repo/build/src/support/CMakeFiles/mcc_support.dir/DependInfo.cmake"
   "/root/repo/build/src/irbuilder/CMakeFiles/mcc_irbuilder.dir/DependInfo.cmake"
   "/root/repo/build/src/midend/CMakeFiles/mcc_midend.dir/DependInfo.cmake"
   "/root/repo/build/src/ir/CMakeFiles/mcc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mcc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/mcc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mcc_support.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

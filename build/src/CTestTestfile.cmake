@@ -9,6 +9,7 @@ subdirs("lex")
 subdirs("ast")
 subdirs("parse")
 subdirs("sema")
+subdirs("analysis")
 subdirs("ir")
 subdirs("irbuilder")
 subdirs("runtime")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AnalysisManager.cpp" "src/analysis/CMakeFiles/mcc_analysis.dir/AnalysisManager.cpp.o" "gcc" "src/analysis/CMakeFiles/mcc_analysis.dir/AnalysisManager.cpp.o.d"
+  "/root/repo/src/analysis/CanonicalLoopCheck.cpp" "src/analysis/CMakeFiles/mcc_analysis.dir/CanonicalLoopCheck.cpp.o" "gcc" "src/analysis/CMakeFiles/mcc_analysis.dir/CanonicalLoopCheck.cpp.o.d"
+  "/root/repo/src/analysis/OMPRaceLinter.cpp" "src/analysis/CMakeFiles/mcc_analysis.dir/OMPRaceLinter.cpp.o" "gcc" "src/analysis/CMakeFiles/mcc_analysis.dir/OMPRaceLinter.cpp.o.d"
+  "/root/repo/src/analysis/TransformVerifier.cpp" "src/analysis/CMakeFiles/mcc_analysis.dir/TransformVerifier.cpp.o" "gcc" "src/analysis/CMakeFiles/mcc_analysis.dir/TransformVerifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/mcc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcc_analysis.dir/AnalysisManager.cpp.o"
+  "CMakeFiles/mcc_analysis.dir/AnalysisManager.cpp.o.d"
+  "CMakeFiles/mcc_analysis.dir/CanonicalLoopCheck.cpp.o"
+  "CMakeFiles/mcc_analysis.dir/CanonicalLoopCheck.cpp.o.d"
+  "CMakeFiles/mcc_analysis.dir/OMPRaceLinter.cpp.o"
+  "CMakeFiles/mcc_analysis.dir/OMPRaceLinter.cpp.o.d"
+  "CMakeFiles/mcc_analysis.dir/TransformVerifier.cpp.o"
+  "CMakeFiles/mcc_analysis.dir/TransformVerifier.cpp.o.d"
+  "libmcc_analysis.a"
+  "libmcc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

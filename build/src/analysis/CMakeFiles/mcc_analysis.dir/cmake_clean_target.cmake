@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcc_analysis.a"
+)

@@ -236,4 +236,5 @@ src/driver/CMakeFiles/mcc_driver.dir/CompilerInstance.cpp.o: \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/midend/Passes.h \
  /root/repo/src/midend/LoopUnroll.h /root/repo/src/parse/Parser.h \
  /root/repo/src/sema/Sema.h /root/repo/src/ast/ExprConstant.h \
- /root/repo/src/ast/TreeTransform.h
+ /root/repo/src/ast/TreeTransform.h /root/repo/src/analysis/Analysis.h \
+ /root/repo/src/ast/RecursiveASTVisitor.h

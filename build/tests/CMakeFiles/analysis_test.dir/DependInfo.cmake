@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/mcc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mcc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/mcc_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/mcc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/mcc_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/mcc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lex/CMakeFiles/mcc_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mcc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/irbuilder/CMakeFiles/mcc_irbuilder.dir/DependInfo.cmake"
+  "/root/repo/build/src/midend/CMakeFiles/mcc_midend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mcc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

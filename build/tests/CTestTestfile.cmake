@@ -17,6 +17,7 @@ include("/root/repo/build/tests/codegen_test[1]_include.cmake")
 include("/root/repo/build/tests/composition_test[1]_include.cmake")
 include("/root/repo/build/tests/midend_test[1]_include.cmake")
 include("/root/repo/build/tests/astdump_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
 include("/root/repo/build/tests/driver_test[1]_include.cmake")
 include("/root/repo/build/tests/ast_test[1]_include.cmake")
 include("/root/repo/build/tests/exec_sweep_test[1]_include.cmake")

@@ -1,0 +1,72 @@
+//===--- AnalysisManager.cpp - Pass pipeline and shared helpers ------------===//
+#include "analysis/Analysis.h"
+
+#include "ast/ASTContext.h"
+
+namespace mcc::analysis {
+
+void AnalysisManager::addPass(std::unique_ptr<ASTAnalysis> Pass) {
+  Passes.push_back(std::move(Pass));
+}
+
+bool AnalysisManager::run(TranslationUnitDecl *TU) {
+  unsigned ErrorsBefore = Diags.getNumErrors();
+  for (const auto &Pass : Passes) {
+    unsigned E0 = Diags.getNumErrors();
+    unsigned W0 = Diags.getNumWarnings();
+    Pass->run(TU, *this);
+    Stats.push_back({Pass->getName(), Diags.getNumWarnings() - W0,
+                     Diags.getNumErrors() - E0});
+  }
+  return Diags.getNumErrors() == ErrorsBefore;
+}
+
+void registerDefaultAnalyses(AnalysisManager &AM, bool EnableLinters,
+                             bool EnableVerifier) {
+  if (EnableVerifier)
+    AM.addPass(createPostTransformVerifier());
+  if (EnableLinters) {
+    AM.addPass(createOpenMPRaceLinter());
+    AM.addPass(createCanonicalLoopConformanceCheck());
+  }
+}
+
+Stmt *skipLoopWrappers(Stmt *S) {
+  for (;;) {
+    if (auto *Cap = stmt_dyn_cast<CapturedStmt>(S)) {
+      S = Cap->getCapturedStmt();
+      continue;
+    }
+    if (auto *CL = stmt_dyn_cast<OMPCanonicalLoop>(S)) {
+      S = CL->getLoopStmt();
+      continue;
+    }
+    if (auto *CS = stmt_dyn_cast<CompoundStmt>(S)) {
+      if (CS->size() == 1) {
+        S = CS->body()[0];
+        continue;
+      }
+    }
+    return S;
+  }
+}
+
+VarDecl *getLoopIterationVar(const ForStmt *Loop) {
+  Stmt *Init = Loop->getInit();
+  if (!Init)
+    return nullptr;
+  if (auto *DS = stmt_dyn_cast<DeclStmt>(Init)) {
+    if (DS->isSingleDecl())
+      return DS->getSingleDecl();
+    return nullptr;
+  }
+  if (auto *BO = stmt_dyn_cast<BinaryOperator>(Init)) {
+    if (BO->getOpcode() == BinaryOperatorKind::Assign)
+      if (auto *DRE =
+              stmt_dyn_cast<DeclRefExpr>(BO->getLHS()->ignoreParenImpCasts()))
+        return decl_dyn_cast<VarDecl>(DRE->getDecl());
+  }
+  return nullptr;
+}
+
+} // namespace mcc::analysis

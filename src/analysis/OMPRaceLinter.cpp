@@ -1,0 +1,206 @@
+//===--- OMPRaceLinter.cpp - OpenMP data-race linter -----------------------===//
+//
+// Walks parallel / worksharing regions and warns on writes to variables
+// that are shared by default and neither privatized, reduced,
+// loop-iteration-local, nor protected by a synchronizing construct. This
+// catches the two classic mistakes the paper's directives make easy to
+// write: the un-privatized inner induction variable and the shared
+// accumulator.
+//
+// Only the *syntactic* AST is walked, so every diagnostic lands on the
+// user's literal code — never on a shadow node like '.capture_expr.'.
+//
+//===----------------------------------------------------------------------===//
+#include "analysis/Analysis.h"
+
+#include <set>
+
+namespace mcc::analysis {
+
+namespace {
+
+/// Directives that start a region whose statements execute concurrently on
+/// the threads of a team.
+bool isRaceRegionDirective(OpenMPDirectiveKind K) {
+  return K == OpenMPDirectiveKind::Parallel ||
+         isOpenMPWorksharingDirective(K);
+}
+
+/// Directives whose associated statement is executed by one thread at a
+/// time (or by a single thread), so writes inside are not team races.
+bool isSynchronizedDirective(OpenMPDirectiveKind K) {
+  return K == OpenMPDirectiveKind::Critical ||
+         K == OpenMPDirectiveKind::Single ||
+         K == OpenMPDirectiveKind::Master;
+}
+
+/// Internal variables synthesized by Sema are never user races.
+bool isInternalVar(const VarDecl *V) {
+  return V->isImplicit() || (!V->getName().empty() && V->getName()[0] == '.');
+}
+
+void addClauseVars(const OMPExecutableDirective *D,
+                   std::set<const VarDecl *> &Out) {
+  for (const OMPClause *C : D->clauses())
+    if (const auto *VL = clause_dyn_cast<OMPVarListClause>(C))
+      for (const DeclRefExpr *Ref : VL->getVarRefs())
+        if (auto *V = decl_dyn_cast<VarDecl>(Ref->getDecl()))
+          Out.insert(V);
+}
+
+/// Collects the predetermined-private induction variables of the loop nest
+/// associated with \p S up to \p Depth loops. Loops consumed by a nested
+/// transformation directive are re-materialized per iteration in the
+/// generated code, so their IVs are iteration-local as well.
+void collectLoopPrivateIVs(Stmt *S, unsigned Depth,
+                           std::set<const VarDecl *> &Out) {
+  if (!S)
+    return;
+  S = skipLoopWrappers(S);
+  if (auto *TD = stmt_dyn_cast<OMPLoopTransformationDirective>(S)) {
+    collectLoopPrivateIVs(TD->getAssociatedStmt(), TD->getLoopsNumber(), Out);
+    return;
+  }
+  if (Depth == 0)
+    return;
+  if (auto *For = stmt_dyn_cast<ForStmt>(S)) {
+    if (VarDecl *IV = getLoopIterationVar(For))
+      Out.insert(IV);
+    collectLoopPrivateIVs(For->getBody(), Depth - 1, Out);
+  }
+}
+
+/// All variables a directive makes safe to write inside its region:
+/// explicit data-sharing clauses plus the associated-loop IVs.
+void addRegionSafeVars(const OMPExecutableDirective *D,
+                       std::set<const VarDecl *> &Out) {
+  addClauseVars(D, Out);
+  if (const auto *LB = stmt_dyn_cast<OMPLoopBasedDirective>(D))
+    collectLoopPrivateIVs(LB->getAssociatedStmt(), LB->getLoopsNumber(), Out);
+}
+
+/// Scans the body of one region for unsynchronized shared writes.
+class RegionScanner {
+public:
+  RegionScanner(DiagnosticsEngine &Diags, OpenMPDirectiveKind RegionKind,
+                std::set<const VarDecl *> Safe)
+      : Diags(Diags), RegionKind(RegionKind), Safe(std::move(Safe)) {}
+
+  void scan(Stmt *S, bool Synchronized) {
+    if (!S)
+      return;
+
+    if (auto *DS = stmt_dyn_cast<DeclStmt>(S)) {
+      // Declared inside the region: every thread has its own instance.
+      for (VarDecl *V : DS->decls()) {
+        Safe.insert(V);
+        scan(V->getInit(), Synchronized);
+      }
+      return;
+    }
+
+    if (auto *D = stmt_dyn_cast<OMPExecutableDirective>(S)) {
+      OpenMPDirectiveKind K = D->getDirectiveKind();
+      if (isRaceRegionDirective(K))
+        return; // analyzed as its own region
+      if (isSynchronizedDirective(K)) {
+        scan(D->getAssociatedStmt(), /*Synchronized=*/true);
+        return;
+      }
+      // simd / tile / unroll are transparent: extend the safe set with
+      // their clauses and (re-materialized) loop IVs, then keep scanning
+      // the literal associated statement.
+      auto Saved = Safe;
+      addRegionSafeVars(D, Safe);
+      scan(D->getAssociatedStmt(), Synchronized);
+      Safe = std::move(Saved);
+      return;
+    }
+
+    if (auto *UO = stmt_dyn_cast<UnaryOperator>(S)) {
+      if (UO->isIncrementDecrementOp())
+        checkWrite(UO->getSubExpr(), Synchronized);
+    } else if (auto *BO = stmt_dyn_cast<BinaryOperator>(S)) {
+      if (BO->isAssignmentOp())
+        checkWrite(BO->getLHS(), Synchronized);
+    }
+
+    for (Stmt *Child : S->children())
+      scan(Child, Synchronized);
+  }
+
+private:
+  void checkWrite(Expr *Target, bool Synchronized) {
+    auto *DRE = stmt_dyn_cast<DeclRefExpr>(Target->ignoreParenImpCasts());
+    if (!DRE)
+      return; // array-element / pointer writes need index analysis
+    auto *V = decl_dyn_cast<VarDecl>(DRE->getDecl());
+    if (!V || Synchronized || Safe.count(V) || isInternalVar(V))
+      return;
+    if (!Warned.insert(V).second)
+      return;
+    Diags.report(DRE->getBeginLoc(), diag::warn_analysis_shared_write_race)
+        << V->getName()
+        << std::string(getOpenMPDirectiveName(RegionKind));
+    Diags.report(V->getLocation(), diag::note_analysis_shared_decl_here)
+        << V->getName();
+  }
+
+  DiagnosticsEngine &Diags;
+  OpenMPDirectiveKind RegionKind;
+  std::set<const VarDecl *> Safe;
+  std::set<const VarDecl *> Warned;
+};
+
+class OpenMPRaceLinter final : public ASTAnalysis {
+public:
+  OpenMPRaceLinter() : ASTAnalysis("openmp-race-linter") {}
+
+  void run(TranslationUnitDecl *TU, AnalysisManager &AM) override {
+    for (Decl *D : TU->decls())
+      if (auto *FD = decl_dyn_cast<FunctionDecl>(D))
+        if (FD->hasBody())
+          findRegions(FD->getBody(), {}, AM.getDiagnostics());
+  }
+
+private:
+  /// Finds region directives, threading down the set of variables already
+  /// made thread-local by enclosing regions (clauses, loop IVs, and
+  /// declarations inside the enclosing region).
+  void findRegions(Stmt *S, std::set<const VarDecl *> Inherited,
+                   DiagnosticsEngine &Diags) {
+    if (!S)
+      return;
+    if (auto *D = stmt_dyn_cast<OMPExecutableDirective>(S)) {
+      if (isRaceRegionDirective(D->getDirectiveKind())) {
+        addRegionSafeVars(D, Inherited);
+        RegionScanner(Diags, D->getDirectiveKind(), Inherited)
+            .scan(D->getAssociatedStmt(), /*Synchronized=*/false);
+        collectLocalDecls(D->getAssociatedStmt(), Inherited);
+      }
+    }
+    for (Stmt *Child : S->children())
+      findRegions(Child, Inherited, Diags);
+  }
+
+  /// Every VarDecl declared anywhere inside \p S. Used to mark
+  /// block-locals of an enclosing parallel region as thread-private for
+  /// nested worksharing regions.
+  static void collectLocalDecls(Stmt *S, std::set<const VarDecl *> &Out) {
+    if (!S)
+      return;
+    if (auto *DS = stmt_dyn_cast<DeclStmt>(S))
+      for (VarDecl *V : DS->decls())
+        Out.insert(V);
+    for (Stmt *Child : S->children())
+      collectLocalDecls(Child, Out);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<ASTAnalysis> createOpenMPRaceLinter() {
+  return std::make_unique<OpenMPRaceLinter>();
+}
+
+} // namespace mcc::analysis

@@ -1,0 +1,289 @@
+//===--- TransformVerifier.cpp - Post-transform shadow-AST verifier --------===//
+//
+// The AST analogue of ir::Verifier: after SemaOpenMPTransform has built the
+// shadow ASTs, checks the structural invariants the rest of the pipeline
+// relies on:
+//
+//   * tile applies to a perfectly nested loop nest of the directive's
+//     association depth;
+//   * the generated loops match the clause arguments: tile with sizes(n)
+//     produces the 2n-loop floor/tile spine, unroll partial(k) produces
+//     the strip-mined outer loop plus a LoopHintAttr(UnrollCount, k)
+//     annotated inner loop, unroll full produces no generated loop;
+//   * every shadow node's diagnostic location remaps into the literal
+//     loop: it is either invalid (the DiagnosticsEngine remap policy
+//     retargets it) or lies within the directive + associated statement's
+//     source range.
+//
+// Violations are errors (err_ast_verifier): they indicate a transformation
+// bug, not a user mistake.
+//
+//===----------------------------------------------------------------------===//
+#include "analysis/Analysis.h"
+
+#include <string>
+
+namespace mcc::analysis {
+
+namespace {
+
+bool reportVerifierError(const OMPLoopTransformationDirective *Dir,
+                         DiagnosticsEngine &Diags, const std::string &Msg) {
+  Diags.report(Dir->getBeginLoc(), diag::err_ast_verifier) << Msg;
+  return false;
+}
+
+std::string dirName(const OMPLoopTransformationDirective *Dir) {
+  return std::string(getOpenMPDirectiveName(Dir->getDirectiveKind()));
+}
+
+/// Walks the literal associated nest of \p Dir checking perfect nesting to
+/// the directive's association depth. Nested transformation directives are
+/// consumed through their transformed statement, as Sema does.
+bool verifyPerfectNesting(const OMPLoopTransformationDirective *Dir,
+                          DiagnosticsEngine &Diags) {
+  Stmt *Cur = Dir->getAssociatedStmt();
+  unsigned N = Dir->getLoopsNumber();
+  for (unsigned Depth = 0; Depth < N; ++Depth) {
+    for (;;) {
+      if (auto *Cap = stmt_dyn_cast<CapturedStmt>(Cur)) {
+        Cur = Cap->getCapturedStmt();
+      } else if (auto *CL = stmt_dyn_cast<OMPCanonicalLoop>(Cur)) {
+        Cur = CL->getLoopStmt();
+      } else if (auto *CS = stmt_dyn_cast<CompoundStmt>(Cur)) {
+        if (CS->size() != 1)
+          return reportVerifierError(
+              Dir, Diags,
+              "'" + dirName(Dir) + "' requires a perfectly nested loop " +
+                  "nest of depth " + std::to_string(N) +
+                  ", but the block at depth " + std::to_string(Depth) +
+                  " contains " + std::to_string(CS->size()) + " statements");
+        Cur = CS->body()[0];
+      } else if (auto *TD =
+                     stmt_dyn_cast<OMPLoopTransformationDirective>(Cur)) {
+        if (!TD->getTransformedStmt())
+          return true; // IRBuilder mode: nothing further to verify here
+        Cur = TD->getTransformedStmt();
+      } else {
+        break;
+      }
+    }
+    auto *For = stmt_dyn_cast<ForStmt>(Cur);
+    if (!For)
+      return reportVerifierError(
+          Dir, Diags,
+          "'" + dirName(Dir) + "' is associated with a " +
+              Cur->getStmtClassName() + " at depth " + std::to_string(Depth) +
+              " where a for loop is required");
+    Cur = For->getBody();
+  }
+  return true;
+}
+
+/// The next spine loop of a generated nest: unwraps single-statement
+/// compounds only (the generated spine has no other wrappers).
+ForStmt *nextSpineLoop(Stmt *&Cur) {
+  while (auto *CS = stmt_dyn_cast<CompoundStmt>(Cur)) {
+    if (CS->size() != 1)
+      return nullptr;
+    Cur = CS->body()[0];
+  }
+  if (auto *For = stmt_dyn_cast<ForStmt>(Cur)) {
+    Cur = For->getBody();
+    return For;
+  }
+  return nullptr;
+}
+
+bool spineIVNameStartsWith(const ForStmt *For, const std::string &Prefix) {
+  const VarDecl *IV = getLoopIterationVar(For);
+  return IV && std::string_view(IV->getName()).substr(0, Prefix.size()) ==
+                   Prefix;
+}
+
+bool verifyTileSpine(const OMPTileDirective *Tile, DiagnosticsEngine &Diags) {
+  unsigned N = Tile->getLoopsNumber();
+
+  const auto *Sizes = Tile->getSingleClause<OMPSizesClause>();
+  if (!Sizes)
+    return reportVerifierError(Tile, Diags,
+                               "'tile' directive has no 'sizes' clause");
+  if (Sizes->getNumSizes() != N)
+    return reportVerifierError(
+        Tile, Diags,
+        "'sizes' clause has " + std::to_string(Sizes->getNumSizes()) +
+            " arguments but the directive is associated with " +
+            std::to_string(N) + " loops");
+
+  // sizes(s1...sn) must generate the 2n-loop spine of the paper's Fig. 7:
+  // n floor loops followed by n tile loops.
+  Stmt *Cur = Tile->getTransformedStmt();
+  for (unsigned Group = 0; Group < 2; ++Group) {
+    const char *Kind = Group == 0 ? ".floor." : ".tile.";
+    for (unsigned K = 0; K < N; ++K) {
+      ForStmt *For = nextSpineLoop(Cur);
+      std::string Expected = Kind + std::to_string(K) + ".iv.";
+      if (!For || !spineIVNameStartsWith(For, Expected))
+        return reportVerifierError(
+            Tile, Diags,
+            "'tile sizes(" + std::to_string(Sizes->getNumSizes()) +
+                ")' must generate " + std::to_string(2 * N) +
+                " loops, but generated loop " +
+                std::to_string(Group * N + K) + " (expected '" + Expected +
+                "*') is missing or malformed");
+    }
+  }
+  return true;
+}
+
+bool verifyUnrollSpine(const OMPUnrollDirective *Unroll,
+                       DiagnosticsEngine &Diags) {
+  Stmt *Cur = Unroll->getTransformedStmt();
+
+  if (Unroll->hasFullClause())
+    return reportVerifierError(Unroll, Diags,
+                               "'unroll full' must not produce a generated "
+                               "loop, but a transformed statement is "
+                               "present");
+
+  ForStmt *Outer = nextSpineLoop(Cur);
+  if (!Outer || !spineIVNameStartsWith(Outer, "unrolled.iv."))
+    return reportVerifierError(Unroll, Diags,
+                               "'unroll partial' must generate a "
+                               "strip-mined outer loop ('unrolled.iv.*')");
+
+  while (auto *CS = stmt_dyn_cast<CompoundStmt>(Cur)) {
+    if (CS->size() != 1)
+      break;
+    Cur = CS->body()[0];
+  }
+  auto *Attributed = stmt_dyn_cast<AttributedStmt>(Cur);
+  const LoopHintAttr *Hint = nullptr;
+  if (Attributed)
+    for (const Attr *A : Attributed->getAttrs())
+      if (A->getKind() == Attr::Kind::LoopHint) {
+        const auto *LH = static_cast<const LoopHintAttr *>(A);
+        if (LH->getOption() == LoopHintAttr::OptionKind::UnrollCount)
+          Hint = LH;
+      }
+  if (!Hint)
+    return reportVerifierError(
+        Unroll, Diags,
+        "'unroll partial' must annotate the generated inner loop with a "
+        "LoopHintAttr(UnrollCount)");
+
+  // An explicit partial(k) must propagate k into the hint.
+  if (const auto *Partial = Unroll->getSingleClause<OMPPartialClause>())
+    if (const ConstantExpr *Factor = Partial->getFactor())
+      if (const auto *Lit = stmt_dyn_cast<IntegerLiteral>(
+              Hint->getValue()->ignoreParenImpCasts()))
+        if (static_cast<std::int64_t>(Lit->getValue()) !=
+            Factor->getResult())
+          return reportVerifierError(
+              Unroll, Diags,
+              "'unroll partial(" + std::to_string(Factor->getResult()) +
+                  ")' generated an unroll hint with factor " +
+                  std::to_string(Lit->getValue()));
+
+  Stmt *Sub = Attributed->getSubStmt();
+  ForStmt *Inner = nextSpineLoop(Sub);
+  if (!Inner || !spineIVNameStartsWith(Inner, "unroll_inner.iv."))
+    return reportVerifierError(Unroll, Diags,
+                               "'unroll partial' must generate an inner "
+                               "loop ('unroll_inner.iv.*') under the "
+                               "unroll hint");
+  return true;
+}
+
+/// Checks that every node of a shadow subtree either has no location (the
+/// remap policy retargets it) or a location within the literal region
+/// [directive begin, max(directive end, associated stmt end)].
+const Stmt *findEscapedLocation(const Stmt *S, SourceLocation Begin,
+                                SourceLocation End) {
+  if (!S)
+    return nullptr;
+  SourceLocation Loc = S->getBeginLoc();
+  if (Loc.isValid() && (Loc < Begin || End < Loc))
+    return S;
+  for (Stmt *Child : S->children())
+    if (const Stmt *Found = findEscapedLocation(Child, Begin, End))
+      return Found;
+  if (const auto *TD = stmt_dyn_cast<OMPLoopTransformationDirective>(S)) {
+    if (const Stmt *Found =
+            findEscapedLocation(TD->getPreInits(), Begin, End))
+      return Found;
+    if (const Stmt *Found =
+            findEscapedLocation(TD->getTransformedStmt(), Begin, End))
+      return Found;
+  }
+  return nullptr;
+}
+
+bool verifyShadowLocations(const OMPLoopTransformationDirective *Dir,
+                           DiagnosticsEngine &Diags) {
+  SourceLocation Begin = Dir->getBeginLoc();
+  SourceLocation End = Dir->getEndLoc();
+  if (const Stmt *Assoc = Dir->getAssociatedStmt())
+    if (Assoc->getEndLoc().isValid() && End < Assoc->getEndLoc())
+      End = Assoc->getEndLoc();
+
+  for (const Stmt *Root : {Dir->getPreInits(), Dir->getTransformedStmt()})
+    if (const Stmt *Escaped = findEscapedLocation(Root, Begin, End))
+      return reportVerifierError(
+          Dir, Diags,
+          std::string("shadow node '") + Escaped->getStmtClassName() +
+              "' of '" + dirName(Dir) +
+              "' has a source location outside the literal loop; its "
+              "diagnostics would not remap to user code");
+  return true;
+}
+
+} // namespace
+
+bool verifyLoopTransformation(OMPLoopTransformationDirective *Dir,
+                              DiagnosticsEngine &Diags) {
+  bool OK = verifyPerfectNesting(Dir, Diags);
+
+  if (Stmt *T = Dir->getTransformedStmt()) {
+    (void)T;
+    if (const auto *Tile = stmt_dyn_cast<OMPTileDirective>(Dir))
+      OK = verifyTileSpine(Tile, Diags) && OK;
+    else if (const auto *Unroll = stmt_dyn_cast<OMPUnrollDirective>(Dir))
+      OK = verifyUnrollSpine(Unroll, Diags) && OK;
+    OK = verifyShadowLocations(Dir, Diags) && OK;
+  } else if (const auto *Unroll = stmt_dyn_cast<OMPUnrollDirective>(Dir)) {
+    // Full / heuristic unroll legitimately defers to the mid-end; nothing
+    // structural to verify.
+    (void)Unroll;
+  }
+  return OK;
+}
+
+namespace {
+
+class PostTransformVerifier final : public ASTAnalysis {
+public:
+  PostTransformVerifier() : ASTAnalysis("post-transform-verifier") {}
+
+  void run(TranslationUnitDecl *TU, AnalysisManager &AM) override {
+    struct Finder : RecursiveASTVisitor<Finder> {
+      DiagnosticsEngine *Diags = nullptr;
+      bool visitStmt(Stmt *S) {
+        if (auto *TD = stmt_dyn_cast<OMPLoopTransformationDirective>(S))
+          verifyLoopTransformation(TD, *Diags);
+        return true;
+      }
+      bool visitDecl(Decl *) { return true; }
+    } F;
+    F.Diags = &AM.getDiagnostics();
+    F.traverseDecl(TU);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<ASTAnalysis> createPostTransformVerifier() {
+  return std::make_unique<PostTransformVerifier>();
+}
+
+} // namespace mcc::analysis

@@ -1,9 +1,14 @@
 #include "driver/CompilerInstance.h"
 
+#include "analysis/Analysis.h"
+
 namespace mcc {
 
 CompilerInstance::CompilerInstance(CompilerOptions Opts)
-    : Options(std::move(Opts)), Diags(&DiagStore) {}
+    : Options(std::move(Opts)), Diags(&DiagStore) {
+  Diags.setSuppressAllWarnings(Options.SuppressWarnings);
+  Diags.setWarningsAsErrors(Options.WarningsAsErrors);
+}
 
 CompilerInstance::~CompilerInstance() = default;
 
@@ -26,6 +31,15 @@ bool CompilerInstance::parseToAST(const std::string &MainFile) {
   Actions = std::make_unique<Sema>(Ctx, Diags, Options.LangOpts);
   Parser P(*PP, *Actions);
   TU = P.parseTranslationUnit();
+  if (!TU || Diags.hasErrorOccurred())
+    return false;
+
+  if (Options.RunASTVerifier || Options.RunAnalyzers) {
+    analysis::AnalysisManager AM(Ctx, Diags);
+    analysis::registerDefaultAnalyses(AM, Options.RunAnalyzers,
+                                      Options.RunASTVerifier);
+    AM.run(TU);
+  }
   return !Diags.hasErrorOccurred();
 }
 

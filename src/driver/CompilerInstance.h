@@ -22,7 +22,11 @@ namespace mcc {
 
 struct CompilerOptions {
   LangOptions LangOpts;
-  bool RunVerifier = true;
+  bool RunVerifier = true;    // IR verifier after CodeGen / mid-end
+  bool RunASTVerifier = true; // post-transform shadow-AST verifier
+  bool RunAnalyzers = false;  // --analyze: race linter + loop conformance
+  bool SuppressWarnings = false; // -w
+  bool WarningsAsErrors = false; // -Werror
   bool RunMidend = false; // -O1: LoopUnroll + SimplifyCFG + DCE
   midend::LoopUnrollOptions UnrollOpts;
   std::vector<std::pair<std::string, std::string>> Defines; // -DNAME=VAL

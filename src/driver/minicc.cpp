@@ -13,6 +13,10 @@
 //                                  DCE) before printing/running
 //     -run [args...]               interpret main() and print its result
 //     -syntax-only                 stop after semantic analysis
+//     --analyze                    run the AST static analyses (OpenMP race
+//                                  linter, canonical-loop conformance)
+//     -w                           suppress all warnings
+//     -Werror                      treat warnings as errors
 //     -DNAME[=VALUE]               predefine a macro
 //     -I <dir>                     add an include search directory
 //     -num-threads N               default OpenMP thread count
@@ -44,6 +48,10 @@ void printUsage() {
       "  -O1                         run the mid-end pipeline\n"
       "  -run                        interpret main()\n"
       "  -syntax-only                stop after Sema\n"
+      "  --analyze                   run AST static analyses (race linter,\n"
+      "                              canonical-loop conformance)\n"
+      "  -w                          suppress all warnings\n"
+      "  -Werror                     treat warnings as errors\n"
       "  -DNAME[=VALUE]              define macro\n"
       "  -I <dir>                    include search directory\n"
       "  -num-threads N              default OpenMP thread count\n");
@@ -77,6 +85,12 @@ int main(int argc, char **argv) {
       Run = true;
     else if (Arg == "-syntax-only")
       SyntaxOnly = true;
+    else if (Arg == "--analyze" || Arg == "-analyze")
+      Options.RunAnalyzers = true;
+    else if (Arg == "-w")
+      Options.SuppressWarnings = true;
+    else if (Arg == "-Werror")
+      Options.WarningsAsErrors = true;
     else if (Arg == "-num-threads" && I + 1 < argc)
       Options.LangOpts.OpenMPDefaultNumThreads =
           static_cast<unsigned>(std::atoi(argv[++I]));

@@ -90,8 +90,13 @@ private:
         SeenNonPhi = true;
       }
 
-      for (const Value *Op : I.operands())
+      for (const Value *Op : I.operands()) {
+        // A phi may use itself through a backedge; anywhere else a
+        // self-referencing instruction cannot dominate its own use.
+        if (Op == &I && I.getOpcode() != Opcode::Phi)
+          error(BB, &I, "instruction uses itself as an operand");
         verifyOperand(BB, I, Op);
+      }
 
       verifyTypes(BB, I);
     }

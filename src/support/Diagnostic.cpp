@@ -86,6 +86,23 @@ void DiagnosticsEngine::emit(Diagnostic D,
     Remapped = true;
   }
 
+  // Warning-control flags (-w / -Werror). Notes never stand alone: when -w
+  // drops a warning, the notes that follow it are dropped too.
+  if (D.Sev == diag::Severity::Warning) {
+    if (SuppressAllWarnings) {
+      SuppressingAttachedNotes = true;
+      return;
+    }
+    if (WarningsAsErrors)
+      D.Sev = diag::Severity::Error;
+  }
+  if (D.Sev == diag::Severity::Note) {
+    if (SuppressingAttachedNotes)
+      return;
+  } else {
+    SuppressingAttachedNotes = false;
+  }
+
   switch (D.Sev) {
   case diag::Severity::Error:
     ++NumErrors;

@@ -167,6 +167,17 @@ public:
     NumWarnings = 0;
   }
 
+  /// -w: drop all warnings (and the notes attached to them).
+  void setSuppressAllWarnings(bool V) { SuppressAllWarnings = V; }
+  [[nodiscard]] bool getSuppressAllWarnings() const {
+    return SuppressAllWarnings;
+  }
+
+  /// -Werror: promote warnings to errors (they then count as errors, so
+  /// compilation fails).
+  void setWarningsAsErrors(bool V) { WarningsAsErrors = V; }
+  [[nodiscard]] bool getWarningsAsErrors() const { return WarningsAsErrors; }
+
   /// While a remap region is active, every diagnostic whose location lies
   /// inside the shadow AST (i.e. has an invalid or internal location) is
   /// retargeted to \p RepresentativeLoc, and an explanatory note
@@ -196,6 +207,9 @@ private:
   unsigned NumWarnings = 0;
   std::vector<RemapEntry> RemapStack;
   bool EmittingRemapNote = false;
+  bool SuppressAllWarnings = false;
+  bool WarningsAsErrors = false;
+  bool SuppressingAttachedNotes = false;
 };
 
 } // namespace mcc

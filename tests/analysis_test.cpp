@@ -1,0 +1,573 @@
+//===--- analysis_test.cpp - AST static-analysis subsystem tests -----------===//
+//
+// Covers the three passes of the analysis layer:
+//   * the OpenMP race linter (shared-by-default writes in parallel /
+//     worksharing regions),
+//   * the canonical-loop conformance checker (including generated loops of
+//     tile/unroll shadow ASTs),
+//   * the post-transform AST verifier (shadow-AST structural invariants),
+// plus the -w / -Werror driver plumbing.
+//
+//===----------------------------------------------------------------------===//
+#include "FrontendTestHelper.h"
+
+#include "analysis/Analysis.h"
+#include "driver/CompilerInstance.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcc;
+using namespace mcc::test;
+
+namespace {
+
+/// Runs the requested subset of the default pipeline over a parsed TU.
+void runAnalyses(Frontend &F, bool Linters, bool Verifier) {
+  ASSERT_NE(F.TU, nullptr);
+  analysis::AnalysisManager AM(F.Ctx, F.Diags);
+  analysis::registerDefaultAnalyses(AM, Linters, Verifier);
+  AM.run(F.TU);
+}
+
+// ---------------------------------------------------------------------------
+// OpenMP race linter
+// ---------------------------------------------------------------------------
+
+TEST(RaceLinterTest, WarnsOnSharedAccumulator) {
+  Frontend F(R"(
+    void f(int n) {
+      int sum = 0;
+      #pragma omp parallel for
+      for (int i = 0; i < n; i += 1)
+        sum = sum + i;
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  runAnalyses(F, /*Linters=*/true, /*Verifier=*/true);
+
+  auto Warnings = F.diagsWithID(diag::warn_analysis_shared_write_race);
+  ASSERT_EQ(Warnings.size(), 1u);
+  EXPECT_NE(Warnings[0].Message.find("'sum'"), std::string::npos);
+  EXPECT_NE(Warnings[0].Message.find("parallel for"), std::string::npos);
+  EXPECT_TRUE(Warnings[0].Loc.isValid());
+  EXPECT_TRUE(F.hasDiag(diag::note_analysis_shared_decl_here));
+}
+
+TEST(RaceLinterTest, WarnsOnUnprivatizedInnerIV) {
+  Frontend F(R"(
+    void body(int x, int y);
+    void f(int n) {
+      int j;
+      #pragma omp parallel for
+      for (int i = 0; i < n; i += 1)
+        for (j = 0; j < 8; j += 1)
+          body(i, j);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  runAnalyses(F, true, true);
+
+  auto Warnings = F.diagsWithID(diag::warn_analysis_shared_write_race);
+  ASSERT_EQ(Warnings.size(), 1u);
+  EXPECT_NE(Warnings[0].Message.find("'j'"), std::string::npos);
+}
+
+TEST(RaceLinterTest, PrivateClauseSuppresses) {
+  Frontend F(R"(
+    void body(int x, int y);
+    void f(int n) {
+      int j;
+      #pragma omp parallel for private(j)
+      for (int i = 0; i < n; i += 1)
+        for (j = 0; j < 8; j += 1)
+          body(i, j);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  runAnalyses(F, true, true);
+  EXPECT_FALSE(F.hasDiag(diag::warn_analysis_shared_write_race));
+}
+
+TEST(RaceLinterTest, ReductionClauseSuppresses) {
+  Frontend F(R"(
+    void f(int n) {
+      int sum = 0;
+      #pragma omp parallel for reduction(+: sum)
+      for (int i = 0; i < n; i += 1)
+        sum = sum + i;
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  runAnalyses(F, true, true);
+  EXPECT_FALSE(F.hasDiag(diag::warn_analysis_shared_write_race));
+}
+
+TEST(RaceLinterTest, RegionLocalDeclIsThreadPrivate) {
+  Frontend F(R"(
+    void body(int x);
+    void f(int n) {
+      #pragma omp parallel for
+      for (int i = 0; i < n; i += 1) {
+        int tmp = i * 2;
+        tmp = tmp + 1;
+        body(tmp);
+      }
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  runAnalyses(F, true, true);
+  EXPECT_FALSE(F.hasDiag(diag::warn_analysis_shared_write_race));
+}
+
+TEST(RaceLinterTest, CriticalSectionSuppresses) {
+  Frontend F(R"(
+    void f(int n) {
+      int sum = 0;
+      #pragma omp parallel for
+      for (int i = 0; i < n; i += 1) {
+        #pragma omp critical
+        sum = sum + i;
+      }
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  runAnalyses(F, true, true);
+  EXPECT_FALSE(F.hasDiag(diag::warn_analysis_shared_write_race));
+}
+
+TEST(RaceLinterTest, NestedWorksharingInheritsParallelLocals) {
+  // 'tmp' is declared inside the parallel region, so every thread has its
+  // own instance; the nested worksharing loop must not warn about it.
+  Frontend F(R"(
+    void body(int x);
+    void f(int n) {
+      #pragma omp parallel
+      {
+        int tmp = 0;
+        #pragma omp for
+        for (int i = 0; i < n; i += 1) {
+          tmp = tmp + i;
+          body(tmp);
+        }
+      }
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  runAnalyses(F, true, true);
+  EXPECT_FALSE(F.hasDiag(diag::warn_analysis_shared_write_race));
+}
+
+// The acceptance scenario: the race is inside a loop that also carries a
+// transformation, so shadow ASTs with '.capture_expr.'-style internals
+// exist — but the diagnostic must land on the user's literal loop.
+TEST(RaceLinterTest, DiagnosticPointsAtLiteralLoopNotShadow) {
+  Frontend F(R"(
+    void f(int n) {
+      int sum = 0;
+      #pragma omp parallel for
+      for (int i = 0; i < 64; i += 1) {
+        #pragma omp unroll partial(4)
+        for (int k = 0; k < 8; k += 1)
+          sum = sum + k;
+      }
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  runAnalyses(F, true, true);
+
+  auto Warnings = F.diagsWithID(diag::warn_analysis_shared_write_race);
+  ASSERT_EQ(Warnings.size(), 1u);
+  ASSERT_TRUE(Warnings[0].Loc.isValid());
+  // The diagnostic names the user's variable, not a shadow-AST internal.
+  EXPECT_NE(Warnings[0].Message.find("'sum'"), std::string::npos);
+  for (const Diagnostic &D : F.Consumer.getDiagnostics()) {
+    EXPECT_EQ(D.Message.find(".capture_expr."), std::string::npos)
+        << D.Message;
+    EXPECT_EQ(D.Message.find("unroll_inner"), std::string::npos) << D.Message;
+    EXPECT_EQ(D.Message.find("unrolled.iv"), std::string::npos) << D.Message;
+  }
+  // The generated inner loops' IV 'k' is iteration-local, so exactly one
+  // warning (for 'sum') must be emitted.
+  EXPECT_EQ(F.warnings(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical-loop conformance checker
+// ---------------------------------------------------------------------------
+
+TEST(CanonicalLoopConformanceTest, CleanLoopProducesNoDiagnostics) {
+  Frontend F(R"(
+    void body(int x);
+    void f(int n) {
+      #pragma omp parallel for
+      for (int i = 0; i < n; i += 1)
+        body(i);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  runAnalyses(F, true, true);
+  EXPECT_FALSE(F.hasDiag(diag::warn_analysis_loop_not_canonical));
+}
+
+TEST(CanonicalLoopConformanceTest, WarnsWhenCondVarModifiedInBody) {
+  Frontend F(R"(
+    void f(int n) {
+      #pragma omp parallel for
+      for (int i = 0; i < n; i += 1)
+        n = n - 1;
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  runAnalyses(F, true, true);
+
+  EXPECT_TRUE(F.hasDiag(diag::warn_analysis_loop_not_canonical));
+  auto Notes = F.diagsWithID(diag::note_analysis_cond_var_modified_here);
+  ASSERT_EQ(Notes.size(), 1u);
+  EXPECT_NE(Notes[0].Message.find("'n'"), std::string::npos);
+  EXPECT_TRUE(Notes[0].Loc.isValid());
+}
+
+TEST(CanonicalLoopConformanceTest, DirectCheckNonIntegerIV) {
+  Frontend F(R"(
+    void sink(double x);
+    void f() {
+      for (double x = 0.0; x < 4.0; x = x + 1.0)
+        sink(x);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  auto *For = F.findStmt<ForStmt>("f");
+  ASSERT_NE(For, nullptr);
+
+  EXPECT_FALSE(analysis::checkCanonicalLoopConformance(
+      For, OpenMPDirectiveKind::For, F.Diags));
+  auto Notes = F.diagsWithID(diag::note_analysis_noninteger_iv);
+  ASSERT_EQ(Notes.size(), 1u);
+  EXPECT_NE(Notes[0].Message.find("'x'"), std::string::npos);
+  EXPECT_NE(Notes[0].Message.find("double"), std::string::npos);
+}
+
+TEST(CanonicalLoopConformanceTest, DirectCheckNonCanonicalIncrement) {
+  Frontend F(R"(
+    void body(int x);
+    void f() {
+      for (int i = 1; i < 100; i = i * 2)
+        body(i);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  auto *For = F.findStmt<ForStmt>("f");
+  ASSERT_NE(For, nullptr);
+
+  EXPECT_FALSE(analysis::checkCanonicalLoopConformance(
+      For, OpenMPDirectiveKind::For, F.Diags));
+  EXPECT_TRUE(F.hasDiag(diag::note_analysis_noncanonical_inc));
+}
+
+TEST(CanonicalLoopConformanceTest, DirectCheckNonLoop) {
+  Frontend F(R"(
+    void g();
+    void f() { g(); }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  Stmt *Body = F.getFunction("f")->getBody();
+  ASSERT_NE(Body, nullptr);
+
+  EXPECT_FALSE(analysis::checkCanonicalLoopConformance(
+      Body, OpenMPDirectiveKind::For, F.Diags));
+  EXPECT_TRUE(F.hasDiag(diag::note_analysis_not_a_loop));
+}
+
+TEST(CanonicalLoopConformanceTest, DirectCheckAcceptsCanonicalForms) {
+  Frontend F(R"(
+    void body(int x);
+    void f(int n) {
+      for (int i = n; i > 0; i -= 2)
+        body(i);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  auto *For = F.findStmt<ForStmt>("f");
+  ASSERT_NE(For, nullptr);
+
+  EXPECT_TRUE(analysis::checkCanonicalLoopConformance(
+      For, OpenMPDirectiveKind::For, F.Diags));
+  EXPECT_EQ(F.warnings(), 0u);
+}
+
+// A tampered shadow AST: the generated loop of 'unroll partial' is replaced
+// with a non-canonical loop, and the conformance pass must diagnose it.
+TEST(CanonicalLoopConformanceTest, ChecksGeneratedLoopsOfShadowAST) {
+  Frontend F(R"(
+    void body(int x);
+    void g() {
+      for (int k = 1; k < 64; k = k * 2)
+        body(k);
+    }
+    void f() {
+      #pragma omp unroll partial(2)
+      for (int i = 0; i < 16; i += 1)
+        body(i);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  auto *Unroll = F.findStmt<OMPUnrollDirective>("f");
+  ASSERT_NE(Unroll, nullptr);
+  ASSERT_NE(Unroll->getTransformedStmt(), nullptr);
+
+  // The genuine generated loop conforms: no warnings.
+  runAnalyses(F, true, /*Verifier=*/false);
+  EXPECT_FALSE(F.hasDiag(diag::warn_analysis_loop_not_canonical));
+
+  // Graft g's doubling loop in as the "generated" loop.
+  Unroll->setTransformedStmt(F.findStmt<ForStmt>("g"));
+  runAnalyses(F, true, /*Verifier=*/false);
+  EXPECT_TRUE(F.hasDiag(diag::warn_analysis_loop_not_canonical));
+  auto Notes = F.diagsWithID(diag::note_analysis_noncanonical_inc);
+  ASSERT_GE(Notes.size(), 1u);
+  EXPECT_NE(Notes[0].Message.find("'k'"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Post-transform AST verifier
+// ---------------------------------------------------------------------------
+
+TEST(TransformVerifierTest, ValidTransformationsVerifyCleanly) {
+  Frontend F(R"(
+    void body(int x, int y);
+    void f() {
+      #pragma omp tile sizes(4, 2)
+      for (int i = 0; i < 32; i += 1)
+        for (int j = 0; j < 8; j += 1)
+          body(i, j);
+    }
+    void h() {
+      #pragma omp unroll partial(2)
+      for (int i = 0; i < 16; i += 1)
+        body(i, 0);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  runAnalyses(F, false, /*Verifier=*/true);
+  EXPECT_EQ(F.errors(), 0u);
+  EXPECT_FALSE(F.hasDiag(diag::err_ast_verifier));
+}
+
+TEST(TransformVerifierTest, RejectsTransformedStmtOnFullUnroll) {
+  Frontend F(R"(
+    void body(int x);
+    void g() {
+      for (int k = 0; k < 4; k += 1)
+        body(k);
+    }
+    void f() {
+      #pragma omp unroll full
+      for (int i = 0; i < 16; i += 1)
+        body(i);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  auto *Unroll = F.findStmt<OMPUnrollDirective>("f");
+  ASSERT_NE(Unroll, nullptr);
+  ASSERT_EQ(Unroll->getTransformedStmt(), nullptr);
+
+  Unroll->setTransformedStmt(F.findStmt<ForStmt>("g"));
+  EXPECT_FALSE(analysis::verifyLoopTransformation(Unroll, F.Diags));
+  auto Errors = F.diagsWithID(diag::err_ast_verifier);
+  ASSERT_GE(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].Message.find("'unroll full'"), std::string::npos);
+}
+
+TEST(TransformVerifierTest, RejectsMalformedUnrollSpine) {
+  Frontend F(R"(
+    void body(int x);
+    void f() {
+      #pragma omp unroll partial(2)
+      for (int i = 0; i < 16; i += 1)
+        body(i);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  auto *Unroll = F.findStmt<OMPUnrollDirective>("f");
+  ASSERT_NE(Unroll, nullptr);
+
+  // Replace the generated spine with the literal loop: locations stay in
+  // range, but the strip-mined outer loop is gone.
+  Unroll->setTransformedStmt(F.findStmt<ForStmt>("f"));
+  EXPECT_FALSE(analysis::verifyLoopTransformation(Unroll, F.Diags));
+  auto Errors = F.diagsWithID(diag::err_ast_verifier);
+  ASSERT_GE(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].Message.find("strip-mined"), std::string::npos);
+}
+
+TEST(TransformVerifierTest, DetectsShadowLocationEscape) {
+  Frontend F(R"(
+    void body(int x);
+    void g() {
+      int stray = 1;
+      body(stray);
+    }
+    void f() {
+      #pragma omp unroll partial(2)
+      for (int i = 0; i < 16; i += 1)
+        body(i);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  auto *Unroll = F.findStmt<OMPUnrollDirective>("f");
+  ASSERT_NE(Unroll, nullptr);
+
+  // Pre-inits whose locations point at g's body, far outside the literal
+  // loop of f: the verifier must flag the escape.
+  Unroll->setPreInits(F.findStmt<DeclStmt>("g"));
+  EXPECT_FALSE(analysis::verifyLoopTransformation(Unroll, F.Diags));
+  auto Errors = F.diagsWithID(diag::err_ast_verifier);
+  ASSERT_GE(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].Message.find("outside the literal loop"),
+            std::string::npos);
+}
+
+TEST(TransformVerifierTest, DetectsImperfectTileNest) {
+  Frontend F(R"(
+    void body(int x, int y);
+    void imperfect() {
+      for (int i = 0; i < 8; i += 1) {
+        body(i, 0);
+        for (int j = 0; j < 8; j += 1)
+          body(i, j);
+      }
+    }
+    void f() {
+      #pragma omp tile sizes(4, 2)
+      for (int i = 0; i < 32; i += 1)
+        for (int j = 0; j < 8; j += 1)
+          body(i, j);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  auto *Tile = F.findStmt<OMPTileDirective>("f");
+  ASSERT_NE(Tile, nullptr);
+
+  // Hand-build a tile directive whose associated statement is an imperfect
+  // nest (Sema would never produce this).
+  auto *Bad = F.Ctx.create<OMPTileDirective>(
+      Tile->getSourceRange(), Tile->clauses(),
+      F.findStmt<ForStmt>("imperfect"), /*NumLoops=*/2);
+  EXPECT_FALSE(analysis::verifyLoopTransformation(Bad, F.Diags));
+  auto Errors = F.diagsWithID(diag::err_ast_verifier);
+  ASSERT_GE(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].Message.find("perfectly nested"), std::string::npos);
+}
+
+TEST(TransformVerifierTest, DetectsSizesArityMismatch) {
+  Frontend F(R"(
+    void body(int x, int y);
+    void single() {
+      for (int k = 0; k < 8; k += 1)
+        body(k, 0);
+    }
+    void f() {
+      #pragma omp tile sizes(4, 2)
+      for (int i = 0; i < 32; i += 1)
+        for (int j = 0; j < 8; j += 1)
+          body(i, j);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  auto *Tile = F.findStmt<OMPTileDirective>("f");
+  ASSERT_NE(Tile, nullptr);
+  ForStmt *Loop = F.findStmt<ForStmt>("single");
+  ASSERT_NE(Loop, nullptr);
+
+  // A 1-loop tile carrying a 2-argument sizes clause.
+  auto *Bad = F.Ctx.create<OMPTileDirective>(
+      Tile->getSourceRange(), Tile->clauses(), Loop, /*NumLoops=*/1);
+  Bad->setTransformedStmt(Loop);
+  EXPECT_FALSE(analysis::verifyLoopTransformation(Bad, F.Diags));
+  auto Errors = F.diagsWithID(diag::err_ast_verifier);
+  ASSERT_GE(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].Message.find("2 arguments"), std::string::npos);
+}
+
+TEST(TransformVerifierTest, PassPipelineFlagsTamperedDirective) {
+  Frontend F(R"(
+    void body(int x);
+    void g() {
+      for (int k = 0; k < 4; k += 1)
+        body(k);
+    }
+    void f() {
+      #pragma omp unroll partial(2)
+      for (int i = 0; i < 16; i += 1)
+        body(i);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  auto *Unroll = F.findStmt<OMPUnrollDirective>("f");
+  ASSERT_NE(Unroll, nullptr);
+  Unroll->setTransformedStmt(F.findStmt<ForStmt>("g"));
+
+  analysis::AnalysisManager AM(F.Ctx, F.Diags);
+  analysis::registerDefaultAnalyses(AM, /*EnableLinters=*/false);
+  EXPECT_FALSE(AM.run(F.TU));
+  EXPECT_TRUE(F.hasDiag(diag::err_ast_verifier));
+  ASSERT_EQ(AM.getStats().size(), 1u);
+  EXPECT_EQ(AM.getStats()[0].Name, "post-transform-verifier");
+  EXPECT_GE(AM.getStats()[0].Errors, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Driver integration: --analyze, -w, -Werror
+// ---------------------------------------------------------------------------
+
+const char *RacyProgram = R"(
+  void f(int n) {
+    int sum = 0;
+    #pragma omp parallel for
+    for (int i = 0; i < n; i += 1)
+      sum = sum + i;
+  }
+)";
+
+TEST(AnalysisDriverTest, AnalyzeEmitsWarningButCompiles) {
+  CompilerOptions Opts;
+  Opts.RunAnalyzers = true;
+  CompilerInstance CI(Opts);
+  CI.addVirtualFile("input.c", RacyProgram);
+  EXPECT_TRUE(CI.parseToAST("input.c"));
+  EXPECT_GE(CI.getDiagnostics().getNumWarnings(), 1u);
+  EXPECT_NE(CI.renderDiagnostics().find("data race"), std::string::npos);
+}
+
+TEST(AnalysisDriverTest, WerrorTurnsRaceWarningIntoFailure) {
+  CompilerOptions Opts;
+  Opts.RunAnalyzers = true;
+  Opts.WarningsAsErrors = true;
+  CompilerInstance CI(Opts);
+  CI.addVirtualFile("input.c", RacyProgram);
+  // The nonzero-exit path of the minicc driver: parseToAST fails.
+  EXPECT_FALSE(CI.parseToAST("input.c"));
+  EXPECT_TRUE(CI.getDiagnostics().hasErrorOccurred());
+  EXPECT_NE(CI.renderDiagnostics().find("error:"), std::string::npos);
+}
+
+TEST(AnalysisDriverTest, SuppressWarningsSilencesLinter) {
+  CompilerOptions Opts;
+  Opts.RunAnalyzers = true;
+  Opts.SuppressWarnings = true;
+  CompilerInstance CI(Opts);
+  CI.addVirtualFile("input.c", RacyProgram);
+  EXPECT_TRUE(CI.parseToAST("input.c"));
+  EXPECT_EQ(CI.getDiagnostics().getNumWarnings(), 0u);
+  // The attached note is dropped along with its warning.
+  EXPECT_TRUE(CI.getDiagStore().getDiagnostics().empty());
+}
+
+TEST(AnalysisDriverTest, AnalyzersOffByDefault) {
+  CompilerInstance CI;
+  CI.addVirtualFile("input.c", RacyProgram);
+  EXPECT_TRUE(CI.parseToAST("input.c"));
+  EXPECT_EQ(CI.getDiagnostics().getNumWarnings(), 0u);
+}
+
+} // namespace

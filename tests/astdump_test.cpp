@@ -135,6 +135,48 @@ TEST(ASTDumpTest, TransformedUnrollAST) {
   EXPECT_NE(ShadowDump.find("unrolled.iv.i"), std::string::npos);
 }
 
+// The tile analogue of Listing 8: the transformed AST of tile sizes(4, 2)
+// is the 4-loop floor/tile spine with the user IVs rematerialized innermost.
+TEST(ASTDumpTest, TransformedTileAST) {
+  Frontend F(R"(
+    void body(int x, int y);
+    void f() {
+      #pragma omp tile sizes(4, 2)
+      for (int i = 0; i < 32; i += 1)
+        for (int j = 0; j < 8; j += 1)
+          body(i, j);
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  auto *Tile = F.findStmt<OMPTileDirective>("f");
+  ASSERT_NE(Tile->getTransformedStmt(), nullptr);
+  std::string Dump = dumpToString(Tile->getTransformedStmt());
+
+  EXPECT_TRUE(containsInOrder(Dump, {
+                                        "ForStmt",
+                                        ".floor.0.iv.i",
+                                        "ForStmt",
+                                        ".floor.1.iv.j",
+                                        "ForStmt",
+                                        ".tile.0.iv.i",
+                                        "ForStmt",
+                                        ".tile.1.iv.j",
+                                        "DeclStmt",
+                                        "i 'int' cinit",
+                                        "j 'int' cinit",
+                                        "CallExpr 'void'",
+                                    }));
+
+  // The shadow spine is hidden from the default dump of the directive but
+  // revealed by -ast-dump-shadow.
+  std::string Plain = dumpToString(Tile);
+  EXPECT_EQ(Plain.find(".floor.0.iv"), std::string::npos);
+  std::string ShadowDump = dumpToString(Tile, /*ShowShadowAST=*/true);
+  EXPECT_NE(ShadowDump.find("shadow: TransformedStmt"), std::string::npos);
+  EXPECT_NE(ShadowDump.find(".floor.0.iv.i"), std::string::npos);
+  EXPECT_NE(ShadowDump.find(".tile.1.iv.j"), std::string::npos);
+}
+
 // The paper's Listing 10: OMPCanonicalLoop with its meta-functions.
 TEST(ASTDumpTest, OMPCanonicalLoopStructure) {
   LangOptions LO;

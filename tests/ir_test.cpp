@@ -249,6 +249,55 @@ TEST(VerifierTest, DetectsBadPhi) {
   EXPECT_NE(Err.find("not a predecessor"), std::string::npos);
 }
 
+TEST(VerifierTest, DetectsMidBlockTerminator) {
+  Module M;
+  Function *F = M.createFunction("f", IRType::getVoid(), {});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  B.createRetVoid();
+  // Hand-append a second terminator; the first is now mid-block.
+  BB->append(std::make_unique<Instruction>(Opcode::Ret, IRType::getVoid(),
+                                           std::vector<Value *>{}, ""));
+  std::string Err = verifyFunction(*F);
+  EXPECT_NE(Err.find("terminator in the middle of a block"),
+            std::string::npos);
+}
+
+TEST(VerifierTest, DetectsSelfReferencingInstruction) {
+  Module M;
+  Function *F = M.createFunction("f", IRType::getVoid(), {});
+  BasicBlock *BB = F->createBlock("entry");
+  auto Bad = std::make_unique<Instruction>(
+      Opcode::Add, IRType::getI32(),
+      std::vector<Value *>{M.getI32(1), M.getI32(2)}, "selfref");
+  Bad->setOperand(0, Bad.get());
+  BB->append(std::move(Bad));
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  B.createRetVoid();
+  std::string Err = verifyFunction(*F);
+  EXPECT_NE(Err.find("uses itself as an operand"), std::string::npos);
+}
+
+TEST(VerifierTest, AcceptsPhiSelfReference) {
+  // A loop-carried phi legitimately appears among its own incoming values.
+  Module M;
+  Function *F = M.createFunction("f", IRType::getVoid(), {});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.createBr(Loop);
+  B.setInsertPoint(Loop);
+  Instruction *Phi = B.createPhi(IRType::getI32(), "p");
+  Phi->addIncoming(M.getI32(0), Entry);
+  Phi->addIncoming(Phi, Loop);
+  B.createBr(Loop);
+  std::string Err = verifyFunction(*F);
+  EXPECT_EQ(Err.find("uses itself as an operand"), std::string::npos);
+}
+
 TEST(VerifierTest, DetectsCallArityMismatch) {
   Module M;
   Function *Callee = M.createFunction("g", IRType::getVoid(),
