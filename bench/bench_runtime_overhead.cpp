@@ -1,0 +1,116 @@
+//===--- bench_runtime_overhead.cpp - KMP runtime micro-overheads ---------===//
+//
+// EPCC-syncbench-flavored microbenchmarks for the miniature libomp,
+// measuring the runtime layer itself (no compiler pipeline involved):
+//
+//   * ForkJoin     — one empty parallel region per iteration, hot-team
+//                    pool vs. per-fork thread spawn (the pre-pool design),
+//   * Barrier      — per-phase cost of the sense-reversing spin-then-block
+//                    barrier, amortized over many phases per fork,
+//   * DispatchNext — per-chunk cost of the lock-free dispatcher for
+//                    dynamic / guided / static-chunked schedules.
+//
+// The fork/join pair quantifies the hot-team win recorded in
+// BENCH_runtime.json (EXPERIMENTS.md "E13").
+//
+//===----------------------------------------------------------------------===//
+#include "BenchUtils.h"
+#include "runtime/KMPRuntime.h"
+
+#include <atomic>
+
+namespace {
+
+using mcc::rt::OpenMPRuntime;
+using mcc::rt::ScheduleType;
+
+/// benchmark args: {hot-team on/off, team size}.
+void BM_ForkJoin(benchmark::State &State) {
+  OpenMPRuntime &RT = OpenMPRuntime::get();
+  const bool Hot = State.range(0) != 0;
+  const int Threads = static_cast<int>(State.range(1));
+  RT.shutdown();
+  RT.setHotTeamsEnabled(Hot);
+  std::atomic<int> Sink{0};
+  for (auto _ : State)
+    RT.forkCall([&](int) { Sink.fetch_add(1, std::memory_order_relaxed); },
+                Threads);
+  benchmark::DoNotOptimize(Sink.load());
+  State.SetLabel(Hot ? "hot-team" : "spawn");
+  State.SetItemsProcessed(State.iterations());
+  RT.setHotTeamsEnabled(true);
+  RT.shutdown();
+}
+BENCHMARK(BM_ForkJoin)
+    ->ArgsProduct({{1, 0}, {1, 2, 4, 8}})
+    ->ArgNames({"hot", "threads"});
+
+/// Per-phase barrier cost: each fork executes many barrier phases so the
+/// fork/join overhead amortizes out. items = phases.
+void BM_Barrier(benchmark::State &State) {
+  OpenMPRuntime &RT = OpenMPRuntime::get();
+  const int Threads = static_cast<int>(State.range(0));
+  constexpr int PhasesPerFork = 128;
+  RT.shutdown();
+  std::int64_t Phases = 0;
+  for (auto _ : State) {
+    RT.forkCall(
+        [&](int) {
+          for (int P = 0; P < PhasesPerFork; ++P)
+            RT.barrier();
+        },
+        Threads);
+    Phases += PhasesPerFork;
+  }
+  State.SetItemsProcessed(Phases);
+  RT.shutdown();
+}
+BENCHMARK(BM_Barrier)->Arg(1)->Arg(2)->Arg(4)->ArgName("threads");
+
+/// Per-chunk dispatch cost under contention. items = chunks handed out.
+void BM_DispatchNext(benchmark::State &State) {
+  OpenMPRuntime &RT = OpenMPRuntime::get();
+  const auto Sched = static_cast<std::int32_t>(State.range(0));
+  const int Threads = static_cast<int>(State.range(1));
+  constexpr std::int64_t Trip = 4096;
+  constexpr std::int64_t Chunk = 1;
+  RT.shutdown();
+  RT.resetStats();
+  for (auto _ : State) {
+    RT.forkCall(
+        [&](int) {
+          RT.dispatchInit(Sched, 0, Trip - 1, Chunk);
+          std::int32_t Last;
+          std::int64_t Lb, Ub;
+          std::int64_t Sum = 0;
+          while (RT.dispatchNext(&Last, &Lb, &Ub))
+            Sum += Ub - Lb + 1;
+          benchmark::DoNotOptimize(Sum);
+        },
+        Threads);
+  }
+  const OpenMPRuntime::StatsSnapshot S = RT.statsSnapshot();
+  State.SetItemsProcessed(static_cast<std::int64_t>(
+      S.NumChunksDynamic + S.NumChunksGuided + S.NumChunksStaticChunked));
+  switch (Sched) {
+  case mcc::rt::SchedDynamic:
+    State.SetLabel("dynamic");
+    break;
+  case mcc::rt::SchedGuided:
+    State.SetLabel("guided");
+    break;
+  default:
+    State.SetLabel("static-chunked");
+    break;
+  }
+  RT.shutdown();
+}
+BENCHMARK(BM_DispatchNext)
+    ->ArgsProduct({{mcc::rt::SchedDynamic, mcc::rt::SchedGuided,
+                    mcc::rt::SchedStaticChunked},
+                   {1, 4}})
+    ->ArgNames({"sched", "threads"});
+
+} // namespace
+
+MCC_BENCHMARK_MAIN()

@@ -20,6 +20,7 @@
 //     -DNAME[=VALUE]               predefine a macro
 //     -I <dir>                     add an include search directory
 //     -num-threads N               default OpenMP thread count
+//     --rt-stats                   print OpenMP runtime counters after -run
 //
 //===----------------------------------------------------------------------===//
 #include "driver/CompilerInstance.h"
@@ -54,7 +55,10 @@ void printUsage() {
       "  -Werror                     treat warnings as errors\n"
       "  -DNAME[=VALUE]              define macro\n"
       "  -I <dir>                    include search directory\n"
-      "  -num-threads N              default OpenMP thread count\n");
+      "  -num-threads N              default OpenMP thread count\n"
+      "  --rt-stats                  print OpenMP runtime counters (forks,\n"
+      "                              team reuses, chunks, barrier wakes)\n"
+      "                              to stderr after -run\n");
 }
 
 } // namespace
@@ -62,7 +66,7 @@ void printUsage() {
 int main(int argc, char **argv) {
   CompilerOptions Options;
   bool ASTDump = false, ASTDumpShadow = false, EmitIR = false, Run = false,
-       SyntaxOnly = false;
+       SyntaxOnly = false, RTStats = false;
   std::string InputFile;
 
   for (int I = 1; I < argc; ++I) {
@@ -87,6 +91,8 @@ int main(int argc, char **argv) {
       SyntaxOnly = true;
     else if (Arg == "--analyze" || Arg == "-analyze")
       Options.RunAnalyzers = true;
+    else if (Arg == "--rt-stats" || Arg == "-rt-stats")
+      RTStats = true;
     else if (Arg == "-w")
       Options.SuppressWarnings = true;
     else if (Arg == "-Werror")
@@ -144,8 +150,10 @@ int main(int argc, char **argv) {
     std::fputs(CI.getIRText().c_str(), stdout);
 
   if (Run) {
-    rt::OpenMPRuntime::get().setDefaultNumThreads(
-        Options.LangOpts.OpenMPDefaultNumThreads);
+    rt::OpenMPRuntime &RT = rt::OpenMPRuntime::get();
+    RT.setDefaultNumThreads(Options.LangOpts.OpenMPDefaultNumThreads);
+    if (RTStats)
+      RT.resetStats();
     interp::ExecutionEngine EE(*CI.getIRModule());
     const ir::Function *Main = CI.getIRModule()->getFunction("main");
     if (!Main || Main->isDeclaration()) {
@@ -161,6 +169,11 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "minicc: runtime error: %s\n", Ex.what());
       return 1;
     }
+    if (RTStats)
+      std::fputs(RT.renderStats().c_str(), stderr);
+    // Park nothing across exit: join the hot-team pool so process
+    // teardown (and TSan) never races worker shutdown.
+    RT.shutdown();
   }
   return 0;
 }

@@ -117,6 +117,12 @@ RTValue ExecutionEngine::runFunction(const ir::Function *F,
   return interpret(F, Args);
 }
 
+void ExecutionEngine::resetOpenMPRuntime() {
+  rt::OpenMPRuntime &RT = rt::OpenMPRuntime::get();
+  RT.shutdown();
+  RT.resetStats();
+}
+
 RTValue ExecutionEngine::callRuntime(const std::string &Name,
                                      std::span<const RTValue> Args) {
   rt::OpenMPRuntime &RT = rt::OpenMPRuntime::get();
@@ -167,6 +173,10 @@ RTValue ExecutionEngine::callRuntime(const std::string &Name,
                         static_cast<std::int64_t *>(Args[2].asPtr()),
                         static_cast<std::int64_t *>(Args[3].asPtr()));
     return RTValue::ofInt(More ? 1 : 0);
+  }
+  if (Name == "__kmpc_dispatch_fini") {
+    RT.dispatchFini();
+    return RTValue{};
   }
   if (Name == "__kmpc_barrier") {
     RT.barrier();

@@ -76,6 +76,12 @@ public:
     return InstructionsExecuted.load(std::memory_order_relaxed);
   }
 
+  /// Quiesces the shared OpenMP runtime: joins the hot-team worker pool
+  /// and zeroes its counters. Tests that assert exact runtime statistics
+  /// (or want a TSan-clean exit) call this between runs; the pool
+  /// respawns lazily on the next fork.
+  static void resetOpenMPRuntime();
+
   [[nodiscard]] const ir::Module &getModule() const { return M; }
 
 private:

@@ -4,13 +4,22 @@
 // generated IR contains no OpenMP constructs, only calls to these entry
 // points. A miniature libomp built on std::thread:
 //
-//   * fork/join thread teams (__kmpc_fork_call),
+//   * fork/join thread teams (__kmpc_fork_call) served by a persistent
+//     "hot team" worker pool — workers are created once and re-dispatched
+//     across consecutive parallel regions instead of being respawned,
 //   * static worksharing-loop chunking (__kmpc_for_static_init),
 //   * dynamic / guided / static-chunked dispatching (__kmpc_dispatch_*),
-//   * barriers and critical sections.
+//     lock-free in the steady state,
+//   * sense-reversing spin-then-block barriers and critical sections.
 //
 // All loop bookkeeping operates on the *logical iteration space* as i64
 // bounds, matching the paper's normalized-iteration-counter design.
+//
+// Waiting policy: every wait site (worker parking, fork/join, barrier)
+// first spins on a std::atomic with exponential backoff, then falls back
+// to a mutex+condvar sleep. The spin budget adapts to the machine — a
+// team that oversubscribes the hardware blocks immediately, because a
+// spinning waiter would only steal cycles from the thread it waits for.
 //
 //===----------------------------------------------------------------------===//
 #ifndef MCC_RUNTIME_KMPRUNTIME_H
@@ -19,11 +28,18 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace mcc::rt {
+
+/// Alignment used to keep per-thread hot state on distinct cache lines.
+inline constexpr std::size_t CacheLineBytes = 64;
 
 /// Schedule identifiers shared with OpenMPIRBuilder (libomp-flavored).
 enum ScheduleType : std::int32_t {
@@ -34,59 +50,134 @@ enum ScheduleType : std::int32_t {
 };
 
 /// One fork/join region's team of threads.
+///
+/// Hot teams are owned by OpenMPRuntime and reused across consecutive
+/// parallel regions of the same width; transient (nested/oversubscribed)
+/// regions build a short-lived team on the stack.
 class ThreadTeam {
 public:
   explicit ThreadTeam(int NumThreads);
 
   [[nodiscard]] int getNumThreads() const { return NumThreads; }
 
-  /// Blocks until every team member arrived (reusable).
+  /// Sense-reversing spin-then-block barrier (reusable). The "sense" is a
+  /// monotonically increasing generation word rather than a flipped bool,
+  /// which keeps consecutive phases ABA-safe for sleepers that wake late.
   void barrier();
 
   // --- Dispatcher state (one worksharing loop at a time per team) ---
   void dispatchInit(int Tid, std::int32_t Sched, std::int64_t Lb,
                     std::int64_t Ub, std::int64_t Chunk);
   /// Fetches the next chunk for \p Tid; returns false when exhausted.
+  /// Lock-free: dynamic uses fetch_add, guided a compare-exchange loop,
+  /// static-chunked per-thread (cache-line-padded) indices.
   bool dispatchNext(int Tid, std::int32_t *PLast, std::int64_t *PLower,
                     std::int64_t *PUpper);
+  void dispatchFini(int Tid);
 
   std::mutex CriticalMutex;
 
 private:
   int NumThreads;
 
-  // Barrier (generation-counting).
+  // Barrier: arrival counter + generation ("sense") word on separate cache
+  // lines, with a condvar fallback for waiters that exhaust their spin.
+  alignas(CacheLineBytes) std::atomic<int> BarrierArrived{0};
+  alignas(CacheLineBytes) std::atomic<std::uint64_t> BarrierSense{0};
   std::mutex BarrierMutex;
   std::condition_variable BarrierCV;
-  int BarrierArrived = 0;
-  std::uint64_t BarrierGeneration = 0;
 
-  // Dispatch.
+  // Dispatch. Bounds/schedule are written once per epoch under
+  // DispatchMutex (the only remaining lock, init-path only); the hot
+  // per-chunk path touches only Next / PerThreadIndex.
+  struct alignas(CacheLineBytes) PaddedIndex {
+    std::int64_t Value = 0;
+  };
   struct DispatchState {
     std::int32_t Sched = SchedDynamic;
     std::int64_t Lb = 0, Ub = -1, Chunk = 1;
-    std::atomic<std::int64_t> Next{0};
-    std::atomic<std::int64_t> Remaining{0};
-    // Per-thread chunk index for static-chunked round-robin.
-    std::vector<std::int64_t> PerThreadIndex;
-    std::uint64_t Epoch = 0;
+    alignas(CacheLineBytes) std::atomic<std::int64_t> Next{0};
+    // Per-thread chunk index for static-chunked round-robin, padded to
+    // cache-line granularity so neighbours do not false-share.
+    std::vector<PaddedIndex> PerThreadIndex;
   };
-  std::mutex DispatchMutex;
+  std::mutex DispatchMutex; // guards epoch initialization only
   DispatchState Dispatch;
-  int DispatchInitCount = 0; // counts arrivals so init runs once per team
+  int DispatchInitCount = 0; // counts arrivals so init runs once per epoch
 };
 
-/// Process-wide runtime: owns default settings and the per-thread context.
+/// Process-wide runtime: owns default settings, the hot-team worker pool,
+/// observability counters, and the per-thread context.
 class OpenMPRuntime {
 public:
+  /// Observability counters (all atomic; queryable from tests, printed by
+  /// `minicc --rt-stats`).
+  struct Stats {
+    std::atomic<std::uint64_t> NumForkJoins{0};
+    std::atomic<std::uint64_t> NumHotTeamForks{0};   // served by the pool
+    std::atomic<std::uint64_t> NumTransientForks{0}; // nested/contended
+    std::atomic<std::uint64_t> NumTeamReuses{0};     // hot team recycled
+    std::atomic<std::uint64_t> NumPoolThreadsSpawned{0};
+    std::atomic<std::uint64_t> NumTransientThreadsSpawned{0};
+    std::atomic<std::uint64_t> NumChunksStatic{0}; // for_static_init calls
+    std::atomic<std::uint64_t> NumChunksStaticChunked{0};
+    std::atomic<std::uint64_t> NumChunksDynamic{0};
+    std::atomic<std::uint64_t> NumChunksGuided{0};
+    std::atomic<std::uint64_t> BarrierSpinWakes{0};
+    std::atomic<std::uint64_t> BarrierSleepWakes{0};
+    std::atomic<std::uint64_t> WorkerSpinWakes{0};
+    std::atomic<std::uint64_t> WorkerSleepWakes{0};
+  };
+
+  /// Plain (non-atomic) copy of Stats for assertions and printing.
+  struct StatsSnapshot {
+    std::uint64_t NumForkJoins, NumHotTeamForks, NumTransientForks,
+        NumTeamReuses, NumPoolThreadsSpawned, NumTransientThreadsSpawned,
+        NumChunksStatic, NumChunksStaticChunked, NumChunksDynamic,
+        NumChunksGuided, BarrierSpinWakes, BarrierSleepWakes,
+        WorkerSpinWakes, WorkerSleepWakes;
+  };
+
   static OpenMPRuntime &get();
+  ~OpenMPRuntime();
 
-  void setDefaultNumThreads(int N) { DefaultNumThreads = N; }
-  [[nodiscard]] int getDefaultNumThreads() const { return DefaultNumThreads; }
+  void setDefaultNumThreads(int N) {
+    DefaultNumThreads.store(N, std::memory_order_relaxed);
+  }
+  [[nodiscard]] int getDefaultNumThreads() const {
+    return DefaultNumThreads.load(std::memory_order_relaxed);
+  }
 
-  /// Executes \p Outlined on a fresh team. \p NumThreads <= 0 selects the
-  /// default. Thread 0 runs on the calling thread; the call returns after
-  /// the join (fork/join semantics of "#pragma omp parallel").
+  /// Hot teams on (default): top-level regions reuse pooled workers.
+  /// Off: every fork spawns transient threads (the pre-pool behaviour,
+  /// kept selectable for A/B measurement in bench_runtime_overhead).
+  void setHotTeamsEnabled(bool On) {
+    HotTeamsEnabled.store(On, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool hotTeamsEnabled() const {
+    return HotTeamsEnabled.load(std::memory_order_relaxed);
+  }
+
+  /// Spin budget before a waiter blocks. Negative (default) = adaptive:
+  /// ~8k spins when the team fits the hardware, 0 when oversubscribed.
+  /// 0 forces immediate sleep; large values force the spin path (tests).
+  void setSpinCount(int N) {
+    SpinCountOverride.store(N, std::memory_order_relaxed);
+  }
+  [[nodiscard]] int spinCount() const {
+    return SpinCountOverride.load(std::memory_order_relaxed);
+  }
+
+  /// Resolved spin budget for a wait involving \p Waiters runnable
+  /// threads (team size for barriers, team size for fork/join parking).
+  [[nodiscard]] int effectiveSpinCount(int Waiters) const;
+
+  /// Executes \p Outlined on a team of \p NumThreads (<= 0 selects the
+  /// default). Thread 0 runs on the calling thread; the call returns after
+  /// the join (fork/join semantics of "#pragma omp parallel"). Top-level
+  /// regions are served by the persistent pool; nested regions — and
+  /// concurrent top-level forks that find the pool busy — fall back to
+  /// transient std::threads.
   void forkCall(const std::function<void(int Tid)> &Outlined,
                 int NumThreads);
 
@@ -105,17 +196,73 @@ public:
                     std::int64_t Chunk) const;
   bool dispatchNext(std::int32_t *PLast, std::int64_t *PLower,
                     std::int64_t *PUpper) const;
+  void dispatchFini() const;
 
   void barrier() const;
   void critical() const;
   void endCritical() const;
 
-  /// Number of fork/join regions executed (observability for tests).
-  std::atomic<std::uint64_t> NumForkJoins{0};
+  // --- Observability & lifecycle ---
+  Stats &stats() { return Counters; }
+  [[nodiscard]] StatsSnapshot statsSnapshot() const;
+  void resetStats();
+  /// Human-readable counter dump (the `minicc --rt-stats` payload).
+  [[nodiscard]] std::string renderStats() const;
+
+  /// Joins and destroys all pooled workers and drops the cached hot team.
+  /// Safe to call repeatedly; the pool respawns lazily on the next fork.
+  /// Tests call this for deterministic counters and TSan-clean exits.
+  void shutdown();
 
 private:
-  OpenMPRuntime() = default;
-  int DefaultNumThreads = 4;
+  OpenMPRuntime();
+
+  // One pooled worker. Each slot owns its park/wake state so the master
+  // wakes exactly the workers a region needs; slots live in a deque for
+  // stable addresses across lazy pool growth.
+  struct alignas(CacheLineBytes) WorkerSlot {
+    std::atomic<std::uint64_t> GoEpoch{0}; // master bumps to dispatch
+    std::atomic<bool> Sleeping{false};
+    std::atomic<bool> Exit{false};
+    std::mutex SleepMutex;
+    std::condition_variable SleepCV;
+    std::thread Thread;
+    std::uint64_t SeenEpoch = 0; // worker-local
+  };
+
+  /// What the currently dispatched region runs. Written by the master
+  /// before the GoEpoch release-store, read by workers after the acquire.
+  struct RegionDesc {
+    const std::function<void(int)> *Outlined = nullptr;
+    ThreadTeam *Team = nullptr;
+    int NumWorkers = 0;
+  };
+
+  void workerLoop(WorkerSlot &Slot, int PoolIndex);
+  void ensurePoolSize(int NumWorkers);
+  void runHotRegion(const std::function<void(int)> &Outlined, int N);
+  void runTransientRegion(const std::function<void(int)> &Outlined, int N);
+
+  // Config knobs are atomic: parked pool workers consult the spin budget
+  // concurrently with tests/benchmarks mutating it.
+  std::atomic<int> DefaultNumThreads{4};
+  std::atomic<bool> HotTeamsEnabled{true};
+  std::atomic<int> SpinCountOverride{-1};
+
+  // Pool state; ForkMutex serializes top-level pool users (a concurrent
+  // top-level fork that fails the try_lock goes transient instead).
+  std::mutex ForkMutex;
+  std::deque<WorkerSlot> Pool;
+  std::unique_ptr<ThreadTeam> HotTeam;
+  RegionDesc CurrentRegion;
+  std::uint64_t PoolEpoch = 0;
+
+  // Fork/join completion: workers count in, the master spin-then-blocks.
+  alignas(CacheLineBytes) std::atomic<int> JoinCount{0};
+  std::mutex JoinMutex;
+  std::condition_variable JoinCV;
+
+  Stats Counters;
 };
 
 } // namespace mcc::rt

@@ -156,4 +156,38 @@ TEST(DriverTest, HeuristicUnrollFactorOption) {
   EXPECT_TRUE(Found);
 }
 
+TEST(DriverTest, RuntimeStatsObservableAfterRun) {
+  // The --rt-stats surface: reset the runtime (the interp hook the driver
+  // and deterministic tests share), execute an OpenMP program, and check
+  // the counters describe exactly what ran.
+  interp::ExecutionEngine::resetOpenMPRuntime();
+  CompilerOptions Options;
+  Options.LangOpts.OpenMPDefaultNumThreads = 4;
+  Execution E(R"(
+    int main() {
+      int sum = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        #pragma omp parallel for reduction(+:sum) schedule(dynamic, 5)
+        for (int i = 0; i < 40; ++i) sum += 1;
+      }
+      return sum;
+    }
+  )",
+              Options);
+  EXPECT_EQ(E.runMain(), 120);
+
+  rt::OpenMPRuntime::StatsSnapshot S =
+      rt::OpenMPRuntime::get().statsSnapshot();
+  EXPECT_EQ(S.NumForkJoins, 3u);
+  EXPECT_EQ(S.NumHotTeamForks, 3u);
+  EXPECT_EQ(S.NumTeamReuses, 2u);
+  EXPECT_EQ(S.NumPoolThreadsSpawned, 3u);
+  // 3 regions x ceil(40/5) chunks.
+  EXPECT_EQ(S.NumChunksDynamic, 24u);
+
+  std::string Text = rt::OpenMPRuntime::get().renderStats();
+  EXPECT_NE(Text.find("total=3"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("dynamic=24"), std::string::npos) << Text;
+}
+
 } // namespace
