@@ -51,13 +51,18 @@ bool verifyPerfectNesting(const OMPLoopTransformationDirective *Dir,
       } else if (auto *CL = stmt_dyn_cast<OMPCanonicalLoop>(Cur)) {
         Cur = CL->getLoopStmt();
       } else if (auto *CS = stmt_dyn_cast<CompoundStmt>(Cur)) {
-        if (CS->size() != 1)
-          return reportVerifierError(
-              Dir, Diags,
-              "'" + dirName(Dir) + "' requires a perfectly nested loop " +
-                  "nest of depth " + std::to_string(N) +
-                  ", but the block at depth " + std::to_string(Depth) +
-                  " contains " + std::to_string(CS->size()) + " statements");
+        if (CS->size() != 1) {
+          std::string Msg = "'";
+          Msg += dirName(Dir);
+          Msg += "' requires a perfectly nested loop nest of depth ";
+          Msg += std::to_string(N);
+          Msg += ", but the block at depth ";
+          Msg += std::to_string(Depth);
+          Msg += " contains ";
+          Msg += std::to_string(CS->size());
+          Msg += " statements";
+          return reportVerifierError(Dir, Diags, Msg);
+        }
         Cur = CS->body()[0];
       } else if (auto *TD =
                      stmt_dyn_cast<OMPLoopTransformationDirective>(Cur)) {
@@ -69,12 +74,16 @@ bool verifyPerfectNesting(const OMPLoopTransformationDirective *Dir,
       }
     }
     auto *For = stmt_dyn_cast<ForStmt>(Cur);
-    if (!For)
-      return reportVerifierError(
-          Dir, Diags,
-          "'" + dirName(Dir) + "' is associated with a " +
-              Cur->getStmtClassName() + " at depth " + std::to_string(Depth) +
-              " where a for loop is required");
+    if (!For) {
+      std::string Msg = "'";
+      Msg += dirName(Dir);
+      Msg += "' is associated with a ";
+      Msg += Cur->getStmtClassName();
+      Msg += " at depth ";
+      Msg += std::to_string(Depth);
+      Msg += " where a for loop is required";
+      return reportVerifierError(Dir, Diags, Msg);
+    }
     Cur = For->getBody();
   }
   return true;

@@ -1,0 +1,316 @@
+//===--- DifferentialRunner.cpp - Multi-backend execution oracle -----------===//
+//
+// Takes a generated program down every execution path the project has —
+// the legacy shadow-AST pipeline and the OMPCanonicalLoop/OpenMPIRBuilder
+// pipeline, each at -O0 and -O1 (mid-end LoopUnroll/SimplifyCFG/DCE), and
+// for parallel programs the KMP hot-team runtime at 1, 2, HW and 2×HW
+// default threads — and compares every checksum against the host
+// reference. On mismatch, report() prints the reproducing seed and the
+// full source; shrink() minimizes the program while the failure persists.
+//
+//===----------------------------------------------------------------------===//
+#include "fuzz/Fuzz.h"
+
+#include "driver/CompilerInstance.h"
+#include "interp/Interpreter.h"
+#include "runtime/KMPRuntime.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace mcc::fuzz {
+
+namespace {
+
+struct BackendConfig {
+  const char *Name;
+  bool IRBuilder;
+  bool Midend;
+};
+
+constexpr BackendConfig Backends[] = {
+    {"legacy", false, false},
+    {"legacy+O1", false, true},
+    {"irbuilder", true, false},
+    {"irbuilder+O1", true, true},
+};
+
+/// Compiles and interprets one program under one configuration.
+RunRecord executeOnce(const std::string &Source, const BackendConfig &BC,
+                      unsigned Threads) {
+  RunRecord Rec;
+  Rec.Config = std::string(BC.Name) + " threads=" + std::to_string(Threads);
+
+  CompilerOptions Options;
+  Options.LangOpts.OpenMPEnableIRBuilder = BC.IRBuilder;
+  Options.LangOpts.OpenMPDefaultNumThreads = Threads;
+  Options.RunMidend = BC.Midend;
+
+  CompilerInstance CI(Options);
+  if (!CI.compileSource(Source)) {
+    Rec.CompileFailed = true;
+    Rec.Diagnostics = CI.renderDiagnostics();
+    return Rec;
+  }
+  rt::OpenMPRuntime &RT = rt::OpenMPRuntime::get();
+  RT.setDefaultNumThreads(Threads);
+  RT.resetStats();
+  interp::ExecutionEngine EE(*CI.getIRModule());
+  Rec.Checksum = EE.runFunction("main", {}).I;
+
+  // Post-run runtime invariants. Generated programs never nest parallel
+  // regions and always drain their worksharing loops, so any transient
+  // (nested-fallback) fork means a previous region leaked team context,
+  // and a non-null current team on this thread means a serial-dispatch
+  // loop failed to restore the outside-parallel context.
+  if (RT.getCurrentTeam() != nullptr) {
+    Rec.RuntimeInvariantViolation =
+        "serial-dispatch team context leaked past the loop";
+    // Cleanse the leaked context so subsequent runs are judged on their
+    // own behaviour (keeps shrinking meaningful: only programs that leak
+    // themselves keep failing).
+    RT.dispatchFini();
+  } else if (RT.statsSnapshot().NumTransientForks != 0)
+    Rec.RuntimeInvariantViolation =
+        "single-level parallel region took the nested/transient fork path";
+  return Rec;
+}
+
+} // namespace
+
+DifferentialRunner::DifferentialRunner(DifferentialOptions O) : Opts(O) {}
+
+std::vector<unsigned>
+DifferentialRunner::threadCounts(const ProgramSpec &Spec) const {
+  if (!Spec.Pragmas.ParallelFor || !Opts.SweepThreads)
+    return {4};
+  unsigned HW = Opts.MaxThreads
+                    ? Opts.MaxThreads / 2
+                    : std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> Counts = {1, 2, HW, 2 * HW};
+  std::sort(Counts.begin(), Counts.end());
+  Counts.erase(std::unique(Counts.begin(), Counts.end()), Counts.end());
+  return Counts;
+}
+
+ProgramResult DifferentialRunner::run(const ProgramSpec &Spec) const {
+  ProgramResult Result;
+  Result.Spec = Spec;
+  Result.Expected = Spec.reference();
+  const std::string Source = Spec.render();
+
+  for (const BackendConfig &BC : Backends) {
+    for (unsigned Threads : threadCounts(Spec)) {
+      RunRecord Rec = executeOnce(Source, BC, Threads);
+      ++Result.RunsExecuted;
+      if (Rec.CompileFailed || Rec.Checksum != Result.Expected ||
+          !Rec.RuntimeInvariantViolation.empty())
+        Result.Failures.push_back(std::move(Rec));
+    }
+  }
+  return Result;
+}
+
+std::vector<ProgramSpec>
+DifferentialRunner::factorVariants(const ProgramSpec &Spec) const {
+  std::vector<ProgramSpec> Variants;
+  if (!Spec.Pragmas.TileSizes.empty()) {
+    for (std::int64_t Size : {std::int64_t(1), std::int64_t(3),
+                              std::int64_t(16)}) {
+      if (Size == Spec.Pragmas.TileSizes[0])
+        continue;
+      ProgramSpec V = Spec;
+      for (std::int64_t &S : V.Pragmas.TileSizes)
+        S = Size;
+      V.Variant = "tile=" + std::to_string(Size);
+      Variants.push_back(std::move(V));
+    }
+  }
+  if (Spec.Pragmas.UnrollFactor > 0) {
+    for (unsigned F : {2u, 5u, 16u}) {
+      if (F == Spec.Pragmas.UnrollFactor)
+        continue;
+      ProgramSpec V = Spec;
+      V.Pragmas.UnrollFactor = F;
+      V.Variant = "unroll=" + std::to_string(F);
+      Variants.push_back(std::move(V));
+    }
+  }
+  return Variants;
+}
+
+ProgramResult
+DifferentialRunner::runWithVariants(const ProgramSpec &Spec) const {
+  ProgramResult R = run(Spec);
+  if (!R.ok() || !Opts.SweepFactors)
+    return R;
+  for (const ProgramSpec &V : factorVariants(Spec)) {
+    ProgramResult VR = run(V);
+    R.RunsExecuted += VR.RunsExecuted;
+    if (!VR.ok()) {
+      VR.RunsExecuted = R.RunsExecuted;
+      return VR;
+    }
+  }
+  return R;
+}
+
+ProgramSpec DifferentialRunner::shrink(const ProgramSpec &Spec) const {
+  auto StillFails = [&](const ProgramSpec &Candidate) {
+    return !run(Candidate).ok();
+  };
+  if (!StillFails(Spec))
+    return Spec; // not reproducible under the plain matrix; keep as-is
+
+  ProgramSpec Cur = Spec;
+  bool Progress = true;
+  for (int Round = 0; Progress && Round < 8; ++Round) {
+    Progress = false;
+
+    // 1. Drop whole pragma components (largest semantic chunks first).
+    {
+      ProgramSpec C = Cur;
+      C.Pragmas = PragmaSpec{};
+      if (C.Pragmas.any() != Cur.Pragmas.any() && StillFails(C)) {
+        Cur = C;
+        Progress = true;
+      }
+    }
+    for (int Component = 0; Component < 6; ++Component) {
+      ProgramSpec C = Cur;
+      switch (Component) {
+      case 0:
+        C.Pragmas.ParallelFor = false;
+        C.Pragmas.OrphanFor = false;
+        C.Pragmas.Schedule.clear();
+        C.Pragmas.Collapse = 0;
+        C.Pragmas.NumThreadsClause = 0;
+        break;
+      case 1:
+        C.Pragmas.TileSizes.clear();
+        break;
+      case 2:
+        C.Pragmas.UnrollFactor = 0;
+        C.Pragmas.UnrollInnermost = false;
+        break;
+      case 3:
+        C.Pragmas.UnrollFull = false;
+        break;
+      case 4:
+        C.Pragmas.Schedule.clear();
+        break;
+      case 5:
+        C.Pragmas.Collapse = 0;
+        break;
+      }
+      if (StillFails(C) && (C.Pragmas.ParallelFor != Cur.Pragmas.ParallelFor ||
+                            C.Pragmas.OrphanFor != Cur.Pragmas.OrphanFor ||
+                            C.Pragmas.TileSizes.size() !=
+                                Cur.Pragmas.TileSizes.size() ||
+                            C.Pragmas.UnrollFactor !=
+                                Cur.Pragmas.UnrollFactor ||
+                            C.Pragmas.UnrollFull != Cur.Pragmas.UnrollFull ||
+                            C.Pragmas.Schedule != Cur.Pragmas.Schedule ||
+                            C.Pragmas.Collapse != Cur.Pragmas.Collapse)) {
+        Cur = C;
+        Progress = true;
+      }
+    }
+
+    // 2. Drop loops from the inside out.
+    while (Cur.Loops.size() > 1) {
+      ProgramSpec C = Cur;
+      C.Loops.pop_back();
+      if (C.Pragmas.TileSizes.size() > C.Loops.size())
+        C.Pragmas.TileSizes.resize(C.Loops.size());
+      if (C.Pragmas.Collapse > C.Loops.size())
+        C.Pragmas.Collapse = 0;
+      if (C.Loops.size() < 2)
+        C.Pragmas.UnrollInnermost = false;
+      if (!StillFails(C))
+        break;
+      Cur = std::move(C);
+      Progress = true;
+    }
+
+    // 3. Drop body statements.
+    while (Cur.Body.size() > 1) {
+      ProgramSpec C = Cur;
+      C.Body.pop_back();
+      if (!StillFails(C))
+        break;
+      Cur = std::move(C);
+      Progress = true;
+    }
+
+    // 4. Shrink trip counts by moving Ub halfway toward the first
+    //    iteration.
+    for (std::size_t D = 0; D < Cur.Loops.size(); ++D) {
+      for (;;) {
+        const LoopSpec &L = Cur.Loops[D];
+        std::int64_t Trip = L.tripCount();
+        if (Trip <= 1)
+          break;
+        ProgramSpec C = Cur;
+        LoopSpec &NL = C.Loops[D];
+        std::int64_t NewTrip = Trip / 2;
+        NL.Ub = NL.Lb + NL.Step * NewTrip;
+        NL.Rel = NL.Rel == RelOp::NE ? RelOp::NE
+                                     : (NL.Step > 0 ? RelOp::LT : RelOp::GT);
+        if (!StillFails(C))
+          break;
+        Cur = std::move(C);
+        Progress = true;
+      }
+    }
+
+    // 5. Shrink transformation factors.
+    if (Cur.Pragmas.UnrollFactor > 2) {
+      ProgramSpec C = Cur;
+      C.Pragmas.UnrollFactor = 2;
+      if (StillFails(C)) {
+        Cur = std::move(C);
+        Progress = true;
+      }
+    }
+    for (std::size_t K = 0; K < Cur.Pragmas.TileSizes.size(); ++K) {
+      if (Cur.Pragmas.TileSizes[K] <= 2)
+        continue;
+      ProgramSpec C = Cur;
+      C.Pragmas.TileSizes[K] = 2;
+      if (StillFails(C)) {
+        Cur = std::move(C);
+        Progress = true;
+      }
+    }
+  }
+  return Cur;
+}
+
+std::string DifferentialRunner::report(const ProgramResult &R) {
+  std::string Out;
+  Out += "=== differential mismatch ===\n";
+  Out += "program:   " + R.Spec.describe() + "\n";
+  Out += "reproduce: minicc-fuzz --seed=" + std::to_string(R.Spec.Seed) +
+         " --count=1\n";
+  Out += "expected checksum (host reference): " +
+         std::to_string(R.Expected) + "\n";
+  for (const RunRecord &Rec : R.Failures) {
+    Out += "  FAIL " + Rec.Config + ": ";
+    if (Rec.CompileFailed) {
+      Out += "compilation failed\n";
+      if (!Rec.Diagnostics.empty())
+        Out += Rec.Diagnostics;
+    } else if (!Rec.RuntimeInvariantViolation.empty()) {
+      Out += "runtime invariant: " + Rec.RuntimeInvariantViolation + "\n";
+    } else {
+      Out += "checksum " + std::to_string(Rec.Checksum) + "\n";
+    }
+  }
+  Out += "--- source ---\n";
+  Out += R.Spec.render();
+  Out += "--------------\n";
+  return Out;
+}
+
+} // namespace mcc::fuzz

@@ -1,0 +1,187 @@
+//===--- Fuzz.h - Differential loop-nest fuzzing ----------------*- C++ -*-===//
+//
+// Randomized whole-pipeline semantic testing (DESIGN.md "Differential
+// testing layer"). A seeded generator produces MiniC loop-nest programs —
+// canonical loops of varying bounds/steps/comparison forms, nested 1–3
+// deep, decorated with tile/unroll/parallel-for pragma stacks and
+// checksummable side effects — together with a host-evaluated reference
+// checksum. The DifferentialRunner compiles each program down every
+// pipeline configuration (legacy shadow-AST and OMPCanonicalLoop/
+// OpenMPIRBuilder, each with and without the mid-end) and executes it at
+// 1..2×HW threads, asserting that every backend reproduces the reference
+// bit-for-bit. Mismatches carry the reproducing seed and can be shrunk to
+// a minimal failing program.
+//
+// Everything here is deterministic in the seed: same seed, same program,
+// same verdict — a failure printed by CI is replayable locally with
+// `minicc-fuzz --seed=N --count=1`.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_FUZZ_FUZZ_H
+#define MCC_FUZZ_FUZZ_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcc::fuzz {
+
+/// Comparison operator of a canonical loop condition.
+enum class RelOp { LT, LE, GT, GE, NE };
+
+const char *relOpSpelling(RelOp R);
+
+/// One canonical for-loop: `for (int iK = Lb; iK REL Ub; iK += Step)`.
+/// Bounds and step are integer literals so that trip counts are
+/// compile-time constants (required for `unroll full`).
+struct LoopSpec {
+  std::int64_t Lb = 0;
+  std::int64_t Ub = 0;
+  std::int64_t Step = 1;
+  RelOp Rel = RelOp::LT;
+
+  /// Number of iterations this loop executes (host-simulated; capped so a
+  /// malformed spec cannot hang the oracle).
+  [[nodiscard]] std::int64_t tripCount() const;
+};
+
+/// One statement of the innermost loop body. Coefficients C[k] multiply
+/// induction variable k (unused entries beyond the nest depth are
+/// ignored), so a BodyOp stays meaningful when the shrinker drops loops.
+struct BodyOp {
+  enum class Kind {
+    SumLinear,    ///< sum += C0*i0 + C1*i1 + C2*i2 + Bias
+    SumQuadratic, ///< sum += C0*i0*i0 + C1*i1 + Bias
+    SumCond,      ///< if ((i0 + Bias) % Mod == 0) sum += C0*i0 + C1*i1
+    ArrayUpdate,  ///< a[logical-iteration] += C0*i0 + C1*i1 + C2*i2 + Bias
+  };
+  Kind K = Kind::SumLinear;
+  std::int64_t C[3] = {1, 0, 0};
+  std::int64_t Bias = 0;
+  std::int64_t Mod = 3; // SumCond only; >= 2
+};
+
+/// The directive stack above (and inside) the loop nest. Only
+/// combinations that are valid OpenMP — and implemented by both
+/// pipelines — are generated; see ProgramGenerator.cpp for the
+/// whitelist.
+struct PragmaSpec {
+  bool ParallelFor = false;
+  /// Orphaned `#pragma omp for` outside any parallel region — executes on
+  /// the serial team of one and exercises the runtime's serial-dispatch
+  /// context save/restore. Mutually exclusive with ParallelFor.
+  bool OrphanFor = false;
+  unsigned Collapse = 0;     ///< >= 2 emits collapse(n); requires depth >= n
+  std::string Schedule;      ///< e.g. "static", "dynamic, 3"; "" = none
+  unsigned NumThreadsClause = 0; ///< > 0 emits num_threads(n)
+  std::vector<std::int64_t> TileSizes; ///< outermost-first; empty = no tile
+  unsigned UnrollFactor = 0; ///< partial unroll factor; 0 = none
+  bool UnrollFull = false;   ///< full unroll (top of stack, serial only)
+  bool UnrollInnermost = false; ///< place the unroll on the innermost loop
+
+  [[nodiscard]] bool any() const {
+    return ParallelFor || OrphanFor || !TileSizes.empty() || UnrollFactor ||
+           UnrollFull;
+  }
+};
+
+/// A complete generated program: a perfect loop nest with a checksummed
+/// reduction variable and a side-effect array indexed by the logical
+/// iteration number (injective, hence race-free under worksharing — and a
+/// detector for iterations executed zero or two times).
+struct ProgramSpec {
+  std::uint64_t Seed = 0;
+  std::string Variant;         ///< "" for the original; factor-sweep tag
+  std::vector<LoopSpec> Loops; ///< outermost first; 1..3 entries
+  std::vector<BodyOp> Body;    ///< at least one
+  PragmaSpec Pragmas;
+
+  /// Total logical iterations of the nest (product of trip counts).
+  [[nodiscard]] std::int64_t totalIterations() const;
+
+  /// Size of the side-effect array `a` (max(1, totalIterations())).
+  [[nodiscard]] std::int64_t arraySize() const;
+
+  /// Renders the MiniC source text.
+  [[nodiscard]] std::string render() const;
+
+  /// Host-evaluated reference checksum — the oracle every backend must
+  /// reproduce exactly. Mirrors render() statement for statement using
+  /// the same int64 arithmetic.
+  [[nodiscard]] std::int64_t reference() const;
+
+  /// One-line structural summary (for reports).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Deterministically generates the program for \p Seed.
+ProgramSpec generateProgram(std::uint64_t Seed);
+
+/// One compile+execute of a program under a specific configuration.
+struct RunRecord {
+  std::string Config; ///< e.g. "irbuilder+O1 threads=8"
+  std::int64_t Checksum = 0;
+  bool CompileFailed = false;
+  std::string Diagnostics; ///< populated when CompileFailed
+  /// Runtime invariants checked after the run: generated programs have at
+  /// most one level of parallelism, so a transient (nested-fallback) fork
+  /// or a leaked serial-dispatch team context is a runtime bug even when
+  /// the checksum happens to agree.
+  std::string RuntimeInvariantViolation;
+};
+
+/// Verdict for one program across the whole backend matrix.
+struct ProgramResult {
+  ProgramSpec Spec;
+  std::int64_t Expected = 0;
+  unsigned RunsExecuted = 0;
+  std::vector<RunRecord> Failures; ///< mismatching or failed runs
+
+  [[nodiscard]] bool ok() const { return Failures.empty(); }
+};
+
+struct DifferentialOptions {
+  /// Sweep 1, 2, HW and 2×HW default thread counts for parallel
+  /// programs (serial programs run once at the default).
+  bool SweepThreads = true;
+  /// 0 = derive from std::thread::hardware_concurrency().
+  unsigned MaxThreads = 0;
+  /// Also run tile-size / unroll-factor variants of each program.
+  bool SweepFactors = true;
+};
+
+/// Compiles a ProgramSpec down every pipeline configuration and compares
+/// every execution against the host reference.
+class DifferentialRunner {
+public:
+  explicit DifferentialRunner(DifferentialOptions Opts = {});
+
+  /// Runs \p Spec through the full backend × thread matrix.
+  [[nodiscard]] ProgramResult run(const ProgramSpec &Spec) const;
+
+  /// Runs \p Spec plus its factor variants; returns the first failing
+  /// result, or the original (passing) result if everything agrees.
+  [[nodiscard]] ProgramResult runWithVariants(const ProgramSpec &Spec) const;
+
+  /// Factor-sweep variants: the same program re-rendered with different
+  /// tile sizes / unroll factors (empty when the program has neither).
+  [[nodiscard]] std::vector<ProgramSpec>
+  factorVariants(const ProgramSpec &Spec) const;
+
+  /// Greedy structural minimization of a failing program: drops pragma
+  /// components, loops and body statements, and shrinks bounds and
+  /// factors while the mismatch persists.
+  [[nodiscard]] ProgramSpec shrink(const ProgramSpec &Spec) const;
+
+  /// Human-readable mismatch report: reproducing seed, per-config
+  /// checksums, and the full (minimized, if shrunk) source dump.
+  static std::string report(const ProgramResult &R);
+
+private:
+  DifferentialOptions Opts;
+  std::vector<unsigned> threadCounts(const ProgramSpec &Spec) const;
+};
+
+} // namespace mcc::fuzz
+
+#endif // MCC_FUZZ_FUZZ_H

@@ -1,0 +1,512 @@
+//===--- ProgramGenerator.cpp - Seeded loop-nest program generation --------===//
+//
+// Generation and the two sides of the oracle: render() produces MiniC
+// source, reference() evaluates the same program on the host. Both walk
+// the identical structure with identical int64 arithmetic, so any
+// divergence between a backend and reference() is a bug in the pipeline
+// under test, not in the oracle.
+//
+// The pragma whitelist only emits stacks whose composition semantics both
+// pipelines implement: [parallel for] over [tile] over [unroll partial]
+// (transformations apply in reverse order of appearance), collapse
+// without loop transformations, unroll full only at the top of a serial
+// stack, and an optional unroll placed directly on the innermost loop of
+// a nest whose outer directives need just one canonical loop.
+//
+//===----------------------------------------------------------------------===//
+#include "fuzz/Fuzz.h"
+
+#include <algorithm>
+#include <random>
+
+namespace mcc::fuzz {
+
+namespace {
+
+/// Iteration-space ceiling: keeps a single fuzz program cheap enough that
+/// a 200-program corpus runs inside a unit-test budget.
+constexpr std::int64_t MaxTotalIterations = 600;
+constexpr std::int64_t SimulationCap = 1 << 20;
+
+bool holds(std::int64_t I, RelOp Rel, std::int64_t Ub) {
+  switch (Rel) {
+  case RelOp::LT:
+    return I < Ub;
+  case RelOp::LE:
+    return I <= Ub;
+  case RelOp::GT:
+    return I > Ub;
+  case RelOp::GE:
+    return I >= Ub;
+  case RelOp::NE:
+    return I != Ub;
+  }
+  return false;
+}
+
+std::string literal(std::int64_t V) {
+  if (V < 0)
+    return "(" + std::to_string(V) + ")";
+  return std::to_string(V);
+}
+
+std::string ivName(unsigned Depth) { return "i" + std::to_string(Depth); }
+
+/// Renders C0*i0 + C1*i1 + ... + Bias over the first \p Depth IVs,
+/// skipping zero terms (but never rendering an empty expression).
+std::string linearExpr(const BodyOp &Op, unsigned Depth) {
+  std::string E;
+  for (unsigned K = 0; K < Depth && K < 3; ++K) {
+    if (Op.C[K] == 0)
+      continue;
+    if (!E.empty())
+      E += " + ";
+    E += literal(Op.C[K]) + " * " + ivName(K);
+  }
+  if (Op.Bias != 0 || E.empty()) {
+    if (!E.empty())
+      E += " + ";
+    E += literal(Op.Bias);
+  }
+  return E;
+}
+
+std::int64_t linearEval(const BodyOp &Op, const std::int64_t *IV,
+                        unsigned Depth) {
+  std::int64_t V = Op.Bias;
+  for (unsigned K = 0; K < Depth && K < 3; ++K)
+    V += Op.C[K] * IV[K];
+  return V;
+}
+
+} // namespace
+
+const char *relOpSpelling(RelOp R) {
+  switch (R) {
+  case RelOp::LT:
+    return "<";
+  case RelOp::LE:
+    return "<=";
+  case RelOp::GT:
+    return ">";
+  case RelOp::GE:
+    return ">=";
+  case RelOp::NE:
+    return "!=";
+  }
+  return "<";
+}
+
+std::int64_t LoopSpec::tripCount() const {
+  if (Step == 0)
+    return 0;
+  std::int64_t N = 0;
+  for (std::int64_t I = Lb; holds(I, Rel, Ub) && N < SimulationCap; I += Step)
+    ++N;
+  return N;
+}
+
+std::int64_t ProgramSpec::totalIterations() const {
+  std::int64_t Total = 1;
+  for (const LoopSpec &L : Loops)
+    Total *= L.tripCount();
+  return Total;
+}
+
+std::int64_t ProgramSpec::arraySize() const {
+  return std::max<std::int64_t>(1, totalIterations());
+}
+
+// ===------------------------- Source rendering ----------------------=== //
+
+std::string ProgramSpec::render() const {
+  const unsigned Depth = static_cast<unsigned>(Loops.size());
+  std::string S;
+  S += "long sum = 0;\n";
+  S += "long a[" + std::to_string(arraySize()) + "];\n";
+  S += "int main() {\n";
+
+  // Directive stack above the outermost loop. Source order is outermost
+  // transformation first; they apply in reverse order of appearance.
+  std::string Indent = "  ";
+  if (Pragmas.ParallelFor) {
+    S += Indent + "#pragma omp parallel for";
+    bool WantsReduction = false;
+    for (const BodyOp &Op : Body)
+      if (Op.K != BodyOp::Kind::ArrayUpdate)
+        WantsReduction = true;
+    if (WantsReduction)
+      S += " reduction(+: sum)";
+    if (!Pragmas.Schedule.empty())
+      S += " schedule(" + Pragmas.Schedule + ")";
+    if (Pragmas.NumThreadsClause > 0)
+      S += " num_threads(" + std::to_string(Pragmas.NumThreadsClause) + ")";
+    if (Pragmas.Collapse >= 2)
+      S += " collapse(" + std::to_string(Pragmas.Collapse) + ")";
+    S += "\n";
+  }
+  if (Pragmas.OrphanFor) {
+    S += Indent + "#pragma omp for";
+    if (!Pragmas.Schedule.empty())
+      S += " schedule(" + Pragmas.Schedule + ")";
+    if (Pragmas.Collapse >= 2)
+      S += " collapse(" + std::to_string(Pragmas.Collapse) + ")";
+    S += "\n";
+  }
+  if (Pragmas.UnrollFull)
+    S += Indent + "#pragma omp unroll full\n";
+  if (!Pragmas.TileSizes.empty()) {
+    S += Indent + "#pragma omp tile sizes(";
+    for (std::size_t K = 0; K < Pragmas.TileSizes.size(); ++K) {
+      if (K)
+        S += ", ";
+      S += std::to_string(Pragmas.TileSizes[K]);
+    }
+    S += ")\n";
+  }
+  if (Pragmas.UnrollFactor > 0 && !Pragmas.UnrollInnermost)
+    S += Indent + "#pragma omp unroll partial(" +
+         std::to_string(Pragmas.UnrollFactor) + ")\n";
+
+  for (unsigned D = 0; D < Depth; ++D) {
+    const LoopSpec &L = Loops[D];
+    if (Pragmas.UnrollFactor > 0 && Pragmas.UnrollInnermost &&
+        D == Depth - 1 && D > 0)
+      S += Indent + "#pragma omp unroll partial(" +
+           std::to_string(Pragmas.UnrollFactor) + ")\n";
+    S += Indent + "for (int " + ivName(D) + " = " + literal(L.Lb) + "; " +
+         ivName(D) + " " + relOpSpelling(L.Rel) + " " + literal(L.Ub) +
+         "; " + ivName(D) + " += " + literal(L.Step) + ")\n";
+    Indent += "  ";
+  }
+
+  // Innermost body: recover the logical iteration number from the IVs
+  // (exact division — every IV value is Lb + k*Step) so array updates are
+  // injective per iteration: racy duplicate execution, lost iterations
+  // and wrong iteration sets all perturb the checksum.
+  S += Indent + "{\n";
+  std::string B = Indent + "  ";
+  std::int64_t Span = 1;
+  for (unsigned D = 0; D < Depth; ++D)
+    Span *= std::max<std::int64_t>(1, Loops[D].tripCount());
+  S += B + "long idx = 0;\n";
+  for (unsigned D = 0; D < Depth; ++D) {
+    const LoopSpec &L = Loops[D];
+    std::int64_t Trip = std::max<std::int64_t>(1, L.tripCount());
+    Span /= Trip;
+    S += B + "idx += (" + ivName(D) + " - " + literal(L.Lb) + ") / " +
+         literal(L.Step) + " * " + std::to_string(Span) + ";\n";
+  }
+  for (const BodyOp &Op : Body) {
+    switch (Op.K) {
+    case BodyOp::Kind::SumLinear:
+      S += B + "sum += " + linearExpr(Op, Depth) + ";\n";
+      break;
+    case BodyOp::Kind::SumQuadratic:
+      S += B + "sum += " + literal(Op.C[0]) + " * " + ivName(0) + " * " +
+           ivName(0);
+      if (Depth > 1 && Op.C[1] != 0)
+        S += " + " + literal(Op.C[1]) + " * " + ivName(1);
+      S += " + " + literal(Op.Bias) + ";\n";
+      break;
+    case BodyOp::Kind::SumCond:
+      S += B + "if ((" + ivName(0) + " + " + literal(Op.Bias) + ") % " +
+           std::to_string(Op.Mod) + " == 0) sum += " +
+           linearExpr(Op, Depth) + ";\n";
+      break;
+    case BodyOp::Kind::ArrayUpdate:
+      S += B + "a[idx] += " + linearExpr(Op, Depth) + ";\n";
+      break;
+    }
+  }
+  S += Indent + "}\n";
+
+  // Checksum: fold sum and the entire array through a modular hash. All
+  // arithmetic is int64 with values far below overflow.
+  S += "  long chk = sum % 1000000007;\n";
+  S += "  for (int q = 0; q < " + std::to_string(arraySize()) +
+       "; q += 1)\n";
+  S += "    chk = (chk * 31 + a[q]) % 1000000007;\n";
+  S += "  int out = chk;\n";
+  S += "  return out;\n";
+  S += "}\n";
+  return S;
+}
+
+// ===------------------------ Reference oracle -----------------------=== //
+
+std::int64_t ProgramSpec::reference() const {
+  const unsigned Depth = static_cast<unsigned>(Loops.size());
+  const std::int64_t ASize = arraySize();
+  std::vector<std::int64_t> A(static_cast<std::size_t>(ASize), 0);
+  std::int64_t Sum = 0;
+
+  std::int64_t Spans[3] = {1, 1, 1};
+  {
+    std::int64_t Span = 1;
+    for (unsigned D = 0; D < Depth; ++D)
+      Span *= std::max<std::int64_t>(1, Loops[D].tripCount());
+    for (unsigned D = 0; D < Depth; ++D) {
+      Span /= std::max<std::int64_t>(1, Loops[D].tripCount());
+      Spans[D] = Span;
+    }
+  }
+
+  std::int64_t IV[3] = {0, 0, 0};
+  // Recursive nest walk without recursion: depth <= 3.
+  auto RunBody = [&] {
+    std::int64_t Idx = 0;
+    for (unsigned D = 0; D < Depth; ++D)
+      Idx += (IV[D] - Loops[D].Lb) / Loops[D].Step * Spans[D];
+    for (const BodyOp &Op : Body) {
+      switch (Op.K) {
+      case BodyOp::Kind::SumLinear:
+        Sum += linearEval(Op, IV, Depth);
+        break;
+      case BodyOp::Kind::SumQuadratic:
+        Sum += Op.C[0] * IV[0] * IV[0] +
+               (Depth > 1 ? Op.C[1] * IV[1] : 0) + Op.Bias;
+        break;
+      case BodyOp::Kind::SumCond:
+        if ((IV[0] + Op.Bias) % Op.Mod == 0)
+          Sum += linearEval(Op, IV, Depth);
+        break;
+      case BodyOp::Kind::ArrayUpdate:
+        A[static_cast<std::size_t>(Idx)] += linearEval(Op, IV, Depth);
+        break;
+      }
+    }
+  };
+
+  auto Loop = [&](unsigned D, auto &&Self) -> void {
+    if (D == Depth) {
+      RunBody();
+      return;
+    }
+    const LoopSpec &L = Loops[D];
+    std::int64_t Guard = 0;
+    for (IV[D] = L.Lb; holds(IV[D], L.Rel, L.Ub) && Guard < SimulationCap;
+         IV[D] += L.Step, ++Guard)
+      Self(D + 1, Self);
+  };
+  Loop(0, Loop);
+
+  std::int64_t Chk = Sum % 1000000007;
+  for (std::int64_t Q = 0; Q < ASize; ++Q)
+    Chk = (Chk * 31 + A[static_cast<std::size_t>(Q)]) % 1000000007;
+  // The program narrows through `int out = chk;` — Chk is already within
+  // int range (|Chk| < 1000000007), so the conversion is value-preserving.
+  return Chk;
+}
+
+std::string ProgramSpec::describe() const {
+  std::string D = "seed=" + std::to_string(Seed);
+  if (!Variant.empty())
+    D += " variant=" + Variant;
+  D += " depth=" + std::to_string(Loops.size());
+  D += " trips=";
+  for (std::size_t K = 0; K < Loops.size(); ++K) {
+    if (K)
+      D += "x";
+    D += std::to_string(Loops[K].tripCount());
+  }
+  if (Pragmas.ParallelFor || Pragmas.OrphanFor) {
+    D += Pragmas.ParallelFor ? " parallel-for" : " orphan-for";
+    if (!Pragmas.Schedule.empty())
+      D += "(schedule " + Pragmas.Schedule + ")";
+    if (Pragmas.Collapse >= 2)
+      D += " collapse(" + std::to_string(Pragmas.Collapse) + ")";
+  }
+  if (!Pragmas.TileSizes.empty()) {
+    D += " tile(";
+    for (std::size_t K = 0; K < Pragmas.TileSizes.size(); ++K) {
+      if (K)
+        D += ",";
+      D += std::to_string(Pragmas.TileSizes[K]);
+    }
+    D += ")";
+  }
+  if (Pragmas.UnrollFull)
+    D += " unroll-full";
+  if (Pragmas.UnrollFactor)
+    D += (Pragmas.UnrollInnermost ? " inner-unroll(" : " unroll(") +
+         std::to_string(Pragmas.UnrollFactor) + ")";
+  return D;
+}
+
+// ===-------------------------- Generation ---------------------------=== //
+
+namespace {
+
+/// Picks bounds for one loop with roughly \p TargetTrip iterations,
+/// randomizing direction, comparison and step.
+LoopSpec makeLoop(std::mt19937_64 &R, std::int64_t TargetTrip) {
+  auto Rand = [&](std::int64_t Lo, std::int64_t Hi) {
+    return std::uniform_int_distribution<std::int64_t>(Lo, Hi)(R);
+  };
+  LoopSpec L;
+  const bool Up = Rand(0, 1) != 0;
+  const unsigned RelPick = static_cast<unsigned>(Rand(0, 9));
+  // NE needs |step| == 1 to terminate (and to be canonical).
+  const bool UseNE = RelPick >= 8;
+  std::int64_t Mag = UseNE ? 1 : Rand(1, 9);
+  L.Step = Up ? Mag : -Mag;
+  L.Lb = Rand(-25, 25);
+  if (TargetTrip <= 0) {
+    // Zero-trip: condition false on entry.
+    L.Rel = UseNE ? RelOp::NE : (Up ? RelOp::LT : RelOp::GT);
+    L.Ub = L.Lb - (L.Rel == RelOp::NE ? 0 : L.Step);
+    if (L.Rel == RelOp::NE)
+      L.Ub = L.Lb; // i != i is false immediately
+    return L;
+  }
+  if (UseNE) {
+    L.Rel = RelOp::NE;
+    L.Ub = L.Lb + L.Step * TargetTrip;
+    return L;
+  }
+  const std::int64_t Last = L.Lb + L.Step * (TargetTrip - 1);
+  if (Rand(0, 1) != 0) {
+    // Strict comparison: Ub anywhere in (Last, Last + Step].
+    L.Rel = Up ? RelOp::LT : RelOp::GT;
+    L.Ub = Last + (Up ? Rand(1, Mag) : -Rand(1, Mag));
+  } else {
+    // Inclusive comparison: Ub anywhere in [Last, Last + Step).
+    L.Rel = Up ? RelOp::LE : RelOp::GE;
+    L.Ub = Last + (Up ? Rand(0, Mag - 1) : -Rand(0, Mag - 1));
+  }
+  return L;
+}
+
+BodyOp makeBodyOp(std::mt19937_64 &R, bool AllowArray) {
+  auto Rand = [&](std::int64_t Lo, std::int64_t Hi) {
+    return std::uniform_int_distribution<std::int64_t>(Lo, Hi)(R);
+  };
+  BodyOp Op;
+  switch (Rand(0, AllowArray ? 4 : 2)) {
+  case 0:
+    Op.K = BodyOp::Kind::SumLinear;
+    break;
+  case 1:
+    Op.K = BodyOp::Kind::SumQuadratic;
+    break;
+  case 2:
+    Op.K = BodyOp::Kind::SumCond;
+    Op.Mod = Rand(2, 5);
+    break;
+  default:
+    Op.K = BodyOp::Kind::ArrayUpdate;
+    break;
+  }
+  for (std::int64_t &C : Op.C)
+    C = Rand(-9, 9);
+  if (Op.C[0] == 0)
+    Op.C[0] = 1 + Rand(0, 8); // keep the leading IV live
+  Op.Bias = Rand(-20, 20);
+  return Op;
+}
+
+} // namespace
+
+ProgramSpec generateProgram(std::uint64_t Seed) {
+  std::mt19937_64 R(Seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+  auto Rand = [&](std::int64_t Lo, std::int64_t Hi) {
+    return std::uniform_int_distribution<std::int64_t>(Lo, Hi)(R);
+  };
+
+  ProgramSpec P;
+  P.Seed = Seed;
+
+  const unsigned Depth = static_cast<unsigned>(Rand(1, 3));
+  std::int64_t Budget = MaxTotalIterations;
+  for (unsigned D = 0; D < Depth; ++D) {
+    // ~4% of loops are zero-trip; the rest draw a trip count that keeps
+    // the whole nest under the iteration ceiling.
+    std::int64_t MaxTrip = std::max<std::int64_t>(
+        1, std::min<std::int64_t>(24, Budget));
+    std::int64_t Target = Rand(0, 24) == 0 ? 0 : Rand(1, MaxTrip);
+    LoopSpec L = makeLoop(R, Target);
+    Budget /= std::max<std::int64_t>(1, L.tripCount());
+    P.Loops.push_back(L);
+  }
+
+  const unsigned NumOps = static_cast<unsigned>(Rand(1, 3));
+  for (unsigned K = 0; K < NumOps; ++K)
+    P.Body.push_back(makeBodyOp(R, /*AllowArray=*/true));
+
+  // Directive stack, drawn from the whitelist of compositions both
+  // pipelines implement.
+  PragmaSpec &G = P.Pragmas;
+  const std::int64_t OuterTrip = P.Loops[0].tripCount();
+  switch (Rand(0, 10)) {
+  case 0: // no pragmas at all
+    break;
+  case 1: // unroll partial on the outermost loop
+    G.UnrollFactor = static_cast<unsigned>(Rand(2, 8));
+    break;
+  case 2: // unroll full (serial, constant trip)
+    if (OuterTrip <= 64) {
+      G.UnrollFull = true;
+      if (Rand(0, 1))
+        G.UnrollFactor = static_cast<unsigned>(Rand(2, 4)); // full-over-partial
+    } else {
+      G.UnrollFactor = static_cast<unsigned>(Rand(2, 8));
+    }
+    break;
+  case 3: // tile (1..depth dimensions)
+    for (std::int64_t K = 0, N = Rand(1, static_cast<std::int64_t>(Depth));
+         K < N; ++K)
+      G.TileSizes.push_back(Rand(1, 16));
+    break;
+  case 4: // tile over unroll
+    G.TileSizes.push_back(Rand(1, 8));
+    G.UnrollFactor = static_cast<unsigned>(Rand(2, 4));
+    break;
+  case 5: // plain parallel for
+  case 6: {
+    G.ParallelFor = true;
+    static const char *Schedules[] = {"",       "static", "static, 2",
+                                      "static, 5", "dynamic, 3", "guided"};
+    G.Schedule = Schedules[Rand(0, 5)];
+    if (Depth >= 2 && Rand(0, 2) == 0)
+      G.Collapse = static_cast<unsigned>(Rand(2, Depth));
+    else if (Rand(0, 3) == 0)
+      G.NumThreadsClause = static_cast<unsigned>(Rand(1, 5));
+    break;
+  }
+  case 7: // parallel for over unroll partial
+    G.ParallelFor = true;
+    G.UnrollFactor = static_cast<unsigned>(Rand(2, 8));
+    break;
+  case 8: // parallel for over tile (optionally over unroll)
+    G.ParallelFor = true;
+    G.TileSizes.push_back(Rand(1, 8));
+    if (Rand(0, 1))
+      G.UnrollFactor = static_cast<unsigned>(Rand(2, 4));
+    break;
+  case 9: // unroll directly on the innermost loop of a deeper nest
+    if (Depth >= 2) {
+      G.UnrollFactor = static_cast<unsigned>(Rand(2, 6));
+      G.UnrollInnermost = true;
+      if (Rand(0, 1))
+        G.ParallelFor = true; // outer workshare needs only one loop
+    } else {
+      G.UnrollFactor = static_cast<unsigned>(Rand(2, 6));
+    }
+    break;
+  case 10: { // orphaned worksharing loop (serial team of one)
+    G.OrphanFor = true;
+    static const char *Schedules[] = {"", "static", "static, 3",
+                                      "dynamic, 2", "guided"};
+    G.Schedule = Schedules[Rand(0, 4)];
+    if (Depth >= 2 && Rand(0, 2) == 0)
+      G.Collapse = static_cast<unsigned>(Rand(2, Depth));
+    else if (Rand(0, 1))
+      G.UnrollFactor = static_cast<unsigned>(Rand(2, 4)); // for-over-unroll
+    break;
+  }
+  }
+  return P;
+}
+
+} // namespace mcc::fuzz

@@ -1,0 +1,168 @@
+//===--- exhibit_golden_test.cpp - Golden files for the paper's exhibits ---===//
+//
+// The exhibit_ast_dumps tool reproduces the paper's listings (Fig. 3 /
+// lst:astdump, the shadow-AST stack of Listing 6, the transformed tile
+// and unroll subtrees). These dumps are documentation-grade output — a
+// formatting or structural drift would silently invalidate the paper
+// reproduction — so each exhibit is pinned against a golden file under
+// tests/golden/.
+//
+// To regenerate after an intentional AST/dump change:
+//   MCC_REGEN_GOLDEN=1 ./exhibit_golden_test
+// then review the diff like any other source change.
+//
+//===----------------------------------------------------------------------===//
+#include "ast/RecursiveASTVisitor.h"
+#include "driver/CompilerInstance.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace mcc;
+
+namespace {
+
+template <typename T> T *findNode(TranslationUnitDecl *TU) {
+  struct Finder : RecursiveASTVisitor<Finder> {
+    T *Found = nullptr;
+    bool visitStmt(Stmt *S) {
+      if (auto *Node = stmt_dyn_cast<T>(S)) {
+        Found = Node;
+        return false;
+      }
+      return true;
+    }
+  } F;
+  for (Decl *D : TU->decls())
+    if (!F.traverseDecl(D))
+      break;
+  return F.Found;
+}
+
+std::string goldenPath(const std::string &Name) {
+  return std::string(MCC_GOLDEN_DIR) + "/" + Name + ".golden";
+}
+
+void compareWithGolden(const std::string &Name, const std::string &Actual) {
+  const std::string Path = goldenPath(Name);
+  if (std::getenv("MCC_REGEN_GOLDEN")) {
+    std::ofstream Out(Path, std::ios::trunc);
+    ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+    Out << Actual;
+    GTEST_SKIP() << "regenerated " << Path;
+  }
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << "missing golden file " << Path
+                         << " (run with MCC_REGEN_GOLDEN=1 to create)";
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Buf.str(), Actual)
+      << "exhibit '" << Name << "' drifted from " << Path
+      << "\nIf the change is intentional, regenerate with "
+         "MCC_REGEN_GOLDEN=1 and review the diff.";
+}
+
+/// Parses \p Source and dumps the first node of type T (optionally its
+/// transformed shadow statement instead).
+template <typename T>
+std::string dumpExhibit(const char *Source, bool Transformed = false,
+                        bool IRBuilderMode = false) {
+  CompilerOptions Options;
+  Options.LangOpts.OpenMPEnableIRBuilder = IRBuilderMode;
+  CompilerInstance CI(Options);
+  CI.addVirtualFile("x.c", Source);
+  if (!CI.parseToAST("x.c")) {
+    ADD_FAILURE() << CI.renderDiagnostics();
+    return {};
+  }
+  T *Node = findNode<T>(CI.getTranslationUnit());
+  if (!Node) {
+    ADD_FAILURE() << "exhibit node not found";
+    return {};
+  }
+  if (Transformed) {
+    if constexpr (requires { Node->getTransformedStmt(); }) {
+      Stmt *TS = Node->getTransformedStmt();
+      if (!TS) {
+        ADD_FAILURE() << "no transformed statement";
+        return {};
+      }
+      return dumpToString(TS);
+    } else {
+      ADD_FAILURE() << "directive has no shadow transform";
+      return {};
+    }
+  }
+  return dumpToString(Node);
+}
+
+// Paper Listing 3 / Fig. 3: parallel for schedule(static) including the
+// CapturedStmt machinery.
+TEST(ExhibitGolden, AstDumpParallelForStatic) {
+  const char *Source = R"(
+void body(int i);
+void f() {
+  #pragma omp parallel for schedule(static)
+  for (int i = 7; i < 17; i += 3)
+    body(i);
+}
+)";
+  compareWithGolden(
+      "astdump_parallel_for",
+      dumpExhibit<OMPParallelForDirective>(Source));
+}
+
+// Paper Listing 6: the shadow-AST stack of unroll full over
+// unroll partial(2).
+TEST(ExhibitGolden, ShadowAstUnrollStack) {
+  const char *Source = R"(
+void body(int i);
+void f() {
+  #pragma omp unroll full
+  #pragma omp unroll partial(2)
+  for (int i = 7; i < 17; i += 3)
+    body(i);
+}
+)";
+  compareWithGolden("shadow_unroll_stack",
+                    dumpExhibit<OMPUnrollDirective>(Source));
+}
+
+// Paper Listing 8 (Fig. 8): the transformed shadow AST of a partial
+// unroll — strip-mined loop plus LoopHintAttr.
+TEST(ExhibitGolden, ShadowAstUnrollTransformed) {
+  const char *Source = R"(
+void body(int i);
+void f() {
+  #pragma omp unroll partial(2)
+  for (int i = 7; i < 17; i += 3)
+    body(i);
+}
+)";
+  compareWithGolden(
+      "shadow_unroll_transformed",
+      dumpExhibit<OMPUnrollDirective>(Source, /*Transformed=*/true));
+}
+
+// The tile counterpart: the shadow AST a tile directive constructs
+// (floor + tile loop nest) for a 2-D sizes clause.
+TEST(ExhibitGolden, ShadowAstTileTransformed) {
+  const char *Source = R"(
+void body(int i, int j);
+void f() {
+  #pragma omp tile sizes(4, 8)
+  for (int i = 0; i < 32; i += 1)
+    for (int j = 0; j < 16; j += 1)
+      body(i, j);
+}
+)";
+  compareWithGolden(
+      "shadow_tile_transformed",
+      dumpExhibit<OMPTileDirective>(Source, /*Transformed=*/true));
+}
+
+} // namespace

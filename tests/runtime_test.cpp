@@ -14,11 +14,23 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 using namespace mcc::rt;
+
+#if defined(__SANITIZE_THREAD__)
+#define MCC_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MCC_UNDER_TSAN 1
+#endif
+#endif
 
 namespace {
 
@@ -30,6 +42,41 @@ OpenMPRuntime &freshRuntime() {
   RT.setHotTeamsEnabled(true);
   RT.setSpinCount(-1);
   return RT;
+}
+
+unsigned hwThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+/// True when a team of \p N threads cannot run truly concurrently here.
+/// Exact spin/sleep wake counters are timing-dependent in that regime
+/// (a waiter may observe the flipped sense before ever parking, or
+/// exhaust its spin budget while descheduled), so tests only assert them
+/// on machines with enough cores — completion and coverage invariants
+/// still hold everywhere.
+bool oversubscribed(unsigned TeamSize) { return TeamSize > hwThreads(); }
+
+/// Runs \p Body on a separate thread and aborts the whole binary with a
+/// diagnostic if it does not finish within \p Limit. A barrier or
+/// dispatcher bug would otherwise hang the suite until the global CTest
+/// timeout with no indication of the culprit. The deadline is generous —
+/// it bounds the spin-wait stress tests, it does not race them.
+template <typename Fn>
+void withDeadline(const char *What, std::chrono::seconds Limit, Fn &&Body) {
+#ifdef MCC_UNDER_TSAN
+  Limit *= 20; // TSan serializes and instruments everything
+#endif
+  std::packaged_task<void()> Task(std::forward<Fn>(Body));
+  std::future<void> Done = Task.get_future();
+  std::thread Runner(std::move(Task));
+  if (Done.wait_for(Limit) == std::future_status::timeout) {
+    std::fprintf(stderr,
+                 "runtime_test: '%s' exceeded its %llds deadline — "
+                 "aborting to unhang the suite\n",
+                 What, static_cast<long long>(Limit.count()));
+    std::abort();
+  }
+  Runner.join();
 }
 
 TEST(HotTeamTest, ReusesWorkersAcrossRepeatedForkJoin) {
@@ -135,19 +182,24 @@ TEST(BarrierTest, SynchronizesAllPhases) {
     for (auto &P : Phase)
       P.store(0);
     std::atomic<bool> Violation{false};
-    RT.forkCall(
-        [&](int Tid) {
-          for (int R = 0; R < Rounds; ++R) {
-            Phase[static_cast<std::size_t>(Tid)].store(R + 1);
-            RT.barrier();
-            // After the barrier every teammate must have finished round R.
-            for (int T = 0; T < N; ++T)
-              if (Phase[static_cast<std::size_t>(T)].load() < R + 1)
-                Violation = true;
-            RT.barrier();
-          }
-        },
-        N);
+    withDeadline("BarrierTest.SynchronizesAllPhases",
+                 std::chrono::seconds(60), [&] {
+                   RT.forkCall(
+                       [&](int Tid) {
+                         for (int R = 0; R < Rounds; ++R) {
+                           Phase[static_cast<std::size_t>(Tid)].store(R + 1);
+                           RT.barrier();
+                           // After the barrier every teammate must have
+                           // finished round R.
+                           for (int T = 0; T < N; ++T)
+                             if (Phase[static_cast<std::size_t>(T)].load() <
+                                 R + 1)
+                               Violation = true;
+                           RT.barrier();
+                         }
+                       },
+                       N);
+                 });
     EXPECT_FALSE(Violation.load()) << "team size " << N;
   }
 }
@@ -157,30 +209,43 @@ TEST(BarrierTest, SpinAndSleepPathsBothComplete) {
   std::atomic<int> Count{0};
   // Force the sleep path: zero spin budget.
   RT.setSpinCount(0);
-  RT.forkCall(
-      [&](int) {
-        Count.fetch_add(1);
-        RT.barrier();
-      },
-      4);
+  withDeadline("BarrierTest sleep path", std::chrono::seconds(30), [&] {
+    RT.forkCall(
+        [&](int) {
+          Count.fetch_add(1);
+          RT.barrier();
+        },
+        4);
+  });
   OpenMPRuntime::StatsSnapshot Slept = RT.statsSnapshot();
   EXPECT_EQ(Slept.BarrierSpinWakes, 0u);
-  EXPECT_GE(Slept.BarrierSleepWakes, 3u);
 
   // Force the spin path: effectively unbounded budget. (Backoff yields,
   // so this terminates even when the team oversubscribes the hardware.)
   RT.setSpinCount(1 << 30);
-  RT.forkCall(
-      [&](int) {
-        Count.fetch_add(1);
-        RT.barrier();
-      },
-      4);
+  withDeadline("BarrierTest spin path", std::chrono::seconds(30), [&] {
+    RT.forkCall(
+        [&](int) {
+          Count.fetch_add(1);
+          RT.barrier();
+        },
+        4);
+  });
   OpenMPRuntime::StatsSnapshot Spun = RT.statsSnapshot();
-  EXPECT_GE(Spun.BarrierSpinWakes, 3u);
-  EXPECT_EQ(Spun.BarrierSleepWakes, Slept.BarrierSleepWakes);
   EXPECT_EQ(Count.load(), 8);
   RT.setSpinCount(-1);
+
+  // Wake-path accounting is only exact when all four threads can truly
+  // run at once: under oversubscription the runtime clamps the spin
+  // budget to zero (spinning while descheduled wastes the core the
+  // release needs), so the "forced spin" fork legitimately sleeps.
+  if (oversubscribed(4)) {
+    GTEST_SKIP() << "team of 4 oversubscribes " << hwThreads()
+                 << " hardware threads; skipping exact wake-path counters";
+  }
+  EXPECT_GE(Slept.BarrierSleepWakes, 3u);
+  EXPECT_GE(Spun.BarrierSpinWakes, 3u);
+  EXPECT_EQ(Spun.BarrierSleepWakes, Slept.BarrierSleepWakes);
 }
 
 TEST(DispatchTest, ExactlyOnceCoverageUnderContention) {
@@ -194,16 +259,19 @@ TEST(DispatchTest, ExactlyOnceCoverageUnderContention) {
       std::vector<std::atomic<int>> Hits(Trip);
       for (auto &H : Hits)
         H.store(0);
-      RT.forkCall(
-          [&](int) {
-            RT.dispatchInit(Sched, 0, Trip - 1, 7);
-            std::int32_t Last;
-            std::int64_t Lb, Ub;
-            while (RT.dispatchNext(&Last, &Lb, &Ub))
-              for (std::int64_t I = Lb; I <= Ub; ++I)
-                Hits[static_cast<std::size_t>(I)].fetch_add(1);
-          },
-          4);
+      withDeadline("DispatchTest.ExactlyOnceCoverageUnderContention",
+                   std::chrono::seconds(60), [&] {
+                     RT.forkCall(
+                         [&](int) {
+                           RT.dispatchInit(Sched, 0, Trip - 1, 7);
+                           std::int32_t Last;
+                           std::int64_t Lb, Ub;
+                           while (RT.dispatchNext(&Last, &Lb, &Ub))
+                             for (std::int64_t I = Lb; I <= Ub; ++I)
+                               Hits[static_cast<std::size_t>(I)].fetch_add(1);
+                         },
+                         4);
+                   });
       for (std::int64_t I = 0; I < Trip; ++I)
         ASSERT_EQ(Hits[static_cast<std::size_t>(I)].load(), 1)
             << "spin=" << Spin << " sched=" << Sched << " i=" << I;
@@ -278,14 +346,6 @@ TEST(DispatchTest, StaticInitCountsChunkStats) {
   EXPECT_EQ(RT.statsSnapshot().NumChunksStatic, 4u);
 }
 
-#if defined(__SANITIZE_THREAD__)
-#define MCC_UNDER_TSAN 1
-#elif defined(__has_feature)
-#if __has_feature(thread_sanitizer)
-#define MCC_UNDER_TSAN 1
-#endif
-#endif
-
 // Death tests fork, which TSan dislikes; skip only there.
 #ifndef MCC_UNDER_TSAN
 TEST(DispatchTest, StaticInitRejectsNonStaticSchedules) {
@@ -309,7 +369,12 @@ TEST(StatsTest, WorkerWakePolicyIsObservable) {
   OpenMPRuntime::StatsSnapshot S = RT.statsSnapshot();
   EXPECT_EQ(S.NumTeamReuses, 2u);
   EXPECT_GE(S.WorkerSleepWakes + S.WorkerSpinWakes, 6u);
-  EXPECT_GE(S.WorkerSleepWakes, 1u);
+  // Whether a parked worker is woken through the sleep or the spin path
+  // depends on it reaching the park point before the next dispatch; only
+  // guaranteed when the team fits the hardware.
+  if (!oversubscribed(4)) {
+    EXPECT_GE(S.WorkerSleepWakes, 1u);
+  }
   RT.setSpinCount(-1);
 }
 
