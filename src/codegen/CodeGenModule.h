@@ -28,13 +28,16 @@ namespace mcc {
 
 class CodeGenModule {
 public:
-  CodeGenModule(ASTContext &Ctx, const LangOptions &Opts, ir::Module &M)
+  /// CodeGen only *reads* the (post-Sema, immutable) AST — the context is
+  /// taken const so one cached AST artifact can feed many concurrent
+  /// code-generation requests in the compile service.
+  CodeGenModule(const ASTContext &Ctx, const LangOptions &Opts, ir::Module &M)
       : Ctx(Ctx), Opts(Opts), M(M), OMPBuilder(M) {}
 
   /// Emits every function and global of the translation unit.
   void emitTranslationUnit(const TranslationUnitDecl *TU);
 
-  [[nodiscard]] ASTContext &getASTContext() { return Ctx; }
+  [[nodiscard]] const ASTContext &getASTContext() const { return Ctx; }
   [[nodiscard]] const LangOptions &getLangOpts() const { return Opts; }
   [[nodiscard]] ir::Module &getModule() { return M; }
   [[nodiscard]] ir::OpenMPIRBuilder &getOMPBuilder() { return OMPBuilder; }
@@ -55,7 +58,7 @@ public:
   }
 
 private:
-  ASTContext &Ctx;
+  const ASTContext &Ctx;
   LangOptions Opts;
   ir::Module &M;
   ir::OpenMPIRBuilder OMPBuilder;

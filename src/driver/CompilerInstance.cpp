@@ -18,6 +18,13 @@ void CompilerInstance::addVirtualFile(const std::string &Path,
 }
 
 bool CompilerInstance::parseToAST(const std::string &MainFile) {
+  // Per-run state reset: a CompilerInstance may be driven more than once
+  // (tests, the compile service's cold path). Diagnostics and their
+  // counters belong to the *run*, not the instance — without this, a
+  // second compile would inherit the first run's error count and refuse
+  // to proceed.
+  DiagStore.clear();
+  Diags.reset();
   PP = std::make_unique<Preprocessor>(FM, SM, Diags);
   PP->setOpenMPEnabled(Options.LangOpts.OpenMP);
   for (const auto &[Name, Value] : Options.Defines)

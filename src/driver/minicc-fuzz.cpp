@@ -12,6 +12,7 @@
 //     --shrink          minimize a failing program before reporting
 //     --no-thread-sweep run parallel programs at the default width only
 //     --no-factor-sweep skip tile-size/unroll-factor variants
+//     --service         compile through the CompileService cache
 //     --dump-source     print each program before running it
 //     --quiet           no progress output
 //
@@ -36,6 +37,8 @@ void printUsage() {
                "  --shrink           minimize the failing program\n"
                "  --no-thread-sweep  default thread width only\n"
                "  --no-factor-sweep  skip tile/unroll factor variants\n"
+               "  --service          compile through the CompileService "
+               "cache\n"
                "  --dump-source      print each generated program\n"
                "  --quiet            no progress output\n");
 }
@@ -66,6 +69,8 @@ int main(int argc, char **argv) {
       Opts.SweepThreads = false;
     else if (Arg == "--no-factor-sweep")
       Opts.SweepFactors = false;
+    else if (Arg == "--service")
+      Opts.UseService = true;
     else if (Arg == "--dump-source")
       DumpSource = true;
     else if (Arg == "--quiet")

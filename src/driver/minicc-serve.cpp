@@ -1,0 +1,236 @@
+//===--- minicc-serve.cpp - In-process compile-server driver ---------------===//
+//
+// Front door for the CompileService (src/service). Reads newline-delimited
+// job specs from a file or stdin, fans them out over the service's worker
+// pool, and prints one verdict line per job. Repeated or identical jobs
+// are answered from the content-addressed cache; --service-stats shows
+// the per-level hit/miss/eviction counters afterwards.
+//
+//   minicc-serve [options] [jobfile]
+//     --jobs=N            worker threads (default 4)
+//     --cache-mb=N        total cache budget in MiB (default 256)
+//     --repeat=N          submit the whole job list N times (default 1)
+//     --service-stats     print cache statistics after the run
+//     --quiet             verdict lines only on failure
+//
+// Job spec grammar (one job per line; '#' starts a comment):
+//   [flags...] <file>
+// with per-job flags a subset of minicc's:
+//   -fno-openmp -fopenmp-enable-irbuilder -O1 -run -w -Werror
+//   --analyze -num-threads=N -unroll-factor=N -DNAME[=VALUE]
+//
+//===----------------------------------------------------------------------===//
+#include "service/CompileService.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace mcc;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(stderr,
+               "usage: minicc-serve [options] [jobfile]\n"
+               "  --jobs=N         worker threads (default 4)\n"
+               "  --cache-mb=N     total cache budget in MiB (default 256)\n"
+               "  --repeat=N       submit the job list N times (default 1)\n"
+               "  --service-stats  print cache statistics after the run\n"
+               "  --quiet          only print failing jobs\n"
+               "job spec: one per line: [flags...] <file>\n"
+               "  flags: -fno-openmp -fopenmp-enable-irbuilder -O1 -run -w\n"
+               "         -Werror --analyze -num-threads=N -unroll-factor=N\n"
+               "         -DNAME[=VALUE]\n");
+}
+
+bool parseU64(const std::string &Arg, const char *Prefix, std::uint64_t &Out) {
+  std::size_t Len = std::strlen(Prefix);
+  if (Arg.rfind(Prefix, 0) != 0)
+    return false;
+  Out = std::strtoull(Arg.c_str() + Len, nullptr, 10);
+  return true;
+}
+
+/// Parses one job-spec line. Returns false (with a message) on a malformed
+/// line; empty/comment lines yield false with an empty message.
+bool parseJobLine(const std::string &Line, svc::CompileJob &Job,
+                  std::string &Error) {
+  std::istringstream In(Line);
+  std::vector<std::string> Words;
+  for (std::string W; In >> W;)
+    Words.push_back(std::move(W));
+  if (Words.empty() || Words.front()[0] == '#')
+    return false;
+
+  std::string File;
+  for (const std::string &W : Words) {
+    std::uint64_t N = 0;
+    if (W == "-fopenmp")
+      Job.Options.LangOpts.OpenMP = true;
+    else if (W == "-fno-openmp")
+      Job.Options.LangOpts.OpenMP = false;
+    else if (W == "-fopenmp-enable-irbuilder")
+      Job.Options.LangOpts.OpenMPEnableIRBuilder = true;
+    else if (W == "-O1")
+      Job.Options.RunMidend = true;
+    else if (W == "-run")
+      Job.Execute = true;
+    else if (W == "--analyze" || W == "-analyze")
+      Job.Options.RunAnalyzers = true;
+    else if (W == "-w")
+      Job.Options.SuppressWarnings = true;
+    else if (W == "-Werror")
+      Job.Options.WarningsAsErrors = true;
+    else if (parseU64(W, "-num-threads=", N))
+      Job.Options.LangOpts.OpenMPDefaultNumThreads =
+          static_cast<unsigned>(N);
+    else if (parseU64(W, "-unroll-factor=", N))
+      Job.Options.UnrollOpts.HeuristicFactor = static_cast<unsigned>(N);
+    else if (W.rfind("-D", 0) == 0) {
+      std::string Def = W.substr(2);
+      std::size_t Eq = Def.find('=');
+      if (Eq == std::string::npos)
+        Job.Options.Defines.emplace_back(Def, "1");
+      else
+        Job.Options.Defines.emplace_back(Def.substr(0, Eq),
+                                         Def.substr(Eq + 1));
+    } else if (W[0] == '-') {
+      Error = "unknown job flag: " + W;
+      return false;
+    } else if (File.empty())
+      File = W;
+    else {
+      Error = "more than one file on a job line: " + W;
+      return false;
+    }
+  }
+  if (File.empty()) {
+    Error = "job line has no file";
+    return false;
+  }
+
+  std::ifstream Src(File, std::ios::binary);
+  if (!Src) {
+    Error = "cannot read " + File;
+    return false;
+  }
+  std::ostringstream SS;
+  SS << Src.rdbuf();
+  Job.Path = File;
+  Job.Source = SS.str();
+  return true;
+}
+
+const char *traceSpelling(const svc::CacheTrace &T) {
+  if (T.L3Hit)
+    return "L3 hit";
+  if (T.L2Hit)
+    return "L2 hit";
+  if (T.L1Hit)
+    return "L1 hit";
+  return "cold";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  svc::ServiceOptions Opts;
+  std::uint64_t Jobs = 4, CacheMB = 256, Repeat = 1;
+  bool ShowStats = false, Quiet = false;
+  std::string JobFile;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (parseU64(Arg, "--jobs=", Jobs) ||
+        parseU64(Arg, "--cache-mb=", CacheMB) ||
+        parseU64(Arg, "--repeat=", Repeat))
+      continue;
+    if (Arg == "--service-stats")
+      ShowStats = true;
+    else if (Arg == "--quiet")
+      Quiet = true;
+    else if (Arg == "-h" || Arg == "--help") {
+      printUsage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "minicc-serve: unknown argument: '%s'\n",
+                   Arg.c_str());
+      printUsage();
+      return 1;
+    } else
+      JobFile = Arg;
+  }
+
+  // Read job specs before spinning up the pool so malformed input fails
+  // fast.
+  std::vector<svc::CompileJob> JobList;
+  std::istream *In = &std::cin;
+  std::ifstream FileIn;
+  if (!JobFile.empty()) {
+    FileIn.open(JobFile);
+    if (!FileIn) {
+      std::fprintf(stderr, "minicc-serve: cannot read job file '%s'\n",
+                   JobFile.c_str());
+      return 1;
+    }
+    In = &FileIn;
+  }
+  unsigned LineNo = 0;
+  for (std::string Line; std::getline(*In, Line);) {
+    ++LineNo;
+    svc::CompileJob Job;
+    std::string Error;
+    if (parseJobLine(Line, Job, Error))
+      JobList.push_back(std::move(Job));
+    else if (!Error.empty()) {
+      std::fprintf(stderr, "minicc-serve: line %u: %s\n", LineNo,
+                   Error.c_str());
+      return 1;
+    }
+  }
+  if (JobList.empty()) {
+    std::fprintf(stderr, "minicc-serve: no jobs\n");
+    return 1;
+  }
+
+  Opts.NumWorkers = static_cast<unsigned>(Jobs);
+  Opts.CacheBudgetBytes = static_cast<std::size_t>(CacheMB) << 20;
+  svc::CompileService Service(Opts);
+
+  std::vector<std::future<svc::CompileResult>> Futures;
+  Futures.reserve(JobList.size() * Repeat);
+  for (std::uint64_t R = 0; R < std::max<std::uint64_t>(1, Repeat); ++R)
+    for (const svc::CompileJob &Job : JobList)
+      Futures.push_back(Service.enqueue(Job));
+
+  unsigned Failures = 0;
+  for (std::size_t K = 0; K < Futures.size(); ++K) {
+    svc::CompileResult Res = Futures[K].get();
+    const svc::CompileJob &Job = JobList[K % JobList.size()];
+    if (!Res.Succeeded) {
+      ++Failures;
+      std::printf("[%zu] FAIL %s (%s)\n", K, Job.Path.c_str(),
+                  traceSpelling(Res.Trace));
+      std::fputs(Res.Diagnostics.c_str(), stderr);
+    } else if (!Quiet) {
+      if (Res.Executed)
+        std::printf("[%zu] OK %s (%s) main=%lld\n", K, Job.Path.c_str(),
+                    traceSpelling(Res.Trace),
+                    static_cast<long long>(Res.ExitValue));
+      else
+        std::printf("[%zu] OK %s (%s)\n", K, Job.Path.c_str(),
+                    traceSpelling(Res.Trace));
+    }
+  }
+
+  Service.shutdown();
+  if (ShowStats)
+    std::fputs(Service.renderStats().c_str(), stdout);
+  return Failures == 0 ? 0 : 1;
+}

@@ -14,6 +14,7 @@
 #include "driver/CompilerInstance.h"
 #include "interp/Interpreter.h"
 #include "runtime/KMPRuntime.h"
+#include "service/CompileService.h"
 
 #include <algorithm>
 #include <thread>
@@ -35,9 +36,12 @@ constexpr BackendConfig Backends[] = {
     {"irbuilder+O1", true, true},
 };
 
-/// Compiles and interprets one program under one configuration.
+/// Compiles and interprets one program under one configuration. With a
+/// \p Service, compilation goes through the content-addressed cache (the
+/// thread-width sweep then hits L3, since the width is in no cache key);
+/// execution and the runtime invariants below are identical either way.
 RunRecord executeOnce(const std::string &Source, const BackendConfig &BC,
-                      unsigned Threads) {
+                      unsigned Threads, svc::CompileService *Service) {
   RunRecord Rec;
   Rec.Config = std::string(BC.Name) + " threads=" + std::to_string(Threads);
 
@@ -46,16 +50,35 @@ RunRecord executeOnce(const std::string &Source, const BackendConfig &BC,
   Options.LangOpts.OpenMPDefaultNumThreads = Threads;
   Options.RunMidend = BC.Midend;
 
-  CompilerInstance CI(Options);
-  if (!CI.compileSource(Source)) {
-    Rec.CompileFailed = true;
-    Rec.Diagnostics = CI.renderDiagnostics();
-    return Rec;
+  // Keep one of the two pipelines' products alive for the execution below.
+  std::unique_ptr<CompilerInstance> CI;
+  std::shared_ptr<const svc::ModuleArtifact> Cached;
+  const ir::Module *Mod = nullptr;
+  if (Service) {
+    svc::CompileJob Job;
+    Job.Source = Source;
+    Job.Options = Options;
+    svc::CompileResult Res = Service->compile(Job);
+    if (!Res.Succeeded) {
+      Rec.CompileFailed = true;
+      Rec.Diagnostics = Res.Diagnostics;
+      return Rec;
+    }
+    Cached = Res.Module;
+    Mod = &Cached->module();
+  } else {
+    CI = std::make_unique<CompilerInstance>(Options);
+    if (!CI->compileSource(Source)) {
+      Rec.CompileFailed = true;
+      Rec.Diagnostics = CI->renderDiagnostics();
+      return Rec;
+    }
+    Mod = CI->getIRModule();
   }
   rt::OpenMPRuntime &RT = rt::OpenMPRuntime::get();
   RT.setDefaultNumThreads(Threads);
   RT.resetStats();
-  interp::ExecutionEngine EE(*CI.getIRModule());
+  interp::ExecutionEngine EE(*Mod);
   Rec.Checksum = EE.runFunction("main", {}).I;
 
   // Post-run runtime invariants. Generated programs never nest parallel
@@ -78,7 +101,15 @@ RunRecord executeOnce(const std::string &Source, const BackendConfig &BC,
 
 } // namespace
 
-DifferentialRunner::DifferentialRunner(DifferentialOptions O) : Opts(O) {}
+DifferentialRunner::DifferentialRunner(DifferentialOptions O) : Opts(O) {
+  if (Opts.UseService) {
+    svc::ServiceOptions SO;
+    // The runner calls compile() synchronously; the pool only exists to
+    // satisfy the service's lifecycle, so keep it minimal.
+    SO.NumWorkers = 1;
+    Service = std::make_shared<svc::CompileService>(SO);
+  }
+}
 
 std::vector<unsigned>
 DifferentialRunner::threadCounts(const ProgramSpec &Spec) const {
@@ -101,7 +132,7 @@ ProgramResult DifferentialRunner::run(const ProgramSpec &Spec) const {
 
   for (const BackendConfig &BC : Backends) {
     for (unsigned Threads : threadCounts(Spec)) {
-      RunRecord Rec = executeOnce(Source, BC, Threads);
+      RunRecord Rec = executeOnce(Source, BC, Threads, Service.get());
       ++Result.RunsExecuted;
       if (Rec.CompileFailed || Rec.Checksum != Result.Expected ||
           !Rec.RuntimeInvariantViolation.empty())

@@ -21,8 +21,13 @@
 #define MCC_FUZZ_FUZZ_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
+
+namespace mcc::svc {
+class CompileService;
+} // namespace mcc::svc
 
 namespace mcc::fuzz {
 
@@ -148,6 +153,11 @@ struct DifferentialOptions {
   unsigned MaxThreads = 0;
   /// Also run tile-size / unroll-factor variants of each program.
   bool SweepFactors = true;
+  /// Route compilations through a CompileService (content-addressed
+  /// cache) instead of a fresh CompilerInstance per run. The 4-backend x
+  /// N-thread matrix then compiles each (program, backend) pair once and
+  /// serves every thread width from cache — verdicts must not change.
+  bool UseService = false;
 };
 
 /// Compiles a ProgramSpec down every pipeline configuration and compares
@@ -179,6 +189,8 @@ public:
 
 private:
   DifferentialOptions Opts;
+  /// Present when Opts.UseService; shared so runners stay copyable.
+  std::shared_ptr<svc::CompileService> Service;
   std::vector<unsigned> threadCounts(const ProgramSpec &Spec) const;
 };
 

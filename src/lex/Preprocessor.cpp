@@ -17,6 +17,13 @@ void Preprocessor::enterBuffer(FileID FID) {
   IncludeStack.push_back(std::make_unique<Lexer>(FID, SM, Diags));
 }
 
+void Preprocessor::enterTokenStream(std::span<const Token> Toks) {
+  assert(IncludeStack.empty() && Pending.empty() &&
+         "replay cannot be mixed with live lexing");
+  ReplayCur = Toks.data();
+  ReplayEnd = Toks.data() + Toks.size();
+}
+
 void Preprocessor::defineCommandLineMacro(const std::string &Name,
                                           const std::string &Value) {
   // Lex the replacement text out of a synthetic buffer that the
@@ -48,6 +55,17 @@ bool Preprocessor::lexRawToken(Token &Tok) {
 }
 
 void Preprocessor::lex(Token &Result) {
+  if (ReplayCur) {
+    // Replaying a cached, fully preprocessed stream: no directives, no
+    // macro expansion, no include stack — just the recorded tokens.
+    if (ReplayCur != ReplayEnd && !ReplayCur->is(tok::eof)) {
+      Result = *ReplayCur++;
+      return;
+    }
+    Result.startToken();
+    Result.setKind(tok::eof);
+    return;
+  }
   while (true) {
     // Drain pending (macro-expanded / pragma-annotation) tokens first.
     if (!Pending.empty()) {
@@ -473,19 +491,16 @@ class IfExprEvaluator {
 public:
   IfExprEvaluator(const std::vector<Token> &Toks,
                   const std::map<std::string, MacroInfo> &Macros)
-      : Toks(Toks), Macros(Macros) {}
+      : Toks(Toks), Macros(Macros) {
+    EofTok.startToken();
+    EofTok.setKind(tok::eof);
+  }
 
   long long evaluate() { return parseLogicalOr(); }
 
 private:
   const Token &peek() const {
-    static Token Eof = [] {
-      Token T;
-      T.startToken();
-      T.setKind(tok::eof);
-      return T;
-    }();
-    return Pos < Toks.size() ? Toks[Pos] : Eof;
+    return Pos < Toks.size() ? Toks[Pos] : EofTok;
   }
   Token next() {
     Token T = peek();
@@ -614,6 +629,9 @@ private:
   const std::vector<Token> &Toks;
   const std::map<std::string, MacroInfo> &Macros;
   std::size_t Pos = 0;
+  // Per-evaluator eof sentinel (deliberately not a function-local static:
+  // service workers preprocess concurrently).
+  Token EofTok;
 };
 } // namespace
 

@@ -26,6 +26,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,15 @@ public:
 
   /// Starts preprocessing an already-registered buffer.
   void enterBuffer(FileID FID);
+
+  /// Replay mode: serves a previously produced, fully preprocessed token
+  /// stream instead of lexing. Directive handling and macro expansion are
+  /// bypassed entirely — the stream already went through them — which is
+  /// what makes a cached token stream (compile service L1 artifact)
+  /// replayable bit-for-bit. \p Toks (and the buffers its tokens' text and
+  /// locations point into) must outlive this preprocessor; after the last
+  /// token, lex() synthesizes eof indefinitely.
+  void enterTokenStream(std::span<const Token> Toks);
 
   /// Produces the next preprocessed token.
   void lex(Token &Result);
@@ -133,6 +143,11 @@ private:
   std::vector<std::string> IncludeDirs;
   bool OpenMPEnabled = true;
   bool ReachedEOF = false;
+
+  // Replay mode (enterTokenStream): cursor over an externally owned,
+  // already-preprocessed stream. Null when lexing normally.
+  const Token *ReplayCur = nullptr;
+  const Token *ReplayEnd = nullptr;
 
   static constexpr unsigned MaxIncludeDepth = 64;
 

@@ -1,0 +1,418 @@
+//===--- CompileService.cpp - Concurrent content-addressed compiles --------===//
+//
+// Producer implementations for the three cache levels, the request path
+// that chains them (each level's producer consults the level below, so a
+// warm request touches exactly one cache), and the worker pool.
+//
+//===----------------------------------------------------------------------===//
+#include "service/CompileService.h"
+
+#include "analysis/Analysis.h"
+#include "runtime/KMPRuntime.h"
+#include "support/ContentHash.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <span>
+
+namespace mcc::svc {
+
+//===----------------------------------------------------------------------===//
+// Cache keys
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::uint64_t hashBool(std::uint64_t H, bool B) {
+  return hashCombine(H, B ? 1 : 0);
+}
+
+} // namespace
+
+std::uint64_t tokenStreamKey(std::string_view Source,
+                             const CompilerOptions &Options) {
+  std::uint64_t H = hashBytes(Source);
+  H = hashCombine(H, 0x4c31); // level salt
+  H = hashBool(H, Options.LangOpts.OpenMP);
+  H = hashBool(H, Options.SuppressWarnings);
+  H = hashBool(H, Options.WarningsAsErrors);
+  H = hashCombine(H, Options.Defines.size());
+  for (const auto &[Name, Value] : Options.Defines) {
+    H = hashBytes(Name, H);
+    H = hashBytes(Value, hashCombine(H, '='));
+  }
+  H = hashCombine(H, Options.IncludeDirs.size());
+  for (const std::string &Dir : Options.IncludeDirs)
+    H = hashBytes(Dir, H);
+  // NOT hashed: the registration path (content addressing) and
+  // OpenMPDefaultNumThreads (runtime-only; see header).
+  return H;
+}
+
+std::uint64_t astKey(std::uint64_t L1Key, const CompilerOptions &Options) {
+  std::uint64_t H = hashCombine(L1Key, 0x4c32);
+  // Sema builds different trees per lowering mode: shadow-AST helper
+  // expressions vs OMPCanonicalLoop wrappers.
+  H = hashBool(H, Options.LangOpts.OpenMPEnableIRBuilder);
+  H = hashCombine(H, Options.LangOpts.HeuristicUnrollFactor);
+  H = hashBool(H, Options.RunASTVerifier);
+  H = hashBool(H, Options.RunAnalyzers);
+  return H;
+}
+
+std::uint64_t moduleKey(std::uint64_t L2Key, const CompilerOptions &Options) {
+  std::uint64_t H = hashCombine(L2Key, 0x4c33);
+  H = hashBool(H, Options.RunVerifier);
+  H = hashBool(H, Options.RunMidend);
+  H = hashCombine(H, static_cast<std::uint64_t>(Options.UnrollOpts.Strat));
+  H = hashCombine(H, Options.UnrollOpts.HeuristicFactor);
+  H = hashCombine(H, Options.UnrollOpts.HeuristicSizeLimit);
+  H = hashCombine(H, Options.UnrollOpts.FullUnrollMax);
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Producers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string renderDiags(const StoringDiagnosticConsumer &Store,
+                        const SourceManager &SM) {
+  std::string Out;
+  TextDiagnosticPrinter Printer(Out, &SM);
+  for (const Diagnostic &D : Store.getDiagnostics())
+    Printer.handleDiagnostic(D);
+  return Out;
+}
+
+/// Rough retained size of an IR module for the LRU byte budget.
+std::size_t estimateModuleBytes(const ir::Module &M) {
+  std::size_t Bytes = 1024;
+  for (const auto &F : M.functions()) {
+    Bytes += 256;
+    for (const auto &B : F->blocks())
+      Bytes += 64 + B->instructions().size() * 96;
+  }
+  for (const auto &G : M.globals())
+    Bytes += 128 + G->getSizeInBytes();
+  return Bytes;
+}
+
+} // namespace
+
+std::shared_ptr<TokenStreamArtifact>
+CompileService::produceTokens(const CompileJob &Job) {
+  auto A = std::make_shared<TokenStreamArtifact>();
+  A->Diags.setSuppressAllWarnings(Job.Options.SuppressWarnings);
+  A->Diags.setWarningsAsErrors(Job.Options.WarningsAsErrors);
+  A->FM.addVirtualFile(Job.Path, Job.Source);
+  A->PP = std::make_unique<Preprocessor>(A->FM, A->SM, A->Diags);
+  A->PP->setOpenMPEnabled(Job.Options.LangOpts.OpenMP);
+  for (const auto &[Name, Value] : Job.Options.Defines)
+    A->PP->defineCommandLineMacro(Name, Value);
+  for (const std::string &Dir : Job.Options.IncludeDirs)
+    A->PP->addIncludeDir(Dir);
+
+  if (!A->PP->enterMainFile(Job.Path)) {
+    A->Diags.report(SourceLocation(), diag::err_pp_file_not_found) << Job.Path;
+    A->Failed = true;
+  } else {
+    Token Tok;
+    do {
+      A->PP->lex(Tok);
+      A->Tokens.push_back(Tok);
+    } while (!Tok.is(tok::eof));
+    A->Failed = A->Diags.hasErrorOccurred();
+  }
+  A->DiagText = renderDiags(A->DiagStore, A->SM);
+  A->Bytes = sizeof(TokenStreamArtifact) + Job.Source.size() +
+             A->Tokens.capacity() * sizeof(Token) + 4096;
+  return A;
+}
+
+std::shared_ptr<ASTArtifact>
+CompileService::produceAST(std::shared_ptr<const TokenStreamArtifact> Toks,
+                           const CompilerOptions &Options) {
+  auto A = std::make_shared<ASTArtifact>();
+  A->LangOpts = Options.LangOpts;
+  A->Tokens = Toks;
+  if (Toks->Failed) {
+    A->Failed = true;
+    A->DiagText = Toks->DiagText;
+    A->Bytes = sizeof(ASTArtifact) + 256;
+    return A;
+  }
+
+  // Parse by *replaying* the cached token stream: a fresh Preprocessor in
+  // replay mode never lexes, so the dummy FileManager is never consulted
+  // and the shared SourceManager is only read (rendering locations).
+  // Diagnostics are per-request state and belong to this production run.
+  StoringDiagnosticConsumer Store;
+  DiagnosticsEngine Diags(&Store);
+  Diags.setSuppressAllWarnings(Options.SuppressWarnings);
+  Diags.setWarningsAsErrors(Options.WarningsAsErrors);
+  FileManager DummyFM;
+  // The artifact's SourceManager is shared between concurrent replays;
+  // Preprocessor wants a mutable reference but never mutates it in
+  // replay mode (all includes were folded into the recorded stream).
+  auto &SM = const_cast<SourceManager &>(Toks->SM);
+  Preprocessor RPP(DummyFM, SM, Diags);
+  RPP.setOpenMPEnabled(Options.LangOpts.OpenMP);
+  RPP.enterTokenStream(std::span<const Token>(Toks->Tokens));
+
+  {
+    Sema Actions(A->Ctx, Diags, A->LangOpts);
+    Parser P(RPP, Actions);
+    A->TU = P.parseTranslationUnit();
+  }
+  bool OK = A->TU && !Diags.hasErrorOccurred();
+  if (OK && (Options.RunASTVerifier || Options.RunAnalyzers)) {
+    analysis::AnalysisManager AM(A->Ctx, Diags);
+    analysis::registerDefaultAnalyses(AM, Options.RunAnalyzers,
+                                      Options.RunASTVerifier);
+    AM.run(A->TU);
+    OK = !Diags.hasErrorOccurred();
+  }
+  A->Failed = !OK;
+  A->DiagText = Toks->DiagText + renderDiags(Store, Toks->SM);
+  A->Bytes =
+      sizeof(ASTArtifact) + A->Ctx.getTotalAllocatedBytes() + 4096;
+  return A;
+}
+
+std::shared_ptr<ModuleArtifact>
+CompileService::produceModule(std::shared_ptr<const ASTArtifact> AST,
+                              const CompilerOptions &Options) {
+  auto A = std::make_shared<ModuleArtifact>();
+  A->AST = AST;
+  if (AST->Failed) {
+    A->Failed = true;
+    A->DiagText = AST->DiagText;
+    A->Bytes = sizeof(ModuleArtifact) + 256;
+    return A;
+  }
+
+  StoringDiagnosticConsumer Store;
+  DiagnosticsEngine Diags(&Store);
+  A->Mod = std::make_unique<ir::Module>("main");
+  // The artifact's LangOpts (not the request's): the cached module is a
+  // pure function of the L2 artifact plus the L3 knobs. Every LangOption
+  // codegen reads is part of the L2 key, so the distinction is invisible
+  // to clients.
+  CodeGenModule CGM(AST->Ctx, AST->LangOpts, *A->Mod);
+  CGM.emitTranslationUnit(AST->TU);
+
+  bool OK = true;
+  if (Options.RunVerifier) {
+    std::string Err = ir::verifyModule(*A->Mod);
+    if (!Err.empty()) {
+      Diags.report(SourceLocation(), diag::err_codegen_unsupported)
+          << ("invalid IR produced:\n" + Err);
+      OK = false;
+    }
+  }
+  if (OK && Options.RunMidend) {
+    A->MidendStats = midend::runDefaultPipeline(*A->Mod, Options.UnrollOpts);
+    if (Options.RunVerifier) {
+      std::string Err = ir::verifyModule(*A->Mod);
+      if (!Err.empty()) {
+        Diags.report(SourceLocation(), diag::err_codegen_unsupported)
+            << ("mid-end produced invalid IR:\n" + Err);
+        OK = false;
+      }
+    }
+  }
+  A->Failed = !OK;
+  A->DiagText = AST->DiagText + renderDiags(Store, AST->Tokens->SM);
+  A->Bytes = sizeof(ModuleArtifact) + estimateModuleBytes(*A->Mod);
+  return A;
+}
+
+//===----------------------------------------------------------------------===//
+// Request path
+//===----------------------------------------------------------------------===//
+
+CompileResult CompileService::compile(const CompileJob &Job) {
+  Requests.fetch_add(1, std::memory_order_relaxed);
+  CompileResult Res;
+
+  const std::uint64_t K1 = tokenStreamKey(Job.Source, Job.Options);
+  const std::uint64_t K2 = astKey(K1, Job.Options);
+  const std::uint64_t K3 = moduleKey(K2, Job.Options);
+
+  // Lazy chain: each level's producer consults the level below, so a hit
+  // at level N leaves the levels below untouched (their stats do not
+  // move). A thread never holds a cache lock while producing, so the
+  // nesting cannot deadlock (the consultation order is strictly
+  // L3 -> L2 -> L1).
+  std::shared_ptr<const ModuleArtifact> Mod =
+      L3Cache.getOrProduce(K3, Res.Trace.L3Hit, [&] {
+        std::shared_ptr<const ASTArtifact> AST =
+            L2Cache.getOrProduce(K2, Res.Trace.L2Hit, [&] {
+              std::shared_ptr<const TokenStreamArtifact> Toks =
+                  L1Cache.getOrProduce(K1, Res.Trace.L1Hit,
+                                       [&] { return produceTokens(Job); });
+              return produceAST(std::move(Toks), Job.Options);
+            });
+        return produceModule(std::move(AST), Job.Options);
+      });
+
+  // Cascade the trace: a hit at level N means the request was served at
+  // or above every lower level too.
+  if (Res.Trace.L3Hit)
+    Res.Trace.L2Hit = true;
+  if (Res.Trace.L2Hit)
+    Res.Trace.L1Hit = true;
+
+  Res.Module = Mod;
+  Res.Succeeded = Mod && Mod->ok();
+  Res.Diagnostics = Mod ? Mod->DiagText : "compile service internal error\n";
+
+  if (Res.Succeeded && Job.Execute) {
+    const ir::Function *Main = Mod->module().getFunction("main");
+    if (!Main || Main->isDeclaration()) {
+      Res.Succeeded = false;
+      Res.Diagnostics += "error: no main() to execute\n";
+      return Res;
+    }
+    // The only option outside every cache key: thread width is applied to
+    // the shared runtime at execution time, never baked into the module.
+    rt::OpenMPRuntime &RT = rt::OpenMPRuntime::get();
+    RT.setDefaultNumThreads(Job.Options.LangOpts.OpenMPDefaultNumThreads);
+    interp::ExecutionEngine EE(Mod->module());
+    Res.ExitValue = EE.runFunction("main", {}).I;
+    Res.Executed = true;
+    Executions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Res;
+}
+
+//===----------------------------------------------------------------------===//
+// Worker pool
+//===----------------------------------------------------------------------===//
+
+CompileService::CompileService(ServiceOptions O)
+    : Opts(O),
+      L1Cache(Opts.CacheBudgetBytes / 4, L1Stats),
+      L2Cache(Opts.CacheBudgetBytes * 35 / 100, L2Stats),
+      L3Cache(Opts.CacheBudgetBytes * 40 / 100, L3Stats) {
+  unsigned N = std::max(1u, Opts.NumWorkers);
+  Workers.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+CompileService::~CompileService() { shutdown(); }
+
+void CompileService::workerLoop() {
+  for (;;) {
+    std::packaged_task<CompileResult()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueCV.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping, and the queue has drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}
+
+std::future<CompileResult> CompileService::enqueue(CompileJob Job) {
+  std::packaged_task<CompileResult()> Task(
+      [this, J = std::move(Job)] { return compile(J); });
+  std::future<CompileResult> F = Task.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Stopping) {
+      // The pool is gone; serve the caller inline rather than returning a
+      // future that would never become ready.
+      Task();
+      return F;
+    }
+    Queue.push_back(std::move(Task));
+  }
+  QueueCV.notify_one();
+  return F;
+}
+
+void CompileService::shutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Stopping && Workers.empty())
+      return;
+    Stopping = true;
+  }
+  QueueCV.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+  Workers.clear();
+  // Quiesce the shared OpenMP runtime: joins the hot-team worker pool so
+  // a service shutdown leaves no background threads (the pool respawns
+  // lazily if the process forks again).
+  rt::OpenMPRuntime::get().shutdown();
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+CacheLevelSnapshot snapshotLevel(const CacheLevelStats &S) {
+  CacheLevelSnapshot Out;
+  Out.Hits = S.Hits.load(std::memory_order_relaxed);
+  Out.Misses = S.Misses.load(std::memory_order_relaxed);
+  Out.InFlightWaits = S.InFlightWaits.load(std::memory_order_relaxed);
+  Out.Evictions = S.Evictions.load(std::memory_order_relaxed);
+  Out.Entries = S.Entries.load(std::memory_order_relaxed);
+  Out.Bytes = S.Bytes.load(std::memory_order_relaxed);
+  return Out;
+}
+
+void renderLevel(std::string &Out, const char *Name,
+                 const CacheLevelSnapshot &S) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "%s: hits=%llu misses=%llu waits=%llu evictions=%llu "
+                "entries=%llu bytes=%llu\n",
+                Name, static_cast<unsigned long long>(S.Hits),
+                static_cast<unsigned long long>(S.Misses),
+                static_cast<unsigned long long>(S.InFlightWaits),
+                static_cast<unsigned long long>(S.Evictions),
+                static_cast<unsigned long long>(S.Entries),
+                static_cast<unsigned long long>(S.Bytes));
+  Out += Buf;
+}
+
+} // namespace
+
+ServiceStatsSnapshot CompileService::statsSnapshot() const {
+  ServiceStatsSnapshot S;
+  S.Requests = Requests.load(std::memory_order_relaxed);
+  S.Executions = Executions.load(std::memory_order_relaxed);
+  S.L1 = snapshotLevel(L1Stats);
+  S.L2 = snapshotLevel(L2Stats);
+  S.L3 = snapshotLevel(L3Stats);
+  return S;
+}
+
+std::string CompileService::renderStats() const {
+  ServiceStatsSnapshot S = statsSnapshot();
+  std::string Out = "== compile service statistics ==\n";
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "requests: total=%llu executed=%llu workers=%u\n",
+                static_cast<unsigned long long>(S.Requests),
+                static_cast<unsigned long long>(S.Executions),
+                std::max(1u, Opts.NumWorkers));
+  Out += Buf;
+  renderLevel(Out, "L1 tokens", S.L1);
+  renderLevel(Out, "L2 ast   ", S.L2);
+  renderLevel(Out, "L3 module", S.L3);
+  return Out;
+}
+
+} // namespace mcc::svc

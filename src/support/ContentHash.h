@@ -1,0 +1,57 @@
+//===--- ContentHash.h - Stable content-addressed hashing ------*- C++ -*-===//
+//
+// 64-bit FNV-1a hashing over byte ranges, with an order-sensitive combiner,
+// used by the compile service to derive content-addressed cache keys
+// (DESIGN.md "Compilation service layer"). The hash is a pure function of
+// the *bytes* — deliberately independent of buffer names/paths, pointer
+// values, process lifetime, and platform, so that identical source text
+// submitted under different file names maps to the same key on every run.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_SUPPORT_CONTENTHASH_H
+#define MCC_SUPPORT_CONTENTHASH_H
+
+#include "support/MemoryBuffer.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace mcc {
+
+inline constexpr std::uint64_t FNVOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t FNVPrime = 0x100000001b3ULL;
+
+/// FNV-1a over \p Bytes, continuing from \p Seed (chain calls to hash a
+/// logical concatenation without materializing it).
+[[nodiscard]] constexpr std::uint64_t
+hashBytes(std::string_view Bytes, std::uint64_t Seed = FNVOffsetBasis) {
+  std::uint64_t H = Seed;
+  for (char C : Bytes) {
+    H ^= static_cast<unsigned char>(C);
+    H *= FNVPrime;
+  }
+  return H;
+}
+
+/// Order-sensitive combination of two hashes/values. Feeds the eight bytes
+/// of \p V through the same FNV-1a round function, so combine(a, b) !=
+/// combine(b, a) and chained fields cannot cancel.
+[[nodiscard]] constexpr std::uint64_t hashCombine(std::uint64_t H,
+                                                  std::uint64_t V) {
+  for (int I = 0; I < 8; ++I) {
+    H ^= (V >> (I * 8)) & 0xff;
+    H *= FNVPrime;
+  }
+  return H;
+}
+
+/// Content hash of a MemoryBuffer. The buffer *name* is excluded on
+/// purpose: the compile service keys on what the lexer will see, not on
+/// where it came from.
+[[nodiscard]] inline std::uint64_t hashBufferContent(const MemoryBuffer &B) {
+  return hashBytes(B.getBuffer());
+}
+
+} // namespace mcc
+
+#endif // MCC_SUPPORT_CONTENTHASH_H

@@ -6,6 +6,19 @@
 namespace mcc {
 
 void FileManager::addVirtualFile(std::string Path, std::string_view Contents) {
+  auto It = VirtualFiles.find(Path);
+  if (It != VirtualFiles.end()) {
+    // Identical re-registration dedupes to the existing buffer so repeated
+    // compiles of the same source do not grow memory (and keep their
+    // SourceManager FileID). A *changed* file retires the old buffer
+    // instead of destroying it: SourceLocations handed out for the
+    // previous compile must stay renderable.
+    if (It->second->getBuffer() == Contents)
+      return;
+    RetiredBuffers.push_back(std::move(It->second));
+    It->second = MemoryBuffer::getMemBuffer(Contents, Path);
+    return;
+  }
   VirtualFiles[Path] = MemoryBuffer::getMemBuffer(Contents, Path);
 }
 

@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace mcc {
 
@@ -26,7 +27,12 @@ public:
   FileManager(const FileManager &) = delete;
   FileManager &operator=(const FileManager &) = delete;
 
-  /// Registers (or replaces) an in-memory file.
+  /// Registers (or replaces) an in-memory file. Re-registering a path with
+  /// *identical* contents is a no-op that keeps the existing buffer — so
+  /// repeated compiles of the same source reuse one MemoryBuffer (and one
+  /// SourceManager FileID) instead of growing per request. When the
+  /// contents differ, the old buffer is retired, not destroyed: a
+  /// SourceManager (or a cached token stream) may still point into it.
   void addVirtualFile(std::string Path, std::string_view Contents);
 
   /// Returns the buffer for \p Path, reading from the virtual FS first and
@@ -40,9 +46,16 @@ public:
     return VirtualFiles.size();
   }
 
+  /// Buffers replaced by addVirtualFile but kept alive for old references
+  /// (bounded by the number of *distinct* contents ever registered).
+  [[nodiscard]] std::size_t getNumRetiredBuffers() const {
+    return RetiredBuffers.size();
+  }
+
 private:
   std::map<std::string, std::unique_ptr<MemoryBuffer>> VirtualFiles;
   std::map<std::string, std::unique_ptr<MemoryBuffer>> DiskCache;
+  std::vector<std::unique_ptr<MemoryBuffer>> RetiredBuffers;
 };
 
 } // namespace mcc

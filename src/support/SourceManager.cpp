@@ -6,6 +6,12 @@ namespace mcc {
 
 FileID SourceManager::createFileID(const MemoryBuffer *Buf) {
   assert(Buf && "null buffer");
+  // Dedupe by buffer identity: repeated compiles of an unchanged file (the
+  // FileManager hands back the same MemoryBuffer) must not grow the offset
+  // space, or sustained service load would leak a FileID per request.
+  for (std::size_t I = 0; I < Entries.size(); ++I)
+    if (Entries[I].Buffer == Buf)
+      return FileID(static_cast<unsigned>(I + 1));
   Entry E;
   E.Buffer = Buf;
   E.StartOffset = NextOffset;
@@ -50,14 +56,21 @@ SourceManager::getDecomposedLoc(SourceLocation Loc) const {
   return {FileID(Index + 1), Offset};
 }
 
-void SourceManager::buildLineTable(const Entry &E) {
+void SourceManager::buildLineTable(const Entry &E) const {
+  // Serialized: cached compile artifacts share one SourceManager across
+  // service workers, so two threads may render diagnostics (and therefore
+  // demand the same lazy line table) concurrently. Once built, the table
+  // is immutable; the mutex acquisition also publishes it to late readers.
+  std::lock_guard<std::mutex> Lock(LineTableMutex);
   if (!E.LineStarts.empty())
     return;
-  E.LineStarts.push_back(0);
+  std::vector<unsigned> Starts;
+  Starts.push_back(0);
   std::string_view Text = E.Buffer->getBuffer();
   for (unsigned I = 0; I < Text.size(); ++I)
     if (Text[I] == '\n')
-      E.LineStarts.push_back(I + 1);
+      Starts.push_back(I + 1);
+  E.LineStarts = std::move(Starts);
 }
 
 PresumedLoc SourceManager::getPresumedLoc(SourceLocation Loc) const {

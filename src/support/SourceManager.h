@@ -11,6 +11,7 @@
 #include "support/SourceLocation.h"
 
 #include <cassert>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,9 @@ public:
 
   /// Registers \p Buf (not owned; must outlive the SourceManager) and
   /// returns its FileID. The first registered buffer becomes the main file.
+  /// Re-registering the same buffer returns the existing FileID instead of
+  /// growing the offset space, so repeated compiles of an unchanged file
+  /// (and the compile service's artifact reuse) stay bounded.
   FileID createFileID(const MemoryBuffer *Buf);
 
   [[nodiscard]] FileID getMainFileID() const { return MainFile; }
@@ -91,6 +95,9 @@ private:
     const MemoryBuffer *Buffer = nullptr;
     unsigned StartOffset = 0; // global offset of the buffer's first char
     // Lazily computed offsets (within the buffer) of each line start.
+    // Guarded by LineTableMutex: a SourceManager inside a cached compile
+    // artifact is shared read-only across service workers, and concurrent
+    // diagnostic rendering must not race the first line-table build.
     mutable std::vector<unsigned> LineStarts;
   };
 
@@ -99,11 +106,12 @@ private:
     return Entries[FID.Id - 1];
   }
 
-  static void buildLineTable(const Entry &E);
+  void buildLineTable(const Entry &E) const;
 
   std::vector<Entry> Entries;
   unsigned NextOffset = 1; // 0 reserved for the invalid location
   FileID MainFile;
+  mutable std::mutex LineTableMutex;
 };
 
 } // namespace mcc

@@ -208,6 +208,35 @@ TEST_F(DifferentialEdgeCase, ZeroTripLoopsUnderEveryTransformation) {
   expectProgramAgrees(Par, Runner);
 }
 
+// ===------------------ Compile-service cache parity -------------------=== //
+
+TEST(DifferentialServiceParity, CorpusVerdictsIdenticalWithCacheOnAndOff) {
+  // Routing the whole corpus through the CompileService must be
+  // observationally invisible: same per-program verdict, same run count,
+  // same rendered report, byte for byte. This is the end-to-end guard
+  // that content-addressed caching (including replayed token streams and
+  // const-shared ASTs/modules) never changes semantics.
+  DifferentialOptions Cached;
+  Cached.UseService = true;
+  DifferentialRunner CachedRunner(Cached);
+  DifferentialRunner PlainRunner;
+
+  const unsigned Count = std::min(corpusCount(), 40u);
+  for (unsigned K = 0; K < Count; ++K) {
+    ProgramSpec Spec = generateProgram(CorpusSeed + K);
+    ProgramResult Plain = PlainRunner.runWithVariants(Spec);
+    ProgramResult Via = CachedRunner.runWithVariants(Spec);
+    ASSERT_EQ(Plain.ok(), Via.ok())
+        << DifferentialRunner::report(Plain.ok() ? Via : Plain);
+    EXPECT_EQ(Plain.Expected, Via.Expected);
+    EXPECT_EQ(Plain.RunsExecuted, Via.RunsExecuted);
+    EXPECT_EQ(DifferentialRunner::report(Plain),
+              DifferentialRunner::report(Via))
+        << "seed " << Spec.Seed;
+  }
+  interp::ExecutionEngine::resetOpenMPRuntime();
+}
+
 // ===----------------------- Oracle self-checks -----------------------=== //
 
 TEST(DifferentialOracle, GenerationIsDeterministic) {

@@ -1,0 +1,377 @@
+//===--- service_test.cpp - Compile service cache semantics ----------------===//
+//
+// Covers the content-addressed cache's key derivation (what shares, what
+// diverges, at which level), single-flight deduplication under heavy
+// concurrency, LRU eviction against a byte budget, failure caching, and
+// execution through cached modules. The concurrency tests run reduced
+// widths under ThreadSanitizer.
+//
+//===----------------------------------------------------------------------===//
+#include "service/CompileService.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace mcc;
+using namespace mcc::svc;
+
+#if defined(__SANITIZE_THREAD__)
+#define MCC_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MCC_UNDER_TSAN 1
+#endif
+#endif
+
+namespace {
+
+const char *const SumProgram = "int main(void) {\n"
+                               "  int sum = 0;\n"
+                               "  for (int i = 0; i < 50; i = i + 1)\n"
+                               "    sum += i;\n"
+                               "  return sum;\n"
+                               "}\n";
+
+CompileJob makeJob(std::string Source, std::string Path = "input.c") {
+  CompileJob Job;
+  Job.Path = std::move(Path);
+  Job.Source = std::move(Source);
+  return Job;
+}
+
+unsigned stressWidth() {
+  unsigned HW = std::max(1u, std::thread::hardware_concurrency());
+#ifdef MCC_UNDER_TSAN
+  return std::min(2 * HW, 8u); // TSan serializes; keep the fan-in bounded
+#else
+  return 2 * HW;
+#endif
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Key derivation
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceKeys, PathNeverParticipates) {
+  CompilerOptions Options;
+  EXPECT_EQ(tokenStreamKey(SumProgram, Options),
+            tokenStreamKey(SumProgram, Options));
+  // tokenStreamKey has no path parameter at all — content addressing is
+  // structural. This test documents that fact at the API level.
+}
+
+TEST(ServiceKeys, HashingIsPreLex) {
+  // The key is derived from raw source bytes *before* lexing, so even a
+  // semantically invisible whitespace change is a different L1 key. This
+  // is deliberate: token-level canonicalization would break the
+  // guarantee that a cached stream replays bit-for-bit what the lexer
+  // produced for those exact bytes (and would put a full lex on the hot
+  // lookup path, defeating the cache).
+  CompilerOptions Options;
+  std::string Spaced(SumProgram);
+  Spaced.insert(Spaced.find("int sum"), " ");
+  EXPECT_NE(tokenStreamKey(SumProgram, Options),
+            tokenStreamKey(Spaced, Options));
+}
+
+TEST(ServiceKeys, LevelKnobsLandInTheirLevel) {
+  CompilerOptions Base;
+  const std::uint64_t L1 = tokenStreamKey(SumProgram, Base);
+  const std::uint64_t L2 = astKey(L1, Base);
+
+  // Runtime-only: thread width is in NO key.
+  CompilerOptions Threads = Base;
+  Threads.LangOpts.OpenMPDefaultNumThreads = 17;
+  EXPECT_EQ(tokenStreamKey(SumProgram, Threads), L1);
+  EXPECT_EQ(astKey(L1, Threads), L2);
+  EXPECT_EQ(moduleKey(L2, Threads), moduleKey(L2, Base));
+
+  // Sema-level: lowering mode changes the tree Sema builds.
+  CompilerOptions IRB = Base;
+  IRB.LangOpts.OpenMPEnableIRBuilder = true;
+  EXPECT_EQ(tokenStreamKey(SumProgram, IRB), L1);
+  EXPECT_NE(astKey(L1, IRB), L2);
+
+  // Mid-end-level: unroll knobs only reshape the L3 module.
+  CompilerOptions Unroll = Base;
+  Unroll.UnrollOpts.HeuristicFactor = 8;
+  EXPECT_EQ(astKey(L1, Unroll), L2);
+  EXPECT_NE(moduleKey(L2, Unroll), moduleKey(L2, Base));
+
+  // Lexer-level: -D changes the token stream.
+  CompilerOptions Defined = Base;
+  Defined.Defines.emplace_back("N", "50");
+  EXPECT_NE(tokenStreamKey(SumProgram, Defined), L1);
+}
+
+//===----------------------------------------------------------------------===//
+// Cache behaviour through the service
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceCache, IdenticalSourceDifferentPathHitsL1) {
+  ServiceOptions SO;
+  SO.NumWorkers = 1;
+  CompileService Service(SO);
+
+  CompileResult A = Service.compile(makeJob(SumProgram, "alpha.c"));
+  ASSERT_TRUE(A.Succeeded) << A.Diagnostics;
+  EXPECT_FALSE(A.Trace.L1Hit);
+
+  // Same bytes, different registration path: served entirely from cache.
+  CompileResult B = Service.compile(makeJob(SumProgram, "beta.c"));
+  ASSERT_TRUE(B.Succeeded) << B.Diagnostics;
+  EXPECT_TRUE(B.Trace.L1Hit);
+  EXPECT_TRUE(B.Trace.L2Hit);
+  EXPECT_TRUE(B.Trace.L3Hit);
+  EXPECT_EQ(A.Module.get(), B.Module.get());
+
+  // Different path AND a Sema-level knob change: the chain diverges at
+  // L2, which forces an actual L1 *lookup* — it must hit despite the
+  // path difference (the stats see the hit; a path-keyed cache would
+  // miss here).
+  CompileJob C = makeJob(SumProgram, "gamma.c");
+  C.Options.LangOpts.HeuristicUnrollFactor = 4;
+  CompileResult R = Service.compile(C);
+  ASSERT_TRUE(R.Succeeded) << R.Diagnostics;
+  EXPECT_TRUE(R.Trace.L1Hit);
+  EXPECT_FALSE(R.Trace.L2Hit);
+  EXPECT_FALSE(R.Trace.L3Hit);
+  EXPECT_EQ(Service.statsSnapshot().L1.Hits, 1u);
+  EXPECT_EQ(Service.statsSnapshot().L1.Misses, 1u);
+}
+
+TEST(ServiceCache, WhitespaceChangeMissesL1) {
+  ServiceOptions SO;
+  SO.NumWorkers = 1;
+  CompileService Service(SO);
+
+  ASSERT_TRUE(Service.compile(makeJob(SumProgram)).Succeeded);
+
+  std::string Spaced(SumProgram);
+  Spaced.insert(Spaced.find("int sum"), "  ");
+  CompileResult R = Service.compile(makeJob(Spaced));
+  ASSERT_TRUE(R.Succeeded) << R.Diagnostics;
+  EXPECT_FALSE(R.Trace.L1Hit);
+  EXPECT_FALSE(R.Trace.L2Hit);
+  EXPECT_FALSE(R.Trace.L3Hit);
+  EXPECT_EQ(Service.statsSnapshot().L1.Misses, 2u);
+  EXPECT_EQ(Service.statsSnapshot().L1.Hits, 0u);
+}
+
+TEST(ServiceCache, UnrollFactorOnlyChangeHitsL2MissesL3) {
+  ServiceOptions SO;
+  SO.NumWorkers = 1;
+  CompileService Service(SO);
+
+  CompileJob A = makeJob(SumProgram);
+  A.Options.RunMidend = true;
+  A.Options.UnrollOpts.HeuristicFactor = 2;
+  ASSERT_TRUE(Service.compile(A).Succeeded);
+
+  CompileJob B = A;
+  B.Options.UnrollOpts.HeuristicFactor = 8;
+  CompileResult R = Service.compile(B);
+  ASSERT_TRUE(R.Succeeded) << R.Diagnostics;
+  EXPECT_TRUE(R.Trace.L1Hit);
+  EXPECT_TRUE(R.Trace.L2Hit);
+  EXPECT_FALSE(R.Trace.L3Hit);
+
+  ServiceStatsSnapshot S = Service.statsSnapshot();
+  EXPECT_EQ(S.L2.Hits, 1u);    // shared AST
+  EXPECT_EQ(S.L2.Misses, 1u);  // built once
+  EXPECT_EQ(S.L3.Misses, 2u);  // one module per factor
+  EXPECT_EQ(S.L1.Misses, 1u);  // tokens produced once, never re-consulted
+  EXPECT_EQ(S.L1.Hits, 0u);
+}
+
+TEST(ServiceCache, FailuresAreCachedToo) {
+  ServiceOptions SO;
+  SO.NumWorkers = 1;
+  CompileService Service(SO);
+
+  const char *Broken = "int main(void) { return x; }\n";
+  CompileResult A = Service.compile(makeJob(Broken));
+  EXPECT_FALSE(A.Succeeded);
+  EXPECT_FALSE(A.Diagnostics.empty());
+
+  CompileResult B = Service.compile(makeJob(Broken));
+  EXPECT_FALSE(B.Succeeded);
+  EXPECT_TRUE(B.Trace.L3Hit); // the failure artifact was served from cache
+  EXPECT_EQ(A.Diagnostics, B.Diagnostics);
+}
+
+TEST(ServiceCache, LRUEvictionRespectsByteBudget) {
+  ServiceOptions SO;
+  SO.NumWorkers = 1;
+  SO.CacheBudgetBytes = 96u << 10; // small enough that ~30 programs churn
+  CompileService Service(SO);
+
+  for (int K = 0; K < 30; ++K) {
+    std::string Source = "int main(void) { return " + std::to_string(K) +
+                         "; }\n";
+    ASSERT_TRUE(Service.compile(makeJob(Source)).Succeeded);
+  }
+  ServiceStatsSnapshot S = Service.statsSnapshot();
+  EXPECT_GT(S.L1.Evictions + S.L2.Evictions + S.L3.Evictions, 0u);
+  EXPECT_LE(S.L1.Bytes, SO.CacheBudgetBytes / 4);
+
+  // An evicted program recompiles from scratch, correctly.
+  CompileResult R = Service.compile(makeJob("int main(void) { return 0; }\n"));
+  EXPECT_TRUE(R.Succeeded) << R.Diagnostics;
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceConcurrency, SingleFlightDedupUnderConcurrentIdenticalRequests) {
+  ServiceOptions SO;
+  SO.NumWorkers = 2;
+  CompileService Service(SO);
+
+  const unsigned N = stressWidth();
+  std::atomic<unsigned> Ready{0};
+  std::atomic<bool> Go{false};
+  std::vector<CompileResult> Results(N);
+  std::vector<std::thread> Threads;
+  Threads.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Threads.emplace_back([&, I] {
+      Ready.fetch_add(1);
+      while (!Go.load())
+        std::this_thread::yield();
+      Results[I] = Service.compile(makeJob(SumProgram));
+    });
+  while (Ready.load() != N)
+    std::this_thread::yield();
+  Go.store(true);
+  for (std::thread &T : Threads)
+    T.join();
+
+  const ModuleArtifact *Mod = Results[0].Module.get();
+  for (const CompileResult &R : Results) {
+    ASSERT_TRUE(R.Succeeded) << R.Diagnostics;
+    EXPECT_EQ(R.Module.get(), Mod); // everyone got the one shared artifact
+  }
+
+  // Single-flight: each level compiled exactly once; the other N-1
+  // requests either blocked on the in-flight producer (waits) or arrived
+  // after publication (hits). Nothing compiled redundantly.
+  ServiceStatsSnapshot S = Service.statsSnapshot();
+  EXPECT_EQ(S.L3.Misses, 1u);
+  EXPECT_EQ(S.L3.Hits + S.L3.InFlightWaits, N - 1);
+  EXPECT_EQ(S.L2.Misses, 1u);
+  EXPECT_EQ(S.L1.Misses, 1u);
+  EXPECT_EQ(S.Requests, N);
+}
+
+TEST(ServiceConcurrency, WorkerPoolServesQueuedJobs) {
+  ServiceOptions SO;
+  SO.NumWorkers = 4;
+  CompileService Service(SO);
+
+  const unsigned N = 24;
+  std::vector<std::future<CompileResult>> Futures;
+  Futures.reserve(N);
+  for (unsigned I = 0; I < N; ++I) {
+    // Half the jobs share one program, half are unique: exercises hits,
+    // misses and in-flight waits on the pool simultaneously.
+    std::string Source =
+        I % 2 ? SumProgram
+              : "int main(void) { return " + std::to_string(I) + "; }\n";
+    CompileJob Job = makeJob(std::move(Source));
+    Job.Execute = true;
+    Futures.push_back(Service.enqueue(std::move(Job)));
+  }
+  for (unsigned I = 0; I < N; ++I) {
+    CompileResult R = Futures[I].get();
+    ASSERT_TRUE(R.Succeeded) << R.Diagnostics;
+    ASSERT_TRUE(R.Executed);
+    EXPECT_EQ(R.ExitValue, I % 2 ? 1225 : static_cast<std::int64_t>(I));
+  }
+  EXPECT_EQ(Service.statsSnapshot().Executions, N);
+}
+
+TEST(ServiceConcurrency, ThreadWidthSweepSharesOneModule) {
+  ServiceOptions SO;
+  SO.NumWorkers = 1;
+  CompileService Service(SO);
+
+  const char *Parallel = "int a[64];\n"
+                         "int main(void) {\n"
+                         "  #pragma omp parallel for\n"
+                         "  for (int i = 0; i < 64; i = i + 1)\n"
+                         "    a[i] = 3 * i;\n"
+                         "  int sum = 0;\n"
+                         "  for (int i = 0; i < 64; i = i + 1)\n"
+                         "    sum += a[i];\n"
+                         "  return sum;\n"
+                         "}\n";
+  std::int64_t Expected = 3 * (64 * 63 / 2);
+  const ModuleArtifact *Shared = nullptr;
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    CompileJob Job = makeJob(Parallel);
+    Job.Execute = true;
+    Job.Options.LangOpts.OpenMPDefaultNumThreads = Threads;
+    CompileResult R = Service.compile(Job);
+    ASSERT_TRUE(R.Succeeded) << R.Diagnostics;
+    EXPECT_EQ(R.ExitValue, Expected) << "threads=" << Threads;
+    if (!Shared)
+      Shared = R.Module.get();
+    else {
+      // Thread width is in no cache key: one module serves the sweep.
+      EXPECT_TRUE(R.Trace.L3Hit);
+      EXPECT_EQ(R.Module.get(), Shared);
+    }
+  }
+  EXPECT_EQ(Service.statsSnapshot().L3.Misses, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parity with the single-shot pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceParity, CachedModuleMatchesCompilerInstance) {
+  for (bool IRBuilder : {false, true}) {
+    CompilerOptions Options;
+    Options.LangOpts.OpenMPEnableIRBuilder = IRBuilder;
+    Options.RunMidend = true;
+
+    CompilerInstance CI(Options);
+    ASSERT_TRUE(CI.compileSource(SumProgram)) << CI.renderDiagnostics();
+
+    ServiceOptions SO;
+    SO.NumWorkers = 1;
+    CompileService Service(SO);
+    CompileJob Job = makeJob(SumProgram);
+    Job.Options = Options;
+    CompileResult R = Service.compile(Job);
+    ASSERT_TRUE(R.Succeeded) << R.Diagnostics;
+
+    // Same options, same source: the cached module prints identically to
+    // the module the one-shot pipeline produces.
+    EXPECT_EQ(ir::printModule(R.Module->module()), CI.getIRText());
+  }
+}
+
+TEST(ServiceParity, DiagnosticsMatchCompilerInstance) {
+  const char *Warns = "int main(void) {\n"
+                      "  int x = 0;\n"
+                      "  #pragma omp bogus\n"
+                      "  return x;\n"
+                      "}\n";
+  CompilerInstance CI{CompilerOptions{}};
+  bool DirectOK = CI.compileSource(Warns);
+
+  ServiceOptions SO;
+  SO.NumWorkers = 1;
+  CompileService Service(SO);
+  CompileResult R = Service.compile(makeJob(Warns));
+  EXPECT_EQ(DirectOK, R.Succeeded);
+  EXPECT_EQ(CI.renderDiagnostics(), R.Diagnostics);
+}

@@ -81,6 +81,45 @@ TEST(FileManagerTest, MissingFile) {
   EXPECT_EQ(FM.getBuffer("/definitely/not/here.c"), nullptr);
 }
 
+TEST(FileManagerTest, IdenticalReRegistrationDedupes) {
+  // Re-registering the same content must not allocate a new buffer:
+  // sustained repeated compiles of one source (the compile-service hot
+  // path) would otherwise leak one buffer per request.
+  FileManager FM;
+  FM.addVirtualFile("a.c", "int x;");
+  const MemoryBuffer *First = FM.getBuffer("a.c");
+  for (int I = 0; I < 100; ++I)
+    FM.addVirtualFile("a.c", "int x;");
+  EXPECT_EQ(FM.getBuffer("a.c"), First);
+  EXPECT_EQ(FM.getNumRetiredBuffers(), 0u);
+}
+
+TEST(FileManagerTest, ChangedContentRetiresOldBuffer) {
+  // A *changed* file gets a fresh buffer, but the old one is retired, not
+  // destroyed: SourceLocations already handed out for the previous
+  // compile must stay renderable.
+  FileManager FM;
+  FM.addVirtualFile("a.c", "int x;");
+  const MemoryBuffer *Old = FM.getBuffer("a.c");
+  FM.addVirtualFile("a.c", "int y;");
+  EXPECT_EQ(FM.getBuffer("a.c")->getBuffer(), "int y;");
+  EXPECT_EQ(FM.getNumRetiredBuffers(), 1u);
+  EXPECT_EQ(Old->getBuffer(), "int x;"); // still alive and intact
+}
+
+TEST(SourceManagerTest, CreateFileIDDedupesSameBuffer) {
+  // Registering the same buffer again (a re-driven CompilerInstance, a
+  // cache-replayed compile) returns the existing FileID instead of
+  // growing the entry table per run.
+  FileManager FM;
+  FM.addVirtualFile("a.c", "int x;\n");
+  SourceManager SM;
+  FileID FA = SM.createFileID(FM.getBuffer("a.c"));
+  for (int I = 0; I < 50; ++I)
+    EXPECT_EQ(SM.createFileID(FM.getBuffer("a.c")), FA);
+  EXPECT_EQ(SM.getNumFiles(), 1u);
+}
+
 TEST(SourceManagerTest, DecomposeRoundTrip) {
   FileManager FM;
   FM.addVirtualFile("a.c", "line1\nline2\nline3\n");
