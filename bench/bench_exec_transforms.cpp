@@ -29,14 +29,15 @@ std::string makeKernel(const std::string &Pragmas, long N) {
 }
 
 void runKernel(benchmark::State &State, const std::string &Pragmas,
-               bool IRBuilderMode, int Threads = 1) {
+               bool IRBuilderMode, int Threads = 1,
+               interp::ExecEngineKind Engine = interp::ExecEngineKind::Default) {
   long N = State.range(0);
   CompilerOptions Options;
   Options.LangOpts.OpenMPEnableIRBuilder = IRBuilderMode;
   Options.RunMidend = true;
   auto CI = compileOrDie(makeKernel(Pragmas, N), Options);
   rt::OpenMPRuntime::get().setDefaultNumThreads(Threads);
-  interp::ExecutionEngine EE(*CI->getIRModule());
+  interp::ExecutionEngine EE(*CI->getIRModule(), Engine);
 
   std::uint64_t Before = EE.getInstructionsExecuted();
   std::uint64_t Runs = 0;
@@ -77,6 +78,31 @@ void BM_ParallelFor_IRBuilder(benchmark::State &State) {
             4);
 }
 
+// Engine dimension: the same kernels pinned to each execution backend
+// (the unsuffixed benchmarks above follow MCC_EXEC_ENGINE).
+void BM_Baseline_Walker(benchmark::State &State) {
+  runKernel(State, "", true, 1, interp::ExecEngineKind::Walker);
+}
+void BM_Baseline_Bytecode(benchmark::State &State) {
+  runKernel(State, "", true, 1, interp::ExecEngineKind::Bytecode);
+}
+void BM_Unroll4_Walker(benchmark::State &State) {
+  runKernel(State, "  #pragma omp unroll partial(4)\n", true, 1,
+            interp::ExecEngineKind::Walker);
+}
+void BM_Unroll4_Bytecode(benchmark::State &State) {
+  runKernel(State, "  #pragma omp unroll partial(4)\n", true, 1,
+            interp::ExecEngineKind::Bytecode);
+}
+void BM_ParallelFor_Walker(benchmark::State &State) {
+  runKernel(State, "  #pragma omp parallel for reduction(+: acc)\n", true, 4,
+            interp::ExecEngineKind::Walker);
+}
+void BM_ParallelFor_Bytecode(benchmark::State &State) {
+  runKernel(State, "  #pragma omp parallel for reduction(+: acc)\n", true, 4,
+            interp::ExecEngineKind::Bytecode);
+}
+
 #define EXEC_ARGS ->Arg(1000)->Arg(100000)
 BENCHMARK(BM_Baseline_Legacy) EXEC_ARGS;
 BENCHMARK(BM_Baseline_IRBuilder) EXEC_ARGS;
@@ -86,6 +112,12 @@ BENCHMARK(BM_Tile16_Legacy) EXEC_ARGS;
 BENCHMARK(BM_Tile16_IRBuilder) EXEC_ARGS;
 BENCHMARK(BM_ParallelFor_Legacy)->Arg(100000)->UseRealTime();
 BENCHMARK(BM_ParallelFor_IRBuilder)->Arg(100000)->UseRealTime();
+BENCHMARK(BM_Baseline_Walker) EXEC_ARGS;
+BENCHMARK(BM_Baseline_Bytecode) EXEC_ARGS;
+BENCHMARK(BM_Unroll4_Walker) EXEC_ARGS;
+BENCHMARK(BM_Unroll4_Bytecode) EXEC_ARGS;
+BENCHMARK(BM_ParallelFor_Walker)->Arg(100000)->UseRealTime();
+BENCHMARK(BM_ParallelFor_Bytecode)->Arg(100000)->UseRealTime();
 
 } // namespace
 

@@ -34,11 +34,13 @@ int main() {
 )";
 }
 
-void runSchedule(benchmark::State &State, const std::string &Schedule) {
+void runSchedule(benchmark::State &State, const std::string &Schedule,
+                 interp::ExecEngineKind Engine =
+                     interp::ExecEngineKind::Default) {
   int Threads = static_cast<int>(State.range(0));
   auto CI = compileOrDie(makeImbalanced(Schedule));
   rt::OpenMPRuntime::get().setDefaultNumThreads(Threads);
-  interp::ExecutionEngine EE(*CI->getIRModule());
+  interp::ExecutionEngine EE(*CI->getIRModule(), Engine);
 
   std::int64_t Expected = -1;
   for (auto _ : State) {
@@ -66,11 +68,23 @@ void BM_ScheduleGuided(benchmark::State &State) {
   runSchedule(State, "guided");
 }
 
+// Engine dimension: the imbalanced dynamic schedule — where per-iteration
+// interpreter cost is the denominator of the imbalance recovery — pinned
+// to each backend.
+void BM_ScheduleDynamic8_Walker(benchmark::State &State) {
+  runSchedule(State, "dynamic, 8", interp::ExecEngineKind::Walker);
+}
+void BM_ScheduleDynamic8_Bytecode(benchmark::State &State) {
+  runSchedule(State, "dynamic, 8", interp::ExecEngineKind::Bytecode);
+}
+
 #define WS_THREADS ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
 BENCHMARK(BM_ScheduleStatic) WS_THREADS;
 BENCHMARK(BM_ScheduleStaticChunk8) WS_THREADS;
 BENCHMARK(BM_ScheduleDynamic8) WS_THREADS;
 BENCHMARK(BM_ScheduleGuided) WS_THREADS;
+BENCHMARK(BM_ScheduleDynamic8_Walker) WS_THREADS;
+BENCHMARK(BM_ScheduleDynamic8_Bytecode) WS_THREADS;
 
 // Fork/join overhead: an empty parallel region per team size.
 void BM_ForkJoinOverhead(benchmark::State &State) {

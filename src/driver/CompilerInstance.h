@@ -10,6 +10,7 @@
 
 #include "ast/ASTDumper.h"
 #include "codegen/CodeGenModule.h"
+#include "interp/Interpreter.h"
 #include "lex/Preprocessor.h"
 #include "midend/Passes.h"
 #include "parse/Parser.h"
@@ -31,6 +32,10 @@ struct CompilerOptions {
   midend::LoopUnrollOptions UnrollOpts;
   std::vector<std::pair<std::string, std::string>> Defines; // -DNAME=VAL
   std::vector<std::string> IncludeDirs;
+  /// Which execution backend -run / Execute jobs use. Default defers to
+  /// the MCC_EXEC_ENGINE environment variable (bytecode when unset); only
+  /// executing consumers link mcc_interp, the enum itself is header-only.
+  interp::ExecEngineKind ExecEngine = interp::ExecEngineKind::Default;
 };
 
 class CompilerInstance {

@@ -13,6 +13,7 @@
 //     --no-thread-sweep run parallel programs at the default width only
 //     --no-factor-sweep skip tile-size/unroll-factor variants
 //     --service         compile through the CompileService cache
+//     --exec-engine=E   walker | bytecode | both (default both)
 //     --dump-source     print each program before running it
 //     --quiet           no progress output
 //
@@ -39,6 +40,8 @@ void printUsage() {
                "  --no-factor-sweep  skip tile/unroll factor variants\n"
                "  --service          compile through the CompileService "
                "cache\n"
+               "  --exec-engine=E    execution engines to sweep: walker |\n"
+               "                     bytecode | both (default both)\n"
                "  --dump-source      print each generated program\n"
                "  --quiet            no progress output\n");
 }
@@ -71,6 +74,22 @@ int main(int argc, char **argv) {
       Opts.SweepFactors = false;
     else if (Arg == "--service")
       Opts.UseService = true;
+    else if (Arg.rfind("--exec-engine=", 0) == 0) {
+      std::string Name = Arg.substr(std::strlen("--exec-engine="));
+      interp::ExecEngineKind Kind;
+      if (Name == "both")
+        Opts.Engines = {interp::ExecEngineKind::Walker,
+                        interp::ExecEngineKind::Bytecode};
+      else if (interp::parseExecEngineKind(Name, Kind))
+        Opts.Engines = {Kind};
+      else {
+        std::fprintf(stderr,
+                     "minicc-fuzz: invalid --exec-engine '%s' (expected "
+                     "'walker', 'bytecode' or 'both')\n",
+                     Name.c_str());
+        return 1;
+      }
+    }
     else if (Arg == "--dump-source")
       DumpSource = true;
     else if (Arg == "--quiet")

@@ -18,6 +18,7 @@
 // with per-job flags a subset of minicc's:
 //   -fno-openmp -fopenmp-enable-irbuilder -O1 -run -w -Werror
 //   --analyze -num-threads=N -unroll-factor=N -DNAME[=VALUE]
+//   -exec-engine=walker|bytecode (execution backend for -run jobs)
 //
 //===----------------------------------------------------------------------===//
 #include "service/CompileService.h"
@@ -46,7 +47,7 @@ void printUsage() {
                "job spec: one per line: [flags...] <file>\n"
                "  flags: -fno-openmp -fopenmp-enable-irbuilder -O1 -run -w\n"
                "         -Werror --analyze -num-threads=N -unroll-factor=N\n"
-               "         -DNAME[=VALUE]\n");
+               "         -DNAME[=VALUE] -exec-engine=walker|bytecode\n");
 }
 
 bool parseU64(const std::string &Arg, const char *Prefix, std::uint64_t &Out) {
@@ -92,6 +93,13 @@ bool parseJobLine(const std::string &Line, svc::CompileJob &Job,
           static_cast<unsigned>(N);
     else if (parseU64(W, "-unroll-factor=", N))
       Job.Options.UnrollOpts.HeuristicFactor = static_cast<unsigned>(N);
+    else if (W.rfind("-exec-engine=", 0) == 0) {
+      if (!interp::parseExecEngineKind(W.substr(std::strlen("-exec-engine=")),
+                                       Job.Options.ExecEngine)) {
+        Error = "invalid -exec-engine (expected 'walker' or 'bytecode'): " + W;
+        return false;
+      }
+    }
     else if (W.rfind("-D", 0) == 0) {
       std::string Def = W.substr(2);
       std::size_t Eq = Def.find('=');

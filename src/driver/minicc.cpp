@@ -21,6 +21,9 @@
 //     -I <dir>                     add an include search directory
 //     -num-threads N               default OpenMP thread count
 //     --rt-stats                   print OpenMP runtime counters after -run
+//     --exec-engine=walker|bytecode  execution backend for -run (default:
+//                                  bytecode, or MCC_EXEC_ENGINE)
+//     --exec-stats                 print execution engine counters after -run
 //
 //===----------------------------------------------------------------------===//
 #include "driver/CompilerInstance.h"
@@ -58,6 +61,13 @@ void printUsage() {
       "  -num-threads N              default OpenMP thread count\n"
       "  --rt-stats                  print OpenMP runtime counters (forks,\n"
       "                              team reuses, chunks, barrier wakes)\n"
+      "                              to stderr after -run\n"
+      "  --exec-engine=<e>           execution backend for -run: walker |\n"
+      "                              bytecode (default: bytecode, or the\n"
+      "                              MCC_EXEC_ENGINE environment variable)\n"
+      "  --exec-stats                print execution engine counters\n"
+      "                              (translation, dispatch mode,\n"
+      "                              instructions, superinstruction hits)\n"
       "                              to stderr after -run\n");
 }
 
@@ -66,7 +76,7 @@ void printUsage() {
 int main(int argc, char **argv) {
   CompilerOptions Options;
   bool ASTDump = false, ASTDumpShadow = false, EmitIR = false, Run = false,
-       SyntaxOnly = false, RTStats = false;
+       SyntaxOnly = false, RTStats = false, ExecStats = false;
   std::string InputFile;
 
   for (int I = 1; I < argc; ++I) {
@@ -93,6 +103,19 @@ int main(int argc, char **argv) {
       Options.RunAnalyzers = true;
     else if (Arg == "--rt-stats" || Arg == "-rt-stats")
       RTStats = true;
+    else if (Arg == "--exec-stats" || Arg == "-exec-stats")
+      ExecStats = true;
+    else if (Arg.rfind("--exec-engine=", 0) == 0 ||
+             Arg.rfind("-exec-engine=", 0) == 0) {
+      std::string Name = Arg.substr(Arg.find('=') + 1);
+      if (!interp::parseExecEngineKind(Name, Options.ExecEngine)) {
+        std::fprintf(stderr,
+                     "minicc: invalid --exec-engine '%s' (expected "
+                     "'walker' or 'bytecode')\n",
+                     Name.c_str());
+        return 1;
+      }
+    }
     else if (Arg == "-w")
       Options.SuppressWarnings = true;
     else if (Arg == "-Werror")
@@ -154,7 +177,7 @@ int main(int argc, char **argv) {
     RT.setDefaultNumThreads(Options.LangOpts.OpenMPDefaultNumThreads);
     if (RTStats)
       RT.resetStats();
-    interp::ExecutionEngine EE(*CI.getIRModule());
+    interp::ExecutionEngine EE(*CI.getIRModule(), Options.ExecEngine);
     const ir::Function *Main = CI.getIRModule()->getFunction("main");
     if (!Main || Main->isDeclaration()) {
       std::fprintf(stderr, "minicc: error: no main() to run\n");
@@ -171,6 +194,8 @@ int main(int argc, char **argv) {
     }
     if (RTStats)
       std::fputs(RT.renderStats().c_str(), stderr);
+    if (ExecStats)
+      std::fputs(EE.renderExecStats().c_str(), stderr);
     // Park nothing across exit: join the hot-team pool so process
     // teardown (and TSan) never races worker shutdown.
     RT.shutdown();

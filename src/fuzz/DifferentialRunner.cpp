@@ -2,8 +2,9 @@
 //
 // Takes a generated program down every execution path the project has —
 // the legacy shadow-AST pipeline and the OMPCanonicalLoop/OpenMPIRBuilder
-// pipeline, each at -O0 and -O1 (mid-end LoopUnroll/SimplifyCFG/DCE), and
-// for parallel programs the KMP hot-team runtime at 1, 2, HW and 2×HW
+// pipeline, each at -O0 and -O1 (mid-end LoopUnroll/SimplifyCFG/DCE),
+// executed by both the tree-walking and the bytecode engine, and for
+// parallel programs the KMP hot-team runtime at 1, 2, HW and 2×HW
 // default threads — and compares every checksum against the host
 // reference. On mismatch, report() prints the reproducing seed and the
 // full source; shrink() minimizes the program while the failure persists.
@@ -36,49 +37,69 @@ constexpr BackendConfig Backends[] = {
     {"irbuilder+O1", true, true},
 };
 
-/// Compiles and interprets one program under one configuration. With a
-/// \p Service, compilation goes through the content-addressed cache (the
-/// thread-width sweep then hits L3, since the width is in no cache key);
-/// execution and the runtime invariants below are identical either way.
-RunRecord executeOnce(const std::string &Source, const BackendConfig &BC,
-                      unsigned Threads, svc::CompileService *Service) {
-  RunRecord Rec;
-  Rec.Config = std::string(BC.Name) + " threads=" + std::to_string(Threads);
-
-  CompilerOptions Options;
-  Options.LangOpts.OpenMPEnableIRBuilder = BC.IRBuilder;
-  Options.LangOpts.OpenMPDefaultNumThreads = Threads;
-  Options.RunMidend = BC.Midend;
-
-  // Keep one of the two pipelines' products alive for the execution below.
+/// One backend's compilation products, alive for the whole engine x
+/// thread sweep below (the thread width is runtime-only and the engine
+/// choice execution-only, so neither forces a recompile).
+struct CompiledProgram {
   std::unique_ptr<CompilerInstance> CI;
   std::shared_ptr<const svc::ModuleArtifact> Cached;
   const ir::Module *Mod = nullptr;
+  std::shared_ptr<const interp::bc::BytecodeModule> Bytecode;
+  bool Failed = false;
+  std::string Diagnostics;
+};
+
+/// Compiles one program under one backend. With a \p Service, compilation
+/// goes through the content-addressed cache (the engine x thread sweep
+/// then hits L3, since neither axis is in any cache key) and the cached
+/// bytecode translation rides along.
+CompiledProgram compileProgram(const std::string &Source,
+                               const BackendConfig &BC,
+                               svc::CompileService *Service) {
+  CompiledProgram P;
+  CompilerOptions Options;
+  Options.LangOpts.OpenMPEnableIRBuilder = BC.IRBuilder;
+  Options.RunMidend = BC.Midend;
+
   if (Service) {
     svc::CompileJob Job;
     Job.Source = Source;
     Job.Options = Options;
     svc::CompileResult Res = Service->compile(Job);
     if (!Res.Succeeded) {
-      Rec.CompileFailed = true;
-      Rec.Diagnostics = Res.Diagnostics;
-      return Rec;
+      P.Failed = true;
+      P.Diagnostics = Res.Diagnostics;
+      return P;
     }
-    Cached = Res.Module;
-    Mod = &Cached->module();
+    P.Cached = Res.Module;
+    P.Mod = &P.Cached->module();
+    P.Bytecode = P.Cached->Bytecode;
   } else {
-    CI = std::make_unique<CompilerInstance>(Options);
-    if (!CI->compileSource(Source)) {
-      Rec.CompileFailed = true;
-      Rec.Diagnostics = CI->renderDiagnostics();
-      return Rec;
+    P.CI = std::make_unique<CompilerInstance>(Options);
+    if (!P.CI->compileSource(Source)) {
+      P.Failed = true;
+      P.Diagnostics = P.CI->renderDiagnostics();
+      return P;
     }
-    Mod = CI->getIRModule();
+    P.Mod = P.CI->getIRModule();
+  }
+  return P;
+}
+
+/// Executes one compiled program on one engine at one thread width.
+RunRecord executeCompiled(const CompiledProgram &P, const std::string &Config,
+                          interp::ExecEngineKind Engine, unsigned Threads) {
+  RunRecord Rec;
+  Rec.Config = Config;
+  if (P.Failed) {
+    Rec.CompileFailed = true;
+    Rec.Diagnostics = P.Diagnostics;
+    return Rec;
   }
   rt::OpenMPRuntime &RT = rt::OpenMPRuntime::get();
   RT.setDefaultNumThreads(Threads);
   RT.resetStats();
-  interp::ExecutionEngine EE(*Mod);
+  interp::ExecutionEngine EE(*P.Mod, Engine, P.Bytecode);
   Rec.Checksum = EE.runFunction("main", {}).I;
 
   // Post-run runtime invariants. Generated programs never nest parallel
@@ -131,12 +152,22 @@ ProgramResult DifferentialRunner::run(const ProgramSpec &Spec) const {
   const std::string Source = Spec.render();
 
   for (const BackendConfig &BC : Backends) {
-    for (unsigned Threads : threadCounts(Spec)) {
-      RunRecord Rec = executeOnce(Source, BC, Threads, Service.get());
-      ++Result.RunsExecuted;
-      if (Rec.CompileFailed || Rec.Checksum != Result.Expected ||
-          !Rec.RuntimeInvariantViolation.empty())
-        Result.Failures.push_back(std::move(Rec));
+    // One compile per backend; every engine and thread width below
+    // executes the same module (and shares one bytecode translation).
+    CompiledProgram P = compileProgram(Source, BC, Service.get());
+    for (interp::ExecEngineKind Engine : Opts.Engines) {
+      for (unsigned Threads : threadCounts(Spec)) {
+        std::string Config = std::string(BC.Name) +
+                             " threads=" + std::to_string(Threads) +
+                             " engine=" +
+                             interp::execEngineKindName(
+                                 interp::resolveExecEngineKind(Engine));
+        RunRecord Rec = executeCompiled(P, Config, Engine, Threads);
+        ++Result.RunsExecuted;
+        if (Rec.CompileFailed || Rec.Checksum != Result.Expected ||
+            !Rec.RuntimeInvariantViolation.empty())
+          Result.Failures.push_back(std::move(Rec));
+      }
     }
   }
   return Result;

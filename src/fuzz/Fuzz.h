@@ -20,6 +20,8 @@
 #ifndef MCC_FUZZ_FUZZ_H
 #define MCC_FUZZ_FUZZ_H
 
+#include "interp/Interpreter.h"
+
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -158,6 +160,12 @@ struct DifferentialOptions {
   /// N-thread matrix then compiles each (program, backend) pair once and
   /// serves every thread width from cache — verdicts must not change.
   bool UseService = false;
+  /// Execution engines to sweep. Each (program, backend) pair compiles
+  /// once; every engine executes the same module at every thread width,
+  /// so walker and bytecode must reproduce the reference — and each
+  /// other — bit for bit.
+  std::vector<interp::ExecEngineKind> Engines = {
+      interp::ExecEngineKind::Walker, interp::ExecEngineKind::Bytecode};
 };
 
 /// Compiles a ProgramSpec down every pipeline configuration and compares

@@ -1,0 +1,94 @@
+//===--- FrameStack.h - Per-thread LIFO frame allocator ---------*- C++ -*-===//
+//
+// One bump-allocated stack per interpreter thread, backing both the
+// walker's alloca arena and the bytecode engine's register frames. Calls
+// nest strictly LIFO (the interpreters recurse on ir Call), so a frame is
+// a mark taken on entry and released on exit; allocation is a pointer bump
+// and never touches the global heap after warm-up.
+//
+// Blocks are chained rather than reallocated: a nested call that grows the
+// stack appends a new block, leaving every live parent frame's memory
+// untouched (parents hold raw pointers into their block across the child
+// call). Each thread owns its stack exclusively, so no synchronization is
+// needed — team workers parked in the hot pool keep their stacks warm
+// across parallel regions.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_INTERP_FRAMESTACK_H
+#define MCC_INTERP_FRAMESTACK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mcc::interp {
+
+class FrameStack {
+public:
+  struct Mark {
+    std::size_t Block = 0;
+    std::size_t Used = 0;
+  };
+
+  [[nodiscard]] Mark mark() const { return {Cur, Blocks.empty() ? 0 : Blocks[Cur].Used}; }
+
+  /// Bump-allocates \p Bytes (16-aligned). The returned memory stays valid
+  /// until the enclosing mark is released, across nested allocations.
+  void *allocate(std::size_t Bytes) {
+    Bytes = (Bytes + 15) & ~std::size_t(15);
+    if (Blocks.empty())
+      Blocks.push_back(makeBlock(Bytes));
+    if (Blocks[Cur].Used + Bytes > Blocks[Cur].Size) {
+      // Advance to (or create) a block that fits. Skipped blocks keep
+      // their Used watermark; release() rewinds them wholesale.
+      ++Cur;
+      if (Cur == Blocks.size())
+        Blocks.push_back(makeBlock(Bytes));
+      else if (Blocks[Cur].Size < Bytes) {
+        Blocks[Cur] = makeBlock(Bytes);
+      }
+      Blocks[Cur].Used = 0;
+    }
+    void *P = Blocks[Cur].Mem.get() + Blocks[Cur].Used;
+    Blocks[Cur].Used += Bytes;
+    return P;
+  }
+
+  /// Rewinds to \p M, freeing every frame allocated since (logically; the
+  /// block memory itself is retained for reuse).
+  void release(Mark M) {
+    if (Blocks.empty())
+      return;
+    Cur = M.Block;
+    Blocks[Cur].Used = M.Used;
+  }
+
+private:
+  struct Block {
+    std::unique_ptr<char[]> Mem;
+    std::size_t Size = 0;
+    std::size_t Used = 0;
+  };
+
+  static Block makeBlock(std::size_t AtLeast) {
+    constexpr std::size_t MinBlock = 64 * 1024;
+    Block B;
+    B.Size = AtLeast > MinBlock ? AtLeast : MinBlock;
+    B.Mem = std::make_unique<char[]>(B.Size);
+    return B;
+  }
+
+  std::vector<Block> Blocks;
+  std::size_t Cur = 0;
+};
+
+/// The calling thread's frame stack (each interpreter thread has its own).
+inline FrameStack &threadFrameStack() {
+  static thread_local FrameStack Stack;
+  return Stack;
+}
+
+} // namespace mcc::interp
+
+#endif // MCC_INTERP_FRAMESTACK_H

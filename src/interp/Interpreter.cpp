@@ -1,38 +1,70 @@
 //===--- Interpreter.cpp - IR execution engine ------------------------------===//
+//
+// Engine-independent machinery (globals, externals, runtime dispatch,
+// statistics) plus the tree-walking reference backend. The bytecode
+// backend's translation lives in BytecodeCompiler.cpp and its dispatch
+// loop in BytecodeInterpreter.cpp; both backends share the scalar
+// semantics in InterpOps.h and the per-thread FrameStack.
+//
+//===----------------------------------------------------------------------===//
 #include "interp/Interpreter.h"
 
+#include "interp/FrameStack.h"
+#include "interp/InterpOps.h"
 #include "runtime/KMPRuntime.h"
 
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
 namespace mcc::interp {
 
 using namespace ir;
+using ops::signExtend;
+using ops::zeroExtend;
 
-namespace {
-
-std::int64_t signExtend(std::int64_t V, unsigned Bits) {
-  if (Bits >= 64)
-    return V;
-  std::uint64_t Mask = (1ULL << Bits) - 1;
-  std::uint64_t U = static_cast<std::uint64_t>(V) & Mask;
-  if (U & (1ULL << (Bits - 1)))
-    U |= ~Mask;
-  return static_cast<std::int64_t>(U);
+bool parseExecEngineKind(std::string_view Name, ExecEngineKind &Out) {
+  if (Name == "walker") {
+    Out = ExecEngineKind::Walker;
+    return true;
+  }
+  if (Name == "bytecode") {
+    Out = ExecEngineKind::Bytecode;
+    return true;
+  }
+  Out = ExecEngineKind::Default;
+  return false;
 }
 
-std::uint64_t zeroExtend(std::int64_t V, unsigned Bits) {
-  if (Bits >= 64)
-    return static_cast<std::uint64_t>(V);
-  return static_cast<std::uint64_t>(V) & ((1ULL << Bits) - 1);
+const char *execEngineKindName(ExecEngineKind K) {
+  switch (K) {
+  case ExecEngineKind::Walker:
+    return "walker";
+  case ExecEngineKind::Bytecode:
+    return "bytecode";
+  case ExecEngineKind::Default:
+    return "default";
+  }
+  return "?";
 }
 
-} // namespace
+ExecEngineKind resolveExecEngineKind(ExecEngineKind K) {
+  if (K != ExecEngineKind::Default)
+    return K;
+  if (const char *Env = std::getenv("MCC_EXEC_ENGINE")) {
+    ExecEngineKind FromEnv;
+    if (parseExecEngineKind(Env, FromEnv))
+      return FromEnv;
+  }
+  return ExecEngineKind::Bytecode;
+}
 
-ExecutionEngine::ExecutionEngine(const ir::Module &M) : M(M) {
+ExecutionEngine::ExecutionEngine(
+    const ir::Module &M, ExecEngineKind RequestedKind,
+    std::shared_ptr<const bc::BytecodeModule> Precompiled)
+    : M(M), Kind(resolveExecEngineKind(RequestedKind)) {
   // Allocate and initialize global storage.
   for (const auto &G : M.globals()) {
     std::size_t Size = static_cast<std::size_t>(G->getSizeInBytes());
@@ -54,19 +86,61 @@ ExecutionEngine::ExecutionEngine(const ir::Module &M) : M(M) {
     GlobalStorage[G.get()] = Mem;
   }
 
-  // Precompute slot numbering for every defined function (the module is
-  // immutable afterwards, so this map can be read concurrently).
-  for (const auto &F : M.functions()) {
-    if (F->isDeclaration())
-      continue;
-    FunctionInfo Info;
-    for (unsigned I = 0; I < F->getNumArgs(); ++I)
-      Info.Slots[F->getArg(I)] = Info.NumSlots++;
-    for (const auto &BB : F->blocks())
-      for (const auto &I : BB->instructions())
-        if (!I->getType()->isVoid())
-          Info.Slots[I.get()] = Info.NumSlots++;
-    Infos[F.get()] = std::move(Info);
+  if (Kind == ExecEngineKind::Bytecode) {
+    // Take the shared translation when it matches this module (an L3
+    // compile-service artifact); translate once otherwise. Afterwards the
+    // table is immutable: team threads read it without synchronization.
+    if (Precompiled && Precompiled->Source == &M)
+      BCMod = std::move(Precompiled);
+    else {
+      BCMod = bc::compileToBytecode(M);
+      TranslatedHere = true;
+    }
+    // Engine-private frame prefix templates: the shared constant pools
+    // with this engine's global addresses patched in.
+    PoolOffsets.reserve(BCMod->Functions.size());
+    for (const bc::BCFunction &F : BCMod->Functions) {
+      std::size_t Off = PatchedPools.size();
+      PoolOffsets.push_back(Off);
+      for (std::uint32_t K = 0; K < F.NumConsts; ++K) {
+        RTValue V;
+        V.I = F.ConstPoolInts[K];
+        V.D = F.ConstPoolFPs[K];
+        PatchedPools.push_back(V);
+      }
+      for (const auto &[Slot, G] : F.GlobalRelocs)
+        PatchedPools[Off + Slot] = RTValue::ofPtr(GlobalStorage.at(G));
+    }
+  } else {
+    // Walker backend: precompute slot numbering and the per-frame alloca
+    // arena layout for every defined function (the module is immutable
+    // afterwards, so these maps can be read concurrently).
+    for (const auto &F : M.functions()) {
+      if (F->isDeclaration())
+        continue;
+      FunctionInfo Info;
+      ValueNumbering VN = numberFunctionValues(*F);
+      Info.NumSlots = VN.NumValues;
+      for (const auto &[V, Idx] : VN.Index)
+        Info.Slots[V] = Idx;
+      std::size_t Offset = 0;
+      for (const auto &BB : F->blocks())
+        for (const auto &I : BB->instructions()) {
+          if (I->getOpcode() != Opcode::Alloca)
+            continue;
+          const auto *N = ir_dyn_cast<ConstantInt>(I->getOperand(0));
+          if (!N)
+            continue; // variable count: stays a heap allocation
+          std::size_t Size = static_cast<std::size_t>(N->getValue()) *
+                             I->ElemTy->getSizeInBytes();
+          if (Size < 1)
+            Size = 1;
+          Info.FixedAllocas[I.get()] = {Offset, Size};
+          Offset = (Offset + Size + 15) & ~std::size_t(15);
+        }
+      Info.ArenaBytes = Offset;
+      Infos[F.get()] = std::move(Info);
+    }
   }
 
   // Default externals: debugging prints.
@@ -114,6 +188,19 @@ RTValue ExecutionEngine::runFunction(const std::string &Name,
 
 RTValue ExecutionEngine::runFunction(const ir::Function *F,
                                      std::vector<RTValue> Args) {
+  return invokeDefined(F, Args);
+}
+
+RTValue ExecutionEngine::invokeDefined(const ir::Function *F,
+                                       std::span<const RTValue> Args) {
+  assert(!F->isDeclaration() && "cannot execute a declaration");
+  if (Kind == ExecEngineKind::Bytecode) {
+    auto It = BCMod->Index.find(F);
+    if (It == BCMod->Index.end())
+      throw std::runtime_error("bytecode: unknown function: " +
+                               F->getName());
+    return executeBytecode(It->second, Args);
+  }
   return interpret(F, Args);
 }
 
@@ -123,13 +210,66 @@ void ExecutionEngine::resetOpenMPRuntime() {
   RT.resetStats();
 }
 
+ExecStats ExecutionEngine::statsSnapshot() const {
+  ExecStats S;
+  S.Engine = Kind;
+  S.TranslatedHere = TranslatedHere;
+  if (Kind == ExecEngineKind::Bytecode) {
+    S.Dispatch = bc::dispatchModeName();
+    S.FunctionsPrepared = BCMod->Functions.size();
+    S.BytecodeBytes = BCMod->byteSize();
+    S.SuperinstsEmitted = BCMod->superinstsEmitted();
+  } else {
+    S.Dispatch = "tree-walk";
+    S.FunctionsPrepared = Infos.size();
+  }
+  S.InstructionsExecuted =
+      InstructionsExecuted.load(std::memory_order_relaxed);
+  S.SuperinstHits = SuperinstHits.load(std::memory_order_relaxed);
+  S.FramesExecuted = FramesExecuted.load(std::memory_order_relaxed);
+  S.RuntimeCalls = RuntimeCalls.load(std::memory_order_relaxed);
+  return S;
+}
+
+std::string ExecutionEngine::renderExecStats() const {
+  ExecStats S = statsSnapshot();
+  char Buf[640];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "== execution engine statistics ==\n"
+      "engine:    %s dispatch=%s\n"
+      "translate: functions=%llu bytecode-bytes=%llu superinsts=%llu "
+      "source=%s\n"
+      "execute:   instructions=%llu superinst-hits=%llu frames=%llu "
+      "runtime-calls=%llu\n",
+      execEngineKindName(S.Engine), S.Dispatch,
+      static_cast<unsigned long long>(S.FunctionsPrepared),
+      static_cast<unsigned long long>(S.BytecodeBytes),
+      static_cast<unsigned long long>(S.SuperinstsEmitted),
+      S.Engine != ExecEngineKind::Bytecode ? "n/a"
+      : S.TranslatedHere                   ? "translated"
+                                           : "precompiled",
+      static_cast<unsigned long long>(S.InstructionsExecuted),
+      static_cast<unsigned long long>(S.SuperinstHits),
+      static_cast<unsigned long long>(S.FramesExecuted),
+      static_cast<unsigned long long>(S.RuntimeCalls));
+  return Buf;
+}
+
 RTValue ExecutionEngine::callRuntime(const std::string &Name,
                                      std::span<const RTValue> Args) {
+  return callRuntimeResolved(bc::resolveRuntimeCallee(Name), Name, Args);
+}
+
+RTValue ExecutionEngine::callRuntimeResolved(bc::RTCallee Callee,
+                                             const std::string &Name,
+                                             std::span<const RTValue> Args) {
+  RuntimeCalls.fetch_add(1, std::memory_order_relaxed);
   rt::OpenMPRuntime &RT = rt::OpenMPRuntime::get();
 
-  if (Name == "__kmpc_fork_call") {
-    const auto *Outlined =
-        static_cast<const Function *>(Args[0].asPtr());
+  switch (Callee) {
+  case bc::RTCallee::ForkCall: {
+    const auto *Outlined = static_cast<const Function *>(Args[0].asPtr());
     // Args[1] = number of captured pointers (context layout), Args[2] =
     // context (array of capture addresses), Args[3] = requested threads.
     void *Context = Args[2].asPtr();
@@ -137,19 +277,19 @@ RTValue ExecutionEngine::callRuntime(const std::string &Name,
     RT.forkCall(
         [this, Outlined, Context](int Tid) {
           std::int32_t TidLocal = Tid;
-          std::vector<RTValue> OutlinedArgs = {
-              RTValue::ofPtr(&TidLocal), RTValue::ofPtr(&TidLocal),
-              RTValue::ofPtr(Context)};
-          interpret(Outlined, OutlinedArgs);
+          RTValue OutlinedArgs[3] = {RTValue::ofPtr(&TidLocal),
+                                     RTValue::ofPtr(&TidLocal),
+                                     RTValue::ofPtr(Context)};
+          invokeDefined(Outlined, OutlinedArgs);
         },
         NumThreads);
     return RTValue{};
   }
-  if (Name == "__kmpc_global_thread_num" || Name == "omp_get_thread_num")
+  case bc::RTCallee::GlobalThreadNum:
     return RTValue::ofInt(RT.getThreadNum());
-  if (Name == "omp_get_num_threads")
+  case bc::RTCallee::NumThreads:
     return RTValue::ofInt(RT.getNumThreads());
-  if (Name == "__kmpc_for_static_init") {
+  case bc::RTCallee::ForStaticInit:
     RT.forStaticInit(static_cast<std::int32_t>(Args[1].I),
                      static_cast<std::int32_t *>(Args[2].asPtr()),
                      static_cast<std::int64_t *>(Args[3].asPtr()),
@@ -157,38 +297,34 @@ RTValue ExecutionEngine::callRuntime(const std::string &Name,
                      static_cast<std::int64_t *>(Args[5].asPtr()), Args[6].I,
                      Args[7].I);
     return RTValue{};
-  }
-  if (Name == "__kmpc_for_static_fini") {
+  case bc::RTCallee::ForStaticFini:
     RT.forStaticFini();
     return RTValue{};
-  }
-  if (Name == "__kmpc_dispatch_init") {
+  case bc::RTCallee::DispatchInit:
     RT.dispatchInit(static_cast<std::int32_t>(Args[1].I), Args[2].I,
                     Args[3].I, Args[4].I);
     return RTValue{};
-  }
-  if (Name == "__kmpc_dispatch_next") {
+  case bc::RTCallee::DispatchNext: {
     bool More =
         RT.dispatchNext(static_cast<std::int32_t *>(Args[1].asPtr()),
                         static_cast<std::int64_t *>(Args[2].asPtr()),
                         static_cast<std::int64_t *>(Args[3].asPtr()));
     return RTValue::ofInt(More ? 1 : 0);
   }
-  if (Name == "__kmpc_dispatch_fini") {
+  case bc::RTCallee::DispatchFini:
     RT.dispatchFini();
     return RTValue{};
-  }
-  if (Name == "__kmpc_barrier") {
+  case bc::RTCallee::Barrier:
     RT.barrier();
     return RTValue{};
-  }
-  if (Name == "__kmpc_critical") {
+  case bc::RTCallee::Critical:
     RT.critical();
     return RTValue{};
-  }
-  if (Name == "__kmpc_end_critical") {
+  case bc::RTCallee::EndCritical:
     RT.endCritical();
     return RTValue{};
+  case bc::RTCallee::External:
+    break;
   }
 
   auto It = Externals.find(Name);
@@ -202,9 +338,34 @@ RTValue ExecutionEngine::interpret(const ir::Function *F,
   assert(!F->isDeclaration() && "cannot interpret a declaration");
   const FunctionInfo &Info = getInfo(F);
 
-  std::vector<RTValue> Frame(Info.NumSlots);
-  std::vector<void *> FrameAllocas;
+  FrameStack &FS = threadFrameStack();
   std::uint64_t LocalCount = 0;
+  std::vector<void *> HeapAllocas;
+
+  // Releases the frame and flushes counters on return *and* on unwinding
+  // (division traps must not leak the frame mark).
+  struct Cleanup {
+    ExecutionEngine &EE;
+    FrameStack &FS;
+    FrameStack::Mark M;
+    std::vector<void *> &Heap;
+    std::uint64_t &Count;
+    ~Cleanup() {
+      for (void *P : Heap)
+        ::operator delete(P);
+      FS.release(M);
+      EE.InstructionsExecuted.fetch_add(Count, std::memory_order_relaxed);
+      EE.FramesExecuted.fetch_add(1, std::memory_order_relaxed);
+    }
+  } Guard{*this, FS, FS.mark(), HeapAllocas, LocalCount};
+
+  // One frame allocation: [value slots][coalesced alloca arena].
+  char *Mem = static_cast<char *>(
+      FS.allocate(Info.NumSlots * sizeof(RTValue) + Info.ArenaBytes));
+  auto *Frame = reinterpret_cast<RTValue *>(Mem);
+  char *Arena = Mem + Info.NumSlots * sizeof(RTValue);
+  std::memset(static_cast<void *>(Frame), 0,
+              Info.NumSlots * sizeof(RTValue));
 
   for (unsigned I = 0; I < F->getNumArgs(); ++I)
     Frame[Info.Slots.at(F->getArg(I))] = Args[I];
@@ -226,12 +387,6 @@ RTValue ExecutionEngine::interpret(const ir::Function *F,
     default:
       return Frame[Info.Slots.at(V)];
     }
-  };
-
-  auto Cleanup = [&] {
-    for (void *P : FrameAllocas)
-      ::operator delete(P);
-    InstructionsExecuted.fetch_add(LocalCount, std::memory_order_relaxed);
   };
 
   const BasicBlock *Block = F->getEntryBlock();
@@ -271,13 +426,22 @@ RTValue ExecutionEngine::interpret(const ir::Function *F,
 
       switch (I.getOpcode()) {
       case Opcode::Alloca: {
+        auto FA = Info.FixedAllocas.find(&I);
+        if (FA != Info.FixedAllocas.end()) {
+          // Coalesced into the frame arena; zeroed per execution, like
+          // the fresh heap block it replaces.
+          char *P = Arena + FA->second.first;
+          std::memset(P, 0, FA->second.second);
+          Frame[Info.Slots.at(&I)] = RTValue::ofPtr(P);
+          break;
+        }
         std::int64_t N = Eval(I.getOperand(0)).I;
         std::size_t Size = static_cast<std::size_t>(N) *
                            I.ElemTy->getSizeInBytes();
-        void *Mem = ::operator new(Size < 1 ? 1 : Size);
-        std::memset(Mem, 0, Size);
-        FrameAllocas.push_back(Mem);
-        Frame[Info.Slots.at(&I)] = RTValue::ofPtr(Mem);
+        void *Mem2 = ::operator new(Size < 1 ? 1 : Size);
+        std::memset(Mem2, 0, Size < 1 ? 1 : Size);
+        HeapAllocas.push_back(Mem2);
+        Frame[Info.Slots.at(&I)] = RTValue::ofPtr(Mem2);
         break;
       }
       case Opcode::Load: {
@@ -365,62 +529,8 @@ RTValue ExecutionEngine::interpret(const ir::Function *F,
       case Opcode::LShr: {
         std::int64_t A = Eval(I.getOperand(0)).I;
         std::int64_t B = Eval(I.getOperand(1)).I;
-        std::int64_t R = 0;
-        switch (I.getOpcode()) {
-        case Opcode::Add:
-          R = A + B;
-          break;
-        case Opcode::Sub:
-          R = A - B;
-          break;
-        case Opcode::Mul:
-          R = A * B;
-          break;
-        case Opcode::SDiv:
-          if (B == 0)
-            throw std::runtime_error("integer division by zero");
-          R = (A == INT64_MIN && B == -1) ? A : A / B;
-          break;
-        case Opcode::UDiv:
-          if (B == 0)
-            throw std::runtime_error("integer division by zero");
-          R = static_cast<std::int64_t>(zeroExtend(A, Bits) /
-                                        zeroExtend(B, Bits));
-          break;
-        case Opcode::SRem:
-          if (B == 0)
-            throw std::runtime_error("integer remainder by zero");
-          R = (A == INT64_MIN && B == -1) ? 0 : A % B;
-          break;
-        case Opcode::URem:
-          if (B == 0)
-            throw std::runtime_error("integer remainder by zero");
-          R = static_cast<std::int64_t>(zeroExtend(A, Bits) %
-                                        zeroExtend(B, Bits));
-          break;
-        case Opcode::And:
-          R = A & B;
-          break;
-        case Opcode::Or:
-          R = A | B;
-          break;
-        case Opcode::Xor:
-          R = A ^ B;
-          break;
-        case Opcode::Shl:
-          R = A << (B & (Bits - 1));
-          break;
-        case Opcode::AShr:
-          R = signExtend(A, Bits) >> (B & (Bits - 1));
-          break;
-        case Opcode::LShr:
-          R = static_cast<std::int64_t>(zeroExtend(A, Bits) >>
-                                        (B & (Bits - 1)));
-          break;
-        default:
-          break;
-        }
-        Frame[Info.Slots.at(&I)] = RTValue::ofInt(signExtend(R, Bits));
+        Frame[Info.Slots.at(&I)] =
+            RTValue::ofInt(ops::evalIntBinop(I.getOpcode(), A, B, Bits));
         break;
       }
 
@@ -459,73 +569,15 @@ RTValue ExecutionEngine::interpret(const ir::Function *F,
         unsigned OpBits = I.getOperand(0)->getType()->getBitWidth();
         std::int64_t A = Eval(I.getOperand(0)).I;
         std::int64_t B = Eval(I.getOperand(1)).I;
-        std::int64_t SA = signExtend(A, OpBits), SB = signExtend(B, OpBits);
-        std::uint64_t UA = zeroExtend(A, OpBits), UB = zeroExtend(B, OpBits);
-        bool R = false;
-        switch (I.Pred) {
-        case CmpPred::EQ:
-          R = UA == UB;
-          break;
-        case CmpPred::NE:
-          R = UA != UB;
-          break;
-        case CmpPred::SLT:
-          R = SA < SB;
-          break;
-        case CmpPred::SLE:
-          R = SA <= SB;
-          break;
-        case CmpPred::SGT:
-          R = SA > SB;
-          break;
-        case CmpPred::SGE:
-          R = SA >= SB;
-          break;
-        case CmpPred::ULT:
-          R = UA < UB;
-          break;
-        case CmpPred::ULE:
-          R = UA <= UB;
-          break;
-        case CmpPred::UGT:
-          R = UA > UB;
-          break;
-        case CmpPred::UGE:
-          R = UA >= UB;
-          break;
-        default:
-          break;
-        }
-        Frame[Info.Slots.at(&I)] = RTValue::ofInt(R ? 1 : 0);
+        Frame[Info.Slots.at(&I)] =
+            RTValue::ofInt(ops::evalICmp(I.Pred, A, B, OpBits) ? 1 : 0);
         break;
       }
       case Opcode::FCmp: {
         double A = Eval(I.getOperand(0)).D;
         double B = Eval(I.getOperand(1)).D;
-        bool R = false;
-        switch (I.Pred) {
-        case CmpPred::OEQ:
-          R = A == B;
-          break;
-        case CmpPred::ONE:
-          R = A != B;
-          break;
-        case CmpPred::OLT:
-          R = A < B;
-          break;
-        case CmpPred::OLE:
-          R = A <= B;
-          break;
-        case CmpPred::OGT:
-          R = A > B;
-          break;
-        case CmpPred::OGE:
-          R = A >= B;
-          break;
-        default:
-          break;
-        }
-        Frame[Info.Slots.at(&I)] = RTValue::ofInt(R ? 1 : 0);
+        Frame[Info.Slots.at(&I)] =
+            RTValue::ofInt(ops::evalFCmp(I.Pred, A, B) ? 1 : 0);
         break;
       }
 
@@ -605,17 +657,14 @@ RTValue ExecutionEngine::interpret(const ir::Function *F,
       case Opcode::Ret:
         if (I.getNumOperands() > 0)
           ReturnValue = Eval(I.getOperand(0));
-        Cleanup();
         return ReturnValue;
       case Opcode::Unreachable:
-        Cleanup();
         throw std::runtime_error("executed 'unreachable'");
       case Opcode::Phi:
         throw std::runtime_error("phi after non-phi instruction");
       }
     }
     // Falling off a block without a terminator is a verifier error.
-    Cleanup();
     throw std::runtime_error("block without terminator executed");
 
   NextBlock:;

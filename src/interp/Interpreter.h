@@ -5,6 +5,12 @@
 // runs, on real threads. This is the testbed substitute that lets every
 // transformation be validated end-to-end (DESIGN.md substitution #4).
 //
+// Two backends share this interface (DESIGN.md "Bytecode execution
+// engine"): the tree-walking reference interpreter, and a register-
+// allocated bytecode engine that translates each function once into a
+// flat instruction array executed by a direct-threaded dispatch loop.
+// Both produce bit-identical results; the differential corpus pins that.
+//
 // Memory model: allocas and globals live in host memory; IR 'ptr' values
 // are host addresses. Runtime entry points (__kmpc_*) are bound natively to
 // the mini-kmp runtime; additional externals (e.g. a test's "body"
@@ -12,16 +18,21 @@
 //
 // Thread safety: after construction the engine is immutable except for
 // statistics; runFunction may be called concurrently from team threads.
+// In particular the bytecode table (translated eagerly in the
+// constructor) is published read-only — hot-team threads invoke outlined
+// regions with zero re-translation and zero locking.
 //
 //===----------------------------------------------------------------------===//
 #ifndef MCC_INTERP_INTERPRETER_H
 #define MCC_INTERP_INTERPRETER_H
 
+#include "interp/Bytecode.h"
 #include "ir/IR.h"
 
 #include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -54,9 +65,41 @@ struct RTValue {
 
 using ExternalFn = std::function<RTValue(std::span<const RTValue>)>;
 
+/// Which execution backend an engine uses. Default defers the choice to
+/// the MCC_EXEC_ENGINE environment variable (bytecode when unset), so the
+/// knob stays a plain enum in CompilerOptions without dragging a link
+/// dependency into every driver consumer.
+enum class ExecEngineKind : std::uint8_t { Walker, Bytecode, Default };
+
+/// Parses "walker" / "bytecode" (anything else: Default with false return).
+bool parseExecEngineKind(std::string_view Name, ExecEngineKind &Out);
+const char *execEngineKindName(ExecEngineKind K);
+/// Resolves Default against MCC_EXEC_ENGINE; identity otherwise.
+ExecEngineKind resolveExecEngineKind(ExecEngineKind K);
+
+/// Point-in-time execution statistics (see renderExecStats()).
+struct ExecStats {
+  ExecEngineKind Engine = ExecEngineKind::Walker;
+  const char *Dispatch = "tree-walk";
+  std::uint64_t FunctionsPrepared = 0;
+  bool TranslatedHere = false; ///< false: bytecode came precompiled (L3 hit)
+  std::uint64_t BytecodeBytes = 0;
+  std::uint64_t SuperinstsEmitted = 0;
+  std::uint64_t InstructionsExecuted = 0;
+  std::uint64_t SuperinstHits = 0;
+  std::uint64_t FramesExecuted = 0;
+  std::uint64_t RuntimeCalls = 0;
+};
+
 class ExecutionEngine {
 public:
-  explicit ExecutionEngine(const ir::Module &M);
+  /// Translation (for the bytecode backend) happens here, eagerly, so the
+  /// engine is immutable — and therefore lock-free — afterwards. Passing
+  /// \p Precompiled (e.g. from an L3 compile-service artifact) skips
+  /// translation entirely; it must have been compiled from \p M.
+  explicit ExecutionEngine(
+      const ir::Module &M, ExecEngineKind Kind = ExecEngineKind::Default,
+      std::shared_ptr<const bc::BytecodeModule> Precompiled = nullptr);
   ~ExecutionEngine();
   ExecutionEngine(const ExecutionEngine &) = delete;
   ExecutionEngine &operator=(const ExecutionEngine &) = delete;
@@ -71,10 +114,19 @@ public:
   /// Host address of a global variable's storage.
   [[nodiscard]] void *getGlobalAddress(const std::string &Name) const;
 
-  /// Total instructions interpreted (across all threads).
+  /// Total instructions interpreted (across all threads). The walker
+  /// counts IR instructions; the bytecode engine counts bytecode
+  /// instructions (a fused superinstruction counts once).
   [[nodiscard]] std::uint64_t getInstructionsExecuted() const {
     return InstructionsExecuted.load(std::memory_order_relaxed);
   }
+
+  /// The backend this engine resolved to (never Default).
+  [[nodiscard]] ExecEngineKind getKind() const { return Kind; }
+
+  [[nodiscard]] ExecStats statsSnapshot() const;
+  /// Renders statsSnapshot() in the --rt-stats block style.
+  [[nodiscard]] std::string renderExecStats() const;
 
   /// Quiesces the shared OpenMP runtime: joins the hot-team worker pool
   /// and zeroes its counters. Tests that assert exact runtime statistics
@@ -89,18 +141,43 @@ private:
     // Slot indices for arguments and instructions producing values.
     std::map<const ir::Value *, unsigned> Slots;
     unsigned NumSlots = 0;
+    // Fixed-size allocas coalesced into one per-frame arena: instruction
+    // -> (arena offset, byte size). Variable-count allocas fall back to
+    // the heap.
+    std::map<const ir::Instruction *, std::pair<std::size_t, std::size_t>>
+        FixedAllocas;
+    std::size_t ArenaBytes = 0;
   };
 
   const FunctionInfo &getInfo(const ir::Function *F);
   RTValue interpret(const ir::Function *F, std::span<const RTValue> Args);
+  RTValue executeBytecode(std::uint32_t FnIdx, std::span<const RTValue> Args);
+  /// Dispatches a call to a *defined* function through the active backend
+  /// (the runtime's fork_call trampoline funnels through here too).
+  RTValue invokeDefined(const ir::Function *F, std::span<const RTValue> Args);
   RTValue callRuntime(const std::string &Name,
                       std::span<const RTValue> Args);
+  RTValue callRuntimeResolved(bc::RTCallee Callee, const std::string &Name,
+                              std::span<const RTValue> Args);
 
   const ir::Module &M;
+  ExecEngineKind Kind;
   std::map<const ir::Function *, FunctionInfo> Infos;
   std::map<std::string, ExternalFn> Externals;
   std::map<const ir::GlobalVariable *, void *> GlobalStorage;
+
+  /// Bytecode backend state: the shared immutable translation plus this
+  /// engine's constant pools with global relocations applied (frame
+  /// prefix templates; one flat array indexed via PoolOffsets).
+  std::shared_ptr<const bc::BytecodeModule> BCMod;
+  std::vector<RTValue> PatchedPools;
+  std::vector<std::size_t> PoolOffsets;
+  bool TranslatedHere = false;
+
   std::atomic<std::uint64_t> InstructionsExecuted{0};
+  std::atomic<std::uint64_t> SuperinstHits{0};
+  std::atomic<std::uint64_t> FramesExecuted{0};
+  std::atomic<std::uint64_t> RuntimeCalls{0};
 };
 
 } // namespace mcc::interp

@@ -229,6 +229,18 @@ void Function::eraseBlock(BasicBlock *BB) {
   Blocks.erase(It);
 }
 
+ValueNumbering numberFunctionValues(const Function &F) {
+  ValueNumbering VN;
+  for (unsigned I = 0; I < F.getNumArgs(); ++I)
+    VN.Index[F.getArg(I)] = VN.NumValues++;
+  VN.NumArgs = VN.NumValues;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      if (!I->getType()->isVoid())
+        VN.Index[I.get()] = VN.NumValues++;
+  return VN;
+}
+
 ConstantInt *Module::getInt(const IRType *Ty, std::int64_t V) {
   auto Key = std::make_pair(Ty, V);
   auto It = IntConstants.find(Key);

@@ -579,6 +579,19 @@ private:
 
 // ===--------------------------- Utilities ----------------------------=== //
 
+/// Dense value numbering for one function: arguments first, then every
+/// value-producing (non-void) instruction in block order. This is the one
+/// layout both execution engines agree on — the tree-walker's slot map and
+/// the bytecode compiler's virtual-register file are built from it, so a
+/// value's number is stable across backends.
+struct ValueNumbering {
+  std::map<const Value *, unsigned> Index;
+  unsigned NumArgs = 0;
+  unsigned NumValues = 0; ///< NumArgs + value-producing instructions
+};
+
+ValueNumbering numberFunctionValues(const Function &F);
+
 /// Renders the module as LLVM-flavored text.
 std::string printModule(const Module &M);
 std::string printFunction(const Function &F);

@@ -227,6 +227,14 @@ CompileService::produceModule(std::shared_ptr<const ASTArtifact> AST,
   A->Failed = !OK;
   A->DiagText = AST->DiagText + renderDiags(Store, AST->Tokens->SM);
   A->Bytes = sizeof(ModuleArtifact) + estimateModuleBytes(*A->Mod);
+  if (OK) {
+    // Translate to bytecode while we are already the single-flight
+    // producer: every execution (and every engine built from this
+    // artifact) shares the one translation. Engine choice is not part of
+    // the L3 key precisely because the translation is engine-independent.
+    A->Bytecode = interp::bc::compileToBytecode(*A->Mod);
+    A->Bytes += A->Bytecode->byteSize();
+  }
   return A;
 }
 
@@ -281,7 +289,8 @@ CompileResult CompileService::compile(const CompileJob &Job) {
     // the shared runtime at execution time, never baked into the module.
     rt::OpenMPRuntime &RT = rt::OpenMPRuntime::get();
     RT.setDefaultNumThreads(Job.Options.LangOpts.OpenMPDefaultNumThreads);
-    interp::ExecutionEngine EE(Mod->module());
+    interp::ExecutionEngine EE(Mod->module(), Job.Options.ExecEngine,
+                               Mod->Bytecode);
     Res.ExitValue = EE.runFunction("main", {}).I;
     Res.Executed = true;
     Executions.fetch_add(1, std::memory_order_relaxed);

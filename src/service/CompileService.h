@@ -99,6 +99,12 @@ struct ModuleArtifact {
   std::shared_ptr<const ASTArtifact> AST;
   std::unique_ptr<ir::Module> Mod;
   midend::PipelineStats MidendStats;
+  /// Bytecode translation of Mod, compiled once at production time so
+  /// every Execute against this artifact — and every ExecutionEngine a
+  /// client builds from module() — skips re-translation. Null when the
+  /// compile failed. Engine-independent (global addresses stay
+  /// relocations), hence shareable across engines and threads.
+  std::shared_ptr<const interp::bc::BytecodeModule> Bytecode;
 
   bool Failed = false;
   std::string DiagText;

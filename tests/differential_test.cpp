@@ -3,12 +3,13 @@
 // Whole-pipeline semantic coverage inherited by every future PR: a
 // fixed-seed corpus of fuzz-generated loop-nest programs is compiled down
 // every backend (legacy shadow-AST / OMPCanonicalLoop+OpenMPIRBuilder,
-// each with and without the mid-end, across 1..2×HW threads for parallel
-// programs) and each execution's checksum must match the host-evaluated
-// reference bit-for-bit — plus hand-written edge cases pinning the
-// corners named in the paper's composition discussion: unroll factor >
-// trip count, degenerate and exact tile sizes, descending strided
-// induction, and !=-bounded canonical loops.
+// each with and without the mid-end, executed by both the tree-walking
+// and the bytecode engine, across 1..2×HW threads for parallel programs)
+// and each execution's checksum must match the host-evaluated reference
+// bit-for-bit — plus hand-written edge cases pinning the corners named in
+// the paper's composition discussion: unroll factor > trip count,
+// degenerate and exact tile sizes, descending strided induction, and
+// !=-bounded canonical loops.
 //
 // The corpus size honors MCC_DIFF_COUNT (sanitizer CI runs a reduced
 // count); any failure prints the reproducing seed for
@@ -206,6 +207,69 @@ TEST_F(DifferentialEdgeCase, ZeroTripLoopsUnderEveryTransformation) {
   ProgramSpec Par = baseSpec(Z);
   Par.Pragmas.ParallelFor = true;
   expectProgramAgrees(Par, Runner);
+}
+
+// ===--------------------- Execution-engine parity ---------------------=== //
+
+TEST(DifferentialEngineParity, CorpusVerdictsIdenticalUnderBothEngines) {
+  // Pin the corpus on each engine separately and require byte-identical
+  // verdict reports: the bytecode engine must be observationally
+  // indistinguishable from the reference walker on every program, not
+  // merely "also correct".
+  DifferentialOptions WalkerOnly;
+  WalkerOnly.Engines = {interp::ExecEngineKind::Walker};
+  DifferentialOptions BytecodeOnly;
+  BytecodeOnly.Engines = {interp::ExecEngineKind::Bytecode};
+  DifferentialRunner Walker(WalkerOnly);
+  DifferentialRunner Bytecode(BytecodeOnly);
+
+  const unsigned Count = std::min(corpusCount(), 40u);
+  for (unsigned K = 0; K < Count; ++K) {
+    ProgramSpec Spec = generateProgram(CorpusSeed + K);
+    ProgramResult W = Walker.runWithVariants(Spec);
+    ProgramResult BC = Bytecode.runWithVariants(Spec);
+    ASSERT_TRUE(W.ok()) << DifferentialRunner::report(W);
+    ASSERT_TRUE(BC.ok()) << DifferentialRunner::report(BC);
+    EXPECT_EQ(W.Expected, BC.Expected) << "seed " << Spec.Seed;
+    EXPECT_EQ(W.RunsExecuted, BC.RunsExecuted) << "seed " << Spec.Seed;
+    EXPECT_EQ(DifferentialRunner::report(W),
+              DifferentialRunner::report(BC))
+        << "seed " << Spec.Seed;
+  }
+  interp::ExecutionEngine::resetOpenMPRuntime();
+}
+
+TEST(DifferentialEngineParity, BytecodePinnedEdgeCorners) {
+  // The hand-written canonical-loop corners, pinned on the bytecode
+  // engine alone — a translator bug must not be able to hide behind a
+  // passing walker sweep in the same run.
+  DifferentialOptions Opts;
+  Opts.Engines = {interp::ExecEngineKind::Bytecode};
+  DifferentialRunner Runner(Opts);
+  for (LoopSpec L : {LoopSpec{40, -3, -7, RelOp::GT},
+                     LoopSpec{-5, 9, 1, RelOp::NE},
+                     LoopSpec{8, 8, 1, RelOp::LT}}) {
+    ProgramSpec P;
+    P.Seed = 0;
+    P.Loops.push_back(L);
+    BodyOp Sum;
+    Sum.K = BodyOp::Kind::SumQuadratic;
+    Sum.C[0] = 2;
+    Sum.C[1] = -1;
+    Sum.Bias = 3;
+    P.Body = {Sum};
+    expectProgramAgrees(P, Runner);
+
+    ProgramSpec Tiled = P;
+    Tiled.Pragmas.TileSizes = {4};
+    expectProgramAgrees(Tiled, Runner);
+
+    ProgramSpec Par = P;
+    Par.Pragmas.ParallelFor = true;
+    Par.Pragmas.Schedule = "dynamic, 2";
+    expectProgramAgrees(Par, Runner);
+  }
+  interp::ExecutionEngine::resetOpenMPRuntime();
 }
 
 // ===------------------ Compile-service cache parity -------------------=== //

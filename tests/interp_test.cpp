@@ -372,6 +372,260 @@ TEST(RuntimeTest, NestedForkJoin) {
   EXPECT_EQ(Count.load(), 4);
 }
 
+// --- Engine parity: the same module under walker and bytecode ---
+
+class EngineParityTest : public ::testing::TestWithParam<ExecEngineKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EngineParityTest,
+    ::testing::Values(ExecEngineKind::Walker, ExecEngineKind::Bytecode),
+    [](const ::testing::TestParamInfo<ExecEngineKind> &Info) {
+      return std::string(execEngineKindName(Info.param));
+    });
+
+TEST_P(EngineParityTest, PhiParallelCopySwapOnBackEdge) {
+  // (a, b) <- (b, a) every iteration: a phi cycle on the back edge that
+  // the bytecode translator must break with the scratch register. After
+  // an odd trip count the values are swapped.
+  Module M;
+  Function *F = M.createFunction(
+      "swapper", IRType::getI64(), {IRType::getI64(), IRType::getI64()});
+  IRBuilder B(M);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertPoint(Entry);
+  B.createBr(Loop);
+  B.setInsertPoint(Loop);
+  Instruction *A = B.createPhi(IRType::getI64(), "a");
+  Instruction *Bv = B.createPhi(IRType::getI64(), "b");
+  Instruction *I = B.createPhi(IRType::getI64(), "i");
+  Value *Next = B.createAdd(I, M.getI64(1));
+  Value *Done = B.createICmp(CmpPred::SGE, Next, M.getI64(5));
+  A->addIncoming(F->getArg(0), Entry);
+  Bv->addIncoming(F->getArg(1), Entry);
+  I->addIncoming(M.getI64(0), Entry);
+  A->addIncoming(Bv, Loop); // the swap: a <- b, b <- a, in parallel
+  Bv->addIncoming(A, Loop);
+  I->addIncoming(Next, Loop);
+  B.createCondBr(Done, Exit, Loop);
+  B.setInsertPoint(Exit);
+  // a * 1000 + b distinguishes swapped from unswapped.
+  B.createRet(B.createAdd(B.createMul(A, M.getI64(1000)), Bv));
+  ASSERT_EQ(verifyModule(M), "");
+
+  ExecutionEngine EE(M, GetParam());
+  // 5 iterations entered, 4 back-edge swaps -> (a, b) unchanged at exit
+  // observed *inside* iteration 5, which saw 4 swaps: even -> original.
+  EXPECT_EQ(EE.runFunction("swapper", {RTValue::ofInt(7), RTValue::ofInt(9)})
+                .I,
+            7009);
+}
+
+TEST_P(EngineParityTest, NegativeStepLoop) {
+  // for (i = 10; i > 0; i -= 3) sum += i  ->  10 + 7 + 4 + 1 = 22.
+  Module M;
+  Function *F = M.createFunction("down", IRType::getI64(), {});
+  IRBuilder B(M);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertPoint(Entry);
+  B.createBr(Loop);
+  B.setInsertPoint(Loop);
+  Instruction *IPhi = B.createPhi(IRType::getI64(), "i");
+  Instruction *SumPhi = B.createPhi(IRType::getI64(), "sum");
+  Value *Sum = B.createAdd(SumPhi, IPhi);
+  Value *Next = B.createSub(IPhi, M.getI64(3));
+  Value *More = B.createICmp(CmpPred::SGT, Next, M.getI64(0));
+  IPhi->addIncoming(M.getI64(10), Entry);
+  IPhi->addIncoming(Next, Loop);
+  SumPhi->addIncoming(M.getI64(0), Entry);
+  SumPhi->addIncoming(Sum, Loop);
+  B.createCondBr(More, Loop, Exit);
+  B.setInsertPoint(Exit);
+  B.createRet(Sum);
+  ASSERT_EQ(verifyModule(M), "");
+
+  ExecutionEngine EE(M, GetParam());
+  EXPECT_EQ(EE.runFunction("down", {}).I, 22);
+}
+
+TEST_P(EngineParityTest, ForkThroughFunctionPointerConstant) {
+  // __kmpc_fork_call's first operand is a Function* constant — the
+  // bytecode translator bakes it into the constant pool as a host
+  // pointer and the runtime trampoline casts it back.
+  Module M;
+  Function *Outlined = M.createFunction(
+      "outlined", IRType::getVoid(),
+      {IRType::getPtr(), IRType::getPtr(), IRType::getPtr()},
+      {".global_tid.", ".bound_tid.", "__context"});
+  Function *GetTid =
+      M.getOrInsertFunction("omp_get_thread_num", IRType::getI32(), {});
+  IRBuilder B(M);
+  B.setInsertPoint(Outlined->createBlock("entry"));
+  Value *ArrPtr = B.createLoad(IRType::getPtr(), Outlined->getArg(2));
+  Value *Tid = B.createCall(GetTid, {}, "tid");
+  Value *Tid64 = B.createCast(Opcode::SExt, Tid, IRType::getI64(), "tid64");
+  Value *Slot = B.createGEP(IRType::getI64(), ArrPtr, Tid64);
+  B.createStore(B.createAdd(Tid64, B.getI64(1)), Slot);
+  B.createRetVoid();
+
+  Function *ForkFn = M.getOrInsertFunction(
+      "__kmpc_fork_call", IRType::getVoid(),
+      {IRType::getPtr(), IRType::getI32(), IRType::getPtr(),
+       IRType::getI32()});
+  Function *Main = M.createFunction("main", IRType::getI64(), {});
+  B.setInsertPoint(Main->createBlock("entry"));
+  Instruction *Arr = B.createAlloca(IRType::getI64(), M.getI64(4), "arr");
+  Instruction *Ctx = B.createAlloca(IRType::getPtr(), M.getI64(1), "ctx");
+  B.createStore(Arr, Ctx);
+  B.createCall(ForkFn, {Outlined, B.getI32(1), Ctx, B.getI32(4)});
+  Value *Sum = M.getI64(0);
+  for (int K = 0; K < 4; ++K) {
+    Value *P = B.createGEP(IRType::getI64(), Arr, M.getI64(K));
+    Sum = B.createAdd(Sum, B.createLoad(IRType::getI64(), P));
+  }
+  B.createRet(Sum);
+  ASSERT_EQ(verifyModule(M), "");
+
+  ExecutionEngine EE(M, GetParam());
+  EXPECT_EQ(EE.runFunction("main", {}).I, 10);
+}
+
+TEST_P(EngineParityTest, ExternalBindingReceivesArgs) {
+  Module M;
+  Function *Ext = M.getOrInsertFunction(
+      "host_mul", IRType::getI64(), {IRType::getI64(), IRType::getI64()});
+  Function *F = M.createFunction("f", IRType::getI64(), {IRType::getI64()});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createRet(B.createCall(Ext, {F->getArg(0), M.getI64(3)}));
+
+  ExecutionEngine EE(M, GetParam());
+  EE.bindExternal("host_mul", [](std::span<const RTValue> Args) {
+    return RTValue::ofInt(Args[0].I * Args[1].I);
+  });
+  EXPECT_EQ(EE.runFunction("f", {RTValue::ofInt(14)}).I, 42);
+}
+
+TEST_P(EngineParityTest, DivisionByZeroThrowsSameMessage) {
+  Module M;
+  Function *F = M.createFunction("f", IRType::getI32(), {IRType::getI32()});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createRet(B.createSDiv(M.getI32(1), F->getArg(0)));
+
+  ExecutionEngine EE(M, GetParam());
+  try {
+    EE.runFunction("f", {RTValue::ofInt(0)});
+    FAIL() << "expected a division trap";
+  } catch (const std::runtime_error &Ex) {
+    EXPECT_STREQ(Ex.what(), "integer division by zero");
+  }
+  // The engine stays usable after unwinding (frame stack released).
+  EXPECT_EQ(EE.runFunction("f", {RTValue::ofInt(1)}).I, 1);
+}
+
+TEST_P(EngineParityTest, LoadOpStoreAliasedOperand) {
+  // *p = *p + *p: the fused LoadOpStore's rhs register IS the load's
+  // destination register — the handler must write the load before
+  // reading the rhs for the doubling to come out right.
+  Module M;
+  GlobalVariable *G = M.createGlobal("g", IRType::getI64(), 1);
+  G->IntInit = {21};
+  Function *F = M.createFunction("f", IRType::getI64(), {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *L = B.createLoad(IRType::getI64(), G, "v");
+  B.createStore(B.createAdd(L, L), G);
+  B.createRet(B.createLoad(IRType::getI64(), G, "out"));
+  ASSERT_EQ(verifyModule(M), "");
+
+  ExecutionEngine EE(M, GetParam());
+  EXPECT_EQ(EE.runFunction("f", {}).I, 42);
+}
+
+TEST(InterpTest, BytecodeFusesSuperinstructions) {
+  // A loop whose body is a[i] += expr and whose latch is cmp+condbr:
+  // the bytecode engine must retire fewer instructions than the walker
+  // and record superinstruction hits; checksums must still agree.
+  Module M;
+  IRBuilder B(M);
+  Function *F = M.createFunction("f", IRType::getI64(), {});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertPoint(Entry);
+  Instruction *Arr = B.createAlloca(IRType::getI64(), M.getI64(64), "arr");
+  B.createBr(Loop);
+  B.setInsertPoint(Loop);
+  Instruction *I = B.createPhi(IRType::getI64(), "i");
+  Value *Slot = B.createGEP(IRType::getI64(), Arr, I);
+  Value *Old = B.createLoad(IRType::getI64(), Slot, "old");
+  B.createStore(B.createAdd(Old, I), Slot);
+  Value *Next = B.createAdd(I, M.getI64(1));
+  Value *Done = B.createICmp(CmpPred::SGE, Next, M.getI64(64));
+  I->addIncoming(M.getI64(0), Entry);
+  I->addIncoming(Next, Loop);
+  B.createCondBr(Done, Exit, Loop);
+  B.setInsertPoint(Exit);
+  Value *P = B.createGEP(IRType::getI64(), Arr, M.getI64(63));
+  B.createRet(B.createLoad(IRType::getI64(), P));
+  ASSERT_EQ(verifyModule(M), "");
+
+  ExecutionEngine Walker(M, ExecEngineKind::Walker);
+  ExecutionEngine Bytecode(M, ExecEngineKind::Bytecode);
+  EXPECT_EQ(Walker.runFunction("f", {}).I, 63);
+  EXPECT_EQ(Bytecode.runFunction("f", {}).I, 63);
+
+  ExecStats WS = Walker.statsSnapshot();
+  ExecStats BS = Bytecode.statsSnapshot();
+  EXPECT_EQ(WS.SuperinstHits, 0u);
+  EXPECT_GT(BS.SuperinstHits, 0u);
+  EXPECT_GT(BS.SuperinstsEmitted, 0u);
+  EXPECT_GT(BS.BytecodeBytes, 0u);
+  // Fused instructions count once, so the bytecode engine retires
+  // strictly fewer instructions for the same work.
+  EXPECT_LT(BS.InstructionsExecuted, WS.InstructionsExecuted);
+}
+
+TEST(InterpTest, ExecStatsRender) {
+  Module M;
+  Function *F = M.createFunction("f", IRType::getI32(), {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createRet(M.getI32(0));
+
+  ExecutionEngine EE(M, ExecEngineKind::Bytecode);
+  EE.runFunction("f", {});
+  std::string S = EE.renderExecStats();
+  EXPECT_NE(S.find("== execution engine statistics =="), std::string::npos);
+  EXPECT_NE(S.find("engine:    bytecode"), std::string::npos);
+  EXPECT_NE(S.find("frames=1"), std::string::npos);
+
+  ExecutionEngine WE(M, ExecEngineKind::Walker);
+  std::string W = WE.renderExecStats();
+  EXPECT_NE(W.find("engine:    walker dispatch=tree-walk"),
+            std::string::npos);
+}
+
+TEST(InterpTest, PrecompiledBytecodeIsReused) {
+  Module M;
+  Function *F = M.createFunction("f", IRType::getI32(), {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createRet(M.getI32(7));
+
+  auto BC = mcc::interp::bc::compileToBytecode(M);
+  ExecutionEngine EE(M, ExecEngineKind::Bytecode, BC);
+  EXPECT_EQ(EE.runFunction("f", {}).I, 7);
+  // The engine adopted the shared translation instead of re-translating.
+  EXPECT_FALSE(EE.statsSnapshot().TranslatedHere);
+  ExecutionEngine Fresh(M, ExecEngineKind::Bytecode);
+  EXPECT_TRUE(Fresh.statsSnapshot().TranslatedHere);
+}
+
 TEST(RuntimeTest, ThreadNumbersAreDense) {
   using namespace mcc::rt;
   OpenMPRuntime &RT = OpenMPRuntime::get();
