@@ -26,6 +26,7 @@
 #include "support/Diagnostic.h"
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,7 @@ public:
     std::string Name;
     unsigned Warnings = 0;
     unsigned Errors = 0;
+    unsigned Remarks = 0;
   };
   [[nodiscard]] const std::vector<PassStats> &getStats() const {
     return Stats;
@@ -89,12 +91,25 @@ private:
 std::unique_ptr<ASTAnalysis> createOpenMPRaceLinter();
 std::unique_ptr<ASTAnalysis> createCanonicalLoopConformanceCheck();
 std::unique_ptr<ASTAnalysis> createPostTransformVerifier();
+std::unique_ptr<ASTAnalysis> createDependenceReporter();
 
 /// Registers the default pipeline: the post-transform verifier when
 /// \p EnableVerifier (on by default in the driver, like RunVerifier for
 /// IR), plus the linter passes when \p EnableLinters (--analyze).
 void registerDefaultAnalyses(AnalysisManager &AM, bool EnableLinters,
                              bool EnableVerifier = true);
+
+/// The names --analyze=<pass,...> accepts, comma-separated (for driver
+/// diagnostics).
+std::string getKnownAnalysisPassNames();
+
+/// Registers exactly the passes named in \p Names, in the canonical
+/// pipeline order regardless of the order given (plus the verifier when
+/// \p EnableVerifier). Returns the first unknown name, or an empty string
+/// on success.
+std::string registerAnalysesByName(AnalysisManager &AM,
+                                   std::span<const std::string> Names,
+                                   bool EnableVerifier = true);
 
 // --- Re-usable single-node checks (also the unit-test entry points) ---
 

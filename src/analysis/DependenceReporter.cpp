@@ -1,0 +1,136 @@
+//===--- DependenceReporter.cpp - --analyze=deps report pass ---------------===//
+//
+// Prints, as remarks, what the dependence analysis can prove about every
+// top-level loop nest of the translation unit: the nest shape, each
+// dependence with its direction/distance vector, and the verdict of the
+// transform-legality oracle for the transformations the compiler supports
+// (reverse of each level, interchange of the outer two levels, fusion of
+// adjacent sibling loops). This is the human-facing window into the
+// machinery Sema consults when it refuses an illegal #pragma omp reverse /
+// interchange.
+//
+//===----------------------------------------------------------------------===//
+#include "analysis/Analysis.h"
+#include "analysis/DependenceAnalysis.h"
+
+#include <set>
+#include <vector>
+
+namespace mcc::analysis {
+
+namespace {
+
+/// Collects every ForStmt of a function body in pre-order, plus the pairs
+/// of ForStmts that are textually adjacent in the same CompoundStmt (the
+/// fusion candidates).
+struct LoopCollector {
+  std::vector<ForStmt *> Loops;
+  std::vector<std::pair<ForStmt *, ForStmt *>> Siblings;
+
+  void walk(Stmt *S) {
+    if (!S)
+      return;
+    if (auto *For = stmt_dyn_cast<ForStmt>(S))
+      Loops.push_back(For);
+    if (auto *CS = stmt_dyn_cast<CompoundStmt>(S)) {
+      ForStmt *Prev = nullptr;
+      for (Stmt *Child : CS->body()) {
+        auto *Next = stmt_dyn_cast<ForStmt>(Child);
+        if (Prev && Next)
+          Siblings.emplace_back(Prev, Next);
+        Prev = Next;
+      }
+    }
+    for (Stmt *Child : S->children())
+      walk(Child);
+  }
+};
+
+std::string legalityWord(const Legality &L) {
+  if (L)
+    return "yes";
+  return "no (" + L.Reason + ")";
+}
+
+class DependenceReporter final : public ASTAnalysis {
+public:
+  DependenceReporter() : ASTAnalysis("deps") {}
+
+  void run(TranslationUnitDecl *TU, AnalysisManager &AM) override {
+    DiagnosticsEngine &Diags = AM.getDiagnostics();
+    for (Decl *D : TU->decls())
+      if (auto *FD = decl_dyn_cast<FunctionDecl>(D))
+        if (FD->hasBody())
+          reportFunction(FD->getBody(), Diags);
+  }
+
+private:
+  void reportFunction(Stmt *Body, DiagnosticsEngine &Diags) {
+    LoopCollector C;
+    C.walk(Body);
+
+    // Report each maximal nest once: analyzing a root consumes the loops
+    // that became levels of its nest; inner loops of imperfect nests are
+    // then reported as nests of their own.
+    std::set<const ForStmt *> Consumed;
+    for (ForStmt *Root : C.Loops) {
+      if (Consumed.count(Root))
+        continue;
+      DependenceInfo Info = DependenceInfo::analyze(Root);
+      if (!Info.isAnalyzable()) {
+        Consumed.insert(Root);
+        Diags.report(Root->getBeginLoc(), diag::remark_deps_nest)
+            << 0U << 0U << 0U
+            << ("; not analyzable: " + Info.getFailureReason());
+        continue;
+      }
+      for (const NestLoop &L : Info.getLoops())
+        Consumed.insert(L.Loop);
+      reportNest(Root, Info, Diags);
+    }
+
+    for (auto &[First, Second] : C.Siblings) {
+      DependenceInfo FI = DependenceInfo::analyze(First);
+      DependenceInfo SI = DependenceInfo::analyze(Second);
+      Diags.report(Second->getBeginLoc(), diag::remark_deps_legality)
+          << ("fuse with preceding loop: " +
+              legalityWord(DependenceInfo::isLegalFuse(FI, SI)));
+    }
+  }
+
+  void reportNest(ForStmt *Root, const DependenceInfo &Info,
+                  DiagnosticsEngine &Diags) {
+    std::string Extra;
+    if (!Info.getSkippedWrites().empty())
+      Extra = ", " + std::to_string(Info.getSkippedWrites().size()) +
+              " writes skipped";
+    if (Info.hasCall())
+      Extra += ", contains calls";
+    Diags.report(Root->getBeginLoc(), diag::remark_deps_nest)
+        << Info.getDepth() << Info.getNumAnalyzableAccesses()
+        << static_cast<unsigned>(Info.getDependences().size()) << Extra;
+
+    for (const Dependence &Dep : Info.getDependences()) {
+      SourceLocation Loc = Dep.SrcLoc.isValid() ? Dep.SrcLoc
+                                                : Root->getBeginLoc();
+      Diags.report(Loc, diag::remark_deps_dep) << Dep.describe();
+    }
+
+    for (unsigned L = 0; L < Info.getDepth(); ++L)
+      Diags.report(Root->getBeginLoc(), diag::remark_deps_legality)
+          << ("reverse level " + std::to_string(L + 1) + ": " +
+              legalityWord(Info.isLegalReverse(L)));
+    if (Info.getDepth() >= 2)
+      Diags.report(Root->getBeginLoc(), diag::remark_deps_legality)
+          << ("interchange levels 1,2: " +
+              legalityWord(Info.isLegalInterchange(0, 1)));
+  }
+};
+
+} // namespace
+
+std::unique_ptr<ASTAnalysis> createDependenceReporter() {
+  return std::make_unique<DependenceReporter>();
+}
+
+} // namespace mcc::analysis

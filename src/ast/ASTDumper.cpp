@@ -89,6 +89,9 @@ void ASTDumper::dumpClause(const OMPClause *C) {
   if (const auto *SZ = clause_dyn_cast<OMPSizesClause>(C))
     for (ConstantExpr *E : SZ->getSizesRefs())
       Children.add([this, E] { dumpStmt(E); });
+  if (const auto *PM = clause_dyn_cast<OMPPermutationClause>(C))
+    for (ConstantExpr *E : PM->getArgRefs())
+      Children.add([this, E] { dumpStmt(E); });
   if (const auto *VL = clause_dyn_cast<OMPVarListClause>(C))
     for (DeclRefExpr *E : VL->getVarRefs())
       Children.add([this, E] { dumpStmt(E); });

@@ -154,6 +154,32 @@ private:
   std::span<ConstantExpr *const> Sizes;
 };
 
+/// permutation(p1, ..., pn) — interchange loop order (OpenMP 6.0). Each
+/// argument is a 1-based original loop position; together they must form a
+/// permutation of 1..n.
+class OMPPermutationClause final : public OMPClause {
+public:
+  OMPPermutationClause(SourceRange Range, std::span<ConstantExpr *const> Args)
+      : OMPClause(OpenMPClauseKind::Permutation, Range), Args(Args) {}
+
+  [[nodiscard]] std::span<ConstantExpr *const> getArgRefs() const {
+    return Args;
+  }
+  [[nodiscard]] unsigned getNumArgs() const {
+    return static_cast<unsigned>(Args.size());
+  }
+  [[nodiscard]] std::int64_t getArg(unsigned I) const {
+    return Args[I]->getResult();
+  }
+
+  static bool classof(const OMPClause *C) {
+    return C->getClauseKind() == OpenMPClauseKind::Permutation;
+  }
+
+private:
+  std::span<ConstantExpr *const> Args;
+};
+
 /// Base for clauses carrying a list of variables.
 class OMPVarListClause : public OMPClause {
 public:

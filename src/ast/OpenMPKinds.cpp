@@ -20,6 +20,10 @@ std::string_view getOpenMPDirectiveName(OpenMPDirectiveKind Kind) {
     return "tile";
   case OpenMPDirectiveKind::Unroll:
     return "unroll";
+  case OpenMPDirectiveKind::Reverse:
+    return "reverse";
+  case OpenMPDirectiveKind::Interchange:
+    return "interchange";
   case OpenMPDirectiveKind::Barrier:
     return "barrier";
   case OpenMPDirectiveKind::Critical:
@@ -43,6 +47,10 @@ OpenMPDirectiveKind parseOpenMPDirectiveKind(std::string_view Name) {
     return OpenMPDirectiveKind::Tile;
   if (Name == "unroll")
     return OpenMPDirectiveKind::Unroll;
+  if (Name == "reverse")
+    return OpenMPDirectiveKind::Reverse;
+  if (Name == "interchange")
+    return OpenMPDirectiveKind::Interchange;
   if (Name == "barrier")
     return OpenMPDirectiveKind::Barrier;
   if (Name == "critical")
@@ -70,6 +78,8 @@ std::string_view getOpenMPClauseName(OpenMPClauseKind Kind) {
     return "partial";
   case OpenMPClauseKind::Sizes:
     return "sizes";
+  case OpenMPClauseKind::Permutation:
+    return "permutation";
   case OpenMPClauseKind::Private:
     return "private";
   case OpenMPClauseKind::FirstPrivate:
@@ -97,6 +107,8 @@ OpenMPClauseKind parseOpenMPClauseKind(std::string_view Name) {
     return OpenMPClauseKind::Partial;
   if (Name == "sizes")
     return OpenMPClauseKind::Sizes;
+  if (Name == "permutation")
+    return OpenMPClauseKind::Permutation;
   if (Name == "private")
     return OpenMPClauseKind::Private;
   if (Name == "firstprivate")
@@ -174,6 +186,8 @@ bool isOpenMPLoopAssociatedDirective(OpenMPDirectiveKind Kind) {
   case OpenMPDirectiveKind::ForSimd:
   case OpenMPDirectiveKind::Tile:
   case OpenMPDirectiveKind::Unroll:
+  case OpenMPDirectiveKind::Reverse:
+  case OpenMPDirectiveKind::Interchange:
     return true;
   default:
     return false;
@@ -182,7 +196,9 @@ bool isOpenMPLoopAssociatedDirective(OpenMPDirectiveKind Kind) {
 
 bool isOpenMPLoopTransformationDirective(OpenMPDirectiveKind Kind) {
   return Kind == OpenMPDirectiveKind::Tile ||
-         Kind == OpenMPDirectiveKind::Unroll;
+         Kind == OpenMPDirectiveKind::Unroll ||
+         Kind == OpenMPDirectiveKind::Reverse ||
+         Kind == OpenMPDirectiveKind::Interchange;
 }
 
 bool isOpenMPParallelDirective(OpenMPDirectiveKind Kind) {
@@ -222,6 +238,10 @@ bool isAllowedClauseForDirective(OpenMPDirectiveKind Directive,
     return Clause == C::Sizes;
   case D::Unroll:
     return Clause == C::Full || Clause == C::Partial;
+  case D::Reverse:
+    return false;
+  case D::Interchange:
+    return Clause == C::Permutation;
   case D::Single:
     return Clause == C::Private || Clause == C::FirstPrivate ||
            Clause == C::NoWait;

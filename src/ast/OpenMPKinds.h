@@ -21,6 +21,8 @@ enum class OpenMPDirectiveKind {
   ForSimd,     // #pragma omp for simd (composite)
   Tile,        // #pragma omp tile   (OpenMP 5.1 loop transformation)
   Unroll,      // #pragma omp unroll (OpenMP 5.1 loop transformation)
+  Reverse,     // #pragma omp reverse     (OpenMP 6.0 loop transformation)
+  Interchange, // #pragma omp interchange (OpenMP 6.0 loop transformation)
   Barrier,     // #pragma omp barrier
   Critical,    // #pragma omp critical
   Single,      // #pragma omp single
@@ -34,7 +36,8 @@ enum class OpenMPClauseKind {
   Collapse,
   Full,    // unroll full
   Partial, // unroll partial(k)
-  Sizes,   // tile sizes(s1, ..., sn)
+  Sizes,       // tile sizes(s1, ..., sn)
+  Permutation, // interchange permutation(p1, ..., pn)
   Private,
   FirstPrivate,
   Shared,

@@ -154,6 +154,8 @@ std::vector<Stmt *> Stmt::children() const {
   case StmtClass::OMPForSimdDirective:
   case StmtClass::OMPTileDirective:
   case StmtClass::OMPUnrollDirective:
+  case StmtClass::OMPReverseDirective:
+  case StmtClass::OMPInterchangeDirective:
     Add(stmt_cast<OMPExecutableDirective>(this)->getAssociatedStmt());
     break;
   case StmtClass::NUM_STMT_CLASSES:

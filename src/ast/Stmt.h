@@ -31,9 +31,9 @@ public:
     firstExpr = IntegerLiteral,
     lastExpr = ConstantExpr,
     firstOMPExecutable = OMPParallelDirective,
-    lastOMPExecutable = OMPUnrollDirective,
+    lastOMPExecutable = OMPInterchangeDirective,
     firstOMPLoopBased = OMPForDirective,
-    lastOMPLoopBased = OMPUnrollDirective,
+    lastOMPLoopBased = OMPInterchangeDirective,
     firstOMPLoop = OMPForDirective,
     lastOMPLoop = OMPForSimdDirective,
   };

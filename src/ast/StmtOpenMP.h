@@ -351,7 +351,9 @@ public:
 
   static bool classof(const Stmt *S) {
     return S->getStmtClass() == StmtClass::OMPTileDirective ||
-           S->getStmtClass() == StmtClass::OMPUnrollDirective;
+           S->getStmtClass() == StmtClass::OMPUnrollDirective ||
+           S->getStmtClass() == StmtClass::OMPReverseDirective ||
+           S->getStmtClass() == StmtClass::OMPInterchangeDirective;
   }
 
 protected:
@@ -394,6 +396,52 @@ public:
 
   static bool classof(const Stmt *S) {
     return S->getStmtClass() == StmtClass::OMPUnrollDirective;
+  }
+};
+
+/// #pragma omp reverse (OpenMP 6.0): iterate the associated loop in the
+/// opposite order. Only legal when no loop-carried dependence would be
+/// violated; Sema consults the DependenceAnalysis oracle before building
+/// the transformed statement.
+class OMPReverseDirective final : public OMPLoopTransformationDirective {
+public:
+  OMPReverseDirective(SourceRange Range, std::span<OMPClause *const> Clauses,
+                      Stmt *AssociatedStmt)
+      : OMPLoopTransformationDirective(StmtClass::OMPReverseDirective, Range,
+                                       OpenMPDirectiveKind::Reverse, Clauses,
+                                       AssociatedStmt, /*NumLoops=*/1) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::OMPReverseDirective;
+  }
+};
+
+/// #pragma omp interchange [permutation(p1, ..., pn)] (OpenMP 6.0):
+/// permute the loops of a perfect nest. Without a permutation clause the
+/// outermost two loops are swapped.
+class OMPInterchangeDirective final : public OMPLoopTransformationDirective {
+public:
+  OMPInterchangeDirective(SourceRange Range,
+                          std::span<OMPClause *const> Clauses,
+                          Stmt *AssociatedStmt, unsigned NumLoops)
+      : OMPLoopTransformationDirective(StmtClass::OMPInterchangeDirective,
+                                       Range, OpenMPDirectiveKind::Interchange,
+                                       Clauses, AssociatedStmt, NumLoops) {}
+
+  /// The permutation applied: Perm[K] is the 0-based original position of
+  /// the loop placed at depth K. Identity-extended default is (1, 0): swap.
+  [[nodiscard]] std::vector<unsigned> getPermutation() const {
+    if (const auto *PC = getSingleClause<OMPPermutationClause>()) {
+      std::vector<unsigned> Perm;
+      for (unsigned I = 0; I < PC->getNumArgs(); ++I)
+        Perm.push_back(static_cast<unsigned>(PC->getArg(I) - 1));
+      return Perm;
+    }
+    return {1, 0};
+  }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::OMPInterchangeDirective;
   }
 };
 

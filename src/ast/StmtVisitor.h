@@ -85,6 +85,8 @@ public:
   DELEGATE(OMPForSimdDirective, OMPLoopDirective)
   DELEGATE(OMPTileDirective, OMPLoopTransformationDirective)
   DELEGATE(OMPUnrollDirective, OMPLoopTransformationDirective)
+  DELEGATE(OMPReverseDirective, OMPLoopTransformationDirective)
+  DELEGATE(OMPInterchangeDirective, OMPLoopTransformationDirective)
 #undef DELEGATE
 
 private:
@@ -123,6 +125,9 @@ public:
           clause_cast<OMPReductionClause>(C));
     case OpenMPClauseKind::NoWait:
       return getDerived().visitNoWaitClause(clause_cast<OMPNoWaitClause>(C));
+    case OpenMPClauseKind::Permutation:
+      return getDerived().visitPermutationClause(
+          clause_cast<OMPPermutationClause>(C));
     case OpenMPClauseKind::Unknown:
       break;
     }
@@ -143,6 +148,7 @@ public:
   DELEGATE(SharedClause, OMPSharedClause)
   DELEGATE(ReductionClause, OMPReductionClause)
   DELEGATE(NoWaitClause, OMPNoWaitClause)
+  DELEGATE(PermutationClause, OMPPermutationClause)
 #undef DELEGATE
 
 private:

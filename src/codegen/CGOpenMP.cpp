@@ -359,7 +359,9 @@ void CodeGenFunction::emitOMPDirective(const OMPExecutableDirective *D) {
   case OpenMPDirectiveKind::Simd:
   case OpenMPDirectiveKind::ForSimd:
   case OpenMPDirectiveKind::Tile:
-  case OpenMPDirectiveKind::Unroll: {
+  case OpenMPDirectiveKind::Unroll:
+  case OpenMPDirectiveKind::Reverse:
+  case OpenMPDirectiveKind::Interchange: {
     if (CGM.getLangOpts().OpenMPEnableIRBuilder)
       return emitOMPLoopBasedDirectiveIRBuilder(
           stmt_cast<OMPLoopBasedDirective>(D));
@@ -369,6 +371,10 @@ void CodeGenFunction::emitOMPDirective(const OMPExecutableDirective *D) {
       return emitOMPTileLegacy(stmt_cast<OMPTileDirective>(D));
     case OpenMPDirectiveKind::Unroll:
       return emitOMPUnrollLegacy(stmt_cast<OMPUnrollDirective>(D));
+    case OpenMPDirectiveKind::Reverse:
+    case OpenMPDirectiveKind::Interchange:
+      return emitOMPTransformLegacy(
+          stmt_cast<OMPLoopTransformationDirective>(D));
     default:
       return emitOMPLoopDirectiveLegacy(stmt_cast<OMPLoopDirective>(D));
     }
@@ -591,6 +597,15 @@ void CodeGenFunction::emitOMPTileLegacy(const OMPTileDirective *D) {
   emitStmt(D->getTransformedStmt());
 }
 
+void CodeGenFunction::emitOMPTransformLegacy(
+    const OMPLoopTransformationDirective *D) {
+  // reverse / interchange: Sema already built the de-sugared shadow loop
+  // nest over the permuted/mirrored logical spaces; emit it in place.
+  if (D->getPreInits())
+    emitStmt(D->getPreInits());
+  emitStmt(D->getTransformedStmt());
+}
+
 void CodeGenFunction::emitOMPUnrollLegacy(const OMPUnrollDirective *D) {
   if (D->getPreInits())
     emitStmt(D->getPreInits());
@@ -757,6 +772,21 @@ CodeGenFunction::emitLoopConstruct(const Stmt *S) {
         Inner.begin(),
         Inner.begin() + static_cast<std::ptrdiff_t>(Sizes->getNumSizes()));
     return OMPB.tileLoops(Consumed, SizeVals);
+  }
+  if (const auto *RD = stmt_dyn_cast<OMPReverseDirective>(S)) {
+    std::vector<CanonicalLoopInfo *> Inner =
+        emitLoopConstruct(RD->getAssociatedStmt());
+    OMPB.reverseLoop(Inner[0]);
+    return Inner;
+  }
+  if (const auto *ID = stmt_dyn_cast<OMPInterchangeDirective>(S)) {
+    std::vector<CanonicalLoopInfo *> Inner =
+        emitLoopConstruct(ID->getAssociatedStmt());
+    std::vector<unsigned> Perm = ID->getPermutation();
+    std::vector<CanonicalLoopInfo *> Consumed(
+        Inner.begin(),
+        Inner.begin() + static_cast<std::ptrdiff_t>(Perm.size()));
+    return OMPB.interchangeLoops(Consumed, Perm);
   }
   assert(false && "unexpected statement in IRBuilder loop construct");
   return {};
@@ -925,6 +955,20 @@ void CodeGenFunction::emitOMPLoopBasedDirectiveIRBuilder(
     } else {
       OMPB.unrollLoopHeuristic(CLIs[0]);
     }
+    break;
+  }
+  case OpenMPDirectiveKind::Reverse: {
+    // Standalone reverse: apply the transformation to the canonical loop.
+    OMPB.reverseLoop(CLIs[0]);
+    break;
+  }
+  case OpenMPDirectiveKind::Interchange: {
+    const auto *ID = stmt_cast<OMPInterchangeDirective>(D);
+    std::vector<unsigned> Perm = ID->getPermutation();
+    std::vector<CanonicalLoopInfo *> Consumed(
+        CLIs.begin(),
+        CLIs.begin() + static_cast<std::ptrdiff_t>(Perm.size()));
+    OMPB.interchangeLoops(Consumed, Perm);
     break;
   }
   default:

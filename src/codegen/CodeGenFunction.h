@@ -57,6 +57,8 @@ private:
   void emitWorkshareFromHelpers(const OMPLoopDirective *D);
   void emitOMPTileLegacy(const OMPTileDirective *D);
   void emitOMPUnrollLegacy(const OMPUnrollDirective *D);
+  /// reverse / interchange: emits PreInits + the shadow transformed nest.
+  void emitOMPTransformLegacy(const OMPLoopTransformationDirective *D);
 
   // IRBuilder pipeline.
   void emitOMPLoopBasedDirectiveIRBuilder(const OMPLoopBasedDirective *D);

@@ -41,10 +41,21 @@ bool CompilerInstance::parseToAST(const std::string &MainFile) {
   if (!TU || Diags.hasErrorOccurred())
     return false;
 
-  if (Options.RunASTVerifier || Options.RunAnalyzers) {
+  if (Options.RunASTVerifier || Options.RunAnalyzers ||
+      !Options.AnalyzePasses.empty()) {
     analysis::AnalysisManager AM(Ctx, Diags);
-    analysis::registerDefaultAnalyses(AM, Options.RunAnalyzers,
-                                      Options.RunASTVerifier);
+    if (!Options.AnalyzePasses.empty()) {
+      std::string Unknown = analysis::registerAnalysesByName(
+          AM, Options.AnalyzePasses, Options.RunASTVerifier);
+      if (!Unknown.empty()) {
+        Diags.report(SourceLocation(), diag::err_drv_unknown_analysis_pass)
+            << Unknown << analysis::getKnownAnalysisPassNames();
+        return false;
+      }
+    } else {
+      analysis::registerDefaultAnalyses(AM, Options.RunAnalyzers,
+                                        Options.RunASTVerifier);
+    }
     AM.run(TU);
   }
   return !Diags.hasErrorOccurred();

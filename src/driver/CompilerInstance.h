@@ -26,6 +26,11 @@ struct CompilerOptions {
   bool RunVerifier = true;    // IR verifier after CodeGen / mid-end
   bool RunASTVerifier = true; // post-transform shadow-AST verifier
   bool RunAnalyzers = false;  // --analyze: race linter + loop conformance
+  /// --analyze=<comma-list>: run exactly these AST analyses (registered in
+  /// the canonical pipeline order regardless of the order given). Empty =
+  /// the default set selected by RunAnalyzers. An unknown name is a driver
+  /// error (err_drv_unknown_analysis_pass).
+  std::vector<std::string> AnalyzePasses;
   bool SuppressWarnings = false; // -w
   bool WarningsAsErrors = false; // -Werror
   bool RunMidend = false; // -O1: LoopUnroll + SimplifyCFG + DCE

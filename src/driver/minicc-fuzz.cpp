@@ -106,7 +106,7 @@ int main(int argc, char **argv) {
   }
 
   fuzz::DifferentialRunner Runner(Opts);
-  std::uint64_t TotalRuns = 0;
+  std::uint64_t TotalRuns = 0, TotalRejections = 0;
   for (std::uint64_t K = 0; K < Count; ++K) {
     fuzz::ProgramSpec Spec = fuzz::generateProgram(Seed + K);
     if (DumpSource)
@@ -114,6 +114,7 @@ int main(int argc, char **argv) {
                   Spec.render().c_str());
     fuzz::ProgramResult Result = Runner.runWithVariants(Spec);
     TotalRuns += Result.RunsExecuted;
+    TotalRejections += Result.ConservativeRejections;
     if (!Result.ok()) {
       std::fputs(fuzz::DifferentialRunner::report(Result).c_str(), stderr);
       if (Shrink) {
@@ -137,9 +138,11 @@ int main(int argc, char **argv) {
   if (!Quiet)
     std::fprintf(stderr,
                  "minicc-fuzz: %llu programs x backend matrix = %llu runs, "
-                 "0 mismatches (seeds %llu..%llu)\n",
+                 "0 mismatches, %llu conservative transform rejections "
+                 "(seeds %llu..%llu)\n",
                  static_cast<unsigned long long>(Count),
                  static_cast<unsigned long long>(TotalRuns),
+                 static_cast<unsigned long long>(TotalRejections),
                  static_cast<unsigned long long>(Seed),
                  static_cast<unsigned long long>(Seed + Count - 1));
   rt::OpenMPRuntime::get().shutdown();

@@ -84,6 +84,20 @@ bool parseJobLine(const std::string &Line, svc::CompileJob &Job,
       Job.Execute = true;
     else if (W == "--analyze" || W == "-analyze")
       Job.Options.RunAnalyzers = true;
+    else if (W.rfind("--analyze=", 0) == 0 || W.rfind("-analyze=", 0) == 0) {
+      std::string List = W.substr(W.find('=') + 1);
+      std::size_t Pos = 0;
+      while (Pos <= List.size()) {
+        std::size_t Comma = List.find(',', Pos);
+        std::string Name = List.substr(
+            Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+        if (!Name.empty())
+          Job.Options.AnalyzePasses.push_back(Name);
+        if (Comma == std::string::npos)
+          break;
+        Pos = Comma + 1;
+      }
+    }
     else if (W == "-w")
       Job.Options.SuppressWarnings = true;
     else if (W == "-Werror")

@@ -15,6 +15,9 @@
 //     -syntax-only                 stop after semantic analysis
 //     --analyze                    run the AST static analyses (OpenMP race
 //                                  linter, canonical-loop conformance)
+//     --analyze=<pass,...>         run exactly the named analyses
+//                                  (openmp-race-linter,
+//                                  canonical-loop-conformance, deps)
 //     -w                           suppress all warnings
 //     -Werror                      treat warnings as errors
 //     -DNAME[=VALUE]               predefine a macro
@@ -54,6 +57,9 @@ void printUsage() {
       "  -syntax-only                stop after Sema\n"
       "  --analyze                   run AST static analyses (race linter,\n"
       "                              canonical-loop conformance)\n"
+      "  --analyze=<pass,...>        run exactly these analyses; names:\n"
+      "                              openmp-race-linter,\n"
+      "                              canonical-loop-conformance, deps\n"
       "  -w                          suppress all warnings\n"
       "  -Werror                     treat warnings as errors\n"
       "  -DNAME[=VALUE]              define macro\n"
@@ -101,6 +107,26 @@ int main(int argc, char **argv) {
       SyntaxOnly = true;
     else if (Arg == "--analyze" || Arg == "-analyze")
       Options.RunAnalyzers = true;
+    else if (Arg.rfind("--analyze=", 0) == 0 ||
+             Arg.rfind("-analyze=", 0) == 0) {
+      std::string List = Arg.substr(Arg.find('=') + 1);
+      std::size_t Pos = 0;
+      while (Pos <= List.size()) {
+        std::size_t Comma = List.find(',', Pos);
+        std::string Name = List.substr(
+            Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+        if (!Name.empty())
+          Options.AnalyzePasses.push_back(Name);
+        if (Comma == std::string::npos)
+          break;
+        Pos = Comma + 1;
+      }
+      if (Options.AnalyzePasses.empty()) {
+        std::fprintf(stderr,
+                     "minicc: --analyze= requires at least one pass name\n");
+        return 1;
+      }
+    }
     else if (Arg == "--rt-stats" || Arg == "-rt-stats")
       RTStats = true;
     else if (Arg == "--exec-stats" || Arg == "-exec-stats")

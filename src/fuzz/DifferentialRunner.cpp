@@ -150,11 +150,24 @@ ProgramResult DifferentialRunner::run(const ProgramSpec &Spec) const {
   Result.Spec = Spec;
   Result.Expected = Spec.reference();
   const std::string Source = Spec.render();
+  // Conservative-rejection fallback: when the dependence legality oracle
+  // refuses a generated reverse/interchange, the program is still a valid
+  // differential testcase — untransformed. (The reference checksum is
+  // evaluated in original iteration order, so it covers both shapes.)
+  const bool HasTransform = Spec.Pragmas.hasLoopTransform();
+  const std::string StrippedSource =
+      HasTransform ? Spec.withoutLoopTransforms().render() : std::string();
 
   for (const BackendConfig &BC : Backends) {
     // One compile per backend; every engine and thread width below
     // executes the same module (and shares one bytecode translation).
     CompiledProgram P = compileProgram(Source, BC, Service.get());
+    if (P.Failed && HasTransform &&
+        (P.Diagnostics.find("is refused") != std::string::npos ||
+         P.Diagnostics.find("cannot prove") != std::string::npos)) {
+      ++Result.ConservativeRejections;
+      P = compileProgram(StrippedSource, BC, Service.get());
+    }
     for (interp::ExecEngineKind Engine : Opts.Engines) {
       for (unsigned Threads : threadCounts(Spec)) {
         std::string Config = std::string(BC.Name) +
@@ -198,6 +211,16 @@ DifferentialRunner::factorVariants(const ProgramSpec &Spec) const {
       Variants.push_back(std::move(V));
     }
   }
+  if (Spec.Pragmas.Permutation.size() >= 3) {
+    // Alternate permutation of the same nest (rotation is never the
+    // identity for size >= 2, so the transformation stays non-trivial).
+    ProgramSpec V = Spec;
+    std::rotate(V.Pragmas.Permutation.begin(),
+                V.Pragmas.Permutation.begin() + 1,
+                V.Pragmas.Permutation.end());
+    V.Variant = "perm-rotated";
+    Variants.push_back(std::move(V));
+  }
   return Variants;
 }
 
@@ -209,6 +232,7 @@ DifferentialRunner::runWithVariants(const ProgramSpec &Spec) const {
   for (const ProgramSpec &V : factorVariants(Spec)) {
     ProgramResult VR = run(V);
     R.RunsExecuted += VR.RunsExecuted;
+    R.ConservativeRejections += VR.ConservativeRejections;
     if (!VR.ok()) {
       VR.RunsExecuted = R.RunsExecuted;
       return VR;
@@ -238,7 +262,7 @@ ProgramSpec DifferentialRunner::shrink(const ProgramSpec &Spec) const {
         Progress = true;
       }
     }
-    for (int Component = 0; Component < 6; ++Component) {
+    for (int Component = 0; Component < 8; ++Component) {
       ProgramSpec C = Cur;
       switch (Component) {
       case 0:
@@ -264,6 +288,12 @@ ProgramSpec DifferentialRunner::shrink(const ProgramSpec &Spec) const {
       case 5:
         C.Pragmas.Collapse = 0;
         break;
+      case 6:
+        C.Pragmas.Reverse = false;
+        break;
+      case 7:
+        C.Pragmas.Permutation.clear();
+        break;
       }
       if (StillFails(C) && (C.Pragmas.ParallelFor != Cur.Pragmas.ParallelFor ||
                             C.Pragmas.OrphanFor != Cur.Pragmas.OrphanFor ||
@@ -273,7 +303,10 @@ ProgramSpec DifferentialRunner::shrink(const ProgramSpec &Spec) const {
                                 Cur.Pragmas.UnrollFactor ||
                             C.Pragmas.UnrollFull != Cur.Pragmas.UnrollFull ||
                             C.Pragmas.Schedule != Cur.Pragmas.Schedule ||
-                            C.Pragmas.Collapse != Cur.Pragmas.Collapse)) {
+                            C.Pragmas.Collapse != Cur.Pragmas.Collapse ||
+                            C.Pragmas.Reverse != Cur.Pragmas.Reverse ||
+                            C.Pragmas.Permutation !=
+                                Cur.Pragmas.Permutation)) {
         Cur = C;
         Progress = true;
       }
@@ -287,6 +320,8 @@ ProgramSpec DifferentialRunner::shrink(const ProgramSpec &Spec) const {
         C.Pragmas.TileSizes.resize(C.Loops.size());
       if (C.Pragmas.Collapse > C.Loops.size())
         C.Pragmas.Collapse = 0;
+      if (C.Pragmas.Permutation.size() > C.Loops.size())
+        C.Pragmas.Permutation.clear();
       if (C.Loops.size() < 2)
         C.Pragmas.UnrollInnermost = false;
       if (!StillFails(C))

@@ -61,11 +61,16 @@ struct BodyOp {
     SumQuadratic, ///< sum += C0*i0*i0 + C1*i1 + Bias
     SumCond,      ///< if ((i0 + Bias) % Mod == 0) sum += C0*i0 + C1*i1
     ArrayUpdate,  ///< a[logical-iteration] += C0*i0 + C1*i1 + C2*i2 + Bias
+    ArrayCarried, ///< a[idx + Dist] += a[idx] + ... — a loop-carried flow
+                  ///< dependence of distance Dist, so reverse/interchange
+                  ///< must be refused by the legality oracle (serial
+                  ///< programs only; order-dependent result)
   };
   Kind K = Kind::SumLinear;
   std::int64_t C[3] = {1, 0, 0};
   std::int64_t Bias = 0;
-  std::int64_t Mod = 3; // SumCond only; >= 2
+  std::int64_t Mod = 3;  // SumCond only; >= 2
+  std::int64_t Dist = 1; // ArrayCarried only; >= 1
 };
 
 /// The directive stack above (and inside) the loop nest. Only
@@ -85,10 +90,22 @@ struct PragmaSpec {
   unsigned UnrollFactor = 0; ///< partial unroll factor; 0 = none
   bool UnrollFull = false;   ///< full unroll (top of stack, serial only)
   bool UnrollInnermost = false; ///< place the unroll on the innermost loop
+  /// `#pragma omp reverse` on the outermost loop. Subject to the
+  /// dependence legality oracle: Sema may refuse it, which the runner
+  /// counts as a conservative rejection and re-verifies untransformed.
+  bool Reverse = false;
+  /// `#pragma omp interchange permutation(...)`, 1-based as in source;
+  /// empty = no interchange. Requires nest depth >= Permutation.size().
+  std::vector<unsigned> Permutation;
 
   [[nodiscard]] bool any() const {
     return ParallelFor || OrphanFor || !TileSizes.empty() || UnrollFactor ||
-           UnrollFull;
+           UnrollFull || hasLoopTransform();
+  }
+
+  /// True when a dependence-gated loop transformation is present.
+  [[nodiscard]] bool hasLoopTransform() const {
+    return Reverse || !Permutation.empty();
   }
 };
 
@@ -102,12 +119,25 @@ struct ProgramSpec {
   std::vector<LoopSpec> Loops; ///< outermost first; 1..3 entries
   std::vector<BodyOp> Body;    ///< at least one
   PragmaSpec Pragmas;
+  /// Render array subscripts as direct affine expressions of the IVs
+  /// (i0*S0 + i1*S1 + ...) instead of the accumulated `idx` local, so the
+  /// dependence analysis can admit them. Only valid when every loop is
+  /// canonical-simple (lb 0, step 1, '<'); the generator guarantees this
+  /// for programs carrying reverse/interchange.
+  bool DirectIndex = false;
 
   /// Total logical iterations of the nest (product of trip counts).
   [[nodiscard]] std::int64_t totalIterations() const;
 
-  /// Size of the side-effect array `a` (max(1, totalIterations())).
+  /// Size of the side-effect array `a`: max(1, totalIterations()) plus
+  /// the largest ArrayCarried distance (margin cells keep the shifted
+  /// writes in bounds).
   [[nodiscard]] std::int64_t arraySize() const;
+
+  /// Copy with reverse/interchange pragmas removed (the re-verification
+  /// program after a conservative rejection). Rendering shape (DirectIndex)
+  /// is preserved so only the pragma lines differ.
+  [[nodiscard]] ProgramSpec withoutLoopTransforms() const;
 
   /// Renders the MiniC source text.
   [[nodiscard]] std::string render() const;
@@ -142,6 +172,11 @@ struct ProgramResult {
   ProgramSpec Spec;
   std::int64_t Expected = 0;
   unsigned RunsExecuted = 0;
+  /// Backends whose reverse/interchange was refused by the dependence
+  /// legality oracle. Not a failure: the runner re-verifies the
+  /// untransformed program instead (and a legality miscompile would show
+  /// up as a checksum mismatch on an *accepted* transform).
+  unsigned ConservativeRejections = 0;
   std::vector<RunRecord> Failures; ///< mismatching or failed runs
 
   [[nodiscard]] bool ok() const { return Failures.empty(); }

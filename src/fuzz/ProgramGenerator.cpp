@@ -11,7 +11,11 @@
 // (transformations apply in reverse order of appearance), collapse
 // without loop transformations, unroll full only at the top of a serial
 // stack, and an optional unroll placed directly on the innermost loop of
-// a nest whose outer directives need just one canonical loop.
+// a nest whose outer directives need just one canonical loop. The
+// dependence-gated transformations (reverse, interchange) get their own
+// cases: canonical-simple loops with direct affine subscripts so the
+// legality oracle can admit them, plus ArrayCarried bodies whose
+// loop-carried dependence the oracle must refuse.
 //
 //===----------------------------------------------------------------------===//
 #include "fuzz/Fuzz.h"
@@ -114,7 +118,18 @@ std::int64_t ProgramSpec::totalIterations() const {
 }
 
 std::int64_t ProgramSpec::arraySize() const {
-  return std::max<std::int64_t>(1, totalIterations());
+  std::int64_t Margin = 0;
+  for (const BodyOp &Op : Body)
+    if (Op.K == BodyOp::Kind::ArrayCarried)
+      Margin = std::max(Margin, Op.Dist);
+  return std::max<std::int64_t>(1, totalIterations()) + Margin;
+}
+
+ProgramSpec ProgramSpec::withoutLoopTransforms() const {
+  ProgramSpec P = *this;
+  P.Pragmas.Reverse = false;
+  P.Pragmas.Permutation.clear();
+  return P;
 }
 
 // ===------------------------- Source rendering ----------------------=== //
@@ -167,6 +182,20 @@ std::string ProgramSpec::render() const {
   if (Pragmas.UnrollFactor > 0 && !Pragmas.UnrollInnermost)
     S += Indent + "#pragma omp unroll partial(" +
          std::to_string(Pragmas.UnrollFactor) + ")\n";
+  // Dependence-gated transformations sit directly above the nest (the
+  // whitelist never stacks them with tile/unroll: Sema's oracle refuses
+  // transform-of-transform compositions conservatively).
+  if (Pragmas.Reverse)
+    S += Indent + "#pragma omp reverse\n";
+  if (!Pragmas.Permutation.empty()) {
+    S += Indent + "#pragma omp interchange permutation(";
+    for (std::size_t K = 0; K < Pragmas.Permutation.size(); ++K) {
+      if (K)
+        S += ", ";
+      S += std::to_string(Pragmas.Permutation[K]);
+    }
+    S += ")\n";
+  }
 
   for (unsigned D = 0; D < Depth; ++D) {
     const LoopSpec &L = Loops[D];
@@ -186,16 +215,40 @@ std::string ProgramSpec::render() const {
   // and wrong iteration sets all perturb the checksum.
   S += Indent + "{\n";
   std::string B = Indent + "  ";
-  std::int64_t Span = 1;
-  for (unsigned D = 0; D < Depth; ++D)
-    Span *= std::max<std::int64_t>(1, Loops[D].tripCount());
-  S += B + "long idx = 0;\n";
-  for (unsigned D = 0; D < Depth; ++D) {
-    const LoopSpec &L = Loops[D];
-    std::int64_t Trip = std::max<std::int64_t>(1, L.tripCount());
-    Span /= Trip;
-    S += B + "idx += (" + ivName(D) + " - " + literal(L.Lb) + ") / " +
-         literal(L.Step) + " * " + std::to_string(Span) + ";\n";
+  std::vector<std::int64_t> Spans(Depth, 1);
+  {
+    std::int64_t Span = 1;
+    for (unsigned D = 0; D < Depth; ++D)
+      Span *= std::max<std::int64_t>(1, Loops[D].tripCount());
+    for (unsigned D = 0; D < Depth; ++D) {
+      Span /= std::max<std::int64_t>(1, Loops[D].tripCount());
+      Spans[D] = Span;
+    }
+  }
+  // The logical iteration number, used as the injective array subscript.
+  // DirectIndex renders it as an affine expression of the IVs themselves
+  // (loops are canonical-simple, so (iv - lb)/step == iv) — the form the
+  // dependence analysis can reason about. Otherwise it is accumulated
+  // into a local, which the analysis conservatively skips.
+  std::string Idx;
+  if (DirectIndex) {
+    for (unsigned D = 0; D < Depth; ++D) {
+      if (!Idx.empty())
+        Idx += " + ";
+      Idx += ivName(D);
+      if (Spans[D] != 1)
+        Idx += " * " + std::to_string(Spans[D]);
+    }
+    if (Idx.empty())
+      Idx = "0";
+  } else {
+    S += B + "long idx = 0;\n";
+    for (unsigned D = 0; D < Depth; ++D) {
+      const LoopSpec &L = Loops[D];
+      S += B + "idx += (" + ivName(D) + " - " + literal(L.Lb) + ") / " +
+           literal(L.Step) + " * " + std::to_string(Spans[D]) + ";\n";
+    }
+    Idx = "idx";
   }
   for (const BodyOp &Op : Body) {
     switch (Op.K) {
@@ -215,7 +268,11 @@ std::string ProgramSpec::render() const {
            linearExpr(Op, Depth) + ";\n";
       break;
     case BodyOp::Kind::ArrayUpdate:
-      S += B + "a[idx] += " + linearExpr(Op, Depth) + ";\n";
+      S += B + "a[" + Idx + "] += " + linearExpr(Op, Depth) + ";\n";
+      break;
+    case BodyOp::Kind::ArrayCarried:
+      S += B + "a[" + Idx + " + " + std::to_string(Op.Dist) + "] += a[" +
+           Idx + "] + " + linearExpr(Op, Depth) + ";\n";
       break;
     }
   }
@@ -274,6 +331,10 @@ std::int64_t ProgramSpec::reference() const {
       case BodyOp::Kind::ArrayUpdate:
         A[static_cast<std::size_t>(Idx)] += linearEval(Op, IV, Depth);
         break;
+      case BodyOp::Kind::ArrayCarried:
+        A[static_cast<std::size_t>(Idx + Op.Dist)] +=
+            A[static_cast<std::size_t>(Idx)] + linearEval(Op, IV, Depth);
+        break;
       }
     }
   };
@@ -331,6 +392,22 @@ std::string ProgramSpec::describe() const {
   if (Pragmas.UnrollFactor)
     D += (Pragmas.UnrollInnermost ? " inner-unroll(" : " unroll(") +
          std::to_string(Pragmas.UnrollFactor) + ")";
+  if (Pragmas.Reverse)
+    D += " reverse";
+  if (!Pragmas.Permutation.empty()) {
+    D += " interchange(";
+    for (std::size_t K = 0; K < Pragmas.Permutation.size(); ++K) {
+      if (K)
+        D += ",";
+      D += std::to_string(Pragmas.Permutation[K]);
+    }
+    D += ")";
+  }
+  for (const BodyOp &Op : Body)
+    if (Op.K == BodyOp::Kind::ArrayCarried) {
+      D += " carried-dep(" + std::to_string(Op.Dist) + ")";
+      break;
+    }
   return D;
 }
 
@@ -437,8 +514,49 @@ ProgramSpec generateProgram(std::uint64_t Seed) {
   // Directive stack, drawn from the whitelist of compositions both
   // pipelines implement.
   PragmaSpec &G = P.Pragmas;
+
+  // Programs carrying a dependence-gated transformation (reverse /
+  // interchange) need loops and bodies the affine dependence analysis can
+  // admit: canonical-simple loops (lb 0, step 1, '<') and direct affine
+  // subscripts. Bodies draw from sum reductions and injective array
+  // updates; serial programs may add an ArrayCarried op, whose
+  // loop-carried flow dependence forces the legality oracle to refuse the
+  // transformation (exercising the reject + re-verify path).
+  auto MakeTransformProgram = [&](bool AllowCarried) {
+    std::int64_t Budget2 = MaxTotalIterations;
+    for (LoopSpec &L : P.Loops) {
+      std::int64_t MaxTrip = std::max<std::int64_t>(
+          1, std::min<std::int64_t>(24, Budget2));
+      L = LoopSpec{0, Rand(2, MaxTrip < 2 ? 2 : MaxTrip), 1, RelOp::LT};
+      Budget2 /= std::max<std::int64_t>(1, L.tripCount());
+    }
+    P.DirectIndex = true;
+    P.Body.clear();
+    const unsigned NOps = static_cast<unsigned>(Rand(1, 2));
+    for (unsigned K = 0; K < NOps; ++K) {
+      BodyOp Op;
+      Op.K = Rand(0, 1) ? BodyOp::Kind::ArrayUpdate
+                        : BodyOp::Kind::SumLinear;
+      for (std::int64_t &C : Op.C)
+        C = Rand(-9, 9);
+      if (Op.C[0] == 0)
+        Op.C[0] = 1 + Rand(0, 8);
+      Op.Bias = Rand(-20, 20);
+      P.Body.push_back(Op);
+    }
+    if (AllowCarried && Rand(0, 2) == 0) {
+      BodyOp Op;
+      Op.K = BodyOp::Kind::ArrayCarried;
+      Op.Dist = Rand(1, 3);
+      for (std::int64_t &C : Op.C)
+        C = Rand(-5, 5);
+      Op.Bias = Rand(-10, 10);
+      P.Body.push_back(Op);
+    }
+  };
+
   const std::int64_t OuterTrip = P.Loops[0].tripCount();
-  switch (Rand(0, 10)) {
+  switch (Rand(0, 13)) {
   case 0: // no pragmas at all
     break;
   case 1: // unroll partial on the outermost loop
@@ -503,6 +621,41 @@ ProgramSpec generateProgram(std::uint64_t Seed) {
       G.Collapse = static_cast<unsigned>(Rand(2, Depth));
     else if (Rand(0, 1))
       G.UnrollFactor = static_cast<unsigned>(Rand(2, 4)); // for-over-unroll
+    break;
+  }
+  case 11: // standalone reverse (serial; may carry a blocking dependence)
+    MakeTransformProgram(/*AllowCarried=*/true);
+    G.Reverse = true;
+    break;
+  case 12: // standalone interchange on a deeper nest
+    if (Depth >= 2) {
+      MakeTransformProgram(/*AllowCarried=*/true);
+      // Random non-identity permutation of 1..Depth.
+      G.Permutation.resize(Depth);
+      for (unsigned K = 0; K < Depth; ++K)
+        G.Permutation[K] = K + 1;
+      do {
+        for (unsigned K = Depth; K > 1; --K)
+          std::swap(G.Permutation[K - 1],
+                    G.Permutation[static_cast<unsigned>(Rand(0, K - 1))]);
+      } while (std::is_sorted(G.Permutation.begin(), G.Permutation.end()));
+    } else {
+      MakeTransformProgram(/*AllowCarried=*/true);
+      G.Reverse = true;
+    }
+    break;
+  case 13: { // parallel for over reverse / interchange (race-free bodies)
+    MakeTransformProgram(/*AllowCarried=*/false);
+    G.ParallelFor = true;
+    if (Depth >= 2 && Rand(0, 1)) {
+      G.Permutation = {2, 1};
+      if (Depth >= 3 && Rand(0, 1))
+        G.Permutation = {3, 1, 2};
+    } else {
+      G.Reverse = true;
+    }
+    static const char *Schedules[] = {"", "static", "static, 2", "guided"};
+    G.Schedule = Schedules[Rand(0, 3)];
     break;
   }
   }

@@ -436,6 +436,136 @@ OpenMPIRBuilder::collapseLoops(std::vector<CanonicalLoopInfo *> Loops) {
   return CLI;
 }
 
+CanonicalLoopInfo *OpenMPIRBuilder::reverseLoop(CanonicalLoopInfo *Loop) {
+  Loop->assertOK();
+  Function *F = Loop->getFunction();
+  Value *Trip = Loop->getTripCount();
+  const IRType *Ty = Trip->getType();
+
+  // rev = (trip - 1) - iv, computed at the top of the body. The two
+  // instructions are created detached, the IV's uses are redirected, and
+  // only then are they inserted — so the reversal expression itself keeps
+  // reading the original induction variable.
+  auto TMax = std::make_unique<Instruction>(
+      Opcode::Sub, Ty, std::vector<Value *>{Trip, M.getInt(Ty, 1)},
+      "reversed.tmax");
+  auto Rev = std::make_unique<Instruction>(
+      Opcode::Sub, Ty, std::vector<Value *>{TMax.get(), Loop->getIndVar()},
+      "reversed.iv");
+
+  // Redirect every IV use except in the skeleton blocks that implement the
+  // counter itself (header phi, cond compare, latch increment). All user
+  // uses live in the body subgraph, which the body block dominates.
+  for (const auto &BB : F->blocks()) {
+    if (BB.get() == Loop->getHeader() || BB.get() == Loop->getCond() ||
+        BB.get() == Loop->getLatch())
+      continue;
+    for (const auto &I : BB->instructions())
+      for (unsigned OpIdx = 0; OpIdx < I->getNumOperands(); ++OpIdx)
+        if (I->getOperand(OpIdx) == Loop->getIndVar())
+          I->setOperand(OpIdx, Rev.get());
+  }
+
+  Loop->getBody()->insertAt(0, std::move(TMax));
+  Loop->getBody()->insertAt(1, std::move(Rev));
+  Loop->assertOK();
+  return Loop;
+}
+
+std::vector<CanonicalLoopInfo *>
+OpenMPIRBuilder::interchangeLoops(std::vector<CanonicalLoopInfo *> Loops,
+                                  std::vector<unsigned> Perm) {
+  assert(!Loops.empty() && Loops.size() == Perm.size());
+  const unsigned N = static_cast<unsigned>(Loops.size());
+  bool Identity = true;
+  for (unsigned P = 0; P < N; ++P)
+    Identity &= Perm[P] == P;
+  if (Identity)
+    return Loops;
+
+  Function *F = Loops[0]->getFunction();
+  IRBuilder B(M);
+  std::vector<Value *> OldTrip(N);
+  std::vector<Instruction *> OldIV(N);
+  for (unsigned P = 0; P < N; ++P) {
+    Loops[P]->assertOK();
+    OldTrip[P] = Loops[P]->getTripCount();
+    OldIV[P] = Loops[P]->getIndVar();
+  }
+
+  // 1. The skeleton at position P now counts the logical space of original
+  //    level Perm[P]: permute the trip counts. They are hoisted before the
+  //    outermost skeleton (emitCanonicalLoopNest), so they dominate every
+  //    cond block; width mismatches are adapted in the outermost preheader.
+  std::vector<Value *> NewTrip(N);
+  reopenBlock(B, Loops[0]->getPreheader(), [&] {
+    for (unsigned P = 0; P < N; ++P)
+      NewTrip[P] = B.createIntCast(OldTrip[Perm[P]], OldIV[P]->getType(),
+                                   /*Signed=*/false, "interchange.trip");
+  });
+  for (unsigned P = 0; P < N; ++P) {
+    Instruction *Cmp = nullptr;
+    for (const auto &I : Loops[P]->getCond()->instructions())
+      if (I->getOpcode() == Opcode::ICmp)
+        Cmp = I.get();
+    assert(Cmp && "canonical loop cond must contain the trip comparison");
+    Cmp->setOperand(1, NewTrip[P]);
+    Loops[P]->TripCount = NewTrip[P];
+  }
+
+  // 2. Remap the user code: the dimension formerly counted by the IV of
+  //    level Perm[P] is now counted by position P's IV. In a perfect nest
+  //    every user IV use sits in the innermost body subgraph (the
+  //    loop-variable bindings are materialized there), which every header
+  //    dominates. Width adaptations are created detached and inserted only
+  //    after the single remapping pass, so a 2-cycle swap cannot ping-pong.
+  std::vector<std::pair<Value *, Value *>> IVMap; // old IV -> replacement
+  std::vector<std::unique_ptr<Instruction>> PendingCasts;
+  for (unsigned P = 0; P < N; ++P) {
+    if (Perm[P] == P)
+      continue;
+    Value *Repl = OldIV[P];
+    const IRType *WantTy = OldIV[Perm[P]]->getType();
+    if (Repl->getType()->getBitWidth() != WantTy->getBitWidth()) {
+      auto Cast = std::make_unique<Instruction>(
+          Repl->getType()->getBitWidth() > WantTy->getBitWidth()
+              ? Opcode::Trunc
+              : Opcode::ZExt,
+          WantTy, std::vector<Value *>{Repl}, "interchange.iv");
+      Repl = Cast.get();
+      PendingCasts.push_back(std::move(Cast));
+    }
+    IVMap.emplace_back(OldIV[Perm[P]], Repl);
+  }
+
+  for (const auto &BB : F->blocks()) {
+    bool Skeleton = false;
+    for (unsigned P = 0; P < N; ++P)
+      Skeleton |= BB.get() == Loops[P]->getHeader() ||
+                  BB.get() == Loops[P]->getCond() ||
+                  BB.get() == Loops[P]->getLatch();
+    if (Skeleton)
+      continue;
+    for (const auto &I : BB->instructions())
+      for (unsigned OpIdx = 0; OpIdx < I->getNumOperands(); ++OpIdx) {
+        Value *Op = I->getOperand(OpIdx);
+        for (const auto &[Old, New] : IVMap)
+          if (Op == Old) {
+            I->setOperand(OpIdx, New);
+            break;
+          }
+      }
+  }
+
+  BasicBlock *InnerBody = Loops[N - 1]->getBody();
+  for (unsigned K = 0; K < PendingCasts.size(); ++K)
+    InnerBody->insertAt(K, std::move(PendingCasts[K]));
+
+  for (unsigned P = 0; P < N; ++P)
+    Loops[P]->assertOK();
+  return Loops;
+}
+
 void OpenMPIRBuilder::unrollLoopFull(CanonicalLoopInfo *Loop) {
   Loop->assertOK();
   Instruction *LatchBr = Loop->getLatch()->getTerminator();

@@ -119,6 +119,20 @@ public:
   /// product iteration space. Input handles are invalidated.
   CanonicalLoopInfo *collapseLoops(std::vector<CanonicalLoopInfo *> Loops);
 
+  /// Reverses the iteration order of \p Loop in place: the body observes
+  /// logical iteration trip-1-i where it previously observed i. The loop
+  /// skeleton (and therefore the handle) stays valid and is returned.
+  CanonicalLoopInfo *reverseLoop(CanonicalLoopInfo *Loop);
+
+  /// Permutes a perfect nest: the loop at position P iterates the logical
+  /// iteration space of the original loop Perm[P] (0-based, outermost
+  /// first). Requires the trip counts to dominate the outermost preheader
+  /// (the front-end hoists them). Handles stay valid and are returned in
+  /// position order.
+  std::vector<CanonicalLoopInfo *>
+  interchangeLoops(std::vector<CanonicalLoopInfo *> Loops,
+                   std::vector<unsigned> Perm);
+
   /// Fully unrolls the loop by attaching llvm.loop.unroll.full metadata
   /// for the mid-end LoopUnroll pass.
   void unrollLoopFull(CanonicalLoopInfo *Loop);

@@ -163,6 +163,8 @@ public:
   OMPClause *ActOnOpenMPFullClause(SourceRange R);
   OMPClause *ActOnOpenMPPartialClause(SourceRange R, Expr *Factor);
   OMPClause *ActOnOpenMPSizesClause(SourceRange R, std::vector<Expr *> Sizes);
+  OMPClause *ActOnOpenMPPermutationClause(SourceRange R,
+                                          std::vector<Expr *> Args);
   OMPClause *ActOnOpenMPVarListClause(OpenMPClauseKind Kind, SourceRange R,
                                       std::vector<Expr *> Vars,
                                       OpenMPReductionOp RedOp);
@@ -206,6 +208,15 @@ public:
   Stmt *buildUnrollPartialTransformation(OMPUnrollDirective *Dir,
                                          const OMPLoopInfo &Info,
                                          unsigned Factor);
+  /// Builds the transformed (shadow) AST for "#pragma omp reverse": one
+  /// loop over the logical iteration space, fed through in reverse order.
+  Stmt *buildReverseTransformation(OMPReverseDirective *Dir,
+                                   const OMPLoopInfo &Info);
+  /// Builds the transformed (shadow) AST for "#pragma omp interchange":
+  /// the nest rebuilt over the permuted logical iteration spaces.
+  Stmt *buildInterchangeTransformation(OMPInterchangeDirective *Dir,
+                                       const std::vector<OMPLoopInfo> &Infos,
+                                       std::span<const unsigned> Perm);
   /// Fills the ~30+6n shadow helper expressions of an OMPLoopDirective.
   void buildLoopDirectiveHelpers(OMPLoopDirective *Dir,
                                  const std::vector<OMPLoopInfo> &Infos,
@@ -232,6 +243,19 @@ private:
                            SourceRange R);
   Stmt *buildUnrollDirective(std::vector<OMPClause *> Clauses, Stmt *AStmt,
                              SourceRange R);
+  Stmt *buildReverseDirective(std::vector<OMPClause *> Clauses, Stmt *AStmt,
+                              SourceRange R);
+  Stmt *buildInterchangeDirective(std::vector<OMPClause *> Clauses,
+                                  Stmt *AStmt, SourceRange R);
+
+  /// Consults the dependence-analysis oracle on the *syntactic* loop nest:
+  /// refuses (with an error naming the violated dependence, or what made
+  /// the nest unprovable) unless the transformation is provably
+  /// order-preserving. \p Perm is empty for reverse (level 0).
+  bool checkTransformDependences(Stmt *AStmt, OpenMPDirectiveKind Kind,
+                                 unsigned NumLoops,
+                                 std::span<const unsigned> Perm,
+                                 SourceRange R);
 
   /// Collects every VarDecl referenced by \p S but declared outside it.
   std::vector<VarDecl *> computeCaptures(Stmt *S);

@@ -209,6 +209,32 @@ OMPClause *Sema::ActOnOpenMPSizesClause(SourceRange R,
       R, std::span<ConstantExpr *const>(Stored.data(), Stored.size()));
 }
 
+OMPClause *Sema::ActOnOpenMPPermutationClause(SourceRange R,
+                                              std::vector<Expr *> Args) {
+  // Each argument must be a positive integer constant; whether the values
+  // form a permutation of 1..n is checked when the directive is built (the
+  // associated loop count is not known here).
+  std::vector<ConstantExpr *> Consts;
+  for (Expr *E : Args) {
+    if (!E)
+      return nullptr;
+    auto V = evaluateIntegerWithConstVars(E);
+    if (!V) {
+      Diags.report(E->getBeginLoc(), diag::err_omp_expected_constant);
+      return nullptr;
+    }
+    if (*V <= 0) {
+      Diags.report(E->getBeginLoc(), diag::err_omp_permutation_invalid)
+          << static_cast<unsigned>(Args.size());
+      return nullptr;
+    }
+    Consts.push_back(Ctx.create<ConstantExpr>(E, *V));
+  }
+  auto Stored = Ctx.allocateCopy(Consts);
+  return Ctx.create<OMPPermutationClause>(
+      R, std::span<ConstantExpr *const>(Stored.data(), Stored.size()));
+}
+
 OMPClause *Sema::ActOnOpenMPVarListClause(OpenMPClauseKind Kind,
                                           SourceRange R,
                                           std::vector<Expr *> Vars,
@@ -725,6 +751,10 @@ Stmt *Sema::ActOnOpenMPExecutableDirective(OpenMPDirectiveKind Kind,
     return buildTileDirective(std::move(Clauses), AStmt, R);
   case OpenMPDirectiveKind::Unroll:
     return buildUnrollDirective(std::move(Clauses), AStmt, R);
+  case OpenMPDirectiveKind::Reverse:
+    return buildReverseDirective(std::move(Clauses), AStmt, R);
+  case OpenMPDirectiveKind::Interchange:
+    return buildInterchangeDirective(std::move(Clauses), AStmt, R);
   case OpenMPDirectiveKind::Unknown:
     return nullptr;
   }

@@ -16,6 +16,8 @@
 //===----------------------------------------------------------------------===//
 #include "sema/Sema.h"
 
+#include "analysis/DependenceAnalysis.h"
+
 namespace mcc {
 
 namespace {
@@ -293,6 +295,113 @@ Stmt *Sema::buildTileTransformation(OMPTileDirective *Dir,
                                 Inc, Inner);
   }
 
+  return Inner;
+}
+
+Stmt *Sema::buildReverseTransformation(OMPReverseDirective *Dir,
+                                       const OMPLoopInfo &Info) {
+  (void)Dir;
+  QualType LT = Info.LogicalType;
+  std::string BaseName(Info.IterVar->getName());
+
+  // One loop over the logical iteration space:
+  //   for (LT reversed.iv.NAME = 0; reversed.iv < N; ++reversed.iv)
+  VarDecl *RevIV = buildInternalVar(
+      Ctx.internString("reversed.iv." + BaseName), LT,
+      buildIntLiteral(0, LT));
+  std::vector<VarDecl *> Decls{RevIV};
+  auto Stored = Ctx.allocateCopy(Decls);
+  Stmt *Init = Ctx.create<DeclStmt>(
+      SourceRange(), std::span<VarDecl *const>(Stored.data(), 1));
+  Expr *Cond = buildBinOp(BinaryOperatorKind::LT, buildRValueRef(RevIV),
+                          buildNumIterationsExpr(Info));
+  Expr *Inc = ActOnUnaryOp(SourceLocation(), UnaryOperatorKind::PreInc,
+                           buildDeclRef(RevIV));
+
+  // Body: materialize the user variable from the *mirrored* logical
+  // iteration (N-1) - reversed.iv, then the cloned original body.
+  Expr *Mirrored = buildBinOp(
+      BinaryOperatorKind::Sub,
+      buildBinOp(BinaryOperatorKind::Sub, buildNumIterationsExpr(Info),
+                 buildIntLiteral(1, LT)),
+      buildRValueRef(RevIV));
+  VarDecl *UserIV = Ctx.create<VarDecl>(
+      Info.IterVar->getLocation(), Info.IterVar->getName(), Info.IVType,
+      buildCounterValue(*this, Info, Mirrored));
+  std::vector<VarDecl *> UserDecls{UserIV};
+  auto UserStored = Ctx.allocateCopy(UserDecls);
+  Stmt *UserInit = Ctx.create<DeclStmt>(
+      SourceRange(), std::span<VarDecl *const>(UserStored.data(), 1));
+
+  TreeTransform BodyClone(Ctx);
+  BodyClone.addDeclSubstitution(Info.IterVar, UserIV);
+  Stmt *ClonedBody = BodyClone.transformStmt(Info.Loop->getBody());
+
+  std::vector<Stmt *> BodyStmts{UserInit, ClonedBody};
+  auto BodyStored = Ctx.allocateCopy(BodyStmts);
+  Stmt *Body = Ctx.create<CompoundStmt>(
+      Info.Loop->getBody()->getSourceRange(),
+      std::span<Stmt *const>(BodyStored.data(), BodyStored.size()));
+
+  return Ctx.create<ForStmt>(Info.Loop->getSourceRange(), Init, Cond, Inc,
+                             Body);
+}
+
+Stmt *Sema::buildInterchangeTransformation(
+    OMPInterchangeDirective *Dir, const std::vector<OMPLoopInfo> &Infos,
+    std::span<const unsigned> Perm) {
+  (void)Dir;
+  unsigned N = static_cast<unsigned>(Infos.size());
+
+  // Position-indexed internal IVs: position P iterates the logical space
+  // of original level Perm[P].
+  std::vector<VarDecl *> PosIVs(N);
+  std::vector<unsigned> PosOfLevel(N);
+  for (unsigned P = 0; P < N; ++P) {
+    unsigned L = Perm[P];
+    PosOfLevel[L] = P;
+    PosIVs[P] = buildInternalVar(
+        Ctx.internString(".interchange." + std::to_string(P) + ".iv." +
+                         std::string(Infos[L].IterVar->getName())),
+        Infos[L].LogicalType, buildIntLiteral(0, Infos[L].LogicalType));
+  }
+
+  // Innermost body: materialize the user variables (in original level
+  // order) from their position's counter, then the cloned original body.
+  TreeTransform BodyClone(Ctx);
+  std::vector<Stmt *> BodyStmts;
+  for (unsigned K = 0; K < N; ++K) {
+    VarDecl *UserIV = Ctx.create<VarDecl>(
+        Infos[K].IterVar->getLocation(), Infos[K].IterVar->getName(),
+        Infos[K].IVType,
+        buildCounterValue(*this, Infos[K],
+                          buildRValueRef(PosIVs[PosOfLevel[K]])));
+    BodyClone.addDeclSubstitution(Infos[K].IterVar, UserIV);
+    std::vector<VarDecl *> Decls{UserIV};
+    auto Stored = Ctx.allocateCopy(Decls);
+    BodyStmts.push_back(Ctx.create<DeclStmt>(
+        SourceRange(), std::span<VarDecl *const>(Stored.data(), 1)));
+  }
+  BodyStmts.push_back(BodyClone.transformStmt(Infos[N - 1].Loop->getBody()));
+  auto BodyStored = Ctx.allocateCopy(BodyStmts);
+  Stmt *Inner = Ctx.create<CompoundStmt>(
+      Infos[N - 1].Loop->getBody()->getSourceRange(),
+      std::span<Stmt *const>(BodyStored.data(), BodyStored.size()));
+
+  // Loops, innermost position first.
+  for (unsigned P = N; P-- > 0;) {
+    unsigned L = Perm[P];
+    std::vector<VarDecl *> Decls{PosIVs[P]};
+    auto Stored = Ctx.allocateCopy(Decls);
+    Stmt *Init = Ctx.create<DeclStmt>(
+        SourceRange(), std::span<VarDecl *const>(Stored.data(), 1));
+    Expr *Cond = buildBinOp(BinaryOperatorKind::LT, buildRValueRef(PosIVs[P]),
+                            buildNumIterationsExpr(Infos[L]));
+    Expr *Inc = ActOnUnaryOp(SourceLocation(), UnaryOperatorKind::PreInc,
+                             buildDeclRef(PosIVs[P]));
+    Inner = Ctx.create<ForStmt>(Infos[L].Loop->getSourceRange(), Init, Cond,
+                                Inc, Inner);
+  }
   return Inner;
 }
 
@@ -720,6 +829,159 @@ Stmt *Sema::buildUnrollDirective(std::vector<OMPClause *> Clauses,
       Dir->setTransformedStmt(
           buildUnrollPartialTransformation(Dir, Infos.front(), Factor));
     }
+    if (!TransformPreInits.empty()) {
+      auto PreStored = Ctx.allocateCopy(TransformPreInits);
+      Dir->setPreInits(Ctx.create<CompoundStmt>(
+          SourceRange(),
+          std::span<Stmt *const>(PreStored.data(), PreStored.size())));
+    }
+  }
+  return Dir;
+}
+
+bool Sema::checkTransformDependences(Stmt *AStmt, OpenMPDirectiveKind Kind,
+                                     unsigned NumLoops,
+                                     std::span<const unsigned> Perm,
+                                     SourceRange R) {
+  // The oracle works on the literal (syntactic) nest; a nested
+  // transformation directive or anything else it cannot model makes the
+  // transform unprovable and therefore refused — these directives reorder
+  // iterations, so "cannot prove" must not degrade to "assume legal".
+  using analysis::DependenceInfo;
+  using analysis::Legality;
+  DependenceInfo Info = DependenceInfo::analyze(AStmt, NumLoops);
+  Legality L = Perm.empty() ? Info.isLegalReverse(0)
+                            : Info.isLegalInterchange(Perm);
+  if (L)
+    return true;
+  std::string Name(getOpenMPDirectiveName(Kind));
+  if (L.Blocking) {
+    Diags.report(R.getBegin(), diag::err_omp_transform_illegal_dep)
+        << Name << L.Reason;
+    if (L.Blocking->SrcLoc.isValid())
+      Diags.report(L.Blocking->SrcLoc, diag::note_omp_dependence_source)
+          << (L.Blocking->Base ? std::string(L.Blocking->Base->getName())
+                               : std::string("<unknown>"));
+  } else {
+    Diags.report(R.getBegin(), diag::err_omp_transform_not_analyzable)
+        << Name << L.Reason;
+  }
+  return false;
+}
+
+Stmt *Sema::buildReverseDirective(std::vector<OMPClause *> Clauses,
+                                  Stmt *AStmt, SourceRange R) {
+  if (!AStmt)
+    return nullptr;
+
+  std::vector<OMPLoopInfo> Infos;
+  std::vector<Stmt *> TransformPreInits;
+  if (!analyzeLoopNest(AStmt, OpenMPDirectiveKind::Reverse, 1, Infos,
+                       TransformPreInits))
+    return nullptr;
+
+  if (!checkTransformDependences(AStmt, OpenMPDirectiveKind::Reverse, 1, {},
+                                 R))
+    return nullptr;
+
+  bool ConsumesIRBuilderTransform =
+      Opts.OpenMPEnableIRBuilder && Infos.empty();
+  Stmt *Assoc = AStmt;
+  if (Opts.OpenMPEnableIRBuilder && !ConsumesIRBuilderTransform)
+    Assoc = buildOMPCanonicalLoop(Infos.front());
+
+  auto Stored = Ctx.allocateCopy(Clauses);
+  auto *Dir = Ctx.create<OMPReverseDirective>(
+      R, std::span<OMPClause *const>(Stored.data(), Stored.size()), Assoc);
+
+  if (!Opts.OpenMPEnableIRBuilder) {
+    Dir->setTransformedStmt(buildReverseTransformation(Dir, Infos.front()));
+    if (!TransformPreInits.empty()) {
+      auto PreStored = Ctx.allocateCopy(TransformPreInits);
+      Dir->setPreInits(Ctx.create<CompoundStmt>(
+          SourceRange(),
+          std::span<Stmt *const>(PreStored.data(), PreStored.size())));
+    }
+  }
+  return Dir;
+}
+
+Stmt *Sema::buildInterchangeDirective(std::vector<OMPClause *> Clauses,
+                                      Stmt *AStmt, SourceRange R) {
+  if (!AStmt)
+    return nullptr;
+
+  // The permutation clause fixes the associated loop count; without it the
+  // outermost two loops are swapped.
+  const OMPPermutationClause *PermC = nullptr;
+  for (const OMPClause *C : Clauses)
+    if (const auto *PC = clause_dyn_cast<OMPPermutationClause>(C))
+      PermC = PC;
+
+  std::vector<unsigned> Perm;
+  if (PermC) {
+    unsigned N = PermC->getNumArgs();
+    std::vector<bool> Used(N, false);
+    for (unsigned I = 0; I < N; ++I) {
+      std::int64_t V = PermC->getArg(I);
+      if (V < 1 || V > N || Used[static_cast<unsigned>(V - 1)]) {
+        Diags.report(PermC->getBeginLoc(), diag::err_omp_permutation_invalid)
+            << N;
+        return nullptr;
+      }
+      Used[static_cast<unsigned>(V - 1)] = true;
+      Perm.push_back(static_cast<unsigned>(V - 1));
+    }
+  } else {
+    Perm = {1, 0};
+  }
+  unsigned NumLoops = static_cast<unsigned>(Perm.size());
+
+  std::vector<OMPLoopInfo> Infos;
+  std::vector<Stmt *> TransformPreInits;
+  if (!analyzeLoopNest(AStmt, OpenMPDirectiveKind::Interchange, NumLoops,
+                       Infos, TransformPreInits))
+    return nullptr;
+  if (PermC && !Infos.empty() && Infos.size() != NumLoops) {
+    Diags.report(PermC->getBeginLoc(), diag::err_omp_permutation_arity)
+        << NumLoops << static_cast<unsigned>(Infos.size());
+    return nullptr;
+  }
+
+  if (!checkTransformDependences(AStmt, OpenMPDirectiveKind::Interchange,
+                                 NumLoops, Perm, R))
+    return nullptr;
+
+  bool ConsumesIRBuilderTransform =
+      Opts.OpenMPEnableIRBuilder && Infos.size() < NumLoops;
+  Stmt *Assoc = AStmt;
+  if (Opts.OpenMPEnableIRBuilder && !ConsumesIRBuilderTransform) {
+    Stmt *Wrapped = nullptr;
+    for (unsigned K = static_cast<unsigned>(Infos.size()); K-- > 0;) {
+      ForStmt *Loop = Infos[K].Loop;
+      Stmt *NewLoop = Loop;
+      if (Wrapped) {
+        Stmt *NewBody =
+            replaceStmt(Ctx, Loop->getBody(), Infos[K + 1].Loop, Wrapped);
+        NewLoop = Ctx.create<ForStmt>(Loop->getSourceRange(),
+                                      Loop->getInit(), Loop->getCond(),
+                                      Loop->getInc(), NewBody);
+      }
+      OMPLoopInfo WrapInfo = Infos[K];
+      WrapInfo.Loop = stmt_cast<ForStmt>(NewLoop);
+      Wrapped = buildOMPCanonicalLoop(WrapInfo);
+    }
+    Assoc = Wrapped;
+  }
+
+  auto Stored = Ctx.allocateCopy(Clauses);
+  auto *Dir = Ctx.create<OMPInterchangeDirective>(
+      R, std::span<OMPClause *const>(Stored.data(), Stored.size()), Assoc,
+      NumLoops);
+
+  if (!Opts.OpenMPEnableIRBuilder) {
+    Dir->setTransformedStmt(
+        buildInterchangeTransformation(Dir, Infos, Perm));
     if (!TransformPreInits.empty()) {
       auto PreStored = Ctx.allocateCopy(TransformPreInits);
       Dir->setPreInits(Ctx.create<CompoundStmt>(

@@ -110,6 +110,9 @@ void DiagnosticsEngine::emit(Diagnostic D,
   case diag::Severity::Warning:
     ++NumWarnings;
     break;
+  case diag::Severity::Remark:
+    ++NumRemarks;
+    break;
   default:
     break;
   }

@@ -161,10 +161,12 @@ public:
 
   [[nodiscard]] unsigned getNumErrors() const { return NumErrors; }
   [[nodiscard]] unsigned getNumWarnings() const { return NumWarnings; }
+  [[nodiscard]] unsigned getNumRemarks() const { return NumRemarks; }
   [[nodiscard]] bool hasErrorOccurred() const { return NumErrors != 0; }
   void reset() {
     NumErrors = 0;
     NumWarnings = 0;
+    NumRemarks = 0;
   }
 
   /// -w: drop all warnings (and the notes attached to them).
@@ -205,6 +207,7 @@ private:
   DiagnosticConsumer *Consumer = nullptr;
   unsigned NumErrors = 0;
   unsigned NumWarnings = 0;
+  unsigned NumRemarks = 0;
   std::vector<RemapEntry> RemapStack;
   bool EmittingRemapNote = false;
   bool SuppressAllWarnings = false;

@@ -148,6 +148,40 @@ void f() {
       dumpExhibit<OMPUnrollDirective>(Source, /*Transformed=*/true));
 }
 
+// The reverse directive's shadow AST: the generated loop runs the same
+// logical iterations backwards. The body is call-free array arithmetic
+// so the dependence legality oracle admits the transformation.
+TEST(ExhibitGolden, ShadowAstReverseTransformed) {
+  const char *Source = R"(
+void f() {
+  int a[32];
+  #pragma omp reverse
+  for (int i = 0; i < 32; i += 1)
+    a[i] = a[i] + i;
+}
+)";
+  compareWithGolden(
+      "shadow_reverse_transformed",
+      dumpExhibit<OMPReverseDirective>(Source, /*Transformed=*/true));
+}
+
+// The interchange counterpart: permutation(2, 1) swaps a dependence-free
+// 2-D nest with an injective subscript.
+TEST(ExhibitGolden, ShadowAstInterchangeTransformed) {
+  const char *Source = R"(
+void f() {
+  int a[512];
+  #pragma omp interchange permutation(2, 1)
+  for (int i = 0; i < 16; i += 1)
+    for (int j = 0; j < 32; j += 1)
+      a[i * 32 + j] = a[i * 32 + j] * 2;
+}
+)";
+  compareWithGolden(
+      "shadow_interchange_transformed",
+      dumpExhibit<OMPInterchangeDirective>(Source, /*Transformed=*/true));
+}
+
 // The tile counterpart: the shadow AST a tile directive constructs
 // (floor + tile loop nest) for a 2-D sizes clause.
 TEST(ExhibitGolden, ShadowAstTileTransformed) {
