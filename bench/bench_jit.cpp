@@ -1,0 +1,137 @@
+//===--- bench_jit.cpp - E16: template-JIT tier vs bytecode/walker ---------===//
+//
+// The headline comparison for the native execution tier: the four
+// bench_interp kernels run under all four engines. items_per_second is
+// elements/sec, so Native/Bytecode per kernel reads directly as the JIT
+// speedup (EXPERIMENTS.md E16 expects >= 3x on Plain), and Tiered is
+// expected within 10% of Native at steady state.
+//
+// Warmup is excluded: every engine gets priming runs before the timed
+// loop, so the tiered numbers measure post-promotion steady state (the
+// unit is compiled and published by the time timing starts) and the
+// native numbers exclude the one-time machine-code emission.
+//
+//===----------------------------------------------------------------------===//
+#include "BenchUtils.h"
+
+using namespace mcc;
+using namespace mcc::bench;
+
+namespace {
+
+std::string plainKernel(long N) {
+  return "long acc = 0;\nint main() {\n  acc = 0;\n"
+         "  for (int i = 0; i < " + std::to_string(N) +
+         "; i += 1)\n    acc += i * 3 + 1;\n"
+         "  int out = acc % 1000000;\n  return out;\n}\n";
+}
+
+std::string unrolledKernel(long N) {
+  return "long acc = 0;\nint main() {\n  acc = 0;\n"
+         "  #pragma omp unroll partial(8)\n"
+         "  for (int i = 0; i < " + std::to_string(N) +
+         "; i += 1)\n    acc += i * 3 + 1;\n"
+         "  int out = acc % 1000000;\n  return out;\n}\n";
+}
+
+std::string tiledKernel(long N) {
+  long Inner = 64;
+  long Outer = N / Inner;
+  return "long acc = 0;\nint main() {\n  acc = 0;\n"
+         "  #pragma omp tile sizes(16, 16)\n"
+         "  for (int i = 0; i < " + std::to_string(Outer) +
+         "; i += 1)\n"
+         "    for (int j = 0; j < " + std::to_string(Inner) +
+         "; j += 1)\n      acc += i * 3 + j;\n"
+         "  int out = acc % 1000000;\n  return out;\n}\n";
+}
+
+std::string arraySweepKernel(long N) {
+  return "long a[1024];\nint main() {\n"
+         "  for (int k = 0; k < 1024; k += 1)\n    a[k] = k;\n"
+         "  for (int r = 0; r < " + std::to_string(N / 1024) +
+         "; r += 1)\n"
+         "    for (int i = 0; i < 1024; i += 1)\n"
+         "      a[i] += i * 2 + 1;\n"
+         "  long acc = 0;\n"
+         "  for (int k = 0; k < 1024; k += 1)\n    acc += a[k];\n"
+         "  int out = acc % 1000000;\n  return out;\n}\n";
+}
+
+void runEngine(benchmark::State &State, const std::string &Source,
+               interp::ExecEngineKind Engine) {
+  long N = State.range(0);
+  CompilerOptions Options;
+  Options.LangOpts.OpenMPEnableIRBuilder = true;
+  Options.RunMidend = true;
+  auto CI = compileOrDie(Source, Options);
+  interp::ExecutionEngine EE(*CI->getIRModule(), Engine);
+
+  // Warmup, excluded from timing: enough calls to cross the tiered
+  // call threshold (default 16), so the timed region measures published
+  // native code, not promotion machinery.
+  std::int64_t Expected = EE.runFunction("main", {}).I;
+  for (int W = 0; W < 20; ++W)
+    if (EE.runFunction("main", {}).I != Expected) {
+      State.SkipWithError("nondeterministic warmup");
+      return;
+    }
+
+  std::uint64_t Runs = 0;
+  for (auto _ : State) {
+    std::int64_t R = EE.runFunction("main", {}).I;
+    ++Runs;
+    if (R != Expected) {
+      State.SkipWithError("nondeterministic result");
+      return;
+    }
+  }
+  State.SetItemsProcessed(static_cast<std::int64_t>(Runs) * N);
+  interp::ExecStats S = EE.statsSnapshot();
+  State.counters["jit-compiled"] =
+      static_cast<double>(S.JITFunctionsCompiled);
+  State.counters["jit-fallbacks"] = static_cast<double>(S.JITFallbacks);
+  State.counters["osr-promotions"] =
+      static_cast<double>(S.JITOSRPromotions);
+}
+
+#define MCC_JIT_BENCH(KERNEL, FN)                                           \
+  void BM_##KERNEL##_Walker(benchmark::State &State) {                      \
+    runEngine(State, FN(State.range(0)), interp::ExecEngineKind::Walker);   \
+  }                                                                         \
+  void BM_##KERNEL##_Bytecode(benchmark::State &State) {                    \
+    runEngine(State, FN(State.range(0)),                                    \
+              interp::ExecEngineKind::Bytecode);                            \
+  }                                                                         \
+  void BM_##KERNEL##_Native(benchmark::State &State) {                      \
+    runEngine(State, FN(State.range(0)), interp::ExecEngineKind::Native);   \
+  }                                                                         \
+  void BM_##KERNEL##_Tiered(benchmark::State &State) {                      \
+    runEngine(State, FN(State.range(0)), interp::ExecEngineKind::Tiered);   \
+  }
+
+MCC_JIT_BENCH(Plain, plainKernel)
+MCC_JIT_BENCH(Unroll8, unrolledKernel)
+MCC_JIT_BENCH(Tile16, tiledKernel)
+MCC_JIT_BENCH(ArraySweep, arraySweepKernel)
+
+BENCHMARK(BM_Plain_Walker)->Arg(100000);
+BENCHMARK(BM_Plain_Bytecode)->Arg(100000);
+BENCHMARK(BM_Plain_Native)->Arg(100000);
+BENCHMARK(BM_Plain_Tiered)->Arg(100000);
+BENCHMARK(BM_Unroll8_Walker)->Arg(100000);
+BENCHMARK(BM_Unroll8_Bytecode)->Arg(100000);
+BENCHMARK(BM_Unroll8_Native)->Arg(100000);
+BENCHMARK(BM_Unroll8_Tiered)->Arg(100000);
+BENCHMARK(BM_Tile16_Walker)->Arg(65536);
+BENCHMARK(BM_Tile16_Bytecode)->Arg(65536);
+BENCHMARK(BM_Tile16_Native)->Arg(65536);
+BENCHMARK(BM_Tile16_Tiered)->Arg(65536);
+BENCHMARK(BM_ArraySweep_Walker)->Arg(131072);
+BENCHMARK(BM_ArraySweep_Bytecode)->Arg(131072);
+BENCHMARK(BM_ArraySweep_Native)->Arg(131072);
+BENCHMARK(BM_ArraySweep_Tiered)->Arg(131072);
+
+} // namespace
+
+MCC_BENCHMARK_MAIN()

@@ -13,7 +13,8 @@
 //     --no-thread-sweep run parallel programs at the default width only
 //     --no-factor-sweep skip tile-size/unroll-factor variants
 //     --service         compile through the CompileService cache
-//     --exec-engine=E   walker | bytecode | both (default both)
+//     --exec-engine=E   walker | bytecode | native | tiered | both
+//                       (both = the full four-engine matrix; default both)
 //     --dump-source     print each program before running it
 //     --quiet           no progress output
 //
@@ -41,7 +42,8 @@ void printUsage() {
                "  --service          compile through the CompileService "
                "cache\n"
                "  --exec-engine=E    execution engines to sweep: walker |\n"
-               "                     bytecode | both (default both)\n"
+               "                     bytecode | native | tiered | both\n"
+               "                     (both = all four; default both)\n"
                "  --dump-source      print each generated program\n"
                "  --quiet            no progress output\n");
 }
@@ -79,13 +81,16 @@ int main(int argc, char **argv) {
       interp::ExecEngineKind Kind;
       if (Name == "both")
         Opts.Engines = {interp::ExecEngineKind::Walker,
-                        interp::ExecEngineKind::Bytecode};
+                        interp::ExecEngineKind::Bytecode,
+                        interp::ExecEngineKind::Native,
+                        interp::ExecEngineKind::Tiered};
       else if (interp::parseExecEngineKind(Name, Kind))
         Opts.Engines = {Kind};
       else {
         std::fprintf(stderr,
                      "minicc-fuzz: invalid --exec-engine '%s' (expected "
-                     "'walker', 'bytecode' or 'both')\n",
+                     "'walker', 'bytecode', 'native', 'tiered' or "
+                     "'both')\n",
                      Name.c_str());
         return 1;
       }
@@ -103,6 +108,11 @@ int main(int argc, char **argv) {
       printUsage();
       return 1;
     }
+  }
+
+  if (std::string EnvErr = interp::execEngineEnvError(); !EnvErr.empty()) {
+    std::fprintf(stderr, "minicc-fuzz: %s\n", EnvErr.c_str());
+    return 1;
   }
 
   fuzz::DifferentialRunner Runner(Opts);

@@ -18,7 +18,7 @@
 // with per-job flags a subset of minicc's:
 //   -fno-openmp -fopenmp-enable-irbuilder -O1 -run -w -Werror
 //   --analyze -num-threads=N -unroll-factor=N -DNAME[=VALUE]
-//   -exec-engine=walker|bytecode (execution backend for -run jobs)
+//   -exec-engine=walker|bytecode|native|tiered (backend for -run jobs)
 //
 //===----------------------------------------------------------------------===//
 #include "service/CompileService.h"
@@ -47,7 +47,8 @@ void printUsage() {
                "job spec: one per line: [flags...] <file>\n"
                "  flags: -fno-openmp -fopenmp-enable-irbuilder -O1 -run -w\n"
                "         -Werror --analyze -num-threads=N -unroll-factor=N\n"
-               "         -DNAME[=VALUE] -exec-engine=walker|bytecode\n");
+               "         -DNAME[=VALUE]\n"
+               "         -exec-engine=walker|bytecode|native|tiered\n");
 }
 
 bool parseU64(const std::string &Arg, const char *Prefix, std::uint64_t &Out) {
@@ -110,7 +111,9 @@ bool parseJobLine(const std::string &Line, svc::CompileJob &Job,
     else if (W.rfind("-exec-engine=", 0) == 0) {
       if (!interp::parseExecEngineKind(W.substr(std::strlen("-exec-engine=")),
                                        Job.Options.ExecEngine)) {
-        Error = "invalid -exec-engine (expected 'walker' or 'bytecode'): " + W;
+        Error = "invalid -exec-engine (expected 'walker', 'bytecode', "
+                "'native', or 'tiered'): " +
+                W;
         return false;
       }
     }
@@ -187,6 +190,11 @@ int main(int argc, char **argv) {
       return 1;
     } else
       JobFile = Arg;
+  }
+
+  if (std::string EnvErr = interp::execEngineEnvError(); !EnvErr.empty()) {
+    std::fprintf(stderr, "minicc-serve: %s\n", EnvErr.c_str());
+    return 1;
   }
 
   // Read job specs before spinning up the pool so malformed input fails

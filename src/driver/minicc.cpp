@@ -24,7 +24,8 @@
 //     -I <dir>                     add an include search directory
 //     -num-threads N               default OpenMP thread count
 //     --rt-stats                   print OpenMP runtime counters after -run
-//     --exec-engine=walker|bytecode  execution backend for -run (default:
+//     --exec-engine=walker|bytecode|native|tiered
+//                                  execution backend for -run (default:
 //                                  bytecode, or MCC_EXEC_ENGINE)
 //     --exec-stats                 print execution engine counters after -run
 //
@@ -69,8 +70,9 @@ void printUsage() {
       "                              team reuses, chunks, barrier wakes)\n"
       "                              to stderr after -run\n"
       "  --exec-engine=<e>           execution backend for -run: walker |\n"
-      "                              bytecode (default: bytecode, or the\n"
-      "                              MCC_EXEC_ENGINE environment variable)\n"
+      "                              bytecode | native | tiered (default:\n"
+      "                              bytecode, or the MCC_EXEC_ENGINE\n"
+      "                              environment variable)\n"
       "  --exec-stats                print execution engine counters\n"
       "                              (translation, dispatch mode,\n"
       "                              instructions, superinstruction hits)\n"
@@ -137,7 +139,7 @@ int main(int argc, char **argv) {
       if (!interp::parseExecEngineKind(Name, Options.ExecEngine)) {
         std::fprintf(stderr,
                      "minicc: invalid --exec-engine '%s' (expected "
-                     "'walker' or 'bytecode')\n",
+                     "'walker', 'bytecode', 'native', or 'tiered')\n",
                      Name.c_str());
         return 1;
       }
@@ -172,6 +174,13 @@ int main(int argc, char **argv) {
   if (InputFile.empty()) {
     std::fprintf(stderr, "minicc: error: no input files\n");
     printUsage();
+    return 1;
+  }
+
+  // A typo'd MCC_EXEC_ENGINE must fail as loudly as a typo'd
+  // --exec-engine= flag, not silently run the default engine.
+  if (std::string EnvErr = interp::execEngineEnvError(); !EnvErr.empty()) {
+    std::fprintf(stderr, "minicc: %s\n", EnvErr.c_str());
     return 1;
   }
 

@@ -197,10 +197,12 @@ struct DifferentialOptions {
   bool UseService = false;
   /// Execution engines to sweep. Each (program, backend) pair compiles
   /// once; every engine executes the same module at every thread width,
-  /// so walker and bytecode must reproduce the reference — and each
-  /// other — bit for bit.
+  /// so every engine must reproduce the reference — and each other —
+  /// bit for bit. On hosts without JIT support, native and tiered fall
+  /// back to bytecode per function and still participate.
   std::vector<interp::ExecEngineKind> Engines = {
-      interp::ExecEngineKind::Walker, interp::ExecEngineKind::Bytecode};
+      interp::ExecEngineKind::Walker, interp::ExecEngineKind::Bytecode,
+      interp::ExecEngineKind::Native, interp::ExecEngineKind::Tiered};
 };
 
 /// Compiles a ProgramSpec down every pipeline configuration and compares

@@ -108,6 +108,25 @@ RTValue ExecutionEngine::executeBytecode(std::uint32_t FnIdx,
   const bc::Inst *Code = BF.Code.data();
   const bc::Inst *IP = Code;
 
+  // OSR probe state, armed only in tiered mode: every taken backward
+  // branch bumps the counter, and crossing the threshold promotes this
+  // *running* frame to native code (the frame layout is shared, so the
+  // handoff is just "resume natively at the branch target"). A fallback
+  // verdict disarms the probe — this frame stays on bytecode for good.
+  bool OSRCheck = OSRActive;
+  std::uint64_t BackEdges = 0;
+#define MCC_BC_BACKEDGE(OldIP)                                              \
+  do {                                                                      \
+    if (OSRCheck && IP <= (OldIP) && ++BackEdges >= OSRThreshold) {         \
+      RTValue OSRRet;                                                       \
+      if (tryOSR(FnIdx, Frame, Arena,                                       \
+                 static_cast<std::uint32_t>(IP - Code), DynAllocas,         \
+                 OSRRet))                                                   \
+        return OSRRet;                                                      \
+      OSRCheck = false;                                                     \
+    }                                                                       \
+  } while (0)
+
 #if MCC_BC_THREADED
 #define VMCASE(name) Lbl_##name
 #define VMNEXT()                                                            \
@@ -426,12 +445,16 @@ RTValue ExecutionEngine::executeBytecode(std::uint32_t FnIdx,
     VMNEXT();
   }
   VMCASE(Jmp) : {
+    const bc::Inst *Old = IP;
     IP = Code + IP->A;
+    MCC_BC_BACKEDGE(Old);
     VMNEXT();
   }
   VMCASE(CondBr) : {
     const bc::Inst &In = *IP;
+    const bc::Inst *Old = IP;
     IP = Code + (Frame[In.A].I ? In.B : In.C);
+    MCC_BC_BACKEDGE(Old);
     VMNEXT();
   }
   VMCASE(Ret) : {
@@ -449,12 +472,14 @@ RTValue ExecutionEngine::executeBytecode(std::uint32_t FnIdx,
     if (In.D <= 12) {
       for (std::uint32_t K = 0; K < In.D; ++K)
         ArgBuf[K] = Frame[AP[K]];
-      R = executeBytecode(In.B, std::span<const RTValue>(ArgBuf, In.D));
+      std::span<const RTValue> CallArgs(ArgBuf, In.D);
+      R = JIT ? executeTiered(In.B, CallArgs)
+              : executeBytecode(In.B, CallArgs);
     } else {
       std::vector<RTValue> Big(In.D);
       for (std::uint32_t K = 0; K < In.D; ++K)
         Big[K] = Frame[AP[K]];
-      R = executeBytecode(In.B, Big);
+      R = JIT ? executeTiered(In.B, Big) : executeBytecode(In.B, Big);
     }
     Frame[In.A] = R;
     ++IP;
@@ -487,9 +512,11 @@ RTValue ExecutionEngine::executeBytecode(std::uint32_t FnIdx,
     bool R = ops::evalICmp(static_cast<ir::CmpPred>(In.Sub), Frame[In.B].I,
                            Frame[In.C].I, In.W);
     Frame[In.A].I = R ? 1 : 0;
+    const bc::Inst *Old = IP;
     IP = Code + (R ? static_cast<std::uint32_t>(In.Imm)
                    : static_cast<std::uint32_t>(In.Imm >> 32));
     ++Super;
+    MCC_BC_BACKEDGE(Old);
     VMNEXT();
   }
   VMCASE(LoadOpStore4) : {
@@ -533,6 +560,7 @@ RTValue ExecutionEngine::executeBytecode(std::uint32_t FnIdx,
 #endif
 #undef VMCASE
 #undef VMNEXT
+#undef MCC_BC_BACKEDGE
 }
 
 } // namespace mcc::interp

@@ -11,6 +11,7 @@
 
 #include "interp/FrameStack.h"
 #include "interp/InterpOps.h"
+#include "interp/JITTier.h" // complete JITState for the engine destructor
 #include "runtime/KMPRuntime.h"
 
 #include <cassert>
@@ -34,6 +35,14 @@ bool parseExecEngineKind(std::string_view Name, ExecEngineKind &Out) {
     Out = ExecEngineKind::Bytecode;
     return true;
   }
+  if (Name == "native") {
+    Out = ExecEngineKind::Native;
+    return true;
+  }
+  if (Name == "tiered") {
+    Out = ExecEngineKind::Tiered;
+    return true;
+  }
   Out = ExecEngineKind::Default;
   return false;
 }
@@ -44,6 +53,10 @@ const char *execEngineKindName(ExecEngineKind K) {
     return "walker";
   case ExecEngineKind::Bytecode:
     return "bytecode";
+  case ExecEngineKind::Native:
+    return "native";
+  case ExecEngineKind::Tiered:
+    return "tiered";
   case ExecEngineKind::Default:
     return "default";
   }
@@ -59,6 +72,17 @@ ExecEngineKind resolveExecEngineKind(ExecEngineKind K) {
       return FromEnv;
   }
   return ExecEngineKind::Bytecode;
+}
+
+std::string execEngineEnvError() {
+  const char *Env = std::getenv("MCC_EXEC_ENGINE");
+  if (!Env)
+    return {};
+  ExecEngineKind K;
+  if (parseExecEngineKind(Env, K))
+    return {};
+  return std::string("invalid MCC_EXEC_ENGINE value '") + Env +
+         "' (expected walker, bytecode, native, or tiered)";
 }
 
 ExecutionEngine::ExecutionEngine(
@@ -86,7 +110,10 @@ ExecutionEngine::ExecutionEngine(
     GlobalStorage[G.get()] = Mem;
   }
 
-  if (Kind == ExecEngineKind::Bytecode) {
+  if (Kind != ExecEngineKind::Walker) {
+    // Bytecode, native and tiered all start from the bytecode translation
+    // (the native tier compiles machine code *from* it and falls back to
+    // it per function).
     // Take the shared translation when it matches this module (an L3
     // compile-service artifact); translate once otherwise. Afterwards the
     // table is immutable: team threads read it without synchronization.
@@ -111,6 +138,8 @@ ExecutionEngine::ExecutionEngine(
       for (const auto &[Slot, G] : F.GlobalRelocs)
         PatchedPools[Off + Slot] = RTValue::ofPtr(GlobalStorage.at(G));
     }
+    if (Kind == ExecEngineKind::Native || Kind == ExecEngineKind::Tiered)
+      initJITTier();
   } else {
     // Walker backend: precompute slot numbering and the per-frame alloca
     // arena layout for every defined function (the module is immutable
@@ -194,12 +223,12 @@ RTValue ExecutionEngine::runFunction(const ir::Function *F,
 RTValue ExecutionEngine::invokeDefined(const ir::Function *F,
                                        std::span<const RTValue> Args) {
   assert(!F->isDeclaration() && "cannot execute a declaration");
-  if (Kind == ExecEngineKind::Bytecode) {
+  if (Kind != ExecEngineKind::Walker) {
     auto It = BCMod->Index.find(F);
     if (It == BCMod->Index.end())
       throw std::runtime_error("bytecode: unknown function: " +
                                F->getName());
-    return executeBytecode(It->second, Args);
+    return executeTiered(It->second, Args);
   }
   return interpret(F, Args);
 }
@@ -214,8 +243,11 @@ ExecStats ExecutionEngine::statsSnapshot() const {
   ExecStats S;
   S.Engine = Kind;
   S.TranslatedHere = TranslatedHere;
-  if (Kind == ExecEngineKind::Bytecode) {
-    S.Dispatch = bc::dispatchModeName();
+  if (Kind != ExecEngineKind::Walker) {
+    S.Dispatch = (Kind == ExecEngineKind::Native ||
+                  Kind == ExecEngineKind::Tiered)
+                     ? "template-jit"
+                     : bc::dispatchModeName();
     S.FunctionsPrepared = BCMod->Functions.size();
     S.BytecodeBytes = BCMod->byteSize();
     S.SuperinstsEmitted = BCMod->superinstsEmitted();
@@ -228,13 +260,18 @@ ExecStats ExecutionEngine::statsSnapshot() const {
   S.SuperinstHits = SuperinstHits.load(std::memory_order_relaxed);
   S.FramesExecuted = FramesExecuted.load(std::memory_order_relaxed);
   S.RuntimeCalls = RuntimeCalls.load(std::memory_order_relaxed);
+  S.JITFunctionsCompiled = JITCompiled.load(std::memory_order_relaxed);
+  S.JITCodeBytes = JITCodeBytes.load(std::memory_order_relaxed);
+  S.JITOSRPromotions = JITOSRPromotions.load(std::memory_order_relaxed);
+  S.JITFallbacks = JITFallbackFns.load(std::memory_order_relaxed);
+  S.JITNativeFrames = JITNativeFrames.load(std::memory_order_relaxed);
   return S;
 }
 
 std::string ExecutionEngine::renderExecStats() const {
   ExecStats S = statsSnapshot();
-  char Buf[640];
-  std::snprintf(
+  char Buf[1024];
+  int Len = std::snprintf(
       Buf, sizeof(Buf),
       "== execution engine statistics ==\n"
       "engine:    %s dispatch=%s\n"
@@ -246,13 +283,25 @@ std::string ExecutionEngine::renderExecStats() const {
       static_cast<unsigned long long>(S.FunctionsPrepared),
       static_cast<unsigned long long>(S.BytecodeBytes),
       static_cast<unsigned long long>(S.SuperinstsEmitted),
-      S.Engine != ExecEngineKind::Bytecode ? "n/a"
-      : S.TranslatedHere                   ? "translated"
-                                           : "precompiled",
+      S.Engine == ExecEngineKind::Walker ? "n/a"
+      : S.TranslatedHere                 ? "translated"
+                                         : "precompiled",
       static_cast<unsigned long long>(S.InstructionsExecuted),
       static_cast<unsigned long long>(S.SuperinstHits),
       static_cast<unsigned long long>(S.FramesExecuted),
       static_cast<unsigned long long>(S.RuntimeCalls));
+  if ((S.Engine == ExecEngineKind::Native ||
+       S.Engine == ExecEngineKind::Tiered) &&
+      Len > 0 && static_cast<std::size_t>(Len) < sizeof(Buf))
+    std::snprintf(
+        Buf + Len, sizeof(Buf) - static_cast<std::size_t>(Len),
+        "jit:       compiled=%llu code-bytes=%llu fallbacks=%llu "
+        "native-frames=%llu osr-promotions=%llu\n",
+        static_cast<unsigned long long>(S.JITFunctionsCompiled),
+        static_cast<unsigned long long>(S.JITCodeBytes),
+        static_cast<unsigned long long>(S.JITFallbacks),
+        static_cast<unsigned long long>(S.JITNativeFrames),
+        static_cast<unsigned long long>(S.JITOSRPromotions));
   return Buf;
 }
 

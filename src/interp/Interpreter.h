@@ -39,6 +39,10 @@
 
 namespace mcc::interp {
 
+namespace jit {
+struct CompiledFunction; // see jit/JIT.h — the native execution tier
+}
+
 /// A runtime value: integers & pointers in I (pointers as host addresses),
 /// doubles in D. The static IR type decides which field is meaningful.
 struct RTValue {
@@ -68,14 +72,29 @@ using ExternalFn = std::function<RTValue(std::span<const RTValue>)>;
 /// Which execution backend an engine uses. Default defers the choice to
 /// the MCC_EXEC_ENGINE environment variable (bytecode when unset), so the
 /// knob stays a plain enum in CompilerOptions without dragging a link
-/// dependency into every driver consumer.
-enum class ExecEngineKind : std::uint8_t { Walker, Bytecode, Default };
+/// dependency into every driver consumer. Native compiles every function
+/// to machine code up front (unsupported ones fall back to bytecode);
+/// Tiered starts on bytecode and promotes hot functions — mid-loop, via
+/// on-stack replacement — to native.
+enum class ExecEngineKind : std::uint8_t {
+  Walker,
+  Bytecode,
+  Native,
+  Tiered,
+  Default,
+};
 
-/// Parses "walker" / "bytecode" (anything else: Default with false return).
+/// Parses "walker" / "bytecode" / "native" / "tiered" (anything else:
+/// Default with false return).
 bool parseExecEngineKind(std::string_view Name, ExecEngineKind &Out);
 const char *execEngineKindName(ExecEngineKind K);
 /// Resolves Default against MCC_EXEC_ENGINE; identity otherwise.
 ExecEngineKind resolveExecEngineKind(ExecEngineKind K);
+/// Non-empty diagnostic when MCC_EXEC_ENGINE is set to an unrecognized
+/// name. resolveExecEngineKind() stays permissive (library users get the
+/// default engine); drivers call this at startup so a typo'd environment
+/// fails as loudly as a typo'd --exec-engine= flag.
+std::string execEngineEnvError();
 
 /// Point-in-time execution statistics (see renderExecStats()).
 struct ExecStats {
@@ -89,6 +108,14 @@ struct ExecStats {
   std::uint64_t SuperinstHits = 0;
   std::uint64_t FramesExecuted = 0;
   std::uint64_t RuntimeCalls = 0;
+  // Native-tier counters (zero unless the engine is Native or Tiered).
+  // Native frames do not contribute to InstructionsExecuted — machine
+  // code does not count bytecode steps.
+  std::uint64_t JITFunctionsCompiled = 0;
+  std::uint64_t JITCodeBytes = 0;
+  std::uint64_t JITOSRPromotions = 0;
+  std::uint64_t JITFallbacks = 0; ///< functions kept on bytecode
+  std::uint64_t JITNativeFrames = 0;
 };
 
 class ExecutionEngine {
@@ -152,6 +179,26 @@ private:
   const FunctionInfo &getInfo(const ir::Function *F);
   RTValue interpret(const ir::Function *F, std::span<const RTValue> Args);
   RTValue executeBytecode(std::uint32_t FnIdx, std::span<const RTValue> Args);
+  /// Non-walker dispatch: native unit when one is published (compiling
+  /// lazily in Tiered mode once a function is hot), bytecode otherwise.
+  RTValue executeTiered(std::uint32_t FnIdx, std::span<const RTValue> Args);
+  /// Runs a whole frame natively (frame setup identical to bytecode).
+  RTValue runNative(std::uint32_t FnIdx, const jit::CompiledFunction &CF,
+                    std::span<const RTValue> Args);
+  /// Enters native code on an existing frame at a bytecode instruction
+  /// boundary — the shared path of runNative and OSR promotion.
+  RTValue enterNative(const jit::CompiledFunction &CF,
+                      const bc::BCFunction &BF, RTValue *Frame, char *Arena,
+                      std::vector<void *> *Dyn, std::uint32_t ResumeIdx);
+  /// On-stack replacement: promotes a hot *running* bytecode frame. True
+  /// when the frame completed natively (result in Out); false when the
+  /// function is a fallback unit and the caller should stop probing.
+  bool tryOSR(std::uint32_t FnIdx, RTValue *Frame, char *Arena,
+              std::uint32_t TargetIdx, std::vector<void *> &Dyn,
+              RTValue &Out);
+  /// Returns the published unit, compiling and publishing on first call.
+  const jit::CompiledFunction *jitUnitFor(std::uint32_t FnIdx);
+  void initJITTier();
   /// Dispatches a call to a *defined* function through the active backend
   /// (the runtime's fork_call trampoline funnels through here too).
   RTValue invokeDefined(const ir::Function *F, std::span<const RTValue> Args);
@@ -174,10 +221,25 @@ private:
   std::vector<std::size_t> PoolOffsets;
   bool TranslatedHere = false;
 
+  /// Native-tier state (publication table, compile lock, host helper
+  /// table; defined in JITTier.h). Null unless Kind is Native or Tiered.
+  struct JITState;
+  friend struct JITHelpers; ///< host helpers called from generated code
+  std::unique_ptr<JITState> JIT;
+  /// Hot-loop promotion is armed only in Tiered mode; the bytecode loop
+  /// pays one predictable branch per taken backward branch for it.
+  bool OSRActive = false;
+  std::uint32_t OSRThreshold = 0;
+
   std::atomic<std::uint64_t> InstructionsExecuted{0};
   std::atomic<std::uint64_t> SuperinstHits{0};
   std::atomic<std::uint64_t> FramesExecuted{0};
   std::atomic<std::uint64_t> RuntimeCalls{0};
+  std::atomic<std::uint64_t> JITCompiled{0};
+  std::atomic<std::uint64_t> JITCodeBytes{0};
+  std::atomic<std::uint64_t> JITFallbackFns{0};
+  std::atomic<std::uint64_t> JITOSRPromotions{0};
+  std::atomic<std::uint64_t> JITNativeFrames{0};
 };
 
 } // namespace mcc::interp

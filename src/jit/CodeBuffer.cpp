@@ -1,0 +1,77 @@
+//===--- CodeBuffer.cpp - W^X executable page lifecycle --------------------===//
+//
+// Code pages are never writable and executable at the same time: the
+// buffer is mapped RW for emission, sealed to RX with mprotect once the
+// bytes are final, and unmapped when the owning CompiledFunction dies
+// with its ExecutionEngine. On platforms without the mmap protocol every
+// operation fails cleanly and the engine stays on bytecode.
+//
+//===----------------------------------------------------------------------===//
+#include "jit/JIT.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__linux__) || defined(__APPLE__))
+#define MCC_JIT_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define MCC_JIT_HAVE_MMAP 0
+#endif
+
+namespace mcc::interp::jit {
+
+bool isSupported() {
+#if MCC_JIT_HAVE_MMAP
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if MCC_JIT_HAVE_MMAP
+
+static std::size_t roundToPages(std::size_t Bytes) {
+  static const std::size_t Page =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return (Bytes + Page - 1) & ~(Page - 1);
+}
+
+bool CodeBuffer::map(std::size_t Bytes) {
+  if (Mem || Bytes == 0)
+    return false;
+  std::size_t Len = roundToPages(Bytes);
+  void *P = ::mmap(nullptr, Len, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return false;
+  Mem = P;
+  Mapped = Len;
+  return true;
+}
+
+bool CodeBuffer::finalize(const void *Code, std::size_t Bytes) {
+  if (!Mem || Sealed || Bytes > Mapped)
+    return false;
+  std::memcpy(Mem, Code, Bytes);
+  Used = Bytes;
+  if (::mprotect(Mem, Mapped, PROT_READ | PROT_EXEC) != 0)
+    return false;
+  Sealed = true;
+  return true;
+}
+
+CodeBuffer::~CodeBuffer() {
+  if (Mem)
+    ::munmap(Mem, Mapped);
+}
+
+#else // !MCC_JIT_HAVE_MMAP
+
+bool CodeBuffer::map(std::size_t) { return false; }
+bool CodeBuffer::finalize(const void *, std::size_t) { return false; }
+CodeBuffer::~CodeBuffer() = default;
+
+#endif
+
+} // namespace mcc::interp::jit

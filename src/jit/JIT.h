@@ -1,0 +1,186 @@
+//===--- JIT.h - Copy-and-patch template JIT over bytecode ------*- C++ -*-===//
+//
+// The third execution tier (DESIGN.md "Native execution tier"): lowers a
+// bc::BCFunction — whose operands are already dense frame indices — to
+// x86-64 machine code, one instruction template per bc::Op with the
+// operand slots patched in as frame displacements. The frame layout is
+// *identical* to the bytecode engine's (16-byte RTValue slots over the
+// same FrameStack allocation), which is what makes on-stack replacement a
+// pointer handoff: a running bytecode frame enters native code at
+// `code base + InstOffsets[pc]` with the very same Frame/Arena pointers.
+//
+// Layering: this library depends only on the bytecode *format* headers
+// (bc::Inst, RTValue) — never on the ExecutionEngine. Everything that
+// needs the host (calls into other functions, the KMP runtime, externs,
+// dynamic allocas, division traps) is routed through an indirection table
+// of host-installed helpers (JITHostOps) reached via the per-invocation
+// context, so generated code is position-independent with respect to the
+// engine instance.
+//
+// Contract of generated code (SysV x86-64):
+//
+//   int entry(JITInvocation *Inv /*rdi*/, RTValue *Frame /*rsi*/,
+//             char *Arena /*rdx*/, const void *Resume /*rcx*/);
+//
+// The prologue saves callee-saved registers, pins rbx=Frame, r12=Arena,
+// r13=Inv (plus up to two hot int-only frame slots in r14/r15) and jumps
+// to Resume — the function body start for a plain call, or a mid-loop
+// instruction boundary for OSR. Returns 0 on a normal Ret (result in
+// Inv->Ret) and 1 when a helper recorded a trap (Inv->Pending holds the
+// exception; C++ unwinding cannot cross the frameless generated code, so
+// helpers catch and the host-side wrapper rethrows).
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_JIT_JIT_H
+#define MCC_JIT_JIT_H
+
+#include "interp/Bytecode.h"
+#include "interp/Interpreter.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace mcc::interp::jit {
+
+/// True when this build can emit and execute native code (x86-64 with an
+/// mmap/mprotect W^X page protocol). When false, compileFunction()
+/// returns fallback units and the native/tiered engines degrade to pure
+/// bytecode execution — same observable behaviour, no speedup.
+bool isSupported();
+
+//===----------------------------------------------------------------------===//
+// Host helper indirection table
+//===----------------------------------------------------------------------===//
+
+/// Indices into JITHostOps::Fns. Every helper has the uniform signature
+/// `void(JITInvocation *, const bc::Inst *)`; results and traps are
+/// communicated through the invocation context, never by unwinding.
+enum HelperIndex : std::uint32_t {
+  HelperCallBC = 0, ///< bc::Op::CallBC — call a defined function
+  HelperCallRT,     ///< bc::Op::CallRT — KMP entry points and externs
+  HelperAllocaDyn,  ///< bc::Op::AllocaDyn — heap block, freed by wrapper
+  HelperIntDiv,     ///< SDiv/UDiv/SRem/URem — division-by-zero traps
+  HelperUIToFP,     ///< unsigned 64-bit → double needs library semantics
+  HelperFPToUI,     ///< double → unsigned with the bytecode's exact cast
+  HelperUnreachable, ///< raises "executed 'unreachable'"
+  NumHelpers
+};
+
+struct JITInvocation;
+
+/// The host-installed helper table. Generated code loads the table
+/// pointer from the invocation context and calls `Fns[index]`, so the
+/// table's address is not baked into code pages.
+struct JITHostOps {
+  using HelperFn = void (*)(JITInvocation *, const bc::Inst *);
+  HelperFn Fns[NumHelpers] = {};
+};
+
+//===----------------------------------------------------------------------===//
+// Per-invocation context
+//===----------------------------------------------------------------------===//
+
+/// The leading fields are read from generated code by fixed offset and
+/// must stay a standard-layout prefix (static_asserts below).
+struct JITInvocationHeader {
+  RTValue Ret;             ///< written by the Ret template
+  std::uint64_t Trap = 0;  ///< set by helpers; checked after each call
+  const JITHostOps *Ops = nullptr;
+};
+
+/// One native activation. Lives on the host stack of the C++ wrapper that
+/// entered native code; helpers reach everything through it.
+struct JITInvocation : JITInvocationHeader {
+  void *Host = nullptr;               ///< the owning ExecutionEngine
+  const bc::BCFunction *BF = nullptr; ///< for ArgPool / callee indices
+  const bc::BytecodeModule *Mod = nullptr; ///< for ExternalNames
+  RTValue *Frame = nullptr;           ///< shared-layout register frame
+  std::vector<void *> *DynAllocas = nullptr; ///< owned by the wrapper
+  std::exception_ptr Pending;         ///< rethrown by the wrapper on Trap
+};
+
+inline constexpr std::size_t kInvRetOffset = 0;
+inline constexpr std::size_t kInvTrapOffset = offsetof(JITInvocationHeader, Trap);
+inline constexpr std::size_t kInvOpsOffset = offsetof(JITInvocationHeader, Ops);
+static_assert(kInvTrapOffset == 16 && kInvOpsOffset == 24,
+              "generated code hardcodes the invocation header layout");
+
+using NativeEntryFn = int (*)(JITInvocation *Inv, RTValue *Frame,
+                              char *Arena, const void *Resume);
+
+//===----------------------------------------------------------------------===//
+// Compiled unit
+//===----------------------------------------------------------------------===//
+
+/// An executable W^X page range: mapped RW for emission, flipped to RX on
+/// finalize, unmapped on destruction (ExecutionEngine teardown).
+class CodeBuffer {
+public:
+  CodeBuffer() = default;
+  ~CodeBuffer();
+  CodeBuffer(const CodeBuffer &) = delete;
+  CodeBuffer &operator=(const CodeBuffer &) = delete;
+
+  /// Maps a writable region of at least \p Bytes. False on failure (or on
+  /// unsupported platforms).
+  bool map(std::size_t Bytes);
+  /// Copies \p Code into the mapping and seals it read-execute.
+  bool finalize(const void *Code, std::size_t Bytes);
+
+  [[nodiscard]] const void *data() const { return Mem; }
+  [[nodiscard]] std::size_t size() const { return Used; }
+  [[nodiscard]] bool executable() const { return Sealed; }
+
+private:
+  void *Mem = nullptr;
+  std::size_t Mapped = 0;
+  std::size_t Used = 0;
+  bool Sealed = false;
+};
+
+struct CompiledFunction {
+  CodeBuffer Code;
+  /// Native offset of every bytecode instruction boundary — the OSR
+  /// entry map. Valid at *any* index because the frame (not registers)
+  /// is the authoritative state at bytecode branch points and the
+  /// prologue re-loads pinned slots.
+  std::vector<std::uint32_t> InstOffsets;
+  bool Supported = false; ///< false: bytecode-fallback unit (no code)
+  std::uint32_t PinnedSlots = 0;
+
+  [[nodiscard]] NativeEntryFn entry() const {
+    return reinterpret_cast<NativeEntryFn>(
+        const_cast<void *>(Code.data()));
+  }
+  [[nodiscard]] const void *resumeAt(std::uint32_t InstIdx) const {
+    return static_cast<const char *>(Code.data()) + InstOffsets[InstIdx];
+  }
+};
+
+struct CompileOptions {
+  /// Treat this op as unsupported (forces the containing functions onto
+  /// the bytecode fallback path). Wired to MCC_JIT_FORCE_FALLBACK_OP by
+  /// the engine — the CI smoke for the thunk path. NumOps = disabled.
+  bc::Op ForceUnsupported = bc::Op::NumOps;
+};
+
+/// Lowers one bytecode function. Always returns a unit; `Supported` is
+/// false when any contained op (or the platform) is outside the template
+/// set, in which case the engine keeps executing that function as
+/// bytecode.
+std::unique_ptr<CompiledFunction>
+compileFunction(const bc::BCFunction &BF, const CompileOptions &Opts = {});
+
+/// Spelled name of a bytecode op ("Add", "CmpBr", ...), for the
+/// forced-fallback knob and diagnostics.
+const char *opName(bc::Op O);
+/// Parses an opName back; false if unknown.
+bool parseOpName(std::string_view Name, bc::Op &Out);
+
+} // namespace mcc::interp::jit
+
+#endif // MCC_JIT_JIT_H

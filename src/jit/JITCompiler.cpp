@@ -1,0 +1,1258 @@
+//===--- JITCompiler.cpp - bc::Inst → x86-64 template emission -------------===//
+//
+// One emission pass over the function's instruction array: each bc::Op has
+// a machine-code template whose operand bytes are patched with the frame
+// displacements the BytecodeCompiler already resolved. Branch targets
+// become rel32 fixups resolved after the pass from the per-instruction
+// offset table (the same table OSR uses to resume a bytecode frame
+// mid-loop). There is no register allocator — the frame *is* the register
+// file — but a slot-kind analysis finds int-only slots (loop IVs and
+// accumulators) and pins the two hottest in r14/r15; soundness falls out
+// of the classification: a pinned slot is provably never read through
+// frame memory (helper operands, call arguments and 16-byte copies all
+// force a slot off the pin list).
+//
+// Semantics mirror BytecodeInterpreter.cpp handler for handler: the same
+// sign-extension discipline (InterpOps.h), the same field-write behaviour
+// (int ops leave the D lane untouched; Mov/Gep/Select/calls write what
+// the bytecode handler writes), the same trap messages via host helpers.
+//
+//===----------------------------------------------------------------------===//
+#include "jit/JIT.h"
+
+#include <cstring>
+#include <limits>
+
+namespace mcc::interp::jit {
+
+const char *opName(bc::Op O) {
+  static const char *const Names[] = {
+      "Mov",      "Add",         "Sub",       "Mul",      "SDiv",
+      "UDiv",     "SRem",        "URem",      "And",      "Or",
+      "Xor",      "Shl",         "AShr",      "LShr",     "FAdd",
+      "FSub",     "FMul",        "FDiv",      "FNeg",     "ICmp",
+      "FCmp",     "SExt",        "ZExt",      "Trunc",    "SIToFP",
+      "UIToFP",   "FPToSI",      "FPToUI",    "Load1",    "Load4",
+      "Load8",    "LoadF64",     "Store1",    "Store4",   "Store8",
+      "StoreF64", "Gep",         "AllocaFixed", "AllocaDyn", "Select",
+      "Jmp",      "CondBr",      "Ret",       "Unreachable", "CallBC",
+      "CallRT",   "CmpBr",       "LoadOpStore4", "LoadOpStore8",
+  };
+  static_assert(sizeof(Names) / sizeof(Names[0]) ==
+                static_cast<std::size_t>(bc::Op::NumOps));
+  auto Idx = static_cast<std::size_t>(O);
+  return Idx < static_cast<std::size_t>(bc::Op::NumOps) ? Names[Idx] : "?";
+}
+
+bool parseOpName(std::string_view Name, bc::Op &Out) {
+  for (std::size_t I = 0; I < static_cast<std::size_t>(bc::Op::NumOps); ++I)
+    if (Name == opName(static_cast<bc::Op>(I))) {
+      Out = static_cast<bc::Op>(I);
+      return true;
+    }
+  return false;
+}
+
+namespace {
+
+// General-purpose register numbers (hardware encoding).
+enum Reg : unsigned {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+};
+enum Xmm : unsigned { XMM0 = 0, XMM1 = 1 };
+
+// Condition-code nibbles for 0F 8x / 0F 9x.
+enum CC : unsigned {
+  CC_B = 0x2,  // unsigned <   (also: ucomisd unordered-or-below)
+  CC_AE = 0x3, // unsigned >=
+  CC_E = 0x4,
+  CC_NE = 0x5,
+  CC_BE = 0x6, // unsigned <=
+  CC_A = 0x7,  // unsigned >
+  CC_P = 0xA,
+  CC_NP = 0xB,
+  CC_L = 0xC,
+  CC_GE = 0xD,
+  CC_LE = 0xE,
+  CC_G = 0xF,
+};
+
+/// Flat byte emitter: raw encodings only, no state beyond the buffer.
+class Asm {
+public:
+  std::vector<std::uint8_t> B;
+
+  [[nodiscard]] std::size_t pos() const { return B.size(); }
+  void u8(std::uint8_t V) { B.push_back(V); }
+  void u32(std::uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      B.push_back(static_cast<std::uint8_t>(V >> (I * 8)));
+  }
+  void u64(std::uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      B.push_back(static_cast<std::uint8_t>(V >> (I * 8)));
+  }
+  void patch32(std::size_t Pos, std::int32_t V) {
+    for (int I = 0; I < 4; ++I)
+      B[Pos + I] = static_cast<std::uint8_t>(
+          static_cast<std::uint32_t>(V) >> (I * 8));
+  }
+
+  /// REX prefix when needed (64-bit width or extended registers).
+  void rex(bool W, unsigned Reg, unsigned Rm) {
+    if (W || Reg >= 8 || Rm >= 8)
+      u8(0x40 | (W ? 8 : 0) | ((Reg >> 3) & 1) << 2 | ((Rm >> 3) & 1));
+  }
+
+  /// ModRM(+SIB+disp) for [Base + Disp]; Reg is the reg field (mod 8
+  /// applied here, extension bits handled by rex()).
+  void mem(unsigned Reg, unsigned Base, std::int32_t Disp) {
+    unsigned Bl = Base & 7, Rl = Reg & 7;
+    bool Sib = (Bl == 4); // rsp/r12 need a SIB byte
+    unsigned Mod;
+    if (Disp == 0 && Bl != 5) // rbp/r13 always need a displacement
+      Mod = 0;
+    else if (Disp >= -128 && Disp <= 127)
+      Mod = 1;
+    else
+      Mod = 2;
+    u8(static_cast<std::uint8_t>(Mod << 6 | Rl << 3 | (Sib ? 4 : Bl)));
+    if (Sib)
+      u8(0x24); // no index, base = Bl
+    if (Mod == 1)
+      u8(static_cast<std::uint8_t>(Disp));
+    else if (Mod == 2)
+      u32(static_cast<std::uint32_t>(Disp));
+  }
+  void direct(unsigned Reg, unsigned Rm) {
+    u8(static_cast<std::uint8_t>(0xC0 | (Reg & 7) << 3 | (Rm & 7)));
+  }
+
+  // --- GP moves ---
+  void movRI64(unsigned R, std::uint64_t V) {
+    rex(true, 0, R);
+    u8(0xB8 + (R & 7));
+    u64(V);
+  }
+  void movRI32(unsigned R, std::uint32_t V) {
+    rex(false, 0, R);
+    u8(0xB8 + (R & 7));
+    u32(V);
+  }
+  void movRR(unsigned D, unsigned S) { // 64-bit
+    rex(true, S, D);
+    u8(0x89);
+    direct(S, D);
+  }
+  void movRM(unsigned R, unsigned Base, std::int32_t Disp) {
+    rex(true, R, Base);
+    u8(0x8B);
+    mem(R, Base, Disp);
+  }
+  void movMR(unsigned Base, std::int32_t Disp, unsigned R) {
+    rex(true, R, Base);
+    u8(0x89);
+    mem(R, Base, Disp);
+  }
+  void mov32MR(unsigned Base, std::int32_t Disp, unsigned R) {
+    rex(false, R, Base);
+    u8(0x89);
+    mem(R, Base, Disp);
+  }
+  void mov8MR(unsigned Base, std::int32_t Disp, unsigned R) {
+    rex(false, R, Base); // R must be rax/rcx/rdx (al/cl/dl)
+    u8(0x88);
+    mem(R, Base, Disp);
+  }
+  void movMI32(unsigned Base, std::int32_t Disp, std::int32_t V) {
+    rex(true, 0, Base); // mov qword [m], sext(imm32)
+    u8(0xC7);
+    mem(0, Base, Disp);
+    u32(static_cast<std::uint32_t>(V));
+  }
+  void movsx8RM(unsigned R, unsigned Base, std::int32_t Disp) {
+    rex(true, R, Base);
+    u8(0x0F);
+    u8(0xBE);
+    mem(R, Base, Disp);
+  }
+  void movsxdRM(unsigned R, unsigned Base, std::int32_t Disp) {
+    rex(true, R, Base);
+    u8(0x63);
+    mem(R, Base, Disp);
+  }
+  void movsx8RR(unsigned D, unsigned S) {
+    rex(true, D, S);
+    u8(0x0F);
+    u8(0xBE);
+    direct(D, S);
+  }
+  void movzx8RR(unsigned D, unsigned S) {
+    rex(true, D, S);
+    u8(0x0F);
+    u8(0xB6);
+    direct(D, S);
+  }
+  void movsxdRR(unsigned D, unsigned S) {
+    rex(true, D, S);
+    u8(0x63);
+    direct(D, S);
+  }
+  void mov32RR(unsigned D, unsigned S) { // zero-extends to 64
+    rex(false, S, D);
+    u8(0x89);
+    direct(S, D);
+  }
+  void leaRM(unsigned R, unsigned Base, std::int32_t Disp) {
+    rex(true, R, Base);
+    u8(0x8D);
+    mem(R, Base, Disp);
+  }
+
+  // --- GP arithmetic (MR forms: op rm64, r64) ---
+  void alu(std::uint8_t Opc, unsigned D, unsigned S) {
+    rex(true, S, D);
+    u8(Opc);
+    direct(S, D);
+  }
+  void addRR(unsigned D, unsigned S) { alu(0x01, D, S); }
+  void subRR(unsigned D, unsigned S) { alu(0x29, D, S); }
+  void andRR(unsigned D, unsigned S) { alu(0x21, D, S); }
+  void orRR(unsigned D, unsigned S) { alu(0x09, D, S); }
+  void xorRR(unsigned D, unsigned S) { alu(0x31, D, S); }
+  void cmpRR(unsigned D, unsigned S) { alu(0x39, D, S); }
+  void testRR(unsigned D, unsigned S) { alu(0x85, D, S); }
+  void imulRR(unsigned D, unsigned S) {
+    rex(true, D, S);
+    u8(0x0F);
+    u8(0xAF);
+    direct(D, S);
+  }
+  void imulRRI(unsigned D, unsigned S, std::int32_t V) {
+    rex(true, D, S);
+    u8(0x69);
+    direct(D, S);
+    u32(static_cast<std::uint32_t>(V));
+  }
+  /// 81/83 group: ext ∈ {0 add, 1 or, 4 and, 5 sub, 6 xor, 7 cmp}.
+  void aluRI(unsigned Ext, unsigned R, std::int32_t V) {
+    rex(true, 0, R);
+    if (V >= -128 && V <= 127) {
+      u8(0x83);
+      direct(Ext, R);
+      u8(static_cast<std::uint8_t>(V));
+    } else {
+      u8(0x81);
+      direct(Ext, R);
+      u32(static_cast<std::uint32_t>(V));
+    }
+  }
+  void and32RI8(unsigned R, std::uint8_t V) { // and r32, imm8 (clears hi)
+    rex(false, 0, R);
+    u8(0x83);
+    direct(4, R);
+    u8(V);
+  }
+  void negR(unsigned R) {
+    rex(true, 0, R);
+    u8(0xF7);
+    direct(3, R);
+  }
+  /// D3 group shifts by cl: ext ∈ {4 shl, 5 shr, 7 sar}.
+  void shiftCl(unsigned Ext, unsigned R) {
+    rex(true, 0, R);
+    u8(0xD3);
+    direct(Ext, R);
+  }
+  void cmpMI8(unsigned Base, std::int32_t Disp, std::uint8_t V) {
+    rex(true, 7, Base); // cmp qword [m], imm8
+    u8(0x83);
+    mem(7, Base, Disp);
+    u8(V);
+  }
+  void setcc(unsigned CC, unsigned R8) { // R8 must be al/cl/dl
+    u8(0x0F);
+    u8(0x90 + CC);
+    direct(0, R8);
+  }
+  void xor32RR(unsigned D, unsigned S) {
+    rex(false, S, D);
+    u8(0x31);
+    direct(S, D);
+  }
+
+  // --- control flow ---
+  std::size_t jmpRel32() {
+    u8(0xE9);
+    std::size_t P = pos();
+    u32(0);
+    return P;
+  }
+  std::size_t jccRel32(unsigned CC) {
+    u8(0x0F);
+    u8(0x80 + CC);
+    std::size_t P = pos();
+    u32(0);
+    return P;
+  }
+  void jmpR(unsigned R) {
+    rex(false, 0, R);
+    u8(0xFF);
+    direct(4, R);
+  }
+  void callM(unsigned Base, std::int32_t Disp) {
+    rex(false, 0, Base);
+    u8(0xFF);
+    mem(2, Base, Disp);
+  }
+  void pushR(unsigned R) {
+    rex(false, 0, R);
+    u8(0x50 + (R & 7));
+  }
+  void popR(unsigned R) {
+    rex(false, 0, R);
+    u8(0x58 + (R & 7));
+  }
+  void ret() { u8(0xC3); }
+  void repStosb() {
+    u8(0xF3);
+    u8(0xAA);
+  }
+
+  // --- SSE ---
+  void sse(std::uint8_t Prefix, std::uint8_t Op, unsigned R, unsigned Rm,
+           bool RexW = false) { // reg-reg form
+    if (Prefix)
+      u8(Prefix);
+    rex(RexW, R, Rm);
+    u8(0x0F);
+    u8(Op);
+    direct(R, Rm);
+  }
+  void sseM(std::uint8_t Prefix, std::uint8_t Op, unsigned R, unsigned Base,
+            std::int32_t Disp) {
+    if (Prefix)
+      u8(Prefix);
+    rex(false, R, Base);
+    u8(0x0F);
+    u8(Op);
+    mem(R, Base, Disp);
+  }
+  void movsdXM(unsigned X, unsigned Base, std::int32_t D) {
+    sseM(0xF2, 0x10, X, Base, D);
+  }
+  void movsdMX(unsigned Base, std::int32_t D, unsigned X) {
+    sseM(0xF2, 0x11, X, Base, D);
+  }
+  void movupsXM(unsigned X, unsigned Base, std::int32_t D) {
+    sseM(0, 0x10, X, Base, D);
+  }
+  void movupsMX(unsigned Base, std::int32_t D, unsigned X) {
+    sseM(0, 0x11, X, Base, D);
+  }
+  void addsd(unsigned D, unsigned S) { sse(0xF2, 0x58, D, S); }
+  void subsd(unsigned D, unsigned S) { sse(0xF2, 0x5C, D, S); }
+  void mulsd(unsigned D, unsigned S) { sse(0xF2, 0x59, D, S); }
+  void divsd(unsigned D, unsigned S) { sse(0xF2, 0x5E, D, S); }
+  void ucomisd(unsigned A, unsigned B2) { sse(0x66, 0x2E, A, B2); }
+  void xorpd(unsigned D, unsigned S) { sse(0x66, 0x57, D, S); }
+  void xorps(unsigned D, unsigned S) { sse(0, 0x57, D, S); }
+  void cvtsi2sd(unsigned X, unsigned R) { sse(0xF2, 0x2A, X, R, true); }
+  void cvttsd2si(unsigned R, unsigned X) { sse(0xF2, 0x2C, R, X, true); }
+  void movqXR(unsigned X, unsigned R) { sse(0x66, 0x6E, X, R, true); }
+};
+
+/// How a frame slot is observed across the function. Int ⊔ FP = Full;
+/// Full slots are copied 16 bytes at a time and are never pinned.
+enum class SlotKind : std::uint8_t { Unused = 0, Int = 1, FP = 2, Full = 3 };
+
+inline SlotKind join(SlotKind A, SlotKind B) {
+  return static_cast<SlotKind>(static_cast<unsigned>(A) |
+                               static_cast<unsigned>(B));
+}
+
+class FunctionEmitter {
+public:
+  FunctionEmitter(const bc::BCFunction &BF, const CompileOptions &Opts)
+      : BF(BF), Opts(Opts) {}
+
+  std::unique_ptr<CompiledFunction> run();
+
+private:
+  struct Fixup {
+    std::size_t Pos;        ///< position of the rel32 to patch
+    std::uint32_t Target;   ///< bytecode inst index (N = epilogue, N+1 = trap)
+  };
+
+  const bc::BCFunction &BF;
+  const CompileOptions &Opts;
+  Asm A;
+  std::vector<SlotKind> Kinds;
+  std::vector<Fixup> Fixups;
+  std::int32_t Pin[2] = {-1, -1};
+  bool OK = true;
+
+  static constexpr unsigned FrameReg = RBX, ArenaReg = R12, InvReg = R13;
+  static constexpr unsigned PinRegs[2] = {R14, R15};
+
+  [[nodiscard]] std::uint32_t epilogueIdx() const {
+    return static_cast<std::uint32_t>(BF.Code.size());
+  }
+  [[nodiscard]] std::uint32_t trapIdx() const { return epilogueIdx() + 1; }
+
+  void mark(std::uint32_t Slot, SlotKind K) {
+    Kinds[Slot] = join(Kinds[Slot], K);
+  }
+  void classify();
+  void choosePins();
+
+  [[nodiscard]] int pinOf(std::uint32_t Slot) const {
+    if (Pin[0] == static_cast<std::int32_t>(Slot))
+      return 0;
+    if (Pin[1] == static_cast<std::int32_t>(Slot))
+      return 1;
+    return -1;
+  }
+  [[nodiscard]] static std::int32_t dispI(std::uint32_t Slot) {
+    return static_cast<std::int32_t>(Slot) * 16;
+  }
+  [[nodiscard]] static std::int32_t dispD(std::uint32_t Slot) {
+    return static_cast<std::int32_t>(Slot) * 16 + 8;
+  }
+
+  void loadSlotI(unsigned R, std::uint32_t Slot) {
+    int P = pinOf(Slot);
+    if (P >= 0)
+      A.movRR(R, PinRegs[P]);
+    else
+      A.movRM(R, FrameReg, dispI(Slot));
+  }
+  /// mov only — never touches flags (CmpBr relies on that).
+  void storeSlotI(unsigned R, std::uint32_t Slot) {
+    int P = pinOf(Slot);
+    if (P >= 0)
+      A.movRR(PinRegs[P], R);
+    else
+      A.movMR(FrameReg, dispI(Slot), R);
+  }
+  void loadSlotD(unsigned X, std::uint32_t Slot) {
+    A.movsdXM(X, FrameReg, dispD(Slot));
+  }
+  void storeSlotD(unsigned X, std::uint32_t Slot) {
+    A.movsdMX(FrameReg, dispD(Slot), X);
+  }
+  /// Mirrors the bytecode's full-RTValue writes (ofPtr leaves D = 0) when
+  /// someone may read the slot 16 bytes at a time.
+  void zeroSlotDIfFull(std::uint32_t Slot) {
+    if (Kinds[Slot] == SlotKind::Full)
+      A.movMI32(FrameReg, dispD(Slot), 0);
+  }
+
+  void sext(unsigned R, unsigned W) {
+    if (W >= 64)
+      return;
+    if (W == 32)
+      A.movsxdRR(R, R);
+    else if (W == 8)
+      A.movsx8RR(R, R);
+    else { // W == 1: bit0 ? -1 : 0
+      A.and32RI8(R, 1);
+      A.negR(R);
+    }
+  }
+  void zext(unsigned R, unsigned W) {
+    if (W >= 64)
+      return;
+    if (W == 32)
+      A.mov32RR(R, R);
+    else if (W == 8)
+      A.movzx8RR(R, R);
+    else
+      A.and32RI8(R, 1);
+  }
+  [[nodiscard]] static bool widthOk(unsigned W) {
+    return W == 1 || W == 8 || W == 32 || W == 64;
+  }
+
+  void emitHelper(HelperIndex H, const bc::Inst *In) {
+    A.movRR(RDI, InvReg);
+    A.movRI64(RSI, reinterpret_cast<std::uint64_t>(In));
+    A.movRM(RAX, InvReg, static_cast<std::int32_t>(kInvOpsOffset));
+    A.callM(RAX, static_cast<std::int32_t>(H) * 8);
+    A.cmpMI8(InvReg, static_cast<std::int32_t>(kInvTrapOffset), 0);
+    Fixups.push_back({A.jccRel32(CC_NE), trapIdx()});
+  }
+
+  /// Loads, width-extends and compares the ICmp/CmpBr operands; returns
+  /// the condition code that is true when the predicate holds.
+  unsigned emitIntCompare(ir::CmpPred P, std::uint32_t L, std::uint32_t R,
+                          unsigned W) {
+    loadSlotI(RAX, L);
+    loadSlotI(RCX, R);
+    bool Signed = false;
+    unsigned CC = CC_E;
+    switch (P) {
+    case ir::CmpPred::EQ:
+      CC = CC_E;
+      break;
+    case ir::CmpPred::NE:
+      CC = CC_NE;
+      break;
+    case ir::CmpPred::SLT:
+      CC = CC_L;
+      Signed = true;
+      break;
+    case ir::CmpPred::SLE:
+      CC = CC_LE;
+      Signed = true;
+      break;
+    case ir::CmpPred::SGT:
+      CC = CC_G;
+      Signed = true;
+      break;
+    case ir::CmpPred::SGE:
+      CC = CC_GE;
+      Signed = true;
+      break;
+    case ir::CmpPred::ULT:
+      CC = CC_B;
+      break;
+    case ir::CmpPred::ULE:
+      CC = CC_BE;
+      break;
+    case ir::CmpPred::UGT:
+      CC = CC_A;
+      break;
+    case ir::CmpPred::UGE:
+      CC = CC_AE;
+      break;
+    default:
+      OK = false;
+      break;
+    }
+    if (Signed) {
+      sext(RAX, W);
+      sext(RCX, W);
+    } else {
+      zext(RAX, W);
+      zext(RCX, W);
+    }
+    A.cmpRR(RAX, RCX);
+    return CC;
+  }
+
+  void emitInst(std::uint32_t Idx);
+};
+
+void FunctionEmitter::classify() {
+  Kinds.assign(BF.NumFrame, SlotKind::Unused);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> MovEdges;
+  for (const bc::Inst &In : BF.Code) {
+    switch (In.Code) {
+    case bc::Op::Mov:
+      MovEdges.emplace_back(In.A, In.B);
+      break;
+    case bc::Op::Add:
+    case bc::Op::Sub:
+    case bc::Op::Mul:
+    case bc::Op::And:
+    case bc::Op::Or:
+    case bc::Op::Xor:
+    case bc::Op::Shl:
+    case bc::Op::AShr:
+    case bc::Op::LShr:
+      mark(In.A, SlotKind::Int);
+      mark(In.B, SlotKind::Int);
+      mark(In.C, SlotKind::Int);
+      break;
+    case bc::Op::SDiv:
+    case bc::Op::UDiv:
+    case bc::Op::SRem:
+    case bc::Op::URem:
+      // Helper op: reads and writes frame memory directly.
+      mark(In.A, SlotKind::Full);
+      mark(In.B, SlotKind::Full);
+      mark(In.C, SlotKind::Full);
+      break;
+    case bc::Op::FAdd:
+    case bc::Op::FSub:
+    case bc::Op::FMul:
+    case bc::Op::FDiv:
+      mark(In.A, SlotKind::FP);
+      mark(In.B, SlotKind::FP);
+      mark(In.C, SlotKind::FP);
+      break;
+    case bc::Op::FNeg:
+      mark(In.A, SlotKind::FP);
+      mark(In.B, SlotKind::FP);
+      break;
+    case bc::Op::ICmp:
+    case bc::Op::CmpBr:
+      mark(In.A, SlotKind::Int);
+      mark(In.B, SlotKind::Int);
+      mark(In.C, SlotKind::Int);
+      break;
+    case bc::Op::FCmp:
+      mark(In.A, SlotKind::Int);
+      mark(In.B, SlotKind::FP);
+      mark(In.C, SlotKind::FP);
+      break;
+    case bc::Op::SExt:
+    case bc::Op::ZExt:
+    case bc::Op::Trunc:
+      mark(In.A, SlotKind::Int);
+      mark(In.B, SlotKind::Int);
+      break;
+    case bc::Op::SIToFP:
+      mark(In.A, SlotKind::FP);
+      mark(In.B, SlotKind::Int);
+      break;
+    case bc::Op::UIToFP:
+    case bc::Op::FPToUI:
+      mark(In.A, SlotKind::Full); // helper op
+      mark(In.B, SlotKind::Full);
+      break;
+    case bc::Op::FPToSI:
+      mark(In.A, SlotKind::Int);
+      mark(In.B, SlotKind::FP);
+      break;
+    case bc::Op::Load1:
+    case bc::Op::Load4:
+    case bc::Op::Load8:
+      mark(In.A, SlotKind::Int);
+      mark(In.B, SlotKind::Int);
+      break;
+    case bc::Op::LoadF64:
+      mark(In.A, SlotKind::FP);
+      mark(In.B, SlotKind::Int);
+      break;
+    case bc::Op::Store1:
+    case bc::Op::Store4:
+    case bc::Op::Store8:
+      mark(In.A, SlotKind::Int);
+      mark(In.B, SlotKind::Int);
+      break;
+    case bc::Op::StoreF64:
+      mark(In.A, SlotKind::FP);
+      mark(In.B, SlotKind::Int);
+      break;
+    case bc::Op::Gep:
+      mark(In.A, SlotKind::Int);
+      mark(In.B, SlotKind::Int);
+      mark(In.C, SlotKind::Int);
+      break;
+    case bc::Op::AllocaFixed:
+      mark(In.A, SlotKind::Int);
+      break;
+    case bc::Op::AllocaDyn:
+      mark(In.A, SlotKind::Full); // helper op
+      mark(In.B, SlotKind::Full);
+      break;
+    case bc::Op::Select:
+      // Copied 16 bytes at a time (branchy template); the condition is
+      // an int read.
+      mark(In.A, SlotKind::Full);
+      mark(In.B, SlotKind::Int);
+      mark(In.C, SlotKind::Full);
+      mark(In.D, SlotKind::Full);
+      break;
+    case bc::Op::Jmp:
+    case bc::Op::Unreachable:
+      break;
+    case bc::Op::CondBr:
+      mark(In.A, SlotKind::Int);
+      break;
+    case bc::Op::Ret:
+      if (In.Sub)
+        mark(In.A, SlotKind::Full); // 16-byte copy into Inv->Ret
+      break;
+    case bc::Op::CallBC:
+    case bc::Op::CallRT:
+      // Helper op: result and every argument slot cross the helper
+      // boundary through frame memory as full RTValues.
+      mark(In.A, SlotKind::Full);
+      for (std::uint32_t K = 0; K < In.D; ++K)
+        mark(BF.ArgPool[In.C + K], SlotKind::Full);
+      break;
+    case bc::Op::LoadOpStore4:
+    case bc::Op::LoadOpStore8:
+      mark(In.A, SlotKind::Int);
+      mark(In.B, SlotKind::Int);
+      mark(In.C, SlotKind::Int);
+      mark(In.D, SlotKind::Int);
+      break;
+    case bc::Op::NumOps:
+      OK = false;
+      break;
+    }
+  }
+  // A Mov copies by the *joined* kind of its endpoints, so propagate
+  // kinds across Mov edges to a fixpoint (a slot moved into an FP
+  // context and used as int elsewhere must become Full on both sides —
+  // otherwise a one-lane copy could drop live bits).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto &[Dst, Src] : MovEdges) {
+      SlotKind J = join(Kinds[Dst], Kinds[Src]);
+      if (J != Kinds[Dst] || J != Kinds[Src]) {
+        Kinds[Dst] = Kinds[Src] = J;
+        Changed = true;
+      }
+    }
+  }
+}
+
+void FunctionEmitter::choosePins() {
+  // Weight each slot's accesses, boosting instructions that sit inside a
+  // back-edge range (between a backward branch's target and the branch):
+  // that is where loop IVs and accumulators live.
+  const std::uint32_t N = static_cast<std::uint32_t>(BF.Code.size());
+  std::vector<std::int32_t> LoopDepth(N + 1, 0);
+  for (std::uint32_t I = 0; I < N; ++I) {
+    const bc::Inst &In = BF.Code[I];
+    auto Range = [&](std::uint32_t T) {
+      if (T <= I) {
+        ++LoopDepth[T];
+        --LoopDepth[I + 1];
+      }
+    };
+    if (In.Code == bc::Op::Jmp)
+      Range(In.A);
+    else if (In.Code == bc::Op::CondBr) {
+      Range(In.B);
+      Range(In.C);
+    } else if (In.Code == bc::Op::CmpBr) {
+      Range(static_cast<std::uint32_t>(In.Imm));
+      Range(static_cast<std::uint32_t>(In.Imm >> 32));
+    }
+  }
+  std::vector<std::uint64_t> Weight(BF.NumFrame, 0);
+  std::int64_t Depth = 0;
+  for (std::uint32_t I = 0; I < N; ++I) {
+    Depth += LoopDepth[I];
+    const std::uint64_t W = Depth > 0 ? 16 : 1;
+    const bc::Inst &In = BF.Code[I];
+    auto Acc = [&](std::uint32_t S) {
+      if (S < BF.NumFrame && Kinds[S] == SlotKind::Int)
+        Weight[S] += W;
+    };
+    switch (In.Code) {
+    case bc::Op::Jmp:
+    case bc::Op::Unreachable:
+      break;
+    case bc::Op::Ret:
+    case bc::Op::CondBr:
+      Acc(In.A);
+      break;
+    case bc::Op::CallBC:
+    case bc::Op::CallRT:
+      break; // Full slots anyway
+    default:
+      Acc(In.A);
+      Acc(In.B);
+      Acc(In.C);
+      Acc(In.D);
+      break;
+    }
+  }
+  for (int P = 0; P < 2; ++P) {
+    std::uint64_t Best = 1; // require at least weight 2
+    std::int32_t BestSlot = -1;
+    for (std::uint32_t S = 0; S < BF.NumFrame; ++S) {
+      if (static_cast<std::int32_t>(S) == Pin[0])
+        continue;
+      if (Weight[S] > Best) {
+        Best = Weight[S];
+        BestSlot = static_cast<std::int32_t>(S);
+      }
+    }
+    if (BestSlot < 0)
+      break;
+    Pin[P] = BestSlot;
+    Weight[BestSlot] = 0;
+  }
+}
+
+void FunctionEmitter::emitInst(std::uint32_t Idx) {
+  const bc::Inst &In = BF.Code[Idx];
+  if (In.Code == Opts.ForceUnsupported) {
+    OK = false;
+    return;
+  }
+  switch (In.Code) {
+  case bc::Op::Mov: {
+    switch (join(Kinds[In.A], Kinds[In.B])) {
+    case SlotKind::Unused:
+    case SlotKind::Int:
+      loadSlotI(RAX, In.B);
+      storeSlotI(RAX, In.A);
+      break;
+    case SlotKind::FP:
+      A.movRM(RAX, FrameReg, dispD(In.B));
+      A.movMR(FrameReg, dispD(In.A), RAX);
+      break;
+    case SlotKind::Full:
+      A.movupsXM(XMM0, FrameReg, dispI(In.B));
+      A.movupsMX(FrameReg, dispI(In.A), XMM0);
+      break;
+    }
+    break;
+  }
+  case bc::Op::Add:
+  case bc::Op::Sub:
+  case bc::Op::Mul: {
+    if (!widthOk(In.W)) {
+      OK = false;
+      return;
+    }
+    loadSlotI(RAX, In.B);
+    loadSlotI(RCX, In.C);
+    if (In.Code == bc::Op::Add)
+      A.addRR(RAX, RCX);
+    else if (In.Code == bc::Op::Sub)
+      A.subRR(RAX, RCX);
+    else
+      A.imulRR(RAX, RCX);
+    sext(RAX, In.W);
+    storeSlotI(RAX, In.A);
+    break;
+  }
+  case bc::Op::And:
+  case bc::Op::Or:
+  case bc::Op::Xor: {
+    loadSlotI(RAX, In.B);
+    loadSlotI(RCX, In.C);
+    if (In.Code == bc::Op::And)
+      A.andRR(RAX, RCX);
+    else if (In.Code == bc::Op::Or)
+      A.orRR(RAX, RCX);
+    else
+      A.xorRR(RAX, RCX);
+    storeSlotI(RAX, In.A);
+    break;
+  }
+  case bc::Op::Shl:
+  case bc::Op::AShr:
+  case bc::Op::LShr: {
+    if (!widthOk(In.W)) {
+      OK = false;
+      return;
+    }
+    loadSlotI(RAX, In.B);
+    if (In.Code == bc::Op::AShr)
+      sext(RAX, In.W);
+    else if (In.Code == bc::Op::LShr)
+      zext(RAX, In.W);
+    loadSlotI(RCX, In.C);
+    A.aluRI(4, RCX, static_cast<std::int32_t>(In.W) - 1); // mask shift
+    A.shiftCl(In.Code == bc::Op::Shl   ? 4u
+              : In.Code == bc::Op::LShr ? 5u
+                                        : 7u,
+              RAX);
+    if (In.Code != bc::Op::AShr) // AShr result is already in range
+      sext(RAX, In.W);
+    storeSlotI(RAX, In.A);
+    break;
+  }
+  case bc::Op::SDiv:
+  case bc::Op::UDiv:
+  case bc::Op::SRem:
+  case bc::Op::URem:
+    emitHelper(HelperIntDiv, &In);
+    break;
+  case bc::Op::FAdd:
+  case bc::Op::FSub:
+  case bc::Op::FMul:
+  case bc::Op::FDiv: {
+    loadSlotD(XMM0, In.B);
+    loadSlotD(XMM1, In.C);
+    if (In.Code == bc::Op::FAdd)
+      A.addsd(XMM0, XMM1);
+    else if (In.Code == bc::Op::FSub)
+      A.subsd(XMM0, XMM1);
+    else if (In.Code == bc::Op::FMul)
+      A.mulsd(XMM0, XMM1);
+    else
+      A.divsd(XMM0, XMM1);
+    storeSlotD(XMM0, In.A);
+    break;
+  }
+  case bc::Op::FNeg: {
+    loadSlotD(XMM0, In.B);
+    A.movRI64(RAX, 0x8000000000000000ULL);
+    A.movqXR(XMM1, RAX);
+    A.xorpd(XMM0, XMM1);
+    storeSlotD(XMM0, In.A);
+    break;
+  }
+  case bc::Op::ICmp: {
+    if (!widthOk(In.W)) {
+      OK = false;
+      return;
+    }
+    unsigned CC =
+        emitIntCompare(static_cast<ir::CmpPred>(In.Sub), In.B, In.C, In.W);
+    A.setcc(CC, RDX);
+    A.movzx8RR(RDX, RDX);
+    storeSlotI(RDX, In.A);
+    break;
+  }
+  case bc::Op::FCmp: {
+    auto P = static_cast<ir::CmpPred>(In.Sub);
+    // ucomisd raises CF on unordered, so A<B / A<=B are emitted as the
+    // swapped B>A / B>=A to stay false on NaN — exactly the C semantics
+    // of evalFCmp. ONE is true on NaN (C's operator!=).
+    bool Swap = (P == ir::CmpPred::OLT || P == ir::CmpPred::OLE);
+    loadSlotD(XMM0, Swap ? In.C : In.B);
+    loadSlotD(XMM1, Swap ? In.B : In.C);
+    A.ucomisd(XMM0, XMM1);
+    switch (P) {
+    case ir::CmpPred::OEQ:
+      A.setcc(CC_E, RAX);
+      A.setcc(CC_NP, RCX);
+      A.u8(0x20); // and al, cl
+      A.direct(RCX, RAX);
+      break;
+    case ir::CmpPred::ONE:
+      A.setcc(CC_NE, RAX);
+      A.setcc(CC_P, RCX);
+      A.u8(0x08); // or al, cl
+      A.direct(RCX, RAX);
+      break;
+    case ir::CmpPred::OLT:
+    case ir::CmpPred::OGT:
+      A.setcc(CC_A, RAX);
+      break;
+    case ir::CmpPred::OLE:
+    case ir::CmpPred::OGE:
+      A.setcc(CC_AE, RAX);
+      break;
+    default:
+      OK = false;
+      return;
+    }
+    A.movzx8RR(RAX, RAX);
+    storeSlotI(RAX, In.A);
+    break;
+  }
+  case bc::Op::SExt:
+  case bc::Op::Trunc: {
+    if (!widthOk(In.W)) {
+      OK = false;
+      return;
+    }
+    loadSlotI(RAX, In.B);
+    sext(RAX, In.W);
+    storeSlotI(RAX, In.A);
+    break;
+  }
+  case bc::Op::ZExt: {
+    if (!widthOk(In.W)) {
+      OK = false;
+      return;
+    }
+    loadSlotI(RAX, In.B);
+    zext(RAX, In.W);
+    storeSlotI(RAX, In.A);
+    break;
+  }
+  case bc::Op::SIToFP: {
+    if (!widthOk(In.W)) {
+      OK = false;
+      return;
+    }
+    loadSlotI(RAX, In.B);
+    sext(RAX, In.W);
+    A.cvtsi2sd(XMM0, RAX);
+    storeSlotD(XMM0, In.A);
+    break;
+  }
+  case bc::Op::UIToFP:
+    emitHelper(HelperUIToFP, &In);
+    break;
+  case bc::Op::FPToSI: {
+    if (!widthOk(In.W)) {
+      OK = false;
+      return;
+    }
+    loadSlotD(XMM0, In.B);
+    A.cvttsd2si(RAX, XMM0);
+    sext(RAX, In.W);
+    storeSlotI(RAX, In.A);
+    break;
+  }
+  case bc::Op::FPToUI:
+    emitHelper(HelperFPToUI, &In);
+    break;
+  case bc::Op::Load1: {
+    loadSlotI(RCX, In.B);
+    A.movsx8RM(RAX, RCX, 0);
+    storeSlotI(RAX, In.A);
+    break;
+  }
+  case bc::Op::Load4: {
+    loadSlotI(RCX, In.B);
+    A.movsxdRM(RAX, RCX, 0);
+    storeSlotI(RAX, In.A);
+    break;
+  }
+  case bc::Op::Load8: {
+    loadSlotI(RCX, In.B);
+    A.movRM(RAX, RCX, 0);
+    storeSlotI(RAX, In.A);
+    break;
+  }
+  case bc::Op::LoadF64: {
+    loadSlotI(RCX, In.B);
+    A.movsdXM(XMM0, RCX, 0);
+    storeSlotD(XMM0, In.A);
+    break;
+  }
+  case bc::Op::Store1: {
+    loadSlotI(RAX, In.A);
+    loadSlotI(RCX, In.B);
+    A.mov8MR(RCX, 0, RAX);
+    break;
+  }
+  case bc::Op::Store4: {
+    loadSlotI(RAX, In.A);
+    loadSlotI(RCX, In.B);
+    A.mov32MR(RCX, 0, RAX);
+    break;
+  }
+  case bc::Op::Store8: {
+    loadSlotI(RAX, In.A);
+    loadSlotI(RCX, In.B);
+    A.movMR(RCX, 0, RAX);
+    break;
+  }
+  case bc::Op::StoreF64: {
+    loadSlotD(XMM0, In.A);
+    loadSlotI(RCX, In.B);
+    A.movsdMX(RCX, 0, XMM0);
+    break;
+  }
+  case bc::Op::Gep: {
+    if (In.Imm < 1 || In.Imm > std::numeric_limits<std::int32_t>::max()) {
+      OK = false;
+      return;
+    }
+    loadSlotI(RAX, In.C);
+    A.imulRRI(RAX, RAX, static_cast<std::int32_t>(In.Imm));
+    loadSlotI(RCX, In.B);
+    A.addRR(RAX, RCX);
+    storeSlotI(RAX, In.A);
+    zeroSlotDIfFull(In.A);
+    break;
+  }
+  case bc::Op::AllocaFixed: {
+    if (In.Imm < 0 || In.Imm > std::numeric_limits<std::int32_t>::max()) {
+      OK = false;
+      return;
+    }
+    // Zero the arena block with rep stosb (DF is clear per the ABI).
+    A.leaRM(RDI, ArenaReg, static_cast<std::int32_t>(In.Imm));
+    A.xor32RR(RAX, RAX);
+    A.movRI32(RCX, In.B);
+    A.repStosb();
+    A.leaRM(RAX, ArenaReg, static_cast<std::int32_t>(In.Imm));
+    storeSlotI(RAX, In.A);
+    zeroSlotDIfFull(In.A);
+    break;
+  }
+  case bc::Op::AllocaDyn:
+    emitHelper(HelperAllocaDyn, &In);
+    break;
+  case bc::Op::Select: {
+    loadSlotI(RAX, In.B);
+    A.testRR(RAX, RAX);
+    std::size_t JZ = A.jccRel32(CC_E);
+    A.movupsXM(XMM0, FrameReg, dispI(In.C));
+    std::size_t JEnd = A.jmpRel32();
+    A.patch32(JZ, static_cast<std::int32_t>(A.pos() - (JZ + 4)));
+    A.movupsXM(XMM0, FrameReg, dispI(In.D));
+    A.patch32(JEnd, static_cast<std::int32_t>(A.pos() - (JEnd + 4)));
+    A.movupsMX(FrameReg, dispI(In.A), XMM0);
+    break;
+  }
+  case bc::Op::Jmp:
+    Fixups.push_back({A.jmpRel32(), In.A});
+    break;
+  case bc::Op::CondBr: {
+    loadSlotI(RAX, In.A);
+    A.testRR(RAX, RAX);
+    Fixups.push_back({A.jccRel32(CC_NE), In.B});
+    Fixups.push_back({A.jmpRel32(), In.C});
+    break;
+  }
+  case bc::Op::Ret: {
+    if (In.Sub)
+      A.movupsXM(XMM0, FrameReg, dispI(In.A));
+    else
+      A.xorps(XMM0, XMM0);
+    A.movupsMX(InvReg, static_cast<std::int32_t>(kInvRetOffset), XMM0);
+    A.xor32RR(RAX, RAX);
+    Fixups.push_back({A.jmpRel32(), epilogueIdx()});
+    break;
+  }
+  case bc::Op::Unreachable: {
+    emitHelper(HelperUnreachable, &In);
+    Fixups.push_back({A.jmpRel32(), trapIdx()});
+    break;
+  }
+  case bc::Op::CallBC:
+    emitHelper(HelperCallBC, &In);
+    break;
+  case bc::Op::CallRT:
+    emitHelper(HelperCallRT, &In);
+    break;
+  case bc::Op::CmpBr: {
+    if (!widthOk(In.W)) {
+      OK = false;
+      return;
+    }
+    unsigned CC =
+        emitIntCompare(static_cast<ir::CmpPred>(In.Sub), In.B, In.C, In.W);
+    A.setcc(CC, RDX);
+    A.movzx8RR(RDX, RDX);
+    storeSlotI(RDX, In.A); // plain movs: the cmp flags survive
+    Fixups.push_back(
+        {A.jccRel32(CC), static_cast<std::uint32_t>(In.Imm & 0xffffffff)});
+    Fixups.push_back({A.jmpRel32(), static_cast<std::uint32_t>(
+                                        static_cast<std::uint64_t>(In.Imm) >>
+                                        32)});
+    break;
+  }
+  case bc::Op::LoadOpStore4:
+  case bc::Op::LoadOpStore8: {
+    const bool Is32 = In.Code == bc::Op::LoadOpStore4;
+    loadSlotI(RSI, In.A); // pointer stays live across the sequence
+    if (Is32)
+      A.movsxdRM(RAX, RSI, 0);
+    else
+      A.movRM(RAX, RSI, 0);
+    storeSlotI(RAX, In.C);
+    loadSlotI(RCX, In.B); // after the C write: rhs may alias it (x op x)
+    switch (static_cast<bc::FusedOp>(In.Sub)) {
+    case bc::FusedOp::Add:
+      A.addRR(RAX, RCX);
+      break;
+    case bc::FusedOp::Sub:
+      A.subRR(RAX, RCX);
+      break;
+    case bc::FusedOp::Mul:
+      A.imulRR(RAX, RCX);
+      break;
+    case bc::FusedOp::And:
+      A.andRR(RAX, RCX);
+      break;
+    case bc::FusedOp::Or:
+      A.orRR(RAX, RCX);
+      break;
+    case bc::FusedOp::Xor:
+      A.xorRR(RAX, RCX);
+      break;
+    }
+    if (Is32)
+      sext(RAX, 32);
+    storeSlotI(RAX, In.D);
+    if (Is32)
+      A.mov32MR(RSI, 0, RAX);
+    else
+      A.movMR(RSI, 0, RAX);
+    break;
+  }
+  case bc::Op::NumOps:
+    OK = false;
+    break;
+  }
+}
+
+std::unique_ptr<CompiledFunction> FunctionEmitter::run() {
+  auto CF = std::make_unique<CompiledFunction>();
+  // Frame displacements must fit rel32 addressing.
+  if (!isSupported() ||
+      static_cast<std::uint64_t>(BF.NumFrame) * 16 + 16 >
+          static_cast<std::uint64_t>(std::numeric_limits<std::int32_t>::max()))
+    return CF;
+
+  classify();
+  if (!OK)
+    return CF;
+  choosePins();
+
+  // Prologue: save callee-saved registers, establish the pinned state,
+  // then tail into Resume (entry or an OSR instruction boundary). Stack
+  // stays 16-aligned at every helper call site.
+  A.pushR(RBP);
+  A.movRR(RBP, RSP);
+  A.pushR(RBX);
+  A.pushR(R12);
+  A.pushR(R13);
+  A.pushR(R14);
+  A.pushR(R15);
+  A.aluRI(5, RSP, 8); // sub rsp, 8
+  A.movRR(InvReg, RDI);
+  A.movRR(FrameReg, RSI);
+  A.movRR(ArenaReg, RDX);
+  for (int P = 0; P < 2; ++P)
+    if (Pin[P] >= 0)
+      A.movRM(PinRegs[P], FrameReg,
+              dispI(static_cast<std::uint32_t>(Pin[P])));
+  A.jmpR(RCX);
+
+  const auto N = static_cast<std::uint32_t>(BF.Code.size());
+  CF->InstOffsets.resize(N + 2, 0);
+  for (std::uint32_t I = 0; I < N && OK; ++I) {
+    CF->InstOffsets[I] = static_cast<std::uint32_t>(A.pos());
+    emitInst(I);
+  }
+  if (!OK)
+    return CF;
+
+  // Trap exit falls through into the epilogue with eax = 1.
+  CF->InstOffsets[trapIdx()] = static_cast<std::uint32_t>(A.pos());
+  A.movRI32(RAX, 1);
+  CF->InstOffsets[epilogueIdx()] = static_cast<std::uint32_t>(A.pos());
+  A.aluRI(0, RSP, 8); // add rsp, 8
+  A.popR(R15);
+  A.popR(R14);
+  A.popR(R13);
+  A.popR(R12);
+  A.popR(RBX);
+  A.popR(RBP);
+  A.ret();
+
+  for (const Fixup &F : Fixups)
+    A.patch32(F.Pos, static_cast<std::int32_t>(
+                         static_cast<std::int64_t>(CF->InstOffsets[F.Target]) -
+                         static_cast<std::int64_t>(F.Pos + 4)));
+
+  if (!CF->Code.map(A.B.size()) || !CF->Code.finalize(A.B.data(), A.B.size()))
+    return std::make_unique<CompiledFunction>(); // mapping failed: fallback
+  CF->Supported = true;
+  CF->PinnedSlots =
+      static_cast<std::uint32_t>((Pin[0] >= 0) + (Pin[1] >= 0));
+  return CF;
+}
+
+} // namespace
+
+std::unique_ptr<CompiledFunction>
+compileFunction(const bc::BCFunction &BF, const CompileOptions &Opts) {
+  return FunctionEmitter(BF, Opts).run();
+}
+
+} // namespace mcc::interp::jit

@@ -47,6 +47,28 @@ void expectProgramAgrees(const ProgramSpec &Spec,
   EXPECT_TRUE(Result.ok()) << DifferentialRunner::report(Result);
 }
 
+/// Scoped setenv restoring the previous state on destruction.
+class ScopedDiffEnv {
+public:
+  ScopedDiffEnv(const char *Name, const char *Value) : Name(Name) {
+    if (const char *Old = std::getenv(Name)) {
+      HadOld = true;
+      OldValue = Old;
+    }
+    ::setenv(Name, Value, 1);
+  }
+  ~ScopedDiffEnv() {
+    if (HadOld)
+      ::setenv(Name.c_str(), OldValue.c_str(), 1);
+    else
+      ::unsetenv(Name.c_str());
+  }
+
+private:
+  std::string Name, OldValue;
+  bool HadOld = false;
+};
+
 TEST(DifferentialCorpus, FixedSeedCorpusAgreesAcrossAllBackends) {
   DifferentialRunner Runner;
   const unsigned Count = corpusCount();
@@ -235,6 +257,41 @@ TEST(DifferentialEngineParity, CorpusVerdictsIdenticalUnderBothEngines) {
     EXPECT_EQ(DifferentialRunner::report(W),
               DifferentialRunner::report(BC))
         << "seed " << Spec.Seed;
+  }
+  interp::ExecutionEngine::resetOpenMPRuntime();
+}
+
+TEST(DifferentialEngineParity, CorpusVerdictsIdenticalUnderNativeTiers) {
+  // Same pinning, one tier up: the template-JIT engines (native and
+  // tiered-with-OSR) against the bytecode engine they lower. On hosts
+  // without JIT support both degrade to bytecode, so the comparison
+  // stays meaningful everywhere. A tiny OSR threshold makes promotion
+  // actually fire inside the corpus loops.
+  ScopedDiffEnv OSRT("MCC_JIT_OSR_THRESHOLD", "64");
+  ScopedDiffEnv CallT("MCC_JIT_CALL_THRESHOLD", "2");
+  DifferentialOptions BytecodeOnly;
+  BytecodeOnly.Engines = {interp::ExecEngineKind::Bytecode};
+  DifferentialOptions NativeOnly;
+  NativeOnly.Engines = {interp::ExecEngineKind::Native};
+  DifferentialOptions TieredOnly;
+  TieredOnly.Engines = {interp::ExecEngineKind::Tiered};
+  DifferentialRunner Bytecode(BytecodeOnly);
+  DifferentialRunner Native(NativeOnly);
+  DifferentialRunner Tiered(TieredOnly);
+
+  const unsigned Count = std::min(corpusCount(), 25u);
+  for (unsigned K = 0; K < Count; ++K) {
+    ProgramSpec Spec = generateProgram(CorpusSeed + K);
+    ProgramResult BC = Bytecode.runWithVariants(Spec);
+    ProgramResult NT = Native.runWithVariants(Spec);
+    ProgramResult TR = Tiered.runWithVariants(Spec);
+    ASSERT_TRUE(BC.ok()) << DifferentialRunner::report(BC);
+    ASSERT_TRUE(NT.ok()) << DifferentialRunner::report(NT);
+    ASSERT_TRUE(TR.ok()) << DifferentialRunner::report(TR);
+    EXPECT_EQ(BC.Expected, NT.Expected) << "seed " << Spec.Seed;
+    EXPECT_EQ(BC.Expected, TR.Expected) << "seed " << Spec.Seed;
+    EXPECT_EQ(BC.RunsExecuted, NT.RunsExecuted) << "seed " << Spec.Seed;
+    EXPECT_EQ(BC.RunsExecuted, TR.RunsExecuted) << "seed " << Spec.Seed;
   }
   interp::ExecutionEngine::resetOpenMPRuntime();
 }

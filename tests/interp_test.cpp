@@ -372,13 +372,16 @@ TEST(RuntimeTest, NestedForkJoin) {
   EXPECT_EQ(Count.load(), 4);
 }
 
-// --- Engine parity: the same module under walker and bytecode ---
+// --- Engine parity: the same module under all four backends ---
+// (Native and tiered degrade to bytecode per function on hosts without
+// JIT support, so the sweep is portable.)
 
 class EngineParityTest : public ::testing::TestWithParam<ExecEngineKind> {};
 
 INSTANTIATE_TEST_SUITE_P(
     Engines, EngineParityTest,
-    ::testing::Values(ExecEngineKind::Walker, ExecEngineKind::Bytecode),
+    ::testing::Values(ExecEngineKind::Walker, ExecEngineKind::Bytecode,
+                      ExecEngineKind::Native, ExecEngineKind::Tiered),
     [](const ::testing::TestParamInfo<ExecEngineKind> &Info) {
       return std::string(execEngineKindName(Info.param));
     });

@@ -1,0 +1,213 @@
+//===--- jit_test.cpp - Native execution tier unit tests ------------------===//
+//
+// Covers the template JIT's engine-facing contract: code-page lifecycle
+// (compile, run, reset, re-run in one process — W^X clean under ASan),
+// on-stack replacement of a hot bytecode frame, the forced-fallback
+// knob, and the engine-name diagnostics for both the flag and the
+// environment spelling.
+//
+//===----------------------------------------------------------------------===//
+#include "interp/Interpreter.h"
+#include "irbuilder/IRBuilder.h"
+#include "jit/JIT.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace mcc::ir;
+using namespace mcc::interp;
+
+namespace {
+
+/// Scoped setenv: restores the previous value (or unsets) on destruction
+/// so env-sensitive tests cannot leak state into each other.
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const char *Value) : Name(Name) {
+    if (const char *Old = std::getenv(Name)) {
+      HadOld = true;
+      OldValue = Old;
+    }
+    ::setenv(Name, Value, 1);
+  }
+  ~ScopedEnv() {
+    if (HadOld)
+      ::setenv(Name.c_str(), OldValue.c_str(), 1);
+    else
+      ::unsetenv(Name.c_str());
+  }
+
+private:
+  std::string Name, OldValue;
+  bool HadOld = false;
+};
+
+/// for (i = 0; i < n; ++i) sum += i * 3 + (sum >> 5); return sum.
+/// Long enough to cross any OSR threshold, pure int math so the JIT
+/// supports every op.
+void buildHotLoop(Module &M) {
+  Function *F = M.createFunction("hot", IRType::getI64(), {IRType::getI64()});
+  IRBuilder B(M);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertPoint(Entry);
+  B.createBr(Loop);
+  B.setInsertPoint(Loop);
+  Instruction *IPhi = B.createPhi(IRType::getI64(), "i");
+  Instruction *SumPhi = B.createPhi(IRType::getI64(), "sum");
+  Value *Shift = B.createBinOp(Opcode::AShr, SumPhi, M.getI64(5), "sh");
+  Value *Term = B.createAdd(B.createMul(IPhi, M.getI64(3)), Shift);
+  Value *Sum = B.createAdd(SumPhi, Term);
+  Value *Next = B.createAdd(IPhi, M.getI64(1));
+  Value *More = B.createICmp(CmpPred::SLT, Next, F->getArg(0));
+  IPhi->addIncoming(M.getI64(0), Entry);
+  IPhi->addIncoming(Next, Loop);
+  SumPhi->addIncoming(M.getI64(0), Entry);
+  SumPhi->addIncoming(Sum, Loop);
+  B.createCondBr(More, Loop, Exit);
+  B.setInsertPoint(Exit);
+  B.createRet(Sum);
+  ASSERT_EQ(verifyModule(M), "");
+}
+
+std::int64_t runHot(ExecEngineKind Kind, std::int64_t N,
+                    ExecStats *StatsOut = nullptr) {
+  Module M;
+  buildHotLoop(M);
+  ExecutionEngine EE(M, Kind);
+  RTValue R = EE.runFunction("hot", {RTValue::ofInt(N)});
+  if (StatsOut)
+    *StatsOut = EE.statsSnapshot();
+  return R.I;
+}
+
+TEST(JITTest, NativeMatchesBytecodeOnHotLoop) {
+  ExecStats Native;
+  std::int64_t Ref = runHot(ExecEngineKind::Bytecode, 10000);
+  EXPECT_EQ(runHot(ExecEngineKind::Native, 10000, &Native), Ref);
+  if (mcc::interp::jit::isSupported()) {
+    EXPECT_GE(Native.JITFunctionsCompiled, 1u);
+    EXPECT_GT(Native.JITCodeBytes, 0u);
+    EXPECT_GE(Native.JITNativeFrames, 1u);
+  } else {
+    // Unsupported hosts publish fallback units and stay on bytecode.
+    EXPECT_EQ(Native.JITFunctionsCompiled, 0u);
+    EXPECT_GE(Native.JITFallbacks, 1u);
+  }
+}
+
+// The W^X lifecycle: map RW, patch, flip to RX, execute, unmap — twice in
+// one process, so a leaked or double-freed code page trips ASan and a
+// stale mapping trips the second run.
+TEST(JITTest, CodePagesSurviveEngineResetAndRerun) {
+  std::int64_t First = runHot(ExecEngineKind::Native, 4096);
+  std::int64_t Second = runHot(ExecEngineKind::Native, 4096);
+  EXPECT_EQ(First, Second);
+  EXPECT_EQ(First, runHot(ExecEngineKind::Bytecode, 4096));
+}
+
+TEST(JITTest, CompiledUnitIsExecutableAndPatched) {
+  if (!mcc::interp::jit::isSupported())
+    GTEST_SKIP() << "no JIT on this host";
+  Module M;
+  buildHotLoop(M);
+  auto BCMod = mcc::interp::bc::compileToBytecode(M);
+  auto CF = mcc::interp::jit::compileFunction(BCMod->Functions[0]);
+  ASSERT_TRUE(CF->Supported);
+  EXPECT_TRUE(CF->Code.executable());
+  EXPECT_GT(CF->Code.size(), 0u);
+  // One resume point per bytecode instruction: OSR can land anywhere.
+  EXPECT_GE(CF->InstOffsets.size(), BCMod->Functions[0].Code.size());
+}
+
+TEST(JITTest, OSRPromotesRunningLoopWithIdenticalResult) {
+  if (!mcc::interp::jit::isSupported())
+    GTEST_SKIP() << "no JIT on this host";
+  // A call threshold far above 1 forces the *running* frame to get hot:
+  // the only way to native is promotion on the loop back-edge.
+  ScopedEnv CallT("MCC_JIT_CALL_THRESHOLD", "1000000");
+  ScopedEnv OSRT("MCC_JIT_OSR_THRESHOLD", "100");
+  ExecStats Bytecode, Tiered;
+  std::int64_t Ref = runHot(ExecEngineKind::Bytecode, 20000, &Bytecode);
+  EXPECT_EQ(runHot(ExecEngineKind::Tiered, 20000, &Tiered), Ref);
+  EXPECT_GE(Tiered.JITOSRPromotions, 1u);
+  EXPECT_GE(Tiered.JITFunctionsCompiled, 1u);
+  // The promoted frame finished natively: the bytecode tier retired only
+  // the pre-promotion prefix, a small fraction of the full loop.
+  EXPECT_LT(Tiered.InstructionsExecuted, Bytecode.InstructionsExecuted / 2);
+}
+
+TEST(JITTest, ForcedFallbackKeepsFunctionOnBytecode) {
+  if (!mcc::interp::jit::isSupported())
+    GTEST_SKIP() << "no JIT on this host";
+  ScopedEnv Force("MCC_JIT_FORCE_FALLBACK_OP", "Add");
+  ExecStats Native;
+  std::int64_t Ref = runHot(ExecEngineKind::Bytecode, 1000);
+  EXPECT_EQ(runHot(ExecEngineKind::Native, 1000, &Native), Ref);
+  EXPECT_GE(Native.JITFallbacks, 1u);
+  EXPECT_EQ(Native.JITNativeFrames, 0u);
+}
+
+TEST(JITTest, TrapInNativeFrameUnwindsCleanly) {
+  Module M;
+  Function *F = M.createFunction("div", IRType::getI64(),
+                                 {IRType::getI64(), IRType::getI64()});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createRet(B.createSDiv(F->getArg(0), F->getArg(1)));
+  ASSERT_EQ(verifyModule(M), "");
+
+  ExecutionEngine EE(M, ExecEngineKind::Native);
+  try {
+    EE.runFunction("div", {RTValue::ofInt(1), RTValue::ofInt(0)});
+    FAIL() << "expected a division trap";
+  } catch (const std::runtime_error &Ex) {
+    EXPECT_STREQ(Ex.what(), "integer division by zero");
+  }
+  // The engine (and its frame stack) stays usable after the unwind.
+  EXPECT_EQ(EE.runFunction("div", {RTValue::ofInt(6), RTValue::ofInt(2)}).I,
+            3);
+}
+
+// --- Engine-name diagnostics: flag and environment spellings ---
+
+TEST(JITTest, FlagSpellingRejectsUnknownEngineNames) {
+  ExecEngineKind K;
+  EXPECT_TRUE(parseExecEngineKind("walker", K));
+  EXPECT_TRUE(parseExecEngineKind("bytecode", K));
+  EXPECT_TRUE(parseExecEngineKind("native", K));
+  EXPECT_EQ(K, ExecEngineKind::Native);
+  EXPECT_TRUE(parseExecEngineKind("tiered", K));
+  EXPECT_EQ(K, ExecEngineKind::Tiered);
+  EXPECT_FALSE(parseExecEngineKind("turbo", K));
+  EXPECT_FALSE(parseExecEngineKind("", K));
+}
+
+TEST(JITTest, EnvSpellingDiagnosesUnknownEngineNames) {
+  {
+    ScopedEnv Env("MCC_EXEC_ENGINE", "turbo");
+    std::string Err = execEngineEnvError();
+    EXPECT_NE(Err.find("turbo"), std::string::npos) << Err;
+    EXPECT_NE(Err.find("MCC_EXEC_ENGINE"), std::string::npos) << Err;
+    // The library itself stays permissive (drivers enforce).
+    EXPECT_EQ(resolveExecEngineKind(ExecEngineKind::Default),
+              ExecEngineKind::Bytecode);
+  }
+  for (const char *Good : {"walker", "bytecode", "native", "tiered"}) {
+    ScopedEnv Env("MCC_EXEC_ENGINE", Good);
+    EXPECT_EQ(execEngineEnvError(), "") << Good;
+  }
+}
+
+TEST(JITTest, OpNameRoundTrip) {
+  using mcc::interp::bc::Op;
+  Op O = Op::NumOps;
+  ASSERT_TRUE(mcc::interp::jit::parseOpName("CmpBr", O));
+  EXPECT_EQ(O, Op::CmpBr);
+  EXPECT_STREQ(mcc::interp::jit::opName(Op::CmpBr), "CmpBr");
+  EXPECT_FALSE(mcc::interp::jit::parseOpName("NotAnOp", O));
+}
+
+} // namespace
