@@ -119,7 +119,16 @@ struct AffineExpr {
 };
 
 /// Accumulates Scale * E into Out. False when E is not affine.
-bool addAffine(Expr *E, std::int64_t Scale, AffineExpr &Out) {
+///
+/// \p LocalInits maps single-assignment body-local variables to their
+/// initializer: a reference to such a variable is forward-substituted by
+/// the initializer instead of appearing as a symbolic term. This is what
+/// keeps the shadow ASTs of preceding transformations (tile/unroll
+/// materialize the user IV as `T i = lb + iv*step;`) analyzable instead of
+/// degrading to a conservative "varies inside the nest" dependence.
+bool addAffine(Expr *E, std::int64_t Scale, AffineExpr &Out,
+               const std::map<const VarDecl *, Expr *> *LocalInits = nullptr,
+               unsigned Depth = 0) {
   if (auto C = evaluateIntegerWithConstVars(E)) {
     Out.Const += Scale * *C;
     return true;
@@ -127,6 +136,11 @@ bool addAffine(Expr *E, std::int64_t Scale, AffineExpr &Out) {
   E = E->ignoreParenImpCasts();
   if (auto *DRE = stmt_dyn_cast<DeclRefExpr>(E)) {
     if (auto *V = decl_dyn_cast<VarDecl>(DRE->getDecl())) {
+      if (LocalInits && Depth < 8) {
+        auto It = LocalInits->find(V);
+        if (It != LocalInits->end())
+          return addAffine(It->second, Scale, Out, LocalInits, Depth + 1);
+      }
       Out.Coef[V] += Scale;
       return true;
     }
@@ -134,24 +148,24 @@ bool addAffine(Expr *E, std::int64_t Scale, AffineExpr &Out) {
   }
   if (auto *UO = stmt_dyn_cast<UnaryOperator>(E)) {
     if (UO->getOpcode() == UnaryOperatorKind::Minus)
-      return addAffine(UO->getSubExpr(), -Scale, Out);
+      return addAffine(UO->getSubExpr(), -Scale, Out, LocalInits, Depth);
     if (UO->getOpcode() == UnaryOperatorKind::Plus)
-      return addAffine(UO->getSubExpr(), Scale, Out);
+      return addAffine(UO->getSubExpr(), Scale, Out, LocalInits, Depth);
     return false;
   }
   if (auto *BO = stmt_dyn_cast<BinaryOperator>(E)) {
     switch (BO->getOpcode()) {
     case BinaryOperatorKind::Add:
-      return addAffine(BO->getLHS(), Scale, Out) &&
-             addAffine(BO->getRHS(), Scale, Out);
+      return addAffine(BO->getLHS(), Scale, Out, LocalInits, Depth) &&
+             addAffine(BO->getRHS(), Scale, Out, LocalInits, Depth);
     case BinaryOperatorKind::Sub:
-      return addAffine(BO->getLHS(), Scale, Out) &&
-             addAffine(BO->getRHS(), -Scale, Out);
+      return addAffine(BO->getLHS(), Scale, Out, LocalInits, Depth) &&
+             addAffine(BO->getRHS(), -Scale, Out, LocalInits, Depth);
     case BinaryOperatorKind::Mul:
       if (auto C = evaluateIntegerWithConstVars(BO->getLHS()))
-        return addAffine(BO->getRHS(), Scale * *C, Out);
+        return addAffine(BO->getRHS(), Scale * *C, Out, LocalInits, Depth);
       if (auto C = evaluateIntegerWithConstVars(BO->getRHS()))
-        return addAffine(BO->getLHS(), Scale * *C, Out);
+        return addAffine(BO->getLHS(), Scale * *C, Out, LocalInits, Depth);
       return false;
     default:
       return false;
@@ -342,6 +356,10 @@ private:
   std::vector<const VarDecl *> NestIVs; // indexed by level
   std::set<const VarDecl *> NotInvariant;
   std::set<const VarDecl *> LocalDecls;
+  /// Body-local vars declared with an initializer and never reassigned:
+  /// subscript references are forward-substituted by the initializer.
+  std::map<const VarDecl *, Expr *> LocalInits;
+  std::set<const VarDecl *> LocalReassigned;
   std::set<const VarDecl *> EscapedBases;
   std::vector<Access> Accesses;
   bool UnattributedWrite = false;
@@ -387,6 +405,8 @@ DependenceInfo DependenceBuilder::build(Stmt *Root, unsigned MinDepth) {
 
   Stmt *Body = R.Loops.back().Loop->getBody();
   scanModifications(Body);
+  for (const VarDecl *V : LocalReassigned)
+    LocalInits.erase(V);
   collect(Body);
   finalizeScalars(Body);
   pairAccesses();
@@ -445,19 +465,27 @@ void DependenceBuilder::scanModifications(Stmt *S) {
     for (VarDecl *V : DS->decls()) {
       LocalDecls.insert(V);
       NotInvariant.insert(V);
+      if (V->hasInit() && !LocalInits.count(V))
+        LocalInits[V] = V->getInit();
+      else
+        LocalReassigned.insert(V);
     }
   } else if (auto *BO = stmt_dyn_cast<BinaryOperator>(S)) {
     if (BO->isAssignmentOp())
       if (auto *DRE =
               stmt_dyn_cast<DeclRefExpr>(BO->getLHS()->ignoreParenImpCasts()))
-        if (auto *V = decl_dyn_cast<VarDecl>(DRE->getDecl()))
+        if (auto *V = decl_dyn_cast<VarDecl>(DRE->getDecl())) {
           NotInvariant.insert(V);
+          LocalReassigned.insert(V);
+        }
   } else if (auto *UO = stmt_dyn_cast<UnaryOperator>(S)) {
     if (UO->isIncrementDecrementOp())
       if (auto *DRE =
               stmt_dyn_cast<DeclRefExpr>(UO->getSubExpr()->ignoreParenImpCasts()))
-        if (auto *V = decl_dyn_cast<VarDecl>(DRE->getDecl()))
+        if (auto *V = decl_dyn_cast<VarDecl>(DRE->getDecl())) {
           NotInvariant.insert(V);
+          LocalReassigned.insert(V);
+        }
   }
   for (Stmt *C : S->children())
     scanModifications(C);
@@ -591,7 +619,7 @@ void DependenceBuilder::recordAccess(ArraySubscriptExpr *ASE, bool IsWrite,
   std::string Why;
   for (Expr *Idx : Indices) {
     AffineExpr AE;
-    if (!addAffine(Idx, 1, AE)) {
+    if (!addAffine(Idx, 1, AE, &LocalInits)) {
       Affine = false;
       Why = "non-affine subscript";
       break;
@@ -1165,6 +1193,56 @@ Legality DependenceInfo::isLegalFuse(const DependenceInfo &First,
                                                "accesses ('" +
                            Name + "')"};
     }
+  }
+  return {};
+}
+
+Legality DependenceInfo::isLegalDistribute() const {
+  if (Legality Basis = checkOracleBasis(); !Basis)
+    return Basis;
+  if (Loops.empty())
+    return {false, "no loop to distribute"};
+  // Groups are the top-level statements of the outermost loop's compound
+  // body. Distribution runs every iteration of group g before any
+  // iteration of group g+1, so it is illegal exactly when a dependence
+  // carried by the loop flows from a textually later group to an earlier
+  // one (the sink's whole loop would then run before the source).
+  const auto *Body = stmt_dyn_cast<CompoundStmt>(Loops[0].Loop->getBody());
+  if (!Body || Body->size() <= 1)
+    return {}; // one group: distribution is the identity
+  std::vector<SourceRange> Groups;
+  for (const Stmt *S : Body->body())
+    Groups.push_back(S->getSourceRange());
+  auto GroupOf = [&](SourceLocation Loc) -> int {
+    if (!Loc.isValid())
+      return -1;
+    for (unsigned G = 0; G < Groups.size(); ++G)
+      if (Groups[G].getBegin() <= Loc && Loc <= Groups[G].getEnd())
+        return static_cast<int>(G);
+    return -1;
+  };
+  for (const Dependence &Dep : Deps) {
+    if (Dep.Dirs.empty() || Dep.Dirs[0] == DepDir::Eq)
+      continue; // loop-independent: source order of groups is preserved
+    if (Dep.Dirs[0] == DepDir::Any)
+      return {false, Dep.describe(), &Dep};
+    // Canonicalization guarantees the first non-'=' level is '<': the
+    // source iteration is earlier. Only a source in a *later* group is
+    // reversed by distribution.
+    int SrcG = GroupOf(Dep.SrcLoc);
+    int SinkG = GroupOf(Dep.SinkLoc);
+    if (SrcG < 0 || SinkG < 0)
+      return {false,
+              "a dependence endpoint could not be attributed to a "
+              "statement group: " +
+                  Dep.describe(),
+              &Dep};
+    if (SrcG > SinkG)
+      return {false,
+              Dep.describe() + " flows from statement group " +
+                  std::to_string(SrcG + 1) + " back to group " +
+                  std::to_string(SinkG + 1),
+              &Dep};
   }
   return {};
 }

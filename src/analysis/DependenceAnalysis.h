@@ -141,6 +141,12 @@ public:
   /// fused, with \p First textually preceding \p Second?
   [[nodiscard]] static Legality isLegalFuse(const DependenceInfo &First,
                                             const DependenceInfo &Second);
+  /// May the outermost loop be distributed into one loop per top-level
+  /// statement of its (compound) body, run in source order? Refused when a
+  /// dependence carried by the loop flows from a textually later group to
+  /// an earlier one — distribution would run all iterations of the earlier
+  /// group first and reverse that dependence.
+  [[nodiscard]] Legality isLegalDistribute() const;
 
   /// The first dependence on \p Base carried by one of the outermost
   /// \p ParallelLevels loops, i.e. a conflict between different iterations

@@ -5,7 +5,8 @@
 // dependence with its direction/distance vector, and the verdict of the
 // transform-legality oracle for the transformations the compiler supports
 // (reverse of each level, interchange of the outer two levels, fusion of
-// adjacent sibling loops). This is the human-facing window into the
+// adjacent sibling loops, distribution of a multi-statement body). This is
+// the human-facing window into the
 // machinery Sema consults when it refuses an illegal #pragma omp reverse /
 // interchange.
 //
@@ -124,6 +125,13 @@ private:
       Diags.report(Root->getBeginLoc(), diag::remark_deps_legality)
           << ("interchange levels 1,2: " +
               legalityWord(Info.isLegalInterchange(0, 1)));
+    // Distribution verdict only applies when the body has several
+    // top-level statement groups to split into.
+    if (const auto *BodyCS = stmt_dyn_cast<CompoundStmt>(Root->getBody());
+        BodyCS && BodyCS->size() >= 2)
+      Diags.report(Root->getBeginLoc(), diag::remark_deps_legality)
+          << ("distribute into " + std::to_string(BodyCS->size()) +
+              " loops: " + legalityWord(Info.isLegalDistribute()));
   }
 };
 

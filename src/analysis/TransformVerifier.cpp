@@ -37,6 +37,62 @@ std::string dirName(const OMPLoopTransformationDirective *Dir) {
   return std::string(getOpenMPDirectiveName(Dir->getDirectiveKind()));
 }
 
+/// Resolves a statement to the for loop it contributes, unwrapping
+/// captures, canonical-loop wrappers, single-statement compounds, and
+/// transformation directives (through their transformed statement, as Sema
+/// does). Returns null if no for loop results; \p Deferred is set when an
+/// IRBuilder-mode transformation with no shadow blocks further walking.
+ForStmt *resolveToForLoop(Stmt *Cur, bool &Deferred) {
+  for (;;) {
+    if (auto *Cap = stmt_dyn_cast<CapturedStmt>(Cur)) {
+      Cur = Cap->getCapturedStmt();
+    } else if (auto *CL = stmt_dyn_cast<OMPCanonicalLoop>(Cur)) {
+      Cur = CL->getLoopStmt();
+    } else if (auto *CS = stmt_dyn_cast<CompoundStmt>(Cur)) {
+      if (CS->size() != 1)
+        return nullptr;
+      Cur = CS->body()[0];
+    } else if (auto *TD =
+                   stmt_dyn_cast<OMPLoopTransformationDirective>(Cur)) {
+      if (!TD->getTransformedStmt()) {
+        Deferred = true;
+        return nullptr;
+      }
+      Cur = TD->getTransformedStmt();
+    } else {
+      break;
+    }
+  }
+  return stmt_dyn_cast<ForStmt>(Cur);
+}
+
+/// fuse associates with a statement sequence, not a nest: every member of
+/// the looprange must resolve to a for loop (possibly the generated loop
+/// of a preceding transformation).
+bool verifyFuseSequence(const OMPFuseDirective *Fuse,
+                        DiagnosticsEngine &Diags) {
+  Stmt *Assoc = Fuse->getAssociatedStmt();
+  if (auto *Cap = stmt_dyn_cast<CapturedStmt>(Assoc))
+    Assoc = Cap->getCapturedStmt();
+  auto *CS = stmt_dyn_cast<CompoundStmt>(Assoc);
+  unsigned First = Fuse->getFirstLoopIndex();
+  unsigned Count = Fuse->getLoopsNumber();
+  if (!CS || CS->size() < First + Count)
+    return reportVerifierError(
+        Fuse, Diags,
+        "'fuse' must be associated with a statement sequence containing "
+        "its looprange");
+  for (unsigned K = 0; K < Count; ++K) {
+    bool Deferred = false;
+    if (!resolveToForLoop(CS->body()[First + K], Deferred) && !Deferred)
+      return reportVerifierError(
+          Fuse, Diags,
+          "fused member " + std::to_string(K + 1) +
+              " does not resolve to a for loop");
+  }
+  return true;
+}
+
 /// Walks the literal associated nest of \p Dir checking perfect nesting to
 /// the directive's association depth. Nested transformation directives are
 /// consumed through their transformed statement, as Sema does.
@@ -204,6 +260,48 @@ bool verifyUnrollSpine(const OMPUnrollDirective *Unroll,
   return true;
 }
 
+bool verifyFuseSpine(const OMPFuseDirective *Fuse, DiagnosticsEngine &Diags) {
+  // The shadow is the sibling sequence with the looprange replaced by one
+  // generated loop ('fused.iv') at the position of the first fused member.
+  auto *CS = stmt_dyn_cast<CompoundStmt>(Fuse->getTransformedStmt());
+  unsigned First = Fuse->getFirstLoopIndex();
+  if (!CS || CS->size() <= First)
+    return reportVerifierError(Fuse, Diags,
+                               "'fuse' must generate the surrounding "
+                               "sibling sequence with the fused loop in "
+                               "place of the looprange");
+  Stmt *Cur = CS->body()[First];
+  ForStmt *For = nextSpineLoop(Cur);
+  if (!For || !spineIVNameStartsWith(For, "fused.iv"))
+    return reportVerifierError(
+        Fuse, Diags,
+        "'fuse' must generate a single fused loop ('fused.iv')");
+  return true;
+}
+
+bool verifyDistributeSpine(const OMPDistributeLoopDirective *Dist,
+                           DiagnosticsEngine &Diags) {
+  // The shadow is a sequence of per-group loops ('distributed.<g>.iv.*')
+  // preceded by the shared trip-count declaration.
+  auto *CS = stmt_dyn_cast<CompoundStmt>(Dist->getTransformedStmt());
+  if (!CS || CS->size() < 3)
+    return reportVerifierError(
+        Dist, Diags,
+        "'distribute_loop' must generate the trip count plus one loop per "
+        "statement group (at least two groups)");
+  for (unsigned G = 1; G < CS->size(); ++G) {
+    Stmt *Cur = CS->body()[G];
+    ForStmt *For = nextSpineLoop(Cur);
+    std::string Expected = "distributed." + std::to_string(G - 1) + ".iv.";
+    if (!For || !spineIVNameStartsWith(For, Expected))
+      return reportVerifierError(
+          Dist, Diags,
+          "'distribute_loop' generated loop " + std::to_string(G - 1) +
+              " (expected '" + Expected + "*') is missing or malformed");
+  }
+  return true;
+}
+
 /// Checks that every node of a shadow subtree either has no location (the
 /// remap policy retargets it) or a location within the literal region
 /// [directive begin, max(directive end, associated stmt end)].
@@ -251,7 +349,9 @@ bool verifyShadowLocations(const OMPLoopTransformationDirective *Dir,
 
 bool verifyLoopTransformation(OMPLoopTransformationDirective *Dir,
                               DiagnosticsEngine &Diags) {
-  bool OK = verifyPerfectNesting(Dir, Diags);
+  bool OK = stmt_dyn_cast<OMPFuseDirective>(Dir)
+                ? verifyFuseSequence(stmt_cast<OMPFuseDirective>(Dir), Diags)
+                : verifyPerfectNesting(Dir, Diags);
 
   if (Stmt *T = Dir->getTransformedStmt()) {
     (void)T;
@@ -259,6 +359,10 @@ bool verifyLoopTransformation(OMPLoopTransformationDirective *Dir,
       OK = verifyTileSpine(Tile, Diags) && OK;
     else if (const auto *Unroll = stmt_dyn_cast<OMPUnrollDirective>(Dir))
       OK = verifyUnrollSpine(Unroll, Diags) && OK;
+    else if (const auto *Fuse = stmt_dyn_cast<OMPFuseDirective>(Dir))
+      OK = verifyFuseSpine(Fuse, Diags) && OK;
+    else if (const auto *Dist = stmt_dyn_cast<OMPDistributeLoopDirective>(Dir))
+      OK = verifyDistributeSpine(Dist, Diags) && OK;
     OK = verifyShadowLocations(Dir, Diags) && OK;
   } else if (const auto *Unroll = stmt_dyn_cast<OMPUnrollDirective>(Dir)) {
     // Full / heuristic unroll legitimately defers to the mid-end; nothing

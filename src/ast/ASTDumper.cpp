@@ -92,6 +92,10 @@ void ASTDumper::dumpClause(const OMPClause *C) {
   if (const auto *PM = clause_dyn_cast<OMPPermutationClause>(C))
     for (ConstantExpr *E : PM->getArgRefs())
       Children.add([this, E] { dumpStmt(E); });
+  if (const auto *LR = clause_dyn_cast<OMPLoopRangeClause>(C)) {
+    Children.add([this, LR] { dumpStmt(LR->getFirstRef()); });
+    Children.add([this, LR] { dumpStmt(LR->getCountRef()); });
+  }
   if (const auto *VL = clause_dyn_cast<OMPVarListClause>(C))
     for (DeclRefExpr *E : VL->getVarRefs())
       Children.add([this, E] { dumpStmt(E); });

@@ -180,6 +180,30 @@ private:
   std::span<ConstantExpr *const> Args;
 };
 
+/// looprange(first, count) — selects the 1-based contiguous subrange of
+/// sibling loops a 'fuse' directive applies to (OpenMP 6.0). Both
+/// arguments are positive integer constants; count must be >= 2.
+class OMPLoopRangeClause final : public OMPClause {
+public:
+  OMPLoopRangeClause(SourceRange Range, ConstantExpr *First,
+                     ConstantExpr *Count)
+      : OMPClause(OpenMPClauseKind::LoopRange, Range), First(First),
+        Count(Count) {}
+
+  [[nodiscard]] ConstantExpr *getFirstRef() const { return First; }
+  [[nodiscard]] ConstantExpr *getCountRef() const { return Count; }
+  [[nodiscard]] std::int64_t getFirst() const { return First->getResult(); }
+  [[nodiscard]] std::int64_t getCount() const { return Count->getResult(); }
+
+  static bool classof(const OMPClause *C) {
+    return C->getClauseKind() == OpenMPClauseKind::LoopRange;
+  }
+
+private:
+  ConstantExpr *First;
+  ConstantExpr *Count;
+};
+
 /// Base for clauses carrying a list of variables.
 class OMPVarListClause : public OMPClause {
 public:

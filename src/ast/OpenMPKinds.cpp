@@ -24,6 +24,10 @@ std::string_view getOpenMPDirectiveName(OpenMPDirectiveKind Kind) {
     return "reverse";
   case OpenMPDirectiveKind::Interchange:
     return "interchange";
+  case OpenMPDirectiveKind::Fuse:
+    return "fuse";
+  case OpenMPDirectiveKind::DistributeLoop:
+    return "distribute_loop";
   case OpenMPDirectiveKind::Barrier:
     return "barrier";
   case OpenMPDirectiveKind::Critical:
@@ -51,6 +55,10 @@ OpenMPDirectiveKind parseOpenMPDirectiveKind(std::string_view Name) {
     return OpenMPDirectiveKind::Reverse;
   if (Name == "interchange")
     return OpenMPDirectiveKind::Interchange;
+  if (Name == "fuse")
+    return OpenMPDirectiveKind::Fuse;
+  if (Name == "distribute_loop")
+    return OpenMPDirectiveKind::DistributeLoop;
   if (Name == "barrier")
     return OpenMPDirectiveKind::Barrier;
   if (Name == "critical")
@@ -80,6 +88,8 @@ std::string_view getOpenMPClauseName(OpenMPClauseKind Kind) {
     return "sizes";
   case OpenMPClauseKind::Permutation:
     return "permutation";
+  case OpenMPClauseKind::LoopRange:
+    return "looprange";
   case OpenMPClauseKind::Private:
     return "private";
   case OpenMPClauseKind::FirstPrivate:
@@ -109,6 +119,8 @@ OpenMPClauseKind parseOpenMPClauseKind(std::string_view Name) {
     return OpenMPClauseKind::Sizes;
   if (Name == "permutation")
     return OpenMPClauseKind::Permutation;
+  if (Name == "looprange")
+    return OpenMPClauseKind::LoopRange;
   if (Name == "private")
     return OpenMPClauseKind::Private;
   if (Name == "firstprivate")
@@ -188,6 +200,8 @@ bool isOpenMPLoopAssociatedDirective(OpenMPDirectiveKind Kind) {
   case OpenMPDirectiveKind::Unroll:
   case OpenMPDirectiveKind::Reverse:
   case OpenMPDirectiveKind::Interchange:
+  case OpenMPDirectiveKind::Fuse:
+  case OpenMPDirectiveKind::DistributeLoop:
     return true;
   default:
     return false;
@@ -198,7 +212,9 @@ bool isOpenMPLoopTransformationDirective(OpenMPDirectiveKind Kind) {
   return Kind == OpenMPDirectiveKind::Tile ||
          Kind == OpenMPDirectiveKind::Unroll ||
          Kind == OpenMPDirectiveKind::Reverse ||
-         Kind == OpenMPDirectiveKind::Interchange;
+         Kind == OpenMPDirectiveKind::Interchange ||
+         Kind == OpenMPDirectiveKind::Fuse ||
+         Kind == OpenMPDirectiveKind::DistributeLoop;
 }
 
 bool isOpenMPParallelDirective(OpenMPDirectiveKind Kind) {
@@ -242,6 +258,10 @@ bool isAllowedClauseForDirective(OpenMPDirectiveKind Directive,
     return false;
   case D::Interchange:
     return Clause == C::Permutation;
+  case D::Fuse:
+    return Clause == C::LoopRange;
+  case D::DistributeLoop:
+    return false;
   case D::Single:
     return Clause == C::Private || Clause == C::FirstPrivate ||
            Clause == C::NoWait;

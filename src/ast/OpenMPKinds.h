@@ -23,6 +23,10 @@ enum class OpenMPDirectiveKind {
   Unroll,      // #pragma omp unroll (OpenMP 5.1 loop transformation)
   Reverse,     // #pragma omp reverse     (OpenMP 6.0 loop transformation)
   Interchange, // #pragma omp interchange (OpenMP 6.0 loop transformation)
+  Fuse,        // #pragma omp fuse (OpenMP 6.0 loop transformation; fuses a
+               // sequence of adjacent canonical sibling loops)
+  DistributeLoop, // #pragma omp distribute_loop (loop distribution: splits
+                  // one canonical body into per-statement-group loops)
   Barrier,     // #pragma omp barrier
   Critical,    // #pragma omp critical
   Single,      // #pragma omp single
@@ -38,6 +42,7 @@ enum class OpenMPClauseKind {
   Partial, // unroll partial(k)
   Sizes,       // tile sizes(s1, ..., sn)
   Permutation, // interchange permutation(p1, ..., pn)
+  LoopRange,   // fuse looprange(first, count) — 1-based subrange selector
   Private,
   FirstPrivate,
   Shared,

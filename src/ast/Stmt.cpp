@@ -156,6 +156,8 @@ std::vector<Stmt *> Stmt::children() const {
   case StmtClass::OMPUnrollDirective:
   case StmtClass::OMPReverseDirective:
   case StmtClass::OMPInterchangeDirective:
+  case StmtClass::OMPFuseDirective:
+  case StmtClass::OMPDistributeLoopDirective:
     Add(stmt_cast<OMPExecutableDirective>(this)->getAssociatedStmt());
     break;
   case StmtClass::NUM_STMT_CLASSES:

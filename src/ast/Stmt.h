@@ -31,9 +31,9 @@ public:
     firstExpr = IntegerLiteral,
     lastExpr = ConstantExpr,
     firstOMPExecutable = OMPParallelDirective,
-    lastOMPExecutable = OMPInterchangeDirective,
+    lastOMPExecutable = OMPDistributeLoopDirective,
     firstOMPLoopBased = OMPForDirective,
-    lastOMPLoopBased = OMPInterchangeDirective,
+    lastOMPLoopBased = OMPDistributeLoopDirective,
     firstOMPLoop = OMPForDirective,
     lastOMPLoop = OMPForSimdDirective,
   };

@@ -353,7 +353,9 @@ public:
     return S->getStmtClass() == StmtClass::OMPTileDirective ||
            S->getStmtClass() == StmtClass::OMPUnrollDirective ||
            S->getStmtClass() == StmtClass::OMPReverseDirective ||
-           S->getStmtClass() == StmtClass::OMPInterchangeDirective;
+           S->getStmtClass() == StmtClass::OMPInterchangeDirective ||
+           S->getStmtClass() == StmtClass::OMPFuseDirective ||
+           S->getStmtClass() == StmtClass::OMPDistributeLoopDirective;
   }
 
 protected:
@@ -442,6 +444,59 @@ public:
 
   static bool classof(const Stmt *S) {
     return S->getStmtClass() == StmtClass::OMPInterchangeDirective;
+  }
+};
+
+/// #pragma omp fuse [looprange(first, count)] (OpenMP 6.0): fuse a
+/// sequence of adjacent canonical sibling loops into a single loop.
+/// The associated statement is a CompoundStmt whose top-level statements
+/// are the sibling loops (each a plain canonical loop or the result of a
+/// preceding loop transformation). With a looprange clause only the
+/// 1-based [first, first+count-1] subrange is fused; siblings outside the
+/// range are kept as-is around the fused loop. Legality is gated by
+/// DependenceAnalysis::isLegalFuse over every ordered pair of fused
+/// siblings.
+class OMPFuseDirective final : public OMPLoopTransformationDirective {
+public:
+  OMPFuseDirective(SourceRange Range, std::span<OMPClause *const> Clauses,
+                   Stmt *AssociatedStmt, unsigned NumLoops)
+      : OMPLoopTransformationDirective(StmtClass::OMPFuseDirective, Range,
+                                       OpenMPDirectiveKind::Fuse, Clauses,
+                                       AssociatedStmt, NumLoops) {}
+
+  /// 0-based index of the first fused sibling (looprange 'first' - 1;
+  /// 0 without the clause). getLoopsNumber() is the fused count.
+  [[nodiscard]] unsigned getFirstLoopIndex() const {
+    if (const auto *LR = getSingleClause<OMPLoopRangeClause>())
+      return static_cast<unsigned>(LR->getFirst() - 1);
+    return 0;
+  }
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::OMPFuseDirective;
+  }
+};
+
+/// #pragma omp distribute_loop: split one canonical loop whose body is a
+/// sequence of statement groups into one loop per group, run in source
+/// order. (Named distribute_loop to avoid clashing with OpenMP's
+/// teams-distribute worksharing directive.) Legal only when no
+/// loop-carried dependence flows from a textually later group to an
+/// earlier one; gated by DependenceAnalysis::isLegalDistribute.
+class OMPDistributeLoopDirective final
+    : public OMPLoopTransformationDirective {
+public:
+  OMPDistributeLoopDirective(SourceRange Range,
+                             std::span<OMPClause *const> Clauses,
+                             Stmt *AssociatedStmt)
+      : OMPLoopTransformationDirective(StmtClass::OMPDistributeLoopDirective,
+                                       Range,
+                                       OpenMPDirectiveKind::DistributeLoop,
+                                       Clauses, AssociatedStmt,
+                                       /*NumLoops=*/1) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getStmtClass() == StmtClass::OMPDistributeLoopDirective;
   }
 };
 

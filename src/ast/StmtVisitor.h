@@ -87,6 +87,8 @@ public:
   DELEGATE(OMPUnrollDirective, OMPLoopTransformationDirective)
   DELEGATE(OMPReverseDirective, OMPLoopTransformationDirective)
   DELEGATE(OMPInterchangeDirective, OMPLoopTransformationDirective)
+  DELEGATE(OMPFuseDirective, OMPLoopTransformationDirective)
+  DELEGATE(OMPDistributeLoopDirective, OMPLoopTransformationDirective)
 #undef DELEGATE
 
 private:
@@ -128,6 +130,9 @@ public:
     case OpenMPClauseKind::Permutation:
       return getDerived().visitPermutationClause(
           clause_cast<OMPPermutationClause>(C));
+    case OpenMPClauseKind::LoopRange:
+      return getDerived().visitLoopRangeClause(
+          clause_cast<OMPLoopRangeClause>(C));
     case OpenMPClauseKind::Unknown:
       break;
     }
@@ -149,6 +154,7 @@ public:
   DELEGATE(ReductionClause, OMPReductionClause)
   DELEGATE(NoWaitClause, OMPNoWaitClause)
   DELEGATE(PermutationClause, OMPPermutationClause)
+  DELEGATE(LoopRangeClause, OMPLoopRangeClause)
 #undef DELEGATE
 
 private:

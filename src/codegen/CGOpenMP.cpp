@@ -361,7 +361,9 @@ void CodeGenFunction::emitOMPDirective(const OMPExecutableDirective *D) {
   case OpenMPDirectiveKind::Tile:
   case OpenMPDirectiveKind::Unroll:
   case OpenMPDirectiveKind::Reverse:
-  case OpenMPDirectiveKind::Interchange: {
+  case OpenMPDirectiveKind::Interchange:
+  case OpenMPDirectiveKind::Fuse:
+  case OpenMPDirectiveKind::DistributeLoop: {
     if (CGM.getLangOpts().OpenMPEnableIRBuilder)
       return emitOMPLoopBasedDirectiveIRBuilder(
           stmt_cast<OMPLoopBasedDirective>(D));
@@ -373,6 +375,8 @@ void CodeGenFunction::emitOMPDirective(const OMPExecutableDirective *D) {
       return emitOMPUnrollLegacy(stmt_cast<OMPUnrollDirective>(D));
     case OpenMPDirectiveKind::Reverse:
     case OpenMPDirectiveKind::Interchange:
+    case OpenMPDirectiveKind::Fuse:
+    case OpenMPDirectiveKind::DistributeLoop:
       return emitOMPTransformLegacy(
           stmt_cast<OMPLoopTransformationDirective>(D));
     default:
@@ -649,6 +653,47 @@ void CodeGenFunction::emitOMPUnrollLegacy(const OMPUnrollDirective *D) {
 
 // ===----------------- IRBuilder pipeline (Section 3) -----------------=== //
 
+ir::Value *
+CodeGenFunction::emitCanonicalDistance(const OMPCanonicalLoop *CL) {
+  const CapturedStmt *Dist = CL->getDistanceFunc();
+  const ImplicitParamDecl *ResultParam = Dist->getCapturedDecl()->getParam(0);
+  const auto *PT =
+      type_cast<PointerType>(ResultParam->getType().getTypePtr());
+  const IRType *LT = CGM.convertType(PT->getPointeeType());
+  // Constant distance functions ("*Result = <literal>") fold directly so
+  // the trip count stays identifiable as a constant (enabling full
+  // unrolling in the mid-end without store/load forwarding).
+  if (const auto *Assign =
+          stmt_dyn_cast<BinaryOperator>(Dist->getCapturedStmt()))
+    if (auto V = evaluateInteger(Assign->getRHS()))
+      return B.getInt(LT, *V);
+  Instruction *Tmp = B.createAllocaInEntry(LT, 1, "omp.distance");
+  std::vector<ir::Value *> Params = {Tmp};
+  emitCapturedFunctionInline(Dist, Params);
+  return B.createLoad(LT, Tmp, "omp.tripcount");
+}
+
+void CodeGenFunction::emitCanonicalLoopVarBinding(const OMPCanonicalLoop *CL,
+                                                  ir::Value *IV) {
+  const ValueDecl *UserVar = CL->getLoopVarRef()->getDecl();
+  auto It = LocalAddrs.find(UserVar);
+  ir::Value *VarAddr;
+  if (It != LocalAddrs.end()) {
+    VarAddr = It->second;
+  } else {
+    VarAddr = B.createAllocaInEntry(CGM.convertType(UserVar->getType()), 1,
+                                    std::string(UserVar->getName()));
+    LocalAddrs[UserVar] = VarAddr;
+  }
+  const CapturedStmt *LVF = CL->getLoopVarFunc();
+  const ImplicitParamDecl *LogicalParam =
+      LVF->getCapturedDecl()->getParam(1);
+  ir::Value *Logical = B.createIntCast(
+      IV, CGM.convertType(LogicalParam->getType()), false, "omp.logical");
+  std::vector<ir::Value *> Params = {VarAddr, Logical};
+  emitCapturedFunctionInline(LVF, Params);
+}
+
 std::vector<ir::CanonicalLoopInfo *>
 CodeGenFunction::emitCanonicalLoopNest(const OMPCanonicalLoop *Outer) {
   // Collect the perfect nest of OMPCanonicalLoop wrappers.
@@ -671,28 +716,8 @@ CodeGenFunction::emitCanonicalLoopNest(const OMPCanonicalLoop *Outer) {
   // before the outermost skeleton (required for tileLoops/collapseLoops to
   // compute floor counts in the outermost preheader).
   std::vector<ir::Value *> TripCounts(N);
-  for (unsigned K = 0; K < N; ++K) {
-    const CapturedStmt *Dist = Nest[K]->getDistanceFunc();
-    const ImplicitParamDecl *ResultParam =
-        Dist->getCapturedDecl()->getParam(0);
-    const auto *PT =
-        type_cast<PointerType>(ResultParam->getType().getTypePtr());
-    const IRType *LT = CGM.convertType(PT->getPointeeType());
-    // Constant distance functions ("*Result = <literal>") fold directly so
-    // the trip count stays identifiable as a constant (enabling full
-    // unrolling in the mid-end without store/load forwarding).
-    if (const auto *Assign = stmt_dyn_cast<BinaryOperator>(
-            Dist->getCapturedStmt())) {
-      if (auto V = evaluateInteger(Assign->getRHS())) {
-        TripCounts[K] = B.getInt(LT, *V);
-        continue;
-      }
-    }
-    Instruction *Tmp = B.createAllocaInEntry(LT, 1, "omp.distance");
-    std::vector<ir::Value *> Params = {Tmp};
-    emitCapturedFunctionInline(Dist, Params);
-    TripCounts[K] = B.createLoad(LT, Tmp, "omp.tripcount");
-  }
+  for (unsigned K = 0; K < N; ++K)
+    TripCounts[K] = emitCanonicalDistance(Nest[K]);
 
   // Create the skeletons, nesting via the BodyGen callbacks. The
   // innermost body materializes every loop's user variable via its
@@ -710,28 +735,8 @@ CodeGenFunction::emitCanonicalLoopNest(const OMPCanonicalLoop *Outer) {
             return;
           }
           // Innermost: bind user variables, then the body.
-          for (unsigned J = 0; J < N; ++J) {
-            const OMPCanonicalLoop *CL = Nest[J];
-            const ValueDecl *UserVar = CL->getLoopVarRef()->getDecl();
-            auto It = LocalAddrs.find(UserVar);
-            ir::Value *VarAddr;
-            if (It != LocalAddrs.end()) {
-              VarAddr = It->second;
-            } else {
-              VarAddr = B.createAllocaInEntry(
-                  CGM.convertType(UserVar->getType()), 1,
-                  std::string(UserVar->getName()));
-              LocalAddrs[UserVar] = VarAddr;
-            }
-            const CapturedStmt *LVF = CL->getLoopVarFunc();
-            const ImplicitParamDecl *LogicalParam =
-                LVF->getCapturedDecl()->getParam(1);
-            ir::Value *Logical = B.createIntCast(
-                IVs[J], CGM.convertType(LogicalParam->getType()), false,
-                "omp.logical");
-            std::vector<ir::Value *> Params = {VarAddr, Logical};
-            emitCapturedFunctionInline(LVF, Params);
-          }
+          for (unsigned J = 0; J < N; ++J)
+            emitCanonicalLoopVarBinding(Nest[J], IVs[J]);
           emitStmt(stmt_cast<ForStmt>(Nest[N - 1]->getLoopStmt())->getBody());
         },
         "omp_loop");
@@ -788,8 +793,55 @@ CodeGenFunction::emitLoopConstruct(const Stmt *S) {
         Inner.begin() + static_cast<std::ptrdiff_t>(Perm.size()));
     return OMPB.interchangeLoops(Consumed, Perm);
   }
+  if (const auto *FD = stmt_dyn_cast<OMPFuseDirective>(S))
+    return {emitOMPFuseIRBuilder(FD)};
   assert(false && "unexpected statement in IRBuilder loop construct");
   return {};
+}
+
+ir::CanonicalLoopInfo *
+CodeGenFunction::emitOMPFuseIRBuilder(const OMPFuseDirective *D) {
+  // The associated statement is the original sibling sequence; the members
+  // selected by looprange lower to canonical-loop chains whose outermost
+  // handles OpenMPIRBuilder::fuseLoops merges. Siblings outside the range
+  // are emitted unchanged around the fused loop.
+  const auto *CS = stmt_cast<CompoundStmt>(D->getAssociatedStmt());
+  std::span<Stmt *const> Sibs = CS->body();
+  const unsigned First = D->getFirstLoopIndex();
+  const unsigned Count = D->getLoopsNumber();
+  for (unsigned K = 0; K < First; ++K)
+    emitStmt(Sibs[K]);
+  std::vector<CanonicalLoopInfo *> Members;
+  for (unsigned K = 0; K < Count; ++K)
+    Members.push_back(emitLoopConstruct(Sibs[First + K]).front());
+  CanonicalLoopInfo *Fused = OMPB.fuseLoops(Members);
+  for (unsigned K = First + Count; K < Sibs.size(); ++K)
+    emitStmt(Sibs[K]);
+  return Fused;
+}
+
+void CodeGenFunction::emitOMPDistributeLoopIRBuilder(
+    const OMPDistributeLoopDirective *D) {
+  const Stmt *S = D->getAssociatedStmt();
+  while (const auto *Wrap = stmt_dyn_cast<CompoundStmt>(S)) {
+    assert(Wrap->size() == 1);
+    S = Wrap->body()[0];
+  }
+  const auto *CL = stmt_cast<OMPCanonicalLoop>(S);
+  const auto *For = stmt_cast<ForStmt>(CL->getLoopStmt());
+  // Sema guarantees the body is a compound of >= 2 statement groups with
+  // no locals referenced across groups: one canonical loop per group, all
+  // sharing the hoisted trip count, runs the groups in source order.
+  const auto *Groups = stmt_cast<CompoundStmt>(For->getBody());
+  ir::Value *Trip = emitCanonicalDistance(CL);
+  for (const Stmt *Group : Groups->body())
+    OMPB.createCanonicalLoop(
+        B, Trip,
+        [&](IRBuilder &, ir::Value *IV) {
+          emitCanonicalLoopVarBinding(CL, IV);
+          emitStmt(Group);
+        },
+        "omp_dist");
 }
 
 void CodeGenFunction::emitOMPLoopBasedDirectiveIRBuilder(
@@ -878,6 +930,20 @@ void CodeGenFunction::emitOMPLoopBasedDirectiveIRBuilder(
 
   std::vector<ReductionInfo> Reductions =
       emitPrivatizationClauses(D->clauses());
+
+  // fuse/distribute_loop associate with statement sequences (or a loop
+  // whose body is split), not a single canonical-loop chain; they bypass
+  // the common emitLoopConstruct entry.
+  if (Kind == OpenMPDirectiveKind::Fuse) {
+    emitOMPFuseIRBuilder(stmt_cast<OMPFuseDirective>(D));
+    emitReductionFinalization(Reductions);
+    return;
+  }
+  if (Kind == OpenMPDirectiveKind::DistributeLoop) {
+    emitOMPDistributeLoopIRBuilder(stmt_cast<OMPDistributeLoopDirective>(D));
+    emitReductionFinalization(Reductions);
+    return;
+  }
 
   // Chunk size must be emitted before the loop skeletons so it dominates
   // the preheader applyWorkshareLoop modifies.

@@ -71,6 +71,18 @@ private:
   /// hoisted), returning one CLI per nest level.
   std::vector<ir::CanonicalLoopInfo *>
   emitCanonicalLoopNest(const OMPCanonicalLoop *Outer);
+  /// Evaluates \p CL's distance function at the current insertion point,
+  /// returning the trip count (folded to a constant where possible).
+  ir::Value *emitCanonicalDistance(const OMPCanonicalLoop *CL);
+  /// Materializes \p CL's user loop variable for logical iteration \p IV
+  /// via the loop-variable function.
+  void emitCanonicalLoopVarBinding(const OMPCanonicalLoop *CL,
+                                   ir::Value *IV);
+  /// Emits a fuse construct: surrounding siblings plus the fused loop
+  /// built by OpenMPIRBuilder::fuseLoops. Returns the fused loop handle.
+  ir::CanonicalLoopInfo *emitOMPFuseIRBuilder(const OMPFuseDirective *D);
+  /// Emits distribute_loop as one canonical loop per statement group.
+  void emitOMPDistributeLoopIRBuilder(const OMPDistributeLoopDirective *D);
 
   // Common.
   void emitOMPBarrier();

@@ -9,6 +9,9 @@
 //   minicc-fuzz [options]
 //     --seed=N          first seed (default 2021)
 //     --count=N         number of programs (default 200)
+//     --gen=M           program modes: all | fuse | distribute
+//                       (fuse/distribute restrict generation to the
+//                       sibling-fusion / loop-distribution cases)
 //     --shrink          minimize a failing program before reporting
 //     --no-thread-sweep run parallel programs at the default width only
 //     --no-factor-sweep skip tile-size/unroll-factor variants
@@ -36,6 +39,8 @@ void printUsage() {
                "usage: minicc-fuzz [options]\n"
                "  --seed=N           first seed (default 2021)\n"
                "  --count=N          number of programs (default 200)\n"
+               "  --gen=M            program modes: all | fuse | "
+               "distribute\n"
                "  --shrink           minimize the failing program\n"
                "  --no-thread-sweep  default thread width only\n"
                "  --no-factor-sweep  skip tile/unroll factor variants\n"
@@ -62,13 +67,29 @@ bool parseU64(const std::string &Arg, const char *Prefix,
 int main(int argc, char **argv) {
   std::uint64_t Seed = 2021, Count = 200;
   bool Shrink = false, DumpSource = false, Quiet = false;
+  fuzz::GenMode Mode = fuzz::GenMode::All;
   fuzz::DifferentialOptions Opts;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (parseU64(Arg, "--seed=", Seed) || parseU64(Arg, "--count=", Count))
       continue;
-    if (Arg == "--shrink")
+    if (Arg.rfind("--gen=", 0) == 0) {
+      std::string Name = Arg.substr(std::strlen("--gen="));
+      if (Name == "all")
+        Mode = fuzz::GenMode::All;
+      else if (Name == "fuse")
+        Mode = fuzz::GenMode::Fuse;
+      else if (Name == "distribute")
+        Mode = fuzz::GenMode::Distribute;
+      else {
+        std::fprintf(stderr,
+                     "minicc-fuzz: invalid --gen '%s' (expected 'all', "
+                     "'fuse' or 'distribute')\n",
+                     Name.c_str());
+        return 1;
+      }
+    } else if (Arg == "--shrink")
       Shrink = true;
     else if (Arg == "--no-thread-sweep")
       Opts.SweepThreads = false;
@@ -117,14 +138,19 @@ int main(int argc, char **argv) {
 
   fuzz::DifferentialRunner Runner(Opts);
   std::uint64_t TotalRuns = 0, TotalRejections = 0;
+  std::uint64_t FuseRejections = 0, DistributeRejections = 0;
   for (std::uint64_t K = 0; K < Count; ++K) {
-    fuzz::ProgramSpec Spec = fuzz::generateProgram(Seed + K);
+    fuzz::ProgramSpec Spec = fuzz::generateProgram(Seed + K, Mode);
     if (DumpSource)
       std::printf("// %s\n%s\n", Spec.describe().c_str(),
                   Spec.render().c_str());
     fuzz::ProgramResult Result = Runner.runWithVariants(Spec);
     TotalRuns += Result.RunsExecuted;
     TotalRejections += Result.ConservativeRejections;
+    if (Spec.Pragmas.Fuse)
+      FuseRejections += Result.ConservativeRejections;
+    else if (Spec.Pragmas.DistributeLoop)
+      DistributeRejections += Result.ConservativeRejections;
     if (!Result.ok()) {
       std::fputs(fuzz::DifferentialRunner::report(Result).c_str(), stderr);
       if (Shrink) {
@@ -149,10 +175,17 @@ int main(int argc, char **argv) {
     std::fprintf(stderr,
                  "minicc-fuzz: %llu programs x backend matrix = %llu runs, "
                  "0 mismatches, %llu conservative transform rejections "
+                 "(%llu fuse, %llu distribute_loop, %llu reverse/"
+                 "interchange; every rejection re-verified untransformed) "
                  "(seeds %llu..%llu)\n",
                  static_cast<unsigned long long>(Count),
                  static_cast<unsigned long long>(TotalRuns),
                  static_cast<unsigned long long>(TotalRejections),
+                 static_cast<unsigned long long>(FuseRejections),
+                 static_cast<unsigned long long>(DistributeRejections),
+                 static_cast<unsigned long long>(
+                     TotalRejections - FuseRejections -
+                     DistributeRejections),
                  static_cast<unsigned long long>(Seed),
                  static_cast<unsigned long long>(Seed + Count - 1));
   rt::OpenMPRuntime::get().shutdown();

@@ -151,9 +151,10 @@ ProgramResult DifferentialRunner::run(const ProgramSpec &Spec) const {
   Result.Expected = Spec.reference();
   const std::string Source = Spec.render();
   // Conservative-rejection fallback: when the dependence legality oracle
-  // refuses a generated reverse/interchange, the program is still a valid
-  // differential testcase — untransformed. (The reference checksum is
-  // evaluated in original iteration order, so it covers both shapes.)
+  // refuses a generated reverse/interchange/fuse/distribute_loop, the
+  // program is still a valid differential testcase — untransformed. (The
+  // reference checksum is evaluated in original program order, so it
+  // covers both shapes.)
   const bool HasTransform = Spec.Pragmas.hasLoopTransform();
   const std::string StrippedSource =
       HasTransform ? Spec.withoutLoopTransforms().render() : std::string();
@@ -211,6 +212,16 @@ DifferentialRunner::factorVariants(const ProgramSpec &Spec) const {
       Variants.push_back(std::move(V));
     }
   }
+  if (Spec.Pragmas.Fuse && !Spec.Pragmas.ParallelFor &&
+      Spec.Siblings.size() >= 3 && Spec.Pragmas.FuseCount == 0) {
+    // Partial-range variant of a full fuse: the middle members fuse, the
+    // rest are re-emitted as plain siblings around the fused loop.
+    ProgramSpec V = Spec;
+    V.Pragmas.FuseFirst = 2;
+    V.Pragmas.FuseCount = 2;
+    V.Variant = "looprange(2,2)";
+    Variants.push_back(std::move(V));
+  }
   if (Spec.Pragmas.Permutation.size() >= 3) {
     // Alternate permutation of the same nest (rotation is never the
     // identity for size >= 2, so the transformation stays non-trivial).
@@ -262,7 +273,7 @@ ProgramSpec DifferentialRunner::shrink(const ProgramSpec &Spec) const {
         Progress = true;
       }
     }
-    for (int Component = 0; Component < 8; ++Component) {
+    for (int Component = 0; Component < 10; ++Component) {
       ProgramSpec C = Cur;
       switch (Component) {
       case 0:
@@ -294,6 +305,22 @@ ProgramSpec DifferentialRunner::shrink(const ProgramSpec &Spec) const {
       case 7:
         C.Pragmas.Permutation.clear();
         break;
+      case 8:
+        // Dropping the fuse leaves a plain sibling sequence, which a
+        // worksharing directive cannot associate with — drop it too.
+        C.Pragmas.Fuse = false;
+        C.Pragmas.FuseFirst = 0;
+        C.Pragmas.FuseCount = 0;
+        if (C.Siblings.size() > 1) {
+          C.Pragmas.ParallelFor = false;
+          C.Pragmas.OrphanFor = false;
+          C.Pragmas.Schedule.clear();
+          C.Pragmas.NumThreadsClause = 0;
+        }
+        break;
+      case 9:
+        C.Pragmas.DistributeLoop = false;
+        break;
       }
       if (StillFails(C) && (C.Pragmas.ParallelFor != Cur.Pragmas.ParallelFor ||
                             C.Pragmas.OrphanFor != Cur.Pragmas.OrphanFor ||
@@ -306,7 +333,10 @@ ProgramSpec DifferentialRunner::shrink(const ProgramSpec &Spec) const {
                             C.Pragmas.Collapse != Cur.Pragmas.Collapse ||
                             C.Pragmas.Reverse != Cur.Pragmas.Reverse ||
                             C.Pragmas.Permutation !=
-                                Cur.Pragmas.Permutation)) {
+                                Cur.Pragmas.Permutation ||
+                            C.Pragmas.Fuse != Cur.Pragmas.Fuse ||
+                            C.Pragmas.DistributeLoop !=
+                                Cur.Pragmas.DistributeLoop)) {
         Cur = C;
         Progress = true;
       }
@@ -328,6 +358,35 @@ ProgramSpec DifferentialRunner::shrink(const ProgramSpec &Spec) const {
         break;
       Cur = std::move(C);
       Progress = true;
+    }
+
+    // 2b. Drop sibling loops from the back (a fuse needs at least two
+    //     members; once the fuse itself is gone the sequence may shrink
+    //     to a single loop).
+    while (Cur.Siblings.size() > (Cur.Pragmas.Fuse ? 2u : 1u)) {
+      ProgramSpec C = Cur;
+      C.Siblings.pop_back();
+      if (C.Pragmas.FuseCount > 0 &&
+          C.Pragmas.FuseFirst + C.Pragmas.FuseCount - 1 > C.Siblings.size()) {
+        C.Pragmas.FuseFirst = 0;
+        C.Pragmas.FuseCount = 0;
+      }
+      if (!StillFails(C))
+        break;
+      Cur = std::move(C);
+      Progress = true;
+    }
+
+    // 2c. Drop sibling body statements.
+    for (std::size_t S = 0; S < Cur.Siblings.size(); ++S) {
+      while (Cur.Siblings[S].Body.size() > 1) {
+        ProgramSpec C = Cur;
+        C.Siblings[S].Body.pop_back();
+        if (!StillFails(C))
+          break;
+        Cur = std::move(C);
+        Progress = true;
+      }
     }
 
     // 3. Drop body statements.
@@ -354,6 +413,22 @@ ProgramSpec DifferentialRunner::shrink(const ProgramSpec &Spec) const {
         NL.Ub = NL.Lb + NL.Step * NewTrip;
         NL.Rel = NL.Rel == RelOp::NE ? RelOp::NE
                                      : (NL.Step > 0 ? RelOp::LT : RelOp::GT);
+        if (!StillFails(C))
+          break;
+        Cur = std::move(C);
+        Progress = true;
+      }
+    }
+
+    // 4b. Shrink sibling trip counts (sibling loops are canonical-simple:
+    //     lb 0, step 1, '<' — halving the Ub halves the trip).
+    for (std::size_t S = 0; S < Cur.Siblings.size(); ++S) {
+      for (;;) {
+        std::int64_t Trip = Cur.Siblings[S].Loop.tripCount();
+        if (Trip <= 1)
+          break;
+        ProgramSpec C = Cur;
+        C.Siblings[S].Loop.Ub = Trip / 2;
         if (!StillFails(C))
           break;
         Cur = std::move(C);

@@ -97,6 +97,20 @@ struct PragmaSpec {
   /// `#pragma omp interchange permutation(...)`, 1-based as in source;
   /// empty = no interchange. Requires nest depth >= Permutation.size().
   std::vector<unsigned> Permutation;
+  /// `#pragma omp fuse` over the sibling-loop sequence (requires a
+  /// ProgramSpec with at least two Siblings). Like reverse/interchange it
+  /// is dependence-gated: Sema refuses it when iteration t of a later
+  /// member would touch what iteration t+d of an earlier member accesses.
+  bool Fuse = false;
+  /// Non-zero FuseCount renders `looprange(FuseFirst, FuseCount)` on the
+  /// fuse directive (FuseFirst is 1-based as in source); members outside
+  /// the range stay unfused siblings.
+  unsigned FuseFirst = 0;
+  unsigned FuseCount = 0;
+  /// `#pragma omp distribute_loop` on a single loop whose body has >= 2
+  /// top-level statement groups. Refused when a loop-carried dependence
+  /// flows from a later group back to an earlier one.
+  bool DistributeLoop = false;
 
   [[nodiscard]] bool any() const {
     return ParallelFor || OrphanFor || !TileSizes.empty() || UnrollFactor ||
@@ -105,8 +119,18 @@ struct PragmaSpec {
 
   /// True when a dependence-gated loop transformation is present.
   [[nodiscard]] bool hasLoopTransform() const {
-    return Reverse || !Permutation.empty();
+    return Reverse || !Permutation.empty() || Fuse || DistributeLoop;
   }
+};
+
+/// One member of a sibling-loop sequence (the fuse program modes): its
+/// own loop plus body statements over the shared `sum` / `a`. Sibling
+/// loops are always canonical-simple (lb 0, step 1, '<') so the body can
+/// index `a` directly by the IV and the dependence oracle can reason
+/// about cross-member accesses.
+struct SiblingSpec {
+  LoopSpec Loop;
+  std::vector<BodyOp> Body;
 };
 
 /// A complete generated program: a perfect loop nest with a checksummed
@@ -118,6 +142,10 @@ struct ProgramSpec {
   std::string Variant;         ///< "" for the original; factor-sweep tag
   std::vector<LoopSpec> Loops; ///< outermost first; 1..3 entries
   std::vector<BodyOp> Body;    ///< at least one
+  /// When non-empty the program is a flat sequence of depth-1 sibling
+  /// loops (the fuse program modes) and Loops/Body are unused. Siblings
+  /// share `sum` and the array `a`, each indexing `a` by its own IV.
+  std::vector<SiblingSpec> Siblings;
   PragmaSpec Pragmas;
   /// Render array subscripts as direct affine expressions of the IVs
   /// (i0*S0 + i1*S1 + ...) instead of the accumulated `idx` local, so the
@@ -134,9 +162,12 @@ struct ProgramSpec {
   /// writes in bounds).
   [[nodiscard]] std::int64_t arraySize() const;
 
-  /// Copy with reverse/interchange pragmas removed (the re-verification
-  /// program after a conservative rejection). Rendering shape (DirectIndex)
-  /// is preserved so only the pragma lines differ.
+  /// Copy with reverse/interchange/fuse/distribute_loop pragmas removed
+  /// (the re-verification program after a conservative rejection).
+  /// Rendering shape (DirectIndex, sibling structure) is preserved so only
+  /// the pragma lines differ; a worksharing directive riding on a fused
+  /// sibling sequence is dropped with it (it cannot associate with the
+  /// unfused loop sequence).
   [[nodiscard]] ProgramSpec withoutLoopTransforms() const;
 
   /// Renders the MiniC source text.
@@ -151,8 +182,14 @@ struct ProgramSpec {
   [[nodiscard]] std::string describe() const;
 };
 
+/// Restricts what generateProgram draws: All = the full whitelist,
+/// Fuse = only sibling-sequence fuse programs (serial and workshared),
+/// Distribute = only distribute_loop programs. Targeted modes let CI
+/// sweep a reduced corpus that still covers every fuse/distribute path.
+enum class GenMode { All, Fuse, Distribute };
+
 /// Deterministically generates the program for \p Seed.
-ProgramSpec generateProgram(std::uint64_t Seed);
+ProgramSpec generateProgram(std::uint64_t Seed, GenMode Mode = GenMode::All);
 
 /// One compile+execute of a program under a specific configuration.
 struct RunRecord {
@@ -172,10 +209,11 @@ struct ProgramResult {
   ProgramSpec Spec;
   std::int64_t Expected = 0;
   unsigned RunsExecuted = 0;
-  /// Backends whose reverse/interchange was refused by the dependence
-  /// legality oracle. Not a failure: the runner re-verifies the
-  /// untransformed program instead (and a legality miscompile would show
-  /// up as a checksum mismatch on an *accepted* transform).
+  /// Backends whose reverse/interchange/fuse/distribute_loop was refused
+  /// by the dependence legality oracle. Not a failure: the runner
+  /// re-verifies the untransformed program instead (and a legality
+  /// miscompile would show up as a checksum mismatch on an *accepted*
+  /// transform).
   unsigned ConservativeRejections = 0;
   std::vector<RunRecord> Failures; ///< mismatching or failed runs
 

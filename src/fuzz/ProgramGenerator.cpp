@@ -12,10 +12,14 @@
 // without loop transformations, unroll full only at the top of a serial
 // stack, and an optional unroll placed directly on the innermost loop of
 // a nest whose outer directives need just one canonical loop. The
-// dependence-gated transformations (reverse, interchange) get their own
-// cases: canonical-simple loops with direct affine subscripts so the
-// legality oracle can admit them, plus ArrayCarried bodies whose
-// loop-carried dependence the oracle must refuse.
+// dependence-gated transformations (reverse, interchange, fuse,
+// distribute_loop) get their own cases: canonical-simple loops with
+// direct affine subscripts so the legality oracle can admit them, plus
+// ArrayCarried bodies whose loop-carried dependence the oracle must
+// refuse. Fuse programs are sibling-loop sequences (serial, with an
+// optional looprange sub-range, or workshared under parallel for);
+// distribute_loop programs split a multi-statement body into
+// per-statement-group loops.
 //
 //===----------------------------------------------------------------------===//
 #include "fuzz/Fuzz.h"
@@ -111,6 +115,12 @@ std::int64_t LoopSpec::tripCount() const {
 }
 
 std::int64_t ProgramSpec::totalIterations() const {
+  if (!Siblings.empty()) {
+    std::int64_t Total = 0;
+    for (const SiblingSpec &S : Siblings)
+      Total += S.Loop.tripCount();
+    return Total;
+  }
   std::int64_t Total = 1;
   for (const LoopSpec &L : Loops)
     Total *= L.tripCount();
@@ -118,6 +128,19 @@ std::int64_t ProgramSpec::totalIterations() const {
 }
 
 std::int64_t ProgramSpec::arraySize() const {
+  if (!Siblings.empty()) {
+    // Siblings index `a` by their own IV: the array must cover the
+    // largest member trip count plus that member's carried-write margin.
+    std::int64_t Size = 1;
+    for (const SiblingSpec &S : Siblings) {
+      std::int64_t Margin = 0;
+      for (const BodyOp &Op : S.Body)
+        if (Op.K == BodyOp::Kind::ArrayCarried)
+          Margin = std::max(Margin, Op.Dist);
+      Size = std::max(Size, S.Loop.tripCount() + Margin);
+    }
+    return Size;
+  }
   std::int64_t Margin = 0;
   for (const BodyOp &Op : Body)
     if (Op.K == BodyOp::Kind::ArrayCarried)
@@ -129,12 +152,103 @@ ProgramSpec ProgramSpec::withoutLoopTransforms() const {
   ProgramSpec P = *this;
   P.Pragmas.Reverse = false;
   P.Pragmas.Permutation.clear();
+  P.Pragmas.Fuse = false;
+  P.Pragmas.FuseFirst = 0;
+  P.Pragmas.FuseCount = 0;
+  P.Pragmas.DistributeLoop = false;
+  if (P.Siblings.size() > 1) {
+    // A worksharing directive over the unfused loop sequence is invalid
+    // (it needs a single associated loop) — it rode on the fuse.
+    P.Pragmas.ParallelFor = false;
+    P.Pragmas.OrphanFor = false;
+    P.Pragmas.Schedule.clear();
+    P.Pragmas.NumThreadsClause = 0;
+  }
   return P;
 }
 
 // ===------------------------- Source rendering ----------------------=== //
 
+namespace {
+
+/// Renders one sibling-loop body statement (depth 1, the IV itself is the
+/// array index — sibling loops are canonical-simple by construction).
+std::string renderSiblingOp(const BodyOp &Op) {
+  switch (Op.K) {
+  case BodyOp::Kind::SumLinear:
+    return "sum += " + linearExpr(Op, 1) + ";\n";
+  case BodyOp::Kind::SumQuadratic:
+    return "sum += " + literal(Op.C[0]) + " * i0 * i0 + " +
+           literal(Op.Bias) + ";\n";
+  case BodyOp::Kind::SumCond:
+    return "if ((i0 + " + literal(Op.Bias) + ") % " +
+           std::to_string(Op.Mod) + " == 0) sum += " + linearExpr(Op, 1) +
+           ";\n";
+  case BodyOp::Kind::ArrayUpdate:
+    return "a[i0] += " + linearExpr(Op, 1) + ";\n";
+  case BodyOp::Kind::ArrayCarried:
+    return "a[i0 + " + std::to_string(Op.Dist) + "] += a[i0] + " +
+           linearExpr(Op, 1) + ";\n";
+  }
+  return ";\n";
+}
+
+} // namespace
+
 std::string ProgramSpec::render() const {
+  if (!Siblings.empty()) {
+    // Sibling-sequence program: a brace block of adjacent depth-1 loops,
+    // optionally under '#pragma omp fuse' (and a worksharing directive on
+    // top of the fuse — the fused loop is a single canonical loop).
+    std::string S;
+    S += "long sum = 0;\n";
+    S += "long a[" + std::to_string(arraySize()) + "];\n";
+    S += "int main() {\n";
+    if (Pragmas.ParallelFor) {
+      S += "  #pragma omp parallel for";
+      bool WantsReduction = false;
+      for (const SiblingSpec &Sib : Siblings)
+        for (const BodyOp &Op : Sib.Body)
+          if (Op.K != BodyOp::Kind::ArrayUpdate &&
+              Op.K != BodyOp::Kind::ArrayCarried)
+            WantsReduction = true;
+      if (WantsReduction)
+        S += " reduction(+: sum)";
+      if (!Pragmas.Schedule.empty())
+        S += " schedule(" + Pragmas.Schedule + ")";
+      if (Pragmas.NumThreadsClause > 0)
+        S += " num_threads(" + std::to_string(Pragmas.NumThreadsClause) + ")";
+      S += "\n";
+    }
+    if (Pragmas.Fuse) {
+      S += "  #pragma omp fuse";
+      if (Pragmas.FuseCount > 0)
+        S += " looprange(" + std::to_string(Pragmas.FuseFirst) + ", " +
+             std::to_string(Pragmas.FuseCount) + ")";
+      S += "\n";
+    }
+    S += "  {\n";
+    for (const SiblingSpec &Sib : Siblings) {
+      const LoopSpec &L = Sib.Loop;
+      S += "    for (int i0 = " + literal(L.Lb) + "; i0 " +
+           relOpSpelling(L.Rel) + " " + literal(L.Ub) + "; i0 += " +
+           literal(L.Step) + ")\n";
+      S += "    {\n";
+      for (const BodyOp &Op : Sib.Body)
+        S += "      " + renderSiblingOp(Op);
+      S += "    }\n";
+    }
+    S += "  }\n";
+    S += "  long chk = sum % 1000000007;\n";
+    S += "  for (int q = 0; q < " + std::to_string(arraySize()) +
+         "; q += 1)\n";
+    S += "    chk = (chk * 31 + a[q]) % 1000000007;\n";
+    S += "  int out = chk;\n";
+    S += "  return out;\n";
+    S += "}\n";
+    return S;
+  }
+
   const unsigned Depth = static_cast<unsigned>(Loops.size());
   std::string S;
   S += "long sum = 0;\n";
@@ -196,6 +310,8 @@ std::string ProgramSpec::render() const {
     }
     S += ")\n";
   }
+  if (Pragmas.DistributeLoop)
+    S += Indent + "#pragma omp distribute_loop\n";
 
   for (unsigned D = 0; D < Depth; ++D) {
     const LoopSpec &L = Loops[D];
@@ -293,6 +409,47 @@ std::string ProgramSpec::render() const {
 // ===------------------------ Reference oracle -----------------------=== //
 
 std::int64_t ProgramSpec::reference() const {
+  if (!Siblings.empty()) {
+    // Sibling loops execute sequentially in original program order; the
+    // fused execution must reproduce exactly this.
+    const std::int64_t ASize = arraySize();
+    std::vector<std::int64_t> A(static_cast<std::size_t>(ASize), 0);
+    std::int64_t Sum = 0;
+    for (const SiblingSpec &Sib : Siblings) {
+      const LoopSpec &L = Sib.Loop;
+      std::int64_t Guard = 0;
+      for (std::int64_t I = L.Lb; holds(I, L.Rel, L.Ub) && Guard < SimulationCap;
+           I += L.Step, ++Guard) {
+        const std::int64_t IV[3] = {I, 0, 0};
+        for (const BodyOp &Op : Sib.Body) {
+          switch (Op.K) {
+          case BodyOp::Kind::SumLinear:
+            Sum += linearEval(Op, IV, 1);
+            break;
+          case BodyOp::Kind::SumQuadratic:
+            Sum += Op.C[0] * I * I + Op.Bias;
+            break;
+          case BodyOp::Kind::SumCond:
+            if ((I + Op.Bias) % Op.Mod == 0)
+              Sum += linearEval(Op, IV, 1);
+            break;
+          case BodyOp::Kind::ArrayUpdate:
+            A[static_cast<std::size_t>(I)] += linearEval(Op, IV, 1);
+            break;
+          case BodyOp::Kind::ArrayCarried:
+            A[static_cast<std::size_t>(I + Op.Dist)] +=
+                A[static_cast<std::size_t>(I)] + linearEval(Op, IV, 1);
+            break;
+          }
+        }
+      }
+    }
+    std::int64_t Chk = Sum % 1000000007;
+    for (std::int64_t Q = 0; Q < ASize; ++Q)
+      Chk = (Chk * 31 + A[static_cast<std::size_t>(Q)]) % 1000000007;
+    return Chk;
+  }
+
   const unsigned Depth = static_cast<unsigned>(Loops.size());
   const std::int64_t ASize = arraySize();
   std::vector<std::int64_t> A(static_cast<std::size_t>(ASize), 0);
@@ -364,6 +521,30 @@ std::string ProgramSpec::describe() const {
   std::string D = "seed=" + std::to_string(Seed);
   if (!Variant.empty())
     D += " variant=" + Variant;
+  if (!Siblings.empty()) {
+    D += " siblings=" + std::to_string(Siblings.size());
+    D += " trips=";
+    for (std::size_t K = 0; K < Siblings.size(); ++K) {
+      if (K)
+        D += "+";
+      D += std::to_string(Siblings[K].Loop.tripCount());
+    }
+    if (Pragmas.ParallelFor)
+      D += " parallel-for";
+    if (Pragmas.Fuse) {
+      D += " fuse";
+      if (Pragmas.FuseCount > 0)
+        D += "(looprange " + std::to_string(Pragmas.FuseFirst) + "," +
+             std::to_string(Pragmas.FuseCount) + ")";
+    }
+    for (const SiblingSpec &Sib : Siblings)
+      for (const BodyOp &Op : Sib.Body)
+        if (Op.K == BodyOp::Kind::ArrayCarried) {
+          D += " carried-dep(" + std::to_string(Op.Dist) + ")";
+          break;
+        }
+    return D;
+  }
   D += " depth=" + std::to_string(Loops.size());
   D += " trips=";
   for (std::size_t K = 0; K < Loops.size(); ++K) {
@@ -394,6 +575,8 @@ std::string ProgramSpec::describe() const {
          std::to_string(Pragmas.UnrollFactor) + ")";
   if (Pragmas.Reverse)
     D += " reverse";
+  if (Pragmas.DistributeLoop)
+    D += " distribute_loop(" + std::to_string(Body.size()) + " groups)";
   if (!Pragmas.Permutation.empty()) {
     D += " interchange(";
     for (std::size_t K = 0; K < Pragmas.Permutation.size(); ++K) {
@@ -485,7 +668,7 @@ BodyOp makeBodyOp(std::mt19937_64 &R, bool AllowArray) {
 
 } // namespace
 
-ProgramSpec generateProgram(std::uint64_t Seed) {
+ProgramSpec generateProgram(std::uint64_t Seed, GenMode Mode) {
   std::mt19937_64 R(Seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
   auto Rand = [&](std::int64_t Lo, std::int64_t Hi) {
     return std::uniform_int_distribution<std::int64_t>(Lo, Hi)(R);
@@ -555,8 +738,69 @@ ProgramSpec generateProgram(std::uint64_t Seed) {
     }
   };
 
+  // Sibling-sequence builder for the fuse modes: adjacent canonical-simple
+  // depth-1 loops over the shared array. With \p AllowCarried, one member
+  // may receive an ArrayCarried op whose cross-member dependence direction
+  // decides whether the legality oracle admits or refuses the fusion —
+  // both outcomes are wanted (accepted fusions check the codegen, refusals
+  // check the reject + re-verify path).
+  auto MakeSiblings = [&](unsigned NumSibs, bool AllowCarried) {
+    P.Loops.clear();
+    P.Body.clear();
+    P.DirectIndex = true;
+    P.Siblings.clear();
+    for (unsigned S = 0; S < NumSibs; ++S) {
+      SiblingSpec Sib;
+      // Unequal trips are the interesting fusion shape (the fused loop
+      // iterates the max and guards each member by its own trip count);
+      // the occasional zero-trip member degenerates one guard to false.
+      std::int64_t Trip = Rand(0, 15) == 0 ? 0 : Rand(1, 20);
+      Sib.Loop = LoopSpec{0, Trip, 1, RelOp::LT};
+      const unsigned NOps = static_cast<unsigned>(Rand(1, 2));
+      for (unsigned K = 0; K < NOps; ++K) {
+        BodyOp Op;
+        switch (Rand(0, AllowCarried ? 5 : 3)) {
+        case 0:
+          Op.K = BodyOp::Kind::SumLinear;
+          break;
+        case 1:
+          Op.K = BodyOp::Kind::SumQuadratic;
+          break;
+        case 2:
+        case 3:
+          Op.K = BodyOp::Kind::ArrayUpdate;
+          break;
+        default:
+          Op.K = BodyOp::Kind::ArrayCarried;
+          Op.Dist = Rand(1, 3);
+          break;
+        }
+        for (std::int64_t &C : Op.C)
+          C = Rand(-9, 9);
+        if (Op.C[0] == 0)
+          Op.C[0] = 1 + Rand(0, 8);
+        Op.Bias = Rand(-20, 20);
+        Sib.Body.push_back(Op);
+      }
+      P.Siblings.push_back(std::move(Sib));
+    }
+  };
+
   const std::int64_t OuterTrip = P.Loops[0].tripCount();
-  switch (Rand(0, 13)) {
+  std::int64_t Pick;
+  switch (Mode) {
+  case GenMode::Fuse:
+    Pick = 14 + Rand(0, 1);
+    break;
+  case GenMode::Distribute:
+    Pick = 16;
+    break;
+  case GenMode::All:
+  default:
+    Pick = Rand(0, 16);
+    break;
+  }
+  switch (Pick) {
   case 0: // no pragmas at all
     break;
   case 1: // unroll partial on the outermost loop
@@ -656,6 +900,47 @@ ProgramSpec generateProgram(std::uint64_t Seed) {
     }
     static const char *Schedules[] = {"", "static", "static, 2", "guided"};
     G.Schedule = Schedules[Rand(0, 3)];
+    break;
+  }
+  case 14: { // serial fuse of a sibling-loop sequence
+    const unsigned NumSibs = static_cast<unsigned>(Rand(2, 3));
+    MakeSiblings(NumSibs, /*AllowCarried=*/true);
+    G.Fuse = true;
+    // Sometimes fuse only a sub-range; the members outside looprange stay
+    // ordinary siblings re-emitted around the fused loop.
+    if (NumSibs == 3 && Rand(0, 1)) {
+      G.FuseFirst = static_cast<unsigned>(Rand(1, 2));
+      G.FuseCount = 2;
+    }
+    break;
+  }
+  case 15: { // workshared fuse: parallel for over the fused loop
+    MakeSiblings(2, /*AllowCarried=*/false);
+    G.Fuse = true;
+    G.ParallelFor = true;
+    static const char *Schedules[] = {"", "static", "static, 2",
+                                      "dynamic, 3", "guided"};
+    G.Schedule = Schedules[Rand(0, 4)];
+    if (Rand(0, 3) == 0)
+      G.NumThreadsClause = static_cast<unsigned>(Rand(1, 5));
+    break;
+  }
+  case 16: { // distribute_loop: one loop, >= 2 statement groups
+    P.Loops.resize(1);
+    MakeTransformProgram(/*AllowCarried=*/true);
+    P.Loops[0] = LoopSpec{0, Rand(3, 20), 1, RelOp::LT};
+    while (P.Body.size() < 2) {
+      BodyOp Op;
+      Op.K = Rand(0, 1) ? BodyOp::Kind::ArrayUpdate
+                        : BodyOp::Kind::SumLinear;
+      for (std::int64_t &C : Op.C)
+        C = Rand(-9, 9);
+      if (Op.C[0] == 0)
+        Op.C[0] = 1 + Rand(0, 8);
+      Op.Bias = Rand(-20, 20);
+      P.Body.push_back(Op);
+    }
+    G.DistributeLoop = true;
     break;
   }
   }

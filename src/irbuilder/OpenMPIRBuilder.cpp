@@ -436,6 +436,129 @@ OpenMPIRBuilder::collapseLoops(std::vector<CanonicalLoopInfo *> Loops) {
   return CLI;
 }
 
+CanonicalLoopInfo *
+OpenMPIRBuilder::fuseLoops(std::vector<CanonicalLoopInfo *> Loops) {
+  assert(Loops.size() >= 2 && "fusing fewer than two loops is a no-op");
+  const unsigned N = static_cast<unsigned>(Loops.size());
+  Function *F = Loops[0]->getFunction();
+  IRBuilder B(M);
+  for (CanonicalLoopInfo *L : Loops)
+    L->assertOK();
+
+  // The members were emitted back-to-back: member k's trip count is
+  // computed in straight-line code between member k-1's After block and
+  // member k's preheader (the front-end hoists distance computations into
+  // the chain block preceding each skeleton).
+  auto FindPredTerm = [&](BasicBlock *Target) -> Instruction * {
+    Instruction *Found = nullptr;
+    for (const auto &BB : F->blocks()) {
+      Instruction *Term = BB->getTerminator();
+      if (!Term)
+        continue;
+      for (unsigned S = 0; S < Term->getNumSuccessors(); ++S)
+        if (Term->getSuccessor(S) == Target) {
+          assert(!Found && "preheader must have a unique predecessor");
+          Found = Term;
+        }
+    }
+    assert(Found && "member preheader is unreachable");
+    return Found;
+  };
+  std::vector<Instruction *> PredTerms(N);
+  for (unsigned K = 0; K < N; ++K)
+    PredTerms[K] = FindPredTerm(Loops[K]->getPreheader());
+
+  // 1. Re-chain the straight-line segments so every member's trip count
+  //    is computed before the fused loop runs: the branch that entered
+  //    member k's skeleton now continues into the next segment (member
+  //    k's After block) instead.
+  for (unsigned K = 0; K + 1 < N; ++K)
+    for (unsigned S = 0; S < PredTerms[K]->getNumSuccessors(); ++S)
+      if (PredTerms[K]->getSuccessor(S) == Loops[K]->getPreheader())
+        PredTerms[K]->setSuccessor(S, Loops[K]->getAfter());
+
+  // 2. Fused trip count: max over the members' trip counts, in the widest
+  //    member IV type, computed at the end of the last segment.
+  const IRType *WidestTy = Loops[0]->getIndVar()->getType();
+  for (unsigned K = 1; K < N; ++K)
+    if (Loops[K]->getIndVar()->getType()->getBitWidth() >
+        WidestTy->getBitWidth())
+      WidestTy = Loops[K]->getIndVar()->getType();
+  BasicBlock *LastSeg = PredTerms[N - 1]->getParent();
+  std::vector<Value *> ExtTrips(N);
+  Value *FusedTrip = nullptr;
+  reopenBlock(B, LastSeg, [&] {
+    for (unsigned K = 0; K < N; ++K)
+      ExtTrips[K] = B.createIntCast(Loops[K]->getTripCount(), WidestTy,
+                                    /*Signed=*/false, "fuse.trip");
+    FusedTrip = ExtTrips[0];
+    for (unsigned K = 1; K < N; ++K) {
+      Value *Gt =
+          B.createICmp(CmpPred::UGT, ExtTrips[K], FusedTrip, "fuse.cmp");
+      FusedTrip = B.createSelect(Gt, ExtTrips[K], FusedTrip, "fuse.maxtrip");
+    }
+  });
+
+  CanonicalLoopInfo *Fused =
+      createLoopSkeleton(B, FusedTrip, LastSeg, "fused");
+  for (unsigned S = 0; S < PredTerms[N - 1]->getNumSuccessors(); ++S)
+    if (PredTerms[N - 1]->getSuccessor(S) == Loops[N - 1]->getPreheader())
+      PredTerms[N - 1]->setSuccessor(S, Fused->getPreheader());
+
+  // 3. Fused body: bind every member's IV as a cast of the fused IV, then
+  //    chain guards so each member body only runs while its own trip count
+  //    is not yet exhausted.
+  B.setInsertPoint(Fused->getBody());
+  std::vector<Value *> MemberIVs(N);
+  for (unsigned K = 0; K < N; ++K)
+    MemberIVs[K] =
+        B.createIntCast(Fused->getIndVar(), Loops[K]->getIndVar()->getType(),
+                        /*Signed=*/false, "fuse.iv");
+  std::vector<BasicBlock *> Guards(N);
+  Guards[0] = Fused->getBody();
+  for (unsigned K = 1; K < N; ++K)
+    Guards[K] = F->createBlockAfter(Guards[K - 1], "fused.guard");
+  for (unsigned K = 0; K < N; ++K) {
+    BasicBlock *Next = K + 1 < N ? Guards[K + 1] : Fused->getLatch();
+    // Member k's body subgraph falls through to the next guard instead of
+    // its old latch.
+    for (const auto &BB : F->blocks()) {
+      if (BB.get() == Loops[K]->getHeader() ||
+          BB.get() == Loops[K]->getCond())
+        continue;
+      Instruction *Term = BB->getTerminator();
+      if (!Term)
+        continue;
+      for (unsigned S = 0; S < Term->getNumSuccessors(); ++S)
+        if (Term->getSuccessor(S) == Loops[K]->getLatch())
+          Term->setSuccessor(S, Next);
+    }
+    B.setInsertPoint(Guards[K]);
+    Value *Active = B.createICmp(CmpPred::ULT, Fused->getIndVar(),
+                                 ExtTrips[K], "fuse.active");
+    B.createCondBr(Active, Loops[K]->getBody(), Next);
+    replaceAllUsesIn(*F, Loops[K]->getIndVar(), MemberIVs[K]);
+  }
+
+  // 4. The fused loop exits into the last member's old After block, where
+  //    the front-end continues emission.
+  B.setInsertPoint(Fused->getAfter());
+  B.createBr(Loops[N - 1]->getAfter());
+
+  // 5. Erase the dead member skeletons. Body blocks live on as the guarded
+  //    member bodies; After blocks live on as the re-chained segments.
+  for (unsigned K = 0; K < N; ++K) {
+    CanonicalLoopInfo *L = Loops[K];
+    for (BasicBlock *BB : {L->getPreheader(), L->getHeader(), L->getCond(),
+                           L->getLatch(), L->getExit()})
+      F->eraseBlock(BB);
+    L->invalidate();
+  }
+
+  Fused->assertOK();
+  return Fused;
+}
+
 CanonicalLoopInfo *OpenMPIRBuilder::reverseLoop(CanonicalLoopInfo *Loop) {
   Loop->assertOK();
   Function *F = Loop->getFunction();

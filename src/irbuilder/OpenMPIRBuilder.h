@@ -119,6 +119,14 @@ public:
   /// product iteration space. Input handles are invalidated.
   CanonicalLoopInfo *collapseLoops(std::vector<CanonicalLoopInfo *> Loops);
 
+  /// Fuses a sequence of canonical loops emitted back-to-back (each
+  /// loop's After chain reaching the next loop's preheader through
+  /// straight-line code only) into a single canonical loop over the
+  /// maximum trip count. Member bodies run guarded by their own trip
+  /// counts, preserving per-member iteration counts when they differ.
+  /// The input handles are invalidated; returns the fused loop.
+  CanonicalLoopInfo *fuseLoops(std::vector<CanonicalLoopInfo *> Loops);
+
   /// Reverses the iteration order of \p Loop in place: the body observes
   /// logical iteration trip-1-i where it previously observed i. The loop
   /// skeleton (and therefore the handle) stays valid and is returned.

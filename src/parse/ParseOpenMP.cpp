@@ -209,6 +209,25 @@ OMPClause *Parser::parseOpenMPClause(OpenMPDirectiveKind DKind) {
     return Actions.ActOnOpenMPPermutationClause(SourceRange(ClauseLoc, EndLoc),
                                                 std::move(Args));
   }
+  case OpenMPClauseKind::LoopRange: {
+    if (!expectAndConsume(tok::l_paren, "'('"))
+      return nullptr;
+    std::vector<Expr *> Args;
+    while (true) {
+      Expr *E = parseAssignmentExpression();
+      if (!E) {
+        skipToEndOfPragma();
+        return nullptr;
+      }
+      Args.push_back(E);
+      if (!tryConsume(tok::comma))
+        break;
+    }
+    if (!expectAndConsume(tok::r_paren, "')'"))
+      return nullptr;
+    return Actions.ActOnOpenMPLoopRangeClause(SourceRange(ClauseLoc, EndLoc),
+                                              std::move(Args));
+  }
   case OpenMPClauseKind::Schedule: {
     if (!expectAndConsume(tok::l_paren, "'('"))
       return nullptr;

@@ -165,6 +165,8 @@ public:
   OMPClause *ActOnOpenMPSizesClause(SourceRange R, std::vector<Expr *> Sizes);
   OMPClause *ActOnOpenMPPermutationClause(SourceRange R,
                                           std::vector<Expr *> Args);
+  OMPClause *ActOnOpenMPLoopRangeClause(SourceRange R,
+                                        std::vector<Expr *> Args);
   OMPClause *ActOnOpenMPVarListClause(OpenMPClauseKind Kind, SourceRange R,
                                       std::vector<Expr *> Vars,
                                       OpenMPReductionOp RedOp);
@@ -217,6 +219,21 @@ public:
   Stmt *buildInterchangeTransformation(OMPInterchangeDirective *Dir,
                                        const std::vector<OMPLoopInfo> &Infos,
                                        std::span<const unsigned> Perm);
+  /// Builds the transformed (shadow) AST for "#pragma omp fuse": one loop
+  /// over the maximal logical iteration space whose body runs iteration t
+  /// of every fused sibling (guarded when trip counts may differ). \p Infos
+  /// holds one entry per *fused* sibling; siblings outside the looprange
+  /// are re-emitted around the fused loop unchanged.
+  Stmt *buildFuseTransformation(OMPFuseDirective *Dir,
+                                const std::vector<OMPLoopInfo> &Infos,
+                                std::span<Stmt *const> Siblings,
+                                unsigned FirstIdx,
+                                std::vector<Stmt *> &PreInits);
+  /// Builds the transformed (shadow) AST for "#pragma omp distribute_loop":
+  /// one loop per top-level statement group of the original body, run in
+  /// source order over the full logical iteration space.
+  Stmt *buildDistributeTransformation(OMPDistributeLoopDirective *Dir,
+                                      const OMPLoopInfo &Info);
   /// Fills the ~30+6n shadow helper expressions of an OMPLoopDirective.
   void buildLoopDirectiveHelpers(OMPLoopDirective *Dir,
                                  const std::vector<OMPLoopInfo> &Infos,
@@ -247,6 +264,17 @@ private:
                               SourceRange R);
   Stmt *buildInterchangeDirective(std::vector<OMPClause *> Clauses,
                                   Stmt *AStmt, SourceRange R);
+  Stmt *buildFuseDirective(std::vector<OMPClause *> Clauses, Stmt *AStmt,
+                           SourceRange R);
+  Stmt *buildDistributeLoopDirective(std::vector<OMPClause *> Clauses,
+                                     Stmt *AStmt, SourceRange R);
+
+  /// Returns the statement the dependence oracle should analyze for a
+  /// loop-transformation directive: the recorded shadow AST in legacy
+  /// mode, or one rebuilt on the fly in IRBuilder mode (where Sema leaves
+  /// TransformedStmt null). Null when no analyzable loop results (full
+  /// unroll, or a composition the oracle does not model).
+  Stmt *buildTransformedForAnalysis(OMPLoopTransformationDirective *TD);
 
   /// Consults the dependence-analysis oracle on the *syntactic* loop nest:
   /// refuses (with an error naming the violated dependence, or what made

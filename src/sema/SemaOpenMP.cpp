@@ -235,6 +235,39 @@ OMPClause *Sema::ActOnOpenMPPermutationClause(SourceRange R,
       R, std::span<ConstantExpr *const>(Stored.data(), Stored.size()));
 }
 
+OMPClause *Sema::ActOnOpenMPLoopRangeClause(SourceRange R,
+                                            std::vector<Expr *> Args) {
+  if (Args.size() != 2) {
+    Diags.report(R.getBegin(), diag::err_omp_looprange_two_args);
+    return nullptr;
+  }
+  std::vector<ConstantExpr *> Consts;
+  unsigned Index = 0;
+  for (Expr *E : Args) {
+    ++Index;
+    if (!E)
+      return nullptr;
+    auto V = evaluateIntegerWithConstVars(E);
+    if (!V) {
+      Diags.report(E->getBeginLoc(), diag::err_omp_expected_constant);
+      return nullptr;
+    }
+    if (*V <= 0) {
+      Diags.report(E->getBeginLoc(),
+                   diag::err_omp_looprange_requires_positive)
+          << Index;
+      return nullptr;
+    }
+    Consts.push_back(Ctx.create<ConstantExpr>(E, *V));
+  }
+  if (Consts[1]->getResult() < 2) {
+    Diags.report(Consts[1]->getBeginLoc(),
+                 diag::err_omp_looprange_count_too_small);
+    return nullptr;
+  }
+  return Ctx.create<OMPLoopRangeClause>(R, Consts[0], Consts[1]);
+}
+
 OMPClause *Sema::ActOnOpenMPVarListClause(OpenMPClauseKind Kind,
                                           SourceRange R,
                                           std::vector<Expr *> Vars,
@@ -544,6 +577,14 @@ bool Sema::analyzeLoopNest(Stmt *AStmt, OpenMPDirectiveKind Kind,
     // A nested loop-transformation directive: consume its generated loop
     // via the transformed statement (the mechanism of Section 2).
     while (auto *TD = stmt_dyn_cast<OMPLoopTransformationDirective>(Cur)) {
+      if (stmt_dyn_cast<OMPDistributeLoopDirective>(TD)) {
+        // distribute_loop generates a *sequence* of loops, which no
+        // loop-associated directive can consume as a single nest.
+        Diags.report(TD->getBeginLoc(),
+                     diag::err_omp_distribute_result_consumed)
+            << std::string(getOpenMPDirectiveName(Kind));
+        return false;
+      }
       if (auto *UD = stmt_dyn_cast<OMPUnrollDirective>(TD)) {
         if (UD->hasFullClause()) {
           // Full unrolling leaves no loop to associate with.
@@ -755,6 +796,10 @@ Stmt *Sema::ActOnOpenMPExecutableDirective(OpenMPDirectiveKind Kind,
     return buildReverseDirective(std::move(Clauses), AStmt, R);
   case OpenMPDirectiveKind::Interchange:
     return buildInterchangeDirective(std::move(Clauses), AStmt, R);
+  case OpenMPDirectiveKind::Fuse:
+    return buildFuseDirective(std::move(Clauses), AStmt, R);
+  case OpenMPDirectiveKind::DistributeLoop:
+    return buildDistributeLoopDirective(std::move(Clauses), AStmt, R);
   case OpenMPDirectiveKind::Unknown:
     return nullptr;
   }

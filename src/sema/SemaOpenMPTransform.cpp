@@ -18,6 +18,8 @@
 
 #include "analysis/DependenceAnalysis.h"
 
+#include <set>
+
 namespace mcc {
 
 namespace {
@@ -904,6 +906,509 @@ Stmt *Sema::buildReverseDirective(std::vector<OMPClause *> Clauses,
     }
   }
   return Dir;
+}
+
+Stmt *Sema::buildTransformedForAnalysis(OMPLoopTransformationDirective *TD) {
+  if (Stmt *T = TD->getTransformedStmt())
+    return T;
+  // IRBuilder mode leaves TransformedStmt null (the transformation is
+  // composed on CanonicalLoopInfo handles in CodeGen). The dependence
+  // oracle still needs a syntactic loop to reason about, so rebuild the
+  // Section-2 shadow AST for analysis only; it is never emitted.
+  std::vector<OMPLoopInfo> Infos;
+  std::vector<Stmt *> Pre;
+  switch (TD->getDirectiveKind()) {
+  case OpenMPDirectiveKind::Tile: {
+    auto *Dir = stmt_cast<OMPTileDirective>(TD);
+    unsigned N = Dir->getLoopsNumber();
+    if (!analyzeLoopNest(Dir->getAssociatedStmt(), OpenMPDirectiveKind::Tile,
+                         N, Infos, Pre) ||
+        Infos.size() < N)
+      return nullptr;
+    return buildTileTransformation(Dir, Infos);
+  }
+  case OpenMPDirectiveKind::Unroll: {
+    auto *Dir = stmt_cast<OMPUnrollDirective>(TD);
+    if (Dir->hasFullClause())
+      return nullptr;
+    if (!analyzeLoopNest(Dir->getAssociatedStmt(),
+                         OpenMPDirectiveKind::Unroll, 1, Infos, Pre) ||
+        Infos.empty())
+      return nullptr;
+    unsigned Factor = Opts.HeuristicUnrollFactor;
+    if (const auto *PC = Dir->getSingleClause<OMPPartialClause>())
+      if (PC->getFactor())
+        Factor = static_cast<unsigned>(PC->getFactor()->getResult());
+    return buildUnrollPartialTransformation(Dir, Infos.front(), Factor);
+  }
+  case OpenMPDirectiveKind::Reverse: {
+    auto *Dir = stmt_cast<OMPReverseDirective>(TD);
+    if (!analyzeLoopNest(Dir->getAssociatedStmt(),
+                         OpenMPDirectiveKind::Reverse, 1, Infos, Pre) ||
+        Infos.empty())
+      return nullptr;
+    return buildReverseTransformation(Dir, Infos.front());
+  }
+  case OpenMPDirectiveKind::Interchange: {
+    auto *Dir = stmt_cast<OMPInterchangeDirective>(TD);
+    std::vector<unsigned> Perm{1, 0};
+    if (const auto *PC = Dir->getSingleClause<OMPPermutationClause>()) {
+      Perm.clear();
+      for (unsigned I = 0; I < PC->getNumArgs(); ++I)
+        Perm.push_back(static_cast<unsigned>(PC->getArg(I) - 1));
+    }
+    unsigned N = static_cast<unsigned>(Perm.size());
+    if (!analyzeLoopNest(Dir->getAssociatedStmt(),
+                         OpenMPDirectiveKind::Interchange, N, Infos, Pre) ||
+        Infos.size() < N)
+      return nullptr;
+    return buildInterchangeTransformation(Dir, Infos, Perm);
+  }
+  default:
+    // fuse/distribute_loop compositions stay opaque to the oracle.
+    return nullptr;
+  }
+}
+
+Stmt *Sema::buildFuseDirective(std::vector<OMPClause *> Clauses, Stmt *AStmt,
+                               SourceRange R) {
+  if (!AStmt)
+    return nullptr;
+  auto *CS = stmt_dyn_cast<CompoundStmt>(AStmt);
+  if (!CS || CS->size() < 2) {
+    Diags.report(AStmt->getBeginLoc(), diag::err_omp_fuse_needs_loop_seq);
+    return nullptr;
+  }
+  std::span<Stmt *const> Sibs = CS->body();
+  unsigned NumSibs = static_cast<unsigned>(Sibs.size());
+
+  unsigned First = 0, Count = NumSibs;
+  for (const OMPClause *C : Clauses)
+    if (const auto *LR = clause_dyn_cast<OMPLoopRangeClause>(C)) {
+      First = static_cast<unsigned>(LR->getFirst() - 1);
+      Count = static_cast<unsigned>(LR->getCount());
+      if (First + Count > NumSibs) {
+        Diags.report(LR->getBeginLoc(), diag::err_omp_looprange_out_of_range)
+            << static_cast<unsigned>(LR->getFirst())
+            << static_cast<unsigned>(LR->getCount()) << (First + Count)
+            << NumSibs;
+        return nullptr;
+      }
+    }
+
+  // Canonical-loop analysis per fused sibling. In IRBuilder mode a sibling
+  // that is itself a transformation directive yields no OMPLoopInfo; the
+  // fusion is then composed on CanonicalLoopInfo handles in CodeGen.
+  std::vector<std::optional<OMPLoopInfo>> PerSib(Count);
+  std::vector<Stmt *> TransformPreInits;
+  std::vector<Stmt *> AnalysisRoots;
+  for (unsigned K = 0; K < Count; ++K) {
+    Stmt *Sib = Sibs[First + K];
+    std::vector<OMPLoopInfo> SibInfos;
+    if (!analyzeLoopNest(Sib, OpenMPDirectiveKind::Fuse, 1, SibInfos,
+                         TransformPreInits))
+      return nullptr;
+    if (!SibInfos.empty())
+      PerSib[K] = SibInfos.front();
+
+    // The oracle analyzes the literal loop, or for a sibling produced by a
+    // preceding transformation its (possibly rebuilt) shadow AST — the
+    // composition is judged post-transform instead of refused outright.
+    Stmt *Root = Sib;
+    Stmt *Inner = Sib;
+    while (auto *W = stmt_dyn_cast<CompoundStmt>(Inner)) {
+      if (W->size() != 1)
+        break;
+      Inner = W->body()[0];
+    }
+    if (auto *TD = stmt_dyn_cast<OMPLoopTransformationDirective>(Inner)) {
+      Root = buildTransformedForAnalysis(TD);
+      if (!Root) {
+        Diags.report(R.getBegin(), diag::err_omp_transform_not_analyzable)
+            << std::string("fuse")
+            << ("the result of '#pragma omp " +
+                std::string(
+                    getOpenMPDirectiveName(TD->getDirectiveKind())) +
+                "' cannot be modeled");
+        return nullptr;
+      }
+    }
+    AnalysisRoots.push_back(Root);
+  }
+
+  // Legality: every textually earlier member must be fusable with every
+  // later one (fusion runs iteration t of each member in sibling order).
+  {
+    using analysis::DependenceInfo;
+    using analysis::Legality;
+    std::vector<DependenceInfo> DI;
+    DI.reserve(AnalysisRoots.size());
+    for (Stmt *Root : AnalysisRoots)
+      DI.push_back(DependenceInfo::analyze(Root, 1));
+    for (unsigned I = 0; I < DI.size(); ++I)
+      for (unsigned J = I + 1; J < DI.size(); ++J) {
+        Legality L = DependenceInfo::isLegalFuse(DI[I], DI[J]);
+        if (L)
+          continue;
+        if (L.Blocking) {
+          Diags.report(R.getBegin(), diag::err_omp_transform_illegal_dep)
+              << std::string("fuse") << L.Reason;
+          if (L.Blocking->SrcLoc.isValid())
+            Diags.report(L.Blocking->SrcLoc,
+                         diag::note_omp_dependence_source)
+                << (L.Blocking->Base
+                        ? std::string(L.Blocking->Base->getName())
+                        : std::string("<unknown>"));
+        } else {
+          Diags.report(R.getBegin(), diag::err_omp_transform_not_analyzable)
+              << std::string("fuse") << L.Reason;
+        }
+        return nullptr;
+      }
+  }
+
+  Stmt *Assoc = AStmt;
+  if (Opts.OpenMPEnableIRBuilder) {
+    // Wrap each fused *literal* sibling in an OMPCanonicalLoop; siblings
+    // that are transformation directives keep contributing their
+    // CanonicalLoopInfo through recursive emission.
+    std::vector<Stmt *> NewBody(Sibs.begin(), Sibs.end());
+    for (unsigned K = 0; K < Count; ++K)
+      if (PerSib[K])
+        NewBody[First + K] = buildOMPCanonicalLoop(*PerSib[K]);
+    auto BodyStored = Ctx.allocateCopy(NewBody);
+    Assoc = Ctx.create<CompoundStmt>(
+        CS->getSourceRange(),
+        std::span<Stmt *const>(BodyStored.data(), BodyStored.size()));
+  }
+
+  auto Stored = Ctx.allocateCopy(Clauses);
+  auto *Dir = Ctx.create<OMPFuseDirective>(
+      R, std::span<OMPClause *const>(Stored.data(), Stored.size()), Assoc,
+      Count);
+
+  if (!Opts.OpenMPEnableIRBuilder) {
+    std::vector<OMPLoopInfo> FusedInfos;
+    for (const auto &I : PerSib)
+      FusedInfos.push_back(*I); // legacy mode always fills every slot
+    Dir->setTransformedStmt(buildFuseTransformation(
+        Dir, FusedInfos, Sibs, First, TransformPreInits));
+    if (!TransformPreInits.empty()) {
+      auto PreStored = Ctx.allocateCopy(TransformPreInits);
+      Dir->setPreInits(Ctx.create<CompoundStmt>(
+          SourceRange(),
+          std::span<Stmt *const>(PreStored.data(), PreStored.size())));
+    }
+  }
+  return Dir;
+}
+
+Stmt *Sema::buildFuseTransformation(OMPFuseDirective *Dir,
+                                    const std::vector<OMPLoopInfo> &Infos,
+                                    std::span<Stmt *const> Siblings,
+                                    unsigned FirstIdx,
+                                    std::vector<Stmt *> &PreInits) {
+  (void)Dir;
+  unsigned N = static_cast<unsigned>(Infos.size());
+  QualType LT = Ctx.getULongType();
+
+  // Whether every member has the same constant trip count — then the
+  // per-member guards are provably always true and are omitted.
+  bool AllEqualConst = true;
+  std::optional<std::uint64_t> CommonTC;
+  for (const OMPLoopInfo &I : Infos) {
+    if (!I.ConstantTripCount) {
+      AllEqualConst = false;
+      break;
+    }
+    if (!CommonTC)
+      CommonTC = *I.ConstantTripCount;
+    else if (*CommonTC != *I.ConstantTripCount) {
+      AllEqualConst = false;
+      break;
+    }
+  }
+
+  // Trip counts captured once in PreInits ('.capture_expr.' style) so the
+  // fused bound and the guards agree, and the transformed statement stays
+  // consumable by an enclosing directive.
+  std::vector<VarDecl *> NVars(N);
+  for (unsigned K = 0; K < N; ++K) {
+    NVars[K] = buildInternalVar(
+        Ctx.internString(".fuse.n" + std::to_string(K)), LT,
+        convertTo(buildNumIterationsExpr(Infos[K]), LT, SourceLocation()));
+    std::vector<VarDecl *> Decls{NVars[K]};
+    auto DeclStored = Ctx.allocateCopy(Decls);
+    PreInits.push_back(Ctx.create<DeclStmt>(
+        SourceRange(), std::span<VarDecl *const>(DeclStored.data(), 1)));
+  }
+  Expr *MaxInit = buildRValueRef(NVars[0]);
+  for (unsigned K = 1; K < N; ++K) {
+    Expr *Gt = buildBinOp(BinaryOperatorKind::GT, buildRValueRef(NVars[K]),
+                          cloneExpr(Ctx, MaxInit));
+    MaxInit = ActOnConditionalOp(SourceLocation(), Gt,
+                                 buildRValueRef(NVars[K]), MaxInit);
+  }
+  VarDecl *MaxVar =
+      buildInternalVar(Ctx.internString(".fuse.max"), LT, MaxInit);
+  {
+    std::vector<VarDecl *> Decls{MaxVar};
+    auto DeclStored = Ctx.allocateCopy(Decls);
+    PreInits.push_back(Ctx.create<DeclStmt>(
+        SourceRange(), std::span<VarDecl *const>(DeclStored.data(), 1)));
+  }
+
+  // One loop over the maximal logical iteration space:
+  //   for (ULong fused.iv = 0; fused.iv < .fuse.max; ++fused.iv)
+  VarDecl *FusedIV = buildInternalVar(Ctx.internString("fused.iv"), LT,
+                                      buildIntLiteral(0, LT));
+  std::vector<VarDecl *> IVDecls{FusedIV};
+  auto IVStored = Ctx.allocateCopy(IVDecls);
+  Stmt *Init = Ctx.create<DeclStmt>(
+      SourceRange(), std::span<VarDecl *const>(IVStored.data(), 1));
+  Expr *Cond = buildBinOp(BinaryOperatorKind::LT, buildRValueRef(FusedIV),
+                          buildRValueRef(MaxVar));
+  Expr *Inc = ActOnUnaryOp(SourceLocation(), UnaryOperatorKind::PreInc,
+                           buildDeclRef(FusedIV));
+
+  // Body: iteration t of every member in sibling order — materialize the
+  // member's iteration variable, then its cloned body, guarded by
+  // "fused.iv < n_k" when trip counts may differ.
+  std::vector<Stmt *> BodyStmts;
+  for (unsigned K = 0; K < N; ++K) {
+    VarDecl *UserIV = Ctx.create<VarDecl>(
+        Infos[K].IterVar->getLocation(), Infos[K].IterVar->getName(),
+        Infos[K].IVType,
+        buildCounterValue(*this, Infos[K], buildRValueRef(FusedIV)));
+    std::vector<VarDecl *> UserDecls{UserIV};
+    auto UserStored = Ctx.allocateCopy(UserDecls);
+    Stmt *UserInit = Ctx.create<DeclStmt>(
+        SourceRange(), std::span<VarDecl *const>(UserStored.data(), 1));
+
+    TreeTransform Clone(Ctx);
+    Clone.addDeclSubstitution(Infos[K].IterVar, UserIV);
+    Stmt *ClonedBody = Clone.transformStmt(Infos[K].Loop->getBody());
+
+    std::vector<Stmt *> Part{UserInit, ClonedBody};
+    auto PartStored = Ctx.allocateCopy(Part);
+    Stmt *Member = Ctx.create<CompoundStmt>(
+        Infos[K].Loop->getBody()->getSourceRange(),
+        std::span<Stmt *const>(PartStored.data(), PartStored.size()));
+    if (!AllEqualConst) {
+      Expr *Guard =
+          buildBinOp(BinaryOperatorKind::LT, buildRValueRef(FusedIV),
+                     buildRValueRef(NVars[K]));
+      Member = ActOnIfStmt(SourceRange(), Guard, Member, nullptr);
+    }
+    BodyStmts.push_back(Member);
+  }
+  auto BodyStored = Ctx.allocateCopy(BodyStmts);
+  SourceRange FusedRange(Siblings[FirstIdx]->getBeginLoc(),
+                         Siblings[FirstIdx + N - 1]->getEndLoc());
+  Stmt *Body = Ctx.create<CompoundStmt>(
+      FusedRange,
+      std::span<Stmt *const>(BodyStored.data(), BodyStored.size()));
+  Stmt *FusedLoop = Ctx.create<ForStmt>(FusedRange, Init, Cond, Inc, Body);
+
+  // Siblings outside the looprange are re-emitted around the fused loop.
+  std::vector<Stmt *> Out;
+  for (unsigned K = 0; K < FirstIdx; ++K)
+    Out.push_back(Siblings[K]);
+  Out.push_back(FusedLoop);
+  for (unsigned K = FirstIdx + N; K < Siblings.size(); ++K)
+    Out.push_back(Siblings[K]);
+  auto OutStored = Ctx.allocateCopy(Out);
+  return Ctx.create<CompoundStmt>(
+      FusedRange, std::span<Stmt *const>(OutStored.data(), OutStored.size()));
+}
+
+namespace {
+
+/// Collects every variable declared anywhere within \p S.
+void collectLocalDecls(const Stmt *S, std::set<const VarDecl *> &Out) {
+  if (!S)
+    return;
+  if (const auto *DS = stmt_dyn_cast<DeclStmt>(S))
+    for (VarDecl *D : DS->decls())
+      Out.insert(D);
+  for (const Stmt *Child : S->children())
+    collectLocalDecls(Child, Out);
+}
+
+/// First reference within \p S to any variable in \p Vars; null if none.
+const DeclRefExpr *findRefToAny(const Stmt *S,
+                                const std::set<const VarDecl *> &Vars) {
+  if (!S)
+    return nullptr;
+  if (const auto *DRE = stmt_dyn_cast<DeclRefExpr>(S))
+    if (const auto *VD = decl_dyn_cast<VarDecl>(DRE->getDecl()))
+      if (Vars.count(VD))
+        return DRE;
+  for (const Stmt *Child : S->children())
+    if (const DeclRefExpr *Found = findRefToAny(Child, Vars))
+      return Found;
+  return nullptr;
+}
+
+} // namespace
+
+Stmt *Sema::buildDistributeLoopDirective(std::vector<OMPClause *> Clauses,
+                                         Stmt *AStmt, SourceRange R) {
+  if (!AStmt)
+    return nullptr;
+
+  // The multi-statement body of the *original* loop defines the statement
+  // groups; applying distribution to another transformation's generated
+  // loop would split synthesized internals, so it is refused in both
+  // pipelines.
+  Stmt *Unwrapped = AStmt;
+  while (auto *W = stmt_dyn_cast<CompoundStmt>(Unwrapped)) {
+    if (W->size() != 1)
+      break;
+    Unwrapped = W->body()[0];
+  }
+  if (stmt_dyn_cast<OMPLoopTransformationDirective>(Unwrapped)) {
+    Diags.report(R.getBegin(), diag::err_omp_distribute_over_transform);
+    return nullptr;
+  }
+
+  std::vector<OMPLoopInfo> Infos;
+  std::vector<Stmt *> TransformPreInits;
+  if (!analyzeLoopNest(AStmt, OpenMPDirectiveKind::DistributeLoop, 1, Infos,
+                       TransformPreInits))
+    return nullptr;
+  const OMPLoopInfo &Info = Infos.front();
+
+  auto *Body = stmt_dyn_cast<CompoundStmt>(Info.Loop->getBody());
+  if (!Body || Body->size() < 2) {
+    Diags.report(Info.Loop->getBody()->getBeginLoc(),
+                 diag::err_omp_distribute_no_groups);
+    return nullptr;
+  }
+
+  // A variable declared in one statement group and referenced from another
+  // cannot survive the split into per-group loops.
+  {
+    std::vector<std::set<const VarDecl *>> GroupDecls;
+    for (const Stmt *G : Body->body()) {
+      GroupDecls.emplace_back();
+      collectLocalDecls(G, GroupDecls.back());
+    }
+    unsigned GIdx = 0;
+    for (const Stmt *G : Body->body()) {
+      for (unsigned H = 0; H < GroupDecls.size(); ++H) {
+        if (H == GIdx)
+          continue;
+        if (const DeclRefExpr *Ref = findRefToAny(G, GroupDecls[H])) {
+          Diags.report(Ref->getBeginLoc(),
+                       diag::err_omp_distribute_local_across_groups)
+              << std::string(Ref->getDecl()->getName());
+          return nullptr;
+        }
+      }
+      ++GIdx;
+    }
+  }
+
+  // Legality: refused when a loop-carried dependence flows from a later
+  // statement group back to an earlier one.
+  {
+    using analysis::DependenceInfo;
+    using analysis::Legality;
+    DependenceInfo DI = DependenceInfo::analyze(AStmt, 1);
+    Legality L = DI.isLegalDistribute();
+    if (!L) {
+      std::string Name(
+          getOpenMPDirectiveName(OpenMPDirectiveKind::DistributeLoop));
+      if (L.Blocking) {
+        Diags.report(R.getBegin(), diag::err_omp_transform_illegal_dep)
+            << Name << L.Reason;
+        if (L.Blocking->SrcLoc.isValid())
+          Diags.report(L.Blocking->SrcLoc, diag::note_omp_dependence_source)
+              << (L.Blocking->Base
+                      ? std::string(L.Blocking->Base->getName())
+                      : std::string("<unknown>"));
+      } else {
+        Diags.report(R.getBegin(), diag::err_omp_transform_not_analyzable)
+            << Name << L.Reason;
+      }
+      return nullptr;
+    }
+  }
+
+  Stmt *Assoc = AStmt;
+  if (Opts.OpenMPEnableIRBuilder)
+    Assoc = buildOMPCanonicalLoop(Info);
+
+  auto Stored = Ctx.allocateCopy(Clauses);
+  auto *Dir = Ctx.create<OMPDistributeLoopDirective>(
+      R, std::span<OMPClause *const>(Stored.data(), Stored.size()), Assoc);
+  if (!Opts.OpenMPEnableIRBuilder)
+    Dir->setTransformedStmt(buildDistributeTransformation(Dir, Info));
+  return Dir;
+}
+
+Stmt *Sema::buildDistributeTransformation(OMPDistributeLoopDirective *Dir,
+                                          const OMPLoopInfo &Info) {
+  (void)Dir;
+  QualType LT = Info.LogicalType;
+  const auto *Body = stmt_cast<CompoundStmt>(Info.Loop->getBody());
+  std::string BaseName(Info.IterVar->getName());
+
+  // Shared trip count, evaluated once before the loop sequence.
+  VarDecl *NVar =
+      buildInternalVar(Ctx.internString(".distribute.n." + BaseName), LT,
+                       buildNumIterationsExpr(Info));
+  std::vector<Stmt *> Out;
+  {
+    std::vector<VarDecl *> Decls{NVar};
+    auto DeclStored = Ctx.allocateCopy(Decls);
+    Out.push_back(Ctx.create<DeclStmt>(
+        SourceRange(), std::span<VarDecl *const>(DeclStored.data(), 1)));
+  }
+
+  // One loop per statement group, in source order, each over the full
+  // logical iteration space.
+  unsigned G = 0;
+  for (Stmt *GroupStmt : Body->body()) {
+    VarDecl *DistIV = buildInternalVar(
+        Ctx.internString("distributed." + std::to_string(G) + ".iv." +
+                         BaseName),
+        LT, buildIntLiteral(0, LT));
+    std::vector<VarDecl *> IVDecls{DistIV};
+    auto IVStored = Ctx.allocateCopy(IVDecls);
+    Stmt *Init = Ctx.create<DeclStmt>(
+        SourceRange(), std::span<VarDecl *const>(IVStored.data(), 1));
+    Expr *Cond = buildBinOp(BinaryOperatorKind::LT, buildRValueRef(DistIV),
+                            buildRValueRef(NVar));
+    Expr *Inc = ActOnUnaryOp(SourceLocation(), UnaryOperatorKind::PreInc,
+                             buildDeclRef(DistIV));
+
+    VarDecl *UserIV = Ctx.create<VarDecl>(
+        Info.IterVar->getLocation(), Info.IterVar->getName(), Info.IVType,
+        buildCounterValue(*this, Info, buildRValueRef(DistIV)));
+    std::vector<VarDecl *> UserDecls{UserIV};
+    auto UserStored = Ctx.allocateCopy(UserDecls);
+    Stmt *UserInit = Ctx.create<DeclStmt>(
+        SourceRange(), std::span<VarDecl *const>(UserStored.data(), 1));
+
+    TreeTransform Clone(Ctx);
+    Clone.addDeclSubstitution(Info.IterVar, UserIV);
+    Stmt *ClonedGroup = Clone.transformStmt(GroupStmt);
+
+    std::vector<Stmt *> LoopBody{UserInit, ClonedGroup};
+    auto BodyStored = Ctx.allocateCopy(LoopBody);
+    Stmt *BodyCS = Ctx.create<CompoundStmt>(
+        GroupStmt->getSourceRange(),
+        std::span<Stmt *const>(BodyStored.data(), BodyStored.size()));
+    Out.push_back(Ctx.create<ForStmt>(Info.Loop->getSourceRange(), Init,
+                                      Cond, Inc, BodyCS));
+    ++G;
+  }
+  auto OutStored = Ctx.allocateCopy(Out);
+  return Ctx.create<CompoundStmt>(
+      Info.Loop->getSourceRange(),
+      std::span<Stmt *const>(OutStored.data(), OutStored.size()));
 }
 
 Stmt *Sema::buildInterchangeDirective(std::vector<OMPClause *> Clauses,

@@ -348,6 +348,68 @@ TEST(DependenceLegalityTest, FuseIllegalOnBackwardDependence) {
   EXPECT_FALSE(L.Reason.empty());
 }
 
+TEST(DependenceLegalityTest, DistributeLegalWithSingleStatementBody) {
+  Frontend F(R"(
+    void f() {
+      int a[64];
+      for (int i = 0; i < 64; i += 1)
+        a[i] = 2 * i;
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  DependenceInfo DI = analyzeNest(F, "f");
+  ASSERT_TRUE(DI.isAnalyzable());
+  Legality L = DI.isLegalDistribute();
+  EXPECT_TRUE(L.Legal) << L.Reason;
+}
+
+// Group 2 reads what group 1 wrote in the same iteration: after
+// distribution the producer loop finishes before the consumer loop
+// starts, which only strengthens the ordering.
+TEST(DependenceLegalityTest, DistributeLegalOnForwardGroupDependence) {
+  Frontend F(R"(
+    void f() {
+      int a[64];
+      int b[64];
+      for (int i = 0; i < 64; i += 1) {
+        a[i] = 2 * i;
+        b[i] = a[i] + 1;
+      }
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  DependenceInfo DI = analyzeNest(F, "f");
+  ASSERT_TRUE(DI.isAnalyzable());
+  Legality L = DI.isLegalDistribute();
+  EXPECT_TRUE(L.Legal) << L.Reason;
+}
+
+// Group 1 reads a[i-1], written by group 2 in the *previous* iteration.
+// Distributing would run all of group 1 before any of group 2, so every
+// read past the first would miss its producer: the backward (group 2 →
+// group 1) carried flow dependence makes distribution illegal.
+TEST(DependenceLegalityTest, DistributeIllegalOnBackwardGroupDependence) {
+  Frontend F(R"(
+    void f() {
+      int a[64];
+      int b[64];
+      a[0] = 1;
+      for (int i = 1; i < 64; i += 1) {
+        b[i] = a[i - 1] * 2;
+        a[i] = i;
+      }
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  DependenceInfo DI = analyzeNest(F, "f");
+  ASSERT_TRUE(DI.isAnalyzable());
+  Legality L = DI.isLegalDistribute();
+  EXPECT_FALSE(L.Legal);
+  ASSERT_NE(L.Blocking, nullptr);
+  EXPECT_EQ(L.Blocking->Base->getName(), "a");
+  EXPECT_NE(L.Reason.find("group"), std::string::npos) << L.Reason;
+}
+
 // ---------------------------------------------------------------------------
 // Parallel-conflict query (race-linter backend)
 // ---------------------------------------------------------------------------
@@ -461,6 +523,196 @@ TEST(TransformGateTest, UnanalyzableNestRefusedConservatively) {
   )");
   EXPECT_TRUE(F.hasDiag(diag::err_omp_transform_not_analyzable));
   EXPECT_FALSE(F.hasDiag(diag::err_omp_transform_illegal_dep));
+}
+
+// ---------------------------------------------------------------------------
+// Sema gate: fuse / distribute_loop legality, in both pipelines
+// ---------------------------------------------------------------------------
+
+const char *LegalFuseProgram = R"(
+  void f() {
+    int a[64];
+    int b[64];
+    #pragma omp fuse
+    {
+      for (int i = 0; i < 64; i += 1)
+        a[i] = 2 * i;
+      for (int k = 0; k < 64; k += 1)
+        b[k] = a[k] + 1;
+    }
+  }
+)";
+
+TEST(TransformGateTest, LegalFuseBuildsShadowAST) {
+  Frontend F(LegalFuseProgram);
+  ASSERT_EQ(F.errors(), 0u);
+  auto *Fuse = F.findStmt<OMPFuseDirective>("f");
+  ASSERT_NE(Fuse, nullptr);
+  EXPECT_NE(Fuse->getTransformedStmt(), nullptr);
+}
+
+TEST(TransformGateTest, LegalFuseAcceptedInIRBuilderMode) {
+  LangOptions LO;
+  LO.OpenMPEnableIRBuilder = true;
+  Frontend F(LegalFuseProgram, LO);
+  ASSERT_EQ(F.errors(), 0u);
+  auto *Fuse = F.findStmt<OMPFuseDirective>("f");
+  ASSERT_NE(Fuse, nullptr);
+  // IRBuilder mode composes on canonical-loop handles at codegen time;
+  // no shadow AST is materialized.
+  EXPECT_EQ(Fuse->getTransformedStmt(), nullptr);
+}
+
+// The second member reads a[k+1], written by a later iteration of the
+// fused loop: inter-member legality cannot be established, so the gate
+// refuses conservatively in both pipelines.
+const char *BlockedFuseProgram = R"(
+  void f() {
+    int a[65];
+    int b[64];
+    #pragma omp fuse
+    {
+      for (int i = 0; i < 65; i += 1)
+        a[i] = 2 * i;
+      for (int k = 0; k < 64; k += 1)
+        b[k] = a[k + 1];
+    }
+  }
+)";
+
+TEST(TransformGateTest, DependenceBlockedFuseRefused) {
+  Frontend F(BlockedFuseProgram);
+  EXPECT_TRUE(F.hasDiag(diag::err_omp_transform_not_analyzable));
+  auto Errors = F.diagsWithID(diag::err_omp_transform_not_analyzable);
+  ASSERT_GE(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].Message.find("fuse"), std::string::npos);
+}
+
+TEST(TransformGateTest, DependenceBlockedFuseRefusedInIRBuilderMode) {
+  LangOptions LO;
+  LO.OpenMPEnableIRBuilder = true;
+  Frontend F(BlockedFuseProgram, LO);
+  EXPECT_TRUE(F.hasDiag(diag::err_omp_transform_not_analyzable));
+}
+
+TEST(TransformGateTest, UnanalyzableFuseMemberRefusedConservatively) {
+  Frontend F(R"(
+    int g(int x);
+    void f() {
+      int a[64];
+      int b[64];
+      #pragma omp fuse
+      {
+        for (int i = 0; i < 64; i += 1)
+          a[i] = g(i);
+        for (int k = 0; k < 64; k += 1)
+          b[k] = k;
+      }
+    }
+  )");
+  EXPECT_TRUE(F.hasDiag(diag::err_omp_transform_not_analyzable));
+  EXPECT_FALSE(F.hasDiag(diag::err_omp_transform_illegal_dep));
+}
+
+// looprange(3, 2) selects loops 3..4 but only 3 siblings follow.
+TEST(TransformGateTest, LooprangeOutOfRangeDiagnosed) {
+  Frontend F(R"(
+    void f() {
+      int a[64];
+      int b[64];
+      int c[64];
+      #pragma omp fuse looprange(3, 2)
+      {
+        for (int i = 0; i < 64; i += 1)
+          a[i] = i;
+        for (int k = 0; k < 64; k += 1)
+          b[k] = k;
+        for (int m = 0; m < 64; m += 1)
+          c[m] = m;
+      }
+    }
+  )");
+  EXPECT_TRUE(F.hasDiag(diag::err_omp_looprange_out_of_range));
+}
+
+const char *BlockedDistributeProgram = R"(
+  void f() {
+    int a[64];
+    int b[64];
+    a[0] = 1;
+    #pragma omp distribute_loop
+    for (int i = 1; i < 64; i += 1) {
+      b[i] = a[i - 1] * 2;
+      a[i] = i;
+    }
+  }
+)";
+
+TEST(TransformGateTest, BackwardDependenceBlockedDistributeRefused) {
+  Frontend F(BlockedDistributeProgram);
+  EXPECT_TRUE(F.hasDiag(diag::err_omp_transform_illegal_dep));
+  auto Errors = F.diagsWithID(diag::err_omp_transform_illegal_dep);
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].Message.find("distribute"), std::string::npos);
+  EXPECT_NE(Errors[0].Message.find("'a'"), std::string::npos);
+  auto Notes = F.diagsWithID(diag::note_omp_dependence_source);
+  ASSERT_GE(Notes.size(), 1u);
+  EXPECT_TRUE(Notes[0].Loc.isValid());
+}
+
+TEST(TransformGateTest, BlockedDistributeRefusedInIRBuilderMode) {
+  LangOptions LO;
+  LO.OpenMPEnableIRBuilder = true;
+  Frontend F(BlockedDistributeProgram, LO);
+  EXPECT_TRUE(F.hasDiag(diag::err_omp_transform_illegal_dep));
+}
+
+TEST(TransformGateTest, LegalDistributeBuildsShadowAST) {
+  Frontend F(R"(
+    void f() {
+      int a[64];
+      int b[64];
+      #pragma omp distribute_loop
+      for (int i = 0; i < 64; i += 1) {
+        a[i] = 2 * i;
+        b[i] = a[i] + 1;
+      }
+    }
+  )");
+  ASSERT_EQ(F.errors(), 0u);
+  auto *Dist = F.findStmt<OMPDistributeLoopDirective>("f");
+  ASSERT_NE(Dist, nullptr);
+  EXPECT_NE(Dist->getTransformedStmt(), nullptr);
+}
+
+// Fuse composes with a preceding transform: the first member is itself
+// a tile directive, so the fuse oracle must analyze the *post-transform*
+// shadow loop it produces.
+TEST(TransformGateTest, FuseAcceptsTiledMember) {
+  const char *Source = R"(
+    void f() {
+      int a[64];
+      int b[64];
+      #pragma omp fuse
+      {
+        #pragma omp tile sizes(4)
+        for (int i = 0; i < 64; i += 1)
+          a[i] = i;
+        for (int k = 0; k < 16; k += 1)
+          b[k] = k;
+      }
+    }
+  )";
+  {
+    Frontend F(Source);
+    EXPECT_EQ(F.errors(), 0u);
+  }
+  {
+    LangOptions LO;
+    LO.OpenMPEnableIRBuilder = true;
+    Frontend F(Source, LO);
+    EXPECT_EQ(F.errors(), 0u);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -231,6 +231,148 @@ TEST_F(DifferentialEdgeCase, ZeroTripLoopsUnderEveryTransformation) {
   expectProgramAgrees(Par, Runner);
 }
 
+// ===------------------- Fuse / distribute edge cases ------------------=== //
+
+/// A canonical-simple sibling member; \p Coef varies the checksum terms so
+/// member interleavings are order-observable.
+SiblingSpec fuzzSibling(std::int64_t Trip, std::int64_t Coef) {
+  SiblingSpec S;
+  S.Loop = {0, Trip, 1, RelOp::LT};
+  BodyOp Sum;
+  Sum.K = BodyOp::Kind::SumLinear;
+  Sum.C[0] = Coef;
+  Sum.Bias = 1;
+  BodyOp Arr;
+  Arr.K = BodyOp::Kind::ArrayUpdate;
+  Arr.C[0] = Coef;
+  Arr.Bias = 2;
+  S.Body = {Sum, Arr};
+  return S;
+}
+
+ProgramSpec fuseSpec(std::vector<SiblingSpec> Sibs) {
+  ProgramSpec P;
+  P.Seed = 0; // hand-written; not reachable from a seed
+  P.Siblings = std::move(Sibs);
+  P.Pragmas.Fuse = true;
+  return P;
+}
+
+class DifferentialFuseDistribute : public ::testing::Test {
+protected:
+  DifferentialRunner Runner;
+};
+
+TEST_F(DifferentialFuseDistribute, FuseUnequalTripCounts) {
+  // The shorter member must stop exactly at its own trip count inside
+  // the fused loop.
+  expectProgramAgrees(fuseSpec({fuzzSibling(7, 3), fuzzSibling(13, -2)}),
+                      Runner);
+}
+
+TEST_F(DifferentialFuseDistribute, FuseZeroTripMember) {
+  expectProgramAgrees(fuseSpec({fuzzSibling(5, 2), fuzzSibling(0, 9)}),
+                      Runner);
+  expectProgramAgrees(fuseSpec({fuzzSibling(0, 2), fuzzSibling(6, 5)}),
+                      Runner);
+}
+
+TEST_F(DifferentialFuseDistribute, FuseLooprangeSelectsSubsequence) {
+  // looprange(2, 2) fuses members 2..3; member 1 stays an ordinary
+  // sibling ahead of the fused loop.
+  ProgramSpec P = fuseSpec(
+      {fuzzSibling(4, 1), fuzzSibling(9, 2), fuzzSibling(6, -3)});
+  P.Pragmas.FuseFirst = 2;
+  P.Pragmas.FuseCount = 2;
+  expectProgramAgrees(P, Runner);
+}
+
+TEST_F(DifferentialFuseDistribute, WorkshareFusedLoopThreadSweep) {
+  // parallel for over the fused loop: the runner sweeps 1..2xHW threads
+  // automatically; the reduction and the injective array writes must
+  // agree at every width.
+  ProgramSpec P = fuseSpec({fuzzSibling(24, 3), fuzzSibling(17, -1)});
+  P.Pragmas.ParallelFor = true;
+  P.Pragmas.Schedule = "dynamic, 2";
+  expectProgramAgrees(P, Runner);
+}
+
+TEST_F(DifferentialFuseDistribute, FuseCarriedDependenceRefusedAndReverified) {
+  // An ArrayCarried op in the second member defeats inter-member
+  // legality: every backend must refuse conservatively and the runner
+  // re-verifies the unfused program against the same reference.
+  SiblingSpec Carried = fuzzSibling(10, 4);
+  BodyOp Dep;
+  Dep.K = BodyOp::Kind::ArrayCarried;
+  Dep.C[0] = 1;
+  Dep.Bias = 1;
+  Dep.Dist = 1;
+  Carried.Body.push_back(Dep);
+  ProgramSpec P = fuseSpec({fuzzSibling(10, 2), Carried});
+  ProgramResult R = Runner.runWithVariants(P);
+  EXPECT_TRUE(R.ok()) << DifferentialRunner::report(R);
+  EXPECT_GE(R.ConservativeRejections, 1u);
+}
+
+TEST_F(DifferentialFuseDistribute, DistributeLoopSplitsStatementGroups) {
+  ProgramSpec P;
+  P.Seed = 0;
+  P.Loops.push_back({0, 16, 1, RelOp::LT});
+  P.DirectIndex = true;
+  BodyOp Sum;
+  Sum.K = BodyOp::Kind::SumLinear;
+  Sum.C[0] = 5;
+  Sum.Bias = 3;
+  BodyOp Arr;
+  Arr.K = BodyOp::Kind::ArrayUpdate;
+  Arr.C[0] = 2;
+  Arr.Bias = 1;
+  P.Body = {Sum, Arr};
+  P.Pragmas.DistributeLoop = true;
+  expectProgramAgrees(P, Runner);
+}
+
+TEST_F(DifferentialFuseDistribute, DistributeBackwardDependenceRefused) {
+  // Group 2 writes a[i+2], which group 1 touches two iterations later: a
+  // backward inter-group dependence the gate must refuse; the runner then
+  // re-verifies the undistributed loop.
+  ProgramSpec P;
+  P.Seed = 0;
+  P.Loops.push_back({0, 12, 1, RelOp::LT});
+  P.DirectIndex = true;
+  BodyOp Arr;
+  Arr.K = BodyOp::Kind::ArrayUpdate;
+  Arr.C[0] = 1;
+  Arr.Bias = 2;
+  BodyOp Dep;
+  Dep.K = BodyOp::Kind::ArrayCarried;
+  Dep.C[0] = 3;
+  Dep.Dist = 2;
+  P.Body = {Arr, Dep};
+  P.Pragmas.DistributeLoop = true;
+  ProgramResult R = Runner.runWithVariants(P);
+  EXPECT_TRUE(R.ok()) << DifferentialRunner::report(R);
+  EXPECT_GE(R.ConservativeRejections, 1u);
+}
+
+TEST(DifferentialCorpus, TargetedFuseDistributeModesAgree) {
+  // A reduced corpus of the targeted generator modes: every sibling-fuse
+  // and distribute_loop program must agree across the full backend
+  // matrix, with conservative rejections re-verified untransformed.
+  DifferentialRunner Runner;
+  unsigned Rejections = 0;
+  const unsigned Count = std::min(corpusCount(), 30u);
+  for (GenMode Mode : {GenMode::Fuse, GenMode::Distribute})
+    for (unsigned K = 0; K < Count; ++K) {
+      ProgramSpec Spec = generateProgram(CorpusSeed + K, Mode);
+      ProgramResult R = Runner.runWithVariants(Spec);
+      Rejections += R.ConservativeRejections;
+      ASSERT_TRUE(R.ok()) << DifferentialRunner::report(R);
+    }
+  RecordProperty("rejections", static_cast<int>(Rejections));
+  interp::ExecutionEngine::resetOpenMPRuntime();
+}
+
 // ===--------------------- Execution-engine parity ---------------------=== //
 
 TEST(DifferentialEngineParity, CorpusVerdictsIdenticalUnderBothEngines) {
@@ -329,6 +471,39 @@ TEST(DifferentialEngineParity, BytecodePinnedEdgeCorners) {
   interp::ExecutionEngine::resetOpenMPRuntime();
 }
 
+TEST(DifferentialEngineParity, FuseDistributeVerdictsIdenticalOnEveryTier) {
+  // The fuse/distribute program modes pinned per engine: identical
+  // checksum, run count and conservative-rejection count on every tier —
+  // a tier whose legality gate or fused CFG diverges cannot hide behind
+  // the aggregate sweep.
+  DifferentialOptions W, BC, NT, TR;
+  W.Engines = {interp::ExecEngineKind::Walker};
+  BC.Engines = {interp::ExecEngineKind::Bytecode};
+  NT.Engines = {interp::ExecEngineKind::Native};
+  TR.Engines = {interp::ExecEngineKind::Tiered};
+  DifferentialRunner Runners[] = {
+      DifferentialRunner(W), DifferentialRunner(BC), DifferentialRunner(NT),
+      DifferentialRunner(TR)};
+
+  const unsigned Count = std::min(corpusCount(), 12u);
+  for (GenMode Mode : {GenMode::Fuse, GenMode::Distribute}) {
+    for (unsigned K = 0; K < Count; ++K) {
+      ProgramSpec Spec = generateProgram(CorpusSeed + K, Mode);
+      ProgramResult Ref = Runners[0].runWithVariants(Spec);
+      ASSERT_TRUE(Ref.ok()) << DifferentialRunner::report(Ref);
+      for (int E = 1; E < 4; ++E) {
+        ProgramResult R = Runners[E].runWithVariants(Spec);
+        ASSERT_TRUE(R.ok()) << DifferentialRunner::report(R);
+        EXPECT_EQ(Ref.Expected, R.Expected) << "seed " << Spec.Seed;
+        EXPECT_EQ(Ref.RunsExecuted, R.RunsExecuted) << "seed " << Spec.Seed;
+        EXPECT_EQ(Ref.ConservativeRejections, R.ConservativeRejections)
+            << "seed " << Spec.Seed;
+      }
+    }
+  }
+  interp::ExecutionEngine::resetOpenMPRuntime();
+}
+
 // ===------------------ Compile-service cache parity -------------------=== //
 
 TEST(DifferentialServiceParity, CorpusVerdictsIdenticalWithCacheOnAndOff) {
@@ -376,6 +551,36 @@ TEST(DifferentialOracle, ShrinkKeepsOracleConsistency) {
   ProgramSpec P = generateProgram(CorpusSeed);
   ProgramSpec S = Runner.shrink(P);
   EXPECT_EQ(S.render(), P.render());
+}
+
+TEST(DifferentialOracle, TargetedGenModesProduceTheirShapes) {
+  for (unsigned K = 0; K < 25; ++K) {
+    ProgramSpec F = generateProgram(CorpusSeed + K, GenMode::Fuse);
+    EXPECT_TRUE(F.Pragmas.Fuse) << "seed " << F.Seed;
+    EXPECT_GE(F.Siblings.size(), 2u) << "seed " << F.Seed;
+    ProgramSpec D = generateProgram(CorpusSeed + K, GenMode::Distribute);
+    EXPECT_TRUE(D.Pragmas.DistributeLoop) << "seed " << D.Seed;
+    EXPECT_TRUE(D.Siblings.empty()) << "seed " << D.Seed;
+    // Determinism extends to the targeted modes.
+    EXPECT_EQ(F.render(),
+              generateProgram(CorpusSeed + K, GenMode::Fuse).render());
+    EXPECT_EQ(D.render(),
+              generateProgram(CorpusSeed + K, GenMode::Distribute).render());
+  }
+}
+
+TEST(DifferentialOracle, StrippingFuseDropsTheRidingWorkshare) {
+  // The rejection re-verification program cannot keep `parallel for`
+  // above an unfused sibling sequence: a worksharing directive must
+  // associate with exactly one loop.
+  ProgramSpec P = fuseSpec({fuzzSibling(8, 3), fuzzSibling(11, -1)});
+  P.Pragmas.ParallelFor = true;
+  ProgramSpec S = P.withoutLoopTransforms();
+  EXPECT_FALSE(S.Pragmas.Fuse);
+  EXPECT_FALSE(S.Pragmas.ParallelFor);
+  EXPECT_EQ(S.render().find("#pragma"), std::string::npos) << S.render();
+  // Same siblings, same statements: the reference oracle is unchanged.
+  EXPECT_EQ(S.reference(), P.reference());
 }
 
 TEST(DifferentialOracle, FactorVariantsPreserveStructure) {

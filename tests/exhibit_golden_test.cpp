@@ -199,4 +199,68 @@ void f() {
       dumpExhibit<OMPTileDirective>(Source, /*Transformed=*/true));
 }
 
+// The fuse directive's shadow AST: two adjacent sibling loops rewritten
+// into one loop whose body runs both members per shared iteration, the
+// shorter member guarded by its own trip count.
+TEST(ExhibitGolden, ShadowAstFuseTransformed) {
+  const char *Source = R"(
+void f() {
+  int a[64];
+  int b[64];
+  #pragma omp fuse
+  {
+    for (int i = 0; i < 64; i += 1)
+      a[i] = 2 * i;
+    for (int k = 0; k < 16; k += 1)
+      b[k] = a[k] + 1;
+  }
+}
+)";
+  compareWithGolden(
+      "shadow_fuse_transformed",
+      dumpExhibit<OMPFuseDirective>(Source, /*Transformed=*/true));
+}
+
+// The distribute_loop counterpart: one loop split into per-statement-
+// group loops (legal here — the inter-group dependence is forward).
+TEST(ExhibitGolden, ShadowAstDistributeTransformed) {
+  const char *Source = R"(
+void f() {
+  int a[64];
+  int b[64];
+  #pragma omp distribute_loop
+  for (int i = 0; i < 64; i += 1) {
+    a[i] = 2 * i;
+    b[i] = a[i] + 1;
+  }
+}
+)";
+  compareWithGolden(
+      "shadow_distribute_transformed",
+      dumpExhibit<OMPDistributeLoopDirective>(Source, /*Transformed=*/true));
+}
+
+// Composition in the style of the paper's stacked-directive discussion:
+// the first fuse member is itself a tile directive, so the fuse shadow is
+// built over the tile's post-transform loop.
+TEST(ExhibitGolden, ShadowAstFuseAfterTileTransformed) {
+  const char *Source = R"(
+void f() {
+  int a[64];
+  int b[64];
+  #pragma omp fuse
+  {
+    #pragma omp tile sizes(4)
+    for (int i = 0; i < 64; i += 1)
+      a[i] = i;
+    for (int k = 0; k < 16; k += 1)
+      b[k] = k;
+  }
+}
+)";
+  compareWithGolden(
+      "shadow_fuse_after_tile",
+      dumpExhibit<OMPFuseDirective>(Source, /*Transformed=*/true));
+}
+
 } // namespace

@@ -454,6 +454,53 @@ TEST_P(EngineParityTest, NegativeStepLoop) {
   EXPECT_EQ(EE.runFunction("down", {}).I, 22);
 }
 
+TEST_P(EngineParityTest, FusedCanonicalLoopCFG) {
+  // The guarded multi-body CFG fuseLoops produces (one shared skeleton,
+  // member bodies of unequal trip counts each behind its own guard) must
+  // agree across every execution tier. The accumulator recurrence is
+  // order-sensitive, so any interleaving or guard divergence changes the
+  // result.
+  Module M;
+  IRBuilder B(M);
+  OpenMPIRBuilder OMPB(M);
+  Function *F = M.createFunction("fused", IRType::getI64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  Instruction *Acc = B.createAlloca(IRType::getI64());
+  B.createStore(M.getI64(0), Acc);
+  std::vector<CanonicalLoopInfo *> Sibs(2);
+  Sibs[0] = OMPB.createCanonicalLoop(
+      B, M.getI64(6),
+      [&](IRBuilder &Bld, Value *IV) {
+        Value *Old = Bld.createLoad(IRType::getI64(), Acc);
+        Value *New = Bld.createAdd(Bld.createMul(Old, M.getI64(3)),
+                                   Bld.createAdd(IV, M.getI64(1)));
+        Bld.createStore(New, Acc);
+      },
+      "first");
+  Sibs[1] = OMPB.createCanonicalLoop(
+      B, M.getI64(4),
+      [&](IRBuilder &Bld, Value *IV) {
+        Value *Old = Bld.createLoad(IRType::getI64(), Acc);
+        Value *New = Bld.createAdd(Bld.createMul(Old, M.getI64(2)),
+                                   Bld.createMul(IV, M.getI64(7)));
+        Bld.createStore(New, Acc);
+      },
+      "second");
+  OMPB.fuseLoops(Sibs);
+  B.createRet(B.createLoad(IRType::getI64(), Acc));
+  ASSERT_EQ(verifyModule(M), "");
+
+  std::int64_t Expected = 0;
+  for (std::int64_t I = 0; I < 6; ++I) {
+    Expected = Expected * 3 + (I + 1);
+    if (I < 4)
+      Expected = Expected * 2 + I * 7;
+  }
+
+  ExecutionEngine EE(M, GetParam());
+  EXPECT_EQ(EE.runFunction("fused", {}).I, Expected);
+}
+
 TEST_P(EngineParityTest, ForkThroughFunctionPointerConstant) {
   // __kmpc_fork_call's first operand is a Function* constant — the
   // bytecode translator bakes it into the constant pool as a host

@@ -281,6 +281,71 @@ TEST(OMPIRBuilderTest, CollapseLoopsCombinesIterationSpace) {
   EXPECT_EQ(H.run(), Expected); // order preserved by de-linearization
 }
 
+// --- fuseLoops ---
+
+/// Two adjacent sibling loops recording 100+i (trip 5) and 200+k
+/// (trip 3): fusion interleaves the bodies per shared logical iteration
+/// and guards the shorter member past its own trip count.
+TEST(OMPIRBuilderTest, FuseLoopsInterleavesGuardedBodies) {
+  LoopHarness H;
+  std::vector<CanonicalLoopInfo *> Sibs(2);
+  Sibs[0] = H.OMPB.createCanonicalLoop(
+      H.B, H.M.getI64(5),
+      [&](IRBuilder &Bld, Value *IV) {
+        H.recordValue(Bld.createAdd(H.M.getI64(100), IV, "a"));
+      },
+      "first");
+  Sibs[1] = H.OMPB.createCanonicalLoop(
+      H.B, H.M.getI64(3),
+      [&](IRBuilder &Bld, Value *IV) {
+        H.recordValue(Bld.createAdd(H.M.getI64(200), IV, "b"));
+      },
+      "second");
+  CanonicalLoopInfo *Fused = H.OMPB.fuseLoops(Sibs);
+  H.finish();
+  ASSERT_NE(Fused, nullptr);
+  EXPECT_EQ(Fused->validate(), "");
+  EXPECT_EQ(H.run(), (std::vector<std::int64_t>{100, 200, 101, 201, 102,
+                                                202, 103, 104}));
+}
+
+TEST(OMPIRBuilderTest, FuseLoopsEqualTripsAlternatesBodies) {
+  LoopHarness H;
+  std::vector<CanonicalLoopInfo *> Sibs(2);
+  Sibs[0] = H.OMPB.createCanonicalLoop(
+      H.B, H.M.getI64(4),
+      [&](IRBuilder &Bld, Value *IV) {
+        H.recordValue(Bld.createAdd(H.M.getI64(10), IV, "a"));
+      },
+      "first");
+  Sibs[1] = H.OMPB.createCanonicalLoop(
+      H.B, H.M.getI64(4),
+      [&](IRBuilder &Bld, Value *IV) {
+        H.recordValue(Bld.createAdd(H.M.getI64(20), IV, "b"));
+      },
+      "second");
+  H.OMPB.fuseLoops(Sibs);
+  H.finish();
+  EXPECT_EQ(H.run(), (std::vector<std::int64_t>{10, 20, 11, 21, 12, 22,
+                                                13, 23}));
+}
+
+TEST(OMPIRBuilderTest, FuseInvalidatesInputHandles) {
+  LoopHarness H;
+  std::vector<CanonicalLoopInfo *> Sibs(2);
+  Sibs[0] = H.OMPB.createCanonicalLoop(
+      H.B, H.M.getI64(4), [](IRBuilder &, Value *) {}, "first");
+  Sibs[1] = H.OMPB.createCanonicalLoop(
+      H.B, H.M.getI64(4), [](IRBuilder &, Value *) {}, "second");
+  EXPECT_TRUE(Sibs[0]->isValid());
+  EXPECT_TRUE(Sibs[1]->isValid());
+  CanonicalLoopInfo *Fused = H.OMPB.fuseLoops(Sibs);
+  H.finish();
+  EXPECT_FALSE(Sibs[0]->isValid());
+  EXPECT_FALSE(Sibs[1]->isValid());
+  EXPECT_TRUE(Fused->isValid());
+}
+
 // --- unrolling metadata ---
 
 TEST(OMPIRBuilderTest, UnrollFullAttachesMetadata) {
