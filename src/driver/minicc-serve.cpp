@@ -1,17 +1,42 @@
-//===--- minicc-serve.cpp - In-process compile-server driver ---------------===//
+//===--- minicc-serve.cpp - Compile-service driver -------------------------===//
 //
-// Front door for the CompileService (src/service). Reads newline-delimited
-// job specs from a file or stdin, fans them out over the service's worker
-// pool, and prints one verdict line per job. Repeated or identical jobs
-// are answered from the content-addressed cache; --service-stats shows
-// the per-level hit/miss/eviction counters afterwards.
+// Front door for the CompileService (src/service) in three modes:
+//
+//  * Inline (default): reads newline-delimited job specs from a file or
+//    stdin, fans them out over an in-process worker pool, prints one
+//    verdict line per job. Repeated or identical jobs are answered from
+//    the content-addressed cache (and, with --disk-store, from previous
+//    processes' runs).
+//
+//  * Daemon (--serve): binds a Unix-domain socket and serves the framed
+//    protocol (src/net) to any number of concurrent clients, with
+//    admission control (bounded queue, per-client quotas, fair
+//    round-robin). SIGINT/SIGTERM or the protocol's shutdown verb drain
+//    in-flight jobs, flush the disk store index, and print final stats.
+//
+//  * Client (--client): submits a job file to a running daemon over the
+//    socket, keeping a bounded window in flight, retrying typed
+//    Busy/Quota rejections after the daemon's retry-after hint, and
+//    printing verdict lines byte-identical to the inline mode's.
 //
 //   minicc-serve [options] [jobfile]
-//     --jobs=N            worker threads (default 4)
-//     --cache-mb=N        total cache budget in MiB (default 256)
-//     --repeat=N          submit the whole job list N times (default 1)
-//     --service-stats     print cache statistics after the run
-//     --quiet             verdict lines only on failure
+//     --jobs=N                worker threads (default 4)
+//     --cache-mb=N            total in-memory cache budget MiB (default 256)
+//     --disk-store=DIR        on-disk artifact store root (persistence)
+//     --disk-mb=N             disk store budget in MiB (default 1024)
+//     --repeat=N              submit the whole job list N times (default 1)
+//     --service-stats[=json]  print service statistics after the run
+//     --quiet                 verdict lines only on failure
+//   daemon mode:
+//     --serve --socket=PATH   serve the framed protocol on PATH
+//     --max-pending=N         admission queue bound (default 256)
+//     --per-client-inflight=N per-connection job quota (default 32)
+//     --max-dispatched=N      jobs in the pool at once (default 2x workers)
+//   client mode:
+//     --client --socket=PATH [jobfile]
+//     --window=N              max jobs in flight (default 16)
+//     --stats[=json]          fetch daemon statistics after the batch
+//     --shutdown              ask the daemon to drain and exit
 //
 // Job spec grammar (one job per line; '#' starts a comment):
 //   [flags...] <file>
@@ -21,34 +46,58 @@
 //   -exec-engine=walker|bytecode|native|tiered (backend for -run jobs)
 //
 //===----------------------------------------------------------------------===//
+#include "net/Client.h"
+#include "net/Server.h"
 #include "service/CompileService.h"
+#include "service/JobSpec.h"
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 using namespace mcc;
 
 namespace {
 
+volatile std::sig_atomic_t GSignal = 0;
+void onSignal(int) { GSignal = 1; }
+
 void printUsage() {
-  std::fprintf(stderr,
-               "usage: minicc-serve [options] [jobfile]\n"
-               "  --jobs=N         worker threads (default 4)\n"
-               "  --cache-mb=N     total cache budget in MiB (default 256)\n"
-               "  --repeat=N       submit the job list N times (default 1)\n"
-               "  --service-stats  print cache statistics after the run\n"
-               "  --quiet          only print failing jobs\n"
-               "job spec: one per line: [flags...] <file>\n"
-               "  flags: -fno-openmp -fopenmp-enable-irbuilder -O1 -run -w\n"
-               "         -Werror --analyze -num-threads=N -unroll-factor=N\n"
-               "         -DNAME[=VALUE]\n"
-               "         -exec-engine=walker|bytecode|native|tiered\n");
+  std::fprintf(
+      stderr,
+      "usage: minicc-serve [options] [jobfile]\n"
+      "  --jobs=N                worker threads (default 4)\n"
+      "  --cache-mb=N            in-memory cache budget MiB (default 256)\n"
+      "  --disk-store=DIR        on-disk artifact store root\n"
+      "  --disk-mb=N             disk store budget MiB (default 1024)\n"
+      "  --repeat=N              submit the job list N times (default 1)\n"
+      "  --service-stats[=json]  print service statistics after the run\n"
+      "  --quiet                 only print failing jobs\n"
+      "daemon mode:\n"
+      "  --serve --socket=PATH   serve the framed protocol on PATH\n"
+      "  --max-pending=N         admission queue bound (default 256)\n"
+      "  --per-client-inflight=N per-connection quota (default 32)\n"
+      "  --max-dispatched=N      pool release cap (default 2x workers)\n"
+      "client mode:\n"
+      "  --client --socket=PATH [jobfile]\n"
+      "  --window=N              max jobs in flight (default 16)\n"
+      "  --stats[=json]          fetch daemon statistics after the batch\n"
+      "  --shutdown              ask the daemon to drain and exit\n"
+      "job spec: one per line: [flags...] <file>\n"
+      "  flags: -fno-openmp -fopenmp-enable-irbuilder -O1 -run -w\n"
+      "         -Werror --analyze -num-threads=N -unroll-factor=N\n"
+      "         -DNAME[=VALUE]\n"
+      "         -exec-engine=walker|bytecode|native|tiered\n");
 }
 
 bool parseU64(const std::string &Arg, const char *Prefix, std::uint64_t &Out) {
@@ -59,87 +108,14 @@ bool parseU64(const std::string &Arg, const char *Prefix, std::uint64_t &Out) {
   return true;
 }
 
-/// Parses one job-spec line. Returns false (with a message) on a malformed
-/// line; empty/comment lines yield false with an empty message.
-bool parseJobLine(const std::string &Line, svc::CompileJob &Job,
-                  std::string &Error) {
-  std::istringstream In(Line);
-  std::vector<std::string> Words;
-  for (std::string W; In >> W;)
-    Words.push_back(std::move(W));
-  if (Words.empty() || Words.front()[0] == '#')
-    return false;
-
+/// Parses one job-spec line and loads the file operand's bytes. Returns
+/// false with a message on a malformed line; empty/comment lines yield
+/// false with an empty message.
+bool loadJobLine(const std::string &Line, svc::CompileJob &Job,
+                 std::string &Error) {
   std::string File;
-  for (const std::string &W : Words) {
-    std::uint64_t N = 0;
-    if (W == "-fopenmp")
-      Job.Options.LangOpts.OpenMP = true;
-    else if (W == "-fno-openmp")
-      Job.Options.LangOpts.OpenMP = false;
-    else if (W == "-fopenmp-enable-irbuilder")
-      Job.Options.LangOpts.OpenMPEnableIRBuilder = true;
-    else if (W == "-O1")
-      Job.Options.RunMidend = true;
-    else if (W == "-run")
-      Job.Execute = true;
-    else if (W == "--analyze" || W == "-analyze")
-      Job.Options.RunAnalyzers = true;
-    else if (W.rfind("--analyze=", 0) == 0 || W.rfind("-analyze=", 0) == 0) {
-      std::string List = W.substr(W.find('=') + 1);
-      std::size_t Pos = 0;
-      while (Pos <= List.size()) {
-        std::size_t Comma = List.find(',', Pos);
-        std::string Name = List.substr(
-            Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
-        if (!Name.empty())
-          Job.Options.AnalyzePasses.push_back(Name);
-        if (Comma == std::string::npos)
-          break;
-        Pos = Comma + 1;
-      }
-    }
-    else if (W == "-w")
-      Job.Options.SuppressWarnings = true;
-    else if (W == "-Werror")
-      Job.Options.WarningsAsErrors = true;
-    else if (parseU64(W, "-num-threads=", N))
-      Job.Options.LangOpts.OpenMPDefaultNumThreads =
-          static_cast<unsigned>(N);
-    else if (parseU64(W, "-unroll-factor=", N))
-      Job.Options.UnrollOpts.HeuristicFactor = static_cast<unsigned>(N);
-    else if (W.rfind("-exec-engine=", 0) == 0) {
-      if (!interp::parseExecEngineKind(W.substr(std::strlen("-exec-engine=")),
-                                       Job.Options.ExecEngine)) {
-        Error = "invalid -exec-engine (expected 'walker', 'bytecode', "
-                "'native', or 'tiered'): " +
-                W;
-        return false;
-      }
-    }
-    else if (W.rfind("-D", 0) == 0) {
-      std::string Def = W.substr(2);
-      std::size_t Eq = Def.find('=');
-      if (Eq == std::string::npos)
-        Job.Options.Defines.emplace_back(Def, "1");
-      else
-        Job.Options.Defines.emplace_back(Def.substr(0, Eq),
-                                         Def.substr(Eq + 1));
-    } else if (W[0] == '-') {
-      Error = "unknown job flag: " + W;
-      return false;
-    } else if (File.empty())
-      File = W;
-    else {
-      Error = "more than one file on a job line: " + W;
-      return false;
-    }
-  }
-  if (File.empty()) {
-    Error = "job line has no file";
+  if (!svc::parseJobSpecLine(Line, Job, File, Error))
     return false;
-  }
-
   std::ifstream Src(File, std::ios::binary);
   if (!Src) {
     Error = "cannot read " + File;
@@ -153,6 +129,8 @@ bool parseJobLine(const std::string &Line, svc::CompileJob &Job,
 }
 
 const char *traceSpelling(const svc::CacheTrace &T) {
+  if (T.DiskHit)
+    return "disk hit";
   if (T.L3Hit)
     return "L3 hit";
   if (T.L2Hit)
@@ -162,44 +140,26 @@ const char *traceSpelling(const svc::CacheTrace &T) {
   return "cold";
 }
 
-} // namespace
-
-int main(int argc, char **argv) {
-  svc::ServiceOptions Opts;
-  std::uint64_t Jobs = 4, CacheMB = 256, Repeat = 1;
-  bool ShowStats = false, Quiet = false;
+struct Options {
+  svc::ServiceOptions Svc;
+  net::ServerOptions Net;
+  std::uint64_t Repeat = 1;
+  std::uint64_t Window = 16;
+  bool ShowStats = false;
+  bool StatsJSON = false;
+  bool Quiet = false;
+  bool Serve = false;
+  bool ClientMode = false;
+  bool ClientStats = false;
+  bool ClientStatsJSON = false;
+  bool ClientShutdown = false;
   std::string JobFile;
+};
 
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    if (parseU64(Arg, "--jobs=", Jobs) ||
-        parseU64(Arg, "--cache-mb=", CacheMB) ||
-        parseU64(Arg, "--repeat=", Repeat))
-      continue;
-    if (Arg == "--service-stats")
-      ShowStats = true;
-    else if (Arg == "--quiet")
-      Quiet = true;
-    else if (Arg == "-h" || Arg == "--help") {
-      printUsage();
-      return 0;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "minicc-serve: unknown argument: '%s'\n",
-                   Arg.c_str());
-      printUsage();
-      return 1;
-    } else
-      JobFile = Arg;
-  }
-
-  if (std::string EnvErr = interp::execEngineEnvError(); !EnvErr.empty()) {
-    std::fprintf(stderr, "minicc-serve: %s\n", EnvErr.c_str());
-    return 1;
-  }
-
-  // Read job specs before spinning up the pool so malformed input fails
-  // fast.
-  std::vector<svc::CompileJob> JobList;
+/// Reads the job list (file or stdin). Returns false after printing a
+/// diagnostic for a malformed line.
+bool readJobList(const std::string &JobFile,
+                 std::vector<svc::CompileJob> &JobList) {
   std::istream *In = &std::cin;
   std::ifstream FileIn;
   if (!JobFile.empty()) {
@@ -207,7 +167,7 @@ int main(int argc, char **argv) {
     if (!FileIn) {
       std::fprintf(stderr, "minicc-serve: cannot read job file '%s'\n",
                    JobFile.c_str());
-      return 1;
+      return false;
     }
     In = &FileIn;
   }
@@ -216,26 +176,34 @@ int main(int argc, char **argv) {
     ++LineNo;
     svc::CompileJob Job;
     std::string Error;
-    if (parseJobLine(Line, Job, Error))
+    if (loadJobLine(Line, Job, Error))
       JobList.push_back(std::move(Job));
     else if (!Error.empty()) {
       std::fprintf(stderr, "minicc-serve: line %u: %s\n", LineNo,
                    Error.c_str());
-      return 1;
+      return false;
     }
   }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Inline mode (the original minicc-serve behaviour)
+//===----------------------------------------------------------------------===//
+
+int runInline(const Options &O) {
+  std::vector<svc::CompileJob> JobList;
+  if (!readJobList(O.JobFile, JobList))
+    return 1;
   if (JobList.empty()) {
     std::fprintf(stderr, "minicc-serve: no jobs\n");
     return 1;
   }
 
-  Opts.NumWorkers = static_cast<unsigned>(Jobs);
-  Opts.CacheBudgetBytes = static_cast<std::size_t>(CacheMB) << 20;
-  svc::CompileService Service(Opts);
-
+  svc::CompileService Service(O.Svc);
   std::vector<std::future<svc::CompileResult>> Futures;
-  Futures.reserve(JobList.size() * Repeat);
-  for (std::uint64_t R = 0; R < std::max<std::uint64_t>(1, Repeat); ++R)
+  Futures.reserve(JobList.size() * O.Repeat);
+  for (std::uint64_t R = 0; R < std::max<std::uint64_t>(1, O.Repeat); ++R)
     for (const svc::CompileJob &Job : JobList)
       Futures.push_back(Service.enqueue(Job));
 
@@ -248,7 +216,7 @@ int main(int argc, char **argv) {
       std::printf("[%zu] FAIL %s (%s)\n", K, Job.Path.c_str(),
                   traceSpelling(Res.Trace));
       std::fputs(Res.Diagnostics.c_str(), stderr);
-    } else if (!Quiet) {
+    } else if (!O.Quiet) {
       if (Res.Executed)
         std::printf("[%zu] OK %s (%s) main=%lld\n", K, Job.Path.c_str(),
                     traceSpelling(Res.Trace),
@@ -260,7 +228,309 @@ int main(int argc, char **argv) {
   }
 
   Service.shutdown();
-  if (ShowStats)
-    std::fputs(Service.renderStats().c_str(), stdout);
+  if (O.ShowStats)
+    std::fputs((O.StatsJSON ? Service.renderStatsJSON() : Service.renderStats())
+                   .c_str(),
+               stdout);
   return Failures == 0 ? 0 : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon mode
+//===----------------------------------------------------------------------===//
+
+int runDaemon(const Options &O) {
+  svc::CompileService Service(O.Svc);
+  net::Server Server(Service, O.Net);
+  std::string Error;
+  if (!Server.start(Error)) {
+    std::fprintf(stderr, "minicc-serve: %s\n", Error.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::fprintf(stderr,
+               "minicc-serve: listening on %s (workers=%u pending<=%u "
+               "per-client<=%u disk=%s)\n",
+               O.Net.SocketPath.c_str(), O.Svc.NumWorkers,
+               O.Net.MaxPendingJobs, O.Net.PerClientInFlight,
+               O.Svc.DiskStorePath.empty() ? "off"
+                                           : O.Svc.DiskStorePath.c_str());
+  // The signal handler only flips a flag (async-signal-safe); the wait
+  // loop notices it and begins the drain from a normal thread.
+  for (;;) {
+    if (Server.waitForShutdownRequest(/*TimeoutMs=*/200))
+      break;
+    if (GSignal) {
+      Server.requestShutdown();
+      break;
+    }
+  }
+  std::fprintf(stderr, "minicc-serve: draining...\n");
+  Server.shutdown();
+  Service.shutdown(); // flushes the disk store index
+  std::fputs(Server.renderStats(O.StatsJSON).c_str(), stdout);
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Client mode
+//===----------------------------------------------------------------------===//
+
+struct WireJob {
+  std::string Path;
+  std::string Flags;
+  std::string Source;
+};
+
+struct Verdict {
+  std::string Line;
+  std::string Diag;
+  bool Failed = false;
+  bool Quietable = false; ///< an OK line, suppressed under --quiet
+};
+
+int runClient(const Options &O) {
+  // Unlike inline mode, stdin is never a job source here: a bare
+  // `--client --stats` must not block on the terminal.
+  std::vector<WireJob> List;
+  if (!O.JobFile.empty()) {
+    std::vector<svc::CompileJob> Jobs;
+    if (!readJobList(O.JobFile, Jobs))
+      return 1;
+    for (svc::CompileJob &J : Jobs) {
+      WireJob W;
+      W.Path = J.Path;
+      W.Flags = svc::renderJobFlags(J);
+      W.Source = std::move(J.Source);
+      List.push_back(std::move(W));
+    }
+  }
+
+  net::Client Client;
+  std::string Error;
+  if (!Client.connect(O.Net.SocketPath, Error)) {
+    std::fprintf(stderr, "minicc-serve: %s\n", Error.c_str());
+    return 1;
+  }
+
+  const std::size_t Total =
+      List.size() * static_cast<std::size_t>(std::max<std::uint64_t>(1, O.Repeat));
+  std::size_t NextSubmit = 0, Completed = 0, NextPrint = 0;
+  unsigned Failures = 0;
+  std::unordered_map<std::uint64_t, std::size_t> Active; // job id -> index
+  std::map<std::size_t, Verdict> Ready; // out-of-order results, print in order
+
+  auto submitIndex = [&](std::size_t Idx) -> bool {
+    const WireJob &J = List[Idx % List.size()];
+    if (!Client.submit(Idx + 1, J.Path, J.Flags, J.Source)) {
+      std::fprintf(stderr, "minicc-serve: lost connection to daemon\n");
+      return false;
+    }
+    Active.emplace(Idx + 1, Idx);
+    return true;
+  };
+  auto flushReady = [&] {
+    while (true) {
+      auto It = Ready.find(NextPrint);
+      if (It == Ready.end())
+        break;
+      const Verdict &V = It->second;
+      if (V.Failed || !(O.Quiet && V.Quietable))
+        std::printf("%s\n", V.Line.c_str());
+      if (!V.Diag.empty())
+        std::fputs(V.Diag.c_str(), stderr);
+      Ready.erase(It);
+      ++NextPrint;
+    }
+  };
+
+  while (Completed < Total) {
+    while (NextSubmit < Total && Active.size() < O.Window)
+      if (!submitIndex(NextSubmit++))
+        return 1;
+    net::ClientEvent Ev;
+    if (!Client.next(Ev, Error)) {
+      std::fprintf(stderr, "minicc-serve: %s\n",
+                   Error.empty() ? "daemon closed the connection"
+                                 : Error.c_str());
+      return 1;
+    }
+    auto It = Active.find(Ev.JobId);
+    if (It == Active.end())
+      continue; // stale frame for an id we no longer track
+    const std::size_t Idx = It->second;
+    const WireJob &J = List[Idx % List.size()];
+
+    if (Ev.Type == net::MsgType::Result) {
+      Active.erase(It);
+      ++Completed;
+      Verdict V;
+      switch (Ev.Result.Status) {
+      case net::ResultStatus::Ok:
+        V.Quietable = true;
+        V.Line = "[" + std::to_string(Idx) + "] OK " + J.Path + " (" +
+                 net::traceLevelName(Ev.Result.Trace) + ")";
+        if (Ev.Result.Executed)
+          V.Line += " main=" + std::to_string(
+                                   static_cast<long long>(Ev.Result.ExitValue));
+        break;
+      case net::ResultStatus::CompileFail:
+        V.Failed = true;
+        ++Failures;
+        V.Line = "[" + std::to_string(Idx) + "] FAIL " + J.Path + " (" +
+                 net::traceLevelName(Ev.Result.Trace) + ")";
+        V.Diag = Ev.Result.Diagnostics;
+        break;
+      case net::ResultStatus::Cancelled:
+        V.Line = "[" + std::to_string(Idx) + "] CANCELLED " + J.Path;
+        break;
+      case net::ResultStatus::InternalError:
+        V.Failed = true;
+        ++Failures;
+        V.Line = "[" + std::to_string(Idx) + "] ERROR " + J.Path;
+        V.Diag = Ev.Result.Diagnostics;
+        break;
+      }
+      Ready.emplace(Idx, std::move(V));
+      flushReady();
+      continue;
+    }
+
+    if (Ev.Type == net::MsgType::Reject) {
+      Active.erase(It);
+      if (Ev.Reject.Code == net::RejectCode::Busy ||
+          Ev.Reject.Code == net::RejectCode::Quota) {
+        // Backpressure: honour the daemon's retry hint, then resubmit the
+        // same job (same id; the daemon no longer tracks it).
+        unsigned Ms = Ev.Reject.RetryAfterMs ? Ev.Reject.RetryAfterMs : 20;
+        std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+        if (!submitIndex(Idx))
+          return 1;
+      } else {
+        ++Completed;
+        ++Failures;
+        Verdict V;
+        V.Failed = true;
+        V.Line = "[" + std::to_string(Idx) + "] REJECTED " + J.Path + " (" +
+                 net::rejectCodeName(Ev.Reject.Code) + ")";
+        V.Diag = "minicc-serve: " + Ev.Reject.Message + "\n";
+        Ready.emplace(Idx, std::move(V));
+        flushReady();
+      }
+      continue;
+    }
+  }
+
+  if (O.ClientStats) {
+    if (!Client.requestStats(O.ClientStatsJSON)) {
+      std::fprintf(stderr, "minicc-serve: lost connection to daemon\n");
+      return 1;
+    }
+    net::ClientEvent Ev;
+    while (Client.next(Ev, Error)) {
+      if (Ev.Type == net::MsgType::StatsReply) {
+        std::fputs(Ev.Text.c_str(), stdout);
+        break;
+      }
+    }
+    if (!Error.empty()) {
+      std::fprintf(stderr, "minicc-serve: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+
+  if (O.ClientShutdown) {
+    if (!Client.requestShutdown()) {
+      std::fprintf(stderr, "minicc-serve: lost connection to daemon\n");
+      return 1;
+    }
+    net::ClientEvent Ev;
+    while (Client.next(Ev, Error))
+      if (Ev.Type == net::MsgType::ShutdownAck)
+        break;
+  }
+
+  return Failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options O;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    std::uint64_t N = 0;
+    if (parseU64(Arg, "--jobs=", N))
+      O.Svc.NumWorkers = static_cast<unsigned>(N);
+    else if (parseU64(Arg, "--cache-mb=", N))
+      O.Svc.CacheBudgetBytes = static_cast<std::size_t>(N) << 20;
+    else if (parseU64(Arg, "--disk-mb=", N))
+      O.Svc.DiskBudgetBytes = static_cast<std::size_t>(N) << 20;
+    else if (Arg.rfind("--disk-store=", 0) == 0)
+      O.Svc.DiskStorePath = Arg.substr(std::strlen("--disk-store="));
+    else if (parseU64(Arg, "--repeat=", O.Repeat) ||
+             parseU64(Arg, "--window=", O.Window))
+      ;
+    else if (parseU64(Arg, "--max-pending=", N))
+      O.Net.MaxPendingJobs = static_cast<unsigned>(N);
+    else if (parseU64(Arg, "--per-client-inflight=", N))
+      O.Net.PerClientInFlight = static_cast<unsigned>(N);
+    else if (parseU64(Arg, "--max-dispatched=", N))
+      O.Net.MaxDispatched = static_cast<unsigned>(N);
+    else if (Arg.rfind("--socket=", 0) == 0)
+      O.Net.SocketPath = Arg.substr(std::strlen("--socket="));
+    else if (Arg == "--serve")
+      O.Serve = true;
+    else if (Arg == "--client")
+      O.ClientMode = true;
+    else if (Arg == "--service-stats")
+      O.ShowStats = true;
+    else if (Arg == "--service-stats=json") {
+      O.ShowStats = true;
+      O.StatsJSON = true;
+    } else if (Arg == "--stats")
+      O.ClientStats = true;
+    else if (Arg == "--stats=json") {
+      O.ClientStats = true;
+      O.ClientStatsJSON = true;
+    } else if (Arg == "--shutdown")
+      O.ClientShutdown = true;
+    else if (Arg == "--quiet")
+      O.Quiet = true;
+    else if (Arg == "-h" || Arg == "--help") {
+      printUsage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "minicc-serve: unknown argument: '%s'\n",
+                   Arg.c_str());
+      printUsage();
+      return 1;
+    } else
+      O.JobFile = Arg;
+  }
+
+  if (O.Serve && O.ClientMode) {
+    std::fprintf(stderr, "minicc-serve: --serve and --client are exclusive\n");
+    return 1;
+  }
+  if ((O.Serve || O.ClientMode) && O.Net.SocketPath.empty()) {
+    std::fprintf(stderr, "minicc-serve: %s requires --socket=PATH\n",
+                 O.Serve ? "--serve" : "--client");
+    return 1;
+  }
+
+  if (!O.ClientMode) {
+    if (std::string EnvErr = interp::execEngineEnvError(); !EnvErr.empty()) {
+      std::fprintf(stderr, "minicc-serve: %s\n", EnvErr.c_str());
+      return 1;
+    }
+  }
+
+  if (O.Serve)
+    return runDaemon(O);
+  if (O.ClientMode)
+    return runClient(O);
+  return runInline(O);
 }

@@ -1,0 +1,92 @@
+//===--- Client.cpp - Compile-daemon client --------------------------------===//
+#include "net/Client.h"
+
+namespace mcc::net {
+
+bool Client::connect(const std::string &SocketPath, std::string &Error) {
+  Sock = Socket::connectUnix(SocketPath, Error);
+  return Sock.valid();
+}
+
+bool Client::sendMsg(MsgType Type, std::uint64_t JobId, std::string Payload) {
+  if (!Sock.valid())
+    return false;
+  Frame F;
+  F.Type = Type;
+  F.JobId = JobId;
+  F.Payload = std::move(Payload);
+  std::string Bytes = encodeFrame(F);
+  return Sock.sendAll(Bytes.data(), Bytes.size());
+}
+
+bool Client::submit(std::uint64_t JobId, const std::string &Path,
+                    const std::string &Flags, const std::string &Source) {
+  SubmitMsg M;
+  M.Path = Path;
+  M.Flags = Flags;
+  M.Source = Source;
+  return sendMsg(MsgType::Submit, JobId, encodeSubmit(M));
+}
+
+bool Client::cancel(std::uint64_t JobId) {
+  return sendMsg(MsgType::Cancel, JobId, std::string());
+}
+
+bool Client::requestStats(bool JSON) {
+  StatsMsg M;
+  M.JSON = JSON;
+  return sendMsg(MsgType::Stats, 0, encodeStats(M));
+}
+
+bool Client::requestShutdown() {
+  return sendMsg(MsgType::Shutdown, 0, std::string());
+}
+
+bool Client::next(ClientEvent &Ev, std::string &Error) {
+  Error.clear();
+  for (;;) {
+    if (std::optional<Frame> F = Decoder.next(Error)) {
+      Ev = ClientEvent();
+      Ev.Type = F->Type;
+      Ev.JobId = F->JobId;
+      switch (F->Type) {
+      case MsgType::Result:
+        if (!decodeResult(F->Payload, Ev.Result)) {
+          Error = "undecodable result payload";
+          return false;
+        }
+        return true;
+      case MsgType::Reject:
+        if (!decodeReject(F->Payload, Ev.Reject)) {
+          Error = "undecodable reject payload";
+          return false;
+        }
+        return true;
+      case MsgType::StatsReply:
+        if (!decodeStatsReply(F->Payload, Ev.Text)) {
+          Error = "undecodable stats payload";
+          return false;
+        }
+        return true;
+      case MsgType::ShutdownAck:
+        return true;
+      default:
+        Error = "unexpected frame type from server";
+        return false;
+      }
+    }
+    if (!Error.empty())
+      return false;
+    char Buf[64 << 10];
+    long N = Sock.recvSome(Buf, sizeof(Buf));
+    if (N < 0) {
+      Error = "recv failed";
+      return false;
+    }
+    if (N == 0)
+      return false; // orderly close; Error stays empty
+    Decoder.append(Buf, static_cast<std::size_t>(N));
+  }
+}
+
+} // namespace mcc::net

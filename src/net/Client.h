@@ -1,0 +1,61 @@
+//===--- Client.h - Compile-daemon client ----------------------*- C++ -*-===//
+//
+// The client half of the framed protocol: connect to a daemon socket,
+// push submits/cancels/control verbs, and pull server frames back as
+// typed events. Deliberately unopinionated about scheduling — the caller
+// (minicc-serve --client, tests) decides how many jobs to keep in flight
+// and how to react to Busy/Quota rejections (the retry-after hint is in
+// the event). Single-threaded use per Client instance.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_NET_CLIENT_H
+#define MCC_NET_CLIENT_H
+
+#include "net/Protocol.h"
+#include "net/Socket.h"
+
+#include <cstdint>
+#include <string>
+
+namespace mcc::net {
+
+/// One server->client frame, decoded. Which member is meaningful depends
+/// on Type (Result / Reject / StatsReply / ShutdownAck).
+struct ClientEvent {
+  MsgType Type = MsgType::Result;
+  std::uint64_t JobId = 0;
+  ResultMsg Result;
+  RejectMsg Reject;
+  std::string Text; ///< StatsReply payload
+};
+
+class Client {
+public:
+  Client() = default;
+
+  bool connect(const std::string &SocketPath, std::string &Error);
+  [[nodiscard]] bool connected() const { return Sock.valid(); }
+
+  bool submit(std::uint64_t JobId, const std::string &Path,
+              const std::string &Flags, const std::string &Source);
+  bool cancel(std::uint64_t JobId);
+  bool requestStats(bool JSON);
+  bool requestShutdown();
+
+  /// Blocks for the next server frame. Returns false when the server
+  /// closed the connection (Error empty) or on a transport/protocol
+  /// error (Error set).
+  bool next(ClientEvent &Ev, std::string &Error);
+
+  void close() { Sock.close(); }
+
+private:
+  bool sendMsg(MsgType Type, std::uint64_t JobId, std::string Payload);
+
+  Socket Sock;
+  FrameDecoder Decoder;
+};
+
+} // namespace mcc::net
+
+#endif // MCC_NET_CLIENT_H

@@ -1,0 +1,249 @@
+//===--- Protocol.cpp - Compile-daemon wire protocol -----------------------===//
+#include "net/Protocol.h"
+
+#include <cstring>
+
+namespace mcc::net {
+
+namespace {
+
+void putU32(std::string &Out, std::uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (I * 8)) & 0xff));
+}
+
+void putU64(std::string &Out, std::uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (I * 8)) & 0xff));
+}
+
+void putStr(std::string &Out, const std::string &S) {
+  putU32(Out, static_cast<std::uint32_t>(S.size()));
+  Out += S;
+}
+
+/// Bounds-checked sequential reader over a payload.
+class Reader {
+public:
+  explicit Reader(const std::string &Bytes) : P(Bytes.data()), N(Bytes.size()) {}
+
+  bool u8(std::uint8_t &V) {
+    if (Pos + 1 > N)
+      return false;
+    V = static_cast<std::uint8_t>(P[Pos++]);
+    return true;
+  }
+  bool u32(std::uint32_t &V) {
+    if (Pos + 4 > N)
+      return false;
+    V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<std::uint32_t>(static_cast<unsigned char>(P[Pos + I]))
+           << (I * 8);
+    Pos += 4;
+    return true;
+  }
+  bool u64(std::uint64_t &V) {
+    if (Pos + 8 > N)
+      return false;
+    V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<std::uint64_t>(static_cast<unsigned char>(P[Pos + I]))
+           << (I * 8);
+    Pos += 8;
+    return true;
+  }
+  bool str(std::string &S) {
+    std::uint32_t Len;
+    if (!u32(Len) || Pos + Len > N)
+      return false;
+    S.assign(P + Pos, Len);
+    Pos += Len;
+    return true;
+  }
+  /// Trailing garbage is a protocol violation too.
+  [[nodiscard]] bool atEnd() const { return Pos == N; }
+
+private:
+  const char *P;
+  std::size_t N;
+  std::size_t Pos = 0;
+};
+
+} // namespace
+
+std::string encodeSubmit(const SubmitMsg &M) {
+  std::string Out;
+  putStr(Out, M.Path);
+  putStr(Out, M.Flags);
+  putStr(Out, M.Source);
+  return Out;
+}
+
+bool decodeSubmit(const std::string &Payload, SubmitMsg &M) {
+  Reader R(Payload);
+  return R.str(M.Path) && R.str(M.Flags) && R.str(M.Source) && R.atEnd();
+}
+
+std::string encodeResult(const ResultMsg &M) {
+  std::string Out;
+  Out.push_back(static_cast<char>(M.Status));
+  Out.push_back(M.Executed ? '\x01' : '\x00');
+  Out.push_back(static_cast<char>(M.Trace));
+  putU64(Out, static_cast<std::uint64_t>(M.ExitValue));
+  putStr(Out, M.Diagnostics);
+  return Out;
+}
+
+bool decodeResult(const std::string &Payload, ResultMsg &M) {
+  Reader R(Payload);
+  std::uint8_t Status, Executed, Trace;
+  std::uint64_t Exit;
+  if (!R.u8(Status) || !R.u8(Executed) || !R.u8(Trace) || !R.u64(Exit) ||
+      !R.str(M.Diagnostics) || !R.atEnd())
+    return false;
+  if (Status > static_cast<std::uint8_t>(ResultStatus::InternalError) ||
+      Trace > static_cast<std::uint8_t>(TraceLevel::Disk) || Executed > 1)
+    return false;
+  M.Status = static_cast<ResultStatus>(Status);
+  M.Executed = Executed != 0;
+  M.Trace = static_cast<TraceLevel>(Trace);
+  M.ExitValue = static_cast<std::int64_t>(Exit);
+  return true;
+}
+
+std::string encodeReject(const RejectMsg &M) {
+  std::string Out;
+  Out.push_back(static_cast<char>(M.Code));
+  putU32(Out, M.RetryAfterMs);
+  putStr(Out, M.Message);
+  return Out;
+}
+
+bool decodeReject(const std::string &Payload, RejectMsg &M) {
+  Reader R(Payload);
+  std::uint8_t Code;
+  if (!R.u8(Code) || !R.u32(M.RetryAfterMs) || !R.str(M.Message) || !R.atEnd())
+    return false;
+  if (Code < static_cast<std::uint8_t>(RejectCode::Busy) ||
+      Code > static_cast<std::uint8_t>(RejectCode::ShuttingDown))
+    return false;
+  M.Code = static_cast<RejectCode>(Code);
+  return true;
+}
+
+std::string encodeStats(const StatsMsg &M) {
+  std::string Out;
+  Out.push_back(M.JSON ? '\x01' : '\x00');
+  return Out;
+}
+
+bool decodeStats(const std::string &Payload, StatsMsg &M) {
+  Reader R(Payload);
+  std::uint8_t J;
+  if (!R.u8(J) || !R.atEnd() || J > 1)
+    return false;
+  M.JSON = J != 0;
+  return true;
+}
+
+std::string encodeStatsReply(const std::string &Text) {
+  std::string Out;
+  putStr(Out, Text);
+  return Out;
+}
+
+bool decodeStatsReply(const std::string &Payload, std::string &Text) {
+  Reader R(Payload);
+  return R.str(Text) && R.atEnd();
+}
+
+std::string encodeFrame(const Frame &F) {
+  std::string Out;
+  putU32(Out, static_cast<std::uint32_t>(1 + 8 + F.Payload.size()));
+  Out.push_back(static_cast<char>(F.Type));
+  putU64(Out, F.JobId);
+  Out += F.Payload;
+  return Out;
+}
+
+std::optional<Frame> FrameDecoder::next(std::string &Error) {
+  if (Broken)
+    return std::nullopt;
+  if (Buf.size() < 4)
+    return std::nullopt;
+  std::uint32_t Len = 0;
+  for (int I = 0; I < 4; ++I)
+    Len |= static_cast<std::uint32_t>(static_cast<unsigned char>(Buf[I]))
+           << (I * 8);
+  if (Len < 9 || Len > MaxFrameBytes) {
+    Error = "invalid frame length " + std::to_string(Len);
+    Broken = true;
+    return std::nullopt;
+  }
+  if (Buf.size() < 4 + static_cast<std::size_t>(Len))
+    return std::nullopt;
+
+  Frame F;
+  std::uint8_t Type = static_cast<std::uint8_t>(Buf[4]);
+  if (Type < static_cast<std::uint8_t>(MsgType::Submit) ||
+      Type > static_cast<std::uint8_t>(MsgType::ShutdownAck)) {
+    Error = "unknown frame type " + std::to_string(Type);
+    Broken = true;
+    return std::nullopt;
+  }
+  F.Type = static_cast<MsgType>(Type);
+  F.JobId = 0;
+  for (int I = 0; I < 8; ++I)
+    F.JobId |= static_cast<std::uint64_t>(static_cast<unsigned char>(Buf[5 + I]))
+               << (I * 8);
+  F.Payload.assign(Buf, 13, Len - 9);
+  Buf.erase(0, 4 + static_cast<std::size_t>(Len));
+  return F;
+}
+
+const char *resultStatusName(ResultStatus S) {
+  switch (S) {
+  case ResultStatus::Ok:
+    return "ok";
+  case ResultStatus::CompileFail:
+    return "compile-fail";
+  case ResultStatus::Cancelled:
+    return "cancelled";
+  case ResultStatus::InternalError:
+    return "internal-error";
+  }
+  return "?";
+}
+
+const char *rejectCodeName(RejectCode C) {
+  switch (C) {
+  case RejectCode::Busy:
+    return "busy";
+  case RejectCode::Quota:
+    return "quota";
+  case RejectCode::Malformed:
+    return "malformed";
+  case RejectCode::ShuttingDown:
+    return "shutting-down";
+  }
+  return "?";
+}
+
+const char *traceLevelName(TraceLevel T) {
+  switch (T) {
+  case TraceLevel::Cold:
+    return "cold";
+  case TraceLevel::L1:
+    return "L1 hit";
+  case TraceLevel::L2:
+    return "L2 hit";
+  case TraceLevel::L3:
+    return "L3 hit";
+  case TraceLevel::Disk:
+    return "disk hit";
+  }
+  return "?";
+}
+
+} // namespace mcc::net

@@ -1,0 +1,152 @@
+//===--- Protocol.h - Compile-daemon wire protocol -------------*- C++ -*-===//
+//
+// The framed protocol spoken between minicc-serve's daemon mode and its
+// clients over a Unix-domain socket. Deliberately small: length-prefixed
+// binary frames with little-endian fixed-width integers and u32-prefixed
+// strings — no delimiters to escape, no partial-parse states.
+//
+// Frame layout (on the wire):
+//
+//   u32 Length     bytes that follow this field (Type + JobId + payload)
+//   u8  Type       MsgType
+//   u64 JobId      client-chosen correlation id (0 for control verbs)
+//   ..  payload    per-type, see the Msg structs below
+//
+// Verbs:
+//   Submit      C->S  one compile job: path, flag words, source bytes
+//   Result      S->C  verdict for a Submit (status, trace, exit, diags)
+//   Reject      S->C  typed admission refusal (busy/quota/malformed/
+//                     shutting-down) with a retry-after hint
+//   Cancel      C->S  best-effort: pending jobs are dropped, running
+//                     jobs complete but report Cancelled
+//   Stats       C->S  request a statistics snapshot (text or JSON)
+//   StatsReply  S->C  the rendered snapshot
+//   Shutdown    C->S  ask the daemon to drain and exit
+//   ShutdownAck S->C  shutdown accepted (drain has begun)
+//
+// Job options travel as the same flag words the job-file grammar uses
+// (service/JobSpec.h), so socket jobs and file jobs cannot diverge in
+// option semantics.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_NET_PROTOCOL_H
+#define MCC_NET_PROTOCOL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mcc::net {
+
+enum class MsgType : std::uint8_t {
+  Submit = 1,
+  Result = 2,
+  Reject = 3,
+  Cancel = 4,
+  Stats = 5,
+  StatsReply = 6,
+  Shutdown = 7,
+  ShutdownAck = 8,
+};
+
+enum class ResultStatus : std::uint8_t {
+  Ok = 0,          ///< compiled (and ran, if requested) cleanly
+  CompileFail = 1, ///< deterministic compile failure (diagnostics attached)
+  Cancelled = 2,   ///< cancelled before or during execution
+  InternalError = 3,
+};
+
+enum class RejectCode : std::uint8_t {
+  Busy = 1,         ///< admission queue full; retry after RetryAfterMs
+  Quota = 2,        ///< per-client in-flight quota exceeded
+  Malformed = 3,    ///< unparseable submit payload / unknown flag
+  ShuttingDown = 4, ///< daemon is draining; no new work
+};
+
+/// Which cache tier served the compile (the daemon analogue of
+/// CacheTrace; Disk = warm-from-disk after a restart).
+enum class TraceLevel : std::uint8_t {
+  Cold = 0,
+  L1 = 1,
+  L2 = 2,
+  L3 = 3,
+  Disk = 4,
+};
+
+/// Frames larger than this are a protocol violation and close the
+/// connection (64 MiB: far above any real source + diagnostics).
+inline constexpr std::uint32_t MaxFrameBytes = 64u << 20;
+
+struct Frame {
+  MsgType Type = MsgType::Submit;
+  std::uint64_t JobId = 0;
+  std::string Payload;
+};
+
+struct SubmitMsg {
+  std::string Path;  ///< registration path (cosmetic, see CompileJob)
+  std::string Flags; ///< space-separated job flag words
+  std::string Source;
+};
+
+struct ResultMsg {
+  ResultStatus Status = ResultStatus::Ok;
+  bool Executed = false;
+  TraceLevel Trace = TraceLevel::Cold;
+  std::int64_t ExitValue = 0;
+  std::string Diagnostics;
+};
+
+struct RejectMsg {
+  RejectCode Code = RejectCode::Busy;
+  std::uint32_t RetryAfterMs = 0;
+  std::string Message;
+};
+
+struct StatsMsg {
+  bool JSON = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Payload (de)serialization. Encoders never fail; decoders return false
+// on any truncation, trailing garbage, or out-of-range enum — a decode
+// failure is a protocol violation, not a job failure.
+//===----------------------------------------------------------------------===//
+
+std::string encodeSubmit(const SubmitMsg &M);
+std::string encodeResult(const ResultMsg &M);
+std::string encodeReject(const RejectMsg &M);
+std::string encodeStats(const StatsMsg &M);
+std::string encodeStatsReply(const std::string &Text);
+
+bool decodeSubmit(const std::string &Payload, SubmitMsg &M);
+bool decodeResult(const std::string &Payload, ResultMsg &M);
+bool decodeReject(const std::string &Payload, RejectMsg &M);
+bool decodeStats(const std::string &Payload, StatsMsg &M);
+bool decodeStatsReply(const std::string &Payload, std::string &Text);
+
+/// Serializes a whole frame, length prefix included.
+std::string encodeFrame(const Frame &F);
+
+/// Incremental frame decoder over a byte buffer (append() whatever the
+/// socket produced, then drain next() until nullopt). Detects oversized
+/// frames and unknown types as hard errors.
+class FrameDecoder {
+public:
+  void append(const char *Data, std::size_t N) { Buf.append(Data, N); }
+  /// Returns the next complete frame, nullopt if more bytes are needed.
+  /// Sets \p Error (and returns nullopt forever after) on a violation.
+  std::optional<Frame> next(std::string &Error);
+
+private:
+  std::string Buf;
+  bool Broken = false;
+};
+
+const char *resultStatusName(ResultStatus S);
+const char *rejectCodeName(RejectCode C);
+const char *traceLevelName(TraceLevel T);
+
+} // namespace mcc::net
+
+#endif // MCC_NET_PROTOCOL_H

@@ -1,0 +1,139 @@
+//===--- Socket.cpp - RAII Unix-domain sockets -----------------------------===//
+#include "net/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace mcc::net {
+
+Socket &Socket::operator=(Socket &&O) noexcept {
+  if (this != &O) {
+    close();
+    FD = O.FD;
+    O.FD = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (FD >= 0) {
+    ::close(FD);
+    FD = -1;
+  }
+}
+
+void Socket::shutdownBoth() {
+  if (FD >= 0)
+    ::shutdown(FD, SHUT_RDWR);
+}
+
+namespace {
+
+bool fillUnixAddr(const std::string &Path, sockaddr_un &Addr,
+                  std::string &Error) {
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long: " + Path;
+    return false;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+Socket Socket::listenUnix(const std::string &Path, int Backlog,
+                          std::string &Error) {
+  sockaddr_un Addr;
+  if (!fillUnixAddr(Path, Addr, Error))
+    return Socket();
+  int FD = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (FD < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return Socket();
+  }
+  // A previous daemon's socket file would make bind fail with EADDRINUSE;
+  // the file is only a rendezvous name, safe to reclaim.
+  ::unlink(Path.c_str());
+  if (::bind(FD, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = "bind " + Path + ": " + std::strerror(errno);
+    ::close(FD);
+    return Socket();
+  }
+  if (::listen(FD, Backlog) < 0) {
+    Error = "listen " + Path + ": " + std::strerror(errno);
+    ::close(FD);
+    return Socket();
+  }
+  return Socket(FD);
+}
+
+Socket Socket::connectUnix(const std::string &Path, std::string &Error) {
+  sockaddr_un Addr;
+  if (!fillUnixAddr(Path, Addr, Error))
+    return Socket();
+  int FD = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (FD < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return Socket();
+  }
+  if (::connect(FD, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = "connect " + Path + ": " + std::strerror(errno);
+    ::close(FD);
+    return Socket();
+  }
+  return Socket(FD);
+}
+
+Socket Socket::accept() {
+  for (;;) {
+    int C = ::accept4(FD, nullptr, nullptr, SOCK_CLOEXEC);
+    if (C >= 0)
+      return Socket(C);
+    if (errno != EINTR)
+      return Socket();
+  }
+}
+
+bool Socket::sendAll(const void *Data, std::size_t N) {
+  const char *P = static_cast<const char *>(Data);
+  while (N > 0) {
+    long W = ::send(FD, P, N, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += W;
+    N -= static_cast<std::size_t>(W);
+  }
+  return true;
+}
+
+long Socket::recvSome(void *Data, std::size_t N) {
+  for (;;) {
+    long R = ::recv(FD, Data, N, 0);
+    if (R >= 0 || errno != EINTR)
+      return R;
+  }
+}
+
+bool Socket::pollReadable(int TimeoutMs) const {
+  pollfd PFD{FD, POLLIN, 0};
+  for (;;) {
+    int R = ::poll(&PFD, 1, TimeoutMs);
+    if (R > 0)
+      return (PFD.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+    if (R == 0)
+      return false;
+    if (errno != EINTR)
+      return false;
+  }
+}
+
+} // namespace mcc::net

@@ -1,0 +1,61 @@
+//===--- Socket.h - RAII Unix-domain sockets -------------------*- C++ -*-===//
+//
+// Thin POSIX wrappers used by the daemon and client: listen/accept/
+// connect over AF_UNIX, whole-buffer send/recv (EINTR-retrying), and a
+// poll-with-timeout so the accept loop can observe shutdown requests.
+// SIGPIPE is suppressed per-send (MSG_NOSIGNAL) so a vanished peer is an
+// error return, never a process kill.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_NET_SOCKET_H
+#define MCC_NET_SOCKET_H
+
+#include <cstddef>
+#include <string>
+
+namespace mcc::net {
+
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int FD) : FD(FD) {}
+  ~Socket() { close(); }
+  Socket(Socket &&O) noexcept : FD(O.FD) { O.FD = -1; }
+  Socket &operator=(Socket &&O) noexcept;
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+
+  /// Binds and listens on \p Path (unlinking a stale socket file first).
+  static Socket listenUnix(const std::string &Path, int Backlog,
+                           std::string &Error);
+  /// Connects to a listening daemon at \p Path.
+  static Socket connectUnix(const std::string &Path, std::string &Error);
+
+  [[nodiscard]] bool valid() const { return FD >= 0; }
+  [[nodiscard]] int fd() const { return FD; }
+
+  /// Accepts one connection; invalid socket on error/timeout handling is
+  /// the caller's (pair with pollReadable on the listen fd).
+  Socket accept();
+
+  /// Sends the whole buffer; false on any error (including EPIPE).
+  bool sendAll(const void *Data, std::size_t N);
+  /// Receives up to \p N bytes (one recv); 0 = orderly peer close,
+  /// negative = error.
+  long recvSome(void *Data, std::size_t N);
+
+  /// True when the fd becomes readable within \p TimeoutMs (-1 = wait
+  /// forever); false on timeout or error.
+  bool pollReadable(int TimeoutMs) const;
+
+  /// Half-closes both directions — unblocks a thread parked in recv.
+  void shutdownBoth();
+  void close();
+
+private:
+  int FD = -1;
+};
+
+} // namespace mcc::net
+
+#endif // MCC_NET_SOCKET_H

@@ -10,6 +10,7 @@
 #include "analysis/Analysis.h"
 #include "runtime/KMPRuntime.h"
 #include "support/ContentHash.h"
+#include "support/JSONWriter.h"
 
 #include <algorithm>
 #include <cassert>
@@ -101,6 +102,12 @@ std::size_t estimateModuleBytes(const ir::Module &M) {
 }
 
 } // namespace
+
+std::string ModuleArtifact::irText() const {
+  if (DiskLoaded)
+    return IRText;
+  return Mod ? ir::printModule(*Mod) : std::string();
+}
 
 std::shared_ptr<TokenStreamArtifact>
 CompileService::produceTokens(const CompileJob &Job) {
@@ -242,6 +249,18 @@ CompileService::produceModule(std::shared_ptr<const ASTArtifact> AST,
 // Request path
 //===----------------------------------------------------------------------===//
 
+std::shared_ptr<ModuleArtifact>
+CompileService::produceModuleChain(const CompileJob &Job, std::uint64_t K1,
+                                   std::uint64_t K2, CacheTrace &Trace) {
+  std::shared_ptr<const ASTArtifact> AST =
+      L2Cache.getOrProduce(K2, Trace.L2Hit, [&] {
+        std::shared_ptr<const TokenStreamArtifact> Toks = L1Cache.getOrProduce(
+            K1, Trace.L1Hit, [&] { return produceTokens(Job); });
+        return produceAST(std::move(Toks), Job.Options);
+      });
+  return produceModule(std::move(AST), Job.Options);
+}
+
 CompileResult CompileService::compile(const CompileJob &Job) {
   Requests.fetch_add(1, std::memory_order_relaxed);
   CompileResult Res;
@@ -254,18 +273,50 @@ CompileResult CompileService::compile(const CompileJob &Job) {
   // at level N leaves the levels below untouched (their stats do not
   // move). A thread never holds a cache lock while producing, so the
   // nesting cannot deadlock (the consultation order is strictly
-  // L3 -> L2 -> L1).
-  std::shared_ptr<const ModuleArtifact> Mod =
-      L3Cache.getOrProduce(K3, Res.Trace.L3Hit, [&] {
-        std::shared_ptr<const ASTArtifact> AST =
-            L2Cache.getOrProduce(K2, Res.Trace.L2Hit, [&] {
-              std::shared_ptr<const TokenStreamArtifact> Toks =
-                  L1Cache.getOrProduce(K1, Res.Trace.L1Hit,
-                                       [&] { return produceTokens(Job); });
-              return produceAST(std::move(Toks), Job.Options);
-            });
-        return produceModule(std::move(AST), Job.Options);
+  // L3 -> disk -> L2 -> L1).
+  std::shared_ptr<const ModuleArtifact> Mod = L3Cache.getOrProduce(
+      K3, Res.Trace.L3Hit, [&]() -> std::shared_ptr<ModuleArtifact> {
+        // The disk store sits directly under the in-memory L3: a disk
+        // hit skips the whole pipeline. Execute requests need a live
+        // ir::Module, which the disk record cannot provide, so they go
+        // straight to a real compile (store() below dedupes the publish).
+        if (Disk && !Job.Execute) {
+          if (std::optional<DiskArtifact> DA = Disk->load(K3)) {
+            Res.Trace.DiskHit = true;
+            auto A = std::make_shared<ModuleArtifact>();
+            A->DiskLoaded = true;
+            A->Failed = DA->Failed;
+            A->DiagText = std::move(DA->DiagText);
+            A->IRText = std::move(DA->IRText);
+            A->Bytes = sizeof(ModuleArtifact) + A->DiagText.size() +
+                       A->IRText.size();
+            return A;
+          }
+        }
+        std::shared_ptr<ModuleArtifact> A =
+            produceModuleChain(Job, K1, K2, Res.Trace);
+        if (Disk) {
+          DiskArtifact DA;
+          DA.Failed = A->Failed;
+          DA.DiagText = A->DiagText;
+          if (!A->Failed)
+            DA.IRText = ir::printModule(*A->Mod);
+          Disk->store(K3, DA);
+        }
+        return A;
       });
+
+  // Stub promotion: an Execute request that found a disk-loaded outcome
+  // in L3 must recompile (no live module to run). The real artifact then
+  // replaces the stub so every later request — execute or not — gets the
+  // live module. Concurrent promoters may compile redundantly; update()
+  // keeps the race benign and the window closes after one promotion.
+  if (Job.Execute && Mod && Mod->DiskLoaded) {
+    std::shared_ptr<ModuleArtifact> Real =
+        produceModuleChain(Job, K1, K2, Res.Trace);
+    L3Cache.update(K3, Real);
+    Mod = std::move(Real);
+  }
 
   // Cascade the trace: a hit at level N means the request was served at
   // or above every lower level too.
@@ -307,6 +358,12 @@ CompileService::CompileService(ServiceOptions O)
       L1Cache(Opts.CacheBudgetBytes / 4, L1Stats),
       L2Cache(Opts.CacheBudgetBytes * 35 / 100, L2Stats),
       L3Cache(Opts.CacheBudgetBytes * 40 / 100, L3Stats) {
+  if (!Opts.DiskStorePath.empty()) {
+    ArtifactStoreOptions AO;
+    AO.Root = Opts.DiskStorePath;
+    AO.BudgetBytes = Opts.DiskBudgetBytes;
+    Disk = std::make_unique<ArtifactStore>(std::move(AO));
+  }
   unsigned N = std::max(1u, Opts.NumWorkers);
   Workers.reserve(N);
   for (unsigned I = 0; I < N; ++I)
@@ -348,6 +405,26 @@ std::future<CompileResult> CompileService::enqueue(CompileJob Job) {
   return F;
 }
 
+void CompileService::enqueueAsync(CompileJob Job,
+                                  std::function<void(CompileResult)> Done) {
+  std::packaged_task<CompileResult()> Task(
+      [this, J = std::move(Job), D = std::move(Done)] {
+        CompileResult R = compile(J);
+        if (D)
+          D(R);
+        return R;
+      });
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Stopping) {
+      Task(); // pool gone: serve (and notify) inline
+      return;
+    }
+    Queue.push_back(std::move(Task));
+  }
+  QueueCV.notify_one();
+}
+
 void CompileService::shutdown() {
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
@@ -359,6 +436,10 @@ void CompileService::shutdown() {
   for (std::thread &T : Workers)
     T.join();
   Workers.clear();
+  // Persist the disk store's recency ordering now that no producer can
+  // publish anymore.
+  if (Disk)
+    Disk->flushIndex();
   // Quiesce the shared OpenMP runtime: joins the hot-team worker pool so
   // a service shutdown leaves no background threads (the pool respawns
   // lazily if the process forks again).
@@ -406,6 +487,10 @@ ServiceStatsSnapshot CompileService::statsSnapshot() const {
   S.L1 = snapshotLevel(L1Stats);
   S.L2 = snapshotLevel(L2Stats);
   S.L3 = snapshotLevel(L3Stats);
+  if (Disk) {
+    S.DiskEnabled = true;
+    S.Disk = Disk->statsSnapshot();
+  }
   return S;
 }
 
@@ -421,6 +506,69 @@ std::string CompileService::renderStats() const {
   renderLevel(Out, "L1 tokens", S.L1);
   renderLevel(Out, "L2 ast   ", S.L2);
   renderLevel(Out, "L3 module", S.L3);
+  if (S.DiskEnabled) {
+    // Appended only when a store is configured, keeping the established
+    // text format byte-identical for disk-less deployments.
+    char DBuf[256];
+    std::snprintf(DBuf, sizeof(DBuf),
+                  "disk     : hits=%llu misses=%llu bad=%llu stores=%llu "
+                  "evictions=%llu entries=%llu bytes=%llu\n",
+                  static_cast<unsigned long long>(S.Disk.Hits),
+                  static_cast<unsigned long long>(S.Disk.Misses),
+                  static_cast<unsigned long long>(S.Disk.BadArtifacts),
+                  static_cast<unsigned long long>(S.Disk.Stores),
+                  static_cast<unsigned long long>(S.Disk.Evictions),
+                  static_cast<unsigned long long>(S.Disk.Entries),
+                  static_cast<unsigned long long>(S.Disk.Bytes));
+    Out += DBuf;
+  }
+  return Out;
+}
+
+namespace {
+
+void writeLevelJSON(json::Writer &W, const char *Name,
+                    const CacheLevelSnapshot &S) {
+  W.key(Name);
+  W.beginObject();
+  W.field("hits", S.Hits);
+  W.field("misses", S.Misses);
+  W.field("waits", S.InFlightWaits);
+  W.field("evictions", S.Evictions);
+  W.field("entries", S.Entries);
+  W.field("bytes", S.Bytes);
+  W.endObject();
+}
+
+} // namespace
+
+std::string CompileService::renderStatsJSON() const {
+  ServiceStatsSnapshot S = statsSnapshot();
+  std::string Out;
+  json::Writer W(Out);
+  W.beginObject();
+  W.field("requests", S.Requests);
+  W.field("executions", S.Executions);
+  W.field("workers", static_cast<std::uint64_t>(std::max(1u, Opts.NumWorkers)));
+  writeLevelJSON(W, "l1_tokens", S.L1);
+  writeLevelJSON(W, "l2_ast", S.L2);
+  writeLevelJSON(W, "l3_module", S.L3);
+  W.field("disk_enabled", S.DiskEnabled);
+  if (S.DiskEnabled) {
+    W.key("disk");
+    W.beginObject();
+    W.field("hits", S.Disk.Hits);
+    W.field("misses", S.Disk.Misses);
+    W.field("bad_artifacts", S.Disk.BadArtifacts);
+    W.field("stores", S.Disk.Stores);
+    W.field("store_failures", S.Disk.StoreFailures);
+    W.field("evictions", S.Disk.Evictions);
+    W.field("entries", S.Disk.Entries);
+    W.field("bytes", S.Disk.Bytes);
+    W.endObject();
+  }
+  W.endObject();
+  Out += '\n';
   return Out;
 }
 

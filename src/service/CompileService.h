@@ -33,6 +33,7 @@
 
 #include "driver/CompilerInstance.h"
 #include "interp/Interpreter.h"
+#include "service/ArtifactStore.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -106,12 +107,23 @@ struct ModuleArtifact {
   /// relocations), hence shareable across engines and threads.
   std::shared_ptr<const interp::bc::BytecodeModule> Bytecode;
 
+  /// Loaded from the on-disk ArtifactStore: the recorded outcome only
+  /// (verdict + diagnostics + printed IR in IRText); Mod/Bytecode are
+  /// null and module() must not be called. An Execute request against a
+  /// disk-loaded artifact triggers a real compile that replaces this
+  /// entry ("stub promotion", see CompileService::compile).
+  bool DiskLoaded = false;
+  std::string IRText; ///< printed IR for disk artifacts; empty otherwise
+
   bool Failed = false;
   std::string DiagText;
   std::size_t Bytes = 0;
 
   [[nodiscard]] bool ok() const { return !Failed; }
+  [[nodiscard]] bool hasLiveModule() const { return Mod != nullptr; }
   [[nodiscard]] const ir::Module &module() const { return *Mod; }
+  /// Printed IR regardless of provenance (live module or disk record).
+  [[nodiscard]] std::string irText() const;
 };
 
 //===----------------------------------------------------------------------===//
@@ -158,6 +170,9 @@ struct ServiceStatsSnapshot {
   std::uint64_t Requests = 0;
   std::uint64_t Executions = 0;
   CacheLevelSnapshot L1, L2, L3;
+  /// On-disk store counters; meaningful only when DiskEnabled.
+  bool DiskEnabled = false;
+  DiskStoreSnapshot Disk;
 };
 
 //===----------------------------------------------------------------------===//
@@ -233,6 +248,36 @@ public:
   }
 
 private:
+public:
+  /// Replaces the artifact published under \p Key (or inserts it if the
+  /// key was evicted meanwhile). Used by stub promotion: an Execute
+  /// request that found a disk-loaded outcome recompiles for real and
+  /// upgrades the cached entry so later requests get the live module. A
+  /// key still mid-production is left alone (the producer will publish).
+  void update(std::uint64_t Key, std::shared_ptr<ArtifactT> Art) {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Slots.find(Key);
+    if (It != Slots.end()) {
+      if (It->second->Building)
+        return;
+      BytesCached -= It->second->Artifact->Bytes;
+      It->second->Artifact = Art;
+      BytesCached += Art->Bytes;
+      LRU.splice(LRU.begin(), LRU, It->second->LRUPos);
+    } else {
+      auto S = std::make_shared<Slot>();
+      S->Artifact = Art;
+      S->Building = false;
+      S->LRUPos = LRU.insert(LRU.begin(), Key);
+      Slots.emplace(Key, S);
+      BytesCached += Art->Bytes;
+      Stats.Entries.fetch_add(1, std::memory_order_relaxed);
+    }
+    evictOverBudgetLocked(Key);
+    Stats.Bytes.store(BytesCached, std::memory_order_relaxed);
+  }
+
+private:
   struct Slot {
     std::shared_ptr<ArtifactT> Artifact; ///< null while building
     bool Building = true;
@@ -278,6 +323,13 @@ struct ServiceOptions {
   /// Total cache budget, split across the levels (L1 25%, L2 35%,
   /// L3 40% — ASTs and modules are the expensive artifacts to rebuild).
   std::size_t CacheBudgetBytes = 256u << 20;
+  /// Root directory of the on-disk artifact store; empty disables
+  /// persistence. The store is consulted on L3 miss and published on L3
+  /// fill, so warm state survives restarts and is shareable between
+  /// daemons pointed at the same directory.
+  std::string DiskStorePath;
+  /// Byte budget for the disk store's LRU sweep.
+  std::size_t DiskBudgetBytes = 1ull << 30;
 };
 
 /// One compile (and optionally execute) request.
@@ -299,6 +351,9 @@ struct CacheTrace {
   bool L1Hit = false;
   bool L2Hit = false;
   bool L3Hit = false;
+  /// Served from the on-disk store (L3 missed in memory; nothing below
+  /// was consulted). Mutually exclusive with L3Hit.
+  bool DiskHit = false;
 };
 
 struct CompileResult {
@@ -326,14 +381,29 @@ public:
   /// Queues the job for the worker pool.
   std::future<CompileResult> enqueue(CompileJob Job);
 
-  /// Drains the queue, joins the workers, and quiesces the shared OpenMP
-  /// runtime's hot team. Idempotent; also run by the destructor.
+  /// Queues the job and invokes \p Done with the result on the worker
+  /// thread that served it (the daemon's completion path: no future to
+  /// park a thread on). If the pool is already stopping, the job runs —
+  /// and Done fires — inline on the caller's thread.
+  void enqueueAsync(CompileJob Job, std::function<void(CompileResult)> Done);
+
+  /// Drains the queue, joins the workers, flushes the disk store index,
+  /// and quiesces the shared OpenMP runtime's hot team. Idempotent; also
+  /// run by the destructor.
   void shutdown();
 
   [[nodiscard]] ServiceStatsSnapshot statsSnapshot() const;
   /// Human-readable counter dump (the `minicc-serve --service-stats`
-  /// payload), styled after OpenMPRuntime::renderStats().
+  /// payload), styled after OpenMPRuntime::renderStats(). Byte-stable
+  /// when no disk store is configured; with one, a `disk:` line is
+  /// appended.
   [[nodiscard]] std::string renderStats() const;
+  /// Machine-readable JSON snapshot (`--service-stats=json`, the daemon
+  /// `stats` verb) for scraping.
+  [[nodiscard]] std::string renderStatsJSON() const;
+
+  /// The on-disk artifact store, or null when persistence is disabled.
+  [[nodiscard]] ArtifactStore *diskStore() { return Disk.get(); }
 
   [[nodiscard]] const ServiceOptions &getOptions() const { return Opts; }
 
@@ -345,9 +415,17 @@ private:
   std::shared_ptr<ModuleArtifact>
   produceModule(std::shared_ptr<const ASTArtifact> AST,
                 const CompilerOptions &Options);
+  /// Produces the full L2+L3 chain for \p Job (publishing to the disk
+  /// store on success) — the body of the L3 producer and of stub
+  /// promotion.
+  std::shared_ptr<ModuleArtifact> produceModuleChain(const CompileJob &Job,
+                                                     std::uint64_t K1,
+                                                     std::uint64_t K2,
+                                                     CacheTrace &Trace);
   void workerLoop();
 
   ServiceOptions Opts;
+  std::unique_ptr<ArtifactStore> Disk; ///< null when persistence disabled
 
   CacheLevelStats L1Stats, L2Stats, L3Stats;
   ArtifactCache<TokenStreamArtifact> L1Cache;

@@ -1,0 +1,161 @@
+//===--- JobSpec.cpp - Textual compile-job specification -------------------===//
+#include "service/JobSpec.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace mcc::svc {
+
+namespace {
+
+bool parseU64Flag(const std::string &Arg, const char *Prefix,
+                  std::uint64_t &Out) {
+  std::size_t Len = std::strlen(Prefix);
+  if (Arg.rfind(Prefix, 0) != 0)
+    return false;
+  Out = std::strtoull(Arg.c_str() + Len, nullptr, 10);
+  return true;
+}
+
+} // namespace
+
+std::vector<std::string> splitJobWords(const std::string &Line) {
+  std::istringstream In(Line);
+  std::vector<std::string> Words;
+  for (std::string W; In >> W;)
+    Words.push_back(std::move(W));
+  return Words;
+}
+
+bool parseJobFlagWord(const std::string &W, CompileJob &Job,
+                      std::string &Error) {
+  std::uint64_t N = 0;
+  if (W == "-fopenmp")
+    Job.Options.LangOpts.OpenMP = true;
+  else if (W == "-fno-openmp")
+    Job.Options.LangOpts.OpenMP = false;
+  else if (W == "-fopenmp-enable-irbuilder")
+    Job.Options.LangOpts.OpenMPEnableIRBuilder = true;
+  else if (W == "-O1")
+    Job.Options.RunMidend = true;
+  else if (W == "-run")
+    Job.Execute = true;
+  else if (W == "--analyze" || W == "-analyze")
+    Job.Options.RunAnalyzers = true;
+  else if (W.rfind("--analyze=", 0) == 0 || W.rfind("-analyze=", 0) == 0) {
+    std::string List = W.substr(W.find('=') + 1);
+    std::size_t Pos = 0;
+    while (Pos <= List.size()) {
+      std::size_t Comma = List.find(',', Pos);
+      std::string Name = List.substr(
+          Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+      if (!Name.empty())
+        Job.Options.AnalyzePasses.push_back(Name);
+      if (Comma == std::string::npos)
+        break;
+      Pos = Comma + 1;
+    }
+  } else if (W == "-w")
+    Job.Options.SuppressWarnings = true;
+  else if (W == "-Werror")
+    Job.Options.WarningsAsErrors = true;
+  else if (parseU64Flag(W, "-num-threads=", N))
+    Job.Options.LangOpts.OpenMPDefaultNumThreads = static_cast<unsigned>(N);
+  else if (parseU64Flag(W, "-unroll-factor=", N))
+    Job.Options.UnrollOpts.HeuristicFactor = static_cast<unsigned>(N);
+  else if (W.rfind("-exec-engine=", 0) == 0) {
+    if (!interp::parseExecEngineKind(W.substr(std::strlen("-exec-engine=")),
+                                     Job.Options.ExecEngine)) {
+      Error = "invalid -exec-engine (expected 'walker', 'bytecode', "
+              "'native', or 'tiered'): " +
+              W;
+      return false;
+    }
+  } else if (W.rfind("-D", 0) == 0 && W.size() > 2) {
+    std::string Def = W.substr(2);
+    std::size_t Eq = Def.find('=');
+    if (Eq == std::string::npos)
+      Job.Options.Defines.emplace_back(Def, "1");
+    else
+      Job.Options.Defines.emplace_back(Def.substr(0, Eq), Def.substr(Eq + 1));
+  } else {
+    Error = "unknown job flag: " + W;
+    return false;
+  }
+  return true;
+}
+
+std::string renderJobFlags(const CompileJob &Job) {
+  const CompileJob Defaults;
+  std::string Out;
+  auto Word = [&Out](const std::string &W) {
+    if (!Out.empty())
+      Out += ' ';
+    Out += W;
+  };
+  if (!Job.Options.LangOpts.OpenMP)
+    Word("-fno-openmp");
+  if (Job.Options.LangOpts.OpenMPEnableIRBuilder)
+    Word("-fopenmp-enable-irbuilder");
+  if (Job.Options.RunMidend)
+    Word("-O1");
+  if (Job.Execute)
+    Word("-run");
+  if (Job.Options.RunAnalyzers)
+    Word("--analyze");
+  if (!Job.Options.AnalyzePasses.empty()) {
+    std::string List;
+    for (const std::string &P : Job.Options.AnalyzePasses) {
+      if (!List.empty())
+        List += ',';
+      List += P;
+    }
+    Word("--analyze=" + List);
+  }
+  if (Job.Options.SuppressWarnings)
+    Word("-w");
+  if (Job.Options.WarningsAsErrors)
+    Word("-Werror");
+  if (Job.Options.LangOpts.OpenMPDefaultNumThreads !=
+      Defaults.Options.LangOpts.OpenMPDefaultNumThreads)
+    Word("-num-threads=" +
+         std::to_string(Job.Options.LangOpts.OpenMPDefaultNumThreads));
+  if (Job.Options.UnrollOpts.HeuristicFactor !=
+      Defaults.Options.UnrollOpts.HeuristicFactor)
+    Word("-unroll-factor=" +
+         std::to_string(Job.Options.UnrollOpts.HeuristicFactor));
+  if (Job.Options.ExecEngine != Defaults.Options.ExecEngine)
+    Word(std::string("-exec-engine=") +
+         interp::execEngineKindName(Job.Options.ExecEngine));
+  for (const auto &[Name, Value] : Job.Options.Defines)
+    Word(Value == "1" ? "-D" + Name : "-D" + Name + "=" + Value);
+  return Out;
+}
+
+bool parseJobSpecLine(const std::string &Line, CompileJob &Job,
+                      std::string &File, std::string &Error) {
+  Error.clear();
+  std::vector<std::string> Words = splitJobWords(Line);
+  if (Words.empty() || Words.front()[0] == '#')
+    return false;
+
+  File.clear();
+  for (const std::string &W : Words) {
+    if (!W.empty() && W[0] == '-') {
+      if (!parseJobFlagWord(W, Job, Error))
+        return false;
+    } else if (File.empty())
+      File = W;
+    else {
+      Error = "more than one file on a job line: " + W;
+      return false;
+    }
+  }
+  if (File.empty()) {
+    Error = "job line has no file";
+    return false;
+  }
+  return true;
+}
+
+} // namespace mcc::svc

@@ -1,0 +1,44 @@
+//===--- JobSpec.h - Textual compile-job specification ---------*- C++ -*-===//
+//
+// The job-spec word grammar shared by every front door to the compile
+// service: the legacy minicc-serve job files ("[flags...] <file>", one
+// per line), the daemon protocol's Submit frames (flags travel as the
+// same words; the client ships the source bytes), and minicc-fuzz's
+// corpus emission. One parser means one semantics: a flag word is parsed
+// identically whether it arrived from a file, a socket, or a test.
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_SERVICE_JOBSPEC_H
+#define MCC_SERVICE_JOBSPEC_H
+
+#include "service/CompileService.h"
+
+#include <string>
+#include <vector>
+
+namespace mcc::svc {
+
+/// Splits \p Line on whitespace.
+std::vector<std::string> splitJobWords(const std::string &Line);
+
+/// Parses one flag word (everything in the job grammar except the file
+/// operand) into \p Job. Returns false with \p Error set if \p Word is
+/// not a recognized flag (including a word that does not start with '-').
+bool parseJobFlagWord(const std::string &Word, CompileJob &Job,
+                      std::string &Error);
+
+/// Renders the non-default options of \p Job back into flag words (the
+/// inverse of parseJobFlagWord, round-trip tested). This is what the
+/// client sends over the wire.
+std::string renderJobFlags(const CompileJob &Job);
+
+/// Parses a full job line "[flags...] <file>". On success \p File holds
+/// the (single) file operand; the caller decides how to load it. Returns
+/// false with an empty \p Error for blank/comment lines, false with a
+/// message for malformed ones.
+bool parseJobSpecLine(const std::string &Line, CompileJob &Job,
+                      std::string &File, std::string &Error);
+
+} // namespace mcc::svc
+
+#endif // MCC_SERVICE_JOBSPEC_H

@@ -1,0 +1,151 @@
+//===--- JSONWriter.h - Minimal JSON emission ------------------*- C++ -*-===//
+//
+// A tiny append-only JSON writer for machine-readable outputs (service
+// stats scraping, daemon protocol payloads). Emission only — the repo has
+// no JSON consumer — with automatic comma placement and RFC 8259 string
+// escaping. Deliberately not a DOM: callers stream key/value pairs in
+// order, which keeps output deterministic (stable for golden tests).
+//
+//===----------------------------------------------------------------------===//
+#ifndef MCC_SUPPORT_JSONWRITER_H
+#define MCC_SUPPORT_JSONWRITER_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcc::json {
+
+/// Escapes \p S for inclusion inside a JSON string literal (the
+/// surrounding quotes are the caller's). Control characters use \u00XX.
+inline std::string escape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else
+        Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+/// Streaming writer over a caller-owned string. Usage:
+///   Writer W(Out);
+///   W.beginObject();
+///   W.field("requests", 42);
+///   W.key("l1"); W.beginObject(); ... W.endObject();
+///   W.endObject();
+class Writer {
+public:
+  explicit Writer(std::string &Out) : Out(Out) {}
+
+  void beginObject() {
+    comma();
+    Out += '{';
+    Fresh.push_back(true);
+  }
+  void endObject() {
+    Out += '}';
+    Fresh.pop_back();
+  }
+  void beginArray() {
+    comma();
+    Out += '[';
+    Fresh.push_back(true);
+  }
+  void endArray() {
+    Out += ']';
+    Fresh.pop_back();
+  }
+
+  /// Emits `"name":` (value must follow).
+  void key(std::string_view Name) {
+    comma();
+    Out += '"';
+    Out += escape(Name);
+    Out += "\":";
+    Pending = true;
+  }
+
+  void value(std::uint64_t V) {
+    comma();
+    Out += std::to_string(V);
+  }
+  void value(std::int64_t V) {
+    comma();
+    Out += std::to_string(V);
+  }
+  void value(bool V) {
+    comma();
+    Out += V ? "true" : "false";
+  }
+  void value(std::string_view V) {
+    comma();
+    Out += '"';
+    Out += escape(V);
+    Out += '"';
+  }
+  /// Without this overload a string literal would prefer the bool
+  /// conversion (standard beats user-defined) and emit `true`.
+  void value(const char *V) { value(std::string_view(V)); }
+
+  /// Splices pre-rendered JSON in as one value (e.g. nesting another
+  /// component's snapshot); the caller guarantees it is valid JSON.
+  void rawValue(std::string_view J) {
+    comma();
+    Out += J;
+  }
+
+  void field(std::string_view Name, std::uint64_t V) { key(Name); value(V); }
+  void field(std::string_view Name, std::int64_t V) { key(Name); value(V); }
+  void field(std::string_view Name, bool V) { key(Name); value(V); }
+  void field(std::string_view Name, std::string_view V) { key(Name); value(V); }
+  void field(std::string_view Name, const char *V) { key(Name); value(V); }
+
+private:
+  /// Inserts a separating comma unless this is the container's first
+  /// element or the value completes a pending `"key":`.
+  void comma() {
+    if (Pending) {
+      Pending = false;
+      return;
+    }
+    if (!Fresh.empty()) {
+      if (!Fresh.back())
+        Out += ',';
+      Fresh.back() = false;
+    }
+  }
+
+  std::string &Out;
+  std::vector<bool> Fresh; ///< per open container: no element emitted yet
+  bool Pending = false;    ///< a key was written; next value separates not
+};
+
+} // namespace mcc::json
+
+#endif // MCC_SUPPORT_JSONWRITER_H

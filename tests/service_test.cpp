@@ -8,10 +8,14 @@
 //
 //===----------------------------------------------------------------------===//
 #include "service/CompileService.h"
+#include "service/ArtifactStore.h"
+#include "service/JobSpec.h"
 
 #include "gtest/gtest.h"
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 #include <vector>
 
@@ -357,6 +361,290 @@ TEST(ServiceParity, CachedModuleMatchesCompilerInstance) {
     // the module the one-shot pipeline produces.
     EXPECT_EQ(ir::printModule(R.Module->module()), CI.getIRText());
   }
+}
+
+//===----------------------------------------------------------------------===//
+// On-disk artifact store
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Fresh store root per test, removed afterwards.
+class DiskStoreTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Root = ::testing::TempDir() + "mcc_store_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(Root);
+  }
+  void TearDown() override { std::filesystem::remove_all(Root); }
+  std::string Root;
+};
+
+} // namespace
+
+TEST_F(DiskStoreTest, RoundTripPreservesEveryByte) {
+  DiskArtifact In;
+  In.Failed = false;
+  In.DiagText = "warning: something\nnote: here\n";
+  In.IRText = "func @main() {\n  ret 0\n}\n";
+  {
+    ArtifactStore Store({Root, 1u << 20});
+    ASSERT_TRUE(Store.store(0xDEADBEEFull, In));
+    EXPECT_TRUE(Store.contains(0xDEADBEEFull));
+    std::optional<DiskArtifact> Out = Store.load(0xDEADBEEFull);
+    ASSERT_TRUE(Out.has_value());
+    EXPECT_EQ(Out->Failed, In.Failed);
+    EXPECT_EQ(Out->DiagText, In.DiagText);
+    EXPECT_EQ(Out->IRText, In.IRText);
+  }
+  // A second store process (fresh index) finds the artifact again.
+  ArtifactStore Store2({Root, 1u << 20});
+  std::optional<DiskArtifact> Out = Store2.load(0xDEADBEEFull);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(Out->IRText, In.IRText);
+  EXPECT_EQ(Store2.statsSnapshot().Hits, 1u);
+}
+
+TEST_F(DiskStoreTest, CorruptedPayloadIsAVerifiedMiss) {
+  ArtifactStore Store({Root, 1u << 20});
+  DiskArtifact In;
+  In.DiagText = "diagnostics";
+  In.IRText = std::string(256, 'x');
+  ASSERT_TRUE(Store.store(7, In));
+
+  // Flip one payload byte behind the store's back. FNV-1a is only 64 bits
+  // — the header hash must catch this and degrade to a miss, never hand
+  // back a wrong artifact.
+  std::string Path = Store.objectPath(7);
+  {
+    std::fstream F(Path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(F.is_open());
+    F.seekp(-10, std::ios::end);
+    F.put('y');
+  }
+  ArtifactStore Fresh({Root, 1u << 20});
+  EXPECT_FALSE(Fresh.load(7).has_value());
+  EXPECT_EQ(Fresh.statsSnapshot().BadArtifacts, 1u);
+  // The offending file was unlinked: the next load is a plain miss.
+  EXPECT_FALSE(std::filesystem::exists(Path));
+  EXPECT_FALSE(Fresh.load(7).has_value());
+  EXPECT_EQ(Fresh.statsSnapshot().BadArtifacts, 1u);
+}
+
+TEST_F(DiskStoreTest, TruncatedArtifactIsAVerifiedMiss) {
+  ArtifactStore Store({Root, 1u << 20});
+  DiskArtifact In;
+  In.IRText = std::string(512, 'z');
+  ASSERT_TRUE(Store.store(9, In));
+  std::string Path = Store.objectPath(9);
+  std::filesystem::resize_file(Path, std::filesystem::file_size(Path) / 2);
+
+  ArtifactStore Fresh({Root, 1u << 20});
+  EXPECT_FALSE(Fresh.load(9).has_value());
+  EXPECT_EQ(Fresh.statsSnapshot().BadArtifacts, 1u);
+  EXPECT_FALSE(std::filesystem::exists(Path));
+}
+
+TEST_F(DiskStoreTest, WrongKeyFileIsRejected) {
+  ArtifactStore Store({Root, 1u << 20});
+  DiskArtifact In;
+  In.IRText = "ir";
+  ASSERT_TRUE(Store.store(11, In));
+  // A file renamed to another key's slot must not satisfy that key.
+  std::filesystem::rename(Store.objectPath(11), Store.objectPath(12));
+  ArtifactStore Fresh({Root, 1u << 20});
+  EXPECT_FALSE(Fresh.load(12).has_value());
+  EXPECT_EQ(Fresh.statsSnapshot().BadArtifacts, 1u);
+}
+
+TEST_F(DiskStoreTest, BudgetDrivenLRUSweep) {
+  ArtifactStore Store({Root, 4096});
+  DiskArtifact Big;
+  Big.IRText = std::string(1024, 'm');
+  for (std::uint64_t K = 1; K <= 16; ++K)
+    ASSERT_TRUE(Store.store(K, Big));
+
+  DiskStoreSnapshot S = Store.statsSnapshot();
+  EXPECT_GT(S.Evictions, 0u);
+  EXPECT_LE(S.Bytes, 4096u);
+  // Newest entries survive; the oldest were swept.
+  EXPECT_TRUE(Store.contains(16));
+  EXPECT_FALSE(Store.contains(1));
+  EXPECT_FALSE(std::filesystem::exists(Store.objectPath(1)));
+}
+
+TEST_F(DiskStoreTest, IndexFlushPreservesRecencyAcrossRestart) {
+  DiskArtifact A;
+  A.IRText = std::string(1024, 'r');
+  {
+    ArtifactStore Store({Root, 1u << 20});
+    for (std::uint64_t K = 1; K <= 4; ++K)
+      ASSERT_TRUE(Store.store(K, A));
+    // Touch key 1 so it becomes most-recent despite being stored first.
+    ASSERT_TRUE(Store.load(1).has_value());
+    Store.flushIndex();
+  }
+  // Restart with a budget that only fits two entries: the sweep must
+  // honour the flushed recency order (1 was touched; 2 is the LRU tail).
+  ArtifactStore Store({Root, 2 * (1024 + 128)});
+  EXPECT_TRUE(Store.contains(1));
+  EXPECT_FALSE(Store.contains(2));
+}
+
+TEST_F(DiskStoreTest, ServiceWarmFromDiskAfterRestart) {
+  ServiceOptions SO;
+  SO.NumWorkers = 1;
+  SO.DiskStorePath = Root;
+
+  CompileResult Cold;
+  {
+    CompileService Service(SO);
+    Cold = Service.compile(makeJob(SumProgram));
+    ASSERT_TRUE(Cold.Succeeded) << Cold.Diagnostics;
+    EXPECT_FALSE(Cold.Trace.DiskHit);
+    Service.shutdown(); // flushes the index
+  }
+
+  // A new service on the same root answers from disk: no parse, no sema,
+  // no lowering — and the outcome contract is byte-identical.
+  CompileService Warm(SO);
+  CompileResult R = Warm.compile(makeJob(SumProgram));
+  ASSERT_TRUE(R.Succeeded) << R.Diagnostics;
+  EXPECT_TRUE(R.Trace.DiskHit);
+  EXPECT_FALSE(R.Trace.L1Hit); // nothing below L3 was consulted
+  EXPECT_EQ(R.Diagnostics, Cold.Diagnostics);
+  ASSERT_TRUE(R.Module != nullptr);
+  EXPECT_FALSE(R.Module->hasLiveModule()); // a disk stub, not a live module
+  EXPECT_EQ(R.Module->irText(), ir::printModule(Cold.Module->module()));
+  EXPECT_EQ(Warm.statsSnapshot().Disk.Hits, 1u);
+}
+
+TEST_F(DiskStoreTest, FailureVerdictsPersistByteForByte) {
+  const char *Broken = "int main(void) { return undeclared; }\n";
+  ServiceOptions SO;
+  SO.NumWorkers = 1;
+  SO.DiskStorePath = Root;
+
+  std::string ColdDiag;
+  {
+    CompileService Service(SO);
+    CompileResult A = Service.compile(makeJob(Broken));
+    EXPECT_FALSE(A.Succeeded);
+    ColdDiag = A.Diagnostics;
+    Service.shutdown();
+  }
+  CompileService Warm(SO);
+  CompileResult B = Warm.compile(makeJob(Broken));
+  EXPECT_FALSE(B.Succeeded);
+  EXPECT_TRUE(B.Trace.DiskHit);
+  EXPECT_EQ(B.Diagnostics, ColdDiag);
+}
+
+TEST_F(DiskStoreTest, ExecuteJobsPromoteDiskStubsToLiveModules) {
+  ServiceOptions SO;
+  SO.NumWorkers = 1;
+  SO.DiskStorePath = Root;
+  {
+    CompileService Service(SO);
+    ASSERT_TRUE(Service.compile(makeJob(SumProgram)).Succeeded);
+    Service.shutdown();
+  }
+
+  CompileService Warm(SO);
+  // Populate L3 with the disk stub first.
+  CompileResult Stub = Warm.compile(makeJob(SumProgram));
+  EXPECT_TRUE(Stub.Trace.DiskHit);
+
+  // An execute request cannot run a stub: it must rebuild a live module
+  // (promoting the cache slot) and still produce the right answer.
+  CompileJob Run = makeJob(SumProgram);
+  Run.Execute = true;
+  CompileResult R = Warm.compile(Run);
+  ASSERT_TRUE(R.Succeeded) << R.Diagnostics;
+  ASSERT_TRUE(R.Executed);
+  EXPECT_EQ(R.ExitValue, 1225);
+  ASSERT_TRUE(R.Module != nullptr);
+  EXPECT_TRUE(R.Module->hasLiveModule());
+
+  // The promotion is sticky: the next execute request hits the live
+  // module in L3 without recompiling.
+  CompileResult Again = Warm.compile(Run);
+  ASSERT_TRUE(Again.Succeeded);
+  EXPECT_TRUE(Again.Trace.L3Hit);
+  EXPECT_EQ(Again.Module.get(), R.Module.get());
+}
+
+TEST_F(DiskStoreTest, CorruptedStoreOnlySlowsTheServiceDown) {
+  ServiceOptions SO;
+  SO.NumWorkers = 1;
+  SO.DiskStorePath = Root;
+  {
+    CompileService Service(SO);
+    ASSERT_TRUE(Service.compile(makeJob(SumProgram)).Succeeded);
+    Service.shutdown();
+  }
+  // Corrupt every object in the store.
+  for (const auto &E :
+       std::filesystem::directory_iterator(Root + "/objects")) {
+    std::fstream F(E.path(), std::ios::in | std::ios::out | std::ios::binary);
+    F.seekp(-1, std::ios::end);
+    F.put('!');
+  }
+  CompileService Warm(SO);
+  CompileResult R = Warm.compile(makeJob(SumProgram));
+  ASSERT_TRUE(R.Succeeded) << R.Diagnostics;
+  EXPECT_FALSE(R.Trace.DiskHit); // verified miss, recompiled from source
+  EXPECT_GE(Warm.statsSnapshot().Disk.BadArtifacts, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Job-spec grammar (shared by job files and the wire protocol)
+//===----------------------------------------------------------------------===//
+
+TEST(JobSpec, FlagWordsRoundTripThroughRender) {
+  CompileJob Job;
+  std::string Error;
+  for (const char *W :
+       {"-O1", "-run", "-w", "-Werror", "-fopenmp-enable-irbuilder",
+        "-num-threads=7", "-unroll-factor=4", "-exec-engine=bytecode",
+        "-DN=32", "--analyze=deps"})
+    ASSERT_TRUE(parseJobFlagWord(W, Job, Error)) << W << ": " << Error;
+
+  // render -> parse -> render must be a fixed point.
+  std::string Flags = renderJobFlags(Job);
+  CompileJob Re;
+  for (const std::string &W : splitJobWords(Flags))
+    ASSERT_TRUE(parseJobFlagWord(W, Re, Error)) << W << ": " << Error;
+  EXPECT_EQ(renderJobFlags(Re), Flags);
+  EXPECT_EQ(Re.Execute, Job.Execute);
+  EXPECT_EQ(Re.Options.RunMidend, Job.Options.RunMidend);
+  EXPECT_EQ(Re.Options.UnrollOpts.HeuristicFactor,
+            Job.Options.UnrollOpts.HeuristicFactor);
+  EXPECT_EQ(Re.Options.LangOpts.OpenMPDefaultNumThreads,
+            Job.Options.LangOpts.OpenMPDefaultNumThreads);
+  EXPECT_EQ(Re.Options.Defines, Job.Options.Defines);
+  EXPECT_EQ(Re.Options.AnalyzePasses, Job.Options.AnalyzePasses);
+}
+
+TEST(JobSpec, UnknownFlagsAndBadLinesAreRejected) {
+  CompileJob Job;
+  std::string Error;
+  EXPECT_FALSE(parseJobFlagWord("-frobnicate", Job, Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(parseJobFlagWord("-exec-engine=quantum", Job, Error));
+
+  std::string File;
+  Error.clear();
+  EXPECT_FALSE(parseJobSpecLine("# just a comment", Job, File, Error));
+  EXPECT_TRUE(Error.empty()); // comments are skipped, not errors
+  EXPECT_FALSE(parseJobSpecLine("a.c b.c", Job, File, Error));
+  EXPECT_FALSE(Error.empty()); // two file operands
+  Error.clear();
+  EXPECT_TRUE(parseJobSpecLine("-O1 -run prog.c", Job, File, Error)) << Error;
+  EXPECT_EQ(File, "prog.c");
+  EXPECT_TRUE(Job.Execute);
+  EXPECT_TRUE(Job.Options.RunMidend);
 }
 
 TEST(ServiceParity, DiagnosticsMatchCompilerInstance) {

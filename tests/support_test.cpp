@@ -9,6 +9,7 @@
 #include "support/Arena.h"
 #include "support/Diagnostic.h"
 #include "support/FileManager.h"
+#include "support/JSONWriter.h"
 #include "support/SourceManager.h"
 
 #include <gtest/gtest.h>
@@ -319,6 +320,70 @@ TEST(DiagnosticsTest, TextPrinterRendersCaret) {
             std::string::npos);
   EXPECT_NE(Out.find("int x = y;"), std::string::npos);
   EXPECT_NE(Out.find("        ^"), std::string::npos);
+}
+
+TEST(JSONWriterTest, EscapesPerRFC8259) {
+  EXPECT_EQ(json::escape("plain"), "plain");
+  EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json::escape("line\nbreak\ttab\rret"),
+            "line\\nbreak\\ttab\\rret");
+  EXPECT_EQ(json::escape(std::string("nul\x01") + '\x1f'),
+            "nul\\u0001\\u001f");
+}
+
+TEST(JSONWriterTest, CommasAndNestingAreAutomatic) {
+  std::string Out;
+  json::Writer W(Out);
+  W.beginObject();
+  W.field("a", std::uint64_t(1));
+  W.field("b", true);
+  W.field("s", "x\"y");
+  W.key("nested");
+  W.beginObject();
+  W.field("c", std::int64_t(-2));
+  W.endObject();
+  W.key("list");
+  W.beginArray();
+  W.value(std::uint64_t(1));
+  W.value(std::uint64_t(2));
+  W.endArray();
+  W.endObject();
+  EXPECT_EQ(Out, "{\"a\":1,\"b\":true,\"s\":\"x\\\"y\","
+                 "\"nested\":{\"c\":-2},\"list\":[1,2]}");
+}
+
+TEST(JSONWriterTest, RawValueSplicesWithoutReescaping) {
+  std::string Inner;
+  {
+    json::Writer W(Inner);
+    W.beginObject();
+    W.field("k", std::uint64_t(7));
+    W.endObject();
+  }
+  std::string Out;
+  json::Writer W(Out);
+  W.beginObject();
+  W.field("first", std::uint64_t(0));
+  W.key("inner");
+  W.rawValue(Inner);
+  W.field("after", std::uint64_t(1));
+  W.endObject();
+  EXPECT_EQ(Out, "{\"first\":0,\"inner\":{\"k\":7},\"after\":1}");
+}
+
+TEST(JSONWriterTest, EmptyContainers) {
+  std::string Out;
+  json::Writer W(Out);
+  W.beginObject();
+  W.key("o");
+  W.beginObject();
+  W.endObject();
+  W.key("a");
+  W.beginArray();
+  W.endArray();
+  W.endObject();
+  EXPECT_EQ(Out, "{\"o\":{},\"a\":[]}");
 }
 
 } // namespace
