@@ -58,6 +58,35 @@ std::string arraySweepKernel(long N) {
          "  int out = acc % 1000000;\n  return out;\n}\n";
 }
 
+std::string callHeavyKernel(long N) {
+  // Tight loop of small defined-function calls: the direct native→native
+  // call exhibit. Helper-indirected calls pay a host round-trip (frame
+  // vector, executeTiered dispatch) per call; direct calls build the
+  // callee frame on the machine stack.
+  return "int add3(int a, int b, int c) { return a + b + c; }\n"
+         "int mix(int a, int b) { return add3(a, b, a - b); }\n"
+         "long acc = 0;\nint main() {\n  acc = 0;\n"
+         "  for (int i = 0; i < " + std::to_string(N) +
+         "; i += 1)\n    acc += mix(i, i + 1);\n"
+         "  int out = acc % 1000000;\n  return out;\n}\n";
+}
+
+std::string regPressureKernel(long N) {
+  // More live loop-carried accumulators than the allocator's GPR pool:
+  // measures how well the hottest slots ride in registers while the
+  // overflow runs from frame memory.
+  return "long a0 = 0; long a1 = 0; long a2 = 0;\n"
+         "long a3 = 0; long a4 = 0; long a5 = 0;\n"
+         "int main() {\n"
+         "  a0 = 0; a1 = 1; a2 = 2; a3 = 3; a4 = 4; a5 = 5;\n"
+         "  for (int i = 0; i < " + std::to_string(N) + "; i += 1) {\n"
+         "    a0 += i; a1 += i * 2; a2 += i * 3;\n"
+         "    a3 += a0; a4 += a1; a5 += a2;\n"
+         "  }\n"
+         "  long acc = a0 + a1 + a2 + a3 + a4 + a5;\n"
+         "  int out = acc % 1000000;\n  return out;\n}\n";
+}
+
 void runEngine(benchmark::State &State, const std::string &Source,
                interp::ExecEngineKind Engine) {
   long N = State.range(0);
@@ -93,6 +122,10 @@ void runEngine(benchmark::State &State, const std::string &Source,
   State.counters["jit-fallbacks"] = static_cast<double>(S.JITFallbacks);
   State.counters["osr-promotions"] =
       static_cast<double>(S.JITOSRPromotions);
+  State.counters["regalloc-slots"] =
+      static_cast<double>(S.JITRegAllocSlots);
+  State.counters["direct-calls"] =
+      static_cast<double>(S.JITDirectCallSites);
 }
 
 #define MCC_JIT_BENCH(KERNEL, FN)                                           \
@@ -114,6 +147,8 @@ MCC_JIT_BENCH(Plain, plainKernel)
 MCC_JIT_BENCH(Unroll8, unrolledKernel)
 MCC_JIT_BENCH(Tile16, tiledKernel)
 MCC_JIT_BENCH(ArraySweep, arraySweepKernel)
+MCC_JIT_BENCH(CallHeavy, callHeavyKernel)
+MCC_JIT_BENCH(RegPressure, regPressureKernel)
 
 BENCHMARK(BM_Plain_Walker)->Arg(100000);
 BENCHMARK(BM_Plain_Bytecode)->Arg(100000);
@@ -131,6 +166,14 @@ BENCHMARK(BM_ArraySweep_Walker)->Arg(131072);
 BENCHMARK(BM_ArraySweep_Bytecode)->Arg(131072);
 BENCHMARK(BM_ArraySweep_Native)->Arg(131072);
 BENCHMARK(BM_ArraySweep_Tiered)->Arg(131072);
+BENCHMARK(BM_CallHeavy_Walker)->Arg(50000);
+BENCHMARK(BM_CallHeavy_Bytecode)->Arg(50000);
+BENCHMARK(BM_CallHeavy_Native)->Arg(50000);
+BENCHMARK(BM_CallHeavy_Tiered)->Arg(50000);
+BENCHMARK(BM_RegPressure_Walker)->Arg(100000);
+BENCHMARK(BM_RegPressure_Bytecode)->Arg(100000);
+BENCHMARK(BM_RegPressure_Native)->Arg(100000);
+BENCHMARK(BM_RegPressure_Tiered)->Arg(100000);
 
 } // namespace
 

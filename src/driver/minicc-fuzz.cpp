@@ -135,6 +135,10 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "minicc-fuzz: %s\n", EnvErr.c_str());
     return 1;
   }
+  if (std::string EnvErr = interp::jitEnvError(); !EnvErr.empty()) {
+    std::fprintf(stderr, "minicc-fuzz: %s\n", EnvErr.c_str());
+    return 1;
+  }
 
   fuzz::DifferentialRunner Runner(Opts);
   std::uint64_t TotalRuns = 0, TotalRejections = 0;

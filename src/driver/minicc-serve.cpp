@@ -526,6 +526,10 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "minicc-serve: %s\n", EnvErr.c_str());
       return 1;
     }
+    if (std::string EnvErr = interp::jitEnvError(); !EnvErr.empty()) {
+      std::fprintf(stderr, "minicc-serve: %s\n", EnvErr.c_str());
+      return 1;
+    }
   }
 
   if (O.Serve)

@@ -76,7 +76,8 @@ void printUsage() {
       "  --exec-stats                print execution engine counters\n"
       "                              (translation, dispatch mode,\n"
       "                              instructions, superinstruction hits)\n"
-      "                              to stderr after -run\n");
+      "                              to stderr after -run\n"
+      "  --exec-stats=json           same counters as one JSON object\n");
 }
 
 } // namespace
@@ -84,7 +85,8 @@ void printUsage() {
 int main(int argc, char **argv) {
   CompilerOptions Options;
   bool ASTDump = false, ASTDumpShadow = false, EmitIR = false, Run = false,
-       SyntaxOnly = false, RTStats = false, ExecStats = false;
+       SyntaxOnly = false, RTStats = false, ExecStats = false,
+       ExecStatsJSON = false;
   std::string InputFile;
 
   for (int I = 1; I < argc; ++I) {
@@ -133,6 +135,8 @@ int main(int argc, char **argv) {
       RTStats = true;
     else if (Arg == "--exec-stats" || Arg == "-exec-stats")
       ExecStats = true;
+    else if (Arg == "--exec-stats=json" || Arg == "-exec-stats=json")
+      ExecStats = ExecStatsJSON = true;
     else if (Arg.rfind("--exec-engine=", 0) == 0 ||
              Arg.rfind("-exec-engine=", 0) == 0) {
       std::string Name = Arg.substr(Arg.find('=') + 1);
@@ -183,6 +187,12 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "minicc: %s\n", EnvErr.c_str());
     return 1;
   }
+  // Same loudness for the native-tier knobs (thresholds, forced-fallback
+  // op): the engine keeps its defaults on garbage, the driver refuses it.
+  if (std::string EnvErr = interp::jitEnvError(); !EnvErr.empty()) {
+    std::fprintf(stderr, "minicc: %s\n", EnvErr.c_str());
+    return 1;
+  }
 
   CompilerInstance CI(Options);
   bool FrontendOK = CI.parseToAST(InputFile);
@@ -230,7 +240,9 @@ int main(int argc, char **argv) {
     if (RTStats)
       std::fputs(RT.renderStats().c_str(), stderr);
     if (ExecStats)
-      std::fputs(EE.renderExecStats().c_str(), stderr);
+      std::fputs(ExecStatsJSON ? EE.renderExecStatsJSON().c_str()
+                               : EE.renderExecStats().c_str(),
+                 stderr);
     // Park nothing across exit: join the hot-team pool so process
     // teardown (and TSan) never races worker shutdown.
     RT.shutdown();

@@ -145,6 +145,19 @@ struct Inst {
   std::int64_t Imm = 0;
 };
 
+/// Per-frame-slot facts computed once at translation time, consumed by
+/// the native tier's register allocator (JITCompiler). The interval is
+/// conservative: it starts at 0 when the slot is live-in (constants,
+/// arguments, any read-before-write) and is widened to enclose every
+/// backward-branch range it intersects, so "live at instruction I" is a
+/// sound spill filter at any helper-call site or OSR entry boundary.
+struct SlotMeta {
+  std::uint32_t LiveBegin = 0; ///< first instruction index live (0 = live-in)
+  std::uint32_t LiveEnd = 0;   ///< last instruction index touching the slot
+  std::uint32_t Reads = 0;     ///< static count of read accesses
+  std::uint64_t Weight = 0;    ///< use count, x16 inside back-edge ranges
+};
+
 struct BCFunction {
   const ir::Function *IRFn = nullptr;
   std::vector<Inst> Code;
@@ -161,6 +174,8 @@ struct BCFunction {
   std::uint32_t NumFrame = 0; ///< total slots incl. trailing scratch
   std::uint32_t ArenaBytes = 0;
   std::uint32_t NumSuperinsts = 0; ///< fused instructions emitted
+  /// One entry per frame slot (size NumFrame); see SlotMeta.
+  std::vector<SlotMeta> Slots;
 
   [[nodiscard]] std::size_t byteSize() const {
     return Code.size() * sizeof(Inst) +

@@ -148,6 +148,7 @@ public:
       emitBlock(*BB);
     emitPhiTrampolines();
     patchFixups();
+    computeSlotMeta();
     return std::move(Out);
   }
 
@@ -680,6 +681,183 @@ private:
       emitParallelCopy(std::move(Moves));
       Inst &In = emit(Op::Jmp);
       In.A = BlockStart.at(Fx.To);
+    }
+  }
+
+  // --- Phase 6: slot metadata for the native tier ------------------------
+
+  /// Invokes Fn(Slot, IsRead) for every frame-slot operand of In. Branch
+  /// targets and immediates are not slots; call arguments come from the
+  /// ArgPool run the instruction names.
+  template <typename FnT> void forEachSlotUse(const Inst &In, FnT Fn) const {
+    switch (In.Code) {
+    case Op::Mov:
+      Fn(In.A, false);
+      Fn(In.B, true);
+      break;
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::SDiv:
+    case Op::UDiv:
+    case Op::SRem:
+    case Op::URem:
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+    case Op::Shl:
+    case Op::AShr:
+    case Op::LShr:
+    case Op::FAdd:
+    case Op::FSub:
+    case Op::FMul:
+    case Op::FDiv:
+    case Op::ICmp:
+    case Op::FCmp:
+    case Op::Gep:
+      Fn(In.A, false);
+      Fn(In.B, true);
+      Fn(In.C, true);
+      break;
+    case Op::FNeg:
+    case Op::SExt:
+    case Op::ZExt:
+    case Op::Trunc:
+    case Op::SIToFP:
+    case Op::UIToFP:
+    case Op::FPToSI:
+    case Op::FPToUI:
+    case Op::Load1:
+    case Op::Load4:
+    case Op::Load8:
+    case Op::LoadF64:
+    case Op::AllocaDyn:
+      Fn(In.A, false);
+      Fn(In.B, true);
+      break;
+    case Op::Store1:
+    case Op::Store4:
+    case Op::Store8:
+    case Op::StoreF64:
+      Fn(In.A, true); // value
+      Fn(In.B, true); // pointer
+      break;
+    case Op::AllocaFixed:
+      Fn(In.A, false);
+      break;
+    case Op::Select:
+      Fn(In.A, false);
+      Fn(In.B, true);
+      Fn(In.C, true);
+      Fn(In.D, true);
+      break;
+    case Op::Jmp:
+    case Op::Unreachable:
+    case Op::NumOps:
+      break;
+    case Op::CondBr:
+      Fn(In.A, true);
+      break;
+    case Op::Ret:
+      if (In.Sub)
+        Fn(In.A, true);
+      break;
+    case Op::CallBC:
+    case Op::CallRT:
+      Fn(In.A, false);
+      for (std::uint32_t K = 0; K < In.D; ++K)
+        Fn(Out.ArgPool[In.C + K], true);
+      break;
+    case Op::CmpBr:
+      Fn(In.A, false);
+      Fn(In.B, true);
+      Fn(In.C, true);
+      break;
+    case Op::LoadOpStore4:
+    case Op::LoadOpStore8:
+      Fn(In.A, true);  // pointer
+      Fn(In.B, true);  // rhs
+      Fn(In.C, false); // load dst
+      Fn(In.D, false); // op dst
+      break;
+    }
+  }
+
+  /// Fills BCFunction::Slots: live intervals, read counts and back-edge
+  /// weighted use counts over the final instruction array. Intervals are
+  /// widened over every backward-branch range they intersect, so covering
+  /// an instruction index is a sound "may be live here" test — the native
+  /// tier's spill filter at helper-call sites and the input to its
+  /// register allocation ranking.
+  void computeSlotMeta() {
+    const auto N = static_cast<std::uint32_t>(Out.Code.size());
+    Out.Slots.assign(Out.NumFrame, SlotMeta{});
+    std::vector<bool> Touched(Out.NumFrame, false);
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> BackRanges;
+    std::vector<std::int32_t> DepthDelta(N + 1, 0);
+    for (std::uint32_t I = 0; I < N; ++I) {
+      const Inst &In = Out.Code[I];
+      auto Range = [&](std::uint32_t T) {
+        if (T <= I) {
+          BackRanges.emplace_back(T, I);
+          ++DepthDelta[T];
+          --DepthDelta[I + 1];
+        }
+      };
+      if (In.Code == Op::Jmp)
+        Range(In.A);
+      else if (In.Code == Op::CondBr) {
+        Range(In.B);
+        Range(In.C);
+      } else if (In.Code == Op::CmpBr) {
+        Range(static_cast<std::uint32_t>(In.Imm & 0xffffffff));
+        Range(static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(In.Imm) >> 32));
+      }
+    }
+
+    std::int64_t Depth = 0;
+    for (std::uint32_t I = 0; I < N; ++I) {
+      Depth += DepthDelta[I];
+      const std::uint64_t W = Depth > 0 ? 16 : 1;
+      forEachSlotUse(Out.Code[I], [&](std::uint32_t S, bool IsRead) {
+        if (S >= Out.NumFrame)
+          return;
+        SlotMeta &M = Out.Slots[S];
+        if (!Touched[S]) {
+          Touched[S] = true;
+          M.LiveBegin = I;
+          M.LiveEnd = I;
+        }
+        if (IsRead)
+          ++M.Reads;
+        if (I > M.LiveEnd)
+          M.LiveEnd = I;
+        M.Weight += W;
+      });
+    }
+    // Constants and arguments are initialized by frame setup: live-in.
+    for (std::uint32_t S = 0; S < Out.NumConsts + Out.NumArgs; ++S)
+      if (Touched[S])
+        Out.Slots[S].LiveBegin = 0;
+    // Widen every interval over the backward ranges it intersects, to a
+    // fixpoint (loop-carried values are live across their whole loop).
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const auto &[T, B] : BackRanges)
+        for (std::uint32_t S = 0; S < Out.NumFrame; ++S) {
+          if (!Touched[S])
+            continue;
+          SlotMeta &M = Out.Slots[S];
+          if (M.LiveBegin <= B && M.LiveEnd >= T &&
+              (M.LiveBegin > T || M.LiveEnd < B)) {
+            M.LiveBegin = std::min(M.LiveBegin, T);
+            M.LiveEnd = std::max(M.LiveEnd, B);
+            Changed = true;
+          }
+        }
     }
   }
 

@@ -13,6 +13,7 @@
 #include "interp/InterpOps.h"
 #include "interp/JITTier.h" // complete JITState for the engine destructor
 #include "runtime/KMPRuntime.h"
+#include "support/JSONWriter.h"
 
 #include <cassert>
 #include <cstdio>
@@ -265,6 +266,11 @@ ExecStats ExecutionEngine::statsSnapshot() const {
   S.JITOSRPromotions = JITOSRPromotions.load(std::memory_order_relaxed);
   S.JITFallbacks = JITFallbackFns.load(std::memory_order_relaxed);
   S.JITNativeFrames = JITNativeFrames.load(std::memory_order_relaxed);
+  S.JITRegAllocSlots = JITRegAllocSlots.load(std::memory_order_relaxed);
+  S.JITSpills = JITSpillSites.load(std::memory_order_relaxed);
+  S.JITFusedTemplates = JITFusedTemplates.load(std::memory_order_relaxed);
+  S.JITDirectCallSites =
+      JITDirectCallSites.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -296,13 +302,61 @@ std::string ExecutionEngine::renderExecStats() const {
     std::snprintf(
         Buf + Len, sizeof(Buf) - static_cast<std::size_t>(Len),
         "jit:       compiled=%llu code-bytes=%llu fallbacks=%llu "
-        "native-frames=%llu osr-promotions=%llu\n",
+        "native-frames=%llu osr-promotions=%llu regalloc-slots=%llu "
+        "spills=%llu fused-templates=%llu direct-calls=%llu\n",
         static_cast<unsigned long long>(S.JITFunctionsCompiled),
         static_cast<unsigned long long>(S.JITCodeBytes),
         static_cast<unsigned long long>(S.JITFallbacks),
         static_cast<unsigned long long>(S.JITNativeFrames),
-        static_cast<unsigned long long>(S.JITOSRPromotions));
+        static_cast<unsigned long long>(S.JITOSRPromotions),
+        static_cast<unsigned long long>(S.JITRegAllocSlots),
+        static_cast<unsigned long long>(S.JITSpills),
+        static_cast<unsigned long long>(S.JITFusedTemplates),
+        static_cast<unsigned long long>(S.JITDirectCallSites));
   return Buf;
+}
+
+std::string ExecutionEngine::renderExecStatsJSON() const {
+  ExecStats S = statsSnapshot();
+  std::string Out;
+  json::Writer W(Out);
+  W.beginObject();
+  W.field("engine", execEngineKindName(S.Engine));
+  W.field("dispatch", S.Dispatch);
+  W.key("translate");
+  W.beginObject();
+  W.field("functions", S.FunctionsPrepared);
+  W.field("bytecode_bytes", S.BytecodeBytes);
+  W.field("superinsts", S.SuperinstsEmitted);
+  W.field("source", S.Engine == ExecEngineKind::Walker ? "n/a"
+                    : S.TranslatedHere                 ? "translated"
+                                                       : "precompiled");
+  W.endObject();
+  W.key("execute");
+  W.beginObject();
+  W.field("instructions", S.InstructionsExecuted);
+  W.field("superinst_hits", S.SuperinstHits);
+  W.field("frames", S.FramesExecuted);
+  W.field("runtime_calls", S.RuntimeCalls);
+  W.endObject();
+  if (S.Engine == ExecEngineKind::Native ||
+      S.Engine == ExecEngineKind::Tiered) {
+    W.key("jit");
+    W.beginObject();
+    W.field("compiled", S.JITFunctionsCompiled);
+    W.field("code_bytes", S.JITCodeBytes);
+    W.field("fallbacks", S.JITFallbacks);
+    W.field("native_frames", S.JITNativeFrames);
+    W.field("osr_promotions", S.JITOSRPromotions);
+    W.field("regalloc_slots", S.JITRegAllocSlots);
+    W.field("spills", S.JITSpills);
+    W.field("fused_templates", S.JITFusedTemplates);
+    W.field("direct_calls", S.JITDirectCallSites);
+    W.endObject();
+  }
+  W.endObject();
+  Out += '\n';
+  return Out;
 }
 
 RTValue ExecutionEngine::callRuntime(const std::string &Name,

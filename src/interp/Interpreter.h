@@ -95,6 +95,11 @@ ExecEngineKind resolveExecEngineKind(ExecEngineKind K);
 /// default engine); drivers call this at startup so a typo'd environment
 /// fails as loudly as a typo'd --exec-engine= flag.
 std::string execEngineEnvError();
+/// Same contract for the native-tier knobs: non-empty diagnostic when
+/// MCC_JIT_CALL_THRESHOLD / MCC_JIT_OSR_THRESHOLD is not a positive
+/// 32-bit decimal or MCC_JIT_FORCE_FALLBACK_OP names no bytecode op.
+/// The engine itself stays permissive and keeps its defaults.
+std::string jitEnvError();
 
 /// Point-in-time execution statistics (see renderExecStats()).
 struct ExecStats {
@@ -116,6 +121,13 @@ struct ExecStats {
   std::uint64_t JITOSRPromotions = 0;
   std::uint64_t JITFallbacks = 0; ///< functions kept on bytecode
   std::uint64_t JITNativeFrames = 0;
+  std::uint64_t JITRegAllocSlots = 0;  ///< frame slots promoted to registers
+  std::uint64_t JITSpills = 0;         ///< spill/reload sites emitted
+  std::uint64_t JITFusedTemplates = 0; ///< fused native templates + peepholes
+  /// CallBC sites compiled with an inline native→native fast path. A
+  /// compile-time count: each site also keeps its helper slow path for
+  /// not-yet-compiled callees, so this counts patched sites, not calls.
+  std::uint64_t JITDirectCallSites = 0;
 };
 
 class ExecutionEngine {
@@ -154,6 +166,8 @@ public:
   [[nodiscard]] ExecStats statsSnapshot() const;
   /// Renders statsSnapshot() in the --rt-stats block style.
   [[nodiscard]] std::string renderExecStats() const;
+  /// Renders statsSnapshot() as a single JSON object (--exec-stats=json).
+  [[nodiscard]] std::string renderExecStatsJSON() const;
 
   /// Quiesces the shared OpenMP runtime: joins the hot-team worker pool
   /// and zeroes its counters. Tests that assert exact runtime statistics
@@ -240,6 +254,10 @@ private:
   std::atomic<std::uint64_t> JITFallbackFns{0};
   std::atomic<std::uint64_t> JITOSRPromotions{0};
   std::atomic<std::uint64_t> JITNativeFrames{0};
+  std::atomic<std::uint64_t> JITRegAllocSlots{0};
+  std::atomic<std::uint64_t> JITSpillSites{0};
+  std::atomic<std::uint64_t> JITFusedTemplates{0};
+  std::atomic<std::uint64_t> JITDirectCallSites{0};
 };
 
 } // namespace mcc::interp

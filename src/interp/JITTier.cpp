@@ -36,7 +36,34 @@ std::uint32_t envU32(const char *Name, std::uint32_t Def) {
   return Def;
 }
 
+/// True when \p V is a complete positive decimal that fits u32 — exactly
+/// the inputs envU32 accepts. Anything else is a typo worth diagnosing.
+bool validEnvU32(const char *V) {
+  char *End = nullptr;
+  unsigned long N = std::strtoul(V, &End, 10);
+  return End && End != V && *End == '\0' && N > 0 && N <= 0xffffffffUL;
+}
+
 } // namespace
+
+std::string jitEnvError() {
+  for (const char *Name : {"MCC_JIT_CALL_THRESHOLD", "MCC_JIT_OSR_THRESHOLD"})
+    if (const char *V = std::getenv(Name))
+      if (!validEnvU32(V))
+        return std::string(Name) + "='" + V +
+               "' is not a positive 32-bit integer";
+  if (const char *V = std::getenv("MCC_JIT_FORCE_FALLBACK_OP")) {
+    bc::Op O;
+    if (!jit::parseOpName(V, O))
+      return std::string("MCC_JIT_FORCE_FALLBACK_OP='") + V +
+             "' names no bytecode op (see opName in jit/JIT.h)";
+  }
+  if (const char *V = std::getenv("MCC_JIT_DIRECT_CALLS"))
+    if (std::strcmp(V, "0") != 0 && std::strcmp(V, "1") != 0)
+      return std::string("MCC_JIT_DIRECT_CALLS='") + V +
+             "' (expected 0 or 1)";
+  return {};
+}
 
 //===----------------------------------------------------------------------===//
 // Host helpers (called from generated code via JITHostOps)
@@ -180,6 +207,22 @@ void ExecutionEngine::initJITTier() {
   Ops.Fns[jit::HelperUIToFP] = &JITHelpers::uiToFP;
   Ops.Fns[jit::HelperFPToUI] = &JITHelpers::fpToUI;
   Ops.Fns[jit::HelperUnreachable] = &JITHelpers::unreachable;
+  // Module context for direct native→native calls. PatchedPools is fully
+  // built before initJITTier() runs (engine ctor ordering), so the pool
+  // base pointers baked into direct-call sites are stable.
+  // MCC_JIT_DIRECT_CALLS=0 withholds the context, so every CallBC goes
+  // through the host helper — the baseline the direct-call speedup is
+  // measured against, and a useful bisection point when a call-related
+  // miscompile is suspected.
+  const char *DC = std::getenv("MCC_JIT_DIRECT_CALLS");
+  if (!DC || std::strcmp(DC, "0") != 0) {
+    JIT->Pools.resize(BCMod->Functions.size());
+    for (std::size_t I = 0; I < BCMod->Functions.size(); ++I)
+      JIT->Pools[I] = PatchedPools.data() + PoolOffsets[I];
+    JIT->Opts.Mod = BCMod.get();
+    JIT->Opts.EntryCells = JIT->EntryCells.data();
+    JIT->Opts.Pools = JIT->Pools.data();
+  }
   OSRActive = Kind == ExecEngineKind::Tiered && jit::isSupported();
   if (Kind == ExecEngineKind::Native)
     for (std::uint32_t I = 0; I < BCMod->Functions.size(); ++I)
@@ -200,12 +243,25 @@ ExecutionEngine::jitUnitFor(std::uint32_t FnIdx) {
   if (CF->Supported) {
     JITCompiled.fetch_add(1, std::memory_order_relaxed);
     JITCodeBytes.fetch_add(CF->Code.size(), std::memory_order_relaxed);
+    JITRegAllocSlots.fetch_add(CF->Regs.size(), std::memory_order_relaxed);
+    JITSpillSites.fetch_add(CF->SpillSites, std::memory_order_relaxed);
+    JITFusedTemplates.fetch_add(CF->FusedTemplates,
+                                std::memory_order_relaxed);
+    JITDirectCallSites.fetch_add(CF->DirectCallSites,
+                                 std::memory_order_relaxed);
   } else {
     JITFallbackFns.fetch_add(1, std::memory_order_relaxed);
   }
   P = CF.get();
   JIT->Owned.push_back(std::move(CF));
   JIT->Table[FnIdx].store(P, std::memory_order_release);
+  // Publish the direct-call entry: this release store retro-patches every
+  // caller whose CallBC fast path polls this cell (the store is the last
+  // step, after the unit itself is reachable through Table).
+  if (P->Supported && jit::isDirectCallable(BCMod->Functions[FnIdx]))
+    JIT->EntryCells[FnIdx].store(
+        reinterpret_cast<const void *>(P->entry()),
+        std::memory_order_release);
   return P;
 }
 

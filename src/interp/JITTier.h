@@ -23,7 +23,8 @@ namespace mcc::interp {
 /// compile mutex and is published with a release store.
 struct ExecutionEngine::JITState {
   explicit JITState(std::size_t NumFunctions)
-      : Table(NumFunctions), CallCounts(NumFunctions) {}
+      : Table(NumFunctions), CallCounts(NumFunctions),
+        EntryCells(NumFunctions) {}
 
   jit::CompileOptions Opts;   ///< forced-fallback knob etc.
   jit::JITHostOps HostOps;    ///< helper table generated code calls into
@@ -35,6 +36,16 @@ struct ExecutionEngine::JITState {
   std::vector<std::atomic<const jit::CompiledFunction *>> Table;
   std::vector<std::unique_ptr<jit::CompiledFunction>> Owned; ///< under mutex
   std::vector<std::atomic<std::uint32_t>> CallCounts; ///< tiered hotness
+
+  /// Direct native→native call patching (see CompileOptions in JIT.h):
+  /// one cell per function, null until the function compiles Supported
+  /// *and* is direct-callable. jitUnitFor's release store into a cell is
+  /// the retro-patch — every already-compiled caller's fast path starts
+  /// taking the direct route on its next execution of that site.
+  std::vector<std::atomic<const void *>> EntryCells;
+  /// Per-function engine-patched constant-pool base pointers, stable for
+  /// the engine's lifetime, baked into direct-call frame setup.
+  std::vector<const RTValue *> Pools;
 };
 
 } // namespace mcc::interp

@@ -37,6 +37,7 @@
 #include "interp/Bytecode.h"
 #include "interp/Interpreter.h"
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
@@ -109,6 +110,36 @@ inline constexpr std::size_t kInvOpsOffset = offsetof(JITInvocationHeader, Ops);
 static_assert(kInvTrapOffset == 16 && kInvOpsOffset == 24,
               "generated code hardcodes the invocation header layout");
 
+// Direct native→native call sites build a complete callee JITInvocation
+// on the machine stack, so the derived fields are also read and written
+// by fixed offset. offsetof on the derived (non-standard-layout) type is
+// conditionally-supported; GCC and Clang — the only compilers that can
+// target the JIT — implement it.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+#endif
+inline constexpr std::size_t kInvHostOffset = offsetof(JITInvocation, Host);
+inline constexpr std::size_t kInvBFOffset = offsetof(JITInvocation, BF);
+inline constexpr std::size_t kInvModOffset = offsetof(JITInvocation, Mod);
+inline constexpr std::size_t kInvFrameOffset = offsetof(JITInvocation, Frame);
+inline constexpr std::size_t kInvDynOffset =
+    offsetof(JITInvocation, DynAllocas);
+inline constexpr std::size_t kInvPendingOffset =
+    offsetof(JITInvocation, Pending);
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+static_assert(kInvHostOffset == 32 && kInvBFOffset == 40 &&
+                  kInvModOffset == 48 && kInvFrameOffset == 56 &&
+                  kInvDynOffset == 64 && kInvPendingOffset == 72,
+              "direct-call sites hardcode the invocation layout");
+/// The stack slab a direct call reserves starts with the callee's
+/// invocation record; its size must keep the frame 16-aligned.
+inline constexpr std::size_t kInvSize = sizeof(JITInvocation);
+static_assert(kInvSize == 80 && kInvSize % 16 == 0,
+              "direct-call sites hardcode sizeof(JITInvocation)");
+
 using NativeEntryFn = int (*)(JITInvocation *Inv, RTValue *Frame,
                               char *Arena, const void *Resume);
 
@@ -142,15 +173,30 @@ private:
   bool Sealed = false;
 };
 
+/// One frame slot held in a register for the whole function body. The
+/// prologue loads every assignment from the frame, which is what keeps
+/// the InstOffsets resume table valid at *any* instruction boundary: OSR
+/// enters with the frame authoritative and the prologue re-establishes
+/// the full register state before jumping to the resume point.
+struct RegAssignment {
+  std::uint32_t Slot = 0;
+  std::uint8_t Reg = 0; ///< GPR number, or XMM number when FP
+  bool FP = false;
+};
+
 struct CompiledFunction {
   CodeBuffer Code;
   /// Native offset of every bytecode instruction boundary — the OSR
   /// entry map. Valid at *any* index because the frame (not registers)
   /// is the authoritative state at bytecode branch points and the
-  /// prologue re-loads pinned slots.
+  /// prologue re-loads every allocated slot (see RegAssignment).
   std::vector<std::uint32_t> InstOffsets;
   bool Supported = false; ///< false: bytecode-fallback unit (no code)
-  std::uint32_t PinnedSlots = 0;
+  /// Frame slots promoted to registers by the linear-scan allocator.
+  std::vector<RegAssignment> Regs;
+  std::uint32_t SpillSites = 0;      ///< spill stores emitted at call sites
+  std::uint32_t FusedTemplates = 0;  ///< superinst templates + peepholes
+  std::uint32_t DirectCallSites = 0; ///< CallBC sites with an inline fast path
 
   [[nodiscard]] NativeEntryFn entry() const {
     return reinterpret_cast<NativeEntryFn>(
@@ -166,7 +212,25 @@ struct CompileOptions {
   /// the bytecode fallback path). Wired to MCC_JIT_FORCE_FALLBACK_OP by
   /// the engine — the CI smoke for the thunk path. NumOps = disabled.
   bc::Op ForceUnsupported = bc::Op::NumOps;
+
+  // Module context for direct native→native calls. When all three are
+  // non-null, every CallBC site whose callee isDirectCallable() is
+  // emitted with an inline fast path that tests EntryCells[callee]: a
+  // published entry is called directly (frame built on the machine
+  // stack), a null cell falls back to the HelperCallBC slow path. The
+  // engine publishes a cell when the callee compiles, which instantly
+  // retro-patches every already-compiled caller — the cells are data,
+  // so no code page is ever rewritten. Null pointers (unit tests, no
+  // engine) disable the fast path entirely.
+  const bc::BytecodeModule *Mod = nullptr;
+  const std::atomic<const void *> *EntryCells = nullptr; ///< one per function
+  const RTValue *const *Pools = nullptr; ///< engine-patched const pools
 };
+
+/// True when \p BF may be entered through a direct native→native call:
+/// no dynamic allocas (those need the host-side ledger) and an
+/// invocation+frame+arena slab small enough for the machine stack.
+bool isDirectCallable(const bc::BCFunction &BF);
 
 /// Lowers one bytecode function. Always returns a unit; `Supported` is
 /// false when any contained op (or the platform) is outside the template

@@ -5,12 +5,27 @@
 // displacements the BytecodeCompiler already resolved. Branch targets
 // become rel32 fixups resolved after the pass from the per-instruction
 // offset table (the same table OSR uses to resume a bytecode frame
-// mid-loop). There is no register allocator — the frame *is* the register
-// file — but a slot-kind analysis finds int-only slots (loop IVs and
-// accumulators) and pins the two hottest in r14/r15; soundness falls out
-// of the classification: a pinned slot is provably never read through
-// frame memory (helper operands, call arguments and 16-byte copies all
-// force a slot off the pin list).
+// mid-loop).
+//
+// On top of the templates sit three optimizing layers:
+//
+//  * A linear-scan register allocator over frame slots. The slot-kind
+//    analysis below finds int-only and double-only slots; the hottest
+//    (by the BytecodeCompiler's back-edge-weighted SlotMeta) get whole-
+//    function register ownership — ints in callee-saved r14/r15/rbp,
+//    doubles in xmm8–xmm15. Ownership is whole-function: the prologue
+//    loads every assignment, so OSR can still enter at any InstOffsets
+//    boundary. Helpers read and write operands through frame memory, so
+//    call sites spill the exact operand slots (plus every live xmm
+//    assignment — SysV has no callee-saved xmm) and reload afterwards.
+//
+//  * Fused templates: CmpBr/LoadOpStore superinstructions, a dead-store
+//    peephole that keeps a CmpBr's never-read result out of memory, and
+//    an FCmp+CondBr fusion that branches on ucomisd flags directly.
+//
+//  * Direct native→native calls: CallBC sites test the callee's entry
+//    cell and, when published, build the callee frame on the machine
+//    stack and call its prologue directly — no helper round-trip.
 //
 // Semantics mirror BytecodeInterpreter.cpp handler for handler: the same
 // sign-extension discipline (InterpOps.h), the same field-write behaviour
@@ -20,6 +35,7 @@
 //===----------------------------------------------------------------------===//
 #include "jit/JIT.h"
 
+#include <algorithm>
 #include <cstring>
 #include <limits>
 
@@ -65,12 +81,27 @@ enum Reg : unsigned {
   RBP = 5,
   RSI = 6,
   RDI = 7,
+  R8 = 8,
+  R9 = 9,
+  R10 = 10,
+  R11 = 11,
   R12 = 12,
   R13 = 13,
   R14 = 14,
   R15 = 15,
 };
-enum Xmm : unsigned { XMM0 = 0, XMM1 = 1 };
+enum Xmm : unsigned {
+  XMM0 = 0,
+  XMM1 = 1,
+  XMM8 = 8,
+  XMM9 = 9,
+  XMM10 = 10,
+  XMM11 = 11,
+  XMM12 = 12,
+  XMM13 = 13,
+  XMM14 = 14,
+  XMM15 = 15,
+};
 
 // Condition-code nibbles for 0F 8x / 0F 9x.
 enum CC : unsigned {
@@ -245,6 +276,70 @@ public:
     direct(D, S);
     u32(static_cast<std::uint32_t>(V));
   }
+  void imulRM(unsigned D, unsigned Base, std::int32_t Disp) {
+    rex(true, D, Base);
+    u8(0x0F);
+    u8(0xAF);
+    mem(D, Base, Disp);
+  }
+  /// op qword [Base+Disp], r64 — MR opcodes (01/09/21/29/31/39).
+  void aluMR(std::uint8_t Opc, unsigned Base, std::int32_t Disp,
+             unsigned R) {
+    rex(true, R, Base);
+    u8(Opc);
+    mem(R, Base, Disp);
+  }
+  /// op dword [Base+Disp], r32.
+  void alu32MR(std::uint8_t Opc, unsigned Base, std::int32_t Disp,
+               unsigned R) {
+    rex(false, R, Base);
+    u8(Opc);
+    mem(R, Base, Disp);
+  }
+  /// op r64, qword [Base+Disp] — RM opcodes (MR + 2: 03/0B/23/2B/33/3B).
+  void aluRM(std::uint8_t Opc, unsigned R, unsigned Base,
+             std::int32_t Disp) {
+    rex(true, R, Base);
+    u8(Opc);
+    mem(R, Base, Disp);
+  }
+  /// op r32, r/m32 or r/m32, r32 (register direct).
+  void alu32(std::uint8_t Opc, unsigned D, unsigned S) {
+    rex(false, S, D);
+    u8(Opc);
+    direct(S, D);
+  }
+  void alu32RM(std::uint8_t Opc, unsigned R, unsigned Base,
+               std::int32_t Disp) {
+    rex(false, R, Base);
+    u8(Opc);
+    mem(R, Base, Disp);
+  }
+  /// 81/83 group on r32: ext ∈ {0 add, 1 or, 4 and, 5 sub, 6 xor, 7 cmp}.
+  void alu32RI(unsigned Ext, unsigned R, std::int32_t V) {
+    rex(false, 0, R);
+    if (V >= -128 && V <= 127) {
+      u8(0x83);
+      direct(Ext, R);
+      u8(static_cast<std::uint8_t>(V));
+    } else {
+      u8(0x81);
+      direct(Ext, R);
+      u32(static_cast<std::uint32_t>(V));
+    }
+  }
+  void imulRMI(unsigned D, unsigned Base, std::int32_t Disp,
+               std::int32_t V) {
+    rex(true, D, Base);
+    u8(0x69);
+    mem(D, Base, Disp);
+    u32(static_cast<std::uint32_t>(V));
+  }
+  void mov32RM(unsigned R, unsigned Base, std::int32_t Disp) {
+    rex(false, R, Base); // loads zero-extend to 64
+    u8(0x8B);
+    mem(R, Base, Disp);
+  }
   /// 81/83 group: ext ∈ {0 add, 1 or, 4 and, 5 sub, 6 xor, 7 cmp}.
   void aluRI(unsigned Ext, unsigned R, std::int32_t V) {
     rex(true, 0, R);
@@ -316,6 +411,16 @@ public:
     u8(0xFF);
     mem(2, Base, Disp);
   }
+  void callR(unsigned R) {
+    rex(false, 0, R);
+    u8(0xFF);
+    direct(2, R);
+  }
+  void test32RR(unsigned D, unsigned S) { // 32-bit: callee return status
+    rex(false, S, D);
+    u8(0x85);
+    direct(S, D);
+  }
   void pushR(unsigned R) {
     rex(false, 0, R);
     u8(0x50 + (R & 7));
@@ -328,6 +433,16 @@ public:
   void repStosb() {
     u8(0xF3);
     u8(0xAA);
+  }
+  void repMovsq() { // qword copy rsi→rdi, count rcx
+    u8(0xF3);
+    rex(true, 0, 0);
+    u8(0xA5);
+  }
+  void repStosq() { // qword fill rax→rdi, count rcx
+    u8(0xF3);
+    rex(true, 0, 0);
+    u8(0xAB);
   }
 
   // --- SSE ---
@@ -361,6 +476,9 @@ public:
   void movupsMX(unsigned Base, std::int32_t D, unsigned X) {
     sseM(0, 0x11, X, Base, D);
   }
+  void movsdRR(unsigned D, unsigned S) { // low 64 bits only
+    sse(0xF2, 0x10, D, S);
+  }
   void addsd(unsigned D, unsigned S) { sse(0xF2, 0x58, D, S); }
   void subsd(unsigned D, unsigned S) { sse(0xF2, 0x5C, D, S); }
   void mulsd(unsigned D, unsigned S) { sse(0xF2, 0x59, D, S); }
@@ -373,8 +491,15 @@ public:
   void movqXR(unsigned X, unsigned R) { sse(0x66, 0x6E, X, R, true); }
 };
 
+/// Stack bytes a direct call reserves for a callee: invocation record +
+/// frame + arena, each 16-aligned so the call-site alignment holds.
+std::size_t directCallSlabBytes(const bc::BCFunction &BF) {
+  return kInvSize + static_cast<std::size_t>(BF.NumFrame) * 16 +
+         ((static_cast<std::size_t>(BF.ArenaBytes) + 15) & ~std::size_t(15));
+}
+
 /// How a frame slot is observed across the function. Int ⊔ FP = Full;
-/// Full slots are copied 16 bytes at a time and are never pinned.
+/// Full slots are copied 16 bytes at a time and are never allocated.
 enum class SlotKind : std::uint8_t { Unused = 0, Int = 1, FP = 2, Full = 3 };
 
 inline SlotKind join(SlotKind A, SlotKind B) {
@@ -400,11 +525,37 @@ private:
   Asm A;
   std::vector<SlotKind> Kinds;
   std::vector<Fixup> Fixups;
-  std::int32_t Pin[2] = {-1, -1};
   bool OK = true;
 
+  /// Register file of the allocator. IntReg/FPReg map a frame slot to
+  /// its owning register (-1 = lives in frame memory); the assignment
+  /// lists drive the prologue loads and the spill loops.
+  std::vector<std::int32_t> IntReg;
+  std::vector<std::int32_t> FPReg;
+  std::vector<RegAssignment> Assigned;
+  bool HaveMeta = false; ///< BF.Slots present (always, except old artifacts)
+  std::vector<bool> BranchTarget; ///< inst is the target of some branch
+  std::vector<bool> Reloc; ///< const slot holds an engine-patched address
+  std::uint32_t Spills = 0;
+  std::uint32_t Fused = 0;
+  std::uint32_t DirectSites = 0;
+
   static constexpr unsigned FrameReg = RBX, ArenaReg = R12, InvReg = R13;
-  static constexpr unsigned PinRegs[2] = {R14, R15};
+  /// GPRs free for allocation, callee-saved first so the hottest slots
+  /// survive calls untouched (rbx/r12/r13 are pinned to the frame/arena/
+  /// invocation; rbp is just another register — the generated code keeps
+  /// no frame pointer). r8–r11 are caller-saved: their live subset rides
+  /// the same call-site spill/reload discipline as the xmm pool. r11 is
+  /// also emitCallBC's entry scratch, which is safe because every call
+  /// site spills before the entry cell is loaded.
+  static constexpr unsigned IntPool[] = {R14, R15, RBP, R8, R9, R10, R11};
+  [[nodiscard]] static bool callerSaved(unsigned R) {
+    return R >= R8 && R <= R11;
+  }
+  /// xmm8–15: high half of the SSE file, caller-saved like all of it —
+  /// every call site spills the live subset.
+  static constexpr unsigned FPPool[] = {XMM8,  XMM9,  XMM10, XMM11,
+                                        XMM12, XMM13, XMM14, XMM15};
 
   [[nodiscard]] std::uint32_t epilogueIdx() const {
     return static_cast<std::uint32_t>(BF.Code.size());
@@ -415,15 +566,9 @@ private:
     Kinds[Slot] = join(Kinds[Slot], K);
   }
   void classify();
-  void choosePins();
+  void allocate();
+  void collectBranchTargets();
 
-  [[nodiscard]] int pinOf(std::uint32_t Slot) const {
-    if (Pin[0] == static_cast<std::int32_t>(Slot))
-      return 0;
-    if (Pin[1] == static_cast<std::int32_t>(Slot))
-      return 1;
-    return -1;
-  }
   [[nodiscard]] static std::int32_t dispI(std::uint32_t Slot) {
     return static_cast<std::int32_t>(Slot) * 16;
   }
@@ -432,25 +577,136 @@ private:
   }
 
   void loadSlotI(unsigned R, std::uint32_t Slot) {
-    int P = pinOf(Slot);
-    if (P >= 0)
-      A.movRR(R, PinRegs[P]);
-    else
+    if (IntReg[Slot] >= 0) {
+      if (static_cast<unsigned>(IntReg[Slot]) != R)
+        A.movRR(R, static_cast<unsigned>(IntReg[Slot]));
+    } else {
       A.movRM(R, FrameReg, dispI(Slot));
+    }
   }
   /// mov only — never touches flags (CmpBr relies on that).
   void storeSlotI(unsigned R, std::uint32_t Slot) {
-    int P = pinOf(Slot);
-    if (P >= 0)
-      A.movRR(PinRegs[P], R);
-    else
+    if (IntReg[Slot] >= 0) {
+      if (static_cast<unsigned>(IntReg[Slot]) != R)
+        A.movRR(static_cast<unsigned>(IntReg[Slot]), R);
+    } else {
       A.movMR(FrameReg, dispI(Slot), R);
+    }
+  }
+  /// The source register of an allocated int slot, or Scratch after a
+  /// load from frame memory. The result must only be read.
+  unsigned srcSlotI(std::uint32_t Slot, unsigned Scratch) {
+    if (IntReg[Slot] >= 0)
+      return static_cast<unsigned>(IntReg[Slot]);
+    A.movRM(Scratch, FrameReg, dispI(Slot));
+    return Scratch;
+  }
+  unsigned srcSlotD(std::uint32_t Slot, unsigned Scratch) {
+    if (FPReg[Slot] >= 0)
+      return static_cast<unsigned>(FPReg[Slot]);
+    A.movsdXM(Scratch, FrameReg, dispD(Slot));
+    return Scratch;
+  }
+
+  /// Compile-time int value of a constant-pool slot. Global-address
+  /// constants are patched per engine after bytecode compilation and
+  /// are never foldable.
+  [[nodiscard]] bool constInt(std::uint32_t Slot, std::int64_t &V) const {
+    if (Slot >= BF.NumConsts || Reloc[Slot])
+      return false;
+    V = BF.ConstPoolInts[Slot];
+    return true;
+  }
+  /// Same, restricted to values an ALU sign-extended imm32 can encode.
+  [[nodiscard]] bool constImm32(std::uint32_t Slot, std::int32_t &V) const {
+    std::int64_t W;
+    if (!constInt(Slot, W) ||
+        W < std::numeric_limits<std::int32_t>::min() ||
+        W > std::numeric_limits<std::int32_t>::max())
+      return false;
+    V = static_cast<std::int32_t>(W);
+    return true;
+  }
+  /// 81/83-group ext code of a binop, or ~0u when none exists (Mul).
+  [[nodiscard]] static unsigned aluExt(bc::Op Op) {
+    switch (Op) {
+    case bc::Op::Add:
+      return 0;
+    case bc::Op::Or:
+      return 1;
+    case bc::Op::And:
+      return 4;
+    case bc::Op::Sub:
+      return 5;
+    case bc::Op::Xor:
+      return 6;
+    default:
+      return ~0u;
+    }
   }
   void loadSlotD(unsigned X, std::uint32_t Slot) {
-    A.movsdXM(X, FrameReg, dispD(Slot));
+    if (FPReg[Slot] >= 0) {
+      if (static_cast<unsigned>(FPReg[Slot]) != X)
+        A.movsdRR(X, static_cast<unsigned>(FPReg[Slot]));
+    } else {
+      A.movsdXM(X, FrameReg, dispD(Slot));
+    }
   }
   void storeSlotD(unsigned X, std::uint32_t Slot) {
-    A.movsdMX(FrameReg, dispD(Slot), X);
+    if (FPReg[Slot] >= 0) {
+      if (static_cast<unsigned>(FPReg[Slot]) != X)
+        A.movsdRR(static_cast<unsigned>(FPReg[Slot]), X);
+    } else {
+      A.movsdMX(FrameReg, dispD(Slot), X);
+    }
+  }
+
+  // --- call-site spill discipline -----------------------------------------
+  // Helpers (and direct callees reading their argument slots) observe
+  // operands through frame memory, and the SysV ABI preserves neither
+  // xmm registers nor r8–r11. So around every call: write back the exact
+  // int operand slots the callee reads, write back every *live*
+  // caller-saved assignment (all FP, plus the r8–r11 slice of the int
+  // pool), and afterwards reload whatever the helper may have redefined
+  // plus the clobbered caller-saved set. The liveness filter is sound
+  // because SlotMeta intervals are widened over every back-edge range
+  // they intersect.
+  [[nodiscard]] bool liveAt(std::uint32_t Slot, std::uint32_t Idx) const {
+    const bc::SlotMeta &M = BF.Slots[Slot];
+    return M.LiveBegin <= Idx && Idx <= M.LiveEnd;
+  }
+  void spillIntSlot(std::uint32_t Slot) {
+    if (IntReg[Slot] >= 0) {
+      A.movMR(FrameReg, dispI(Slot), static_cast<unsigned>(IntReg[Slot]));
+      ++Spills;
+    }
+  }
+  void reloadIntSlot(std::uint32_t Slot) {
+    if (IntReg[Slot] >= 0)
+      A.movRM(static_cast<unsigned>(IntReg[Slot]), FrameReg, dispI(Slot));
+  }
+  void spillLiveVolatile(std::uint32_t Idx) {
+    for (const RegAssignment &R : Assigned) {
+      if (!liveAt(R.Slot, Idx))
+        continue;
+      if (R.FP) {
+        A.movsdMX(FrameReg, dispD(R.Slot), R.Reg);
+        ++Spills;
+      } else if (callerSaved(R.Reg)) {
+        A.movMR(FrameReg, dispI(R.Slot), R.Reg);
+        ++Spills;
+      }
+    }
+  }
+  void reloadLiveVolatile(std::uint32_t Idx) {
+    for (const RegAssignment &R : Assigned) {
+      if (!liveAt(R.Slot, Idx))
+        continue;
+      if (R.FP)
+        A.movsdXM(R.Reg, FrameReg, dispD(R.Slot));
+      else if (callerSaved(R.Reg))
+        A.movRM(R.Reg, FrameReg, dispI(R.Slot));
+    }
   }
   /// Mirrors the bytecode's full-RTValue writes (ofPtr leaves D = 0) when
   /// someone may read the slot 16 bytes at a time.
@@ -495,11 +751,12 @@ private:
   }
 
   /// Loads, width-extends and compares the ICmp/CmpBr operands; returns
-  /// the condition code that is true when the predicate holds.
+  /// the condition code that is true when the predicate holds. 64-bit
+  /// compares need no extension and run straight against the allocated
+  /// registers / frame memory; 32-bit ones fold the extension into the
+  /// operand load (movsxd / mov32).
   unsigned emitIntCompare(ir::CmpPred P, std::uint32_t L, std::uint32_t R,
                           unsigned W) {
-    loadSlotI(RAX, L);
-    loadSlotI(RCX, R);
     bool Signed = false;
     unsigned CC = CC_E;
     switch (P) {
@@ -541,6 +798,60 @@ private:
       OK = false;
       break;
     }
+    if (W == 64) {
+      std::int32_t Imm;
+      if (constImm32(R, Imm)) {
+        if (IntReg[L] >= 0) {
+          A.aluRI(7, static_cast<unsigned>(IntReg[L]), Imm);
+        } else {
+          A.movRM(RAX, FrameReg, dispI(L));
+          A.aluRI(7, RAX, Imm);
+        }
+      } else if (IntReg[L] >= 0) {
+        if (IntReg[R] >= 0)
+          A.cmpRR(static_cast<unsigned>(IntReg[L]),
+                  static_cast<unsigned>(IntReg[R]));
+        else
+          A.aluRM(0x3B, static_cast<unsigned>(IntReg[L]), FrameReg,
+                  dispI(R));
+      } else if (IntReg[R] >= 0) {
+        A.aluMR(0x39, FrameReg, dispI(L), static_cast<unsigned>(IntReg[R]));
+      } else {
+        A.movRM(RAX, FrameReg, dispI(L));
+        A.aluRM(0x3B, RAX, FrameReg, dispI(R));
+      }
+      return CC;
+    }
+    if (W == 32) {
+      // Low-half compare: the interpreter truncates to W before
+      // extending, so a 32-bit cmp sets identical flags for signed and
+      // unsigned predicates alike — no extensions needed.
+      std::int64_t CV;
+      if (constInt(R, CV)) {
+        auto Imm = static_cast<std::int32_t>(CV); // low half is the value
+        if (IntReg[L] >= 0) {
+          A.alu32RI(7, static_cast<unsigned>(IntReg[L]), Imm);
+        } else {
+          A.mov32RM(RAX, FrameReg, dispI(L));
+          A.alu32RI(7, RAX, Imm);
+        }
+      } else if (IntReg[L] >= 0) {
+        if (IntReg[R] >= 0)
+          A.alu32(0x39, static_cast<unsigned>(IntReg[L]),
+                  static_cast<unsigned>(IntReg[R]));
+        else
+          A.alu32RM(0x3B, static_cast<unsigned>(IntReg[L]), FrameReg,
+                    dispI(R));
+      } else if (IntReg[R] >= 0) {
+        A.alu32MR(0x39, FrameReg, dispI(L), static_cast<unsigned>(IntReg[R]));
+      } else {
+        A.mov32RM(RAX, FrameReg, dispI(L));
+        A.alu32RM(0x3B, RAX, FrameReg, dispI(R));
+      }
+      return CC;
+    }
+    loadSlotI(RAX, L);
+    loadSlotI(RCX, R);
     if (Signed) {
       sext(RAX, W);
       sext(RCX, W);
@@ -552,7 +863,77 @@ private:
     return CC;
   }
 
+  /// Int binop computed directly in the destination's register: mov the
+  /// left operand in (skipped when it already lives there), then one ALU
+  /// op against the right operand's register or frame slot. The one
+  /// alias hazard is Sub with A==C and A!=B — the mov would destroy the
+  /// subtrahend — which stays on the scratch path; commutative ops swap
+  /// the operands instead. Returns false when not applicable.
+  bool tryBinOpInReg(const bc::Inst &In) {
+    if (IntReg[In.A] < 0)
+      return false;
+    std::uint32_t L = In.B, R = In.C;
+    if (In.A == R && In.A != L) {
+      if (In.Code == bc::Op::Sub)
+        return false;
+      std::swap(L, R); // A = R op L: the aliased operand stays in place
+    }
+    auto D = static_cast<unsigned>(IntReg[In.A]);
+    std::int32_t Imm;
+    const bool HaveImm = constImm32(R, Imm);
+    if (HaveImm && In.Code == bc::Op::Mul) {
+      // Three-operand imul folds the load and the multiply into one op.
+      if (IntReg[L] >= 0)
+        A.imulRRI(D, static_cast<unsigned>(IntReg[L]), Imm);
+      else
+        A.imulRMI(D, FrameReg, dispI(L), Imm);
+      sext(D, In.W);
+      return true;
+    }
+    loadSlotI(D, L); // self-mov elided when A == L
+    std::uint8_t MR = 0; // MR-form ALU opcode; 0 = imul
+    switch (In.Code) {
+    case bc::Op::Add:
+      MR = 0x01;
+      break;
+    case bc::Op::Sub:
+      MR = 0x29;
+      break;
+    case bc::Op::And:
+      MR = 0x21;
+      break;
+    case bc::Op::Or:
+      MR = 0x09;
+      break;
+    case bc::Op::Xor:
+      MR = 0x31;
+      break;
+    default:
+      break;
+    }
+    if (HaveImm) {
+      A.aluRI(aluExt(In.Code), D, Imm);
+    } else if (IntReg[R] >= 0) {
+      if (MR)
+        A.alu(MR, D, static_cast<unsigned>(IntReg[R]));
+      else
+        A.imulRR(D, static_cast<unsigned>(IntReg[R]));
+    } else {
+      if (MR)
+        A.aluRM(MR + 2, D, FrameReg, dispI(R));
+      else
+        A.imulRM(D, FrameReg, dispI(R));
+    }
+    if (In.Code == bc::Op::Add || In.Code == bc::Op::Sub ||
+        In.Code == bc::Op::Mul)
+      sext(D, In.W); // bitwise ops keep canonical operands canonical
+    return true;
+  }
+
   void emitInst(std::uint32_t Idx);
+  [[nodiscard]] bool canDirectCall(const bc::Inst &In) const;
+  void emitCallBC(const bc::Inst &In, std::uint32_t Idx);
+  bool tryFuseFCmpBr(std::uint32_t Idx);
 };
 
 void FunctionEmitter::classify() {
@@ -580,10 +961,11 @@ void FunctionEmitter::classify() {
     case bc::Op::UDiv:
     case bc::Op::SRem:
     case bc::Op::URem:
-      // Helper op: reads and writes frame memory directly.
-      mark(In.A, SlotKind::Full);
-      mark(In.B, SlotKind::Full);
-      mark(In.C, SlotKind::Full);
+      // Helper op, but the helper reads and writes only the int lanes;
+      // the call site spills B/C and reloads A around it.
+      mark(In.A, SlotKind::Int);
+      mark(In.B, SlotKind::Int);
+      mark(In.C, SlotKind::Int);
       break;
     case bc::Op::FAdd:
     case bc::Op::FSub:
@@ -619,9 +1001,13 @@ void FunctionEmitter::classify() {
       mark(In.B, SlotKind::Int);
       break;
     case bc::Op::UIToFP:
+      // Helper op with lane-exact accesses (spill/reload at the site).
+      mark(In.A, SlotKind::FP);
+      mark(In.B, SlotKind::Int);
+      break;
     case bc::Op::FPToUI:
-      mark(In.A, SlotKind::Full); // helper op
-      mark(In.B, SlotKind::Full);
+      mark(In.A, SlotKind::Int); // helper op, lane-exact
+      mark(In.B, SlotKind::FP);
       break;
     case bc::Op::FPToSI:
       mark(In.A, SlotKind::Int);
@@ -656,8 +1042,11 @@ void FunctionEmitter::classify() {
       mark(In.A, SlotKind::Int);
       break;
     case bc::Op::AllocaDyn:
-      mark(In.A, SlotKind::Full); // helper op
-      mark(In.B, SlotKind::Full);
+      // Helper op: writes Frame[A] as a full RTValue, but only the
+      // pointer lane is ever read back (Int-kind readers), so spilling
+      // B and reloading A's int lane at the site suffices.
+      mark(In.A, SlotKind::Int);
+      mark(In.B, SlotKind::Int);
       break;
     case bc::Op::Select:
       // Copied 16 bytes at a time (branchy template); the condition is
@@ -674,16 +1063,18 @@ void FunctionEmitter::classify() {
       mark(In.A, SlotKind::Int);
       break;
     case bc::Op::Ret:
-      if (In.Sub)
-        mark(In.A, SlotKind::Full); // 16-byte copy into Inv->Ret
+      // The 16-byte copy into Inv->Ret reads frame memory, but the
+      // template spills an allocated A first — no marking, so returning
+      // an accumulator does not evict it from its register.
       break;
     case bc::Op::CallBC:
     case bc::Op::CallRT:
-      // Helper op: result and every argument slot cross the helper
-      // boundary through frame memory as full RTValues.
-      mark(In.A, SlotKind::Full);
-      for (std::uint32_t K = 0; K < In.D; ++K)
-        mark(BF.ArgPool[In.C + K], SlotKind::Full);
+      // Results and arguments cross the call boundary through frame
+      // memory as full RTValues, but the call site spills the argument
+      // slots and reloads the result, so the slots keep the kinds their
+      // *other* uses give them. A slot with no other uses stays Unused
+      // and its data flows through frame memory untouched (which is why
+      // an Unused Mov must copy all 16 bytes — see emitInst).
       break;
     case bc::Op::LoadOpStore4:
     case bc::Op::LoadOpStore8:
@@ -714,74 +1105,74 @@ void FunctionEmitter::classify() {
   }
 }
 
-void FunctionEmitter::choosePins() {
-  // Weight each slot's accesses, boosting instructions that sit inside a
-  // back-edge range (between a backward branch's target and the branch):
-  // that is where loop IVs and accumulators live.
-  const std::uint32_t N = static_cast<std::uint32_t>(BF.Code.size());
-  std::vector<std::int32_t> LoopDepth(N + 1, 0);
-  for (std::uint32_t I = 0; I < N; ++I) {
-    const bc::Inst &In = BF.Code[I];
-    auto Range = [&](std::uint32_t T) {
-      if (T <= I) {
-        ++LoopDepth[T];
-        --LoopDepth[I + 1];
-      }
-    };
-    if (In.Code == bc::Op::Jmp)
-      Range(In.A);
-    else if (In.Code == bc::Op::CondBr) {
-      Range(In.B);
-      Range(In.C);
-    } else if (In.Code == bc::Op::CmpBr) {
-      Range(static_cast<std::uint32_t>(In.Imm));
-      Range(static_cast<std::uint32_t>(In.Imm >> 32));
-    }
-  }
-  std::vector<std::uint64_t> Weight(BF.NumFrame, 0);
-  std::int64_t Depth = 0;
-  for (std::uint32_t I = 0; I < N; ++I) {
-    Depth += LoopDepth[I];
-    const std::uint64_t W = Depth > 0 ? 16 : 1;
-    const bc::Inst &In = BF.Code[I];
-    auto Acc = [&](std::uint32_t S) {
-      if (S < BF.NumFrame && Kinds[S] == SlotKind::Int)
-        Weight[S] += W;
-    };
-    switch (In.Code) {
-    case bc::Op::Jmp:
-    case bc::Op::Unreachable:
-      break;
-    case bc::Op::Ret:
-    case bc::Op::CondBr:
-      Acc(In.A);
-      break;
-    case bc::Op::CallBC:
-    case bc::Op::CallRT:
-      break; // Full slots anyway
-    default:
-      Acc(In.A);
-      Acc(In.B);
-      Acc(In.C);
-      Acc(In.D);
-      break;
-    }
-  }
-  for (int P = 0; P < 2; ++P) {
-    std::uint64_t Best = 1; // require at least weight 2
-    std::int32_t BestSlot = -1;
-    for (std::uint32_t S = 0; S < BF.NumFrame; ++S) {
-      if (static_cast<std::int32_t>(S) == Pin[0])
+void FunctionEmitter::allocate() {
+  // Linear scan over the BytecodeCompiler's slot metadata: rank the
+  // int-only and double-only slots by back-edge-weighted use count and
+  // hand out the pools hottest-first. Ownership is whole-function (the
+  // prologue loads every winner), so no interval splitting is needed —
+  // the weight ranking is what the "linear scan" orders.
+  IntReg.assign(BF.NumFrame, -1);
+  FPReg.assign(BF.NumFrame, -1);
+  if (!HaveMeta)
+    return;
+  struct Cand {
+    std::uint64_t W;
+    std::uint32_t S;
+    bool FP;
+  };
+  std::vector<Cand> Cands;
+  for (std::uint32_t S = 0; S < BF.NumFrame; ++S) {
+    if (BF.Slots[S].Weight < 2)
+      continue; // a single touch never pays for the prologue load
+    if (Kinds[S] == SlotKind::Int) {
+      // Imm32-encodable int constants fold into the instruction stream
+      // (ALU/compare/lea immediates) or read as cheap never-written
+      // memory operands — a register would be wasted on them.
+      std::int32_t Imm;
+      if (constImm32(S, Imm))
         continue;
-      if (Weight[S] > Best) {
-        Best = Weight[S];
-        BestSlot = static_cast<std::int32_t>(S);
-      }
+      Cands.push_back({BF.Slots[S].Weight, S, false});
+    } else if (Kinds[S] == SlotKind::FP) {
+      Cands.push_back({BF.Slots[S].Weight, S, true});
     }
-    if (BestSlot < 0)
-      break;
-    Pin[P] = BestSlot;
-    Weight[BestSlot] = 0;
+  }
+  std::sort(Cands.begin(), Cands.end(), [](const Cand &A, const Cand &B) {
+    return A.W != B.W ? A.W > B.W : A.S < B.S;
+  });
+  std::size_t NextInt = 0, NextFP = 0;
+  for (const Cand &C : Cands) {
+    if (C.FP) {
+      if (NextFP >= sizeof(FPPool) / sizeof(FPPool[0]))
+        continue;
+      FPReg[C.S] = static_cast<std::int32_t>(FPPool[NextFP++]);
+      Assigned.push_back({C.S, static_cast<std::uint8_t>(FPReg[C.S]), true});
+    } else {
+      if (NextInt >= sizeof(IntPool) / sizeof(IntPool[0]))
+        continue;
+      IntReg[C.S] = static_cast<std::int32_t>(IntPool[NextInt++]);
+      Assigned.push_back({C.S, static_cast<std::uint8_t>(IntReg[C.S]), false});
+    }
+  }
+}
+
+void FunctionEmitter::collectBranchTargets() {
+  const auto N = static_cast<std::uint32_t>(BF.Code.size());
+  BranchTarget.assign(N + 2, false);
+  auto Mark = [&](std::uint32_t T) {
+    if (T < BranchTarget.size())
+      BranchTarget[T] = true;
+  };
+  for (const bc::Inst &In : BF.Code) {
+    if (In.Code == bc::Op::Jmp)
+      Mark(In.A);
+    else if (In.Code == bc::Op::CondBr) {
+      Mark(In.B);
+      Mark(In.C);
+    } else if (In.Code == bc::Op::CmpBr) {
+      Mark(static_cast<std::uint32_t>(In.Imm & 0xffffffff));
+      Mark(static_cast<std::uint32_t>(static_cast<std::uint64_t>(In.Imm) >>
+                                      32));
+    }
   }
 }
 
@@ -795,14 +1186,27 @@ void FunctionEmitter::emitInst(std::uint32_t Idx) {
   case bc::Op::Mov: {
     switch (join(Kinds[In.A], Kinds[In.B])) {
     case SlotKind::Unused:
-    case SlotKind::Int:
-      loadSlotI(RAX, In.B);
-      storeSlotI(RAX, In.A);
+      // No lane evidence: the value may be a full RTValue flowing
+      // between call boundaries through frame memory (neither endpoint
+      // can be register-allocated), so copy all 16 bytes like the
+      // bytecode handler does.
+      A.movupsXM(XMM0, FrameReg, dispI(In.B));
+      A.movupsMX(FrameReg, dispI(In.A), XMM0);
       break;
-    case SlotKind::FP:
-      A.movRM(RAX, FrameReg, dispD(In.B));
-      A.movMR(FrameReg, dispD(In.A), RAX);
+    case SlotKind::Int: {
+      unsigned T =
+          IntReg[In.A] >= 0 ? static_cast<unsigned>(IntReg[In.A]) : RAX;
+      loadSlotI(T, In.B);
+      storeSlotI(T, In.A); // elided when A owns T
       break;
+    }
+    case SlotKind::FP: {
+      unsigned X =
+          FPReg[In.A] >= 0 ? static_cast<unsigned>(FPReg[In.A]) : XMM0;
+      loadSlotD(X, In.B);
+      storeSlotD(X, In.A);
+      break;
+    }
     case SlotKind::Full:
       A.movupsXM(XMM0, FrameReg, dispI(In.B));
       A.movupsMX(FrameReg, dispI(In.A), XMM0);
@@ -817,14 +1221,24 @@ void FunctionEmitter::emitInst(std::uint32_t Idx) {
       OK = false;
       return;
     }
+    if (tryBinOpInReg(In))
+      break;
     loadSlotI(RAX, In.B);
-    loadSlotI(RCX, In.C);
-    if (In.Code == bc::Op::Add)
-      A.addRR(RAX, RCX);
-    else if (In.Code == bc::Op::Sub)
-      A.subRR(RAX, RCX);
-    else
-      A.imulRR(RAX, RCX);
+    std::int32_t Imm;
+    if (constImm32(In.C, Imm)) {
+      if (In.Code == bc::Op::Mul)
+        A.imulRRI(RAX, RAX, Imm);
+      else
+        A.aluRI(aluExt(In.Code), RAX, Imm);
+    } else {
+      loadSlotI(RCX, In.C);
+      if (In.Code == bc::Op::Add)
+        A.addRR(RAX, RCX);
+      else if (In.Code == bc::Op::Sub)
+        A.subRR(RAX, RCX);
+      else
+        A.imulRR(RAX, RCX);
+    }
     sext(RAX, In.W);
     storeSlotI(RAX, In.A);
     break;
@@ -832,14 +1246,21 @@ void FunctionEmitter::emitInst(std::uint32_t Idx) {
   case bc::Op::And:
   case bc::Op::Or:
   case bc::Op::Xor: {
+    if (tryBinOpInReg(In))
+      break;
     loadSlotI(RAX, In.B);
-    loadSlotI(RCX, In.C);
-    if (In.Code == bc::Op::And)
-      A.andRR(RAX, RCX);
-    else if (In.Code == bc::Op::Or)
-      A.orRR(RAX, RCX);
-    else
-      A.xorRR(RAX, RCX);
+    std::int32_t Imm;
+    if (constImm32(In.C, Imm)) {
+      A.aluRI(aluExt(In.Code), RAX, Imm);
+    } else {
+      loadSlotI(RCX, In.C);
+      if (In.Code == bc::Op::And)
+        A.andRR(RAX, RCX);
+      else if (In.Code == bc::Op::Or)
+        A.orRR(RAX, RCX);
+      else
+        A.xorRR(RAX, RCX);
+    }
     storeSlotI(RAX, In.A);
     break;
   }
@@ -870,12 +1291,35 @@ void FunctionEmitter::emitInst(std::uint32_t Idx) {
   case bc::Op::UDiv:
   case bc::Op::SRem:
   case bc::Op::URem:
+    spillIntSlot(In.B);
+    spillIntSlot(In.C);
+    spillLiveVolatile(Idx);
     emitHelper(HelperIntDiv, &In);
+    reloadIntSlot(In.A);
+    reloadLiveVolatile(Idx);
     break;
   case bc::Op::FAdd:
   case bc::Op::FSub:
   case bc::Op::FMul:
   case bc::Op::FDiv: {
+    // Op directly in the destination's register; only the A==C, A!=B
+    // shape (the incoming mov would destroy the rhs) uses the scratch
+    // path. No operand swap: hardware NaN-payload propagation is
+    // operand-order dependent and must match the bytecode engine.
+    if (FPReg[In.A] >= 0 && (In.A != In.C || In.A == In.B)) {
+      auto D = static_cast<unsigned>(FPReg[In.A]);
+      loadSlotD(D, In.B); // self-mov elided when A == B
+      unsigned S = srcSlotD(In.C, XMM1);
+      if (In.Code == bc::Op::FAdd)
+        A.addsd(D, S);
+      else if (In.Code == bc::Op::FSub)
+        A.subsd(D, S);
+      else if (In.Code == bc::Op::FMul)
+        A.mulsd(D, S);
+      else
+        A.divsd(D, S);
+      break;
+    }
     loadSlotD(XMM0, In.B);
     loadSlotD(XMM1, In.C);
     if (In.Code == bc::Op::FAdd)
@@ -953,9 +1397,18 @@ void FunctionEmitter::emitInst(std::uint32_t Idx) {
       OK = false;
       return;
     }
-    loadSlotI(RAX, In.B);
-    sext(RAX, In.W);
-    storeSlotI(RAX, In.A);
+    unsigned T =
+        IntReg[In.A] >= 0 ? static_cast<unsigned>(IntReg[In.A]) : RAX;
+    if (In.W == 32) { // fold the extension into the operand load
+      if (IntReg[In.B] >= 0)
+        A.movsxdRR(T, static_cast<unsigned>(IntReg[In.B]));
+      else
+        A.movsxdRM(T, FrameReg, dispI(In.B));
+    } else {
+      loadSlotI(T, In.B);
+      sext(T, In.W);
+    }
+    storeSlotI(T, In.A); // elided when A owns T
     break;
   }
   case bc::Op::ZExt: {
@@ -963,9 +1416,18 @@ void FunctionEmitter::emitInst(std::uint32_t Idx) {
       OK = false;
       return;
     }
-    loadSlotI(RAX, In.B);
-    zext(RAX, In.W);
-    storeSlotI(RAX, In.A);
+    unsigned T =
+        IntReg[In.A] >= 0 ? static_cast<unsigned>(IntReg[In.A]) : RAX;
+    if (In.W == 32) {
+      if (IntReg[In.B] >= 0)
+        A.mov32RR(T, static_cast<unsigned>(IntReg[In.B]));
+      else
+        A.mov32RM(T, FrameReg, dispI(In.B));
+    } else {
+      loadSlotI(T, In.B);
+      zext(T, In.W);
+    }
+    storeSlotI(T, In.A);
     break;
   }
   case bc::Op::SIToFP: {
@@ -973,75 +1435,97 @@ void FunctionEmitter::emitInst(std::uint32_t Idx) {
       OK = false;
       return;
     }
-    loadSlotI(RAX, In.B);
-    sext(RAX, In.W);
-    A.cvtsi2sd(XMM0, RAX);
-    storeSlotD(XMM0, In.A);
+    unsigned X =
+        FPReg[In.A] >= 0 ? static_cast<unsigned>(FPReg[In.A]) : XMM0;
+    if (In.W == 64 && IntReg[In.B] >= 0) {
+      A.cvtsi2sd(X, static_cast<unsigned>(IntReg[In.B]));
+    } else {
+      loadSlotI(RAX, In.B);
+      sext(RAX, In.W);
+      A.cvtsi2sd(X, RAX);
+    }
+    storeSlotD(X, In.A);
     break;
   }
   case bc::Op::UIToFP:
+    spillIntSlot(In.B);
+    spillLiveVolatile(Idx); // covers A: the reload below picks up the result
     emitHelper(HelperUIToFP, &In);
+    reloadLiveVolatile(Idx);
     break;
   case bc::Op::FPToSI: {
     if (!widthOk(In.W)) {
       OK = false;
       return;
     }
-    loadSlotD(XMM0, In.B);
-    A.cvttsd2si(RAX, XMM0);
-    sext(RAX, In.W);
-    storeSlotI(RAX, In.A);
+    unsigned X = srcSlotD(In.B, XMM0);
+    unsigned T =
+        IntReg[In.A] >= 0 ? static_cast<unsigned>(IntReg[In.A]) : RAX;
+    A.cvttsd2si(T, X);
+    sext(T, In.W);
+    storeSlotI(T, In.A);
     break;
   }
   case bc::Op::FPToUI:
+    spillLiveVolatile(Idx); // covers the B operand
     emitHelper(HelperFPToUI, &In);
+    reloadIntSlot(In.A);
+    reloadLiveVolatile(Idx);
     break;
   case bc::Op::Load1: {
-    loadSlotI(RCX, In.B);
-    A.movsx8RM(RAX, RCX, 0);
-    storeSlotI(RAX, In.A);
+    unsigned P = srcSlotI(In.B, RCX);
+    unsigned T =
+        IntReg[In.A] >= 0 ? static_cast<unsigned>(IntReg[In.A]) : RAX;
+    A.movsx8RM(T, P, 0);
+    storeSlotI(T, In.A);
     break;
   }
   case bc::Op::Load4: {
-    loadSlotI(RCX, In.B);
-    A.movsxdRM(RAX, RCX, 0);
-    storeSlotI(RAX, In.A);
+    unsigned P = srcSlotI(In.B, RCX);
+    unsigned T =
+        IntReg[In.A] >= 0 ? static_cast<unsigned>(IntReg[In.A]) : RAX;
+    A.movsxdRM(T, P, 0);
+    storeSlotI(T, In.A);
     break;
   }
   case bc::Op::Load8: {
-    loadSlotI(RCX, In.B);
-    A.movRM(RAX, RCX, 0);
-    storeSlotI(RAX, In.A);
+    unsigned P = srcSlotI(In.B, RCX);
+    unsigned T =
+        IntReg[In.A] >= 0 ? static_cast<unsigned>(IntReg[In.A]) : RAX;
+    A.movRM(T, P, 0);
+    storeSlotI(T, In.A);
     break;
   }
   case bc::Op::LoadF64: {
-    loadSlotI(RCX, In.B);
-    A.movsdXM(XMM0, RCX, 0);
-    storeSlotD(XMM0, In.A);
+    unsigned P = srcSlotI(In.B, RCX);
+    unsigned X =
+        FPReg[In.A] >= 0 ? static_cast<unsigned>(FPReg[In.A]) : XMM0;
+    A.movsdXM(X, P, 0);
+    storeSlotD(X, In.A);
     break;
   }
   case bc::Op::Store1: {
-    loadSlotI(RAX, In.A);
-    loadSlotI(RCX, In.B);
-    A.mov8MR(RCX, 0, RAX);
+    loadSlotI(RAX, In.A); // mov8MR needs a REX-safe byte register
+    unsigned P = srcSlotI(In.B, RCX);
+    A.mov8MR(P, 0, RAX);
     break;
   }
   case bc::Op::Store4: {
-    loadSlotI(RAX, In.A);
-    loadSlotI(RCX, In.B);
-    A.mov32MR(RCX, 0, RAX);
+    unsigned V = srcSlotI(In.A, RAX);
+    unsigned P = srcSlotI(In.B, RCX);
+    A.mov32MR(P, 0, V);
     break;
   }
   case bc::Op::Store8: {
-    loadSlotI(RAX, In.A);
-    loadSlotI(RCX, In.B);
-    A.movMR(RCX, 0, RAX);
+    unsigned V = srcSlotI(In.A, RAX);
+    unsigned P = srcSlotI(In.B, RCX);
+    A.movMR(P, 0, V);
     break;
   }
   case bc::Op::StoreF64: {
-    loadSlotD(XMM0, In.A);
-    loadSlotI(RCX, In.B);
-    A.movsdMX(RCX, 0, XMM0);
+    unsigned X = srcSlotD(In.A, XMM0);
+    unsigned P = srcSlotI(In.B, RCX);
+    A.movsdMX(P, 0, X);
     break;
   }
   case bc::Op::Gep: {
@@ -1049,12 +1533,48 @@ void FunctionEmitter::emitInst(std::uint32_t Idx) {
       OK = false;
       return;
     }
-    loadSlotI(RAX, In.C);
-    A.imulRRI(RAX, RAX, static_cast<std::int32_t>(In.Imm));
-    loadSlotI(RCX, In.B);
-    A.addRR(RAX, RCX);
-    storeSlotI(RAX, In.A);
-    zeroSlotDIfFull(In.A);
+    // Constant index: the whole scale+add folds into one lea / add-imm.
+    std::int64_t CIdx;
+    if (constInt(In.C, CIdx) &&
+        CIdx >= std::numeric_limits<std::int32_t>::min() &&
+        CIdx <= std::numeric_limits<std::int32_t>::max()) {
+      std::int64_t Off = CIdx * In.Imm; // i32 * i32 cannot overflow i64
+      if (Off >= std::numeric_limits<std::int32_t>::min() &&
+          Off <= std::numeric_limits<std::int32_t>::max()) {
+        unsigned T = IntReg[In.A] >= 0
+                         ? static_cast<unsigned>(IntReg[In.A])
+                         : RAX;
+        if (IntReg[In.B] >= 0) {
+          A.leaRM(T, static_cast<unsigned>(IntReg[In.B]),
+                  static_cast<std::int32_t>(Off));
+        } else {
+          A.movRM(T, FrameReg, dispI(In.B));
+          if (Off)
+            A.aluRI(0, T, static_cast<std::int32_t>(Off));
+        }
+        storeSlotI(T, In.A);
+        zeroSlotDIfFull(In.A);
+        break;
+      }
+    }
+    // Scale+add in the destination's register unless it holds the base
+    // (A==C is fine: the scale consumes it first).
+    unsigned T = (IntReg[In.A] >= 0 && In.A != In.B)
+                     ? static_cast<unsigned>(IntReg[In.A])
+                     : RAX;
+    if (IntReg[In.C] >= 0) {
+      A.imulRRI(T, static_cast<unsigned>(IntReg[In.C]),
+                static_cast<std::int32_t>(In.Imm));
+    } else {
+      A.movRM(T, FrameReg, dispI(In.C));
+      A.imulRRI(T, T, static_cast<std::int32_t>(In.Imm));
+    }
+    if (IntReg[In.B] >= 0)
+      A.addRR(T, static_cast<unsigned>(IntReg[In.B]));
+    else
+      A.aluRM(0x03, T, FrameReg, dispI(In.B));
+    storeSlotI(T, In.A);
+    zeroSlotDIfFull(In.A); // no-op when A is allocated (pure-int kind)
     break;
   }
   case bc::Op::AllocaFixed: {
@@ -1073,7 +1593,11 @@ void FunctionEmitter::emitInst(std::uint32_t Idx) {
     break;
   }
   case bc::Op::AllocaDyn:
+    spillIntSlot(In.B);
+    spillLiveVolatile(Idx);
     emitHelper(HelperAllocaDyn, &In);
+    reloadIntSlot(In.A);
+    reloadLiveVolatile(Idx);
     break;
   case bc::Op::Select: {
     loadSlotI(RAX, In.B);
@@ -1091,17 +1615,23 @@ void FunctionEmitter::emitInst(std::uint32_t Idx) {
     Fixups.push_back({A.jmpRel32(), In.A});
     break;
   case bc::Op::CondBr: {
-    loadSlotI(RAX, In.A);
-    A.testRR(RAX, RAX);
+    unsigned T = srcSlotI(In.A, RAX);
+    A.testRR(T, T);
     Fixups.push_back({A.jccRel32(CC_NE), In.B});
     Fixups.push_back({A.jmpRel32(), In.C});
     break;
   }
   case bc::Op::Ret: {
-    if (In.Sub)
+    if (In.Sub) {
+      // The return value is read as a full RTValue from frame memory;
+      // write an allocated lane back first.
+      spillIntSlot(In.A);
+      if (FPReg[In.A] >= 0)
+        A.movsdMX(FrameReg, dispD(In.A), static_cast<unsigned>(FPReg[In.A]));
       A.movupsXM(XMM0, FrameReg, dispI(In.A));
-    else
+    } else {
       A.xorps(XMM0, XMM0);
+    }
     A.movupsMX(InvReg, static_cast<std::int32_t>(kInvRetOffset), XMM0);
     A.xor32RR(RAX, RAX);
     Fixups.push_back({A.jmpRel32(), epilogueIdx()});
@@ -1113,10 +1643,15 @@ void FunctionEmitter::emitInst(std::uint32_t Idx) {
     break;
   }
   case bc::Op::CallBC:
-    emitHelper(HelperCallBC, &In);
+    emitCallBC(In, Idx);
     break;
   case bc::Op::CallRT:
+    for (std::uint32_t K = 0; K < In.D; ++K)
+      spillIntSlot(BF.ArgPool[In.C + K]);
+    spillLiveVolatile(Idx);
     emitHelper(HelperCallRT, &In);
+    reloadIntSlot(In.A);
+    reloadLiveVolatile(Idx);
     break;
   case bc::Op::CmpBr: {
     if (!widthOk(In.W)) {
@@ -1125,9 +1660,13 @@ void FunctionEmitter::emitInst(std::uint32_t Idx) {
     }
     unsigned CC =
         emitIntCompare(static_cast<ir::CmpPred>(In.Sub), In.B, In.C, In.W);
-    A.setcc(CC, RDX);
-    A.movzx8RR(RDX, RDX);
-    storeSlotI(RDX, In.A); // plain movs: the cmp flags survive
+    if (!HaveMeta || BF.Slots[In.A].Reads > 0) {
+      A.setcc(CC, RDX);
+      A.movzx8RR(RDX, RDX);
+      storeSlotI(RDX, In.A); // plain movs: the cmp flags survive
+    }
+    // else: nothing ever reads the materialized bool — branch on flags.
+    ++Fused;
     Fixups.push_back(
         {A.jccRel32(CC), static_cast<std::uint32_t>(In.Imm & 0xffffffff)});
     Fixups.push_back({A.jmpRel32(), static_cast<std::uint32_t>(
@@ -1138,6 +1677,27 @@ void FunctionEmitter::emitInst(std::uint32_t Idx) {
   case bc::Op::LoadOpStore4:
   case bc::Op::LoadOpStore8: {
     const bool Is32 = In.Code == bc::Op::LoadOpStore4;
+    ++Fused;
+    const auto FOp = static_cast<bc::FusedOp>(In.Sub);
+    // RMW peephole: when nothing ever reads the loaded-value and result
+    // slots, the whole sequence folds into one memory-destination ALU op
+    // (imul has no such form). The rhs cannot alias the dead slots — a
+    // read through B would count on their Reads.
+    if (HaveMeta && FOp != bc::FusedOp::Mul && BF.Slots[In.C].Reads == 0 &&
+        BF.Slots[In.D].Reads == 0) {
+      unsigned P = srcSlotI(In.A, RSI);
+      unsigned S = srcSlotI(In.B, RCX);
+      std::uint8_t MR = FOp == bc::FusedOp::Add   ? 0x01
+                        : FOp == bc::FusedOp::Sub ? 0x29
+                        : FOp == bc::FusedOp::And ? 0x21
+                        : FOp == bc::FusedOp::Or  ? 0x09
+                                                  : 0x31;
+      if (Is32)
+        A.alu32MR(MR, P, 0, S);
+      else
+        A.aluMR(MR, P, 0, S);
+      break;
+    }
     loadSlotI(RSI, In.A); // pointer stays live across the sequence
     if (Is32)
       A.movsxdRM(RAX, RSI, 0);
@@ -1180,6 +1740,187 @@ void FunctionEmitter::emitInst(std::uint32_t Idx) {
   }
 }
 
+bool FunctionEmitter::canDirectCall(const bc::Inst &In) const {
+  if (!Opts.Mod || !Opts.EntryCells || !Opts.Pools)
+    return false;
+  if (In.B >= Opts.Mod->Functions.size())
+    return false;
+  const bc::BCFunction &Callee = Opts.Mod->Functions[In.B];
+  return In.D == Callee.NumArgs && isDirectCallable(Callee);
+}
+
+void FunctionEmitter::emitCallBC(const bc::Inst &In, std::uint32_t Idx) {
+  // Both paths read the argument slots and write the result through
+  // frame memory: spill before, reload after.
+  for (std::uint32_t K = 0; K < In.D; ++K)
+    spillIntSlot(BF.ArgPool[In.C + K]);
+  spillLiveVolatile(Idx);
+  std::size_t JJoin = 0;
+  const bool Direct = canDirectCall(In);
+  if (Direct) {
+    const bc::BCFunction &Callee = Opts.Mod->Functions[In.B];
+    const auto Slab = static_cast<std::int32_t>(directCallSlabBytes(Callee));
+    const auto FrameOff = static_cast<std::int32_t>(kInvSize);
+    auto Off = [](std::size_t O) { return static_cast<std::int32_t>(O); };
+    // Entry cell: null until the callee compiles; the engine's release
+    // store publishes it, which retro-patches this site with no code
+    // rewrite (plain load is enough on x86-TSO).
+    A.movRI64(RAX, reinterpret_cast<std::uint64_t>(&Opts.EntryCells[In.B]));
+    A.movRM(RAX, RAX, 0);
+    A.testRR(RAX, RAX);
+    std::size_t JSlow = A.jccRel32(CC_E);
+    A.movRR(R11, RAX); // the entry must survive the rep sequences below
+    A.aluRI(5, RSP, Slab);
+    // Callee frame: constant-pool prefix, then zero up to NumFrame. The
+    // arena is not zeroed — AllocaFixed templates zero their own blocks,
+    // exactly like the host-side frame setup. Small frames (the common
+    // leaf-call shape) are copied/zeroed with unrolled 16-byte moves:
+    // the rep sequences pay tens of cycles of microcode startup, which
+    // dominates a tight call loop.
+    const std::size_t NC = Callee.NumConsts;
+    const std::size_t NZ = Callee.NumFrame - Callee.NumConsts;
+    if (NC <= 8 && NZ <= 24) {
+      if (NC)
+        A.movRI64(RSI, reinterpret_cast<std::uint64_t>(Opts.Pools[In.B]));
+      for (std::size_t K = 0; K < NC; ++K) {
+        A.movupsXM(XMM0, RSI, Off(K * 16));
+        A.movupsMX(RSP, FrameOff + Off(K * 16), XMM0);
+      }
+      A.xorps(XMM0, XMM0);
+      for (std::size_t K = 0; K < NZ; ++K)
+        A.movupsMX(RSP, FrameOff + Off((NC + K) * 16), XMM0);
+      A.xor32RR(RAX, RAX); // invocation-record zeroing below expects 0
+    } else {
+      A.movRI64(RSI, reinterpret_cast<std::uint64_t>(Opts.Pools[In.B]));
+      A.leaRM(RDI, RSP, FrameOff);
+      A.movRI32(RCX, NC * 2);
+      A.repMovsq();
+      A.xor32RR(RAX, RAX);
+      A.movRI32(RCX, NZ * 2);
+      A.repStosq(); // rdi already points one past the constants
+    }
+    // Arguments: full RTValue copies into the callee's argument slots.
+    for (std::uint32_t K = 0; K < In.D; ++K) {
+      A.movupsXM(XMM0, FrameReg, dispI(BF.ArgPool[In.C + K]));
+      A.movupsMX(RSP,
+                 FrameOff + static_cast<std::int32_t>(
+                                (Callee.NumConsts + K) * std::size_t(16)),
+                 XMM0);
+    }
+    // Invocation record: Trap/Pending/DynAllocas zeroed (rax is still 0
+    // after rep stosq), Ops/Host/Mod inherited, BF baked in, Frame set.
+    // The callee cannot contain AllocaDyn (eligibility), so the null
+    // ledger is never dereferenced.
+    A.movMR(RSP, Off(kInvTrapOffset), RAX);
+    A.movMR(RSP, Off(kInvPendingOffset), RAX);
+    A.movMR(RSP, Off(kInvDynOffset), RAX);
+    A.movRM(RCX, InvReg, Off(kInvOpsOffset));
+    A.movMR(RSP, Off(kInvOpsOffset), RCX);
+    A.movRM(RCX, InvReg, Off(kInvHostOffset));
+    A.movMR(RSP, Off(kInvHostOffset), RCX);
+    A.movRM(RCX, InvReg, Off(kInvModOffset));
+    A.movMR(RSP, Off(kInvModOffset), RCX);
+    A.movRI64(RCX, reinterpret_cast<std::uint64_t>(&Callee));
+    A.movMR(RSP, Off(kInvBFOffset), RCX);
+    A.leaRM(RCX, RSP, FrameOff);
+    A.movMR(RSP, Off(kInvFrameOffset), RCX);
+    // SysV call straight into the callee's prologue; Resume = null falls
+    // through into the body. The slab is a multiple of 16, so rsp stays
+    // aligned exactly as for a host-side entry.
+    A.movRR(RDI, RSP);
+    A.leaRM(RSI, RSP, FrameOff);
+    A.leaRM(RDX, RSP,
+            FrameOff + static_cast<std::int32_t>(Callee.NumFrame *
+                                                 std::size_t(16)));
+    A.xor32RR(RCX, RCX);
+    A.callR(R11);
+    A.test32RR(RAX, RAX); // int return — only eax is defined
+    std::size_t JTrap = A.jccRel32(CC_NE);
+    A.movupsXM(XMM0, RSP, Off(kInvRetOffset));
+    A.movupsMX(FrameReg, dispI(In.A), XMM0);
+    A.aluRI(0, RSP, Slab);
+    JJoin = A.jmpRel32();
+    // Trap: hand the parked exception up one invocation, then unwind
+    // this frame too. The bitwise exception_ptr transfer is sound — the
+    // abandoned slab runs no destructors, and the final owner is the
+    // host-side enterNative invocation, which rethrows.
+    A.patch32(JTrap, static_cast<std::int32_t>(A.pos() - (JTrap + 4)));
+    A.movRM(RAX, RSP, Off(kInvPendingOffset));
+    A.movMR(InvReg, Off(kInvPendingOffset), RAX);
+    A.movMI32(InvReg, Off(kInvTrapOffset), 1);
+    A.aluRI(0, RSP, Slab);
+    Fixups.push_back({A.jmpRel32(), trapIdx()});
+    A.patch32(JSlow, static_cast<std::int32_t>(A.pos() - (JSlow + 4)));
+    ++DirectSites;
+  }
+  // Slow path — and the only path when the callee is not direct-callable:
+  // the host helper routes through executeTiered (bytecode fallback,
+  // not-yet-compiled callees, dynamic allocas, oversized frames).
+  emitHelper(HelperCallBC, &In);
+  if (Direct)
+    A.patch32(JJoin, static_cast<std::int32_t>(A.pos() - (JJoin + 4)));
+  reloadIntSlot(In.A);
+  reloadLiveVolatile(Idx);
+}
+
+bool FunctionEmitter::tryFuseFCmpBr(std::uint32_t Idx) {
+  if (!HaveMeta)
+    return false;
+  const bc::Inst &In = BF.Code[Idx];
+  if (In.Code != bc::Op::FCmp ||
+      Idx + 1 >= static_cast<std::uint32_t>(BF.Code.size()))
+    return false;
+  const bc::Inst &Br = BF.Code[Idx + 1];
+  if (Br.Code != bc::Op::CondBr || Br.A != In.A)
+    return false;
+  // Fusable only when the branch is the sole reader of the compare's
+  // result and nothing can jump between the two — then the bool is never
+  // materialized and the branch consumes the ucomisd flags directly.
+  if (BF.Slots[In.A].Reads != 1 || BranchTarget[Idx + 1])
+    return false;
+  if (In.Code == Opts.ForceUnsupported || Br.Code == Opts.ForceUnsupported)
+    return false; // keep the forced-fallback knob authoritative
+  auto P = static_cast<ir::CmpPred>(In.Sub);
+  switch (P) {
+  case ir::CmpPred::OEQ:
+  case ir::CmpPred::ONE:
+  case ir::CmpPred::OLT:
+  case ir::CmpPred::OLE:
+  case ir::CmpPred::OGT:
+  case ir::CmpPred::OGE:
+    break;
+  default:
+    return false;
+  }
+  // Same operand-swap discipline as the unfused FCmp template: ucomisd
+  // raises CF on unordered, so A<B / A<=B run as B>A / B>=A to stay
+  // false on NaN. ONE is C's operator!= — true on NaN.
+  bool Swap = (P == ir::CmpPred::OLT || P == ir::CmpPred::OLE);
+  loadSlotD(XMM0, Swap ? In.C : In.B);
+  loadSlotD(XMM1, Swap ? In.B : In.C);
+  A.ucomisd(XMM0, XMM1);
+  switch (P) {
+  case ir::CmpPred::OEQ:
+    Fixups.push_back({A.jccRel32(CC_P), Br.C});
+    Fixups.push_back({A.jccRel32(CC_E), Br.B});
+    break;
+  case ir::CmpPred::ONE:
+    Fixups.push_back({A.jccRel32(CC_P), Br.B});
+    Fixups.push_back({A.jccRel32(CC_NE), Br.B});
+    break;
+  case ir::CmpPred::OLT:
+  case ir::CmpPred::OGT:
+    Fixups.push_back({A.jccRel32(CC_A), Br.B});
+    break;
+  default: // OLE / OGE
+    Fixups.push_back({A.jccRel32(CC_AE), Br.B});
+    break;
+  }
+  Fixups.push_back({A.jmpRel32(), Br.C});
+  ++Fused;
+  return true;
+}
+
 std::unique_ptr<CompiledFunction> FunctionEmitter::run() {
   auto CF = std::make_unique<CompiledFunction>();
   // Frame displacements must fit rel32 addressing.
@@ -1188,16 +1929,27 @@ std::unique_ptr<CompiledFunction> FunctionEmitter::run() {
           static_cast<std::uint64_t>(std::numeric_limits<std::int32_t>::max()))
     return CF;
 
+  HaveMeta = BF.Slots.size() == BF.NumFrame;
+  Reloc.assign(BF.NumConsts, false);
+  for (const auto &R : BF.GlobalRelocs)
+    Reloc[R.first] = true;
   classify();
   if (!OK)
     return CF;
-  choosePins();
+  allocate();
+  collectBranchTargets();
 
-  // Prologue: save callee-saved registers, establish the pinned state,
-  // then tail into Resume (entry or an OSR instruction boundary). Stack
-  // stays 16-aligned at every helper call site.
+  // Prologue: save callee-saved registers, establish the pinned context
+  // state, load *every* register-allocated slot from the frame, then
+  // tail into Resume (null for a plain/direct call = fall through into
+  // the body; an OSR handoff passes a mid-loop instruction boundary).
+  // Loading the whole allocation up front is what keeps the InstOffsets
+  // resume table exact: the frame is authoritative at every bytecode
+  // boundary an OSR entry can target, and the prologue re-establishes
+  // the complete register state before jumping there. Stack stays
+  // 16-aligned at every call site. rbp carries no frame pointer — it is
+  // a member of the allocator's GPR pool.
   A.pushR(RBP);
-  A.movRR(RBP, RSP);
   A.pushR(RBX);
   A.pushR(R12);
   A.pushR(R13);
@@ -1207,16 +1959,26 @@ std::unique_ptr<CompiledFunction> FunctionEmitter::run() {
   A.movRR(InvReg, RDI);
   A.movRR(FrameReg, RSI);
   A.movRR(ArenaReg, RDX);
-  for (int P = 0; P < 2; ++P)
-    if (Pin[P] >= 0)
-      A.movRM(PinRegs[P], FrameReg,
-              dispI(static_cast<std::uint32_t>(Pin[P])));
+  for (const RegAssignment &R : Assigned) {
+    if (R.FP)
+      A.movsdXM(R.Reg, FrameReg, dispD(R.Slot));
+    else
+      A.movRM(R.Reg, FrameReg, dispI(R.Slot));
+  }
+  A.testRR(RCX, RCX);
+  Fixups.push_back({A.jccRel32(CC_E), 0}); // null Resume: start of body
   A.jmpR(RCX);
 
   const auto N = static_cast<std::uint32_t>(BF.Code.size());
   CF->InstOffsets.resize(N + 2, 0);
   for (std::uint32_t I = 0; I < N && OK; ++I) {
     CF->InstOffsets[I] = static_cast<std::uint32_t>(A.pos());
+    if (tryFuseFCmpBr(I)) {
+      // The skipped CondBr resumes at the (idempotent) compare.
+      CF->InstOffsets[I + 1] = CF->InstOffsets[I];
+      ++I;
+      continue;
+    }
     emitInst(I);
   }
   if (!OK)
@@ -1243,12 +2005,21 @@ std::unique_ptr<CompiledFunction> FunctionEmitter::run() {
   if (!CF->Code.map(A.B.size()) || !CF->Code.finalize(A.B.data(), A.B.size()))
     return std::make_unique<CompiledFunction>(); // mapping failed: fallback
   CF->Supported = true;
-  CF->PinnedSlots =
-      static_cast<std::uint32_t>((Pin[0] >= 0) + (Pin[1] >= 0));
+  CF->Regs = Assigned;
+  CF->SpillSites = Spills;
+  CF->FusedTemplates = Fused;
+  CF->DirectCallSites = DirectSites;
   return CF;
 }
 
 } // namespace
+
+bool isDirectCallable(const bc::BCFunction &BF) {
+  for (const bc::Inst &In : BF.Code)
+    if (In.Code == bc::Op::AllocaDyn)
+      return false; // needs the host-side dynamic-alloca ledger
+  return directCallSlabBytes(BF) <= 4096;
+}
 
 std::unique_ptr<CompiledFunction>
 compileFunction(const bc::BCFunction &BF, const CompileOptions &Opts) {

@@ -1,5 +1,6 @@
 #include "midend/Passes.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -70,6 +71,521 @@ bool hasSideEffects(const Instruction &I) {
   }
 }
 
+/// A pointer SSA value whose object identity is known exactly: two
+/// distinct such values never alias (distinct allocas are distinct
+/// storage, allocas are not globals, and distinct globals are distinct).
+/// GEP results and loaded pointers stay "unknown" and are handled
+/// conservatively.
+bool isDistinctObject(const Value *V) {
+  if (ir_dyn_cast<GlobalVariable>(V))
+    return true;
+  const auto *I = ir_dyn_cast<Instruction>(V);
+  return I && I->getOpcode() == Opcode::Alloca;
+}
+
+unsigned forwardLoadsInFunction(Function &F) {
+  // Loads proven redundant, mapped to the value they must yield. Uses
+  // are rewritten function-wide at the end; chains (a forwarded load
+  // feeding another forwarded load's key) are chased through Resolve.
+  std::map<Value *, Value *> Replace;
+  auto Resolve = [&Replace](Value *V) {
+    for (auto It = Replace.find(V); It != Replace.end();
+         It = Replace.find(V))
+      V = It->second;
+    return V;
+  };
+
+  unsigned Forwarded = 0;
+  for (const auto &BB : F.blocks()) {
+    // What each pointer currently holds, valid within this block only.
+    std::map<Value *, Value *> Known;
+    for (const auto &IP : BB->instructions()) {
+      Instruction *I = IP.get();
+      switch (I->getOpcode()) {
+      case Opcode::Load: {
+        Value *P = Resolve(I->getOperand(0));
+        auto It = Known.find(P);
+        if (It != Known.end() &&
+            It->second->getType() == I->getType()) {
+          Replace[I] = It->second;
+          ++Forwarded;
+        } else {
+          // Remember the loaded value so a repeated load forwards too.
+          Known[P] = I;
+        }
+        break;
+      }
+      case Opcode::Store: {
+        Value *P = Resolve(I->getOperand(1));
+        if (isDistinctObject(P)) {
+          // The store touches exactly P: entries for other distinct
+          // objects survive, unknown-pointer entries may alias P.
+          for (auto It = Known.begin(); It != Known.end();)
+            if (It->first != P && !isDistinctObject(It->first))
+              It = Known.erase(It);
+            else
+              ++It;
+        } else {
+          // A store through a GEP or loaded pointer may hit anything.
+          Known.clear();
+        }
+        Known[P] = Resolve(I->getOperand(0));
+        break;
+      }
+      case Opcode::Call:
+        // The callee may write any escaped or global storage.
+        Known.clear();
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  if (Forwarded == 0)
+    return 0;
+  for (const auto &BB : F.blocks())
+    for (const auto &IP : BB->instructions())
+      for (unsigned K = 0; K < IP->getNumOperands(); ++K)
+        IP->setOperand(K, Resolve(IP->getOperand(K)));
+  return Forwarded;
+}
+
+// ===--------------- Scalar promotion over natural loops ---------------=== //
+
+/// Chases GEPs to the pointer they index into. Indexing stays within the
+/// underlying object, so a GEP access aliases only its base object.
+Value *baseObject(Value *V) {
+  while (auto *I = ir_dyn_cast<Instruction>(V)) {
+    if (I->getOpcode() != Opcode::GEP)
+      break;
+    V = I->getOperand(0);
+  }
+  return V;
+}
+
+/// Reverse post-order over the reachable CFG.
+std::vector<BasicBlock *> rpoOrder(Function &F) {
+  struct Frame {
+    BasicBlock *BB;
+    unsigned NextSucc;
+  };
+  std::vector<BasicBlock *> Post;
+  std::set<BasicBlock *> Seen = {F.getEntryBlock()};
+  std::vector<Frame> Stack = {{F.getEntryBlock(), 0}};
+  while (!Stack.empty()) {
+    Frame &Fr = Stack.back();
+    Instruction *T = Fr.BB->getTerminator();
+    unsigned N = T ? T->getNumSuccessors() : 0;
+    if (Fr.NextSucc < N) {
+      BasicBlock *S = T->getSuccessor(Fr.NextSucc++);
+      if (Seen.insert(S).second)
+        Stack.push_back({S, 0});
+    } else {
+      Post.push_back(Fr.BB);
+      Stack.pop_back();
+    }
+  }
+  std::reverse(Post.begin(), Post.end());
+  return Post;
+}
+
+/// Iterative dominator sets (functions here are small).
+std::map<BasicBlock *, std::set<BasicBlock *>>
+computeDominators(Function &F, const std::vector<BasicBlock *> &RPO) {
+  std::map<BasicBlock *, std::set<BasicBlock *>> Dom;
+  std::set<BasicBlock *> All(RPO.begin(), RPO.end());
+  for (BasicBlock *BB : RPO)
+    Dom[BB] = All;
+  BasicBlock *Entry = F.getEntryBlock();
+  Dom[Entry] = {Entry};
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      if (BB == Entry)
+        continue;
+      std::set<BasicBlock *> NewDom;
+      bool First = true;
+      for (BasicBlock *P : BB->predecessors()) {
+        if (!All.count(P))
+          continue;
+        const std::set<BasicBlock *> &PD = Dom[P];
+        if (First) {
+          NewDom = PD;
+          First = false;
+        } else {
+          for (auto It = NewDom.begin(); It != NewDom.end();)
+            if (!PD.count(*It))
+              It = NewDom.erase(It);
+            else
+              ++It;
+        }
+      }
+      NewDom.insert(BB);
+      if (NewDom != Dom[BB]) {
+        Dom[BB] = std::move(NewDom);
+        Changed = true;
+      }
+    }
+  }
+  return Dom;
+}
+
+struct NaturalLoop {
+  BasicBlock *Header = nullptr;
+  std::set<BasicBlock *> Blocks;
+  std::vector<BasicBlock *> BackSources; // blocks with an edge to Header
+};
+
+/// An alloca is promotable storage only if its address never escapes:
+/// every use in the function is as a load's pointer or a store's
+/// destination (being a store's *value* operand publishes the address).
+std::set<const Value *> nonEscapingAllocas(Function &F) {
+  std::set<const Value *> Allocas, Escaped;
+  for (const auto &BB : F.blocks())
+    for (const auto &IP : BB->instructions()) {
+      if (IP->getOpcode() == Opcode::Alloca)
+        Allocas.insert(IP.get());
+      for (unsigned K = 0; K < IP->getNumOperands(); ++K) {
+        Value *Op = IP->getOperand(K);
+        const auto *OpI = ir_dyn_cast<Instruction>(Op);
+        if (!OpI || OpI->getOpcode() != Opcode::Alloca)
+          continue;
+        bool Safe = (IP->getOpcode() == Opcode::Load && K == 0) ||
+                    (IP->getOpcode() == Opcode::Store && K == 1);
+        if (!Safe)
+          Escaped.insert(Op);
+      }
+    }
+  for (const Value *A : Escaped)
+    Allocas.erase(A);
+  return Allocas;
+}
+
+/// Promotes scalars that live in memory (globals and non-escaping
+/// allocas) into SSA registers across one natural loop: initial load in
+/// the preheader, phis at the header and interior joins, writeback at
+/// the single exit. This is what breaks the per-iteration
+/// load/add/store round-trip on accumulator globals that store-to-load
+/// forwarding (block-local) cannot touch.
+unsigned promoteInLoop(Function &F, const NaturalLoop &L,
+                       const std::map<BasicBlock *, std::set<BasicBlock *>>
+                           &Dom,
+                       const std::vector<BasicBlock *> &RPO,
+                       const std::set<const Value *> &SafeAllocas) {
+  // Structural gates: unique preheader, a single exit edge whose target
+  // is reached only from the loop, and no calls (a callee may touch any
+  // global or escaped storage).
+  BasicBlock *Preheader = nullptr;
+  for (BasicBlock *P : L.Header->predecessors()) {
+    if (L.Blocks.count(P))
+      continue;
+    if (Preheader && Preheader != P)
+      return 0;
+    Preheader = P;
+  }
+  if (!Preheader || !Preheader->getTerminator())
+    return 0;
+
+  BasicBlock *CondBlock = nullptr, *Exit = nullptr;
+  for (BasicBlock *BB : L.Blocks) {
+    Instruction *T = BB->getTerminator();
+    if (!T)
+      return 0;
+    for (unsigned S = 0; S < T->getNumSuccessors(); ++S) {
+      BasicBlock *Succ = T->getSuccessor(S);
+      if (L.Blocks.count(Succ))
+        continue;
+      if (CondBlock && (CondBlock != BB || Exit != Succ))
+        return 0; // multiple exit edges
+      CondBlock = BB;
+      Exit = Succ;
+    }
+  }
+  if (!CondBlock)
+    return 0; // no exit: nothing observable to write back
+
+  for (BasicBlock *BB : L.Blocks)
+    for (const auto &IP : BB->instructions())
+      if (IP->getOpcode() == Opcode::Call)
+        return 0;
+
+  auto dominatesAllBackSources = [&](BasicBlock *BB) {
+    for (BasicBlock *BS : L.BackSources) {
+      auto It = Dom.find(BS);
+      if (It == Dom.end() || !It->second.count(BB))
+        return false;
+    }
+    return true;
+  };
+
+  std::vector<BasicBlock *> LoopRPO;
+  for (BasicBlock *BB : RPO)
+    if (L.Blocks.count(BB))
+      LoopRPO.push_back(BB);
+
+  // Candidate discovery: pointers accessed directly (no GEP) inside the
+  // loop whose object identity is exact.
+  struct Candidate {
+    const IRType *Ty = nullptr;
+    bool HasStore = false;
+    bool Bad = false;
+  };
+  std::map<Value *, Candidate> Cands;
+  std::vector<Value *> CandOrder; // deterministic discovery order
+  auto candFor = [&](Value *P) -> Candidate & {
+    auto [It, New] = Cands.try_emplace(P);
+    if (New)
+      CandOrder.push_back(P);
+    return It->second;
+  };
+  auto isPromotableObject = [&](Value *V) {
+    if (ir_dyn_cast<GlobalVariable>(V))
+      return true;
+    return SafeAllocas.count(V) != 0;
+  };
+  for (BasicBlock *BB : LoopRPO)
+    for (const auto &IP : BB->instructions()) {
+      if (IP->getOpcode() == Opcode::Load) {
+        Value *P = IP->getOperand(0);
+        if (!isPromotableObject(P))
+          continue;
+        Candidate &C = candFor(P);
+        if (C.Ty && C.Ty != IP->getType())
+          C.Bad = true;
+        C.Ty = IP->getType();
+      } else if (IP->getOpcode() == Opcode::Store) {
+        Value *P = IP->getOperand(1);
+        if (!isPromotableObject(P))
+          continue;
+        Candidate &C = candFor(P);
+        const IRType *VTy = IP->getOperand(0)->getType();
+        if (C.Ty && C.Ty != VTy)
+          C.Bad = true;
+        C.Ty = VTy;
+        C.HasStore = true;
+        // An introduced exit writeback is only legal when the loop
+        // already stores on every iteration.
+        if (!dominatesAllBackSources(BB))
+          C.Bad = true;
+      }
+    }
+  // Aliasing: every other memory access in the loop must provably touch
+  // a different object.
+  for (BasicBlock *BB : L.Blocks)
+    for (const auto &IP : BB->instructions()) {
+      Value *P = nullptr;
+      if (IP->getOpcode() == Opcode::Load)
+        P = IP->getOperand(0);
+      else if (IP->getOpcode() == Opcode::Store)
+        P = IP->getOperand(1);
+      else
+        continue;
+      Value *Base = baseObject(P);
+      bool Distinct = ir_dyn_cast<GlobalVariable>(Base) ||
+                      (ir_dyn_cast<Instruction>(Base) &&
+                       ir_cast<Instruction>(Base)->getOpcode() ==
+                           Opcode::Alloca);
+      for (auto &[G, C] : Cands)
+        if (P != G && (!Distinct || Base == G))
+          C.Bad = true;
+    }
+
+  unsigned Promoted = 0;
+  std::map<Value *, Value *> Replace;
+  auto Resolve = [&Replace](Value *V) {
+    for (auto It = Replace.find(V); It != Replace.end();
+         It = Replace.find(V))
+      V = It->second;
+    return V;
+  };
+  std::set<const Instruction *> Erase;
+
+  // Writebacks land in a dedicated block on the exit edge, so they run
+  // exactly once per loop execution even when the exit target has other
+  // predecessors (e.g. an unroll-remainder loop header).
+  BasicBlock *WBBlock = nullptr;
+  auto writebackBlock = [&]() {
+    if (WBBlock)
+      return WBBlock;
+    WBBlock = F.createBlockAfter(CondBlock, CondBlock->getName() +
+                                                ".promote.exit");
+    Instruction *T = CondBlock->getTerminator();
+    for (unsigned S = 0; S < T->getNumOperands(); ++S)
+      if (T->getOperand(S) == Exit)
+        T->setOperand(S, WBBlock);
+    for (const auto &IP : Exit->instructions()) {
+      if (IP->getOpcode() != Opcode::Phi)
+        break;
+      for (unsigned P = 0; P < IP->getNumIncoming(); ++P)
+        if (IP->getIncomingBlock(P) == CondBlock)
+          IP->setOperand(2 * P + 1, WBBlock);
+    }
+    WBBlock->append(std::make_unique<Instruction>(
+        Opcode::Br, IRType::getVoid(), std::vector<Value *>{Exit}));
+    return WBBlock;
+  };
+
+  for (Value *G : CandOrder) {
+    const Candidate &C = Cands[G];
+    if (C.Bad || !C.Ty)
+      continue;
+    std::string Tag = G->getName().empty() ? "promo" : G->getName();
+    auto PreLoad = std::make_unique<Instruction>(
+        Opcode::Load, C.Ty, std::vector<Value *>{G}, Tag + ".promoted");
+    PreLoad->ElemTy = C.Ty;
+    Instruction *Pre =
+        Preheader->insertAt(Preheader->size() - 1, std::move(PreLoad));
+
+    if (!C.HasStore) {
+      // Loop-invariant: every load is the preheader load.
+      for (BasicBlock *BB : LoopRPO)
+        for (const auto &IP : BB->instructions())
+          if (IP->getOpcode() == Opcode::Load && IP.get() != Pre &&
+              IP->getOperand(0) == G) {
+            Replace[IP.get()] = Pre;
+            Erase.insert(IP.get());
+          }
+      ++Promoted;
+      continue;
+    }
+
+    // Single-variable SSA construction over the loop region with phis
+    // at the header and every interior join.
+    std::map<BasicBlock *, Instruction *> PhiAt;
+    std::map<BasicBlock *, std::vector<BasicBlock *>> InPreds;
+    for (BasicBlock *BB : LoopRPO) {
+      std::vector<BasicBlock *> Preds;
+      for (BasicBlock *P : BB->predecessors())
+        if (L.Blocks.count(P) &&
+            std::find(Preds.begin(), Preds.end(), P) == Preds.end())
+          Preds.push_back(P);
+      InPreds[BB] = Preds;
+      if (BB == L.Header || Preds.size() >= 2) {
+        auto Phi = std::make_unique<Instruction>(
+            Opcode::Phi, C.Ty, std::vector<Value *>{}, Tag + ".promoted");
+        PhiAt[BB] = BB->insertAt(0, std::move(Phi));
+      }
+    }
+    std::map<BasicBlock *, Value *> EndVal;
+    for (BasicBlock *BB : LoopRPO) {
+      Value *Cur = PhiAt.count(BB) ? static_cast<Value *>(PhiAt[BB])
+                                   : EndVal[InPreds[BB].front()];
+      for (const auto &IP : BB->instructions()) {
+        if (IP->getOpcode() == Opcode::Load && IP->getOperand(0) == G) {
+          Replace[IP.get()] = Cur;
+          Erase.insert(IP.get());
+        } else if (IP->getOpcode() == Opcode::Store &&
+                   IP->getOperand(1) == G) {
+          Cur = IP->getOperand(0);
+          Erase.insert(IP.get());
+        }
+      }
+      EndVal[BB] = Cur;
+    }
+    for (auto &[BB, Phi] : PhiAt) {
+      std::vector<Value *> Ops;
+      if (BB == L.Header) {
+        Ops.push_back(Pre);
+        Ops.push_back(Preheader);
+        for (BasicBlock *BS : L.BackSources) {
+          Ops.push_back(EndVal[BS]);
+          Ops.push_back(BS);
+        }
+      } else {
+        for (BasicBlock *P : InPreds[BB]) {
+          Ops.push_back(EndVal[P]);
+          Ops.push_back(P);
+        }
+      }
+      Phi->setOperands(std::move(Ops));
+    }
+    auto WB = std::make_unique<Instruction>(
+        Opcode::Store, IRType::getVoid(),
+        std::vector<Value *>{EndVal[CondBlock], G});
+    BasicBlock *WBB = writebackBlock();
+    WBB->insertAt(WBB->size() - 1, std::move(WB));
+    ++Promoted;
+  }
+
+  if (Promoted == 0)
+    return 0;
+  for (const auto &BB : F.blocks())
+    for (const auto &IP : BB->instructions())
+      for (unsigned K = 0; K < IP->getNumOperands(); ++K)
+        IP->setOperand(K, Resolve(IP->getOperand(K)));
+  for (const auto &BB : F.blocks())
+    for (std::size_t Idx = BB->size(); Idx-- > 0;)
+      if (Erase.count(BB->instructions()[Idx].get()))
+        BB->erase(Idx);
+  return Promoted;
+}
+
+unsigned promoteScalarsInFunction(Function &F) {
+  if (F.isDeclaration())
+    return 0;
+  unsigned Promoted = 0;
+  bool Changed = true;
+  // Each promotion may split an exit edge, so analyses are recomputed
+  // after every transformed loop. Innermost loops go first: an
+  // accumulator promoted out of an inner loop reappears (as the
+  // inserted preheader load / writeback store) inside the enclosing
+  // loop and is hoisted again on the next sweep. Accesses only ever
+  // move outward through the nest, so this terminates.
+  while (Changed) {
+    Changed = false;
+    std::vector<BasicBlock *> RPO = rpoOrder(F);
+    auto Dom = computeDominators(F, RPO);
+
+    // Natural loops: back edges B->H where H dominates B; bodies by
+    // backward reachability from B stopping at H.
+    std::map<BasicBlock *, NaturalLoop> Loops;
+    for (BasicBlock *BB : RPO) {
+      Instruction *T = BB->getTerminator();
+      if (!T)
+        continue;
+      for (unsigned S = 0; S < T->getNumSuccessors(); ++S) {
+        BasicBlock *H = T->getSuccessor(S);
+        if (!Dom[BB].count(H))
+          continue;
+        NaturalLoop &L = Loops[H];
+        L.Header = H;
+        L.BackSources.push_back(BB);
+        L.Blocks.insert(H);
+        std::vector<BasicBlock *> Work = {BB};
+        while (!Work.empty()) {
+          BasicBlock *Cur = Work.back();
+          Work.pop_back();
+          if (!L.Blocks.insert(Cur).second)
+            continue;
+          for (BasicBlock *P : Cur->predecessors())
+            Work.push_back(P);
+        }
+      }
+    }
+
+    std::vector<const NaturalLoop *> Order;
+    for (const auto &[H, L] : Loops)
+      Order.push_back(&L);
+    std::sort(Order.begin(), Order.end(),
+              [](const NaturalLoop *A, const NaturalLoop *B) {
+                if (A->Blocks.size() != B->Blocks.size())
+                  return A->Blocks.size() < B->Blocks.size();
+                return A->Header->getName() < B->Header->getName();
+              });
+
+    std::set<const Value *> SafeAllocas = nonEscapingAllocas(F);
+    for (const NaturalLoop *L : Order)
+      if (unsigned N = promoteInLoop(F, *L, Dom, RPO, SafeAllocas)) {
+        Promoted += N;
+        Changed = true;
+        break; // CFG may have changed: re-analyze
+      }
+  }
+  return Promoted;
+}
+
 } // namespace
 
 unsigned runSimplifyCFG(Module &M) {
@@ -110,11 +626,28 @@ unsigned runDCE(Module &M) {
   return Removed;
 }
 
+unsigned runStoreForward(Module &M) {
+  unsigned Forwarded = 0;
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      Forwarded += forwardLoadsInFunction(*F);
+  return Forwarded;
+}
+
+unsigned runScalarPromote(Module &M) {
+  unsigned Promoted = 0;
+  for (const auto &F : M.functions())
+    Promoted += promoteScalarsInFunction(*F);
+  return Promoted;
+}
+
 PipelineStats runDefaultPipeline(Module &M,
                                  const LoopUnrollOptions &UnrollOpts) {
   PipelineStats Stats;
   Stats.Unroll = runLoopUnroll(M, UnrollOpts);
   Stats.BlocksSimplified = runSimplifyCFG(M);
+  Stats.LoadsForwarded = runStoreForward(M);
+  Stats.ScalarsPromoted = runScalarPromote(M);
   Stats.InstructionsDCEd = runDCE(M);
   return Stats;
 }

@@ -14,13 +14,33 @@ unsigned runSimplifyCFG(ir::Module &M);
 /// of instructions removed.
 unsigned runDCE(ir::Module &M);
 
+/// Block-local store-to-load forwarding: replaces a load with the value
+/// most recently stored (or loaded) through the same pointer SSA value in
+/// the same block. Distinct allocas and globals are known not to alias;
+/// calls and stores through unknown pointers invalidate conservatively.
+/// Returns the number of loads forwarded (the loads themselves become
+/// dead and are swept by the following DCE run).
+unsigned runStoreForward(ir::Module &M);
+
+/// Promotes memory-resident scalars (globals and non-escaping allocas)
+/// into SSA registers across natural loops: load in the preheader, phis
+/// at the header and interior joins, writeback at the single exit.
+/// Restricted to call-free single-exit loops whose other memory traffic
+/// provably touches different objects; a loop that stores the scalar
+/// must do so on every iteration. Returns the number of (loop, scalar)
+/// promotions performed.
+unsigned runScalarPromote(ir::Module &M);
+
 struct PipelineStats {
   LoopUnrollStats Unroll;
   unsigned BlocksSimplified = 0;
+  unsigned LoadsForwarded = 0;
+  unsigned ScalarsPromoted = 0;
   unsigned InstructionsDCEd = 0;
 };
 
-/// The default -O1 pipeline: LoopUnroll, then CFG simplification and DCE.
+/// The default -O1 pipeline: LoopUnroll, then CFG simplification,
+/// store-to-load forwarding, loop scalar promotion, and DCE.
 PipelineStats runDefaultPipeline(ir::Module &M,
                                  const LoopUnrollOptions &UnrollOpts = {});
 

@@ -596,6 +596,65 @@ TEST_P(EngineParityTest, LoadOpStoreAliasedOperand) {
   EXPECT_EQ(EE.runFunction("f", {}).I, 42);
 }
 
+TEST_P(EngineParityTest, RegisterPressureManyLiveAccumulators) {
+  // Five loop-carried int accumulators plus one double — more than the
+  // native tier's GPR pool, so some run from registers and some from
+  // frame memory. The expected value is computed independently below;
+  // every engine must hit it exactly.
+  Module M;
+  Function *F =
+      M.createFunction("acc", IRType::getI64(), {IRType::getI64()});
+  IRBuilder B(M);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertPoint(Entry);
+  B.createBr(Loop);
+  B.setInsertPoint(Loop);
+  Instruction *I = B.createPhi(IRType::getI64(), "i");
+  Instruction *A[5];
+  for (int K = 0; K < 5; ++K)
+    A[K] = B.createPhi(IRType::getI64(), "a");
+  Instruction *D = B.createPhi(IRType::getDouble(), "d");
+  Value *U[5];
+  for (int K = 0; K < 5; ++K)
+    U[K] = B.createAdd(A[K], B.createMul(I, M.getI64(K + 2)));
+  Value *D2 = B.createBinOp(Opcode::FAdd, D, M.getDouble(0.5), "d2");
+  Value *Next = B.createAdd(I, M.getI64(1));
+  Value *More = B.createICmp(CmpPred::SLT, Next, F->getArg(0));
+  I->addIncoming(M.getI64(0), Entry);
+  I->addIncoming(Next, Loop);
+  for (int K = 0; K < 5; ++K) {
+    A[K]->addIncoming(M.getI64(K), Entry);
+    A[K]->addIncoming(U[K], Loop);
+  }
+  D->addIncoming(M.getDouble(0.0), Entry);
+  D->addIncoming(D2, Loop);
+  B.createCondBr(More, Loop, Exit);
+  B.setInsertPoint(Exit);
+  Value *S = U[0];
+  for (int K = 1; K < 5; ++K)
+    S = B.createAdd(S, U[K]);
+  B.createRet(
+      B.createAdd(S, B.createCast(Opcode::FPToSI, D2, IRType::getI64())));
+  ASSERT_EQ(verifyModule(M), "");
+
+  const std::int64_t N = 1000;
+  std::int64_t Acc[5] = {0, 1, 2, 3, 4};
+  double Dv = 0.0;
+  for (std::int64_t It = 0; It < N; ++It) {
+    for (int K = 0; K < 5; ++K)
+      Acc[K] += It * (K + 2);
+    Dv += 0.5;
+  }
+  std::int64_t Want = static_cast<std::int64_t>(Dv);
+  for (int K = 0; K < 5; ++K)
+    Want += Acc[K];
+
+  ExecutionEngine EE(M, GetParam());
+  EXPECT_EQ(EE.runFunction("acc", {RTValue::ofInt(N)}).I, Want);
+}
+
 TEST(InterpTest, BytecodeFusesSuperinstructions) {
   // A loop whose body is a[i] += expr and whose latch is cmp+condbr:
   // the bytecode engine must retire fewer instructions than the walker
